@@ -1,0 +1,1 @@
+bench/ablation.ml: Fira Heuristics List Printf Report Runner Search Tupelo Workloads

@@ -1,0 +1,1 @@
+bench/accuracy.ml: Heuristics List Printf Report String Tupelo Workloads

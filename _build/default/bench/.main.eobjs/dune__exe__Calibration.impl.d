@@ -1,0 +1,1 @@
+bench/calibration.ml: Fira Heuristics List Printf Report Runner Tupelo Workloads

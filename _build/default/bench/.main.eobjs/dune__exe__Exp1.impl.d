@@ -1,0 +1,1 @@
+bench/exp1.ml: Heuristics List Printf Report Runner Tupelo Workloads

@@ -1,0 +1,1 @@
+bench/exp2.ml: Heuristics List Printf Report Runner Tupelo Workloads

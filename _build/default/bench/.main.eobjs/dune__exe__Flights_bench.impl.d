@@ -1,0 +1,1 @@
+bench/flights_bench.ml: Heuristics List Printf Report Runner Tupelo Workloads

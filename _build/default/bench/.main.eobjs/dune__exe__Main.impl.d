@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Accuracy Array Calibration Exp1 Exp2 Exp3 Flights_bench List Micro Printf Report Sys Unix

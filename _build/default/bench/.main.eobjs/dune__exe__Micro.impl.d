@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Float Hashtbl Heuristics Instance List Measure Printf Relational Report Staged Test Time Tnf Toolkit Tupelo Workloads

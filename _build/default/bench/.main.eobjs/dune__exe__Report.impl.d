@@ -1,0 +1,1 @@
+bench/report.ml: Buffer Char Filename Fun List Printf String Sys

@@ -1,0 +1,1 @@
+bench/runner.ml: Heuristics Search Tupelo

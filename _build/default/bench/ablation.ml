@@ -1,0 +1,161 @@
+(* Ablation benches for the design choices called out in DESIGN.md:
+
+   1. the Rosetta Stone rename prune (rename_value_check) on/off;
+   2. the paper's linear-memory algorithms vs the A*/greedy baselines;
+   3. the Superset goal (the paper's) vs the Exact goal.  *)
+
+let budget = 200_000
+
+let run_with ~moves ~algorithm ~heuristic ?registry ~source ~target () =
+  let config =
+    Tupelo.Discover.config ~algorithm ~heuristic ~budget ~moves ()
+  in
+  match Tupelo.Discover.discover ?registry config ~source ~target with
+  | Tupelo.Discover.Mapping m ->
+      (m.Tupelo.Mapping.stats.Search.Space.examined, false)
+  | Tupelo.Discover.No_mapping s -> (s.Search.Space.examined, false)
+  | Tupelo.Discover.Gave_up s -> (s.Search.Space.examined, true)
+
+let value_check_ablation () =
+  let tasks =
+    List.map
+      (fun n -> (Printf.sprintf "synthetic n=%d" n, Workloads.Synthetic.matching_pair n))
+      [ 4; 6; 8 ]
+    @ (Workloads.Bamm.pairs Workloads.Bamm.Books
+      |> List.filteri (fun i _ -> i < 5)
+      |> List.mapi (fun i p -> (Printf.sprintf "books target %d" i, p)))
+  in
+  let rows =
+    List.map
+      (fun (label, (source, target)) ->
+        let cell check =
+          let moves =
+            { (Tupelo.Moves.default Tupelo.Goal.Superset) with
+              Tupelo.Moves.rename_value_check = check }
+          in
+          let examined, capped =
+            run_with ~moves ~algorithm:Tupelo.Discover.Ida
+              ~heuristic:Heuristics.Heuristic.h1 ~source ~target ()
+          in
+          Report.states ~capped examined
+        in
+        [ label; cell true; cell false ])
+      tasks
+  in
+  Report.print_table
+    ~title:"Rosetta Stone rename prune: IDA/h1 states examined"
+    ~header:[ "task"; "with value check"; "without" ]
+    rows
+
+let algorithm_ablation () =
+  let algorithms =
+    Tupelo.Discover.[ Ida; Ida_tt; Rbfs; Astar; Greedy; Beam 8; Bfs ]
+  in
+  let tasks =
+    [ ("synthetic n=6", Workloads.Synthetic.matching_pair 6, Fira.Semfun.empty_registry);
+      ("flights B->A", (Workloads.Flights.b, Workloads.Flights.a), Workloads.Flights.registry);
+      ("flights A->B", (Workloads.Flights.a, Workloads.Flights.b), Workloads.Flights.registry);
+      (let t = Workloads.Inventory.task 4 in
+       ("inventory k=4", (t.Workloads.Inventory.source, t.Workloads.Inventory.target),
+        t.Workloads.Inventory.registry));
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, (source, target), registry) ->
+        label
+        :: List.map
+             (fun algorithm ->
+               let m =
+                 Runner.run ~registry ~algorithm
+                   ~heuristic:Heuristics.Heuristic.h1 ~budget ~source ~target ()
+               in
+               if m.Runner.found then
+                 Printf.sprintf "%d (cost %d)" m.Runner.examined m.Runner.cost
+               else Report.states ~capped:m.Runner.capped m.Runner.examined)
+             algorithms)
+      tasks
+  in
+  Report.print_table
+    ~title:"Algorithm comparison with h1 (the paper uses IDA and RBFS only)"
+    ~header:("task" :: List.map Tupelo.Discover.algorithm_name algorithms)
+    rows
+
+(* IDA+TT on revisit-heavy blind searches, and the combined
+   content+structure heuristic on the workloads where plain cosine-IDA
+   degenerates. *)
+let extension_ablation () =
+  let inv k =
+    let t = Workloads.Inventory.task k in
+    (Printf.sprintf "inventory k=%d" k,
+     (t.Workloads.Inventory.source, t.Workloads.Inventory.target),
+     t.Workloads.Inventory.registry)
+  in
+  let tasks =
+    [ inv 6; inv 7;
+      ("flights B->A", (Workloads.Flights.b, Workloads.Flights.a),
+       Workloads.Flights.registry);
+      ("flights A->B", (Workloads.Flights.a, Workloads.Flights.b),
+       Workloads.Flights.registry);
+    ]
+  in
+  let cell ~algorithm ~heuristic (source, target) registry =
+    let m =
+      Runner.run ~registry ~algorithm ~heuristic ~budget ~source ~target ()
+    in
+    if m.Runner.found then
+      Printf.sprintf "%d (cost %d)" m.Runner.examined m.Runner.cost
+    else Report.states ~capped:m.Runner.capped m.Runner.examined
+  in
+  let k = Heuristics.Heuristic.Scaling.ida.Heuristics.Heuristic.Scaling.k_cosine in
+  let rows =
+    List.map
+      (fun (label, pair, registry) ->
+        [ label;
+          cell ~algorithm:Tupelo.Discover.Ida
+            ~heuristic:Heuristics.Heuristic.h0 pair registry;
+          cell ~algorithm:Tupelo.Discover.Ida_tt
+            ~heuristic:Heuristics.Heuristic.h0 pair registry;
+          cell ~algorithm:Tupelo.Discover.Ida
+            ~heuristic:(Heuristics.Heuristic.cosine ~k) pair registry;
+          cell ~algorithm:Tupelo.Discover.Ida
+            ~heuristic:(Heuristics.Heuristic.combined ~k) pair registry;
+        ])
+      tasks
+  in
+  Report.print_table
+    ~title:"Extensions: transposition table (blind) and combined heuristic"
+    ~header:
+      [ "task"; "IDA/h0"; "IDA+TT/h0"; "IDA/cosine"; "IDA/combined" ]
+    rows
+
+let goal_ablation () =
+  let rows =
+    List.map
+      (fun (label, source, target) ->
+        let cell goal =
+          let m =
+            Runner.run ~registry:Workloads.Flights.registry
+              ~algorithm:Tupelo.Discover.Ida ~heuristic:Heuristics.Heuristic.h1
+              ~goal ~budget:50_000 ~source ~target ()
+          in
+          if m.Runner.found then
+            Printf.sprintf "%d (cost %d)" m.Runner.examined m.Runner.cost
+          else if m.Runner.capped then
+            Printf.sprintf ">=%d (gave up)" m.Runner.examined
+          else "no mapping (needs σ)"
+        in
+        [ label; cell Tupelo.Goal.Superset; cell Tupelo.Goal.Exact ])
+      Workloads.Flights.pairs
+  in
+  Report.print_table
+    ~title:"Goal test: the paper's Superset containment vs Exact equality (IDA/h1)"
+    ~header:[ "mapping"; "superset"; "exact" ]
+    rows
+
+let run () =
+  Report.section "Ablations (design choices)";
+  value_check_ablation ();
+  algorithm_ablation ();
+  extension_ablation ();
+  goal_ablation ()

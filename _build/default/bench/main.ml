@@ -1,0 +1,57 @@
+(* Benchmark harness entry point: regenerates every table and figure of
+   the paper's evaluation (§5), plus calibration, ablations and wall-clock
+   micro-benchmarks. With no arguments everything runs; otherwise pass any
+   subset of: exp1 exp2 exp3 calibration flights ablation micro.
+
+   All experiment workloads are deterministic (fixed seeds), so the
+   states-examined numbers are exactly reproducible; see EXPERIMENTS.md
+   for the paper-vs-measured discussion. *)
+
+let registry =
+  [
+    ("exp1", ("Experiment 1: synthetic schema matching (Figs. 5-6)", Exp1.run));
+    ("exp2", ("Experiment 2: BAMM deep-web matching (Figs. 7-8)", Exp2.run));
+    ("exp3", ("Experiment 3: complex semantic mapping (Fig. 9)", Exp3.run));
+    ("calibration", ("E0: scaling-constant sweep (§5 table)", Calibration.run));
+    ("flights", ("E4: Fig. 1 data-metadata restructuring", Flights_bench.run));
+    ("ablation", ("Design-choice ablations", Ablation.run));
+    ("accuracy", ("Matching precision/recall on BAMM (extension)", Accuracy.run));
+    ("micro", ("Bechamel micro-benchmarks", Micro.run));
+  ]
+
+let usage () =
+  print_endline "usage: bench/main.exe [-- NAME...] [--csv DIR]";
+  print_endline "available benches:";
+  List.iter
+    (fun (name, (doc, _)) -> Printf.printf "  %-12s %s\n" name doc)
+    registry
+
+let () =
+  let args =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a -> a <> "--")
+  in
+  let rec extract_csv acc = function
+    | [] -> List.rev acc
+    | "--csv" :: dir :: rest ->
+        Report.set_csv_dir dir;
+        extract_csv acc rest
+    | a :: rest -> extract_csv (a :: acc) rest
+  in
+  let args = extract_csv [] args in
+  match args with
+  | [ ("-h" | "--help") ] -> usage ()
+  | [] ->
+      let t0 = Unix.gettimeofday () in
+      List.iter (fun (_, (_, f)) -> f ()) registry;
+      Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name registry with
+          | Some (_, f) -> f ()
+          | None ->
+              Printf.printf "unknown bench %S\n" name;
+              usage ();
+              exit 1)
+        names

@@ -1,0 +1,88 @@
+(* Plain-text table rendering for the benchmark harness. Every experiment
+   prints the same series the paper plots, as aligned columns. *)
+
+(* When set (bench/main.exe --csv DIR), every printed table is also written
+   as a CSV file named after a slug of its title, so the paper's figures can
+   be regenerated with any plotting tool. *)
+let csv_dir : string option ref = ref None
+
+let set_csv_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  csv_dir := Some dir
+
+let slug title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Char.lowercase_ascii c
+      | _ -> '_')
+    title
+  |> fun s ->
+  (* collapse runs of '_' and trim *)
+  let buf = Buffer.create (String.length s) in
+  let last_us = ref true in
+  String.iter
+    (fun c ->
+      if c = '_' then begin
+        if not !last_us then Buffer.add_char buf '_';
+        last_us := true
+      end
+      else begin
+        Buffer.add_char buf c;
+        last_us := false
+      end)
+    s;
+  let out = Buffer.contents buf in
+  if String.length out > 0 && out.[String.length out - 1] = '_' then
+    String.sub out 0 (String.length out - 1)
+  else out
+
+let write_csv ~title ~header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      let path = Filename.concat dir (slug title ^ ".csv") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (String.concat "," header);
+          output_char oc '\n';
+          List.iter
+            (fun row ->
+              output_string oc (String.concat "," row);
+              output_char oc '\n')
+            rows)
+
+let rule width = String.make width '-'
+
+let print_table ~title ~header rows =
+  let columns = List.length header in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line cells = String.concat "  " (List.map2 pad cells widths) in
+  let total = List.fold_left ( + ) (2 * (columns - 1)) widths in
+  Printf.printf "\n%s\n%s\n" title (rule (max total (String.length title)));
+  print_endline (line header);
+  print_endline (rule total);
+  List.iter (fun row -> print_endline (line row)) rows;
+  print_newline ();
+  write_csv ~title ~header rows
+
+(* States-examined cell: capped runs are marked so plateaus read as "at
+   least", like the flat tops of the paper's log-scale plots. *)
+let states ~capped n = if capped then Printf.sprintf ">=%d" n else string_of_int n
+
+let avg_states ~any_capped avg =
+  if any_capped then Printf.sprintf ">=%.1f" avg else Printf.sprintf "%.1f" avg
+
+let section title =
+  let bar = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n=== %s ===\n%s\n" bar title bar

@@ -1,0 +1,32 @@
+(* Shared discovery runner for the experiments: one (algorithm, heuristic,
+   source, target) measurement, reporting the paper's metric. *)
+
+type measurement = {
+  examined : int;  (** states examined (the paper's y-axis) *)
+  capped : bool;   (** true when the run hit the state budget *)
+  found : bool;
+  cost : int;      (** mapping length when found, 0 otherwise *)
+}
+
+let run ?registry ~algorithm ~heuristic ?(goal = Tupelo.Goal.Superset) ~budget
+    ~source ~target () =
+  let config =
+    Tupelo.Discover.config ~algorithm ~heuristic ~goal ~budget ()
+  in
+  match Tupelo.Discover.discover ?registry config ~source ~target with
+  | Tupelo.Discover.Mapping m ->
+      {
+        examined = m.Tupelo.Mapping.stats.Search.Space.examined;
+        capped = false;
+        found = true;
+        cost = Tupelo.Mapping.length m;
+      }
+  | Tupelo.Discover.No_mapping stats ->
+      { examined = stats.Search.Space.examined; capped = false; found = false; cost = 0 }
+  | Tupelo.Discover.Gave_up stats ->
+      { examined = stats.Search.Space.examined; capped = true; found = false; cost = 0 }
+
+let algorithms = [ Tupelo.Discover.Ida; Tupelo.Discover.Rbfs ]
+
+let heuristics_for algorithm =
+  Heuristics.Heuristic.all (Tupelo.Discover.scaling_for algorithm)

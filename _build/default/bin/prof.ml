@@ -1,0 +1,21 @@
+let () =
+  let t = Workloads.Inventory.task (int_of_string Sys.argv.(1)) in
+  let budget = int_of_string Sys.argv.(2) in
+  let h = match Sys.argv.(3) with
+    | "h0" -> Heuristics.Heuristic.h0
+    | "h1" -> Heuristics.Heuristic.h1
+    | "euclid" -> Heuristics.Heuristic.euclid
+    | "lev" -> Heuristics.Heuristic.levenshtein ~k:11
+    | "levr" -> Heuristics.Heuristic.levenshtein ~k:15
+    | "en" -> Heuristics.Heuristic.euclid_norm ~k:7
+    | "cos" -> Heuristics.Heuristic.cosine ~k:5
+    | _ -> failwith "h" in
+  let alg = if Sys.argv.(4) = "ida" then Tupelo.Discover.Ida else Tupelo.Discover.Rbfs in
+  let t0 = Unix.gettimeofday () in
+  let config = Tupelo.Discover.config ~algorithm:alg ~heuristic:h ~budget () in
+  let o = Tupelo.Discover.discover ~registry:t.Workloads.Inventory.registry config
+      ~source:t.Workloads.Inventory.source ~target:t.Workloads.Inventory.target in
+  Printf.printf "examined=%d %.2fs (%.0f st/s)\n"
+    (Tupelo.Discover.states_examined o)
+    (Unix.gettimeofday () -. t0)
+    (float_of_int (Tupelo.Discover.states_examined o) /. (Unix.gettimeofday () -. t0))

@@ -1,0 +1,339 @@
+(* The tupelo command-line interface.
+
+   Critical instances are given as one CSV file per relation, written
+   NAME=path.csv. Complex semantic functions are given as TNF annotation
+   strings (the §4 encoding), e.g.
+
+     tupelo discover \
+       --source Prices=b.csv --target Flights=a.csv \
+       --algorithm rbfs --heuristic cosine
+
+     tupelo discover --source i.csv --target o.csv \
+       --semfun 'λtotal/2[Cost,AgentFee>TotalCost]:100␟15→115' ...
+
+   See README.md for a walkthrough. *)
+
+open Cmdliner
+open Relational
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* "Name=path.csv" or bare "path.csv" (relation named after the file). *)
+let parse_rel_spec spec =
+  match String.index_opt spec '=' with
+  | Some i ->
+      (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+  | None ->
+      let base = Filename.remove_extension (Filename.basename spec) in
+      (base, spec)
+
+let load_database specs =
+  List.fold_left
+    (fun db spec ->
+      let name, path = parse_rel_spec spec in
+      Database.add db name (Csv.parse_relation (read_file path)))
+    Database.empty specs
+
+(* --- common options --- *)
+
+let source_arg =
+  Arg.(
+    non_empty
+    & opt_all string []
+    & info [ "s"; "source" ] ~docv:"REL=FILE.csv"
+        ~doc:"Source critical-instance relation (repeatable).")
+
+let target_arg =
+  Arg.(
+    non_empty
+    & opt_all string []
+    & info [ "t"; "target" ] ~docv:"REL=FILE.csv"
+        ~doc:"Target critical-instance relation (repeatable).")
+
+let algorithm_arg =
+  Arg.(
+    value
+    & opt string "rbfs"
+    & info [ "a"; "algorithm" ] ~docv:"ALG"
+        ~doc:"Search algorithm: ida, ida-tt, rbfs, astar, greedy, beam[:W] or bfs.")
+
+let heuristic_arg =
+  Arg.(
+    value
+    & opt string "cosine"
+    & info [ "H"; "heuristic" ] ~docv:"H"
+        ~doc:
+          "Search heuristic: h0, h1, h2, h3, euclid, euclid-norm, cosine or \
+           levenshtein.")
+
+let goal_arg =
+  Arg.(
+    value
+    & opt string "superset"
+    & info [ "g"; "goal" ] ~docv:"MODE"
+        ~doc:"Goal test: superset (the paper's) or exact.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt int 1_000_000
+    & info [ "b"; "budget" ] ~docv:"N"
+        ~doc:"Give up after examining $(docv) states.")
+
+let semfun_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "f"; "semfun" ] ~docv:"ANNOTATION"
+        ~doc:
+          "Complex semantic function as a TNF annotation string \
+           (repeatable; one per example).")
+
+let paper_arg =
+  Arg.(
+    value & flag
+    & info [ "paper-notation" ]
+        ~doc:"Print the mapping in the paper's R1 := … notation.")
+
+let save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "save" ] ~docv:"FILE"
+        ~doc:"Write the discovered mapping expression to $(docv) (replayable               with the apply subcommand).")
+
+let run_on_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "run-on" ] ~docv:"REL=FILE.csv"
+        ~doc:
+          "After discovery, execute the mapping on this instance of the \
+           source schema and print the result (repeatable).")
+
+let fail fmt = Format.kasprintf (fun m -> `Error (false, m)) fmt
+
+(* --- discover --- *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let discover_cmd_run source target algorithm heuristic goal budget semfuns
+    paper save run_on =
+  try
+    let source = load_database source in
+    let target = load_database target in
+    let registry =
+      Fira.Semfun.of_list (Fira.Semfun.decode_annotations semfuns)
+    in
+    let algorithm_opt = Tupelo.Discover.algorithm_of_string algorithm in
+    match algorithm_opt with
+    | None -> fail "unknown algorithm %S" algorithm
+    | Some alg -> (
+        let scaling = Tupelo.Discover.scaling_for alg in
+        let heuristic_opt = Heuristics.Heuristic.by_name scaling heuristic in
+        let goal_opt = Tupelo.Goal.mode_of_string goal in
+        match (heuristic_opt, goal_opt) with
+        | None, _ -> fail "unknown heuristic %S" heuristic
+        | _, None -> fail "unknown goal mode %S" goal
+        | Some heuristic, Some goal -> (
+            let config =
+              Tupelo.Discover.config ~algorithm:alg ~heuristic ~goal ~budget ()
+            in
+            match Tupelo.Discover.discover ~registry config ~source ~target with
+            | Tupelo.Discover.Mapping m ->
+                Printf.printf
+                  "discovered: %d operators, %d states examined, %.3fs\n\n"
+                  (Tupelo.Mapping.length m)
+                  m.Tupelo.Mapping.stats.Search.Space.examined
+                  m.Tupelo.Mapping.stats.Search.Space.elapsed_s;
+                print_endline
+                  (if paper then Fira.Expr.to_paper_string m.Tupelo.Mapping.expr
+                   else Fira.Expr.to_string m.Tupelo.Mapping.expr);
+                (match save with
+                | Some path ->
+                    write_file path
+                      (Fira.Parser.expr_to_file_string m.Tupelo.Mapping.expr);
+                    Printf.printf "\nmapping saved to %s\n" path
+                | None -> ());
+                if run_on <> [] then begin
+                  let instance = load_database run_on in
+                  print_endline "\nresult of executing the mapping:";
+                  print_endline
+                    (Database.to_string
+                       (Tupelo.Mapping.apply registry m instance))
+                end;
+                `Ok ()
+            | Tupelo.Discover.No_mapping stats ->
+                Printf.printf
+                  "no mapping exists in the (budgeted) space; %d states \
+                   examined\n"
+                  stats.Search.Space.examined;
+                `Ok ()
+            | Tupelo.Discover.Gave_up stats ->
+                Printf.printf "gave up after %d states\n"
+                  stats.Search.Space.examined;
+                `Ok ()))
+  with
+  | Sys_error m | Csv.Error m | Database.Error m | Fira.Semfun.Error m ->
+      fail "%s" m
+
+let discover_cmd =
+  let doc = "discover a mapping expression between two critical instances" in
+  Cmd.v
+    (Cmd.info "discover" ~doc)
+    Term.(
+      ret
+        (const discover_cmd_run $ source_arg $ target_arg $ algorithm_arg
+       $ heuristic_arg $ goal_arg $ budget_arg $ semfun_arg $ paper_arg
+       $ save_arg $ run_on_arg))
+
+(* --- apply --- *)
+
+let apply_cmd_run mapping_path instance semfuns csv_out =
+  try
+    let text = read_file mapping_path in
+    match Fira.Parser.expr_of_string text with
+    | Error m -> fail "%s: %s" mapping_path m
+    | Ok expr ->
+        let registry =
+          Fira.Semfun.of_list (Fira.Semfun.decode_annotations semfuns)
+        in
+        let db = load_database instance in
+        let result = Fira.Expr.eval registry expr db in
+        (match csv_out with
+        | None -> print_endline (Database.to_string result)
+        | Some dir ->
+            List.iter
+              (fun (name, rel) ->
+                let path = Filename.concat dir (name ^ ".csv") in
+                write_file path (Csv.print_relation rel);
+                Printf.printf "wrote %s\n" path)
+              (Database.relations result));
+        `Ok ()
+  with
+  | Sys_error m | Csv.Error m | Database.Error m | Fira.Semfun.Error m
+  | Fira.Eval.Error m ->
+      fail "%s" m
+
+let apply_cmd =
+  let doc = "execute a saved mapping expression on an instance" in
+  let mapping =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "m"; "mapping" ] ~docv:"FILE"
+          ~doc:"Mapping expression file (from discover --save).")
+  in
+  let instance =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"REL=FILE.csv" ~doc:"Instance to transform.")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv-out" ] ~docv:"DIR"
+          ~doc:"Write each result relation as a CSV file into $(docv).")
+  in
+  Cmd.v (Cmd.info "apply" ~doc)
+    Term.(
+      ret (const apply_cmd_run $ mapping $ instance $ semfun_arg $ csv_out))
+
+(* --- tnf --- *)
+
+let tnf_cmd_run inputs as_sql =
+  try
+    let db = load_database inputs in
+    if as_sql then print_string (Tnf.sql_script db)
+    else print_endline (Relation.to_string (Tnf.encode db));
+    `Ok ()
+  with Sys_error m | Csv.Error m | Database.Error m -> fail "%s" m
+
+let tnf_cmd =
+  let doc = "print the Tuple Normal Form of a database" in
+  let inputs =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"REL=FILE.csv" ~doc:"Relations to encode.")
+  in
+  let as_sql =
+    Arg.(
+      value & flag
+      & info [ "sql" ]
+          ~doc:"Emit the SQL script that materializes the TNF instead.")
+  in
+  Cmd.v (Cmd.info "tnf" ~doc) Term.(ret (const tnf_cmd_run $ inputs $ as_sql))
+
+(* --- sql --- *)
+
+let sql_cmd_run inputs script_path =
+  try
+    let db = load_database inputs in
+    let script = read_file script_path in
+    let results = Sql.exec_script db script in
+    List.iter
+      (fun r ->
+        match r.Sql.relation with
+        | Some rel -> print_endline (Relation.to_string rel)
+        | None -> ())
+      results;
+    `Ok ()
+  with
+  | Sys_error m | Csv.Error m | Database.Error m | Sql.Error m -> fail "%s" m
+
+let sql_cmd =
+  let doc = "run a SQL script against CSV-loaded relations" in
+  let inputs =
+    Arg.(
+      value & opt_all string []
+      & info [ "load" ] ~docv:"REL=FILE.csv" ~doc:"Relations to load first.")
+  in
+  let script =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCRIPT.sql" ~doc:"SQL script to execute.")
+  in
+  Cmd.v (Cmd.info "sql" ~doc) Term.(ret (const sql_cmd_run $ inputs $ script))
+
+(* --- demo --- *)
+
+let demo_cmd_run () =
+  print_endline "Fig. 1 of the paper: three representations of flight fares.\n";
+  List.iter
+    (fun (name, source, target) ->
+      let config =
+        Tupelo.Discover.config ~algorithm:Tupelo.Discover.Ida
+          ~heuristic:Heuristics.Heuristic.h1 ~budget:500_000 ()
+      in
+      match
+        Tupelo.Discover.discover ~registry:Workloads.Flights.registry config
+          ~source ~target
+      with
+      | Tupelo.Discover.Mapping m ->
+          Printf.printf "%s (%d states):\n%s\n\n" name
+            m.Tupelo.Mapping.stats.Search.Space.examined
+            (Fira.Expr.to_paper_string m.Tupelo.Mapping.expr)
+      | _ -> Printf.printf "%s: not found\n" name)
+    Workloads.Flights.pairs;
+  `Ok ()
+
+let demo_cmd =
+  let doc = "run the built-in Fig. 1 flights demonstration" in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(ret (const demo_cmd_run $ const ()))
+
+let main_cmd =
+  let doc = "data mapping as search (TUPELO, EDBT 2006)" in
+  let info = Cmd.info "tupelo" ~version:"1.0.0" ~doc in
+  Cmd.group info [ discover_cmd; apply_cmd; tnf_cmd; sql_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/complex_semantics.ml: Database Fira Heuristics Printf Relation Relational Search Tupelo Workloads

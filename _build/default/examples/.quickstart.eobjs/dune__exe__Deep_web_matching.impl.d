@@ -1,0 +1,1 @@
+examples/deep_web_matching.ml: Database Fira Heuristics List Printf Relational Search Tupelo Workloads

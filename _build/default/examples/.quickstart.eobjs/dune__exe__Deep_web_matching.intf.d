@@ -1,0 +1,1 @@
+examples/deep_web_matching.mli:

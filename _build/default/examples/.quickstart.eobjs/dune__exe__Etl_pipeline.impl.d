@@ -1,0 +1,1 @@
+examples/etl_pipeline.ml: Database Fira Heuristics List Printf Relation Relational Search Tupelo Value

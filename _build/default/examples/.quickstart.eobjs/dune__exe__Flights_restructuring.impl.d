@@ -1,0 +1,1 @@
+examples/flights_restructuring.ml: Database Fira Heuristics List Printf Relation Relational Search Tnf Tupelo Workloads

@@ -1,0 +1,1 @@
+examples/flights_restructuring.mli:

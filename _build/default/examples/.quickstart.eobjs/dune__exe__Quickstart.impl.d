@@ -1,0 +1,1 @@
+examples/quickstart.ml: Database Fira Printf Relation Relational Search Tupelo Value

@@ -1,0 +1,55 @@
+(* Complex semantic mapping (the paper's §4 / Experiment 3 setting):
+   discover a mapping whose target columns are computed by black-box
+   functions, then execute it — with real function implementations — on a
+   full-size instance the search never saw.
+
+   Run with:  dune exec examples/complex_semantics.exe *)
+
+open Relational
+
+let () =
+  let k = 5 in
+  let task = Workloads.Inventory.task k in
+  Printf.printf "Source critical instance:\n%s\n\n"
+    (Database.to_string task.Workloads.Inventory.source);
+  Printf.printf "Target critical instance (%d computed columns):\n%s\n\n" k
+    (Database.to_string task.Workloads.Inventory.target);
+  let config =
+    Tupelo.Discover.config ~algorithm:Tupelo.Discover.Ida
+      ~heuristic:Heuristics.Heuristic.h1 ()
+  in
+  match
+    Tupelo.Discover.discover ~registry:task.Workloads.Inventory.registry
+      config ~source:task.Workloads.Inventory.source
+      ~target:task.Workloads.Inventory.target
+  with
+  | Tupelo.Discover.Mapping m ->
+      Printf.printf "Discovered in %d states:\n%s\n\n"
+        m.Tupelo.Mapping.stats.Search.Space.examined
+        (Fira.Expr.to_paper_string m.Tupelo.Mapping.expr);
+      (* A full instance with products the critical instance never
+         mentioned: the λ implementations compute the derived columns. *)
+      let full_instance =
+        Database.of_list
+          [
+            ( "Inventory",
+              Relation.of_strings
+                [ "item"; "category"; "brand"; "model"; "unit_price";
+                  "quantity"; "cost"; "discount"; "weight_lb"; "sale_price" ]
+                [
+                  [ "S310"; "sprockets"; "Initech"; "TPS"; "12"; "120"; "5";
+                    "1"; "3"; "14" ];
+                  [ "D444"; "doohickeys"; "Vandelay"; "Latex"; "95"; "4";
+                    "60"; "10"; "40"; "110" ];
+                  [ "F771"; "flanges"; "Acme"; "Mark-IV"; "33"; "17"; "20";
+                    "2"; "15"; "39" ];
+                ] );
+          ]
+      in
+      print_endline "Mapping executed on a full instance (never searched):";
+      print_endline
+        (Database.to_string
+           (Tupelo.Mapping.apply task.Workloads.Inventory.registry m
+              full_instance))
+  | Tupelo.Discover.No_mapping _ -> print_endline "no mapping exists"
+  | Tupelo.Discover.Gave_up _ -> print_endline "budget exceeded"

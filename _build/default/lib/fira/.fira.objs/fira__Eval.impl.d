@@ -1,0 +1,1 @@
+lib/fira/eval.ml: Algebra Database Format List Op Printf Relation Relational Row Schema Semfun Value

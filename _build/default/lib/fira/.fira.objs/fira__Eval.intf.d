@@ -1,0 +1,1 @@
+lib/fira/eval.mli: Database Op Relational Semfun

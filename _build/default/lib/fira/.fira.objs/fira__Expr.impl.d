@@ -1,0 +1,1 @@
+lib/fira/expr.ml: Eval Format List Op Printf String

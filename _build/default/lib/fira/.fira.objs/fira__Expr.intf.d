@@ -1,0 +1,1 @@
+lib/fira/expr.mli: Database Format Op Relational Semfun

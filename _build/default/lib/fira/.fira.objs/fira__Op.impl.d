@@ -1,0 +1,1 @@
+lib/fira/op.ml: Format Pred_syntax Printf Relational Stdlib String

@@ -1,0 +1,1 @@
+lib/fira/op.mli: Format Relational

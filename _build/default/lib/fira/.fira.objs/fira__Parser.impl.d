@@ -1,0 +1,1 @@
+lib/fira/parser.ml: Expr List Op Pred_syntax Printf Result String

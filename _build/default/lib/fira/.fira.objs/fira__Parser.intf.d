@@ -1,0 +1,1 @@
+lib/fira/parser.mli: Expr Op

@@ -1,0 +1,1 @@
+lib/fira/pred_syntax.ml: Algebra Buffer Format List Printf Relational String Value

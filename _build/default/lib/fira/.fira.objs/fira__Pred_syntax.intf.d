@@ -1,0 +1,1 @@
+lib/fira/pred_syntax.mli: Algebra Relational

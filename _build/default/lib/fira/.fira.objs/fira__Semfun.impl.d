@@ -1,0 +1,1 @@
+lib/fira/semfun.ml: Format Hashtbl List Map Printf Relational String Value

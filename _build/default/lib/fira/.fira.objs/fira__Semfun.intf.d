@@ -1,0 +1,1 @@
+lib/fira/semfun.mli: Relational Value

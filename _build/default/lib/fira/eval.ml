@@ -1,0 +1,175 @@
+open Relational
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let explain_inapplicable registry op db =
+  let rel_exists name k =
+    match Database.find_opt db name with
+    | None -> Some (Printf.sprintf "no relation %S" name)
+    | Some r -> k r
+  in
+  let has_col r name k =
+    if Schema.mem (Relation.schema r) name then k ()
+    else Some (Printf.sprintf "no column %S" name)
+  in
+  let no_col r name k =
+    if Schema.mem (Relation.schema r) name then
+      Some (Printf.sprintf "column %S already present" name)
+    else k ()
+  in
+  match op with
+  | Op.Promote { rel; name_col; value_col } ->
+      rel_exists rel (fun r ->
+          has_col r name_col (fun () -> has_col r value_col (fun () -> None)))
+  | Op.Demote { rel; att_att; rel_att } ->
+      rel_exists rel (fun r ->
+          if att_att = rel_att then Some "demote columns must differ"
+          else no_col r att_att (fun () -> no_col r rel_att (fun () -> None)))
+  | Op.Dereference { rel; target; pointer_col } ->
+      rel_exists rel (fun r ->
+          has_col r pointer_col (fun () -> no_col r target (fun () -> None)))
+  | Op.Partition { rel; col } ->
+      rel_exists rel (fun r ->
+          has_col r col (fun () ->
+              (* Every group name must be usable and must not clash with a
+                 surviving relation. *)
+              let clashes =
+                List.filter_map
+                  (fun v ->
+                    match v with
+                    | Value.Null -> None
+                    | v ->
+                        let name = Value.to_string v in
+                        if name = "" then Some "empty group name"
+                        else if Database.mem db name && name <> rel then
+                          Some (Printf.sprintf "relation %S already exists" name)
+                        else None)
+                  (Relation.column_distinct r col)
+              in
+              match clashes with [] -> None | reason :: _ -> Some reason))
+  | Op.Product { left; right; out } ->
+      rel_exists left (fun l ->
+          rel_exists right (fun r ->
+              if Database.mem db out then
+                Some (Printf.sprintf "relation %S already exists" out)
+              else if Schema.inter (Relation.schema l) (Relation.schema r) <> []
+              then Some "product operands share attributes"
+              else None))
+  | Op.Drop { rel; col } ->
+      rel_exists rel (fun r ->
+          has_col r col (fun () ->
+              if Schema.arity (Relation.schema r) <= 1 then
+                Some "cannot drop the last column"
+              else None))
+  | Op.Merge { rel; col } -> rel_exists rel (fun r -> has_col r col (fun () -> None))
+  | Op.RenameAtt { rel; old_name; new_name } ->
+      rel_exists rel (fun r ->
+          has_col r old_name (fun () ->
+              if old_name = new_name then Some "rename to same name"
+              else no_col r new_name (fun () -> None)))
+  | Op.RenameRel { old_name; new_name } ->
+      rel_exists old_name (fun _ ->
+          if old_name = new_name then Some "rename to same name"
+          else if Database.mem db new_name then
+            Some (Printf.sprintf "relation %S already exists" new_name)
+          else None)
+  | Op.Union { left; right; out } | Op.Diff { left; right; out } ->
+      rel_exists left (fun l ->
+          rel_exists right (fun r ->
+              if not (Schema.equal (Relation.schema l) (Relation.schema r))
+              then Some "operand schemas differ"
+              else if Database.mem db out && out <> left && out <> right then
+                Some (Printf.sprintf "relation %S already exists" out)
+              else None))
+  | Op.Join { left; right; out } ->
+      rel_exists left (fun _ ->
+          rel_exists right (fun _ ->
+              if Database.mem db out && out <> left && out <> right then
+                Some (Printf.sprintf "relation %S already exists" out)
+              else None))
+  | Op.Select { rel; pred = _ } -> rel_exists rel (fun _ -> None)
+  | Op.Apply { rel; func; inputs; output } ->
+      rel_exists rel (fun r ->
+          match Semfun.find registry func with
+          | None -> Some (Printf.sprintf "unknown function %S" func)
+          | Some f ->
+              if Semfun.arity f <> List.length inputs then
+                Some
+                  (Printf.sprintf "function %S has arity %d, got %d inputs"
+                     func (Semfun.arity f) (List.length inputs))
+              else
+                let rec check = function
+                  | [] -> no_col r output (fun () -> None)
+                  | a :: rest ->
+                      if Schema.mem (Relation.schema r) a then check rest
+                      else Some (Printf.sprintf "no column %S" a)
+                in
+                check inputs)
+
+let applicable registry op db = explain_inapplicable registry op db = None
+
+let apply_with ~semantics registry op db =
+  (match explain_inapplicable registry op db with
+  | Some reason -> error "fira: %s inapplicable: %s" (Op.to_string op) reason
+  | None -> ());
+  match op with
+  | Op.Promote { rel; name_col; value_col } ->
+      Database.add db rel
+        (Relation.promote (Database.find db rel) ~name_col ~value_col)
+  | Op.Demote { rel; att_att; rel_att } ->
+      Database.add db rel
+        (Relation.demote (Database.find db rel) ~rel_name:rel ~att_att ~rel_att)
+  | Op.Dereference { rel; target; pointer_col } ->
+      Database.add db rel
+        (Relation.dereference (Database.find db rel) ~target ~pointer_col)
+  | Op.Partition { rel; col } ->
+      let r = Database.find db rel in
+      let groups = Relation.partition r col in
+      let db = Database.remove db rel in
+      List.fold_left
+        (fun db (v, group) -> Database.add db (Value.to_string v) group)
+        db groups
+  | Op.Product { left; right; out } ->
+      Database.add db out
+        (Relation.product (Database.find db left) (Database.find db right))
+  | Op.Drop { rel; col } ->
+      Database.add db rel (Relation.project_away (Database.find db rel) col)
+  | Op.Merge { rel; col } ->
+      Database.add db rel (Relation.merge (Database.find db rel) col)
+  | Op.RenameAtt { rel; old_name; new_name } ->
+      Database.add db rel
+        (Relation.rename_att (Database.find db rel) ~old_name ~new_name)
+  | Op.RenameRel { old_name; new_name } ->
+      Database.rename_rel db ~old_name ~new_name
+  | Op.Union { left; right; out } ->
+      Database.add db out
+        (Relation.union (Database.find db left) (Database.find db right))
+  | Op.Diff { left; right; out } ->
+      Database.add db out
+        (Relation.diff (Database.find db left) (Database.find db right))
+  | Op.Join { left; right; out } ->
+      Database.add db out
+        (Algebra.natural_join (Database.find db left) (Database.find db right))
+  | Op.Select { rel; pred } ->
+      Database.add db rel
+        (Relation.select (Database.find db rel) (Algebra.eval_pred pred))
+  | Op.Apply { rel; func; inputs; output } ->
+      let f = Semfun.find_exn registry func in
+      let eval_one ins =
+        match semantics with
+        | `Full -> Semfun.apply f ins
+        | `Syntactic -> (
+            match Semfun.apply_example f ins with
+            | Some v -> v
+            | None -> Value.Null)
+      in
+      Database.add db rel
+        (Relation.extend (Database.find db rel) output (fun schema row ->
+             eval_one (List.map (fun a -> Row.get schema row a) inputs)))
+
+let apply registry op db = apply_with ~semantics:`Full registry op db
+
+let apply_syntactic registry op db =
+  apply_with ~semantics:`Syntactic registry op db

@@ -1,0 +1,22 @@
+(** Evaluation of ℒ operators over databases. *)
+
+open Relational
+
+exception Error of string
+
+val applicable : Semfun.registry -> Op.t -> Database.t -> bool
+(** Precondition check: would {!apply} succeed? (Relations and columns
+    exist, names do not clash, λ functions are registered with matching
+    arity, ….) Never raises. *)
+
+val explain_inapplicable : Semfun.registry -> Op.t -> Database.t -> string option
+(** [None] when applicable, otherwise a human-readable reason. *)
+
+val apply : Semfun.registry -> Op.t -> Database.t -> Database.t
+(** Apply one operator. λ applications use {!Semfun.apply} (implementation
+    if present, otherwise the example table). @raise Error when the
+    operator is not applicable. *)
+
+val apply_syntactic : Semfun.registry -> Op.t -> Database.t -> Database.t
+(** Like {!apply} but λ uses only {!Semfun.apply_example} — the search-time
+    semantics in which functions stay black boxes (§4). *)

@@ -1,0 +1,93 @@
+type t =
+  | Promote of { rel : string; name_col : string; value_col : string }
+  | Demote of { rel : string; att_att : string; rel_att : string }
+  | Dereference of { rel : string; target : string; pointer_col : string }
+  | Partition of { rel : string; col : string }
+  | Product of { left : string; right : string; out : string }
+  | Drop of { rel : string; col : string }
+  | Merge of { rel : string; col : string }
+  | RenameAtt of { rel : string; old_name : string; new_name : string }
+  | RenameRel of { old_name : string; new_name : string }
+  | Apply of { rel : string; func : string; inputs : string list; output : string }
+  | Union of { left : string; right : string; out : string }
+  | Diff of { left : string; right : string; out : string }
+  | Join of { left : string; right : string; out : string }
+  | Select of { rel : string; pred : Relational.Algebra.pred }
+
+let is_core = function
+  | Union _ | Diff _ | Join _ | Select _ -> false
+  | _ -> true
+
+let demote ?(att_att = "ATT") ?(rel_att = "REL") rel =
+  Demote { rel; att_att; rel_att }
+
+let rel_of = function
+  | Promote { rel; _ }
+  | Demote { rel; _ }
+  | Dereference { rel; _ }
+  | Partition { rel; _ }
+  | Drop { rel; _ }
+  | Merge { rel; _ }
+  | RenameAtt { rel; _ }
+  | Apply { rel; _ } ->
+      Some rel
+  | RenameRel { old_name; _ } -> Some old_name
+  | Select { rel; _ } -> Some rel
+  | Product _ | Union _ | Diff _ | Join _ -> None
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let to_string = function
+  | Promote { rel; name_col; value_col } ->
+      Printf.sprintf "promote[%s/%s](%s)" name_col value_col rel
+  | Demote { rel; att_att; rel_att } ->
+      Printf.sprintf "demote[%s,%s](%s)" att_att rel_att rel
+  | Dereference { rel; target; pointer_col } ->
+      Printf.sprintf "deref[%s<-*%s](%s)" target pointer_col rel
+  | Partition { rel; col } -> Printf.sprintf "partition[%s](%s)" col rel
+  | Product { left; right; out } ->
+      Printf.sprintf "product[%s](%s, %s)" out left right
+  | Drop { rel; col } -> Printf.sprintf "drop[%s](%s)" col rel
+  | Merge { rel; col } -> Printf.sprintf "merge[%s](%s)" col rel
+  | RenameAtt { rel; old_name; new_name } ->
+      Printf.sprintf "rename_att[%s->%s](%s)" old_name new_name rel
+  | RenameRel { old_name; new_name } ->
+      Printf.sprintf "rename_rel[%s->%s]" old_name new_name
+  | Apply { rel; func; inputs; output } ->
+      Printf.sprintf "apply[%s(%s)->%s](%s)" func (String.concat "," inputs)
+        output rel
+  | Union { left; right; out } ->
+      Printf.sprintf "union[%s](%s, %s)" out left right
+  | Diff { left; right; out } ->
+      Printf.sprintf "diff[%s](%s, %s)" out left right
+  | Join { left; right; out } ->
+      Printf.sprintf "join[%s](%s, %s)" out left right
+  | Select { rel; pred } ->
+      Printf.sprintf "select[%s](%s)" (Pred_syntax.to_string pred) rel
+
+let to_paper_string = function
+  | Promote { rel; name_col; value_col } ->
+      Printf.sprintf "\xe2\x86\x91^%s_%s(%s)" value_col name_col rel
+  | Demote { rel; _ } -> Printf.sprintf "\xe2\x86\x93(%s)" rel
+  | Dereference { rel; target; pointer_col } ->
+      Printf.sprintf "\xe2\x86\x92^%s_%s(%s)" target pointer_col rel
+  | Partition { rel; col } -> Printf.sprintf "\xe2\x84\x98_%s(%s)" col rel
+  | Product { left; right; _ } -> Printf.sprintf "\xc3\x97(%s, %s)" left right
+  | Drop { rel; col } -> Printf.sprintf "\xcf\x80\xcc\x85_%s(%s)" col rel
+  | Merge { rel; col } -> Printf.sprintf "\xc2\xb5_%s(%s)" col rel
+  | RenameAtt { rel; old_name; new_name } ->
+      Printf.sprintf "\xcf\x81^att_%s\xe2\x86\x92%s(%s)" old_name new_name rel
+  | RenameRel { old_name; new_name } ->
+      Printf.sprintf "\xcf\x81^rel_%s\xe2\x86\x92%s" old_name new_name
+  | Apply { rel; func; inputs; output } ->
+      Printf.sprintf "\xce\xbb^%s_%s,%s(%s)" output func
+        (String.concat "," inputs) rel
+  | Union { left; right; _ } -> Printf.sprintf "\xe2\x88\xaa(%s, %s)" left right
+  | Diff { left; right; _ } -> Printf.sprintf "\xe2\x88\x92(%s, %s)" left right
+  | Join { left; right; _ } ->
+      Printf.sprintf "\xe2\x8b\x88(%s, %s)" left right
+  | Select { rel; pred } ->
+      Printf.sprintf "\xcf\x83_%s(%s)" (Pred_syntax.to_string pred) rel
+
+let pp ppf op = Format.pp_print_string ppf (to_string op)

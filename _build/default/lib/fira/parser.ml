@@ -1,0 +1,165 @@
+let ( let* ) = Result.bind
+
+(* Split "head[body](args)" into (head, body, Some args), or
+   "head[body]" into (head, body, None). *)
+let dissect line =
+  match String.index_opt line '[' with
+  | None -> Error "expected '[' after operator name"
+  | Some lb -> (
+      let head = String.sub line 0 lb in
+      match String.rindex_opt line ']' with
+      | None -> Error "expected ']'"
+      | Some rb when rb < lb -> Error "mismatched brackets"
+      | Some rb ->
+          let body = String.sub line (lb + 1) (rb - lb - 1) in
+          let rest = String.sub line (rb + 1) (String.length line - rb - 1) in
+          let rest = String.trim rest in
+          if rest = "" then Ok (head, body, None)
+          else if
+            String.length rest >= 2
+            && rest.[0] = '('
+            && rest.[String.length rest - 1] = ')'
+          then Ok (head, body, Some (String.sub rest 1 (String.length rest - 2)))
+          else Error "expected '(relation)' after ']'")
+
+let split_once ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub hay i nl = needle then
+      Some (String.sub hay 0 i, String.sub hay (i + nl) (hl - i - nl))
+    else go (i + 1)
+  in
+  go 0
+
+let require_rel = function
+  | Some r when r <> "" -> Ok r
+  | _ -> Error "missing relation argument"
+
+let nonempty what s = if s = "" then Error ("empty " ^ what) else Ok s
+
+let op_of_string line =
+  let line = String.trim line in
+  let* head, body, args = dissect line in
+  match head with
+  | "promote" ->
+      let* rel = require_rel args in
+      let* name_col, value_col =
+        match split_once ~needle:"/" body with
+        | Some (a, b) -> Ok (a, b)
+        | None -> Error "promote expects [name/value]"
+      in
+      Ok (Op.Promote { rel; name_col; value_col })
+  | "demote" ->
+      let* rel = require_rel args in
+      let* att_att, rel_att =
+        match String.split_on_char ',' body with
+        | [ a; b ] -> Ok (a, b)
+        | _ -> Error "demote expects [attcol,relcol]"
+      in
+      Ok (Op.Demote { rel; att_att; rel_att })
+  | "deref" ->
+      let* rel = require_rel args in
+      let* target, pointer_col =
+        match split_once ~needle:"<-*" body with
+        | Some (a, b) -> Ok (a, b)
+        | None -> Error "deref expects [target<-*pointer]"
+      in
+      Ok (Op.Dereference { rel; target; pointer_col })
+  | "partition" ->
+      let* rel = require_rel args in
+      let* col = nonempty "column" body in
+      Ok (Op.Partition { rel; col })
+  | "union" | "diff" | "join" ->
+      let* operands = require_rel args in
+      let* out = nonempty "output name" body in
+      let* left, right =
+        match split_once ~needle:", " operands with
+        | Some (l, r) -> Ok (l, r)
+        | None -> Error (head ^ " expects (left, right)")
+      in
+      Ok
+        (match head with
+        | "union" -> Op.Union { left; right; out }
+        | "diff" -> Op.Diff { left; right; out }
+        | _ -> Op.Join { left; right; out })
+  | "select" ->
+      let* rel = require_rel args in
+      let* pred =
+        match Pred_syntax.of_string body with
+        | Ok p -> Ok p
+        | Error m -> Error ("bad predicate: " ^ m)
+      in
+      Ok (Op.Select { rel; pred })
+  | "product" ->
+      let* operands = require_rel args in
+      let* out = nonempty "output name" body in
+      let* left, right =
+        match split_once ~needle:", " operands with
+        | Some (l, r) -> Ok (l, r)
+        | None -> Error "product expects (left, right)"
+      in
+      Ok (Op.Product { left; right; out })
+  | "drop" ->
+      let* rel = require_rel args in
+      let* col = nonempty "column" body in
+      Ok (Op.Drop { rel; col })
+  | "merge" ->
+      let* rel = require_rel args in
+      let* col = nonempty "column" body in
+      Ok (Op.Merge { rel; col })
+  | "rename_att" ->
+      let* rel = require_rel args in
+      let* old_name, new_name =
+        match split_once ~needle:"->" body with
+        | Some (a, b) -> Ok (a, b)
+        | None -> Error "rename_att expects [old->new]"
+      in
+      Ok (Op.RenameAtt { rel; old_name; new_name })
+  | "rename_rel" ->
+      if args <> None then Error "rename_rel takes no relation argument"
+      else
+        let* old_name, new_name =
+          match split_once ~needle:"->" body with
+          | Some (a, b) -> Ok (a, b)
+          | None -> Error "rename_rel expects [old->new]"
+        in
+        Ok (Op.RenameRel { old_name; new_name })
+  | "apply" ->
+      let* rel = require_rel args in
+      (* body = func(in1,in2,...)->out *)
+      let* call, output =
+        match split_once ~needle:")->" body with
+        | Some (a, b) -> Ok (a ^ ")", b)
+        | None -> Error "apply expects [f(inputs)->output]"
+      in
+      let* func, inputs =
+        match String.index_opt call '(' with
+        | Some i when call.[String.length call - 1] = ')' ->
+            let func = String.sub call 0 i in
+            let ins = String.sub call (i + 1) (String.length call - i - 2) in
+            Ok (func, if ins = "" then [] else String.split_on_char ',' ins)
+        | _ -> Error "apply expects a parenthesized input list"
+      in
+      let* func = nonempty "function name" func in
+      let* output = nonempty "output attribute" output in
+      Ok (Op.Apply { rel; func; inputs; output })
+  | other -> Error (Printf.sprintf "unknown operator %S" other)
+
+let expr_of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (Expr.of_ops (List.rev acc))
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go acc (lineno + 1) rest
+        else (
+          match op_of_string trimmed with
+          | Ok op -> go (op :: acc) (lineno + 1) rest
+          | Error m -> Error (Printf.sprintf "line %d: %s" lineno m))
+  in
+  go [] 1 lines
+
+let expr_to_file_string expr =
+  "# tupelo mapping expression (one ℒ operator per line, applied top to bottom)\n"
+  ^ Expr.to_string expr ^ "\n"

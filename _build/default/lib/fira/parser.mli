@@ -1,0 +1,25 @@
+(** Parser for the compact ASCII form of ℒ expressions produced by
+    {!Op.to_string} / {!Expr.to_string} — one operator per line, e.g.
+
+    {v
+    promote[Route/Cost](Prices)
+    drop[Route](Prices)
+    merge[Carrier](Prices)
+    rename_rel[Prices->Flights]
+    v}
+
+    This makes discovered mappings round-trippable: the CLI saves a mapping
+    to a file and executes it later without re-searching. Blank lines and
+    lines starting with [#] are ignored. Names may contain any characters
+    except the delimiters of their position (brackets, parentheses, [,],
+    [/], [->]); everything the system itself generates round-trips. *)
+
+val op_of_string : string -> (Op.t, string) result
+
+val expr_of_string : string -> (Expr.t, string) result
+(** Parse a whole expression (newline-separated operators). Returns the
+    first error with its line number. *)
+
+val expr_to_file_string : Expr.t -> string
+(** {!Expr.to_string} plus a header comment; parses back with
+    {!expr_of_string}. *)

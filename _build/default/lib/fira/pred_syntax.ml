@@ -1,0 +1,228 @@
+open Relational
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let quote_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+let literal_to_string v =
+  match v with
+  | Value.String _ -> quote_string (Value.to_string v)
+  | _ -> Value.to_string v
+
+let operand_to_string ~rhs = function
+  | Algebra.Att a -> if rhs then "~" ^ a else a
+  | Algebra.Const v -> literal_to_string v
+
+let cmp_symbol = function
+  | Algebra.Eq -> "="
+  | Algebra.Neq -> "<>"
+  | Algebra.Lt -> "<"
+  | Algebra.Leq -> "<="
+  | Algebra.Gt -> ">"
+  | Algebra.Geq -> ">="
+
+let rec to_string = function
+  | Algebra.True -> "true"
+  | Algebra.False -> "false"
+  | Algebra.Not p -> "!(" ^ to_string p ^ ")"
+  | Algebra.And (a, b) -> "(" ^ to_string a ^ " & " ^ to_string b ^ ")"
+  | Algebra.Or (a, b) -> "(" ^ to_string a ^ " | " ^ to_string b ^ ")"
+  | Algebra.Cmp (c, l, r) ->
+      Printf.sprintf "%s %s %s"
+        (operand_to_string ~rhs:false l)
+        (cmp_symbol c)
+        (operand_to_string ~rhs:true r)
+  | Algebra.In (x, vs) ->
+      Printf.sprintf "%s in (%s)"
+        (operand_to_string ~rhs:false x)
+        (String.concat "; " (List.map literal_to_string vs))
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+type token =
+  | WORD of string       (* bare attribute name or keyword *)
+  | LIT of Value.t       (* quoted string or recognized literal *)
+  | TILDE_WORD of string (* ~att: attribute on the right-hand side *)
+  | OP of string
+  | LPAREN
+  | RPAREN
+  | SEMI
+  | AMP
+  | BAR
+  | BANG
+  | EOF
+
+exception Lex_error of string
+
+let tokenize input =
+  let n = String.length input in
+  let out = ref [] in
+  let emit t = out := t :: !out in
+  let i = ref 0 in
+  let is_word_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '-' || c = '+'
+  in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else
+      match c with
+      | '(' -> emit LPAREN; incr i
+      | ')' -> emit RPAREN; incr i
+      | ';' -> emit SEMI; incr i
+      | '&' -> emit AMP; incr i
+      | '|' -> emit BAR; incr i
+      | '!' -> emit BANG; incr i
+      | '=' -> emit (OP "="); incr i
+      | '<' ->
+          if !i + 1 < n && input.[!i + 1] = '>' then (emit (OP "<>"); i := !i + 2)
+          else if !i + 1 < n && input.[!i + 1] = '=' then (emit (OP "<="); i := !i + 2)
+          else (emit (OP "<"); incr i)
+      | '>' ->
+          if !i + 1 < n && input.[!i + 1] = '=' then (emit (OP ">="); i := !i + 2)
+          else (emit (OP ">"); incr i)
+      | '~' ->
+          incr i;
+          let start = !i in
+          while !i < n && is_word_char input.[!i] do incr i done;
+          if !i = start then raise (Lex_error "expected attribute after '~'");
+          emit (TILDE_WORD (String.sub input start (!i - start)))
+      | '\'' ->
+          let buf = Buffer.create 16 in
+          let rec scan j =
+            if j >= n then raise (Lex_error "unterminated string literal")
+            else if input.[j] = '\'' then
+              if j + 1 < n && input.[j + 1] = '\'' then begin
+                Buffer.add_char buf '\'';
+                scan (j + 2)
+              end
+              else j + 1
+            else begin
+              Buffer.add_char buf input.[j];
+              scan (j + 1)
+            end
+          in
+          i := scan (!i + 1);
+          emit (LIT (Value.String (Buffer.contents buf)))
+      | c when is_word_char c ->
+          let start = !i in
+          while !i < n && is_word_char input.[!i] do incr i done;
+          emit (WORD (String.sub input start (!i - start)))
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c))
+  done;
+  emit EOF;
+  List.rev !out
+
+type stream = { mutable toks : token list }
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Parse_error m)) fmt
+let peek s = match s.toks with [] -> EOF | t :: _ -> t
+let advance s = match s.toks with [] -> () | _ :: r -> s.toks <- r
+
+(* A bare word on the left is an attribute; on the right of a comparison it
+   is a literal unless written as ~word. *)
+let word_literal w = Value.of_string_guess w
+
+let parse_rhs s =
+  match peek s with
+  | LIT v -> advance s; Algebra.Const v
+  | TILDE_WORD a -> advance s; Algebra.Att a
+  | WORD w -> advance s; Algebra.Const (word_literal w)
+  | _ -> fail "expected literal or ~attribute"
+
+let parse_literal s =
+  match peek s with
+  | LIT v -> advance s; v
+  | WORD w -> advance s; word_literal w
+  | _ -> fail "expected literal"
+
+let cmp_of = function
+  | "=" -> Algebra.Eq
+  | "<>" -> Algebra.Neq
+  | "<" -> Algebra.Lt
+  | "<=" -> Algebra.Leq
+  | ">" -> Algebra.Gt
+  | ">=" -> Algebra.Geq
+  | o -> fail "unknown comparison %S" o
+
+let rec parse_or s =
+  let left = parse_and s in
+  if peek s = BAR then begin
+    advance s;
+    Algebra.Or (left, parse_or s)
+  end
+  else left
+
+and parse_and s =
+  let left = parse_not s in
+  if peek s = AMP then begin
+    advance s;
+    Algebra.And (left, parse_and s)
+  end
+  else left
+
+and parse_not s =
+  if peek s = BANG then begin
+    advance s;
+    Algebra.Not (parse_not s)
+  end
+  else parse_atom s
+
+and parse_atom s =
+  match peek s with
+  | LPAREN ->
+      advance s;
+      let p = parse_or s in
+      if peek s <> RPAREN then fail "expected ')'";
+      advance s;
+      p
+  | WORD "true" -> advance s; Algebra.True
+  | WORD "false" -> advance s; Algebra.False
+  | WORD att -> (
+      advance s;
+      match peek s with
+      | OP o ->
+          advance s;
+          Algebra.Cmp (cmp_of o, Algebra.Att att, parse_rhs s)
+      | WORD "in" ->
+          advance s;
+          if peek s <> LPAREN then fail "expected '(' after in";
+          advance s;
+          let rec items acc =
+            let v = parse_literal s in
+            match peek s with
+            | SEMI ->
+                advance s;
+                items (v :: acc)
+            | RPAREN ->
+                advance s;
+                List.rev (v :: acc)
+            | _ -> fail "expected ';' or ')' in membership list"
+          in
+          Algebra.In (Algebra.Att att, items [])
+      | _ -> fail "expected comparison or 'in' after attribute %S" att)
+  | _ -> fail "expected predicate"
+
+let of_string input =
+  match tokenize input with
+  | exception Lex_error m -> Error m
+  | toks -> (
+      let s = { toks } in
+      match parse_or s with
+      | exception Parse_error m -> Error m
+      | p -> if peek s = EOF then Ok p else Error "trailing input in predicate")

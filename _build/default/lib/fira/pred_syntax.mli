@@ -1,0 +1,23 @@
+(** Concrete syntax for σ predicates inside saved mapping expressions.
+
+    Grammar (precedence low→high: [|], [&], [!], atoms):
+
+    {v
+    pred  ::= pred '|' pred | pred '&' pred | '!' pred | '(' pred ')'
+            | atom
+    atom  ::= att op literal | att 'in' '(' literal ';' … ')'
+            | 'true' | 'false'
+    op    ::= '=' | '<>' | '<' | '<=' | '>' | '>='
+    v}
+
+    Attribute names are bare words (no quotes); literals are parsed with
+    [Value.of_string_guess], or single-quoted to force strings. The printer
+    emits exactly this syntax, so [of_string ∘ to_string = id] for every
+    predicate the system itself produces. Attribute-to-attribute
+    comparisons print as [att ~ att] with [~] prefixing the right-hand
+    attribute ([a = ~b]). *)
+
+open Relational
+
+val to_string : Algebra.pred -> string
+val of_string : string -> (Algebra.pred, string) result

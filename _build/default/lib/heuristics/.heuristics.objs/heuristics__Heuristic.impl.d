@@ -1,0 +1,1 @@
+lib/heuristics/heuristic.ml: Float List Profile Text Vector

@@ -1,0 +1,1 @@
+lib/heuristics/heuristic.mli: Profile

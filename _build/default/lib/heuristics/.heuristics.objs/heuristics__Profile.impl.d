@@ -1,0 +1,1 @@
+lib/heuristics/profile.ml: Database List Relation Relational Row Set String Tnf Value Vector

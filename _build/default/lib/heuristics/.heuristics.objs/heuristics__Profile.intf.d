@@ -1,0 +1,1 @@
+lib/heuristics/profile.mli: Database Relation Relational Set Vector

@@ -1,0 +1,1 @@
+lib/heuristics/text.ml: Array String

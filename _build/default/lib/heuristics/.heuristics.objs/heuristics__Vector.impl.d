@@ -1,0 +1,1 @@
+lib/heuristics/vector.ml: List Map

@@ -1,0 +1,103 @@
+module Strings = Profile.Strings
+
+type t = {
+  name : string;
+  estimate : target:Profile.t -> Profile.t -> int;
+}
+
+let h0 = { name = "h0"; estimate = (fun ~target:_ _ -> 0) }
+
+let card_diff a b = Strings.cardinal (Strings.diff a b)
+let card_inter a b = Strings.cardinal (Strings.inter a b)
+
+let h1_value ~target x =
+  card_diff target.Profile.rels x.Profile.rels
+  + card_diff target.Profile.atts x.Profile.atts
+  + card_diff target.Profile.values x.Profile.values
+
+let h1 = { name = "h1"; estimate = h1_value }
+
+let h2_value ~target x =
+  card_inter target.Profile.rels x.Profile.atts
+  + card_inter target.Profile.rels x.Profile.values
+  + card_inter target.Profile.atts x.Profile.rels
+  + card_inter target.Profile.atts x.Profile.values
+  + card_inter target.Profile.values x.Profile.rels
+  + card_inter target.Profile.values x.Profile.atts
+
+let h2 = { name = "h2"; estimate = h2_value }
+
+let h3 =
+  {
+    name = "h3";
+    estimate = (fun ~target x -> max (h1_value ~target x) (h2_value ~target x));
+  }
+
+let round_to_int f = int_of_float (Float.round f)
+
+let levenshtein ~k =
+  {
+    name = "levenshtein";
+    estimate =
+      (fun ~target x ->
+        let d = Text.levenshtein_normalized x.Profile.str target.Profile.str in
+        round_to_int (float_of_int k *. d));
+  }
+
+let euclid =
+  {
+    name = "euclid";
+    estimate =
+      (fun ~target x ->
+        round_to_int (Vector.euclidean_distance x.Profile.vector target.Profile.vector));
+  }
+
+let euclid_norm ~k =
+  {
+    name = "euclid-norm";
+    estimate =
+      (fun ~target x ->
+        let d =
+          Vector.normalized_euclidean_distance x.Profile.vector
+            target.Profile.vector
+        in
+        round_to_int (float_of_int k *. d));
+  }
+
+let cosine ~k =
+  {
+    name = "cosine";
+    estimate =
+      (fun ~target x ->
+        let d = Vector.cosine_distance x.Profile.vector target.Profile.vector in
+        round_to_int (float_of_int k *. d));
+  }
+
+let combined ~k =
+  let cos = cosine ~k in
+  {
+    name = "combined";
+    estimate =
+      (fun ~target x ->
+        max (h1_value ~target x) (cos.estimate ~target x));
+  }
+
+module Scaling = struct
+  type constants = { k_euclid_norm : int; k_cosine : int; k_levenshtein : int }
+
+  let ida = { k_euclid_norm = 7; k_cosine = 5; k_levenshtein = 11 }
+  let rbfs = { k_euclid_norm = 20; k_cosine = 24; k_levenshtein = 15 }
+end
+
+let all (c : Scaling.constants) =
+  [
+    h0; h1; h2; h3; euclid;
+    euclid_norm ~k:c.k_euclid_norm;
+    cosine ~k:c.k_cosine;
+    levenshtein ~k:c.k_levenshtein;
+  ]
+
+let by_name c name =
+  match name with
+  | "combined" -> Some (combined ~k:c.Scaling.k_cosine)
+  | _ -> List.find_opt (fun h -> h.name = name) (all c)

@@ -1,0 +1,78 @@
+(** The seven search heuristics of §3 (plus the blind baseline h0).
+
+    A heuristic estimates the number of ℒ transformations separating a
+    search state [x] from the target critical instance [t]. All are
+    functions of the states' TNF {!Profile.t}s; none consults domain
+    knowledge — as the paper stresses, discovery is purely syntactic.
+
+    The scaled heuristics (Levenshtein, normalized Euclidean, cosine) map a
+    distance in [0, 1] (resp. [0, 2]) onto integer estimates [0 … k]; the
+    paper tunes [k] per algorithm (§5, table of scaling constants) and so
+    does {!Scaling}. *)
+
+type t = {
+  name : string;
+  (** Short identifier used in benchmark tables: "h0", "h1", "h2", "h3",
+      "euclid", "euclid-norm", "cosine", "levenshtein". *)
+  estimate : target:Profile.t -> Profile.t -> int;
+}
+
+val h0 : t
+(** Constant 0 — induces brute-force blind search (§5). *)
+
+val h1 : t
+(** Missing relation names + missing attribute names + missing values:
+    |π{_REL}(t) − π{_REL}(x)| + |π{_ATT}(t) − π{_ATT}(x)| +
+    |π{_VALUE}(t) − π{_VALUE}(x)|. *)
+
+val h2 : t
+(** Minimum promotions/demotions: the six cross-category intersection
+    cardinalities between t's and x's REL/ATT/VALUE projections. *)
+
+val h3 : t
+(** max(h1, h2). *)
+
+val levenshtein : k:int -> t
+(** hL: scaled normalized edit distance between [string(x)] and
+    [string(t)]. *)
+
+val euclid : t
+(** hE: rounded Euclidean distance between term vectors. *)
+
+val euclid_norm : k:int -> t
+(** hNormE (the paper's normalized Euclidean): scaled distance between
+    unit-normalized term vectors. *)
+
+val cosine : k:int -> t
+(** hcos: scaled (1 − cosine similarity). *)
+
+val combined : k:int -> t
+(** An extension beyond the paper, in the direction of its §7 future work
+    ("successful heuristics must measure both content and structure"):
+    [max(h1, cosine ~k)]. [h1] supplies a discrete structural signal
+    (missing names) that keeps f discriminating when the scaled cosine
+    distance of nearby states rounds to 0 — the failure mode that makes
+    IDA-with-cosine degenerate to blind search on the λ-heavy Experiment 3
+    workload — while the cosine term supplies content geometry on
+    data-metadata restructurings where h1 plateaus. Benchmarked in the
+    [ablation] bench. *)
+
+(** {1 Scaling constants} *)
+
+module Scaling : sig
+  type constants = { k_euclid_norm : int; k_cosine : int; k_levenshtein : int }
+
+  val ida : constants
+  (** The paper's tuned values for IDA: 7 / 5 / 11. *)
+
+  val rbfs : constants
+  (** The paper's tuned values for RBFS: 20 / 24 / 15. *)
+end
+
+val all : Scaling.constants -> t list
+(** The eight heuristics in the paper's presentation order:
+    h0, h1, h2, h3, euclid, euclid-norm, cosine, levenshtein.
+    (The {!combined} extension is not included; request it explicitly.) *)
+
+val by_name : Scaling.constants -> string -> t option
+(** Also resolves ["combined"] (with the cosine scaling constant). *)

@@ -1,0 +1,46 @@
+open Relational
+module Strings = Set.Make (String)
+
+type t = {
+  rels : Strings.t;
+  atts : Strings.t;
+  values : Strings.t;
+  vector : Vector.t;
+  str : string;
+}
+
+let of_triples triples =
+  let rels, atts, values =
+    List.fold_left
+      (fun (rs, as_, vs) (r, a, v) ->
+        (Strings.add r rs, Strings.add a as_, Strings.add v vs))
+      (Strings.empty, Strings.empty, Strings.empty)
+      triples
+  in
+  let str =
+    List.map (fun (r, a, v) -> r ^ a ^ v) triples
+    |> List.sort String.compare |> String.concat ""
+  in
+  { rels; atts; values; vector = Vector.of_triples triples; str }
+
+let of_database db =
+  let triples =
+    Database.fold
+      (fun name rel acc ->
+        let atts = Relation.attributes rel in
+        Relation.fold
+          (fun row acc ->
+            List.fold_left2
+              (fun acc att v ->
+                if Value.is_null v then acc
+                else (name, att, Value.to_string v) :: acc)
+              acc atts (Row.to_list row))
+          rel acc)
+      db []
+  in
+  of_triples triples
+
+let of_tnf tnf = of_triples (Tnf.triples tnf)
+
+let size p =
+  Strings.cardinal p.rels + Strings.cardinal p.atts + Strings.cardinal p.values

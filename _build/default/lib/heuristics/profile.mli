@@ -1,0 +1,30 @@
+(** Precomputed per-state features consumed by the heuristics.
+
+    Every heuristic of §3 is a function of the TNF view of a database: its
+    projections on REL / ATT / VALUE, its (REL, ATT, VALUE) triples as a
+    term vector, and its sorted cell string. Profiles compute these once
+    per state; the search layer caches a profile inside each state so each
+    is built exactly once however many heuristics inspect it. *)
+
+open Relational
+
+module Strings : Set.S with type elt = string
+
+type t = {
+  rels : Strings.t;    (** distinct relation names, π{_REL} *)
+  atts : Strings.t;    (** distinct attribute names, π{_ATT} *)
+  values : Strings.t;  (** distinct cell value strings, π{_VALUE} *)
+  vector : Vector.t;   (** term vector over (REL, ATT, VALUE) triples *)
+  str : string;        (** the paper's [string(d)] for the Levenshtein heuristic *)
+}
+
+val of_database : Database.t -> t
+(** Built directly from the database, cell by cell, in exact agreement with
+    the views of [Tnf.encode] (null cells are skipped). *)
+
+val of_tnf : Relation.t -> t
+(** Built from an explicit TNF relation. *)
+
+val size : t -> int
+(** Total distinct names and values; proportional to the paper's |s| and
+    |t| instance-size measure. *)

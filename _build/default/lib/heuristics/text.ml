@@ -1,0 +1,23 @@
+let levenshtein a b =
+  (* Keep the shorter string in the inner dimension. *)
+  let a, b = if String.length a < String.length b then (a, b) else (b, a) in
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else begin
+    let prev = Array.init (la + 1) (fun i -> i) in
+    let curr = Array.make (la + 1) 0 in
+    for j = 1 to lb do
+      curr.(0) <- j;
+      let bj = b.[j - 1] in
+      for i = 1 to la do
+        let cost = if a.[i - 1] = bj then 0 else 1 in
+        curr.(i) <- min (min (curr.(i - 1) + 1) (prev.(i) + 1)) (prev.(i - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (la + 1)
+    done;
+    prev.(la)
+  end
+
+let levenshtein_normalized a b =
+  let m = max (String.length a) (String.length b) in
+  if m = 0 then 0.0 else float_of_int (levenshtein a b) /. float_of_int m

@@ -1,0 +1,9 @@
+(** String metrics for the "databases as strings" heuristic (§3). *)
+
+val levenshtein : string -> string -> int
+(** Classic edit distance (insertions, deletions, substitutions each cost
+    1), computed with the two-row dynamic program in O(|a|·|b|) time and
+    O(min(|a|,|b|)) space. *)
+
+val levenshtein_normalized : string -> string -> float
+(** [levenshtein a b / max(|a|, |b|)], in [0, 1]; 0 when both are empty. *)

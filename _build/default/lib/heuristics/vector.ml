@@ -1,0 +1,57 @@
+module M = Map.Make (struct
+  type t = string * string * string
+
+  let compare = compare
+end)
+
+type t = { counts : int M.t; norm : float }
+
+let compute_norm counts =
+  sqrt (M.fold (fun _ c acc -> acc +. (float_of_int c *. float_of_int c)) counts 0.0)
+
+let empty = { counts = M.empty; norm = 0.0 }
+
+let of_triples triples =
+  let counts =
+    List.fold_left
+      (fun m key ->
+        M.update key (function None -> Some 1 | Some c -> Some (c + 1)) m)
+      M.empty triples
+  in
+  { counts; norm = compute_norm counts }
+
+let cardinality v = M.cardinal v.counts
+let count v key = match M.find_opt key v.counts with Some c -> c | None -> 0
+let norm v = v.norm
+
+let dot a b =
+  (* Iterate over the smaller map. *)
+  let small, large =
+    if M.cardinal a.counts <= M.cardinal b.counts then (a, b) else (b, a)
+  in
+  M.fold
+    (fun key c acc ->
+      match M.find_opt key large.counts with
+      | Some c' -> acc +. (float_of_int c *. float_of_int c')
+      | None -> acc)
+    small.counts 0.0
+
+let euclidean_distance a b =
+  (* ||a - b||² = ||a||² + ||b||² − 2⟨a,b⟩ *)
+  let sq = (a.norm *. a.norm) +. (b.norm *. b.norm) -. (2.0 *. dot a b) in
+  sqrt (max 0.0 sq)
+
+let normalized_euclidean_distance a b =
+  match (a.norm = 0.0, b.norm = 0.0) with
+  | true, true -> 0.0
+  | true, false | false, true -> sqrt 2.0
+  | false, false ->
+      let cos = dot a b /. (a.norm *. b.norm) in
+      (* ||â - b̂||² = 2 − 2cos *)
+      sqrt (max 0.0 (2.0 -. (2.0 *. cos)))
+
+let cosine_distance a b =
+  match (a.norm = 0.0, b.norm = 0.0) with
+  | true, true -> 0.0
+  | true, false | false, true -> 1.0
+  | false, false -> 1.0 -. (dot a b /. (a.norm *. b.norm))

@@ -1,0 +1,35 @@
+(** Sparse term vectors over (REL, ATT, VALUE) triples.
+
+    §3 views a TNF database as a document vector over the set D of all n³
+    token triples; a database's coordinate on triple (r, a, v) is the number
+    of its cells matching that triple. Since only finitely many coordinates
+    are non-zero, vectors are represented sparsely as maps from triples to
+    counts — distances computed over the support union agree exactly with
+    distances in the full n³-dimensional space. *)
+
+type t
+
+val empty : t
+
+val of_triples : (string * string * string) list -> t
+(** Count multiplicities of each triple. *)
+
+val cardinality : t -> int
+(** Number of non-zero coordinates. *)
+
+val count : t -> string * string * string -> int
+val norm : t -> float
+(** Euclidean length. *)
+
+val dot : t -> t -> float
+
+val euclidean_distance : t -> t -> float
+
+val normalized_euclidean_distance : t -> t -> float
+(** Distance between the unit-normalized vectors; a zero vector is treated
+    as orthogonal to everything (distance [sqrt 2] from any non-zero
+    vector, 0 from another zero vector). *)
+
+val cosine_distance : t -> t -> float
+(** [1 − cos(x, t)], in [0, 2]; a zero vector is at distance 1 from
+    anything non-zero and 0 from another zero vector. *)

@@ -1,0 +1,1 @@
+lib/relational/aggregate.ml: Format Hashtbl List Relation Row Schema String Value

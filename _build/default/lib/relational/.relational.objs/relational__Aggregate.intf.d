@@ -1,0 +1,1 @@
+lib/relational/aggregate.mli: Relation Row Value

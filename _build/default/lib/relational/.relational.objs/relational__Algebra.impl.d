@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Database Format List Relation Row Schema String Value

@@ -1,0 +1,1 @@
+lib/relational/algebra.mli: Database Format Relation Row Schema Value

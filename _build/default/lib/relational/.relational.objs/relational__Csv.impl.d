@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Buffer Format List Relation Row Schema String Value

@@ -1,0 +1,1 @@
+lib/relational/database.ml: Buffer Format List Map Relation Row String Value

@@ -1,0 +1,1 @@
+lib/relational/optimizer.ml: Algebra List Option Relation String Value

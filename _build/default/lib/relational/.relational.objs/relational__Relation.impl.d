@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array Bool Format Hashtbl List Option Row Schema String Value

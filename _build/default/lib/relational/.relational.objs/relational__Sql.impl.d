@@ -1,0 +1,1 @@
+lib/relational/sql.ml: Aggregate Database Format List Option Printf Relation Row Schema Sql_ast Sql_lexer Sql_parser String Value

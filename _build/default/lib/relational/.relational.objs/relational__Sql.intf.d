@@ -1,0 +1,1 @@
+lib/relational/sql.mli: Database Relation Row

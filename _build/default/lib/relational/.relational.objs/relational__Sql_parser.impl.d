@@ -1,0 +1,1 @@
+lib/relational/sql_parser.ml: Aggregate Format List Printf Sql_ast Sql_lexer Value

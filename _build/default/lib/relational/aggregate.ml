@@ -1,0 +1,111 @@
+type func =
+  | Count_all
+  | Count of string
+  | Sum of string
+  | Avg of string
+  | Min of string
+  | Max of string
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let func_name = function
+  | Count_all -> "count"
+  | Count a -> "count_" ^ a
+  | Sum a -> "sum_" ^ a
+  | Avg a -> "avg_" ^ a
+  | Min a -> "min_" ^ a
+  | Max a -> "max_" ^ a
+
+let column_values rel rows att =
+  let schema = Relation.schema rel in
+  (match Schema.index_of_opt schema att with
+  | None -> error "aggregate: unknown attribute %S" att
+  | Some _ -> ());
+  List.filter_map
+    (fun row ->
+      let v = Row.get schema row att in
+      if Value.is_null v then None else Some v)
+    rows
+
+(* Sum as (all_ints, int_sum, float_sum). *)
+let numeric_sum att vs =
+  List.fold_left
+    (fun (all_ints, isum, fsum) v ->
+      match v with
+      | Value.Int n -> (all_ints, isum + n, fsum +. float_of_int n)
+      | Value.Float f -> (false, isum, fsum +. f)
+      | other -> (
+          match Value.as_float other with
+          | Some f -> (false, isum, fsum +. f)
+          | None ->
+              error "aggregate: non-numeric value %s under %S"
+                (Value.to_string other) att))
+    (true, 0, 0.0) vs
+
+let apply func rel rows =
+  match func with
+  | Count_all -> Value.Int (List.length rows)
+  | Count att -> Value.Int (List.length (column_values rel rows att))
+  | Sum att -> (
+      let vs = column_values rel rows att in
+      match numeric_sum att vs with
+      | true, isum, _ -> Value.Int isum
+      | false, _, fsum -> Value.Float fsum)
+  | Avg att -> (
+      let vs = column_values rel rows att in
+      match vs with
+      | [] -> Value.Null
+      | _ -> (
+          let n = float_of_int (List.length vs) in
+          match numeric_sum att vs with
+          | true, isum, _ -> Value.Float (float_of_int isum /. n)
+          | false, _, fsum -> Value.Float (fsum /. n)))
+  | Min att -> (
+      match column_values rel rows att with
+      | [] -> Value.Null
+      | v :: rest -> List.fold_left (fun a b -> if Value.compare b a < 0 then b else a) v rest)
+  | Max att -> (
+      match column_values rel rows att with
+      | [] -> Value.Null
+      | v :: rest -> List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) v rest)
+
+let group_by r ~keys ~aggregates =
+  let schema = Relation.schema r in
+  List.iter (fun k -> ignore (Schema.index_of schema k)) keys;
+  let out_names = keys @ List.map snd aggregates in
+  let out_schema =
+    try Schema.of_list out_names
+    with Schema.Error m -> error "aggregate: %s" m
+  in
+  let key_of row = List.map (fun k -> Row.get schema row k) keys in
+  (* Group rows, preserving first-seen group order (canonicalized later by
+     the relation anyway). *)
+  let groups : (string, Value.t list * Row.t list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  Relation.iter
+    (fun row ->
+      let kv = key_of row in
+      let tag = String.concat "\x01" (List.map Value.to_string kv) in
+      match Hashtbl.find_opt groups tag with
+      | Some (_, rows) -> rows := row :: !rows
+      | None ->
+          Hashtbl.add groups tag (kv, ref [ row ]);
+          order := tag :: !order)
+    r;
+  let rows =
+    if Hashtbl.length groups = 0 && keys = [] then
+      (* SQL: global aggregation over an empty relation yields one row. *)
+      [ Row.of_list (List.map (fun (f, _) -> apply f r []) aggregates) ]
+    else
+      List.rev_map
+        (fun tag ->
+          let kv, rows = Hashtbl.find groups tag in
+          Row.of_list
+            (kv @ List.map (fun (f, _) -> apply f r (List.rev !rows)) aggregates))
+        !order
+  in
+  Relation.of_rows out_schema rows

@@ -1,0 +1,41 @@
+(** Grouping and aggregation over relations.
+
+    The substrate layer for SQL's [GROUP BY]/[HAVING] and for summarizing
+    mapping results (the data-integration workflows the paper motivates
+    routinely end in aggregation). Null cells are ignored by all aggregates
+    except [Count_all], following SQL convention. *)
+
+type func =
+  | Count_all            (** SQL's star-count: the number of rows *)
+  | Count of string      (** COUNT(att): non-null values *)
+  | Sum of string
+  | Avg of string
+  | Min of string
+  | Max of string
+
+exception Error of string
+
+val func_name : func -> string
+(** Default output column name, e.g. ["count"], ["sum_price"]. *)
+
+val apply : func -> Relation.t -> Row.t list -> Value.t
+(** Evaluate one aggregate over a group of rows (drawn from the given
+    relation, whose schema resolves attribute names).
+    - [Sum]/[Avg] return {!Value.Int} when every input is an int, else
+      {!Value.Float}; the empty group gives [Sum = Int 0] and
+      [Avg = Null].
+    - [Min]/[Max] use {!Value.compare}; the empty group gives [Null].
+    @raise Error on unknown attributes or non-numeric input to
+    [Sum]/[Avg]. *)
+
+val group_by :
+  Relation.t ->
+  keys:string list ->
+  aggregates:(func * string) list ->
+  Relation.t
+(** [group_by r ~keys ~aggregates] groups the rows of [r] by their values
+    under [keys] and emits one row per group: the key values followed by
+    one column per [(aggregate, output name)] pair. With [keys = []] the
+    whole relation is one group (even when empty, as in SQL's global
+    aggregation). @raise Error on unknown keys or duplicate output
+    names. *)

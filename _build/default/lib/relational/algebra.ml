@@ -1,0 +1,152 @@
+type operand = Att of string | Const of Value.t
+type comparison = Eq | Neq | Lt | Leq | Gt | Geq
+
+type pred =
+  | Cmp of comparison * operand * operand
+  | In of operand * Value.t list
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | True
+  | False
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let operand_value schema row = function
+  | Const v -> Some v
+  | Att a -> (
+      match Schema.index_of_opt schema a with
+      | Some i -> Some (Row.cell row i)
+      | None -> None)
+
+let apply_cmp cmp a b =
+  let c = Value.compare a b in
+  match cmp with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Leq -> c <= 0
+  | Gt -> c > 0
+  | Geq -> c >= 0
+
+let rec eval_pred p schema row =
+  match p with
+  | True -> true
+  | False -> false
+  | Not q -> not (eval_pred q schema row)
+  | And (a, b) -> eval_pred a schema row && eval_pred b schema row
+  | Or (a, b) -> eval_pred a schema row || eval_pred b schema row
+  | Cmp (cmp, x, y) -> (
+      match (operand_value schema row x, operand_value schema row y) with
+      | Some a, Some b when not (Value.is_null a || Value.is_null b) ->
+          apply_cmp cmp a b
+      | _ -> false)
+  | In (x, vs) -> (
+      match operand_value schema row x with
+      | Some a when not (Value.is_null a) ->
+          List.exists (Value.equal a) vs
+      | _ -> false)
+
+type expr =
+  | Rel of string
+  | Lit of Relation.t
+  | Select of pred * expr
+  | Project of string list * expr
+  | ProjectAway of string * expr
+  | Product of expr * expr
+  | Join of expr * expr
+  | Union of expr * expr
+  | Inter of expr * expr
+  | Diff of expr * expr
+  | RenameAtt of string * string * expr
+  | Distinct of expr
+  | Extend of string * (Schema.t -> Row.t -> Value.t) * expr
+
+let natural_join a b =
+  let shared = Schema.inter (Relation.schema a) (Relation.schema b) in
+  if shared = [] then Relation.product a b
+  else
+    let b_only = Schema.diff (Relation.schema b) (Relation.schema a) in
+    let out_schema =
+      List.fold_left Schema.append (Relation.schema a) b_only
+    in
+    let rows =
+      Relation.fold
+        (fun ra acc ->
+          Relation.fold
+            (fun rb acc ->
+              let matches =
+                List.for_all
+                  (fun att ->
+                    Value.equal
+                      (Row.get (Relation.schema a) ra att)
+                      (Row.get (Relation.schema b) rb att))
+                  shared
+              in
+              if matches then
+                let cells =
+                  Row.to_list ra
+                  @ List.map (fun att -> Row.get (Relation.schema b) rb att) b_only
+                in
+                Row.of_list cells :: acc
+              else acc)
+            b acc)
+        a []
+    in
+    Relation.of_rows out_schema rows
+
+let rec eval db = function
+  | Rel name -> (
+      match Database.find_opt db name with
+      | Some r -> r
+      | None -> error "algebra: unknown relation %S" name)
+  | Lit r -> r
+  | Select (p, e) -> Relation.select (eval db e) (eval_pred p)
+  | Project (atts, e) -> Relation.project (eval db e) atts
+  | ProjectAway (att, e) -> Relation.project_away (eval db e) att
+  | Product (a, b) -> Relation.product (eval db a) (eval db b)
+  | Join (a, b) -> natural_join (eval db a) (eval db b)
+  | Union (a, b) -> Relation.union (eval db a) (eval db b)
+  | Inter (a, b) -> Relation.inter (eval db a) (eval db b)
+  | Diff (a, b) -> Relation.diff (eval db a) (eval db b)
+  | RenameAtt (old_name, new_name, e) ->
+      Relation.rename_att (eval db e) ~old_name ~new_name
+  | Distinct e -> eval db e
+  | Extend (att, f, e) -> Relation.extend (eval db e) att f
+
+let pp_operand ppf = function
+  | Att a -> Format.pp_print_string ppf a
+  | Const v -> Format.fprintf ppf "%a" Value.pp v
+
+let cmp_symbol = function
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Leq -> "<=" | Gt -> ">" | Geq -> ">="
+
+let rec pp_pred ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Not p -> Format.fprintf ppf "not(%a)" pp_pred p
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp_pred a pp_pred b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp_pred a pp_pred b
+  | Cmp (c, x, y) ->
+      Format.fprintf ppf "%a %s %a" pp_operand x (cmp_symbol c) pp_operand y
+  | In (x, vs) ->
+      Format.fprintf ppf "%a in (%s)" pp_operand x
+        (String.concat ", " (List.map Value.to_string vs))
+
+let rec pp_expr ppf = function
+  | Rel n -> Format.pp_print_string ppf n
+  | Lit r -> Format.fprintf ppf "<literal:%d rows>" (Relation.cardinality r)
+  | Select (p, e) -> Format.fprintf ppf "select[%a](%a)" pp_pred p pp_expr e
+  | Project (atts, e) ->
+      Format.fprintf ppf "project[%s](%a)" (String.concat "," atts) pp_expr e
+  | ProjectAway (a, e) -> Format.fprintf ppf "drop[%s](%a)" a pp_expr e
+  | Product (a, b) -> Format.fprintf ppf "(%a x %a)" pp_expr a pp_expr b
+  | Join (a, b) -> Format.fprintf ppf "(%a join %a)" pp_expr a pp_expr b
+  | Union (a, b) -> Format.fprintf ppf "(%a union %a)" pp_expr a pp_expr b
+  | Inter (a, b) -> Format.fprintf ppf "(%a intersect %a)" pp_expr a pp_expr b
+  | Diff (a, b) -> Format.fprintf ppf "(%a minus %a)" pp_expr a pp_expr b
+  | RenameAtt (o, n, e) -> Format.fprintf ppf "rename[%s->%s](%a)" o n pp_expr e
+  | Distinct e -> Format.fprintf ppf "distinct(%a)" pp_expr e
+  | Extend (att, _, e) -> Format.fprintf ppf "extend[%s](%a)" att pp_expr e

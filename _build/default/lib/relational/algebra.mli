@@ -1,0 +1,58 @@
+(** Classic relational algebra over {!Database.t}.
+
+    This is the conventional (σ, π, ×, ⋈, ∪, ∩, −, ρ) algebra used by the
+    substrate — e.g. by the SQL evaluator and by post-processing filters
+    (the paper applies relational selections σ {e after} mapping discovery,
+    §2.1). The data–metadata operators of ℒ itself live in [Fira]. *)
+
+(** {1 Predicates} *)
+
+type operand =
+  | Att of string        (** value of an attribute in the current row *)
+  | Const of Value.t     (** literal *)
+
+type comparison = Eq | Neq | Lt | Leq | Gt | Geq
+
+type pred =
+  | Cmp of comparison * operand * operand
+  | In of operand * Value.t list  (** membership in a literal set *)
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | True
+  | False
+
+val eval_pred : pred -> Schema.t -> Row.t -> bool
+(** Comparisons involving an absent attribute or a {!Value.Null} operand are
+    false (SQL-style three-valued logic collapsed to false). *)
+
+(** {1 Expressions} *)
+
+type expr =
+  | Rel of string                       (** named relation from the database *)
+  | Lit of Relation.t                   (** literal relation *)
+  | Select of pred * expr
+  | Project of string list * expr
+  | ProjectAway of string * expr
+  | Product of expr * expr
+  | Join of expr * expr                 (** natural join *)
+  | Union of expr * expr
+  | Inter of expr * expr
+  | Diff of expr * expr
+  | RenameAtt of string * string * expr (** old, new *)
+  | Distinct of expr
+  | Extend of string * (Schema.t -> Row.t -> Value.t) * expr
+      (** computed column *)
+
+exception Error of string
+
+val eval : Database.t -> expr -> Relation.t
+(** @raise Error on unknown relations; propagates {!Relation.Error} and
+    {!Schema.Error} from ill-typed sub-expressions. *)
+
+val natural_join : Relation.t -> Relation.t -> Relation.t
+(** Equi-join on all shared attributes (degenerates to {!Relation.product}
+    when none are shared). *)
+
+val pp_pred : Format.formatter -> pred -> unit
+val pp_expr : Format.formatter -> expr -> unit

@@ -1,0 +1,110 @@
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type state = Field_start | In_field | In_quotes | Quote_seen
+
+let parse input =
+  let rows = ref [] and fields = ref [] and buf = Buffer.create 32 in
+  let state = ref Field_start in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let n = String.length input in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    (match (!state, c) with
+    | (Field_start | In_field), ',' ->
+        flush_field ();
+        state := Field_start
+    | (Field_start | In_field), '\n' ->
+        flush_row ();
+        state := Field_start
+    | (Field_start | In_field), '\r' -> () (* swallow CR of CRLF *)
+    | Field_start, '"' -> state := In_quotes
+    | Field_start, c ->
+        Buffer.add_char buf c;
+        state := In_field
+    | In_field, c -> Buffer.add_char buf c
+    | In_quotes, '"' -> state := Quote_seen
+    | In_quotes, c -> Buffer.add_char buf c
+    | Quote_seen, '"' ->
+        Buffer.add_char buf '"';
+        state := In_quotes
+    | Quote_seen, ',' ->
+        flush_field ();
+        state := Field_start
+    | Quote_seen, '\n' ->
+        flush_row ();
+        state := Field_start
+    | Quote_seen, '\r' -> ()
+    | Quote_seen, c -> error "csv: unexpected %C after closing quote" c);
+    incr i
+  done;
+  (match !state with
+  | In_quotes -> error "csv: unterminated quoted field"
+  | Field_start when !fields = [] && Buffer.length buf = 0 -> ()
+  | _ -> flush_row ());
+  List.rev !rows
+
+let parse_relation input =
+  match parse input with
+  | [] -> error "csv: empty document"
+  | header :: data ->
+      let width = List.length header in
+      let pad cells =
+        let len = List.length cells in
+        if len >= width then cells
+        else cells @ List.init (width - len) (fun _ -> "")
+      in
+      let schema =
+        try Schema.of_list header
+        with Schema.Error m -> error "csv: bad header (%s)" m
+      in
+      Relation.of_rows schema
+        (List.map
+           (fun cells ->
+             let cells = pad cells in
+             let cells =
+               if List.length cells > width then List.filteri (fun i _ -> i < width) cells
+               else cells
+             in
+             Row.of_list (List.map Value.of_string_guess cells))
+           data)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let print_field s = if needs_quoting s then quote s else s
+
+let print rows =
+  String.concat ""
+    (List.map
+       (fun fields -> String.concat "," (List.map print_field fields) ^ "\n")
+       rows)
+
+let print_relation r =
+  let header = Relation.attributes r in
+  let data =
+    List.map
+      (fun row -> List.map Value.to_string (Row.to_list row))
+      (Relation.rows r)
+  in
+  print (header :: data)

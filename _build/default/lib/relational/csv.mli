@@ -1,0 +1,23 @@
+(** Minimal RFC-4180-style CSV reader/writer.
+
+    Used for loading critical instances from files (the CLI accepts one CSV
+    per relation) and for exporting mapping results. Supports quoted fields
+    with embedded commas, quotes and newlines. *)
+
+exception Error of string
+
+val parse : string -> string list list
+(** Parse a CSV document into rows of fields. Rows may have differing
+    lengths; a trailing newline is tolerated. @raise Error on unterminated
+    quotes. *)
+
+val parse_relation : string -> Relation.t
+(** First row is the header; remaining rows are tuples, cells parsed with
+    {!Value.of_string_guess}. Short rows are padded with nulls.
+    @raise Error on an empty document or duplicate header names. *)
+
+val print : string list list -> string
+(** Render rows as CSV, quoting fields when needed. *)
+
+val print_relation : Relation.t -> string
+(** Header line then one line per tuple. *)

@@ -1,0 +1,148 @@
+open Algebra
+
+let attributes_of_pred pred =
+  let operand acc = function Att a -> a :: acc | Const _ -> acc in
+  let rec go acc = function
+    | True | False -> acc
+    | Not p -> go acc p
+    | And (a, b) | Or (a, b) -> go (go acc a) b
+    | Cmp (_, x, y) -> operand (operand acc x) y
+    | In (x, _) -> operand acc x
+  in
+  List.sort_uniq String.compare (go [] pred)
+
+let rec split_conjuncts = function
+  | And (a, b) -> split_conjuncts a @ split_conjuncts b
+  | True -> []
+  | p -> [ p ]
+
+let conjoin = function
+  | [] -> True
+  | p :: rest -> List.fold_left (fun acc q -> And (acc, q)) p rest
+
+(* Attribute names an expression is statically known to produce, when
+   derivable without the database (literal relations and shape-changing
+   operators); [None] for base relations whose schema we cannot see. *)
+let rec known_attributes = function
+  | Rel _ -> None
+  | Lit r -> Some (Relation.attributes r)
+  | Select (_, e) | Distinct e -> known_attributes e
+  | Project (atts, _) -> Some atts
+  | ProjectAway (att, e) ->
+      Option.map (List.filter (fun a -> a <> att)) (known_attributes e)
+  | Product (a, b) | Join (a, b) -> (
+      match (known_attributes a, known_attributes b) with
+      | Some xs, Some ys ->
+          Some (xs @ List.filter (fun y -> not (List.mem y xs)) ys)
+      | _ -> None)
+  | Union (a, _) | Inter (a, _) | Diff (a, _) -> known_attributes a
+  | RenameAtt (o, n, e) ->
+      Option.map
+        (List.map (fun a -> if a = o then n else a))
+        (known_attributes e)
+  | Extend (att, _, e) ->
+      Option.map (fun atts -> atts @ [ att ]) (known_attributes e)
+
+(* Constant-fold a predicate. *)
+let rec fold_pred = function
+  | Not p -> (
+      match fold_pred p with
+      | True -> False
+      | False -> True
+      | q -> Not q)
+  | And (a, b) -> (
+      match (fold_pred a, fold_pred b) with
+      | False, _ | _, False -> False
+      | True, q | q, True -> q
+      | p, q -> And (p, q))
+  | Or (a, b) -> (
+      match (fold_pred a, fold_pred b) with
+      | True, _ | _, True -> True
+      | False, q | q, False -> q
+      | p, q -> Or (p, q))
+  | Cmp (op, Const x, Const y)
+    when not (Value.is_null x || Value.is_null y) -> (
+      let c = Value.compare x y in
+      let holds =
+        match op with
+        | Eq -> c = 0
+        | Neq -> c <> 0
+        | Lt -> c < 0
+        | Leq -> c <= 0
+        | Gt -> c > 0
+        | Geq -> c >= 0
+      in
+      if holds then True else False)
+  | Cmp (_, x, y)
+    when (match x with Const v -> Value.is_null v | _ -> false)
+         || (match y with Const v -> Value.is_null v | _ -> false) ->
+      (* SQL-style: any comparison against null is false. *)
+      False
+  | In (Const x, vs) when not (Value.is_null x) ->
+      if List.exists (Value.equal x) vs then True else False
+  | In (_, []) -> False
+  | p -> p
+
+(* Can this conjunct be pushed to a side that produces [atts]? Only when
+   every attribute it reads is known to be produced there. *)
+let pushable_to atts pred =
+  List.for_all (fun a -> List.mem a atts) (attributes_of_pred pred)
+
+let rec optimize expr =
+  match expr with
+  | Rel _ | Lit _ -> expr
+  | Distinct e -> Distinct (optimize e)
+  | Project (atts, e) -> Project (atts, optimize e)
+  | ProjectAway (att, e) -> ProjectAway (att, optimize e)
+  | RenameAtt (o, n, e) -> RenameAtt (o, n, optimize e)
+  | Extend (att, f, e) -> Extend (att, f, optimize e)
+  | Union (a, b) -> Union (optimize a, optimize b)
+  | Inter (a, b) -> Inter (optimize a, optimize b)
+  | Diff (a, b) -> Diff (optimize a, optimize b)
+  | Product (a, b) -> Product (optimize a, optimize b)
+  | Join (a, b) -> Join (optimize a, optimize b)
+  | Select (pred, e) -> (
+      let pred = fold_pred pred in
+      match pred with
+      | True -> optimize e
+      | False -> (
+          (* An always-false selection empties the relation; keep the
+             shape (schema) but nothing else to optimize below. *)
+          Select (False, optimize e))
+      | _ -> (
+          let e = optimize e in
+          match e with
+          | Select (inner, e') ->
+              (* σp(σq(e)) = σ(p ∧ q)(e); re-optimize the merged form so
+                 the combined conjuncts can keep pushing. *)
+              optimize (Select (And (pred, inner), e'))
+          | Product (a, b) | Join (a, b) ->
+              let combine l r =
+                match e with
+                | Product _ -> Product (l, r)
+                | _ -> Join (l, r)
+              in
+              let conjuncts = split_conjuncts pred in
+              let la = known_attributes a and ra = known_attributes b in
+              let push_left, rest =
+                match la with
+                | Some atts -> List.partition (pushable_to atts) conjuncts
+                | None -> ([], conjuncts)
+              in
+              let push_right, keep =
+                match ra with
+                | Some atts -> List.partition (pushable_to atts) rest
+                | None -> ([], rest)
+              in
+              if push_left = [] && push_right = [] then Select (pred, e)
+              else begin
+                let wrap side = function
+                  | [] -> side
+                  | ps -> optimize (Select (conjoin ps, side))
+                in
+                let below = combine (wrap a push_left) (wrap b push_right) in
+                match keep with
+                | [] -> below
+                | ps -> Select (conjoin ps, below)
+              end
+          | _ -> Select (pred, e)))

@@ -1,0 +1,22 @@
+(** Logical optimization of {!Algebra.expr} trees.
+
+    Rewrites an algebra expression into an equivalent one that evaluates
+    faster on the naive evaluator: selections are folded, split and pushed
+    below products/joins toward the relations whose attributes they
+    mention, trivial set operations are simplified, and constant
+    predicates are folded away. The rewrite is purely logical — no
+    statistics — but on selective product queries (the SQL engine's FROM
+    clause is a product) it turns O(|L|·|R|) work into near-linear work.
+
+    Soundness contract, enforced by property tests: for every expression
+    [e] and database [db], [eval db (optimize e) = eval db e]. *)
+
+val optimize : Algebra.expr -> Algebra.expr
+
+val attributes_of_pred : Algebra.pred -> string list
+(** Attribute names a predicate reads, sorted and distinct. Exposed for
+    tests and for callers planning their own pushdown. *)
+
+val split_conjuncts : Algebra.pred -> Algebra.pred list
+(** Flatten nested conjunctions: [And (a, And (b, c))] → [[a; b; c]].
+    Non-conjunctive predicates return as singletons. *)

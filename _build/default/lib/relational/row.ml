@@ -1,0 +1,62 @@
+type t = Value.t array
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let of_list vs = Array.of_list vs
+let of_array a = Array.copy a
+
+let of_assoc schema pairs =
+  List.iter
+    (fun (a, _) ->
+      if not (Schema.mem schema a) then error "row: unknown attribute %S" a)
+    pairs;
+  Array.of_list
+    (List.map
+       (fun att ->
+         match List.assoc_opt att pairs with Some v -> v | None -> Value.Null)
+       (Schema.attributes schema))
+
+let arity = Array.length
+
+let cell row i =
+  if i < 0 || i >= Array.length row then error "row: index %d out of bounds" i
+  else row.(i)
+
+let get schema row att = cell row (Schema.index_of schema att)
+let to_list = Array.to_list
+let to_array = Array.copy
+let append row v = Array.append row [| v |]
+
+let set row i v =
+  if i < 0 || i >= Array.length row then error "row: index %d out of bounds" i;
+  let r = Array.copy row in
+  r.(i) <- v;
+  r
+
+let project schema row atts =
+  Array.of_list (List.map (fun a -> get schema row a) atts)
+
+let drop schema row att =
+  let i = Schema.index_of schema att in
+  Array.init (Array.length row - 1) (fun j -> if j < i then row.(j) else row.(j + 1))
+
+let compare a b =
+  let ca = Array.length a and cb = Array.length b in
+  if ca <> cb then Int.compare ca cb
+  else
+    let rec go i =
+      if i >= ca then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal a b = compare a b = 0
+
+let to_string row =
+  "[" ^ String.concat "; " (List.map Value.to_string (to_list row)) ^ "]"
+
+let pp ppf row = Format.pp_print_string ppf (to_string row)

@@ -1,0 +1,52 @@
+(** Rows (tuples) of a relation.
+
+    A row is an immutable array of {!Value.t} cells positionally aligned with
+    a {!Schema.t}. Rows do not carry their schema; the owning {!Relation.t}
+    does, and passes it to the accessors below. *)
+
+type t
+
+exception Error of string
+
+(** {1 Construction} *)
+
+val of_list : Value.t list -> t
+val of_array : Value.t array -> t
+(** The array is copied. *)
+
+val of_assoc : Schema.t -> (string * Value.t) list -> t
+(** Build a row for [schema] from attribute/value pairs; missing attributes
+    become {!Value.Null}. @raise Error on unknown attributes. *)
+
+(** {1 Access} *)
+
+val arity : t -> int
+val cell : t -> int -> Value.t
+(** @raise Error if out of bounds. *)
+
+val get : Schema.t -> t -> string -> Value.t
+(** [get schema row att] is the cell under attribute [att].
+    @raise Schema.Error if [att] is not in [schema]. *)
+
+val to_list : t -> Value.t list
+val to_array : t -> Value.t array
+(** A fresh copy. *)
+
+(** {1 Transformation} *)
+
+val append : t -> Value.t -> t
+val set : t -> int -> Value.t -> t
+(** Functional update. @raise Error if out of bounds. *)
+
+val project : Schema.t -> t -> string list -> t
+(** Cells under the given attributes, in the order given. *)
+
+val drop : Schema.t -> t -> string -> t
+(** Remove the cell under one attribute. *)
+
+(** {1 Comparison & formatting} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,70 @@
+type t = { atts : string array }
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let check_name name =
+  if name = "" then error "schema: empty attribute name"
+
+let of_list atts =
+  List.iter check_name atts;
+  let seen = Hashtbl.create (List.length atts) in
+  List.iter
+    (fun a ->
+      if Hashtbl.mem seen a then error "schema: duplicate attribute %S" a
+      else Hashtbl.add seen a ())
+    atts;
+  { atts = Array.of_list atts }
+
+let empty = { atts = [||] }
+let attributes s = Array.to_list s.atts
+let arity s = Array.length s.atts
+
+let index_of_opt s name =
+  let n = Array.length s.atts in
+  let rec go i = if i >= n then None else if s.atts.(i) = name then Some i else go (i + 1) in
+  go 0
+
+let mem s name = index_of_opt s name <> None
+
+let index_of s name =
+  match index_of_opt s name with
+  | Some i -> i
+  | None -> error "schema: no attribute %S in %s" name (String.concat "," (attributes s))
+
+let sorted s = List.sort String.compare (attributes s)
+let equal a b = sorted a = sorted b
+let equal_ordered a b = a.atts = b.atts
+let subset a b = Array.for_all (fun x -> mem b x) a.atts
+let compare a b = Stdlib.compare (sorted a) (sorted b)
+
+let union a b =
+  let extra = List.filter (fun x -> not (mem a x)) (attributes b) in
+  { atts = Array.of_list (attributes a @ extra) }
+
+let inter a b = List.filter (fun x -> mem b x) (attributes a)
+let diff a b = List.filter (fun x -> not (mem b x)) (attributes a)
+
+let append s name =
+  check_name name;
+  if mem s name then error "schema: attribute %S already present" name;
+  { atts = Array.append s.atts [| name |] }
+
+let remove s name =
+  let i = index_of s name in
+  { atts = Array.init (arity s - 1) (fun j -> if j < i then s.atts.(j) else s.atts.(j + 1)) }
+
+let rename s ~old_name ~new_name =
+  check_name new_name;
+  let i = index_of s old_name in
+  if old_name <> new_name && mem s new_name then
+    error "schema: attribute %S already present" new_name;
+  { atts = Array.mapi (fun j a -> if j = i then new_name else a) s.atts }
+
+let restrict s atts =
+  List.iter (fun a -> ignore (index_of s a)) atts;
+  of_list atts
+
+let to_string s = "(" ^ String.concat ", " (attributes s) ^ ")"
+let pp ppf s = Format.pp_print_string ppf (to_string s)

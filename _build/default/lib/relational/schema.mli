@@ -1,0 +1,68 @@
+(** Relation schemas: ordered lists of distinct attribute names.
+
+    Attribute order matters for display and for positional row construction,
+    but all schema-level operations (containment, union, …) treat a schema as
+    a set. Attribute names are case-sensitive non-empty strings. *)
+
+type t
+
+exception Error of string
+(** Raised on malformed schemas (duplicate or empty attribute names) and on
+    references to attributes that are not present. *)
+
+(** {1 Construction} *)
+
+val of_list : string list -> t
+(** @raise Error on duplicates or empty names. *)
+
+val empty : t
+
+(** {1 Inspection} *)
+
+val attributes : t -> string list
+(** In declaration order. *)
+
+val arity : t -> int
+val mem : t -> string -> bool
+
+val index_of : t -> string -> int
+(** Position of an attribute. @raise Error if absent. *)
+
+val index_of_opt : t -> string -> int option
+
+(** {1 Set-like operations} *)
+
+val equal : t -> t -> bool
+(** Order-insensitive equality (same attribute set). *)
+
+val equal_ordered : t -> t -> bool
+val subset : t -> t -> bool
+
+val union : t -> t -> t
+(** Attributes of the first schema followed by the new ones of the second.
+    @raise Error never. *)
+
+val inter : t -> t -> string list
+val diff : t -> t -> string list
+
+(** {1 Transformations} *)
+
+val append : t -> string -> t
+(** Add one attribute at the end. @raise Error if already present or empty. *)
+
+val remove : t -> string -> t
+(** @raise Error if absent. *)
+
+val rename : t -> old_name:string -> new_name:string -> t
+(** @raise Error if [old_name] is absent or [new_name] already present. *)
+
+val restrict : t -> string list -> t
+(** [restrict s atts] keeps exactly [atts], in the order given.
+    @raise Error if any is absent. *)
+
+(** {1 Formatting} *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+(** Order-insensitive: compares sorted attribute lists. *)

@@ -1,0 +1,397 @@
+open Sql_ast
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type result = {
+  db : Database.t;
+  relation : Relation.t option;
+  ordered_rows : Row.t list option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* System catalog                                                      *)
+
+let catalog_tables db =
+  Relation.of_rows
+    (Schema.of_list [ "REL" ])
+    (List.map
+       (fun name -> Row.of_list [ Value.String name ])
+       (Database.relation_names db))
+
+let catalog_columns db =
+  let rows =
+    List.concat_map
+      (fun (name, rel) ->
+        List.mapi
+          (fun pos att ->
+            Row.of_list [ Value.String name; Value.String att; Value.Int pos ])
+          (Relation.attributes rel))
+      (Database.relations db)
+  in
+  Relation.of_rows (Schema.of_list [ "REL"; "ATT"; "POS" ]) rows
+
+let lookup_table db name =
+  match name with
+  | "__tables" -> catalog_tables db
+  | "__columns" -> catalog_columns db
+  | _ -> (
+      match Database.find_opt db name with
+      | Some r -> r
+      | None -> error "sql: unknown table %S" name)
+
+(* ------------------------------------------------------------------ *)
+(* FROM clause: product of tables with qualified column names          *)
+
+(* The working relation uses attribute names "alias\x00col"; \x00 cannot
+   appear in user identifiers, so resolution is unambiguous. *)
+let qsep = '\x00'
+
+let qualify alias col = Printf.sprintf "%s%c%s" alias qsep col
+
+let split_qualified att =
+  match String.index_opt att qsep with
+  | Some i ->
+      ( String.sub att 0 i,
+        String.sub att (i + 1) (String.length att - i - 1) )
+  | None -> ("", att)
+
+let build_from db from =
+  let tables =
+    List.map
+      (fun (name, alias) ->
+        let alias = Option.value alias ~default:name in
+        let rel = lookup_table db name in
+        let renamed =
+          List.fold_left
+            (fun r att ->
+              Relation.rename_att r ~old_name:att ~new_name:(qualify alias att))
+            rel (Relation.attributes rel)
+        in
+        (alias, renamed))
+      from
+  in
+  (match
+     List.sort_uniq String.compare (List.map fst tables)
+     |> List.length
+   with
+  | n when n <> List.length tables -> error "sql: duplicate table alias"
+  | _ -> ());
+  match tables with
+  | [] -> error "sql: empty FROM clause"
+  | (_, first) :: rest ->
+      List.fold_left (fun acc (_, r) -> Relation.product acc r) first rest
+
+let resolve_column schema qualifier col =
+  let candidates =
+    List.filter
+      (fun att ->
+        let q, c = split_qualified att in
+        c = col && match qualifier with Some t -> q = t | None -> true)
+      (Schema.attributes schema)
+  in
+  match candidates with
+  | [ att ] -> att
+  | [] ->
+      error "sql: unknown column %s%s"
+        (match qualifier with Some t -> t ^ "." | None -> "")
+        col
+  | _ -> error "sql: ambiguous column %s" col
+
+(* ------------------------------------------------------------------ *)
+(* Scalar and condition evaluation                                     *)
+
+let rec eval_scalar schema row = function
+  | Lit v -> v
+  | Column (qualifier, col) ->
+      let att = resolve_column schema qualifier col in
+      Row.get schema row att
+  | Concat (a, b) ->
+      let sa = Value.to_string (eval_scalar schema row a)
+      and sb = Value.to_string (eval_scalar schema row b) in
+      Value.String (sa ^ sb)
+
+let apply_cmp op a b =
+  let c = Value.compare a b in
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Leq -> c <= 0
+  | Gt -> c > 0
+  | Geq -> c >= 0
+
+let rec eval_condition schema row = function
+  | Cmp (op, x, y) ->
+      let a = eval_scalar schema row x and b = eval_scalar schema row y in
+      if Value.is_null a || Value.is_null b then false else apply_cmp op a b
+  | Is_null x -> Value.is_null (eval_scalar schema row x)
+  | Is_not_null x -> not (Value.is_null (eval_scalar schema row x))
+  | And (a, b) -> eval_condition schema row a && eval_condition schema row b
+  | Or (a, b) -> eval_condition schema row a || eval_condition schema row b
+  | Not c -> not (eval_condition schema row c)
+
+(* ------------------------------------------------------------------ *)
+(* SELECT                                                              *)
+
+let output_name schema i = function
+  | Expr (_, Some alias) -> alias
+  | Expr (Column (_, col), None) -> col
+  | Expr (_, None) -> Printf.sprintf "expr%d" (i + 1)
+  | Agg (f, Some alias) -> ignore f; alias
+  | Agg (f, None) -> Aggregate.func_name f
+  | Star ->
+      ignore schema;
+      assert false
+
+let star_columns schema =
+  (* Unqualified names when unambiguous, qualified ("t.c") otherwise. *)
+  let atts = Schema.attributes schema in
+  let plain = List.map (fun a -> snd (split_qualified a)) atts in
+  List.map2
+    (fun att c ->
+      let dups = List.length (List.filter (String.equal c) plain) in
+      let q, _ = split_qualified att in
+      (att, if dups > 1 && q <> "" then q ^ "." ^ c else c))
+    atts plain
+
+(* --- aggregation path ------------------------------------------------ *)
+
+let resolve_func wschema = function
+  | Aggregate.Count_all -> Aggregate.Count_all
+  | Aggregate.Count a -> Aggregate.Count (resolve_column wschema None a)
+  | Aggregate.Sum a -> Aggregate.Sum (resolve_column wschema None a)
+  | Aggregate.Avg a -> Aggregate.Avg (resolve_column wschema None a)
+  | Aggregate.Min a -> Aggregate.Min (resolve_column wschema None a)
+  | Aggregate.Max a -> Aggregate.Max (resolve_column wschema None a)
+
+let eval_aggregate_select sel filtered wschema =
+  (* Group keys, resolved to the (qualified) working schema. *)
+  let keys_plain = sel.group_by in
+  let keys_q = List.map (resolve_column wschema None) keys_plain in
+  let aggregates =
+    List.filter_map
+      (function
+        | Agg (f, alias) ->
+            let out =
+              match alias with Some a -> a | None -> Aggregate.func_name f
+            in
+            Some (resolve_func wschema f, out)
+        | _ -> None)
+      sel.items
+  in
+  let grouped =
+    try Aggregate.group_by filtered ~keys:keys_q ~aggregates
+    with Aggregate.Error m -> error "%s" m
+  in
+  (* Key columns come back under their qualified names: restore the plain
+     GROUP BY spellings. *)
+  let grouped =
+    List.fold_left2
+      (fun r q plain ->
+        if q = plain then r else Relation.rename_att r ~old_name:q ~new_name:plain)
+      grouped keys_q keys_plain
+  in
+  (* HAVING sees group keys and aggregate outputs. *)
+  let grouped =
+    match sel.having with
+    | None -> grouped
+    | Some cond ->
+        Relation.select grouped (fun s row -> eval_condition s row cond)
+  in
+  (* Project the items, in order. Each item must be a grouping column or an
+     aggregate. *)
+  let columns =
+    List.mapi
+      (fun i item ->
+        match item with
+        | Agg _ -> (output_name (Relation.schema grouped) i item, output_name (Relation.schema grouped) i item)
+        | Expr (Column (_, col), alias) ->
+            if not (List.mem col keys_plain) then
+              error "sql: column %S must appear in GROUP BY" col;
+            (Option.value alias ~default:col, col)
+        | Expr _ -> error "sql: select items under GROUP BY must be columns or aggregates"
+        | Star -> error "sql: SELECT * cannot be combined with aggregation")
+      sel.items
+  in
+  let projected = Relation.project grouped (List.map snd columns) in
+  let renamed =
+    List.fold_left
+      (fun r (out, src) ->
+        if out = src then r else Relation.rename_att r ~old_name:src ~new_name:out)
+      projected columns
+  in
+  let ordered =
+    if sel.order_by = [] then None
+    else
+      let schema = Relation.schema renamed in
+      let keys =
+        List.map
+          (fun (col, dir) ->
+            match Schema.index_of_opt schema col with
+            | Some i -> (i, dir)
+            | None ->
+                error "sql: ORDER BY under aggregation must use output columns (%S)" col)
+          sel.order_by
+      in
+      let cmp a b =
+        let rec go = function
+          | [] -> Row.compare a b
+          | (i, dir) :: rest ->
+              let c = Value.compare (Row.cell a i) (Row.cell b i) in
+              if c <> 0 then match dir with Asc -> c | Desc -> -c else go rest
+        in
+        go keys
+      in
+      Some (List.sort cmp (Relation.rows renamed))
+  in
+  (renamed, ordered)
+
+let eval_select db sel =
+  let working = build_from db sel.from in
+  let wschema = Relation.schema working in
+  let filtered =
+    match sel.where with
+    | None -> working
+    | Some cond -> Relation.select working (fun s row -> eval_condition s row cond)
+  in
+  let has_agg =
+    List.exists (function Agg _ -> true | _ -> false) sel.items
+  in
+  if sel.group_by <> [] || has_agg then
+    eval_aggregate_select sel filtered wschema
+  else if sel.having <> None then
+    error "sql: HAVING requires GROUP BY or aggregates"
+  else
+  (* Expand items into (output name, scalar) pairs. *)
+  let columns =
+    List.concat
+      (List.mapi
+         (fun i item ->
+           match item with
+           | Star ->
+               List.map
+                 (fun (att, out) ->
+                   let _, col = split_qualified att in
+                   let q, _ = split_qualified att in
+                   (out, Column ((if q = "" then None else Some q), col)))
+                 (star_columns wschema)
+           | Agg _ -> assert false (* handled by the aggregation path *)
+           | Expr _ ->
+               [ (output_name wschema i item,
+                  match item with Expr (e, _) -> e | _ -> assert false) ])
+         sel.items)
+  in
+  let names = List.map fst columns in
+  (match List.sort_uniq String.compare names with
+  | u when List.length u <> List.length names ->
+      error "sql: duplicate output column name (use AS to disambiguate)"
+  | _ -> ());
+  let out_schema = Schema.of_list names in
+  let project row =
+    Row.of_list (List.map (fun (_, e) -> eval_scalar wschema row e) columns)
+  in
+  let out_rows = List.map project (Relation.rows filtered) in
+  let relation = Relation.of_rows out_schema out_rows in
+  let ordered =
+    if sel.order_by = [] then None
+    else
+      (* ORDER BY may reference any FROM column, projected or not: sort the
+         working rows, then project in that order. *)
+      let keys =
+        List.map
+          (fun (col, dir) ->
+            match Schema.index_of_opt wschema (resolve_column wschema None col) with
+            | Some i -> (i, dir)
+            | None -> error "sql: unknown ORDER BY column %s" col)
+          sel.order_by
+      in
+      let cmp a b =
+        let rec go = function
+          | [] -> Row.compare a b
+          | (i, dir) :: rest ->
+              let c = Value.compare (Row.cell a i) (Row.cell b i) in
+              if c <> 0 then match dir with Asc -> c | Desc -> -c else go rest
+        in
+        go keys
+      in
+      Some (List.map project (List.sort cmp (Relation.rows filtered)))
+  in
+  (relation, ordered)
+
+let rec eval_query db = function
+  | Select sel -> eval_select db sel
+  | Union (a, b) | Union_all (a, b) ->
+      let ra, _ = eval_query db a and rb, _ = eval_query db b in
+      (Relation.union ra rb, None)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+let reserved name = name = "__tables" || name = "__columns"
+
+let exec_statement db = function
+  | Create_table (name, cols) ->
+      if reserved name then error "sql: %S is a reserved catalog table" name;
+      if Database.mem db name then error "sql: table %S already exists" name;
+      let schema =
+        try Schema.of_list cols
+        with Schema.Error m -> error "sql: %s" m
+      in
+      { db = Database.add db name (Relation.create schema); relation = None; ordered_rows = None }
+  | Drop_table name ->
+      if reserved name then error "sql: cannot drop catalog table %S" name;
+      if not (Database.mem db name) then error "sql: unknown table %S" name;
+      { db = Database.remove db name; relation = None; ordered_rows = None }
+  | Insert (name, tuples) ->
+      if reserved name then error "sql: cannot insert into catalog table %S" name;
+      let rel = lookup_table db name in
+      let arity = Schema.arity (Relation.schema rel) in
+      let rel' =
+        List.fold_left
+          (fun r vs ->
+            if List.length vs <> arity then
+              error "sql: INSERT arity %d, table %S has %d columns"
+                (List.length vs) name arity;
+            Relation.add r (Row.of_list vs))
+          rel tuples
+      in
+      { db = Database.add db name rel'; relation = None; ordered_rows = None }
+  | Query q ->
+      let rel, ordered = eval_query db q in
+      { db; relation = Some rel; ordered_rows = ordered }
+
+let parse_script text =
+  try Sql_parser.parse text with
+  | Sql_parser.Error m | Sql_lexer.Error m -> error "%s" m
+
+let exec db text =
+  match parse_script text with
+  | [ st ] -> (
+      try exec_statement db st with
+      | Relation.Error m | Database.Error m | Schema.Error m | Row.Error m ->
+          error "sql: %s" m)
+  | [] -> error "sql: empty input"
+  | _ -> error "sql: expected a single statement (use exec_script)"
+
+let exec_script db text =
+  let statements = parse_script text in
+  let _, results =
+    List.fold_left
+      (fun (db, acc) st ->
+        let r =
+          try exec_statement db st with
+          | Relation.Error m | Database.Error m | Schema.Error m | Row.Error m
+            ->
+              error "sql: %s" m
+        in
+        (r.db, r :: acc))
+      (db, []) statements
+  in
+  List.rev results
+
+let query db text =
+  match (exec db text).relation with
+  | Some r -> r
+  | None -> error "sql: statement is not a query"

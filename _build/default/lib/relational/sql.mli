@@ -1,0 +1,38 @@
+(** A small SQL engine over {!Database.t}.
+
+    Supports [CREATE TABLE], [DROP TABLE], [INSERT INTO … VALUES], and
+    select-project-join queries with [WHERE], [DISTINCT], [ORDER BY],
+    [UNION], string concatenation ([||]) and qualified column references.
+    Because {!Relation.t} has set semantics, [UNION ALL] and duplicate rows
+    degrade to set behaviour.
+
+    Two read-only {e system tables} are always visible, mirroring the
+    catalog the paper appeals to in §2.2 ("the TNF of a relation can be
+    built in SQL using the system tables"):
+
+    - [__tables(REL)] — one row per relation name;
+    - [__columns(REL, ATT, POS)] — one row per column, with its position.
+
+    Example — building the TNF of a single-relation database in SQL is what
+    {!Tnf} does programmatically. *)
+
+exception Error of string
+
+type result = {
+  db : Database.t;  (** database after the statement *)
+  relation : Relation.t option;
+      (** result set for queries, [None] for DDL/DML *)
+  ordered_rows : Row.t list option;
+      (** rows in [ORDER BY] order when the query had one *)
+}
+
+val exec : Database.t -> string -> result
+(** Execute one statement. @raise Error on parse or evaluation failure. *)
+
+val exec_script : Database.t -> string -> result list
+(** Execute a ';'-separated script; results in order.
+    @raise Error on the first failing statement. *)
+
+val query : Database.t -> string -> Relation.t
+(** Run a [SELECT] and return its result set.
+    @raise Error if the statement is not a query. *)

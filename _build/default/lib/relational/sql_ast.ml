@@ -1,0 +1,53 @@
+(** Abstract syntax for the SQL subset understood by {!Sql}.
+
+    The subset covers what the paper's §2.2 needs ("the TNF of a relation can
+    be built in SQL using the system tables"): table creation, insertion,
+    select-project-join queries over base tables and the system catalog,
+    set operations and ordering. *)
+
+type literal = Value.t
+
+type scalar =
+  | Column of string option * string  (** optional table qualifier, column *)
+  | Lit of literal
+  | Concat of scalar * scalar         (** string concatenation [||] *)
+
+type comparison = Eq | Neq | Lt | Leq | Gt | Geq
+
+type condition =
+  | Cmp of comparison * scalar * scalar
+  | Is_null of scalar
+  | Is_not_null of scalar
+  | And of condition * condition
+  | Or of condition * condition
+  | Not of condition
+
+type select_item =
+  | Star
+  | Expr of scalar * string option    (** expression [AS alias] *)
+  | Agg of Aggregate.func * string option  (** aggregate [AS alias] *)
+
+type order_dir = Asc | Desc
+
+type select = {
+  distinct : bool;
+  items : select_item list;
+  from : (string * string option) list;  (** table, optional alias *)
+  where : condition option;
+  group_by : string list;
+  having : condition option;
+      (** evaluated on the aggregated rows; may reference group keys and
+          aggregate output names *)
+  order_by : (string * order_dir) list;
+}
+
+type query =
+  | Select of select
+  | Union of query * query
+  | Union_all of query * query
+
+type statement =
+  | Create_table of string * string list
+  | Drop_table of string
+  | Insert of string * literal list list
+  | Query of query

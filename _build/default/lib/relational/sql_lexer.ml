@@ -1,0 +1,119 @@
+(** Tokenizer for the SQL subset. Keywords are case-insensitive;
+    identifiers keep their case (double-quote an identifier to protect
+    keywords or exotic characters). *)
+
+type token =
+  | IDENT of string
+  | STRING of string
+  | NUMBER of string
+  | KW of string          (* uppercased keyword *)
+  | COMMA
+  | DOT
+  | STAR
+  | LPAREN
+  | RPAREN
+  | SEMI
+  | OP of string          (* = <> < <= > >= || *)
+  | EOF
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let keywords =
+  [ "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "ORDER"; "BY"; "ASC"; "DESC";
+    "UNION"; "ALL"; "AND"; "OR"; "NOT"; "NULL"; "IS"; "AS"; "CREATE";
+    "TABLE"; "DROP"; "INSERT"; "INTO"; "VALUES"; "TRUE"; "FALSE";
+    "GROUP"; "HAVING"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX" ]
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do incr i done;
+      let word = String.sub input start (!i - start) in
+      let upper = String.uppercase_ascii word in
+      if List.mem upper keywords then emit (KW upper) else emit (IDENT word)
+    end
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit input.[!i + 1]) then begin
+      let start = !i in
+      incr i;
+      while
+        !i < n
+        && (is_digit input.[!i] || input.[!i] = '.' || input.[!i] = 'e'
+           || input.[!i] = 'E'
+           || ((input.[!i] = '-' || input.[!i] = '+')
+              && (input.[!i - 1] = 'e' || input.[!i - 1] = 'E')))
+      do
+        incr i
+      done;
+      emit (NUMBER (String.sub input start (!i - start)))
+    end
+    else
+      match c with
+      | '\'' ->
+          (* SQL string literal with '' escaping. *)
+          let buf = Buffer.create 16 in
+          let rec scan j =
+            if j >= n then error "sql: unterminated string literal"
+            else if input.[j] = '\'' then
+              if j + 1 < n && input.[j + 1] = '\'' then begin
+                Buffer.add_char buf '\'';
+                scan (j + 2)
+              end
+              else j + 1
+            else begin
+              Buffer.add_char buf input.[j];
+              scan (j + 1)
+            end
+          in
+          i := scan (!i + 1);
+          emit (STRING (Buffer.contents buf))
+      | '"' ->
+          let buf = Buffer.create 16 in
+          let rec scan j =
+            if j >= n then error "sql: unterminated quoted identifier"
+            else if input.[j] = '"' then j + 1
+            else begin
+              Buffer.add_char buf input.[j];
+              scan (j + 1)
+            end
+          in
+          i := scan (!i + 1);
+          emit (IDENT (Buffer.contents buf))
+      | ',' -> emit COMMA; incr i
+      | '.' -> emit DOT; incr i
+      | '*' -> emit STAR; incr i
+      | '(' -> emit LPAREN; incr i
+      | ')' -> emit RPAREN; incr i
+      | ';' -> emit SEMI; incr i
+      | '=' -> emit (OP "="); incr i
+      | '<' ->
+          if !i + 1 < n && input.[!i + 1] = '>' then begin emit (OP "<>"); i := !i + 2 end
+          else if !i + 1 < n && input.[!i + 1] = '=' then begin emit (OP "<="); i := !i + 2 end
+          else begin emit (OP "<"); incr i end
+      | '>' ->
+          if !i + 1 < n && input.[!i + 1] = '=' then begin emit (OP ">="); i := !i + 2 end
+          else begin emit (OP ">"); incr i end
+      | '|' ->
+          if !i + 1 < n && input.[!i + 1] = '|' then begin emit (OP "||"); i := !i + 2 end
+          else error "sql: lone '|'"
+      | '!' ->
+          if !i + 1 < n && input.[!i + 1] = '=' then begin emit (OP "<>"); i := !i + 2 end
+          else error "sql: lone '!'"
+      | c -> error "sql: unexpected character %C" c
+  done;
+  emit EOF;
+  List.rev !tokens

@@ -1,0 +1,102 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+let null = Null
+let bool b = Bool b
+let int n = Int n
+let float f = Float f
+let string s = String s
+
+let is_int_literal s =
+  s <> ""
+  && (match s.[0] with '-' | '+' -> String.length s > 1 | _ -> true)
+  &&
+  let ok = ref true in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '0' .. '9' -> ()
+      | ('-' | '+') when i = 0 -> ()
+      | _ -> ok := false)
+    s;
+  !ok
+
+let of_string_guess s =
+  match s with
+  | "" | "NULL" | "null" -> Null
+  | "true" -> Bool true
+  | "false" -> Bool false
+  | _ when is_int_literal s -> (
+      match int_of_string_opt s with Some n -> Int n | None -> String s)
+  | _ when String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s -> (
+      match float_of_string_opt s with Some f -> Float f | None -> String s)
+  | _ -> String s
+
+(* Rank for type stratification in the total order. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | String _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | String x, String y -> String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 17
+  | Bool b -> Hashtbl.hash b
+  | Int n -> Hashtbl.hash n
+  | Float f -> Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+
+let is_null = function Null -> true | _ -> false
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | String _ -> "string"
+
+let to_string = function
+  | Null -> "NULL"
+  | Bool b -> Bool.to_string b
+  | Int n -> string_of_int n
+  | Float f ->
+      (* Keep a decimal point so the value re-parses as a float. *)
+      let s = string_of_float f in
+      if String.length s > 0 && s.[String.length s - 1] = '.' then s ^ "0"
+      else s
+  | String s -> s
+
+let to_display = function Null -> "-" | v -> to_string v
+
+let as_int = function
+  | Int n -> Some n
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | String s -> int_of_string_opt s
+  | _ -> None
+
+let as_float = function
+  | Int n -> Some (float_of_int n)
+  | Float f -> Some f
+  | String s -> float_of_string_opt s
+  | _ -> None
+
+let as_string = function String s -> Some s | Null -> None | v -> Some (to_string v)
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

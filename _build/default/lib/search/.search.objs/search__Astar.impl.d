@@ -1,0 +1,1 @@
+lib/search/astar.ml: Hashtbl Heap List Space Unix

@@ -1,0 +1,1 @@
+lib/search/astar.mli: Space

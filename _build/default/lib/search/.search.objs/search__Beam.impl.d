@@ -1,0 +1,1 @@
+lib/search/beam.ml: Hashtbl List Space Unix

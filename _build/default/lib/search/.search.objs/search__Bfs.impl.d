@@ -1,0 +1,1 @@
+lib/search/bfs.ml: Hashtbl List Queue Space Unix

@@ -1,0 +1,1 @@
+lib/search/bfs.mli: Hashtbl Space

@@ -1,0 +1,1 @@
+lib/search/greedy.ml: Hashtbl Heap List Space Unix

@@ -1,0 +1,1 @@
+lib/search/ida.ml: Hashtbl List Space Unix

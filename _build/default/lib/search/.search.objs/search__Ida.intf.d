@@ -1,0 +1,1 @@
+lib/search/ida.mli: Space

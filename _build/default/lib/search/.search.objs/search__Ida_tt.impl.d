@@ -1,0 +1,1 @@
+lib/search/ida_tt.ml: Hashtbl List Space Unix

@@ -1,0 +1,1 @@
+lib/search/ida_tt.mli: Space

@@ -1,0 +1,1 @@
+lib/search/rbfs.ml: Array Hashtbl List Space Unix

@@ -1,0 +1,1 @@
+lib/search/rbfs.mli: Space

@@ -1,0 +1,74 @@
+module Make (S : Space.S) = struct
+  type node = { state : S.state; path_rev : S.action list; g : int }
+
+  let search ?(budget = Space.default_budget) ~heuristic root =
+    let t0 = Unix.gettimeofday () in
+    let examined = ref 0 and generated = ref 0 and expanded = ref 0 in
+    let finish outcome =
+      {
+        Space.outcome;
+        stats =
+          {
+            Space.examined = !examined;
+            generated = !generated;
+            expanded = !expanded;
+            iterations = 1;
+            elapsed_s = Unix.gettimeofday () -. t0;
+          };
+      }
+    in
+    let frontier = Heap.create () in
+    (* best g with which a key was ever enqueued/expanded *)
+    let best_g : (string, int) Hashtbl.t = Hashtbl.create 256 in
+    let push node =
+      Heap.push frontier ~priority:(node.g + heuristic node.state) node
+    in
+    Hashtbl.replace best_g (S.key root) 0;
+    push { state = root; path_rev = []; g = 0 };
+    let rec loop () =
+      match Heap.pop frontier with
+      | None -> finish Space.Exhausted
+      | Some (_, node) ->
+          let key = S.key node.state in
+          (* Skip stale entries superseded by a cheaper path. *)
+          let stale =
+            match Hashtbl.find_opt best_g key with
+            | Some g -> g < node.g
+            | None -> false
+          in
+          if stale then loop ()
+          else begin
+            incr examined;
+            if !examined > budget then finish Space.Budget_exceeded
+            else if S.is_goal node.state then
+              finish
+                (Space.Found
+                   {
+                     path = List.rev node.path_rev;
+                     final = node.state;
+                     cost = node.g;
+                   })
+            else begin
+              incr expanded;
+              let succs = S.successors node.state in
+              generated := !generated + List.length succs;
+              List.iter
+                (fun (action, s) ->
+                  let g = node.g + 1 in
+                  let k = S.key s in
+                  let better =
+                    match Hashtbl.find_opt best_g k with
+                    | Some g0 -> g < g0
+                    | None -> true
+                  in
+                  if better then begin
+                    Hashtbl.replace best_g k g;
+                    push { state = s; path_rev = action :: node.path_rev; g }
+                  end)
+                succs;
+              loop ()
+            end
+          end
+    in
+    loop ()
+end

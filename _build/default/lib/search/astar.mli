@@ -1,0 +1,16 @@
+(** A* best-first search with a closed set.
+
+    Not used by the paper's reported experiments — its exponential memory is
+    exactly why the authors moved to IDA*/RBFS (§2.3) — but provided as a
+    baseline and as an oracle: with an admissible heuristic its solution
+    cost is optimal, which the test suite uses to validate IDA* and RBFS.
+    States are deduplicated by canonical key; a state is reopened if found
+    again with a smaller g (heuristics here are generally inadmissible). *)
+
+module Make (S : Space.S) : sig
+  val search :
+    ?budget:int ->
+    heuristic:(S.state -> int) ->
+    S.state ->
+    (S.state, S.action) Space.result
+end

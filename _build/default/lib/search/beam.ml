@@ -1,0 +1,75 @@
+module Make (S : Space.S) = struct
+  type node = { state : S.state; path_rev : S.action list; g : int }
+
+  let search ?(budget = Space.default_budget) ?(width = 8) ~heuristic root =
+    let t0 = Unix.gettimeofday () in
+    let examined = ref 0 and generated = ref 0 and expanded = ref 0 in
+    let finish outcome =
+      {
+        Space.outcome;
+        stats =
+          {
+            Space.examined = !examined;
+            generated = !generated;
+            expanded = !expanded;
+            iterations = 1;
+            elapsed_s = Unix.gettimeofday () -. t0;
+          };
+      }
+    in
+    (* States seen in any earlier beam are never re-admitted. *)
+    let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+    Hashtbl.replace seen (S.key root) ();
+    let rec sweep beam =
+      (* Examine the whole beam first (goal test), then expand. *)
+      let rec check = function
+        | [] -> None
+        | node :: rest ->
+            incr examined;
+            if !examined > budget then Some (finish Space.Budget_exceeded)
+            else if S.is_goal node.state then
+              Some
+                (finish
+                   (Space.Found
+                      {
+                        path = List.rev node.path_rev;
+                        final = node.state;
+                        cost = node.g;
+                      }))
+            else check rest
+      in
+      match check beam with
+      | Some result -> result
+      | None ->
+          let children =
+            List.concat_map
+              (fun node ->
+                incr expanded;
+                let succs = S.successors node.state in
+                generated := !generated + List.length succs;
+                List.filter_map
+                  (fun (action, s) ->
+                    let k = S.key s in
+                    if Hashtbl.mem seen k then None
+                    else begin
+                      Hashtbl.replace seen k ();
+                      Some
+                        { state = s; path_rev = action :: node.path_rev;
+                          g = node.g + 1 }
+                    end)
+                  succs)
+              beam
+          in
+          if children = [] then finish Space.Exhausted
+          else
+            let scored =
+              List.map (fun n -> (n.g + heuristic n.state, n)) children
+              |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+            in
+            let next =
+              List.filteri (fun i _ -> i < width) (List.map snd scored)
+            in
+            sweep next
+    in
+    sweep [ { state = root; path_rev = []; g = 0 } ]
+end

@@ -1,0 +1,20 @@
+(** Beam search — a bounded-width best-first sweep.
+
+    Keeps only the [width] best states (by f = g + h) at each depth,
+    expanding them all and pruning the rest. Memory is O(width), like the
+    paper's linear-memory algorithms, but completeness is sacrificed: a
+    too-narrow beam can discard every path to the goal, in which case the
+    search reports exhaustion even though a mapping exists. Included as an
+    ablation point in the direction of §7's "further investigation of
+    search techniques". *)
+
+module Make (S : Space.S) : sig
+  val search :
+    ?budget:int ->
+    ?width:int ->
+    heuristic:(S.state -> int) ->
+    S.state ->
+    (S.state, S.action) Space.result
+  (** Default [width] is 8. [Exhausted] means the beam died out — with a
+      finite width that is {e not} a proof that no mapping exists. *)
+end

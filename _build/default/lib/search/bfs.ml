@@ -1,0 +1,76 @@
+module Make (S : Space.S) = struct
+  type node = { state : S.state; path_rev : S.action list; depth : int }
+
+  let search ?(budget = Space.default_budget) root =
+    let t0 = Unix.gettimeofday () in
+    let examined = ref 0 and generated = ref 0 and expanded = ref 0 in
+    let finish outcome =
+      {
+        Space.outcome;
+        stats =
+          {
+            Space.examined = !examined;
+            generated = !generated;
+            expanded = !expanded;
+            iterations = 1;
+            elapsed_s = Unix.gettimeofday () -. t0;
+          };
+      }
+    in
+    let queue = Queue.create () in
+    let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+    Hashtbl.replace seen (S.key root) ();
+    Queue.push { state = root; path_rev = []; depth = 0 } queue;
+    let rec loop () =
+      if Queue.is_empty queue then finish Space.Exhausted
+      else begin
+        let node = Queue.pop queue in
+        incr examined;
+        if !examined > budget then finish Space.Budget_exceeded
+        else if S.is_goal node.state then
+          finish
+            (Space.Found
+               { path = List.rev node.path_rev; final = node.state; cost = node.depth })
+        else begin
+          incr expanded;
+          let succs = S.successors node.state in
+          generated := !generated + List.length succs;
+          List.iter
+            (fun (action, s) ->
+              let k = S.key s in
+              if not (Hashtbl.mem seen k) then begin
+                Hashtbl.replace seen k ();
+                Queue.push
+                  { state = s; path_rev = action :: node.path_rev; depth = node.depth + 1 }
+                  queue
+              end)
+            succs;
+          loop ()
+        end
+      end
+    in
+    loop ()
+
+  let reachable ?(budget = Space.default_budget) ?(max_depth = max_int) root =
+    let depths : (string, int) Hashtbl.t = Hashtbl.create 256 in
+    let queue = Queue.create () in
+    Hashtbl.replace depths (S.key root) 0;
+    Queue.push (root, 0) queue;
+    let count = ref 0 in
+    let continue = ref true in
+    while !continue && not (Queue.is_empty queue) do
+      let state, depth = Queue.pop queue in
+      incr count;
+      if !count > budget then continue := false
+      else if depth < max_depth then
+        List.iter
+          (fun (_, s) ->
+            let k = S.key s in
+            if not (Hashtbl.mem depths k) then begin
+              Hashtbl.replace depths k (depth + 1);
+              Queue.push (s, depth + 1) queue
+            end)
+          (S.successors state)
+    done;
+    depths
+end

@@ -1,0 +1,15 @@
+(** Breadth-first search with global duplicate elimination.
+
+    With unit edge costs BFS returns a shortest path, so the test suite
+    uses it as the optimality oracle for IDA* and RBFS (whose solutions
+    must match its cost whenever the heuristic is admissible). *)
+
+module Make (S : Space.S) : sig
+  val search :
+    ?budget:int -> S.state -> (S.state, S.action) Space.result
+
+  val reachable :
+    ?budget:int -> ?max_depth:int -> S.state -> (string, int) Hashtbl.t
+  (** Keys of all states reachable within [max_depth] steps, mapped to
+      their BFS depth. Used by tests to characterize small spaces. *)
+end

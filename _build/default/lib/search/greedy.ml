@@ -1,0 +1,52 @@
+module Make (S : Space.S) = struct
+  type node = { state : S.state; path_rev : S.action list; g : int }
+
+  let search ?(budget = Space.default_budget) ~heuristic root =
+    let t0 = Unix.gettimeofday () in
+    let examined = ref 0 and generated = ref 0 and expanded = ref 0 in
+    let finish outcome =
+      {
+        Space.outcome;
+        stats =
+          {
+            Space.examined = !examined;
+            generated = !generated;
+            expanded = !expanded;
+            iterations = 1;
+            elapsed_s = Unix.gettimeofday () -. t0;
+          };
+      }
+    in
+    let frontier = Heap.create () in
+    let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+    Hashtbl.replace seen (S.key root) ();
+    Heap.push frontier ~priority:(heuristic root)
+      { state = root; path_rev = []; g = 0 };
+    let rec loop () =
+      match Heap.pop frontier with
+      | None -> finish Space.Exhausted
+      | Some (_, node) ->
+          incr examined;
+          if !examined > budget then finish Space.Budget_exceeded
+          else if S.is_goal node.state then
+            finish
+              (Space.Found
+                 { path = List.rev node.path_rev; final = node.state; cost = node.g })
+          else begin
+            incr expanded;
+            let succs = S.successors node.state in
+            generated := !generated + List.length succs;
+            List.iter
+              (fun (action, s) ->
+                let k = S.key s in
+                if not (Hashtbl.mem seen k) then begin
+                  Hashtbl.replace seen k ();
+                  Heap.push frontier ~priority:(heuristic s)
+                    { state = s; path_rev = action :: node.path_rev; g = node.g + 1 }
+                end)
+              succs;
+            loop ()
+          end
+    in
+    loop ()
+end

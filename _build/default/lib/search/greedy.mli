@@ -1,0 +1,13 @@
+(** Greedy best-first search: the frontier is ordered by h alone.
+
+    An ablation baseline — fast and memory-hungry, with no cost guarantee.
+    Deduplicates states by canonical key (each state is expanded at most
+    once). *)
+
+module Make (S : Space.S) : sig
+  val search :
+    ?budget:int ->
+    heuristic:(S.state -> int) ->
+    S.state ->
+    (S.state, S.action) Space.result
+end

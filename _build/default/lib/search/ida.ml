@@ -1,0 +1,78 @@
+let infinity_cost = max_int
+
+module Make (S : Space.S) = struct
+  exception Budget
+
+  type counters = {
+    mutable examined : int;
+    mutable generated : int;
+    mutable expanded : int;
+    mutable iterations : int;
+  }
+
+  type dfs_result =
+    | Hit of S.action list * S.state
+    | Cutoff of int  (** least f value beyond the bound *)
+
+  let search ?(budget = Space.default_budget) ~heuristic root =
+    let t0 = Unix.gettimeofday () in
+    let c = { examined = 0; generated = 0; expanded = 0; iterations = 0 } in
+    let finish outcome =
+      {
+        Space.outcome;
+        stats =
+          {
+            Space.examined = c.examined;
+            generated = c.generated;
+            expanded = c.expanded;
+            iterations = c.iterations;
+            elapsed_s = Unix.gettimeofday () -. t0;
+          };
+      }
+    in
+    (* Keys of states on the current DFS path, for cycle avoidance. *)
+    let on_path : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+    let rec dfs state g bound =
+      let f = g + heuristic state in
+      if f > bound then Cutoff f
+      else begin
+        c.examined <- c.examined + 1;
+        if c.examined > budget then raise Budget;
+        if S.is_goal state then Hit ([], state)
+        else begin
+          let succs = S.successors state in
+          c.expanded <- c.expanded + 1;
+          c.generated <- c.generated + List.length succs;
+          let key = S.key state in
+          Hashtbl.add on_path key ();
+          let best_cutoff = ref infinity_cost in
+          let rec try_succs = function
+            | [] -> Cutoff !best_cutoff
+            | (action, s) :: rest ->
+                if Hashtbl.mem on_path (S.key s) then try_succs rest
+                else begin
+                  match dfs s (g + 1) bound with
+                  | Hit (path, final) -> Hit (action :: path, final)
+                  | Cutoff fmin ->
+                      if fmin < !best_cutoff then best_cutoff := fmin;
+                      try_succs rest
+                end
+          in
+          let result = try_succs succs in
+          Hashtbl.remove on_path key;
+          result
+        end
+      end
+    in
+    let rec iterate bound =
+      c.iterations <- c.iterations + 1;
+      Hashtbl.reset on_path;
+      match dfs root 0 bound with
+      | Hit (path, final) ->
+          finish (Space.Found { path; final; cost = List.length path })
+      | Cutoff next ->
+          if next = infinity_cost || next <= bound then finish Space.Exhausted
+          else iterate next
+    in
+    try iterate (heuristic root) with Budget -> finish Space.Budget_exceeded
+end

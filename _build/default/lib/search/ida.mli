@@ -1,0 +1,19 @@
+(** Iterative-Deepening A* — one of TUPELO's two search algorithms (§2.3).
+
+    Performs depth-first searches bounded by increasing f = g + h values,
+    starting from f(root) = h(root); memory is linear in the solution
+    depth, at the price of re-exploring shallow states on every iteration
+    (those re-examinations are counted, as in the paper's experiments).
+    States already on the current path are skipped (cycle avoidance). *)
+
+module Make (S : Space.S) : sig
+  val search :
+    ?budget:int ->
+    heuristic:(S.state -> int) ->
+    S.state ->
+    (S.state, S.action) Space.result
+  (** [search ~heuristic root] explores until a goal is found, the space is
+      exhausted, or [budget] states (default {!Space.default_budget}) have
+      been examined. With the constant-zero heuristic this is iterative
+      deepening — the paper's blind baseline h0. *)
+end

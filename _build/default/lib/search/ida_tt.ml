@@ -1,0 +1,104 @@
+let infinity_cost = max_int
+
+module Make (S : Space.S) = struct
+  exception Budget
+
+  type counters = {
+    mutable examined : int;
+    mutable generated : int;
+    mutable expanded : int;
+    mutable iterations : int;
+  }
+
+  type dfs_result = Hit of S.action list * S.state | Cutoff of int
+
+  let search ?(budget = Space.default_budget) ?(table_cap = 500_000)
+      ~heuristic root =
+    let t0 = Unix.gettimeofday () in
+    let c = { examined = 0; generated = 0; expanded = 0; iterations = 0 } in
+    let finish outcome =
+      {
+        Space.outcome;
+        stats =
+          {
+            Space.examined = c.examined;
+            generated = c.generated;
+            expanded = c.expanded;
+            iterations = c.iterations;
+            elapsed_s = Unix.gettimeofday () -. t0;
+          };
+      }
+    in
+    let on_path : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+    (* improved (backed-up) heuristic values, persisted across iterations *)
+    let improved : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+    let h_eff key state =
+      match Hashtbl.find_opt improved key with
+      | Some h' -> max h' (heuristic state)
+      | None -> heuristic state
+    in
+    let remember key h' =
+      if Hashtbl.length improved >= table_cap then Hashtbl.reset improved;
+      Hashtbl.replace improved key h'
+    in
+    let rec dfs state g bound =
+      let key = S.key state in
+      let f = g + h_eff key state in
+      if f > bound then Cutoff f
+      else begin
+        c.examined <- c.examined + 1;
+        if c.examined > budget then raise Budget;
+        if S.is_goal state then Hit ([], state)
+        else begin
+          let succs = S.successors state in
+          c.expanded <- c.expanded + 1;
+          c.generated <- c.generated + List.length succs;
+          Hashtbl.add on_path key ();
+          let best_cutoff = ref infinity_cost in
+          (* A backed-up cutoff is only a context-free lower bound when no
+             successor was suppressed by the on-path cycle check — a
+             suppressed successor might be available when the state is
+             reached along a different path. *)
+          let pruned_by_cycle = ref false in
+          let rec try_succs = function
+            | [] -> Cutoff !best_cutoff
+            | (action, s) :: rest ->
+                if Hashtbl.mem on_path (S.key s) then begin
+                  pruned_by_cycle := true;
+                  try_succs rest
+                end
+                else begin
+                  match dfs s (g + 1) bound with
+                  | Hit (path, final) -> Hit (action :: path, final)
+                  | Cutoff fmin ->
+                      if fmin < !best_cutoff then best_cutoff := fmin;
+                      try_succs rest
+                end
+          in
+          let result = try_succs succs in
+          Hashtbl.remove on_path key;
+          (match result with
+          | Cutoff fmin when not !pruned_by_cycle ->
+              (* The subtree needs at least fmin; record it as an improved
+                 heuristic for this state. *)
+              remember key
+                (if fmin >= infinity_cost then infinity_cost / 2
+                 else fmin - g)
+          | Cutoff _ | Hit _ -> ());
+          result
+        end
+      end
+    in
+    let rec iterate bound =
+      c.iterations <- c.iterations + 1;
+      Hashtbl.reset on_path;
+      match dfs root 0 bound with
+      | Hit (path, final) ->
+          finish (Space.Found { path; final; cost = List.length path })
+      | Cutoff next ->
+          if next >= infinity_cost / 2 || next <= bound then
+            finish Space.Exhausted
+          else iterate next
+    in
+    try iterate (heuristic root) with Budget -> finish Space.Budget_exceeded
+end

@@ -1,0 +1,25 @@
+(** IDA* with a transposition table — an extension in the direction of the
+    paper's future work ("further investigation of search techniques
+    developed in the AI literature is warranted", §7).
+
+    Identical to {!Ida} except that when a subtree rooted at a state fails
+    under the current bound, the backed-up cutoff is stored as an improved
+    heuristic value for that state (Reinefeld-style h-update). Revisits of
+    the state — through a different operator ordering or in a later
+    iteration — are then pruned immediately when the improved value already
+    exceeds the bound. This trades memory (the table, capped) for a large
+    reduction in re-examined states on spaces with many commuting
+    operators, which ℒ's rename/λ spaces are; the [ablation] bench
+    quantifies the effect. With an admissible heuristic, solution costs
+    remain optimal (backed-up cutoffs are valid lower bounds). *)
+
+module Make (S : Space.S) : sig
+  val search :
+    ?budget:int ->
+    ?table_cap:int ->
+    heuristic:(S.state -> int) ->
+    S.state ->
+    (S.state, S.action) Space.result
+  (** [table_cap] bounds the number of stored entries (default 500_000);
+      the table is cleared when the cap is reached. *)
+end

@@ -1,0 +1,101 @@
+let infinity_cost = max_int / 2
+(* Half of max_int so that f-value arithmetic can never overflow. *)
+
+module Make (S : Space.S) = struct
+  exception Budget
+
+  type counters = {
+    mutable examined : int;
+    mutable generated : int;
+    mutable expanded : int;
+  }
+
+  type node = {
+    state : S.state;
+    action : S.action option;  (** edge from the parent *)
+    g : int;
+    mutable f : int;  (** cached (possibly backed-up) f-value *)
+  }
+
+  type rec_result =
+    | Hit of S.action list * S.state
+    | Failed of int  (** revised f-value *)
+
+  let search ?(budget = Space.default_budget) ~heuristic root =
+    let t0 = Unix.gettimeofday () in
+    let c = { examined = 0; generated = 0; expanded = 0 } in
+    let finish outcome =
+      {
+        Space.outcome;
+        stats =
+          {
+            Space.examined = c.examined;
+            generated = c.generated;
+            expanded = c.expanded;
+            iterations = 1;
+            elapsed_s = Unix.gettimeofday () -. t0;
+          };
+      }
+    in
+    let on_path : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+    let clamp x = if x > infinity_cost then infinity_cost else x in
+    let rec rbfs node f_limit =
+      c.examined <- c.examined + 1;
+      if c.examined > budget then raise Budget;
+      if S.is_goal node.state then Hit ([], node.state)
+      else begin
+        let key = S.key node.state in
+        Hashtbl.add on_path key ();
+        let succs =
+          S.successors node.state
+          |> List.filter (fun (_, s) -> not (Hashtbl.mem on_path (S.key s)))
+        in
+        c.expanded <- c.expanded + 1;
+        c.generated <- c.generated + List.length succs;
+        let result =
+          if succs = [] then Failed infinity_cost
+          else begin
+            let nodes =
+              List.map
+                (fun (action, s) ->
+                  let g = node.g + 1 in
+                  (* Pathmax: inherit the parent's backed-up f when it is
+                     larger, so backed-up values stay monotone. *)
+                  let f = clamp (max (g + heuristic s) node.f) in
+                  { state = s; action = Some action; g; f })
+                succs
+            in
+            let arr = Array.of_list nodes in
+            let rec loop () =
+              (* Select best and second-best by cached f. *)
+              Array.sort (fun a b -> compare a.f b.f) arr;
+              let best = arr.(0) in
+              (* A best f at infinity means every descendant is a dead end:
+                 fail upward even when the limit is also infinite. *)
+              if best.f > f_limit || best.f >= infinity_cost then Failed best.f
+              else begin
+                let alternative =
+                  if Array.length arr > 1 then arr.(1).f else infinity_cost
+                in
+                match rbfs best (min f_limit alternative) with
+                | Hit (path, final) ->
+                    Hit ((match best.action with Some a -> a :: path | None -> path), final)
+                | Failed revised ->
+                    best.f <- revised;
+                    loop ()
+              end
+            in
+            loop ()
+          end
+        in
+        Hashtbl.remove on_path key;
+        result
+      end
+    in
+    let root_node = { state = root; action = None; g = 0; f = clamp (heuristic root) } in
+    match rbfs root_node infinity_cost with
+    | Hit (path, final) ->
+        finish (Space.Found { path; final; cost = List.length path })
+    | Failed _ -> finish Space.Exhausted
+    | exception Budget -> finish Space.Budget_exceeded
+end

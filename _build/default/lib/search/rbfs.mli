@@ -1,0 +1,16 @@
+(** Recursive Best-First Search (Korf 1993) — TUPELO's second search
+    algorithm (§2.3).
+
+    Explores best-first within linear memory by recursing on the locally
+    best successor with an f-limit equal to the best alternative, backing
+    up revised f-values on return. Like IDA* it re-generates states (the
+    re-examinations are counted); unlike IDA* it follows the f-ordering
+    locally rather than in global depth-bounded sweeps. *)
+
+module Make (S : Space.S) : sig
+  val search :
+    ?budget:int ->
+    heuristic:(S.state -> int) ->
+    S.state ->
+    (S.state, S.action) Space.result
+end

@@ -1,0 +1,64 @@
+(** State-space abstraction shared by all search algorithms.
+
+    TUPELO's §2.3 casts data mapping as search: states are databases,
+    actions are ℒ operators, edges have unit cost (the paper's
+    [g(x)] = number of transformations applied). The algorithms below are
+    generic over any space with that shape. *)
+
+module type S = sig
+  type state
+  type action
+
+  val key : state -> string
+  (** Canonical serialization; two states with equal keys are identical.
+      Used for on-path cycle detection (IDA*, RBFS) and A-star closed sets. *)
+
+  val successors : state -> (action * state) list
+  (** All states one transformation away. Order matters only for
+      tie-breaking. *)
+
+  val is_goal : state -> bool
+end
+
+(** Search statistics. [examined] is the paper's reported metric: the
+    number of states on which the goal test was evaluated, accumulated
+    across IDA* iterations and RBFS re-expansions (redundant explorations
+    count, as in the paper). *)
+type stats = {
+  examined : int;
+  generated : int;  (** successor states produced *)
+  expanded : int;   (** states whose successors were produced *)
+  iterations : int; (** IDA* depth-bound iterations (1 elsewhere) *)
+  elapsed_s : float;
+}
+
+type ('state, 'action) outcome =
+  | Found of { path : 'action list; final : 'state; cost : int }
+      (** [path] in application order; [cost] = number of actions. *)
+  | Exhausted  (** the whole (budgeted) space contains no goal *)
+  | Budget_exceeded  (** gave up after examining the budget of states *)
+
+type ('state, 'action) result = {
+  outcome : ('state, 'action) outcome;
+  stats : stats;
+}
+
+let default_budget = 1_000_000
+
+let found result =
+  match result.outcome with Found _ -> true | _ -> false
+
+let path_exn result =
+  match result.outcome with
+  | Found { path; _ } -> path
+  | _ -> invalid_arg "Space.path_exn: no solution"
+
+let cost_exn result =
+  match result.outcome with
+  | Found { cost; _ } -> cost
+  | _ -> invalid_arg "Space.cost_exn: no solution"
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "examined=%d generated=%d expanded=%d iterations=%d elapsed=%.3fs"
+    s.examined s.generated s.expanded s.iterations s.elapsed_s

@@ -1,0 +1,1 @@
+lib/tupelo/critical.ml: Fira List Printf Relation Relational Row Tnf Value

@@ -1,0 +1,1 @@
+lib/tupelo/critical.mli: Database Fira Relation Relational

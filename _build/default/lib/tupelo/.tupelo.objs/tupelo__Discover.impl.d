@@ -1,0 +1,1 @@
+lib/tupelo/discover.ml: Fira Goal Hashtbl Heuristics List Logs Mapping Moves Printf Relational Search State String

@@ -1,0 +1,1 @@
+lib/tupelo/discover.mli: Database Fira Goal Heuristics Mapping Moves Relational Search

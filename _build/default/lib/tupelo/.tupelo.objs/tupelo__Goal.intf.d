@@ -1,0 +1,1 @@
+lib/tupelo/goal.mli: Database Relational

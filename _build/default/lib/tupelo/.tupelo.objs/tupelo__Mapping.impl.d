@@ -1,0 +1,1 @@
+lib/tupelo/mapping.ml: Fira Format Goal Search

@@ -1,0 +1,1 @@
+lib/tupelo/mapping.mli: Database Fira Format Goal Relational Search

@@ -1,0 +1,1 @@
+lib/tupelo/matching.ml: Database Fira List Relation Relational Set

@@ -1,0 +1,1 @@
+lib/tupelo/matching.mli: Database Fira Relational

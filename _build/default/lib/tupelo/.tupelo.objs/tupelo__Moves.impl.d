@@ -1,0 +1,1 @@
+lib/tupelo/moves.ml: Database Fira Goal Hashtbl List Map Printf Relation Relational Row Schema Set State String Value

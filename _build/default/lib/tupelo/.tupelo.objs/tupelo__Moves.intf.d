@@ -1,0 +1,1 @@
+lib/tupelo/moves.mli: Database Fira Goal Relational State

@@ -1,0 +1,1 @@
+lib/tupelo/refine.ml: Algebra Database List Relation Relational

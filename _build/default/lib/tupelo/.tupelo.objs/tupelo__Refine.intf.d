@@ -1,0 +1,1 @@
+lib/tupelo/refine.mli: Algebra Database Relational

@@ -1,0 +1,1 @@
+lib/tupelo/state.ml: Database Heuristics Lazy Relational String

@@ -1,0 +1,1 @@
+lib/tupelo/state.mli: Database Format Heuristics Relational

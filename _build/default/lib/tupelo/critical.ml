@@ -1,0 +1,34 @@
+open Relational
+
+let semfun_rel = "__semfun"
+
+let encode registry db =
+  let base = Tnf.encode db in
+  let annotation_rows =
+    Fira.Semfun.to_list registry
+    |> List.concat_map (fun f -> Fira.Semfun.encode_annotation f)
+    |> List.mapi (fun i annotation ->
+           Row.of_list
+             [
+               Value.String (Printf.sprintf "f%d" (i + 1));
+               Value.String semfun_rel;
+               Value.String "annotation";
+               Value.String annotation;
+             ])
+  in
+  List.fold_left Relation.add base annotation_rows
+
+let decode tnf =
+  let s = Relation.schema tnf in
+  let is_annotation_row row =
+    Value.to_string (Row.get s row Tnf.rel_att) = semfun_rel
+  in
+  let data = Relation.select tnf (fun _ row -> not (is_annotation_row row)) in
+  let annotations =
+    Relation.rows (Relation.select tnf (fun _ row -> is_annotation_row row))
+    |> List.map (fun row -> Value.to_string (Row.get s row Tnf.value_att))
+  in
+  let registry =
+    Fira.Semfun.of_list (Fira.Semfun.decode_annotations annotations)
+  in
+  (Tnf.decode data, registry)

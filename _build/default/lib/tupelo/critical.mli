@@ -1,0 +1,26 @@
+(** Critical instances as self-contained TNF relations.
+
+    §4: "complex semantic maps are just encoded as strings in the VALUE
+    column of the TNF relation. This string indicates the input/output type
+    of the function, the function name, and the example function values."
+    This module implements exactly that interchange format: one TNF
+    relation carries both the example database and the articulated complex
+    functions, so a critical instance is a single flat table that can be
+    shipped as one CSV file. *)
+
+open Relational
+
+val semfun_rel : string
+(** ["__semfun"] — the reserved REL name under which annotations are
+    stored. *)
+
+val encode : Fira.Semfun.registry -> Database.t -> Relation.t
+(** The TNF of the database plus one row per function example, each
+    holding a [Fira.Semfun] annotation string in VALUE. *)
+
+val decode : Relation.t -> Database.t * Fira.Semfun.registry
+(** Split a critical-instance TNF back into the example database and the
+    (implementation-less) function registry. Annotation rows are
+    recognized by the reserved REL name; everything else decodes as data.
+    @raise Tnf.Error on a non-TNF relation, [Fira.Semfun.Error] on
+    malformed annotations. *)

@@ -1,0 +1,169 @@
+let log_src = Logs.Src.create "tupelo.discover" ~doc:"Mapping discovery"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type algorithm = Ida | Ida_tt | Rbfs | Astar | Greedy | Beam of int | Bfs
+
+let algorithm_name = function
+  | Ida -> "IDA"
+  | Ida_tt -> "IDA+TT"
+  | Rbfs -> "RBFS"
+  | Astar -> "A*"
+  | Greedy -> "Greedy"
+  | Beam w -> Printf.sprintf "Beam(%d)" w
+  | Bfs -> "BFS"
+
+let algorithm_of_string s =
+  match String.lowercase_ascii s with
+  | "ida" -> Some Ida
+  | "ida-tt" | "ida+tt" | "idatt" -> Some Ida_tt
+  | "rbfs" -> Some Rbfs
+  | "astar" | "a*" -> Some Astar
+  | "greedy" -> Some Greedy
+  | "beam" -> Some (Beam 8)
+  | "bfs" -> Some Bfs
+  | s when String.length s > 5 && String.sub s 0 5 = "beam:" -> (
+      match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+      | Some w when w > 0 -> Some (Beam w)
+      | _ -> None)
+  | _ -> None
+
+let scaling_for = function
+  | Rbfs -> Heuristics.Heuristic.Scaling.rbfs
+  | Ida | Ida_tt | Astar | Greedy | Beam _ | Bfs -> Heuristics.Heuristic.Scaling.ida
+
+type config = {
+  algorithm : algorithm;
+  heuristic : Heuristics.Heuristic.t;
+  goal : Goal.mode;
+  budget : int;
+  moves : Moves.config;
+}
+
+let config ?(algorithm = Rbfs) ?heuristic ?(goal = Goal.Superset)
+    ?(budget = Search.Space.default_budget) ?moves () =
+  let heuristic =
+    match heuristic with
+    | Some h -> h
+    | None ->
+        let k = (scaling_for algorithm).k_cosine in
+        Heuristics.Heuristic.cosine ~k
+  in
+  let moves = match moves with Some m -> m | None -> Moves.default goal in
+  { algorithm; heuristic; goal; budget; moves }
+
+type outcome =
+  | Mapping of Mapping.t
+  | No_mapping of Search.Space.stats
+  | Gave_up of Search.Space.stats
+
+let states_examined = function
+  | Mapping m -> m.Mapping.stats.Search.Space.examined
+  | No_mapping stats | Gave_up stats -> stats.Search.Space.examined
+
+let discover ?(registry = Fira.Semfun.empty_registry) config ~source ~target =
+  Log.debug (fun m ->
+      m "discover: %s/%s goal=%s budget=%d source=%d rels target=%d rels"
+        (algorithm_name config.algorithm)
+        config.heuristic.Heuristics.Heuristic.name
+        (Goal.mode_to_string config.goal)
+        config.budget
+        (Relational.Database.size source)
+        (Relational.Database.size target));
+  let target_info = Moves.target_info target in
+  let target_profile = Heuristics.Profile.of_database target in
+  let goal_mode = config.goal in
+  let moves_config = { config.moves with goal = goal_mode } in
+  let module Sp = struct
+    type state = State.t
+    type action = Fira.Op.t
+
+    let key = State.key
+
+    let successors state =
+      Moves.successors moves_config registry target_info state
+
+    let is_goal state =
+      Goal.reached goal_mode ~target (State.database state)
+  end in
+  (* IDA* and RBFS re-visit states across iterations/backtracks; heuristic
+     values depend only on the state, so memoize them by canonical key.
+     This does not affect the states-examined counts — only wall clock —
+     and matters most for the Levenshtein heuristic, whose edit-distance
+     computation is quadratic in the instance size. The blind heuristic
+     skips profile construction altogether. *)
+  let estimate =
+    if config.heuristic.Heuristics.Heuristic.name = "h0" then fun _ -> 0
+    else begin
+      let cache : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+      fun state ->
+        let key = State.key state in
+        match Hashtbl.find_opt cache key with
+        | Some v -> v
+        | None ->
+            let v =
+              config.heuristic.Heuristics.Heuristic.estimate
+                ~target:target_profile (State.profile state)
+            in
+            (* Bound memory on pathological runs. *)
+            if Hashtbl.length cache > 200_000 then Hashtbl.reset cache;
+            Hashtbl.add cache key v;
+            v
+    end
+  in
+  let root = State.of_database source in
+  let result =
+    match config.algorithm with
+    | Ida ->
+        let module I = Search.Ida.Make (Sp) in
+        I.search ~budget:config.budget ~heuristic:estimate root
+    | Ida_tt ->
+        let module I = Search.Ida_tt.Make (Sp) in
+        I.search ~budget:config.budget ~heuristic:estimate root
+    | Rbfs ->
+        let module R = Search.Rbfs.Make (Sp) in
+        R.search ~budget:config.budget ~heuristic:estimate root
+    | Astar ->
+        let module A = Search.Astar.Make (Sp) in
+        A.search ~budget:config.budget ~heuristic:estimate root
+    | Greedy ->
+        let module G = Search.Greedy.Make (Sp) in
+        G.search ~budget:config.budget ~heuristic:estimate root
+    | Beam width ->
+        let module B = Search.Beam.Make (Sp) in
+        B.search ~budget:config.budget ~width ~heuristic:estimate root
+    | Bfs ->
+        let module B = Search.Bfs.Make (Sp) in
+        B.search ~budget:config.budget root
+  in
+  (match result.Search.Space.outcome with
+  | Search.Space.Found { path; _ } ->
+      Log.info (fun m ->
+          m "discovered %d-operator mapping, %d states examined"
+            (List.length path)
+            result.Search.Space.stats.Search.Space.examined)
+  | Search.Space.Exhausted ->
+      Log.info (fun m ->
+          m "space exhausted after %d states"
+            result.Search.Space.stats.Search.Space.examined)
+  | Search.Space.Budget_exceeded ->
+      Log.info (fun m ->
+          m "budget exceeded at %d states"
+            result.Search.Space.stats.Search.Space.examined));
+  match result.Search.Space.outcome with
+  | Search.Space.Found { path; _ } ->
+      Mapping
+        {
+          Mapping.expr = Fira.Expr.of_ops path;
+          algorithm = algorithm_name config.algorithm;
+          heuristic = config.heuristic.Heuristics.Heuristic.name;
+          goal = goal_mode;
+          stats = result.Search.Space.stats;
+        }
+  | Search.Space.Exhausted -> No_mapping result.Search.Space.stats
+  | Search.Space.Budget_exceeded -> Gave_up result.Search.Space.stats
+
+let discover_mapping ?registry config ~source ~target =
+  match discover ?registry config ~source ~target with
+  | Mapping m -> Some m
+  | No_mapping _ | Gave_up _ -> None

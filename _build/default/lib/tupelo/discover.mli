@@ -1,0 +1,74 @@
+(** End-to-end mapping discovery — the TUPELO system (§2).
+
+    Given critical instances of the source and target schemas (the Rosetta
+    Stone principle: the same information under both schemas) and any
+    articulated complex semantic functions, [discover] searches the
+    transformation space of ℒ from the source instance until a state
+    containing the target is reached, and returns the operator path as an
+    executable mapping. *)
+
+open Relational
+
+type algorithm =
+  | Ida
+  | Ida_tt  (** IDA* with a transposition table — an extension beyond the
+                paper (see [Search.Ida_tt]) *)
+  | Rbfs
+  | Astar
+  | Greedy
+  | Beam of int
+      (** beam search with the given width — incomplete but O(width)
+          memory; an extension beyond the paper (see [Search.Beam]) *)
+  | Bfs
+
+val algorithm_name : algorithm -> string
+val algorithm_of_string : string -> algorithm option
+
+val scaling_for : algorithm -> Heuristics.Heuristic.Scaling.constants
+(** The paper's tuned scaling constants: IDA's for {!Ida}, {!Ida_tt} and
+    the baselines (including {!Beam}), RBFS's for {!Rbfs} (§5,
+    Experimental Setup). *)
+
+type config = {
+  algorithm : algorithm;
+  heuristic : Heuristics.Heuristic.t;
+  goal : Goal.mode;
+  budget : int;  (** maximum states examined before giving up *)
+  moves : Moves.config;
+}
+
+val config :
+  ?algorithm:algorithm ->
+  ?heuristic:Heuristics.Heuristic.t ->
+  ?goal:Goal.mode ->
+  ?budget:int ->
+  ?moves:Moves.config ->
+  unit ->
+  config
+(** Defaults: RBFS (the paper's overall best, §5.4), cosine similarity with
+    the algorithm's tuned k, {!Goal.Superset}, a one-million-state budget,
+    and {!Moves.default} for the goal mode. *)
+
+type outcome =
+  | Mapping of Mapping.t
+  | No_mapping of Search.Space.stats
+      (** the (budgeted) space was exhausted with no goal state *)
+  | Gave_up of Search.Space.stats  (** budget exceeded *)
+
+val discover :
+  ?registry:Fira.Semfun.registry ->
+  config ->
+  source:Database.t ->
+  target:Database.t ->
+  outcome
+
+val discover_mapping :
+  ?registry:Fira.Semfun.registry ->
+  config ->
+  source:Database.t ->
+  target:Database.t ->
+  Mapping.t option
+(** [Some] iff discovery succeeded. *)
+
+val states_examined : outcome -> int
+(** The paper's reported metric, whatever the outcome. *)

@@ -1,0 +1,15 @@
+open Relational
+
+type mode = Superset | Exact
+
+let reached mode ~target db =
+  match mode with
+  | Superset -> Database.contains db target
+  | Exact -> Database.equal db target
+
+let mode_to_string = function Superset -> "superset" | Exact -> "exact"
+
+let mode_of_string = function
+  | "superset" -> Some Superset
+  | "exact" -> Some Exact
+  | _ -> None

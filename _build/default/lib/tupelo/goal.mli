@@ -1,0 +1,19 @@
+(** Goal tests for mapping discovery (§2.3).
+
+    "Search … continues until the current search state is a structurally
+    identical superset of the target critical instance t (i.e., the current
+    state contains t)." The superset mode is the paper's; relational
+    selections are applied afterwards as external filters (§2.1). The exact
+    mode additionally demands that nothing extra remains, which forces the
+    discovery of the drop/merge steps shown in the paper's Example 2. *)
+
+open Relational
+
+type mode =
+  | Superset  (** the state contains the target (the paper's test) *)
+  | Exact     (** the state equals the target *)
+
+val reached : mode -> target:Database.t -> Database.t -> bool
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option

@@ -1,0 +1,21 @@
+
+type t = {
+  expr : Fira.Expr.t;
+  algorithm : string;
+  heuristic : string;
+  goal : Goal.mode;
+  stats : Search.Space.stats;
+}
+
+let apply registry m db = Fira.Expr.eval registry m.expr db
+let length m = Fira.Expr.length m.expr
+
+let to_string m =
+  Format.asprintf
+    "mapping (%s, %s, goal=%s, %a):\n%s"
+    m.algorithm m.heuristic
+    (Goal.mode_to_string m.goal)
+    Search.Space.pp_stats m.stats
+    (Fira.Expr.to_paper_string m.expr)
+
+let pp ppf m = Format.pp_print_string ppf (to_string m)

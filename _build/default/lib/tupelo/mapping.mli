@@ -1,0 +1,27 @@
+(** Discovered data mappings.
+
+    The output of TUPELO: an executable ℒ expression from the source schema
+    to the target schema, together with provenance about how it was found.
+    Applying a mapping to a {e full} source instance (not just the critical
+    instance) executes the expression with full λ semantics — complex
+    functions run their implementations, as §4's separation prescribes. *)
+
+open Relational
+
+type t = {
+  expr : Fira.Expr.t;
+  algorithm : string;  (** e.g. "RBFS" *)
+  heuristic : string;  (** e.g. "cosine" *)
+  goal : Goal.mode;
+  stats : Search.Space.stats;
+}
+
+val apply : Fira.Semfun.registry -> t -> Database.t -> Database.t
+(** Execute on an instance of the source schema.
+    @raise Fira.Eval.Error if a step is inapplicable on this instance. *)
+
+val length : t -> int
+(** Number of operators in the expression. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

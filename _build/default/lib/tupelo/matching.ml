@@ -1,0 +1,63 @@
+open Relational
+
+(* Each tracked attribute: (origin attribute, current relation, current
+   name). Renames update names inside their relation; relation renames and
+   partitions re-home attributes; drops end the trace. *)
+type tracked = { origin : string; rel : string; name : string }
+
+let correspondences ~source expr =
+  let initial =
+    List.concat_map
+      (fun (rel, r) ->
+        List.map
+          (fun att -> { origin = att; rel; name = att })
+          (Relation.attributes r))
+      (Database.relations source)
+  in
+  let step tracked op =
+    match op with
+    | Fira.Op.RenameAtt { rel; old_name; new_name } ->
+        List.map
+          (fun t ->
+            if t.rel = rel && t.name = old_name then { t with name = new_name }
+            else t)
+          tracked
+    | Fira.Op.RenameRel { old_name; new_name } ->
+        List.map
+          (fun t -> if t.rel = old_name then { t with rel = new_name } else t)
+          tracked
+    | Fira.Op.Drop { rel; col } ->
+        List.filter (fun t -> not (t.rel = rel && t.name = col)) tracked
+    | _ ->
+        (* ℘ copies every column into each group; ↑/↓/→/λ/× only add
+           columns; σ/∪/−/⋈ keep names — none move a tracked attribute. *)
+        tracked
+  in
+  List.fold_left step initial (Fira.Expr.ops expr)
+  |> List.map (fun t -> (t.origin, t.name))
+
+type scores = { precision : float; recall : float; f1 : float }
+
+module Pairs = Set.Make (struct
+  type t = string * string
+
+  let compare = compare
+end)
+
+let score ~truth ~found =
+  match (truth, found) with
+  | [], [] -> { precision = 1.0; recall = 1.0; f1 = 1.0 }
+  | _ ->
+      let t = Pairs.of_list truth and f = Pairs.of_list found in
+      let hits = float_of_int (Pairs.cardinal (Pairs.inter t f)) in
+      let precision =
+        if Pairs.is_empty f then 1.0 else hits /. float_of_int (Pairs.cardinal f)
+      in
+      let recall =
+        if Pairs.is_empty t then 1.0 else hits /. float_of_int (Pairs.cardinal t)
+      in
+      let f1 =
+        if precision +. recall = 0.0 then 0.0
+        else 2.0 *. precision *. recall /. (precision +. recall)
+      in
+      { precision; recall; f1 }

@@ -1,0 +1,27 @@
+(** Schema-matching view of a mapping expression.
+
+    The matching literature the paper builds on (Rahm & Bernstein's survey
+    [31]) evaluates systems by the attribute {e correspondences} they
+    produce. TUPELO subsumes matching (§2.1: "ℒ has simple schema matching
+    as a special case"): the correspondences are implicit in the discovered
+    expression. This module makes them explicit — tracing every source
+    attribute through the expression's renames — and scores them against a
+    ground truth, giving the precision/recall evaluation customary for
+    matchers. Used by the [accuracy] bench over the BAMM corpus. *)
+
+open Relational
+
+val correspondences :
+  source:Database.t -> Fira.Expr.t -> (string * string) list
+(** [(source attribute, final attribute name)] for every source attribute
+    that survives to the end of the expression (dropped columns are
+    omitted; columns created by the expression have no source
+    correspondence and are likewise omitted). Attribute names are traced
+    through ρ{^att} per relation; other operators leave names intact. *)
+
+type scores = { precision : float; recall : float; f1 : float }
+
+val score :
+  truth:(string * string) list -> found:(string * string) list -> scores
+(** Standard set-based scoring of found correspondences against the ground
+    truth; empty [found] and [truth] score 1.0 across the board. *)

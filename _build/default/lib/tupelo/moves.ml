@@ -1,0 +1,387 @@
+open Relational
+module Strings = Set.Make (String)
+module SMap = Map.Make (String)
+
+type config = {
+  goal : Goal.mode;
+  enable_promote : bool;
+  enable_demote : bool;
+  enable_dereference : bool;
+  enable_partition : bool;
+  enable_product : bool;
+  enable_drop : bool;
+  enable_merge : bool;
+  enable_rename : bool;
+  enable_apply : bool;
+  rename_value_check : bool;
+  max_lambda_inputs : int;
+  max_state_cells : int;
+}
+
+let default goal =
+  {
+    goal;
+    enable_promote = true;
+    enable_demote = true;
+    enable_dereference = true;
+    enable_partition = true;
+    enable_product = true;
+    enable_drop = true;
+    enable_merge = true;
+    enable_rename = true;
+    enable_apply = true;
+    rename_value_check = true;
+    max_lambda_inputs = 64;
+    max_state_cells = 4096;
+  }
+
+type target_info = {
+  db : Database.t;
+  rels : Strings.t;
+  atts : Strings.t;
+  values : Strings.t;
+  att_values : Strings.t SMap.t;
+      (* per target attribute, the value strings illustrated under it *)
+  rel_values : Strings.t SMap.t;
+      (* per target relation, all its value strings *)
+}
+
+let value_strings rel =
+  Relation.fold
+    (fun row acc ->
+      List.fold_left
+        (fun acc v ->
+          if Value.is_null v then acc else Strings.add (Value.to_string v) acc)
+        acc (Row.to_list row))
+    rel Strings.empty
+
+let target_info db =
+  let att_values =
+    Database.fold
+      (fun _ rel acc ->
+        List.fold_left
+          (fun acc att ->
+            let vals =
+              Relation.column rel att
+              |> List.filter_map (fun v ->
+                     if Value.is_null v then None else Some (Value.to_string v))
+              |> Strings.of_list
+            in
+            SMap.update att
+              (function
+                | None -> Some vals
+                | Some old -> Some (Strings.union old vals))
+              acc)
+          acc (Relation.attributes rel))
+      db SMap.empty
+  in
+  let rel_values =
+    Database.fold
+      (fun name rel acc -> SMap.add name (value_strings rel) acc)
+      db SMap.empty
+  in
+  {
+    db;
+    rels = Strings.of_list (Database.relation_names db);
+    atts = Strings.of_list (Database.all_attributes db);
+    values =
+      Strings.of_list (List.map Value.to_string (Database.all_values db));
+    att_values;
+    rel_values;
+  }
+
+let target_db t = t.db
+
+(* Values of a column rendered as strings, distinct. *)
+let column_strings rel att =
+  Relation.column_distinct rel att
+  |> List.filter_map (fun v ->
+         if Value.is_null v then None else Some (Value.to_string v))
+
+let fresh_name base taken =
+  if not (Strings.mem base taken) then base
+  else
+    let rec go i =
+      let candidate = Printf.sprintf "%s_%d" base i in
+      if Strings.mem candidate taken then go (i + 1) else candidate
+    in
+    go 1
+
+(* All ordered [arity]-tuples over [atts], truncated to [cap]. Arities and
+   schemas are small (critical instances), so materializing is fine. *)
+let enumerate_inputs atts arity cap =
+  let rec go remaining =
+    if remaining = 0 then [ [] ]
+    else
+      let rest = go (remaining - 1) in
+      List.concat_map (fun a -> List.map (fun tl -> a :: tl) rest) atts
+  in
+  List.filteri (fun i _ -> i < cap) (go arity)
+
+let candidates config registry target db =
+  let db_rels = Strings.of_list (Database.relation_names db) in
+  let acc = ref [] in
+  let emit op = acc := op :: !acc in
+  let relations = Database.relations db in
+  (* --- per-relation operators, relations in sorted name order --- *)
+  List.iter
+    (fun (rel, r) ->
+
+      let atts = Relation.attributes r in
+      let atts_set = Strings.of_list atts in
+      (* ρ-att: A not wanted by the target, B a target attribute missing
+         from this relation, and — the Rosetta Stone prune — the column's
+         illustrated data compatible with the target attribute's. *)
+      if config.enable_rename then begin
+        let missing_targets = Strings.diff target.atts atts_set in
+        let att_compatible a b =
+          (not config.rename_value_check)
+          ||
+          let a_vals = Strings.of_list (column_strings r a) in
+          match SMap.find_opt b target.att_values with
+          | Some tv when not (Strings.is_empty tv) ->
+              Strings.is_empty a_vals
+              || not (Strings.is_empty (Strings.inter a_vals tv))
+          | _ -> true (* no data illustrated: cannot rule the rename out *)
+        in
+        if not (Strings.is_empty missing_targets) then
+          List.iter
+            (fun a ->
+              if not (Strings.mem a target.atts) then
+                Strings.iter
+                  (fun b ->
+                    if att_compatible a b then
+                      emit (Fira.Op.RenameAtt { rel; old_name = a; new_name = b }))
+                  missing_targets)
+            atts;
+        (* ρ-rel, with the same data-compatibility prune. *)
+        let rel_compatible n =
+          (not config.rename_value_check)
+          ||
+          let r_vals = value_strings r in
+          match SMap.find_opt n target.rel_values with
+          | Some tv when not (Strings.is_empty tv) ->
+              Strings.is_empty r_vals
+              || not (Strings.is_empty (Strings.inter r_vals tv))
+          | _ -> true
+        in
+        if not (Strings.mem rel target.rels) then
+          Strings.iter
+            (fun n ->
+              if (not (Strings.mem n db_rels)) && rel_compatible n then
+                emit (Fira.Op.RenameRel { old_name = rel; new_name = n }))
+            (Strings.diff target.rels db_rels)
+      end;
+      (* ↑ promote *)
+      if config.enable_promote then
+        List.iter
+          (fun a ->
+            let vals = column_strings r a in
+            let creates_target_att =
+              List.exists
+                (fun v -> Strings.mem v target.atts && not (Strings.mem v atts_set))
+                vals
+            in
+            if creates_target_att then
+              List.iter
+                (fun b ->
+                  let value_overlap =
+                    List.exists
+                      (fun v -> Strings.mem v target.values)
+                      (column_strings r b)
+                  in
+                  if value_overlap then
+                    emit (Fira.Op.Promote { rel; name_col = a; value_col = b }))
+                atts)
+          atts;
+      (* ↓ demote: this relation's metadata occurs among target values, and
+         the relation does not already carry its metadata as data (a second
+         demote would only square the relation's size). *)
+      if config.enable_demote then begin
+        let metadata_wanted =
+          Strings.mem rel target.values
+          || List.exists (fun a -> Strings.mem a target.values) atts
+        in
+        let already_demoted =
+          List.exists
+            (fun c ->
+              List.exists (fun v -> Strings.mem v atts_set) (column_strings r c))
+            atts
+        in
+        if metadata_wanted && not already_demoted then begin
+          let taken = Strings.union atts_set target.atts in
+          let att_att = fresh_name "ATT" taken in
+          let rel_att = fresh_name "REL" (Strings.add att_att taken) in
+          emit (Fira.Op.Demote { rel; att_att; rel_att })
+        end
+      end;
+      (* → dereference *)
+      if config.enable_dereference then begin
+        let missing_targets = Strings.diff target.atts atts_set in
+        if not (Strings.is_empty missing_targets) then
+          List.iter
+            (fun a ->
+              let points_at_columns =
+                List.exists (fun v -> Strings.mem v atts_set) (column_strings r a)
+              in
+              if points_at_columns then
+                Strings.iter
+                  (fun b ->
+                    emit (Fira.Op.Dereference { rel; target = b; pointer_col = a }))
+                  missing_targets)
+            atts
+      end;
+      (* ℘ partition *)
+      if config.enable_partition then
+        List.iter
+          (fun a ->
+            let creates_target_rel =
+              List.exists (fun v -> Strings.mem v target.rels) (column_strings r a)
+            in
+            if creates_target_rel then emit (Fira.Op.Partition { rel; col = a }))
+          atts;
+      let has_nulls =
+        Relation.fold
+          (fun row any -> any || List.exists Value.is_null (Row.to_list row))
+          r false
+      in
+      (* π̄ drop. Under the Exact goal, drop whatever the target does not
+         want. Under the Superset goal dropping is never needed to satisfy
+         containment, but it is needed to unblock merges (Example 2 drops
+         Route and Cost before µ), so it is proposed exactly when the
+         relation has null cells. *)
+      if config.enable_drop then begin
+        let propose_drops wanted =
+          List.iter
+            (fun a ->
+              if not (Strings.mem a wanted) then emit (Fira.Op.Drop { rel; col = a }))
+            atts
+        in
+        match config.goal with
+        | Goal.Exact ->
+            let wanted =
+              match Database.find_opt target.db rel with
+              | Some target_rel ->
+                  Strings.of_list (Relation.attributes target_rel)
+              | None -> target.atts
+            in
+            propose_drops wanted
+        | Goal.Superset -> if has_nulls then propose_drops target.atts
+      end;
+      (* µ merge: only useful with null cells and duplicated keys. *)
+      if config.enable_merge && has_nulls then
+        List.iter
+          (fun a ->
+            let distinct = List.length (Relation.column_distinct r a) in
+            if Relation.cardinality r > distinct then
+              emit (Fira.Op.Merge { rel; col = a }))
+          atts;
+      (* λ apply. The application must be able to help: either the output
+         attribute is one the target wants, or the function's illustrated
+         output values occur among the target's data values (the output
+         column may be intermediate — e.g. promoted away afterwards). *)
+      if config.enable_apply then
+        List.iter
+          (fun f ->
+            let fname = Fira.Semfun.name f in
+            let output_helps output =
+              Strings.mem output target.atts
+              || List.exists
+                   (fun (_, out) ->
+                     Strings.mem (Value.to_string out) target.values)
+                   (Fira.Semfun.examples f)
+            in
+            match Fira.Semfun.signature f with
+            | Some (inputs, output) ->
+                if
+                  (not (Strings.mem output atts_set))
+                  && output_helps output
+                  && List.for_all (fun a -> Strings.mem a atts_set) inputs
+                then
+                  emit (Fira.Op.Apply { rel; func = fname; inputs; output })
+            | None ->
+                let outs =
+                  Strings.elements (Strings.diff target.atts atts_set)
+                in
+                let input_tuples =
+                  enumerate_inputs atts (Fira.Semfun.arity f)
+                    config.max_lambda_inputs
+                in
+                List.iter
+                  (fun output ->
+                    List.iter
+                      (fun inputs ->
+                        emit (Fira.Op.Apply { rel; func = fname; inputs; output }))
+                      input_tuples)
+                  outs)
+          (Fira.Semfun.to_list registry);
+      ())
+    relations;
+  (* --- × product over relation pairs --- *)
+  if config.enable_product then
+    List.iter
+      (fun (l, lr) ->
+        List.iter
+          (fun (rt, rr) ->
+            if l < rt then begin
+              let latts = Strings.of_list (Relation.attributes lr) in
+              let ratts = Strings.of_list (Relation.attributes rr) in
+              if Strings.is_empty (Strings.inter latts ratts) then begin
+                let combined = Strings.union latts ratts in
+                let fits_target =
+                  List.exists
+                    (fun (_, trel) ->
+                      Strings.subset combined
+                        (Strings.of_list (Relation.attributes trel)))
+                    (Database.relations target.db)
+                in
+                if fits_target then begin
+                  let out =
+                    (* Prefer naming the product directly after a target
+                       relation whose schema can absorb it. *)
+                    let candidate =
+                      List.find_opt
+                        (fun (tname, trel) ->
+                          (not (Strings.mem tname db_rels))
+                          && Strings.subset combined
+                               (Strings.of_list (Relation.attributes trel)))
+                        (Database.relations target.db)
+                    in
+                    match candidate with
+                    | Some (tname, _) -> tname
+                    | None -> fresh_name (l ^ "*" ^ rt) db_rels
+                  in
+                  emit (Fira.Op.Product { left = l; right = rt; out })
+                end
+              end
+            end)
+          relations)
+      relations;
+  List.rev !acc
+  |> List.filter (fun op -> Fira.Eval.applicable registry op db)
+
+let total_cells db =
+  Database.fold
+    (fun _ r acc ->
+      acc + (Relation.cardinality r * Schema.arity (Relation.schema r)))
+    db 0
+
+let successors config registry target state =
+  let db = State.database state in
+  let ops = candidates config registry target db in
+  let seen = Hashtbl.create 32 in
+  List.filter_map
+    (fun op ->
+      match Fira.Eval.apply_syntactic registry op db with
+      | exception Fira.Eval.Error _ -> None
+      | db' ->
+          if total_cells db' > config.max_state_cells then None
+          else
+            let s' = State.of_database db' in
+            let k = State.key s' in
+            if Hashtbl.mem seen k then None
+            else begin
+              Hashtbl.add seen k ();
+              Some (op, s')
+            end)
+    ops

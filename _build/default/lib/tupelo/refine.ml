@@ -1,0 +1,23 @@
+open Relational
+
+let project_to_target ~target_schema db =
+  Database.fold
+    (fun name target_rel acc ->
+      match Database.find_opt db name with
+      | None -> acc
+      | Some mapped ->
+          Database.add acc name
+            (Relation.project mapped (Relation.attributes target_rel)))
+    target_schema Database.empty
+
+let select selections db =
+  List.fold_left
+    (fun db (name, pred) ->
+      match Database.find_opt db name with
+      | None -> db
+      | Some rel ->
+          Database.add db name (Relation.select rel (Algebra.eval_pred pred)))
+    db selections
+
+let refine ?(selections = []) ~target_schema db =
+  project_to_target ~target_schema (select selections db)

@@ -1,0 +1,32 @@
+(** Post-processing of mapping results.
+
+    TUPELO's goal test accepts any "structurally identical superset" of the
+    target; the paper prescribes applying relational selections σ — and, in
+    the same spirit, final projections — {e after} discovery, "to filter
+    mapping results according to external criteria" (§2.1, §2.3), because
+    generalizing selection conditions from examples is a hard problem the
+    system deliberately does not attempt. This module is that external
+    filtering step: a thin, explicit layer the user drives. *)
+
+open Relational
+
+val project_to_target : target_schema:Database.t -> Database.t -> Database.t
+(** Shape the mapped database like the target schema: relations not named
+    in [target_schema] are dropped, and each remaining relation is
+    projected onto the target's attributes (in the target's order).
+    Relations named in the target but missing from the result are simply
+    absent — discovery, not refinement, is responsible for them.
+    @raise Schema.Error if a mapped relation lacks a target attribute
+    (i.e. the input was not actually a structural superset). *)
+
+val select : (string * Algebra.pred) list -> Database.t -> Database.t
+(** Apply per-relation σ predicates ([(relation, predicate)] pairs, the
+    external criteria). Relations without a predicate pass through
+    unchanged; predicates for absent relations are ignored. *)
+
+val refine :
+  ?selections:(string * Algebra.pred) list ->
+  target_schema:Database.t ->
+  Database.t ->
+  Database.t
+(** [select] then [project_to_target]. *)

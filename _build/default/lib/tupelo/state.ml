@@ -1,0 +1,20 @@
+open Relational
+
+type t = {
+  db : Database.t;
+  key : string Lazy.t;
+  profile : Heuristics.Profile.t Lazy.t;
+}
+
+let of_database db =
+  {
+    db;
+    key = lazy (Database.canonical_key db);
+    profile = lazy (Heuristics.Profile.of_database db);
+  }
+
+let database s = s.db
+let key s = Lazy.force s.key
+let profile s = Lazy.force s.profile
+let equal a b = String.equal (key a) (key b)
+let pp ppf s = Database.pp ppf s.db

@@ -1,0 +1,22 @@
+(** Search states: a database plus lazily cached derived data.
+
+    Wrapping {!Relational.Database.t} lets the canonical key (used for
+    cycle detection) and the heuristic {!Heuristics.Profile.t} be computed
+    at most once per state no matter how many times the search layer
+    consults them. *)
+
+open Relational
+
+type t
+
+val of_database : Database.t -> t
+val database : t -> Database.t
+
+val key : t -> string
+(** Cached {!Database.canonical_key}. *)
+
+val profile : t -> Heuristics.Profile.t
+(** Cached TNF profile for the heuristics. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/bamm.ml: Database List Prng Relation Relational

@@ -1,0 +1,1 @@
+lib/workloads/bamm.mli: Database Relational

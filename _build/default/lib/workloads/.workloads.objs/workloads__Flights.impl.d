@@ -1,0 +1,1 @@
+lib/workloads/flights.ml: Database Fira List Relation Relational Value

@@ -1,0 +1,1 @@
+lib/workloads/flights.mli: Database Fira Relational

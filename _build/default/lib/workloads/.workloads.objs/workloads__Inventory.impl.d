@@ -1,0 +1,1 @@
+lib/workloads/inventory.ml: Database Fira List Relation Relational Row String Value

@@ -1,0 +1,1 @@
+lib/workloads/inventory.mli: Database Fira Relational

@@ -1,0 +1,1 @@
+lib/workloads/random_db.ml: Database List Printf Prng Relation Relational Row Schema Value

@@ -1,0 +1,1 @@
+lib/workloads/random_db.mli: Database Prng Relation Relational

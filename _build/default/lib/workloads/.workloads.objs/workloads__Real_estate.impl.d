@@ -1,0 +1,1 @@
+lib/workloads/real_estate.ml: Database Fira List Relation Relational Row String Value

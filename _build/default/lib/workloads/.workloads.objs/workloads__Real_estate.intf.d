@@ -1,0 +1,1 @@
+lib/workloads/real_estate.mli: Database Fira Relational

@@ -1,0 +1,138 @@
+open Relational
+
+type domain = Books | Automobiles | Music | Movies
+
+let all_domains = [ Books; Automobiles; Music; Movies ]
+
+let domain_name = function
+  | Books -> "Books"
+  | Automobiles -> "Automobiles"
+  | Music -> "Music"
+  | Movies -> "Movies"
+
+let schema_count = function
+  | Books -> 55
+  | Automobiles -> 55
+  | Music -> 49
+  | Movies -> 52
+
+(* One concept = canonical synonym first, then alternatives seen in real
+   query interfaces, plus the example value shared by every schema of the
+   domain (the Rosetta Stone entity). *)
+type concept = { synonyms : string list; example : string }
+
+let concepts = function
+  | Books ->
+      [
+        { synonyms = [ "title"; "book_title"; "name" ]; example = "The Hobbit" };
+        { synonyms = [ "author"; "writer"; "by" ]; example = "Tolkien" };
+        { synonyms = [ "isbn"; "isbn_number" ]; example = "9780261103283" };
+        { synonyms = [ "price"; "cost"; "list_price" ]; example = "12.99" };
+        { synonyms = [ "publisher"; "press" ]; example = "HarperCollins" };
+        { synonyms = [ "year"; "pub_year"; "published" ]; example = "1937" };
+        { synonyms = [ "format"; "binding" ]; example = "paperback" };
+        { synonyms = [ "subject"; "category"; "genre" ]; example = "fantasy" };
+      ]
+  | Automobiles ->
+      [
+        { synonyms = [ "make"; "manufacturer"; "brand" ]; example = "Honda" };
+        { synonyms = [ "model"; "model_name" ]; example = "Civic" };
+        { synonyms = [ "year"; "model_year" ]; example = "2003" };
+        { synonyms = [ "price"; "cost"; "asking_price" ]; example = "8500" };
+        { synonyms = [ "mileage"; "miles"; "odometer" ]; example = "42000" };
+        { synonyms = [ "color"; "exterior_color" ]; example = "silver" };
+        { synonyms = [ "fuel"; "fuel_type" ]; example = "gasoline" };
+        { synonyms = [ "zip"; "zip_code"; "location" ]; example = "47401" };
+      ]
+  | Music ->
+      [
+        { synonyms = [ "artist"; "band"; "performer" ]; example = "Miles Davis" };
+        { synonyms = [ "album"; "album_title" ]; example = "Kind of Blue" };
+        { synonyms = [ "genre"; "style" ]; example = "jazz" };
+        { synonyms = [ "price"; "cost" ]; example = "9.99" };
+        { synonyms = [ "year"; "release_year" ]; example = "1959" };
+        { synonyms = [ "label"; "record_label" ]; example = "Columbia" };
+        { synonyms = [ "format"; "media" ]; example = "CD" };
+        { synonyms = [ "track"; "song"; "song_title" ]; example = "So What" };
+      ]
+  | Movies ->
+      [
+        { synonyms = [ "title"; "movie_title"; "name" ]; example = "Vertigo" };
+        { synonyms = [ "director"; "directed_by" ]; example = "Hitchcock" };
+        { synonyms = [ "actor"; "star"; "cast" ]; example = "James Stewart" };
+        { synonyms = [ "genre"; "category" ]; example = "thriller" };
+        { synonyms = [ "year"; "release_year" ]; example = "1958" };
+        { synonyms = [ "rating"; "mpaa_rating" ]; example = "PG" };
+        { synonyms = [ "format"; "media_type" ]; example = "DVD" };
+        { synonyms = [ "studio"; "distributor" ]; example = "Paramount" };
+      ]
+
+let relation_names = function
+  | Books -> [ "Books"; "BookSearch"; "BookStore"; "Titles" ]
+  | Automobiles -> [ "Autos"; "Cars"; "Vehicles"; "AutoSearch" ]
+  | Music -> [ "Music"; "Albums"; "CDStore"; "MusicSearch" ]
+  | Movies -> [ "Movies"; "Films"; "MovieSearch"; "DVDStore" ]
+
+let seed = function
+  | Books -> 0xB00C5
+  | Automobiles -> 0xA0705
+  | Music -> 0x30517
+  | Movies -> 0x7F117
+
+let schema_of rel_name picks =
+  let atts = List.map fst picks and row = List.map snd picks in
+  Database.of_list [ (rel_name, Relation.of_strings atts [ row ]) ]
+
+let source dom =
+  let picks =
+    List.map (fun c -> (List.hd c.synonyms, c.example)) (concepts dom)
+  in
+  schema_of (List.hd (relation_names dom)) picks
+
+type truth = {
+  attribute_map : (string * string) list;
+  relation_map : string * string;
+}
+
+let targets_with_truth dom =
+  let rng = Prng.create (seed dom) in
+  let cs = concepts dom in
+  let n_concepts = List.length cs in
+  let source_rel = List.hd (relation_names dom) in
+  List.init
+    (schema_count dom - 1)
+    (fun _ ->
+      let size = 1 + Prng.int rng (min 8 n_concepts) in
+      let chosen = Prng.sample rng size cs in
+      (* Keep a stable attribute order (vocabulary order) as real query
+         interfaces do. *)
+      let chosen = List.filter (fun c -> List.memq c chosen) cs in
+      let picks =
+        List.map
+          (fun c ->
+            let synonym = Prng.pick rng c.synonyms in
+            (List.hd c.synonyms, synonym, c.example))
+          chosen
+      in
+      let rel = Prng.pick rng (relation_names dom) in
+      let db =
+        schema_of rel (List.map (fun (_, syn, ex) -> (syn, ex)) picks)
+      in
+      let truth =
+        {
+          attribute_map =
+            List.map (fun (canonical, syn, _) -> (canonical, syn)) picks;
+          relation_map = (source_rel, rel);
+        }
+      in
+      (db, truth))
+
+let targets dom = List.map fst (targets_with_truth dom)
+
+let pairs dom =
+  let s = source dom in
+  List.map (fun t -> (s, t)) (targets dom)
+
+let pairs_with_truth dom =
+  let s = source dom in
+  List.map (fun (t, truth) -> (s, t, truth)) (targets_with_truth dom)

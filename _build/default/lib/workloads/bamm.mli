@@ -1,0 +1,48 @@
+(** Experiment 2 workload (§5.2): deep-web query schemas in the Books,
+    Automobiles, Music and Movies (BAMM) domains.
+
+    The paper used the UIUC Web Integration Repository's BAMM collection
+    (55/55/49/52 query-interface schemas of 1–8 attributes). That repository
+    is no longer distributable, so this module {e synthesizes} the four
+    domains with the same shape (see DESIGN.md): each domain has a
+    vocabulary of attribute concepts with real-world synonym sets
+    (author/writer, price/cost/list_price, …) and domain-specific relation
+    names; each generated schema picks 1–8 concepts and one synonym per
+    concept. Critical instances put the same example entity under every
+    schema of a domain — the Rosetta Stone principle — so discovery must
+    find the attribute/relation renames.
+
+    Generation is deterministic (SplitMix64 with fixed seeds), so every run
+    benchmarks the identical corpus. *)
+
+open Relational
+
+type domain = Books | Automobiles | Music | Movies
+
+val all_domains : domain list
+val domain_name : domain -> string
+val schema_count : domain -> int
+(** 55 / 55 / 49 / 52, as in the repository. *)
+
+val source : domain -> Database.t
+(** The fixed query schema the paper maps {e from}: the full-vocabulary
+    schema of the domain (8 concepts, canonical synonyms). *)
+
+val targets : domain -> Database.t list
+(** The remaining schemas of the domain ([schema_count − 1] of them), each
+    with 1–8 attributes drawn from the source's concepts. *)
+
+val pairs : domain -> (Database.t * Database.t) list
+(** [(source, target)] for every target. *)
+
+type truth = {
+  attribute_map : (string * string) list;
+      (** ground-truth correspondences: (source attribute, target
+          attribute), one per concept the target exposes *)
+  relation_map : string * string;
+      (** (source relation name, target relation name) *)
+}
+
+val pairs_with_truth : domain -> (Database.t * Database.t * truth) list
+(** Like {!pairs}, with the generator's ground-truth correspondences —
+    the labels a schema-matching evaluation scores against. *)

@@ -1,0 +1,121 @@
+open Relational
+
+let a =
+  Database.of_list
+    [
+      ( "Flights",
+        Relation.of_strings
+          [ "Carrier"; "Fee"; "ATL29"; "ORD17" ]
+          [
+            [ "AirEast"; "15"; "100"; "110" ];
+            [ "JetWest"; "16"; "200"; "220" ];
+          ] );
+    ]
+
+let b =
+  Database.of_list
+    [
+      ( "Prices",
+        Relation.of_strings
+          [ "Carrier"; "Route"; "Cost"; "AgentFee" ]
+          [
+            [ "AirEast"; "ATL29"; "100"; "15" ];
+            [ "JetWest"; "ATL29"; "200"; "16" ];
+            [ "AirEast"; "ORD17"; "110"; "15" ];
+            [ "JetWest"; "ORD17"; "220"; "16" ];
+          ] );
+    ]
+
+let c =
+  Database.of_list
+    [
+      ( "AirEast",
+        Relation.of_strings
+          [ "Route"; "BaseCost"; "TotalCost" ]
+          [ [ "ATL29"; "100"; "115" ]; [ "ORD17"; "110"; "125" ] ] );
+      ( "JetWest",
+        Relation.of_strings
+          [ "Route"; "BaseCost"; "TotalCost" ]
+          [ [ "ATL29"; "200"; "216" ]; [ "ORD17"; "220"; "236" ] ] );
+    ]
+
+let total_cost =
+  Fira.Semfun.make
+    ~impl:(fun vs ->
+      match List.map Value.as_int vs with
+      | [ Some cost; Some fee ] -> Value.Int (cost + fee)
+      | _ -> Value.Null)
+    ~signature:([ "Cost"; "AgentFee" ], "TotalCost")
+    ~name:"total_cost" ~arity:2
+    ~examples:
+      [
+        ([ Value.Int 100; Value.Int 15 ], Value.Int 115);
+        ([ Value.Int 200; Value.Int 16 ], Value.Int 216);
+        ([ Value.Int 110; Value.Int 15 ], Value.Int 125);
+        ([ Value.Int 220; Value.Int 16 ], Value.Int 236);
+      ]
+    ()
+
+let agent_fee =
+  Fira.Semfun.make
+    ~impl:(fun vs ->
+      match List.map Value.as_int vs with
+      | [ Some total; Some base ] -> Value.Int (total - base)
+      | _ -> Value.Null)
+    ~signature:([ "TotalCost"; "BaseCost" ], "AgentFee")
+    ~name:"agent_fee" ~arity:2
+    ~examples:
+      [
+        ([ Value.Int 115; Value.Int 100 ], Value.Int 15);
+        ([ Value.Int 216; Value.Int 200 ], Value.Int 16);
+        ([ Value.Int 125; Value.Int 110 ], Value.Int 15);
+        ([ Value.Int 236; Value.Int 220 ], Value.Int 16);
+      ]
+    ()
+
+let registry = Fira.Semfun.of_list [ total_cost; agent_fee ]
+
+let example2_expression =
+  Fira.Expr.of_ops
+    [
+      Fira.Op.Promote { rel = "Prices"; name_col = "Route"; value_col = "Cost" };
+      Fira.Op.Drop { rel = "Prices"; col = "Route" };
+      Fira.Op.Drop { rel = "Prices"; col = "Cost" };
+      Fira.Op.Merge { rel = "Prices"; col = "Carrier" };
+      Fira.Op.RenameAtt
+        { rel = "Prices"; old_name = "AgentFee"; new_name = "Fee" };
+      Fira.Op.RenameRel { old_name = "Prices"; new_name = "Flights" };
+    ]
+
+let pairs = [ ("B->A", b, a); ("A->B", a, b); ("B->C", b, c) ]
+
+(* C -> B is inexpressible in ℒ (it needs relational union to recombine
+   the per-carrier relations); the hand-written expression below uses the
+   full-FIRA extension operators. Per carrier: demote the metadata, keep
+   one copy of each tuple (σ on the demoted ATT column), turn the demoted
+   relation name into the Carrier column, compute AgentFee, align names —
+   then union the two carriers into Prices. *)
+let c_to_b_expression =
+  let per_carrier rel =
+    [
+      Fira.Op.demote rel;
+      Fira.Op.Select
+        { rel;
+          pred =
+            Relational.Algebra.Cmp
+              ( Relational.Algebra.Eq,
+                Relational.Algebra.Att "ATT",
+                Relational.Algebra.Const (Relational.Value.String "Route") );
+        };
+      Fira.Op.Drop { rel; col = "ATT" };
+      Fira.Op.RenameAtt { rel; old_name = "REL"; new_name = "Carrier" };
+      Fira.Op.Apply
+        { rel; func = "agent_fee"; inputs = [ "TotalCost"; "BaseCost" ];
+          output = "AgentFee" };
+      Fira.Op.RenameAtt { rel; old_name = "BaseCost"; new_name = "Cost" };
+      Fira.Op.Drop { rel; col = "TotalCost" };
+    ]
+  in
+  Fira.Expr.of_ops
+    (per_carrier "AirEast" @ per_carrier "JetWest"
+    @ [ Fira.Op.Union { left = "AirEast"; right = "JetWest"; out = "Prices" } ])

@@ -1,0 +1,38 @@
+(** The airline-fares scenario of Fig. 1 — three natural representations of
+    the same route-price information.
+
+    - {!a}: [Flights(Carrier, Fee, ATL29, ORD17)] — routes as columns;
+    - {!b}: [Prices(Carrier, Route, Cost, AgentFee)] — fully flat;
+    - {!c}: one relation per carrier, [(Route, BaseCost, TotalCost)] with
+      [TotalCost = Cost + AgentFee] — carriers as relation names plus a
+      complex semantic function.
+
+    Mapping between them exercises everything ℒ has: schema matching (ρ),
+    dynamic data–metadata restructuring (↑, ↓, →, ℘, π̄, µ) and a complex
+    many-to-one semantic function (λ). *)
+
+open Relational
+
+val a : Database.t
+val b : Database.t
+val c : Database.t
+
+val registry : Fira.Semfun.registry
+(** Contains [total_cost] (= Cost + AgentFee, signature
+    [Cost, AgentFee → TotalCost]) and its inverse [agent_fee]
+    (= TotalCost − BaseCost), each with an implementation and the Fig. 1
+    example pairs. *)
+
+val example2_expression : Fira.Expr.t
+(** The paper's Example 2: the hand-written ℒ expression mapping
+    {!b} to {!a} (promote, two drops, merge, two renames). Used by tests as
+    ground truth for the evaluator. *)
+
+val pairs : (string * Database.t * Database.t) list
+(** The discoverable direction pairs, labelled: [B->A], [A->B], [B->C].
+    (C→B needs relational union, which ℒ lacks.) *)
+
+val c_to_b_expression : Fira.Expr.t
+(** A hand-written C→B mapping using the full-FIRA extension operators
+    (σ to keep one demoted copy per tuple, ∪ to recombine the carriers).
+    Evaluates on {!c} to a superset of {!b}; exercised by tests. *)

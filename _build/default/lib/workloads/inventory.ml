@@ -1,0 +1,111 @@
+open Relational
+
+let max_functions = 10
+
+(* The source inventory schema: two example products as the critical
+   instance (two rows exercise the example-table lookup of λ during
+   search). *)
+let source =
+  Database.of_list
+    [
+      ( "Inventory",
+        Relation.of_strings
+          [
+            "item"; "category"; "brand"; "model"; "unit_price"; "quantity";
+            "cost"; "discount"; "weight_lb"; "sale_price";
+          ]
+          [
+            [ "W100"; "widgets"; "Acme"; "Mark-II"; "25"; "40"; "12"; "3";
+              "10"; "30" ];
+            [ "G205"; "gadgets"; "Globex"; "Zeta"; "60"; "8"; "33"; "5";
+              "25"; "75" ];
+          ] );
+    ]
+
+let int2 f =
+  (fun vs ->
+    match List.map Value.as_int vs with
+    | [ Some a; Some b ] -> Value.Int (f a b)
+    | _ -> Value.Null)
+
+let str2 f =
+  (fun vs ->
+    match vs with
+    | [ a; b ] -> Value.String (f (Value.to_string a) (Value.to_string b))
+    | _ -> Value.Null)
+
+let int1 f =
+  (fun vs ->
+    match List.map Value.as_int vs with
+    | [ Some a ] -> Value.Int (f a)
+    | _ -> Value.Null)
+
+(* The ten complex functions, in the order tasks include them. Each has an
+   executable implementation *and* gets example pairs computed from the
+   critical instance (below), mirroring a user illustrating the function on
+   the examples. *)
+let blueprints =
+  [
+    ("total_value", [ "unit_price"; "quantity" ], "total_value", int2 ( * ));
+    ("full_name", [ "brand"; "model" ], "full_name", str2 (fun a b -> a ^ " " ^ b));
+    ("margin", [ "sale_price"; "cost" ], "margin", int2 ( - ));
+    ("discounted_price", [ "unit_price"; "discount" ], "discounted_price", int2 ( - ));
+    ( "weight_kg",
+      [ "weight_lb" ],
+      "weight_kg",
+      int1 (fun lb -> lb * 4536 / 10000) );
+    ( "sku",
+      [ "category"; "item" ],
+      "sku",
+      str2 (fun cat item ->
+          String.uppercase_ascii (String.sub cat 0 (min 3 (String.length cat)))
+          ^ "-" ^ item) );
+    ("tax_price", [ "unit_price" ], "tax_price", int1 (fun p -> p * 108 / 100));
+    ( "reorder_flag",
+      [ "quantity" ],
+      "reorder_flag",
+      fun vs ->
+        match List.map Value.as_int vs with
+        | [ Some q ] -> Value.String (if q < 10 then "yes" else "no")
+        | _ -> Value.Null );
+    ("unit_cost", [ "cost"; "quantity" ], "unit_cost", int2 (fun c q -> if q = 0 then 0 else c / q));
+    ("inventory_code", [ "brand"; "category" ], "inventory_code", str2 (fun b c -> b ^ "/" ^ c));
+  ]
+
+type task = {
+  source : Database.t;
+  target : Database.t;
+  registry : Fira.Semfun.registry;
+  ground_truth : Fira.Expr.t;
+}
+
+let build_function (name, inputs, output, impl) =
+  let rel = Database.find source "Inventory" in
+  let schema = Relation.schema rel in
+  let examples =
+    List.map
+      (fun row ->
+        let ins = List.map (fun a -> Row.get schema row a) inputs in
+        (ins, impl ins))
+      (Relation.rows rel)
+  in
+  Fira.Semfun.make ~impl ~signature:(inputs, output) ~name
+    ~arity:(List.length inputs) ~examples ()
+
+let task k =
+  if k < 1 || k > max_functions then
+    invalid_arg "Inventory.task: k must be in 1..10";
+  let chosen = List.filteri (fun i _ -> i < k) blueprints in
+  let functions = List.map build_function chosen in
+  let registry = Fira.Semfun.of_list functions in
+  let ground_truth =
+    Fira.Expr.of_ops
+      (List.map
+         (fun (name, inputs, output, _) ->
+           Fira.Op.Apply { rel = "Inventory"; func = name; inputs; output })
+         chosen)
+  in
+  let target = Fira.Expr.eval registry ground_truth source in
+  { source; target; registry; ground_truth }
+
+let function_counts = List.init 8 (fun i -> i + 1)

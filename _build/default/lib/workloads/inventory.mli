@@ -1,0 +1,34 @@
+(** Experiment 3 workload (§5.3): complex semantic mapping in a business
+    inventory domain.
+
+    The paper used the Inventory dataset of the Illinois Semantic
+    Integration Archive, which relates a source and a target inventory
+    schema through 10 complex (many-to-one) semantic functions. The archive
+    is offline, so this module models the published shape: a realistic
+    inventory schema and ten complex functions (arithmetic, concatenation,
+    unit conversion, code lookup, …), each with an articulated attribute
+    signature (§4).
+
+    A task with [k] functions asks TUPELO to discover the mapping whose
+    target extends the source with the [k] computed columns; the target
+    critical instance is produced by executing the ground-truth expression,
+    so examples and instances are consistent by construction. *)
+
+open Relational
+
+val max_functions : int
+(** 10. *)
+
+type task = {
+  source : Database.t;
+  target : Database.t;
+  registry : Fira.Semfun.registry;  (** exactly the k functions involved *)
+  ground_truth : Fira.Expr.t;       (** the k λ applications *)
+}
+
+val task : int -> task
+(** [task k] for k in 1…{!max_functions}.
+    @raise Invalid_argument otherwise. *)
+
+val function_counts : int list
+(** The paper's x-axis: 1…8. *)

@@ -1,0 +1,52 @@
+open Relational
+
+type shape = {
+  max_relations : int;
+  max_attributes : int;
+  max_rows : int;
+  null_probability : float;
+}
+
+let default_shape =
+  { max_relations = 3; max_attributes = 4; max_rows = 4; null_probability = 0.1 }
+
+let value_pool =
+  [ "alpha"; "bravo"; "charlie"; "delta"; "echo"; "foxtrot"; "10"; "20";
+    "30"; "x1"; "x2"; "y1" ]
+
+let relation ?(shape = default_shape) rng =
+  let n_atts = 1 + Prng.int rng shape.max_attributes in
+  let atts = List.init n_atts (fun i -> Printf.sprintf "c%d" (i + 1)) in
+  let n_rows = Prng.int rng (shape.max_rows + 1) in
+  let rows =
+    List.init n_rows (fun _ ->
+        Row.of_list
+          (List.map
+             (fun _ ->
+               if Prng.float rng 1.0 < shape.null_probability then Value.Null
+               else Value.of_string_guess (Prng.pick rng value_pool))
+             atts))
+  in
+  Relation.of_rows (Schema.of_list atts) rows
+
+let database ?(shape = default_shape) rng =
+  let n_rels = 1 + Prng.int rng shape.max_relations in
+  List.init n_rels (fun i -> (Printf.sprintf "r%d" (i + 1), relation ~shape rng))
+  |> Database.of_list
+
+let rename_task rng n =
+  let atts = List.init n (fun i -> Printf.sprintf "src%02d" (i + 1)) in
+  let row = List.init n (fun i -> Printf.sprintf "v%02d" (i + 1)) in
+  let source =
+    Database.of_list [ ("R", Relation.of_strings atts [ row ]) ]
+  in
+  let renamed_atts =
+    List.mapi
+      (fun i a -> if Prng.bool rng then Printf.sprintf "tgt%02d" (i + 1) else a)
+      atts
+  in
+  let rel_name = if Prng.bool rng then "S" else "R" in
+  let target =
+    Database.of_list [ (rel_name, Relation.of_strings renamed_atts [ row ]) ]
+  in
+  (source, target)

@@ -1,0 +1,27 @@
+(** Random database generation for property-based tests.
+
+    Produces small, well-formed databases (and TNF-safe string values) with
+    controllable shape; used by the qcheck suites to exercise substrate
+    invariants (TNF round-trips, operator algebraic laws, search
+    optimality on random instances). *)
+
+open Relational
+
+type shape = {
+  max_relations : int;
+  max_attributes : int;
+  max_rows : int;
+  null_probability : float;  (** chance of a null cell, in [0, 1] *)
+}
+
+val default_shape : shape
+(** Up to 3 relations × 4 attributes × 4 rows, 10% nulls. *)
+
+val relation : ?shape:shape -> Prng.t -> Relation.t
+val database : ?shape:shape -> Prng.t -> Database.t
+
+val rename_task : Prng.t -> int -> Database.t * Database.t
+(** [rename_task rng n]: a single-relation source with [n] attributes and a
+    target in which a random subset of the attributes (and possibly the
+    relation) have been renamed — a solvable discovery instance whose
+    optimal cost equals the number of renamed names. *)

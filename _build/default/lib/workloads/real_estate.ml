@@ -1,0 +1,101 @@
+open Relational
+
+let max_functions = 12
+
+let source =
+  Database.of_list
+    [
+      ( "Listings",
+        Relation.of_strings
+          [
+            "street"; "city"; "zip"; "style"; "price"; "sqft"; "bedrooms";
+            "bathrooms"; "year_built"; "garage"; "carport"; "lot_sqft";
+          ]
+          [
+            [ "12 Oak St"; "Bloomington"; "47401"; "ranch"; "180000";
+              "1600"; "3"; "2"; "1978"; "2"; "0"; "87120" ];
+            [ "9 Elm Ave"; "Columbus"; "47201"; "colonial"; "320000";
+              "2400"; "4"; "3"; "1995"; "2"; "1"; "130680" ];
+          ] );
+    ]
+
+let int2 f vs =
+  match List.map Value.as_int vs with
+  | [ Some a; Some b ] -> Value.Int (f a b)
+  | _ -> Value.Null
+
+let int1 f vs =
+  match List.map Value.as_int vs with
+  | [ Some a ] -> Value.Int (f a)
+  | _ -> Value.Null
+
+let str2 f vs =
+  match vs with
+  | [ a; b ] -> Value.String (f (Value.to_string a) (Value.to_string b))
+  | _ -> Value.Null
+
+let blueprints =
+  [
+    ("price_per_sqft", [ "price"; "sqft" ], "price_per_sqft", int2 (fun p s -> if s = 0 then 0 else p / s));
+    ("total_rooms", [ "bedrooms"; "bathrooms" ], "total_rooms", int2 ( + ));
+    ("address", [ "street"; "city" ], "address", str2 (fun s c -> s ^ ", " ^ c));
+    ("age", [ "year_built" ], "age", int1 (fun y -> 2006 - y));
+    ("lot_acres", [ "lot_sqft" ], "lot_acres", int1 (fun s -> s / 43560));
+    ("annual_tax", [ "price" ], "annual_tax", int1 (fun p -> p / 100));
+    ("commission", [ "price" ], "commission", int1 (fun p -> p * 6 / 100));
+    ("monthly_payment", [ "price" ], "monthly_payment", int1 (fun p -> p / 360));
+    ("headline", [ "style"; "city" ], "headline", str2 (fun s c -> s ^ " in " ^ c));
+    ( "is_luxury",
+      [ "price" ],
+      "is_luxury",
+      fun vs ->
+        match List.map Value.as_int vs with
+        | [ Some p ] -> Value.String (if p > 250000 then "yes" else "no")
+        | _ -> Value.Null );
+    ( "zip_region",
+      [ "zip" ],
+      "zip_region",
+      fun vs ->
+        match vs with
+        | [ z ] ->
+            let s = Value.to_string z in
+            Value.String (String.sub s 0 (min 3 (String.length s)))
+        | _ -> Value.Null );
+    ("garage_total", [ "garage"; "carport" ], "garage_total", int2 ( + ));
+  ]
+
+type task = {
+  source : Database.t;
+  target : Database.t;
+  registry : Fira.Semfun.registry;
+  ground_truth : Fira.Expr.t;
+}
+
+let build_function (name, inputs, output, impl) =
+  let rel = Database.find source "Listings" in
+  let schema = Relation.schema rel in
+  let examples =
+    List.map
+      (fun row ->
+        let ins = List.map (fun a -> Row.get schema row a) inputs in
+        (ins, impl ins))
+      (Relation.rows rel)
+  in
+  Fira.Semfun.make ~impl ~signature:(inputs, output) ~name
+    ~arity:(List.length inputs) ~examples ()
+
+let task k =
+  if k < 1 || k > max_functions then
+    invalid_arg "Real_estate.task: k must be in 1..12";
+  let chosen = List.filteri (fun i _ -> i < k) blueprints in
+  let functions = List.map build_function chosen in
+  let registry = Fira.Semfun.of_list functions in
+  let ground_truth =
+    Fira.Expr.of_ops
+      (List.map
+         (fun (name, inputs, output, _) ->
+           Fira.Op.Apply { rel = "Listings"; func = name; inputs; output })
+         chosen)
+  in
+  let target = Fira.Expr.eval registry ground_truth source in
+  { source; target; registry; ground_truth }

@@ -1,0 +1,24 @@
+(** The Real Estate II complex-mapping domain of Experiment 3 (§5.3).
+
+    Modelled after the Illinois Semantic Integration Archive's Real Estate
+    II dataset, which relates house-listing schemas through 12 complex
+    semantic functions. The paper reports that results on this domain were
+    "essentially the same" as on Inventory; it is included here for
+    completeness, used by tests and the extended benches. Structure is
+    identical to {!Inventory}. *)
+
+open Relational
+
+val max_functions : int
+(** 12. *)
+
+type task = {
+  source : Database.t;
+  target : Database.t;
+  registry : Fira.Semfun.registry;
+  ground_truth : Fira.Expr.t;
+}
+
+val task : int -> task
+(** [task k] for k in 1…{!max_functions}.
+    @raise Invalid_argument otherwise. *)

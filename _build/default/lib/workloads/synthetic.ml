@@ -1,0 +1,13 @@
+open Relational
+
+let matching_pair n =
+  if n < 1 || n > 99 then invalid_arg "Synthetic.matching_pair: n must be in 1..99";
+  let mk prefix =
+    let atts = List.init n (fun i -> Printf.sprintf "%s%02d" prefix (i + 1)) in
+    let row = List.init n (fun i -> Printf.sprintf "a%02d" (i + 1)) in
+    Database.of_list [ ("R", Relation.of_strings atts [ row ]) ]
+  in
+  (mk "A", mk "B")
+
+let sizes_full = List.init 31 (fun i -> i + 2)
+let sizes_vector = List.init 8 (fun i -> i + 1)

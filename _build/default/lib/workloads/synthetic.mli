@@ -1,0 +1,21 @@
+(** Experiment 1 workload (§5.1): synthetic schema matching.
+
+    Pairs of single-relation schemas with n attributes, populated with one
+    tuple illustrating the correspondences: source [R(A01 … An)] and target
+    [R(B01 … Bn)] both holding the tuple [(a01, …, an)]. Discovering the
+    mapping amounts to finding the n attribute renames [Ai ↔ Bi].
+
+    Attribute names are zero-padded so that lexicographic order matches
+    numeric order — the paper's generator enumerates A1…A32 the same
+    way. *)
+
+open Relational
+
+val matching_pair : int -> Database.t * Database.t
+(** [matching_pair n] for n in 1…99. @raise Invalid_argument otherwise. *)
+
+val sizes_full : int list
+(** The paper's x-axis for h0/h1-family curves: 2…32. *)
+
+val sizes_vector : int list
+(** The paper's x-axis for the vector/string heuristics: 1…8. *)

@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Aggregate Alcotest Database List Option Relation Relational Row Schema Sql Value

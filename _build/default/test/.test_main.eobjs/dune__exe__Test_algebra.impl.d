@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Algebra Database List Relation Relational Row Schema String Value

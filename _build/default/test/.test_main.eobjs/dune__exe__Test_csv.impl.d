@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Csv List Relation Relational Row Schema Value

@@ -1,0 +1,1 @@
+test/test_database.ml: Alcotest Database List Relation Relational Row Schema Value

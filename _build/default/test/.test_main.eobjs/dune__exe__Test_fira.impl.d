@@ -1,0 +1,1 @@
+test/test_fira.ml: Alcotest Algebra Database Fira List Printf Relation Relational Schema String Tupelo Value Workloads

@@ -1,0 +1,1 @@
+test/test_heuristics.ml: Alcotest Database Fira Heuristics List Relation Relational Tnf Workloads

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Algebra Database Format List Optimizer QCheck2 QCheck_alcotest Relation Relational Value Workloads

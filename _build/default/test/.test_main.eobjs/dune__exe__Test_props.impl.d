@@ -1,0 +1,1 @@
+test/test_props.ml: Csv Database Fira Float Heuristics List QCheck2 QCheck_alcotest Relation Relational Row Schema Sql String Tnf Tupelo Value Workloads

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest List Printf Relation Relational Row Schema Value

@@ -1,0 +1,1 @@
+test/test_row.ml: Alcotest Array Relational Row Schema Value

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Hashtbl List Printf Search

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Database List Relation Relational Row Schema Sql String Value

@@ -1,0 +1,1 @@
+test/test_tnf.ml: Alcotest Database List Relation Relational Sql String Tnf Workloads

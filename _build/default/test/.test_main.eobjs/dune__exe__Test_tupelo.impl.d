@@ -1,0 +1,1 @@
+test/test_tupelo.ml: Alcotest Algebra Database Fira Heuristics List Option Printf Relation Relational Search String Tupelo Value Workloads

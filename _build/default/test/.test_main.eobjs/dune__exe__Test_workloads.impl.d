@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Database Fira Heuristics List Printf Relation Relational Row Schema Tupelo Value Workloads

@@ -1,0 +1,188 @@
+open Relational
+
+let sales () =
+  Relation.of_strings
+    [ "region"; "product"; "amount" ]
+    [
+      [ "north"; "widget"; "10" ];
+      [ "north"; "gadget"; "25" ];
+      [ "south"; "widget"; "5" ];
+      [ "south"; "gadget"; "30" ];
+      [ "south"; "doodad"; "" ];
+    ]
+
+let get_cell r key_att key out_att =
+  let row =
+    List.find
+      (fun row -> Value.to_string (Relation.get r row key_att) = key)
+      (Relation.rows r)
+  in
+  Relation.get r row out_att
+
+let test_group_by_basic () =
+  let g =
+    Aggregate.group_by (sales ()) ~keys:[ "region" ]
+      ~aggregates:
+        [
+          (Aggregate.Count_all, "n");
+          (Aggregate.Sum "amount", "total");
+          (Aggregate.Min "amount", "lo");
+          (Aggregate.Max "amount", "hi");
+        ]
+  in
+  Alcotest.(check int) "two groups" 2 (Relation.cardinality g);
+  Alcotest.(check (list string)) "schema"
+    [ "region"; "n"; "total"; "lo"; "hi" ]
+    (Relation.attributes g);
+  Alcotest.(check string) "north count" "2"
+    (Value.to_string (get_cell g "region" "north" "n"));
+  Alcotest.(check string) "north total" "35"
+    (Value.to_string (get_cell g "region" "north" "total"));
+  Alcotest.(check string) "south count includes null row" "3"
+    (Value.to_string (get_cell g "region" "south" "n"));
+  Alcotest.(check string) "south total skips null" "35"
+    (Value.to_string (get_cell g "region" "south" "total"));
+  Alcotest.(check string) "south min" "5"
+    (Value.to_string (get_cell g "region" "south" "lo"))
+
+let test_count_vs_count_all () =
+  let g =
+    Aggregate.group_by (sales ()) ~keys:[]
+      ~aggregates:
+        [ (Aggregate.Count_all, "all"); (Aggregate.Count "amount", "amt") ]
+  in
+  let row = List.hd (Relation.rows g) in
+  Alcotest.(check string) "count(*) = 5" "5"
+    (Value.to_string (Row.get (Relation.schema g) row "all"));
+  Alcotest.(check string) "count(amount) skips null" "4"
+    (Value.to_string (Row.get (Relation.schema g) row "amt"))
+
+let test_avg () =
+  let g =
+    Aggregate.group_by (sales ()) ~keys:[ "product" ]
+      ~aggregates:[ (Aggregate.Avg "amount", "avg") ]
+  in
+  Alcotest.(check (float 1e-9)) "widget avg" 7.5
+    (Option.get (Value.as_float (get_cell g "product" "widget" "avg")));
+  Alcotest.(check bool) "doodad avg of no non-null values is null" true
+    (Value.is_null (get_cell g "product" "doodad" "avg"))
+
+let test_empty_relation () =
+  let empty = Relation.create (Schema.of_list [ "x" ]) in
+  let g =
+    Aggregate.group_by empty ~keys:[]
+      ~aggregates:[ (Aggregate.Count_all, "n"); (Aggregate.Sum "x", "s") ]
+  in
+  Alcotest.(check int) "one global row" 1 (Relation.cardinality g);
+  let row = List.hd (Relation.rows g) in
+  Alcotest.(check string) "count 0" "0"
+    (Value.to_string (Row.get (Relation.schema g) row "n"));
+  Alcotest.(check string) "sum 0" "0"
+    (Value.to_string (Row.get (Relation.schema g) row "s"));
+  (* …but grouping an empty relation by a key yields no groups. *)
+  let g2 =
+    Aggregate.group_by empty ~keys:[ "x" ]
+      ~aggregates:[ (Aggregate.Count_all, "n") ]
+  in
+  Alcotest.(check int) "no groups" 0 (Relation.cardinality g2)
+
+let test_errors () =
+  Alcotest.(check bool) "unknown aggregate column" true
+    (match
+       Aggregate.group_by (sales ()) ~keys:[]
+         ~aggregates:[ (Aggregate.Sum "zz", "s") ]
+     with
+    | exception Aggregate.Error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "non-numeric sum" true
+    (match
+       Aggregate.group_by (sales ()) ~keys:[]
+         ~aggregates:[ (Aggregate.Sum "product", "s") ]
+     with
+    | exception Aggregate.Error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "unknown key" true
+    (match
+       Aggregate.group_by (sales ()) ~keys:[ "zz" ]
+         ~aggregates:[ (Aggregate.Count_all, "n") ]
+     with
+    | exception (Aggregate.Error _ | Schema.Error _) -> true
+    | _ -> false)
+
+(* --- the SQL surface --- *)
+
+let db () = Database.of_list [ ("sales", sales ()) ]
+
+let test_sql_group_by () =
+  let r =
+    Sql.query (db ())
+      "SELECT region, COUNT(*) AS n, SUM(amount) AS total FROM sales GROUP BY region"
+  in
+  Alcotest.(check int) "two groups" 2 (Relation.cardinality r);
+  Alcotest.(check (list string)) "schema" [ "region"; "n"; "total" ]
+    (Relation.attributes r);
+  Alcotest.(check string) "north total" "35"
+    (Value.to_string (get_cell r "region" "north" "total"))
+
+let test_sql_having () =
+  let r =
+    Sql.query (db ())
+      "SELECT region, COUNT(*) AS n FROM sales GROUP BY region HAVING n > 2"
+  in
+  Alcotest.(check int) "only south survives" 1 (Relation.cardinality r);
+  Alcotest.(check (list string)) "south" [ "south" ]
+    (List.map Value.to_string (Relation.column r "region"))
+
+let test_sql_global_aggregate () =
+  let r = Sql.query (db ()) "SELECT COUNT(*) AS n, MAX(amount) AS hi FROM sales" in
+  let row = List.hd (Relation.rows r) in
+  Alcotest.(check string) "count" "5"
+    (Value.to_string (Row.get (Relation.schema r) row "n"));
+  Alcotest.(check string) "max" "30"
+    (Value.to_string (Row.get (Relation.schema r) row "hi"))
+
+let test_sql_aggregate_with_where_and_order () =
+  let result =
+    Sql.exec (db ())
+      "SELECT product, SUM(amount) AS total FROM sales WHERE region = 'south' \
+       GROUP BY product ORDER BY total DESC"
+  in
+  match result.Sql.ordered_rows with
+  | Some rows ->
+      Alcotest.(check (list string)) "south products by total"
+        [ "gadget"; "widget"; "doodad" ]
+        (List.map (fun row -> Value.to_string (Row.cell row 0)) rows)
+  | None -> Alcotest.fail "expected ordered rows"
+
+let test_sql_aggregate_default_names () =
+  let r = Sql.query (db ()) "SELECT COUNT(*), SUM(amount) FROM sales" in
+  Alcotest.(check (list string)) "default names" [ "count"; "sum_amount" ]
+    (Relation.attributes r)
+
+let test_sql_aggregate_errors () =
+  let fails q =
+    match Sql.query (db ()) q with
+    | exception Sql.Error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "non-grouped column rejected" true
+    (fails "SELECT product, COUNT(*) FROM sales GROUP BY region");
+  Alcotest.(check bool) "star with aggregate rejected" true
+    (fails "SELECT *, COUNT(*) FROM sales GROUP BY region");
+  Alcotest.(check bool) "HAVING without grouping rejected" true
+    (fails "SELECT product FROM sales HAVING product = 'x'")
+
+let suite =
+  [
+    Alcotest.test_case "group_by basics" `Quick test_group_by_basic;
+    Alcotest.test_case "count vs count(att)" `Quick test_count_vs_count_all;
+    Alcotest.test_case "avg and null groups" `Quick test_avg;
+    Alcotest.test_case "empty relation" `Quick test_empty_relation;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "sql group by" `Quick test_sql_group_by;
+    Alcotest.test_case "sql having" `Quick test_sql_having;
+    Alcotest.test_case "sql global aggregate" `Quick test_sql_global_aggregate;
+    Alcotest.test_case "sql where + order by" `Quick test_sql_aggregate_with_where_and_order;
+    Alcotest.test_case "sql default names" `Quick test_sql_aggregate_default_names;
+    Alcotest.test_case "sql aggregate errors" `Quick test_sql_aggregate_errors;
+  ]

@@ -1,0 +1,120 @@
+open Relational
+open Algebra
+
+let rel_t = Alcotest.testable Relation.pp Relation.equal
+
+let db () =
+  Database.of_list
+    [
+      ( "emp",
+        Relation.of_strings
+          [ "name"; "dept"; "salary" ]
+          [
+            [ "ann"; "cs"; "90" ];
+            [ "bob"; "cs"; "80" ];
+            [ "cyd"; "ee"; "85" ];
+          ] );
+      ( "dept",
+        Relation.of_strings [ "dept"; "building" ]
+          [ [ "cs"; "north" ]; [ "ee"; "south" ] ] );
+    ]
+
+let test_select () =
+  let r =
+    eval (db ())
+      (Select (Cmp (Gt, Att "salary", Const (Value.Int 82)), Rel "emp"))
+  in
+  Alcotest.(check int) "two earners above 82" 2 (Relation.cardinality r)
+
+let test_pred_logic () =
+  let d = db () in
+  let count p = Relation.cardinality (eval d (Select (p, Rel "emp"))) in
+  Alcotest.(check int) "and" 1
+    (count
+       (And
+          ( Cmp (Eq, Att "dept", Const (Value.String "cs")),
+            Cmp (Gt, Att "salary", Const (Value.Int 85)) )));
+  Alcotest.(check int) "or" 2
+    (count
+       (Or
+          ( Cmp (Eq, Att "name", Const (Value.String "ann")),
+            Cmp (Eq, Att "name", Const (Value.String "cyd")) )));
+  Alcotest.(check int) "not" 2
+    (count (Not (Cmp (Eq, Att "name", Const (Value.String "ann")))));
+  Alcotest.(check int) "true keeps all" 3 (count True);
+  Alcotest.(check int) "false keeps none" 0 (count False);
+  Alcotest.(check int) "unknown attribute is false" 0
+    (count (Cmp (Eq, Att "missing", Const (Value.Int 1))));
+  Alcotest.(check int) "null comparison is false" 0
+    (count (Cmp (Eq, Att "name", Const Value.Null)));
+  Alcotest.(check int) "in-list membership" 2
+    (count (In (Att "name", [ Value.String "ann"; Value.String "bob" ])));
+  Alcotest.(check int) "in-list with no match" 0
+    (count (In (Att "name", [ Value.String "zed" ])))
+
+let test_project_product_join () =
+  let d = db () in
+  let p = eval d (Project ([ "dept" ], Rel "emp")) in
+  Alcotest.(check int) "project dedupes" 2 (Relation.cardinality p);
+  let j = eval d (Join (Rel "emp", Rel "dept")) in
+  Alcotest.(check int) "natural join" 3 (Relation.cardinality j);
+  Alcotest.(check (list string)) "join schema"
+    [ "name"; "dept"; "salary"; "building" ]
+    (Relation.attributes j);
+  let cross =
+    eval d (Product (Project ([ "name" ], Rel "emp"), Project ([ "building" ], Rel "dept")))
+  in
+  Alcotest.(check int) "product" 6 (Relation.cardinality cross)
+
+let test_join_disjoint_is_product () =
+  let a = Relation.of_strings [ "x" ] [ [ "1" ] ] in
+  let b = Relation.of_strings [ "y" ] [ [ "2" ]; [ "3" ] ] in
+  Alcotest.check rel_t "join = product when no shared atts"
+    (Relation.product a b)
+    (natural_join a b)
+
+let test_set_exprs () =
+  let d = db () in
+  let cs = Select (Cmp (Eq, Att "dept", Const (Value.String "cs")), Rel "emp") in
+  let ee = Select (Cmp (Eq, Att "dept", Const (Value.String "ee")), Rel "emp") in
+  Alcotest.(check int) "union" 3
+    (Relation.cardinality (eval d (Union (cs, ee))));
+  Alcotest.(check int) "diff" 1
+    (Relation.cardinality (eval d (Diff (Rel "emp", cs))));
+  Alcotest.(check int) "inter" 2
+    (Relation.cardinality (eval d (Inter (Rel "emp", cs))))
+
+let test_rename_extend () =
+  let d = db () in
+  let r = eval d (RenameAtt ("salary", "pay", Rel "emp")) in
+  Alcotest.(check bool) "renamed" true (Schema.mem (Relation.schema r) "pay");
+  let e =
+    eval d
+      (Extend
+         ( "bonus",
+           (fun s row ->
+             match Value.as_int (Row.get s row "salary") with
+             | Some x -> Value.Int (x / 10)
+             | None -> Value.Null),
+           Rel "emp" ))
+  in
+  Alcotest.(check (list string)) "computed column" [ "8"; "8"; "9" ]
+    (List.sort String.compare
+       (List.map Value.to_string (Relation.column e "bonus")))
+
+let test_unknown_relation () =
+  Alcotest.(check bool) "unknown relation raises" true
+    (match eval (db ()) (Rel "nope") with
+    | exception Error _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "select" `Quick test_select;
+    Alcotest.test_case "predicate logic" `Quick test_pred_logic;
+    Alcotest.test_case "project/product/join" `Quick test_project_product_join;
+    Alcotest.test_case "join of disjoint schemas" `Quick test_join_disjoint_is_product;
+    Alcotest.test_case "set expressions" `Quick test_set_exprs;
+    Alcotest.test_case "rename and extend" `Quick test_rename_extend;
+    Alcotest.test_case "unknown relation" `Quick test_unknown_relation;
+  ]

@@ -1,0 +1,88 @@
+open Relational
+
+let test_parse_simple () =
+  Alcotest.(check (list (list string)))
+    "two rows"
+    [ [ "a"; "b" ]; [ "1"; "2" ] ]
+    (Csv.parse "a,b\n1,2\n")
+
+let test_parse_quoted () =
+  Alcotest.(check (list (list string)))
+    "quotes, commas, newlines"
+    [ [ "x,y"; "he said \"hi\""; "line1\nline2" ] ]
+    (Csv.parse "\"x,y\",\"he said \"\"hi\"\"\",\"line1\nline2\"\n")
+
+let test_parse_crlf () =
+  Alcotest.(check (list (list string)))
+    "CRLF" [ [ "a"; "b" ]; [ "1"; "2" ] ]
+    (Csv.parse "a,b\r\n1,2\r\n")
+
+let test_parse_no_trailing_newline () =
+  Alcotest.(check (list (list string)))
+    "no trailing newline" [ [ "a" ]; [ "1" ] ]
+    (Csv.parse "a\n1")
+
+let test_parse_empty_fields () =
+  Alcotest.(check (list (list string)))
+    "empty fields" [ [ ""; ""; "x" ] ]
+    (Csv.parse ",,x\n")
+
+let test_unterminated_quote () =
+  Alcotest.(check bool) "unterminated quote raises" true
+    (match Csv.parse "\"oops\n" with
+    | exception Csv.Error _ -> true
+    | _ -> false)
+
+let test_roundtrip () =
+  let rows = [ [ "plain"; "with,comma" ]; [ "with\"quote"; "multi\nline" ] ] in
+  Alcotest.(check (list (list string)))
+    "print then parse" rows
+    (Csv.parse (Csv.print rows))
+
+let test_relation_roundtrip () =
+  let r =
+    Relation.of_strings [ "name"; "price" ]
+      [ [ "widget"; "25" ]; [ "gadget, deluxe"; "60" ] ]
+  in
+  let r' = Csv.parse_relation (Csv.print_relation r) in
+  Alcotest.(check bool) "relation round-trips" true (Relation.equal r r')
+
+let test_parse_relation_pads () =
+  let r = Csv.parse_relation "a,b,c\n1,2\n" in
+  Alcotest.(check int) "short rows padded" 3
+    (Schema.arity (Relation.schema r));
+  let row = List.hd (Relation.rows r) in
+  Alcotest.(check bool) "padding is null" true (Value.is_null (Row.cell row 2))
+
+let test_parse_relation_types () =
+  let r = Csv.parse_relation "n,s\n42,hello\n" in
+  let row = List.hd (Relation.rows r) in
+  Alcotest.(check string) "int inferred" "int"
+    (Value.type_name (Row.cell row 0));
+  Alcotest.(check string) "string kept" "string"
+    (Value.type_name (Row.cell row 1))
+
+let test_parse_relation_errors () =
+  Alcotest.(check bool) "empty doc raises" true
+    (match Csv.parse_relation "" with
+    | exception Csv.Error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "duplicate header raises" true
+    (match Csv.parse_relation "a,a\n1,2\n" with
+    | exception Csv.Error _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "parse simple" `Quick test_parse_simple;
+    Alcotest.test_case "parse quoted" `Quick test_parse_quoted;
+    Alcotest.test_case "parse CRLF" `Quick test_parse_crlf;
+    Alcotest.test_case "parse without trailing newline" `Quick test_parse_no_trailing_newline;
+    Alcotest.test_case "parse empty fields" `Quick test_parse_empty_fields;
+    Alcotest.test_case "unterminated quote" `Quick test_unterminated_quote;
+    Alcotest.test_case "print/parse round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "relation round-trip" `Quick test_relation_roundtrip;
+    Alcotest.test_case "short rows padded" `Quick test_parse_relation_pads;
+    Alcotest.test_case "type inference" `Quick test_parse_relation_types;
+    Alcotest.test_case "relation errors" `Quick test_parse_relation_errors;
+  ]

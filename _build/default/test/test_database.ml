@@ -1,0 +1,103 @@
+open Relational
+
+let db_t = Alcotest.testable Database.pp Database.equal
+
+let sample () =
+  Database.of_list
+    [
+      ("r1", Relation.of_strings [ "a"; "b" ] [ [ "1"; "2" ] ]);
+      ("r2", Relation.of_strings [ "c" ] [ [ "x" ]; [ "y" ] ]);
+    ]
+
+let test_basics () =
+  let db = sample () in
+  Alcotest.(check (list string)) "names sorted" [ "r1"; "r2" ]
+    (Database.relation_names db);
+  Alcotest.(check int) "size" 2 (Database.size db);
+  Alcotest.(check int) "total tuples" 3 (Database.total_tuples db);
+  Alcotest.(check bool) "mem" true (Database.mem db "r1");
+  Alcotest.(check bool) "find missing raises" true
+    (match Database.find db "zz" with
+    | exception Database.Error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "duplicate name rejected" true
+    (match Database.of_list [ ("r", Relation.create Schema.empty);
+                              ("r", Relation.create Schema.empty) ] with
+    | exception Database.Error _ -> true
+    | _ -> false)
+
+let test_views () =
+  let db = sample () in
+  Alcotest.(check (list string)) "all attributes" [ "a"; "b"; "c" ]
+    (Database.all_attributes db);
+  Alcotest.(check (list string)) "all values" [ "1"; "2"; "x"; "y" ]
+    (List.map Value.to_string (Database.all_values db))
+
+let test_rename_rel () =
+  let db = Database.rename_rel (sample ()) ~old_name:"r1" ~new_name:"s" in
+  Alcotest.(check (list string)) "renamed" [ "r2"; "s" ]
+    (Database.relation_names db);
+  Alcotest.(check bool) "rename onto existing raises" true
+    (match Database.rename_rel (sample ()) ~old_name:"r1" ~new_name:"r2" with
+    | exception Database.Error _ -> true
+    | _ -> false)
+
+let test_contains () =
+  let db = sample () in
+  let sub =
+    Database.of_list [ ("r2", Relation.of_strings [ "c" ] [ [ "x" ] ]) ]
+  in
+  Alcotest.(check bool) "subset database contained" true
+    (Database.contains db sub);
+  Alcotest.(check bool) "reflexive" true (Database.contains db db);
+  let other =
+    Database.of_list [ ("r3", Relation.of_strings [ "c" ] [ [ "x" ] ]) ]
+  in
+  Alcotest.(check bool) "missing relation fails" false
+    (Database.contains db other);
+  Alcotest.(check bool) "empty database contained in anything" true
+    (Database.contains db Database.empty)
+
+let test_canonical_key () =
+  let db1 = sample () in
+  let db2 =
+    (* Same content, different construction order and column order. *)
+    Database.of_list
+      [
+        ("r2", Relation.of_strings [ "c" ] [ [ "y" ]; [ "x" ] ]);
+        ("r1", Relation.of_strings [ "b"; "a" ] [ [ "2"; "1" ] ]);
+      ]
+  in
+  Alcotest.(check string) "keys agree for equal databases"
+    (Database.canonical_key db1) (Database.canonical_key db2);
+  Alcotest.check db_t "databases equal" db1 db2;
+  let db3 = Database.add db1 "r3" (Relation.create (Schema.of_list [ "z" ])) in
+  Alcotest.(check bool) "different databases differ" true
+    (Database.canonical_key db1 <> Database.canonical_key db3)
+
+let test_key_distinguishes_types () =
+  (* Int 1 and String "1" must produce different canonical keys. *)
+  let mk v = Database.of_list [ ("r", Relation.of_rows (Schema.of_list [ "a" ]) [ Row.of_list [ v ] ]) ] in
+  Alcotest.(check bool) "int vs string key" true
+    (Database.canonical_key (mk (Value.Int 1))
+    <> Database.canonical_key (mk (Value.String "1")))
+
+let test_map_fold () =
+  let db = sample () in
+  let doubled =
+    Database.map (fun _ r -> Relation.union r r) db
+  in
+  Alcotest.check db_t "map identity-ish (set semantics)" db doubled;
+  let names = Database.fold (fun n _ acc -> n :: acc) db [] in
+  Alcotest.(check (list string)) "fold visits all" [ "r2"; "r1" ] names
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "schema-level views" `Quick test_views;
+    Alcotest.test_case "rename relation" `Quick test_rename_rel;
+    Alcotest.test_case "containment" `Quick test_contains;
+    Alcotest.test_case "canonical key" `Quick test_canonical_key;
+    Alcotest.test_case "canonical key is typed" `Quick test_key_distinguishes_types;
+    Alcotest.test_case "map and fold" `Quick test_map_fold;
+  ]

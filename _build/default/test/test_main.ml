@@ -1,0 +1,23 @@
+(* Aggregated test runner: one alcotest binary covering every library. *)
+
+let () =
+  Alcotest.run "tupelo"
+    [
+      ("value", Test_value.suite);
+      ("schema", Test_schema.suite);
+      ("row", Test_row.suite);
+      ("relation", Test_relation.suite);
+      ("database", Test_database.suite);
+      ("algebra", Test_algebra.suite);
+      ("csv", Test_csv.suite);
+      ("sql", Test_sql.suite);
+      ("aggregate", Test_aggregate.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("tnf", Test_tnf.suite);
+      ("fira", Test_fira.suite);
+      ("search", Test_search.suite);
+      ("heuristics", Test_heuristics.suite);
+      ("tupelo", Test_tupelo.suite);
+      ("workloads", Test_workloads.suite);
+      ("properties", Test_props.suite);
+    ]

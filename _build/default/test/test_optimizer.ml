@@ -1,0 +1,172 @@
+open Relational
+open Algebra
+
+let rel_t = Alcotest.testable Relation.pp Relation.equal
+
+let db () =
+  Database.of_list
+    [
+      ( "emp",
+        Relation.of_strings
+          [ "name"; "dept"; "salary" ]
+          [
+            [ "ann"; "cs"; "90" ];
+            [ "bob"; "cs"; "80" ];
+            [ "cyd"; "ee"; "85" ];
+            [ "dee"; "ee"; "70" ];
+          ] );
+      ( "dept",
+        Relation.of_strings [ "dept"; "building" ]
+          [ [ "cs"; "north" ]; [ "ee"; "south" ] ] );
+    ]
+
+let emp_lit () = Lit (Database.find (db ()) "emp")
+let dept_lit () = Lit (Database.find (db ()) "dept")
+
+(* dept reduced to its building column, so emp × buildings is a legal
+   (disjoint-schema) product. *)
+let buildings_lit () =
+  Lit (Relation.project (Database.find (db ()) "dept") [ "building" ])
+
+let check_equivalent name e =
+  let d = db () in
+  Alcotest.check rel_t name (eval d e) (eval d (Optimizer.optimize e))
+
+let test_pushdown_product () =
+  let e =
+    Select
+      ( And
+          ( Cmp (Eq, Att "name", Const (Value.String "ann")),
+            Cmp (Eq, Att "building", Const (Value.String "north")) ),
+        Product (emp_lit (), buildings_lit ()) )
+  in
+  check_equivalent "product pushdown preserves results" e;
+  (* Structure: the selection must have been split below the product. *)
+  match Optimizer.optimize e with
+  | Product (Select _, Select _) -> ()
+  | other ->
+      Alcotest.fail
+        (Format.asprintf "expected pushed-down product, got %a" pp_expr other)
+
+let test_pushdown_join () =
+  let e =
+    Select
+      ( Cmp (Gt, Att "salary", Const (Value.Int 82)),
+        Join (emp_lit (), dept_lit ()) )
+  in
+  check_equivalent "join pushdown preserves results" e;
+  match Optimizer.optimize e with
+  | Join (Select _, _) -> ()
+  | other ->
+      Alcotest.fail
+        (Format.asprintf "expected selection below join, got %a" pp_expr other)
+
+let test_residual_kept () =
+  (* A predicate spanning both sides cannot be pushed. *)
+  let e =
+    Select
+      ( Cmp (Neq, Att "name", Att "building"),
+        Product (emp_lit (), buildings_lit ()) )
+  in
+  check_equivalent "cross-side predicate preserved" e;
+  match Optimizer.optimize e with
+  | Select (_, Product _) -> ()
+  | other ->
+      Alcotest.fail
+        (Format.asprintf "expected residual selection, got %a" pp_expr other)
+
+let test_constant_folding () =
+  let e =
+    Select
+      ( And (True, Cmp (Lt, Const (Value.Int 1), Const (Value.Int 2))),
+        emp_lit () )
+  in
+  Alcotest.(check bool) "always-true selection removed" true
+    (match Optimizer.optimize e with Lit _ -> true | _ -> false);
+  let e2 = Select (Cmp (Eq, Att "name", Const Value.Null), emp_lit ()) in
+  check_equivalent "null comparison folds to false" e2;
+  Alcotest.(check int) "false selection yields empty" 0
+    (Relation.cardinality (eval (db ()) (Optimizer.optimize e2)));
+  let e3 = Select (Not False, emp_lit ()) in
+  Alcotest.(check bool) "not-false removed" true
+    (match Optimizer.optimize e3 with Lit _ -> true | _ -> false)
+
+let test_select_merging () =
+  let e =
+    Select
+      ( Cmp (Gt, Att "salary", Const (Value.Int 75)),
+        Select
+          (Cmp (Eq, Att "dept", Const (Value.String "ee")), emp_lit ()) )
+  in
+  check_equivalent "stacked selections merge" e
+
+let test_helpers () =
+  Alcotest.(check (list string)) "attributes of pred" [ "a"; "b" ]
+    (Optimizer.attributes_of_pred
+       (And (Cmp (Eq, Att "a", Att "b"), In (Att "a", [ Value.Int 1 ]))));
+  Alcotest.(check int) "split conjuncts" 3
+    (List.length
+       (Optimizer.split_conjuncts
+          (And (And (True, Cmp (Eq, Att "a", Const (Value.Int 1))),
+                And (Cmp (Eq, Att "b", Const (Value.Int 2)),
+                     And (Cmp (Eq, Att "c", Const (Value.Int 3)), True))))))
+
+(* Property: optimize preserves evaluation on randomly built expressions
+   over random relations. *)
+let random_expr seed =
+  let g = Workloads.Prng.create seed in
+  let shape =
+    { Workloads.Random_db.default_shape with
+      max_relations = 1; max_attributes = 3; max_rows = 4 }
+  in
+  (* Two base relations with disjoint schemas for product legality. *)
+  let r1 = Workloads.Random_db.relation ~shape g in
+  let r2 =
+    let r = Workloads.Random_db.relation ~shape g in
+    List.fold_left
+      (fun acc a -> Relation.rename_att acc ~old_name:a ~new_name:("q" ^ a))
+      r (Relation.attributes r)
+  in
+  let atts1 = Relation.attributes r1 and atts2 = Relation.attributes r2 in
+  let some_att atts = Workloads.Prng.pick g atts in
+  let some_value () =
+    Value.of_string_guess (Workloads.Prng.pick g [ "alpha"; "10"; "x1"; "zz" ])
+  in
+  let rec pred depth =
+    if depth = 0 || Workloads.Prng.int g 3 = 0 then
+      match Workloads.Prng.int g 4 with
+      | 0 -> Cmp (Eq, Att (some_att (atts1 @ atts2)), Const (some_value ()))
+      | 1 -> Cmp (Lt, Att (some_att atts1), Const (some_value ()))
+      | 2 -> In (Att (some_att atts2), [ some_value (); some_value () ])
+      | _ -> Cmp (Geq, Const (some_value ()), Const (some_value ()))
+    else
+      match Workloads.Prng.int g 3 with
+      | 0 -> And (pred (depth - 1), pred (depth - 1))
+      | 1 -> Or (pred (depth - 1), pred (depth - 1))
+      | _ -> Not (pred (depth - 1))
+  in
+  Select
+    ( pred 3,
+      Select (pred 2, Product (Lit r1, Lit r2)) )
+
+let prop_optimize_preserves_semantics =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200
+       ~name:"optimizer: eval (optimize e) = eval e"
+       (QCheck2.Gen.int_bound 1_000_000)
+       (fun seed ->
+         let e = random_expr seed in
+         Relation.equal
+           (eval Database.empty e)
+           (eval Database.empty (Optimizer.optimize e))))
+
+let suite =
+  [
+    Alcotest.test_case "pushdown through product" `Quick test_pushdown_product;
+    Alcotest.test_case "pushdown through join" `Quick test_pushdown_join;
+    Alcotest.test_case "residual cross-side predicate" `Quick test_residual_kept;
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "stacked selections merge" `Quick test_select_merging;
+    Alcotest.test_case "helpers" `Quick test_helpers;
+    prop_optimize_preserves_semantics;
+  ]

@@ -1,0 +1,245 @@
+open Relational
+
+let rel = Alcotest.testable Relation.pp Relation.equal
+
+let flights_b () =
+  Relation.of_strings
+    [ "Carrier"; "Route"; "Cost"; "AgentFee" ]
+    [
+      [ "AirEast"; "ATL29"; "100"; "15" ];
+      [ "JetWest"; "ATL29"; "200"; "16" ];
+      [ "AirEast"; "ORD17"; "110"; "15" ];
+      [ "JetWest"; "ORD17"; "220"; "16" ];
+    ]
+
+let test_set_semantics () =
+  let r =
+    Relation.of_strings [ "a"; "b" ] [ [ "1"; "2" ]; [ "1"; "2" ]; [ "3"; "4" ] ]
+  in
+  Alcotest.(check int) "duplicates removed" 2 (Relation.cardinality r);
+  let r' = Relation.add r (Row.of_list [ Value.Int 1; Value.Int 2 ]) in
+  Alcotest.(check int) "re-adding existing row is idempotent" 2
+    (Relation.cardinality r')
+
+let test_column_access () =
+  let r = flights_b () in
+  Alcotest.(check int) "cardinality" 4 (Relation.cardinality r);
+  Alcotest.(check (list string)) "distinct carriers" [ "AirEast"; "JetWest" ]
+    (List.map Value.to_string (Relation.column_distinct r "Carrier"));
+  Alcotest.(check int) "column length keeps duplicates" 4
+    (List.length (Relation.column r "AgentFee"))
+
+let test_project () =
+  let r = flights_b () in
+  let p = Relation.project r [ "Carrier"; "AgentFee" ] in
+  Alcotest.(check int) "projection dedupes" 2 (Relation.cardinality p);
+  Alcotest.(check (list string)) "projection schema order"
+    [ "Carrier"; "AgentFee" ] (Relation.attributes p);
+  let q = Relation.project_away r "Route" in
+  Alcotest.(check (list string)) "project_away drops one"
+    [ "Carrier"; "Cost"; "AgentFee" ] (Relation.attributes q)
+
+let test_select_rename () =
+  let r = flights_b () in
+  let cheap =
+    Relation.select r (fun s row ->
+        match Value.as_int (Row.get s row "Cost") with
+        | Some c -> c <= 110
+        | None -> false)
+  in
+  Alcotest.(check int) "selection keeps 2 rows" 2 (Relation.cardinality cheap);
+  let rn = Relation.rename_att r ~old_name:"AgentFee" ~new_name:"Fee" in
+  Alcotest.(check bool) "rename changes schema" true
+    (Schema.mem (Relation.schema rn) "Fee")
+
+let test_product_and_union () =
+  let a = Relation.of_strings [ "x" ] [ [ "1" ]; [ "2" ] ] in
+  let b = Relation.of_strings [ "y" ] [ [ "p" ]; [ "q" ] ] in
+  let p = Relation.product a b in
+  Alcotest.(check int) "product cardinality" 4 (Relation.cardinality p);
+  Alcotest.(check bool) "product with shared attribute raises" true
+    (match Relation.product a a with
+    | exception Relation.Error _ -> true
+    | _ -> false);
+  let u =
+    Relation.union a (Relation.of_strings [ "x" ] [ [ "2" ]; [ "3" ] ])
+  in
+  Alcotest.(check int) "union dedupes" 3 (Relation.cardinality u);
+  let u2 =
+    (* union aligns attribute order *)
+    Relation.union
+      (Relation.of_strings [ "x"; "y" ] [ [ "1"; "a" ] ])
+      (Relation.of_strings [ "y"; "x" ] [ [ "b"; "2" ] ])
+  in
+  Alcotest.(check int) "union across column orders" 2 (Relation.cardinality u2);
+  let i =
+    Relation.inter a (Relation.of_strings [ "x" ] [ [ "2" ]; [ "3" ] ])
+  in
+  Alcotest.(check int) "inter" 1 (Relation.cardinality i);
+  let d =
+    Relation.diff a (Relation.of_strings [ "x" ] [ [ "2" ] ])
+  in
+  Alcotest.(check int) "diff" 1 (Relation.cardinality d)
+
+let test_extend () =
+  let r = Relation.of_strings [ "n" ] [ [ "1" ]; [ "2" ] ] in
+  let e =
+    Relation.extend r "double" (fun s row ->
+        match Value.as_int (Row.get s row "n") with
+        | Some n -> Value.Int (2 * n)
+        | None -> Value.Null)
+  in
+  Alcotest.(check (list string)) "doubled column" [ "2"; "4" ]
+    (List.map Value.to_string (Relation.column e "double"))
+
+(* --- data-metadata operators --- *)
+
+let test_promote () =
+  let r = flights_b () in
+  let p = Relation.promote r ~name_col:"Route" ~value_col:"Cost" in
+  Alcotest.(check (list string)) "promote adds a column per Route value"
+    [ "Carrier"; "Route"; "Cost"; "AgentFee"; "ATL29"; "ORD17" ]
+    (Relation.attributes p);
+  Alcotest.(check int) "promote keeps tuple count" 4 (Relation.cardinality p);
+  (* The AirEast/ATL29 tuple holds 100 under ATL29 and null under ORD17. *)
+  let row =
+    List.find
+      (fun row ->
+        Value.to_string (Relation.get p row "Carrier") = "AirEast"
+        && Value.to_string (Relation.get p row "Route") = "ATL29")
+      (Relation.rows p)
+  in
+  Alcotest.(check string) "own promoted cell" "100"
+    (Value.to_string (Relation.get p row "ATL29"));
+  Alcotest.(check bool) "other promoted cell is null" true
+    (Value.is_null (Relation.get p row "ORD17"))
+
+let test_promote_existing_column () =
+  (* Promoting values that name an existing column overwrites per-tuple
+     rather than erroring. *)
+  let r = Relation.of_strings [ "k"; "v" ] [ [ "k"; "9" ] ] in
+  let p = Relation.promote r ~name_col:"k" ~value_col:"v" in
+  Alcotest.(check (list string)) "no new column" [ "k"; "v" ]
+    (Relation.attributes p);
+  Alcotest.(check string) "cell overwritten" "9"
+    (Value.to_string (Relation.get p (List.hd (Relation.rows p)) "k"))
+
+let test_demote () =
+  let r = Relation.of_strings [ "a"; "b" ] [ [ "1"; "2" ] ] in
+  let d = Relation.demote r ~rel_name:"R" ~att_att:"ATT" ~rel_att:"REL" in
+  Alcotest.(check int) "one row per (tuple, attribute)" 2
+    (Relation.cardinality d);
+  Alcotest.(check (list string)) "demoted attribute names" [ "a"; "b" ]
+    (List.map Value.to_string (Relation.column_distinct d "ATT"));
+  Alcotest.(check (list string)) "demoted relation name" [ "R" ]
+    (List.map Value.to_string (Relation.column_distinct d "REL"))
+
+let test_dereference () =
+  let r =
+    Relation.of_strings
+      [ "ptr"; "x"; "y" ]
+      [ [ "x"; "10"; "20" ]; [ "y"; "11"; "21" ]; [ "z"; "12"; "22" ] ]
+  in
+  let d = Relation.dereference r ~target:"val" ~pointer_col:"ptr" in
+  let cell row = Value.to_string (Relation.get d row "val") in
+  let by_ptr p =
+    List.find
+      (fun row -> Value.to_string (Relation.get d row "ptr") = p)
+      (Relation.rows d)
+  in
+  Alcotest.(check string) "deref x" "10" (cell (by_ptr "x"));
+  Alcotest.(check string) "deref y" "21" (cell (by_ptr "y"));
+  Alcotest.(check bool) "dangling pointer gives null" true
+    (Value.is_null (Relation.get d (by_ptr "z") "val"))
+
+let test_merge () =
+  let r =
+    Relation.of_strings
+      [ "k"; "p"; "q" ]
+      [ [ "a"; "1"; "" ]; [ "a"; ""; "2" ]; [ "b"; "3"; "" ] ]
+  in
+  let m = Relation.merge r "k" in
+  Alcotest.(check int) "merged to two tuples" 2 (Relation.cardinality m);
+  let a_row =
+    List.find (fun row -> Value.to_string (Relation.get m row "k") = "a")
+      (Relation.rows m)
+  in
+  Alcotest.(check string) "nulls filled from partner" "2"
+    (Value.to_string (Relation.get m a_row "q"))
+
+let test_merge_incompatible () =
+  (* Tuples agreeing on k but conflicting elsewhere must stay separate. *)
+  let r =
+    Relation.of_strings [ "k"; "p" ] [ [ "a"; "1" ]; [ "a"; "2" ] ]
+  in
+  Alcotest.check rel "incompatible tuples untouched" r (Relation.merge r "k")
+
+let test_merge_example2 () =
+  (* The µ step of the paper's Example 2. *)
+  let promoted =
+    Relation.promote (flights_b ()) ~name_col:"Route" ~value_col:"Cost"
+  in
+  let dropped =
+    Relation.project_away (Relation.project_away promoted "Route") "Cost"
+  in
+  let merged = Relation.merge dropped "Carrier" in
+  let expected =
+    Relation.of_strings
+      [ "Carrier"; "AgentFee"; "ATL29"; "ORD17" ]
+      [ [ "AirEast"; "15"; "100"; "110" ]; [ "JetWest"; "16"; "200"; "220" ] ]
+  in
+  Alcotest.check rel "Example 2 intermediate R3" expected merged
+
+let test_partition () =
+  let groups = Relation.partition (flights_b ()) "Carrier" in
+  Alcotest.(check int) "two groups" 2 (List.length groups);
+  List.iter
+    (fun (v, g) ->
+      Alcotest.(check int)
+        (Printf.sprintf "group %s has 2 tuples" (Value.to_string v))
+        2 (Relation.cardinality g))
+    groups
+
+let test_contains () =
+  let big = flights_b () in
+  let small =
+    Relation.of_strings [ "Carrier"; "Cost" ] [ [ "AirEast"; "100" ] ]
+  in
+  Alcotest.(check bool) "projection containment" true
+    (Relation.contains big small);
+  let wrong =
+    Relation.of_strings [ "Carrier"; "Cost" ] [ [ "AirEast"; "999" ] ]
+  in
+  Alcotest.(check bool) "value mismatch fails" false
+    (Relation.contains big wrong);
+  let wrong_att =
+    Relation.of_strings [ "Carrier"; "Missing" ] [ [ "AirEast"; "1" ] ]
+  in
+  Alcotest.(check bool) "attribute mismatch fails" false
+    (Relation.contains big wrong_att);
+  Alcotest.(check bool) "reflexive" true (Relation.contains big big)
+
+let test_equality_order_insensitive () =
+  let a = Relation.of_strings [ "x"; "y" ] [ [ "1"; "2" ] ] in
+  let b = Relation.of_strings [ "y"; "x" ] [ [ "2"; "1" ] ] in
+  Alcotest.check rel "column order immaterial" a b
+
+let suite =
+  [
+    Alcotest.test_case "set semantics" `Quick test_set_semantics;
+    Alcotest.test_case "column access" `Quick test_column_access;
+    Alcotest.test_case "project" `Quick test_project;
+    Alcotest.test_case "select and rename" `Quick test_select_rename;
+    Alcotest.test_case "product, union, inter, diff" `Quick test_product_and_union;
+    Alcotest.test_case "extend" `Quick test_extend;
+    Alcotest.test_case "promote" `Quick test_promote;
+    Alcotest.test_case "promote onto existing column" `Quick test_promote_existing_column;
+    Alcotest.test_case "demote" `Quick test_demote;
+    Alcotest.test_case "dereference" `Quick test_dereference;
+    Alcotest.test_case "merge fills nulls" `Quick test_merge;
+    Alcotest.test_case "merge keeps incompatible tuples" `Quick test_merge_incompatible;
+    Alcotest.test_case "merge reproduces Example 2 R3" `Quick test_merge_example2;
+    Alcotest.test_case "partition" `Quick test_partition;
+    Alcotest.test_case "containment (goal test)" `Quick test_contains;
+    Alcotest.test_case "order-insensitive equality" `Quick test_equality_order_insensitive;
+  ]

@@ -1,0 +1,74 @@
+open Relational
+
+let schema () = Schema.of_list [ "a"; "b"; "c" ]
+
+let row () = Row.of_list [ Value.Int 1; Value.String "x"; Value.Null ]
+
+let test_construction () =
+  Alcotest.(check int) "arity" 3 (Row.arity (row ()));
+  let arr = [| Value.Int 1; Value.Int 2 |] in
+  let r = Row.of_array arr in
+  arr.(0) <- Value.Int 99;
+  Alcotest.(check bool) "of_array copies" true
+    (Value.equal (Row.cell r 0) (Value.Int 1))
+
+let test_of_assoc () =
+  let r =
+    Row.of_assoc (schema ()) [ ("c", Value.Int 3); ("a", Value.Int 1) ]
+  in
+  Alcotest.(check bool) "a filled" true (Value.equal (Row.cell r 0) (Value.Int 1));
+  Alcotest.(check bool) "b defaults to null" true (Value.is_null (Row.cell r 1));
+  Alcotest.(check bool) "c filled" true (Value.equal (Row.cell r 2) (Value.Int 3));
+  Alcotest.(check bool) "unknown attribute raises" true
+    (match Row.of_assoc (schema ()) [ ("z", Value.Int 1) ] with
+    | exception Row.Error _ -> true
+    | _ -> false)
+
+let test_access () =
+  let r = row () in
+  Alcotest.(check bool) "get by name" true
+    (Value.equal (Row.get (schema ()) r "b") (Value.String "x"));
+  Alcotest.(check bool) "cell out of bounds raises" true
+    (match Row.cell r 7 with exception Row.Error _ -> true | _ -> false);
+  Alcotest.(check bool) "negative index raises" true
+    (match Row.cell r (-1) with exception Row.Error _ -> true | _ -> false)
+
+let test_update () =
+  let r = row () in
+  let r2 = Row.set r 0 (Value.Int 42) in
+  Alcotest.(check bool) "set updates copy" true
+    (Value.equal (Row.cell r2 0) (Value.Int 42));
+  Alcotest.(check bool) "original untouched" true
+    (Value.equal (Row.cell r 0) (Value.Int 1));
+  let r3 = Row.append r (Value.Bool true) in
+  Alcotest.(check int) "append grows arity" 4 (Row.arity r3)
+
+let test_project_drop () =
+  let r = row () in
+  let p = Row.project (schema ()) r [ "c"; "a" ] in
+  Alcotest.(check int) "projected arity" 2 (Row.arity p);
+  Alcotest.(check bool) "projection reorders" true
+    (Value.is_null (Row.cell p 0) && Value.equal (Row.cell p 1) (Value.Int 1));
+  let d = Row.drop (schema ()) r "b" in
+  Alcotest.(check int) "dropped arity" 2 (Row.arity d);
+  Alcotest.(check bool) "remaining cells shift" true
+    (Value.is_null (Row.cell d 1))
+
+let test_compare () =
+  let a = Row.of_list [ Value.Int 1; Value.Int 2 ] in
+  let b = Row.of_list [ Value.Int 1; Value.Int 3 ] in
+  let c = Row.of_list [ Value.Int 1 ] in
+  Alcotest.(check bool) "lexicographic" true (Row.compare a b < 0);
+  Alcotest.(check bool) "shorter first" true (Row.compare c a < 0);
+  Alcotest.(check bool) "equal rows" true
+    (Row.equal a (Row.of_list [ Value.Int 1; Value.Int 2 ]))
+
+let suite =
+  [
+    Alcotest.test_case "construction" `Quick test_construction;
+    Alcotest.test_case "of_assoc" `Quick test_of_assoc;
+    Alcotest.test_case "access" `Quick test_access;
+    Alcotest.test_case "functional update" `Quick test_update;
+    Alcotest.test_case "project and drop" `Quick test_project_drop;
+    Alcotest.test_case "comparison" `Quick test_compare;
+  ]

@@ -1,0 +1,73 @@
+open Relational
+
+let raises_error f =
+  match f () with
+  | exception Schema.Error _ -> true
+  | _ -> false
+
+let abc () = Schema.of_list [ "a"; "b"; "c" ]
+
+let test_construction () =
+  Alcotest.(check (list string)) "attributes in order" [ "a"; "b"; "c" ]
+    (Schema.attributes (abc ()));
+  Alcotest.(check int) "arity" 3 (Schema.arity (abc ()));
+  Alcotest.(check bool) "duplicate rejected" true
+    (raises_error (fun () -> Schema.of_list [ "a"; "a" ]));
+  Alcotest.(check bool) "empty name rejected" true
+    (raises_error (fun () -> Schema.of_list [ "a"; "" ]));
+  Alcotest.(check int) "empty schema" 0 (Schema.arity Schema.empty)
+
+let test_lookup () =
+  let s = abc () in
+  Alcotest.(check int) "index_of b" 1 (Schema.index_of s "b");
+  Alcotest.(check (option int)) "index_of_opt missing" None
+    (Schema.index_of_opt s "z");
+  Alcotest.(check bool) "mem" true (Schema.mem s "c");
+  Alcotest.(check bool) "index_of missing raises" true
+    (raises_error (fun () -> Schema.index_of s "z"))
+
+let test_set_ops () =
+  let s = abc () in
+  let t = Schema.of_list [ "c"; "b"; "a" ] in
+  Alcotest.(check bool) "order-insensitive equal" true (Schema.equal s t);
+  Alcotest.(check bool) "ordered equality differs" false (Schema.equal_ordered s t);
+  Alcotest.(check bool) "subset" true
+    (Schema.subset (Schema.of_list [ "a"; "c" ]) s);
+  Alcotest.(check bool) "not subset" false
+    (Schema.subset (Schema.of_list [ "a"; "z" ]) s);
+  let u = Schema.union s (Schema.of_list [ "b"; "d" ]) in
+  Alcotest.(check (list string)) "union keeps order, appends new"
+    [ "a"; "b"; "c"; "d" ] (Schema.attributes u);
+  Alcotest.(check (list string)) "inter" [ "b"; "c" ]
+    (Schema.inter s (Schema.of_list [ "c"; "b"; "z" ]));
+  Alcotest.(check (list string)) "diff" [ "a" ]
+    (Schema.diff s (Schema.of_list [ "b"; "c"; "z" ]))
+
+let test_transformations () =
+  let s = abc () in
+  Alcotest.(check (list string)) "append" [ "a"; "b"; "c"; "d" ]
+    (Schema.attributes (Schema.append s "d"));
+  Alcotest.(check bool) "append duplicate raises" true
+    (raises_error (fun () -> Schema.append s "a"));
+  Alcotest.(check (list string)) "remove middle" [ "a"; "c" ]
+    (Schema.attributes (Schema.remove s "b"));
+  Alcotest.(check bool) "remove missing raises" true
+    (raises_error (fun () -> Schema.remove s "z"));
+  Alcotest.(check (list string)) "rename" [ "a"; "x"; "c" ]
+    (Schema.attributes (Schema.rename s ~old_name:"b" ~new_name:"x"));
+  Alcotest.(check bool) "rename onto existing raises" true
+    (raises_error (fun () -> Schema.rename s ~old_name:"b" ~new_name:"a"));
+  Alcotest.(check (list string)) "rename to self is identity" [ "a"; "b"; "c" ]
+    (Schema.attributes (Schema.rename s ~old_name:"b" ~new_name:"b"));
+  Alcotest.(check (list string)) "restrict reorders" [ "c"; "a" ]
+    (Schema.attributes (Schema.restrict s [ "c"; "a" ]));
+  Alcotest.(check bool) "restrict to unknown raises" true
+    (raises_error (fun () -> Schema.restrict s [ "z" ]))
+
+let suite =
+  [
+    Alcotest.test_case "construction" `Quick test_construction;
+    Alcotest.test_case "lookup" `Quick test_lookup;
+    Alcotest.test_case "set operations" `Quick test_set_ops;
+    Alcotest.test_case "transformations" `Quick test_transformations;
+  ]

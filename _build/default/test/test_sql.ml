@@ -1,0 +1,206 @@
+open Relational
+
+let exec_all script =
+  let results = Sql.exec_script Database.empty script in
+  (List.rev results |> List.hd).Sql.db
+
+let setup () =
+  exec_all
+    {|CREATE TABLE emp (name, dept, salary);
+      INSERT INTO emp VALUES ('ann', 'cs', 90), ('bob', 'cs', 80), ('cyd', 'ee', 85);
+      CREATE TABLE dept (dept, building);
+      INSERT INTO dept VALUES ('cs', 'north'), ('ee', 'south');|}
+
+let test_create_insert () =
+  let db = setup () in
+  Alcotest.(check int) "emp rows" 3
+    (Relation.cardinality (Database.find db "emp"));
+  Alcotest.(check (list string)) "emp schema" [ "name"; "dept"; "salary" ]
+    (Relation.attributes (Database.find db "emp"))
+
+let test_select_where () =
+  let db = setup () in
+  let r = Sql.query db "SELECT name FROM emp WHERE salary > 82" in
+  Alcotest.(check int) "two rows" 2 (Relation.cardinality r);
+  let r2 = Sql.query db "SELECT name FROM emp WHERE dept = 'cs' AND salary < 85" in
+  Alcotest.(check (list string)) "bob" [ "bob" ]
+    (List.map Value.to_string (Relation.column r2 "name"))
+
+let test_star_and_aliases () =
+  let db = setup () in
+  let r = Sql.query db "SELECT * FROM emp" in
+  Alcotest.(check int) "star keeps arity" 3 (Schema.arity (Relation.schema r));
+  let r2 = Sql.query db "SELECT salary AS pay FROM emp WHERE name = 'ann'" in
+  Alcotest.(check (list string)) "alias" [ "90" ]
+    (List.map Value.to_string (Relation.column r2 "pay"))
+
+let test_join_via_where () =
+  let db = setup () in
+  let r =
+    Sql.query db
+      "SELECT e.name, d.building FROM emp e, dept d WHERE e.dept = d.dept"
+  in
+  Alcotest.(check int) "joined rows" 3 (Relation.cardinality r);
+  Alcotest.(check (list string)) "schema" [ "name"; "building" ]
+    (Relation.attributes r)
+
+let test_concat () =
+  let db = setup () in
+  let r =
+    Sql.query db "SELECT name || '@' || dept AS email FROM emp WHERE name = 'ann'"
+  in
+  Alcotest.(check (list string)) "concatenation" [ "ann@cs" ]
+    (List.map Value.to_string (Relation.column r "email"))
+
+let test_order_by () =
+  let db = setup () in
+  let result = Sql.exec db "SELECT name FROM emp ORDER BY salary DESC" in
+  match result.Sql.ordered_rows with
+  | Some rows ->
+      Alcotest.(check (list string)) "descending salary order"
+        [ "ann"; "cyd"; "bob" ]
+        (List.map (fun row -> Value.to_string (Row.cell row 0)) rows)
+  | None -> Alcotest.fail "expected ordered rows"
+
+let test_union () =
+  let db = setup () in
+  let r =
+    Sql.query db
+      "SELECT name FROM emp WHERE dept = 'cs' UNION SELECT name FROM emp WHERE salary > 84"
+  in
+  Alcotest.(check int) "union dedupes" 3 (Relation.cardinality r)
+
+let test_is_null () =
+  let db =
+    exec_all
+      {|CREATE TABLE t (a, b);
+        INSERT INTO t VALUES (1, NULL), (2, 'x');|}
+  in
+  let r = Sql.query db "SELECT a FROM t WHERE b IS NULL" in
+  Alcotest.(check (list string)) "is null" [ "1" ]
+    (List.map Value.to_string (Relation.column r "a"));
+  let r2 = Sql.query db "SELECT a FROM t WHERE b IS NOT NULL" in
+  Alcotest.(check (list string)) "is not null" [ "2" ]
+    (List.map Value.to_string (Relation.column r2 "a"))
+
+let test_system_tables () =
+  let db = setup () in
+  let tables = Sql.query db "SELECT REL FROM __tables ORDER BY REL" in
+  Alcotest.(check (list string)) "catalog tables" [ "dept"; "emp" ]
+    (List.sort String.compare
+       (List.map Value.to_string (Relation.column tables "REL")));
+  let cols =
+    Sql.query db "SELECT ATT FROM __columns WHERE REL = 'dept' ORDER BY POS"
+  in
+  Alcotest.(check int) "dept columns" 2 (Relation.cardinality cols)
+
+let test_drop () =
+  let db = setup () in
+  let r = Sql.exec db "DROP TABLE dept" in
+  Alcotest.(check bool) "dropped" false (Database.mem r.Sql.db "dept")
+
+let test_errors () =
+  let db = setup () in
+  let fails stmt =
+    match Sql.exec db stmt with
+    | exception Sql.Error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unknown table" true (fails "SELECT * FROM nope");
+  Alcotest.(check bool) "unknown column" true (fails "SELECT zz FROM emp");
+  Alcotest.(check bool) "ambiguous column" true
+    (fails "SELECT dept FROM emp, dept");
+  Alcotest.(check bool) "bad arity insert" true
+    (fails "INSERT INTO emp VALUES (1, 2)");
+  Alcotest.(check bool) "create duplicate" true
+    (fails "CREATE TABLE emp (x)");
+  Alcotest.(check bool) "syntax error" true (fails "SELEC * FROM emp")
+
+let test_union_all_and_distinct () =
+  let db = setup () in
+  (* Set semantics make UNION ALL behave as UNION; both engines agree. *)
+  let ua =
+    Sql.query db
+      "SELECT dept FROM emp UNION ALL SELECT dept FROM dept"
+  in
+  Alcotest.(check int) "union all dedupes under set semantics" 2
+    (Relation.cardinality ua);
+  let d = Sql.query db "SELECT DISTINCT dept FROM emp" in
+  Alcotest.(check int) "distinct" 2 (Relation.cardinality d)
+
+let test_expr_naming () =
+  let db = setup () in
+  let r = Sql.query db "SELECT 'x' || name FROM emp WHERE name = 'ann'" in
+  Alcotest.(check (list string)) "anonymous expression named expr1"
+    [ "expr1" ] (Relation.attributes r);
+  Alcotest.(check (list string)) "value" [ "xann" ]
+    (List.map Value.to_string (Relation.column r "expr1"))
+
+let test_order_by_unprojected () =
+  (* ORDER BY may reference a column the projection dropped. *)
+  let db = setup () in
+  let result = Sql.exec db "SELECT name FROM emp ORDER BY dept, salary" in
+  match result.Sql.ordered_rows with
+  | Some rows ->
+      Alcotest.(check (list string)) "dept then salary order"
+        [ "bob"; "ann"; "cyd" ]
+        (List.map (fun row -> Value.to_string (Row.cell row 0)) rows)
+  | None -> Alcotest.fail "expected ordered rows"
+
+let test_literal_select () =
+  let db = setup () in
+  let r = Sql.query db "SELECT 1 AS one, name FROM emp WHERE salary >= 90" in
+  Alcotest.(check (list string)) "schema" [ "one"; "name" ]
+    (Relation.attributes r);
+  Alcotest.(check int) "one row" 1 (Relation.cardinality r)
+
+let test_insert_into_missing () =
+  Alcotest.(check bool) "insert into missing table raises" true
+    (match Sql.exec Database.empty "INSERT INTO nope VALUES (1)" with
+    | exception Sql.Error _ -> true
+    | _ -> false)
+
+let test_catalog_protected () =
+  let db = setup () in
+  let fails stmt =
+    match Sql.exec db stmt with
+    | exception Sql.Error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "cannot create __tables" true
+    (fails "CREATE TABLE __tables (x)");
+  Alcotest.(check bool) "cannot insert into __columns" true
+    (fails "INSERT INTO __columns VALUES ('a','b',1)");
+  Alcotest.(check bool) "cannot drop __tables" true
+    (fails "DROP TABLE __tables")
+
+let test_quoted_identifiers () =
+  let db =
+    exec_all
+      {|CREATE TABLE "Mixed Case" (a);
+        INSERT INTO "Mixed Case" VALUES (7);|}
+  in
+  let r = Sql.query db "SELECT a FROM \"Mixed Case\"" in
+  Alcotest.(check int) "quoted table usable" 1 (Relation.cardinality r)
+
+let suite =
+  [
+    Alcotest.test_case "create and insert" `Quick test_create_insert;
+    Alcotest.test_case "select with where" `Quick test_select_where;
+    Alcotest.test_case "star and aliases" `Quick test_star_and_aliases;
+    Alcotest.test_case "join via where" `Quick test_join_via_where;
+    Alcotest.test_case "string concatenation" `Quick test_concat;
+    Alcotest.test_case "order by" `Quick test_order_by;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "is null" `Quick test_is_null;
+    Alcotest.test_case "system tables" `Quick test_system_tables;
+    Alcotest.test_case "drop table" `Quick test_drop;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "union all / distinct" `Quick test_union_all_and_distinct;
+    Alcotest.test_case "expression naming" `Quick test_expr_naming;
+    Alcotest.test_case "order by unprojected column" `Quick test_order_by_unprojected;
+    Alcotest.test_case "literal in select" `Quick test_literal_select;
+    Alcotest.test_case "insert into missing table" `Quick test_insert_into_missing;
+    Alcotest.test_case "catalog tables protected" `Quick test_catalog_protected;
+    Alcotest.test_case "quoted identifiers" `Quick test_quoted_identifiers;
+  ]

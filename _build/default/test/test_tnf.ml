@@ -1,0 +1,100 @@
+open Relational
+
+let db_t = Alcotest.testable Database.pp Database.equal
+
+let flights_c () = Workloads.Flights.c
+
+let test_example4 () =
+  (* §2.2 Example 4: the TNF of FlightsC has 12 rows (2 relations × 2
+     tuples × 3 attributes) and the documented shape. *)
+  let tnf = Tnf.encode (flights_c ()) in
+  Alcotest.(check int) "12 cells" 12 (Relation.cardinality tnf);
+  Alcotest.(check (list string)) "TNF schema"
+    [ "TID"; "REL"; "ATT"; "VALUE" ]
+    (Relation.attributes tnf);
+  Alcotest.(check (list string)) "relations" [ "AirEast"; "JetWest" ]
+    (Tnf.rel_names tnf);
+  Alcotest.(check (list string)) "attributes"
+    [ "BaseCost"; "Route"; "TotalCost" ]
+    (Tnf.att_names tnf);
+  Alcotest.(check bool) "115 appears among values" true
+    (List.mem "115" (Tnf.cell_values tnf))
+
+let test_roundtrip () =
+  let db = flights_c () in
+  Alcotest.check db_t "decode after encode" db (Tnf.decode (Tnf.encode db))
+
+let test_roundtrip_with_nulls () =
+  (* Null cells are skipped by encode and restored as nulls by decode. *)
+  let db =
+    Database.of_list
+      [ ("r", Relation.of_strings [ "a"; "b" ] [ [ "1"; "" ]; [ "2"; "x" ] ]) ]
+  in
+  Alcotest.check db_t "null round-trip" db (Tnf.decode (Tnf.encode db))
+
+let test_tids_globally_unique () =
+  let tnf = Tnf.encode (flights_c ()) in
+  let tids = Relation.column_distinct tnf "TID" in
+  Alcotest.(check int) "4 tuples => 4 distinct TIDs" 4 (List.length tids)
+
+let test_decode_rejects_non_tnf () =
+  Alcotest.(check bool) "bad schema rejected" true
+    (match Tnf.decode (Relation.of_strings [ "x" ] []) with
+    | exception Tnf.Error _ -> true
+    | _ -> false)
+
+let test_via_sql () =
+  let db = flights_c () in
+  let by_sql = Tnf.via_sql db in
+  let direct = Tnf.encode db in
+  (* Same cells modulo TID labels: compare the (REL, ATT, VALUE) triples. *)
+  Alcotest.(check (list (triple string string string)))
+    "SQL-built TNF agrees with direct encoding"
+    (Tnf.triples direct) (Tnf.triples by_sql);
+  Alcotest.(check int) "same cardinality"
+    (Relation.cardinality direct) (Relation.cardinality by_sql)
+
+let test_sql_script_is_executable () =
+  let script = Tnf.sql_script (flights_c ()) in
+  Alcotest.(check bool) "script mentions system-table-discovered relations"
+    true
+    (let results = Sql.exec_script (flights_c ()) script in
+     List.length results > 1)
+
+let test_heuristic_views () =
+  let tnf = Tnf.encode (Workloads.Flights.b) in
+  Alcotest.(check (list string)) "rels" [ "Prices" ] (Tnf.rel_names tnf);
+  Alcotest.(check int) "triples = cells" (Relation.cardinality tnf)
+    (List.length (Tnf.triples tnf));
+  let s = Tnf.to_sorted_string tnf in
+  Alcotest.(check bool) "sorted string non-empty" true (String.length s > 0);
+  (* string(d) is invariant under row order by construction. *)
+  let tnf2 = Tnf.encode (Workloads.Flights.b) in
+  Alcotest.(check string) "deterministic" s (Tnf.to_sorted_string tnf2)
+
+let test_decode_att_order_canonical () =
+  (* TNF is a set of cells: column order is not representable, so decode
+     yields attributes in canonical (sorted-cell first-appearance) order.
+     Equality of relations is order-insensitive, so round-trips hold. *)
+  let db =
+    Database.of_list
+      [ ("r", Relation.of_strings [ "zz"; "aa" ] [ [ "1"; "2" ] ]) ]
+  in
+  let decoded = Tnf.decode (Tnf.encode db) in
+  Alcotest.(check (list string)) "canonical attribute order" [ "aa"; "zz" ]
+    (Relation.attributes (Database.find decoded "r"));
+  Alcotest.(check bool) "still equal as relations" true
+    (Database.equal db decoded)
+
+let suite =
+  [
+    Alcotest.test_case "Example 4 encoding" `Quick test_example4;
+    Alcotest.test_case "encode/decode round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "round-trip with nulls" `Quick test_roundtrip_with_nulls;
+    Alcotest.test_case "TIDs globally unique" `Quick test_tids_globally_unique;
+    Alcotest.test_case "decode rejects non-TNF" `Quick test_decode_rejects_non_tnf;
+    Alcotest.test_case "TNF via SQL (§2.2 claim)" `Quick test_via_sql;
+    Alcotest.test_case "SQL script executes" `Quick test_sql_script_is_executable;
+    Alcotest.test_case "heuristic views" `Quick test_heuristic_views;
+    Alcotest.test_case "decode attribute order is canonical" `Quick test_decode_att_order_canonical;
+  ]

@@ -1,0 +1,87 @@
+open Relational
+
+let check = Alcotest.check
+let vt = Alcotest.testable Value.pp Value.equal
+
+let test_of_string_guess () =
+  check vt "int" (Value.Int 42) (Value.of_string_guess "42");
+  check vt "negative int" (Value.Int (-7)) (Value.of_string_guess "-7");
+  check vt "float" (Value.Float 3.5) (Value.of_string_guess "3.5");
+  check vt "exponent float" (Value.Float 1e3) (Value.of_string_guess "1e3");
+  check vt "string" (Value.String "abc") (Value.of_string_guess "abc");
+  check vt "empty is null" Value.Null (Value.of_string_guess "");
+  check vt "NULL is null" Value.Null (Value.of_string_guess "NULL");
+  check vt "true" (Value.Bool true) (Value.of_string_guess "true");
+  check vt "false" (Value.Bool false) (Value.of_string_guess "false");
+  check vt "mixed alnum stays string" (Value.String "12ab")
+    (Value.of_string_guess "12ab");
+  check vt "leading zeros stay int" (Value.Int 7) (Value.of_string_guess "007")
+
+let test_ordering () =
+  let lt a b =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s < %s" (Value.to_string a) (Value.to_string b))
+      true
+      (Value.compare a b < 0)
+  in
+  lt Value.Null (Value.Bool false);
+  lt (Value.Bool true) (Value.Int 0);
+  lt (Value.Int 1) (Value.Int 2);
+  lt (Value.Int 1) (Value.Float 1.5);
+  lt (Value.Float 0.5) (Value.Int 1);
+  lt (Value.Int 5) (Value.String "5");
+  lt (Value.String "a") (Value.String "b")
+
+let test_numeric_cross_equal () =
+  Alcotest.(check int) "Int 3 = Float 3.0" 0
+    (Value.compare (Value.Int 3) (Value.Float 3.0));
+  Alcotest.(check bool) "equal across types" true
+    (Value.equal (Value.Int 3) (Value.Float 3.0))
+
+let test_to_string_roundtrip () =
+  let roundtrip v =
+    check vt
+      (Printf.sprintf "roundtrip %s" (Value.to_string v))
+      v
+      (Value.of_string_guess (Value.to_string v))
+  in
+  List.iter roundtrip
+    [ Value.Null; Value.Bool true; Value.Int 0; Value.Int (-12);
+      Value.Float 2.25; Value.String "hello world" ]
+
+let test_coercions () =
+  Alcotest.(check (option int)) "as_int of int" (Some 5) (Value.as_int (Value.Int 5));
+  Alcotest.(check (option int)) "as_int of exact float" (Some 4)
+    (Value.as_int (Value.Float 4.0));
+  Alcotest.(check (option int)) "as_int of inexact float" None
+    (Value.as_int (Value.Float 4.5));
+  Alcotest.(check (option int)) "as_int of numeric string" (Some 9)
+    (Value.as_int (Value.String "9"));
+  Alcotest.(check (option int)) "as_int of null" None (Value.as_int Value.Null);
+  Alcotest.(check (option (float 1e-9))) "as_float of int" (Some 3.0)
+    (Value.as_float (Value.Int 3));
+  Alcotest.(check (option string)) "as_string of null" None
+    (Value.as_string Value.Null)
+
+let test_display () =
+  Alcotest.(check string) "null displays as dash" "-" (Value.to_display Value.Null);
+  Alcotest.(check string) "int displays plainly" "7" (Value.to_display (Value.Int 7))
+
+let test_type_names () =
+  Alcotest.(check (list string))
+    "type names"
+    [ "null"; "bool"; "int"; "float"; "string" ]
+    (List.map Value.type_name
+       [ Value.Null; Value.Bool true; Value.Int 1; Value.Float 1.0;
+         Value.String "x" ])
+
+let suite =
+  [
+    Alcotest.test_case "of_string_guess" `Quick test_of_string_guess;
+    Alcotest.test_case "type-stratified ordering" `Quick test_ordering;
+    Alcotest.test_case "numeric cross-type equality" `Quick test_numeric_cross_equal;
+    Alcotest.test_case "to_string round-trip" `Quick test_to_string_roundtrip;
+    Alcotest.test_case "coercions" `Quick test_coercions;
+    Alcotest.test_case "display rendering" `Quick test_display;
+    Alcotest.test_case "type names" `Quick test_type_names;
+  ]

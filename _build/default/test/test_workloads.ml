@@ -1,0 +1,200 @@
+open Relational
+
+let test_prng_deterministic () =
+  let a = Workloads.Prng.create 42 and b = Workloads.Prng.create 42 in
+  let seq g = List.init 20 (fun _ -> Workloads.Prng.int g 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq a) (seq b);
+  let c = Workloads.Prng.create 43 in
+  Alcotest.(check bool) "different seed differs" true (seq a <> seq c)
+
+let test_prng_ranges () =
+  let g = Workloads.Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Workloads.Prng.int g 10 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 10);
+    let f = Workloads.Prng.float g 1.0 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_sample () =
+  let g = Workloads.Prng.create 11 in
+  let xs = [ 1; 2; 3; 4; 5 ] in
+  let s = Workloads.Prng.sample g 3 xs in
+  Alcotest.(check int) "sample size" 3 (List.length s);
+  Alcotest.(check int) "sample distinct" 3
+    (List.length (List.sort_uniq compare s));
+  Alcotest.(check int) "oversample gives all" 5
+    (List.length (Workloads.Prng.sample g 10 xs));
+  let sh = Workloads.Prng.shuffle g xs in
+  Alcotest.(check (list int)) "shuffle is a permutation" xs
+    (List.sort compare sh)
+
+let test_flights_shapes () =
+  Alcotest.(check (list string)) "A relations" [ "Flights" ]
+    (Database.relation_names Workloads.Flights.a);
+  Alcotest.(check (list string)) "C relations" [ "AirEast"; "JetWest" ]
+    (Database.relation_names Workloads.Flights.c);
+  Alcotest.(check int) "B has four fare rows" 4
+    (Relation.cardinality (Database.find Workloads.Flights.b "Prices"))
+
+let test_synthetic_shape () =
+  let source, target = Workloads.Synthetic.matching_pair 5 in
+  let s = Database.find source "R" and t = Database.find target "R" in
+  Alcotest.(check int) "source arity" 5 (Schema.arity (Relation.schema s));
+  Alcotest.(check (list string)) "source attributes"
+    [ "A01"; "A02"; "A03"; "A04"; "A05" ]
+    (Relation.attributes s);
+  Alcotest.(check (list string)) "target attributes"
+    [ "B01"; "B02"; "B03"; "B04"; "B05" ]
+    (Relation.attributes t);
+  (* Rosetta stone: same tuple under both schemas. *)
+  Alcotest.(check (list string)) "shared values"
+    (List.map Value.to_string
+       (Row.to_list (List.hd (Relation.rows s))))
+    (List.map Value.to_string (Row.to_list (List.hd (Relation.rows t))));
+  Alcotest.(check bool) "out-of-range rejected" true
+    (match Workloads.Synthetic.matching_pair 0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_synthetic_sizes () =
+  Alcotest.(check int) "full sweep 2..32" 31
+    (List.length Workloads.Synthetic.sizes_full);
+  Alcotest.(check int) "vector sweep 1..8" 8
+    (List.length Workloads.Synthetic.sizes_vector)
+
+let test_bamm_counts () =
+  List.iter
+    (fun dom ->
+      let expected = Workloads.Bamm.schema_count dom - 1 in
+      Alcotest.(check int)
+        (Workloads.Bamm.domain_name dom ^ " target count")
+        expected
+        (List.length (Workloads.Bamm.targets dom)))
+    Workloads.Bamm.all_domains
+
+let test_bamm_shapes () =
+  List.iter
+    (fun dom ->
+      let source = Workloads.Bamm.source dom in
+      let source_rel =
+        Database.find source (List.hd (Database.relation_names source))
+      in
+      Alcotest.(check int)
+        (Workloads.Bamm.domain_name dom ^ " source has 8 attributes")
+        8
+        (Schema.arity (Relation.schema source_rel));
+      List.iter
+        (fun t ->
+          let rel = Database.find t (List.hd (Database.relation_names t)) in
+          let arity = Schema.arity (Relation.schema rel) in
+          Alcotest.(check bool) "target arity in 1..8" true
+            (arity >= 1 && arity <= 8);
+          Alcotest.(check int) "one critical tuple" 1
+            (Relation.cardinality rel))
+        (Workloads.Bamm.targets dom))
+    Workloads.Bamm.all_domains
+
+let test_bamm_deterministic () =
+  let t1 = Workloads.Bamm.targets Workloads.Bamm.Books in
+  let t2 = Workloads.Bamm.targets Workloads.Bamm.Books in
+  Alcotest.(check bool) "same corpus every call" true
+    (List.for_all2 Database.equal t1 t2)
+
+let test_bamm_rosetta () =
+  (* Every target value of a schema must also be a source value (so the
+     mapping is discoverable via renames alone). *)
+  let source_values dom =
+    List.map Value.to_string (Database.all_values (Workloads.Bamm.source dom))
+  in
+  List.iter
+    (fun dom ->
+      let sv = source_values dom in
+      List.iter
+        (fun t ->
+          List.iter
+            (fun v ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s value %s known"
+                   (Workloads.Bamm.domain_name dom) (Value.to_string v))
+                true
+                (List.mem (Value.to_string v) sv))
+            (Database.all_values t))
+        (Workloads.Bamm.targets dom))
+    Workloads.Bamm.all_domains
+
+let test_inventory_consistency () =
+  let t = Workloads.Inventory.task 4 in
+  (* The target is the ground-truth expression applied to the source. *)
+  Alcotest.(check bool) "target = eval(ground_truth, source)" true
+    (Database.equal t.Workloads.Inventory.target
+       (Fira.Expr.eval t.Workloads.Inventory.registry
+          t.Workloads.Inventory.ground_truth t.Workloads.Inventory.source));
+  Alcotest.(check int) "k operators" 4
+    (Fira.Expr.length t.Workloads.Inventory.ground_truth);
+  Alcotest.(check bool) "k out of range rejected" true
+    (match Workloads.Inventory.task 0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_inventory_examples_cover_instance () =
+  (* Every λ example is derived from the critical instance, so syntactic
+     replay agrees with full replay on the critical instance. *)
+  let t = Workloads.Inventory.task Workloads.Inventory.max_functions in
+  let syntactic =
+    Fira.Expr.eval_syntactic t.Workloads.Inventory.registry
+      t.Workloads.Inventory.ground_truth t.Workloads.Inventory.source
+  in
+  Alcotest.(check bool) "syntactic = full on critical instance" true
+    (Database.equal syntactic t.Workloads.Inventory.target)
+
+let test_real_estate_task () =
+  let t = Workloads.Real_estate.task Workloads.Real_estate.max_functions in
+  Alcotest.(check int) "12 functions" 12
+    (Fira.Expr.length t.Workloads.Real_estate.ground_truth);
+  Alcotest.(check bool) "target consistent" true
+    (Database.equal t.Workloads.Real_estate.target
+       (Fira.Expr.eval t.Workloads.Real_estate.registry
+          t.Workloads.Real_estate.ground_truth t.Workloads.Real_estate.source))
+
+let test_random_db () =
+  let g = Workloads.Prng.create 99 in
+  for _ = 1 to 50 do
+    let db = Workloads.Random_db.database g in
+    Alcotest.(check bool) "non-empty" true (Database.size db >= 1);
+    (* Canonical key must be stable. *)
+    Alcotest.(check string) "key deterministic"
+      (Database.canonical_key db) (Database.canonical_key db)
+  done
+
+let test_rename_task_solvable () =
+  let g = Workloads.Prng.create 5 in
+  for _ = 1 to 10 do
+    let source, target = Workloads.Random_db.rename_task g 4 in
+    let config =
+      Tupelo.Discover.config ~algorithm:Tupelo.Discover.Ida
+        ~heuristic:Heuristics.Heuristic.h1 ~budget:100_000 ()
+    in
+    match Tupelo.Discover.discover config ~source ~target with
+    | Tupelo.Discover.Mapping _ -> ()
+    | _ -> Alcotest.fail "rename task not solved"
+  done
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng ranges" `Quick test_prng_ranges;
+    Alcotest.test_case "prng sample/shuffle" `Quick test_prng_sample;
+    Alcotest.test_case "flights shapes" `Quick test_flights_shapes;
+    Alcotest.test_case "synthetic shape" `Quick test_synthetic_shape;
+    Alcotest.test_case "synthetic sweep sizes" `Quick test_synthetic_sizes;
+    Alcotest.test_case "bamm counts" `Quick test_bamm_counts;
+    Alcotest.test_case "bamm shapes" `Quick test_bamm_shapes;
+    Alcotest.test_case "bamm deterministic" `Quick test_bamm_deterministic;
+    Alcotest.test_case "bamm rosetta alignment" `Quick test_bamm_rosetta;
+    Alcotest.test_case "inventory consistency" `Quick test_inventory_consistency;
+    Alcotest.test_case "inventory examples cover instance" `Quick test_inventory_examples_cover_instance;
+    Alcotest.test_case "real estate task" `Quick test_real_estate_task;
+    Alcotest.test_case "random databases" `Quick test_random_db;
+    Alcotest.test_case "random rename tasks solvable" `Quick test_rename_task_solvable;
+  ]
