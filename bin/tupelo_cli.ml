@@ -59,7 +59,21 @@ let algorithm_arg =
     value
     & opt string "rbfs"
     & info [ "a"; "algorithm" ] ~docv:"ALG"
-        ~doc:"Search algorithm: ida, ida-tt, rbfs, astar, greedy, beam[:W] or bfs.")
+        ~doc:
+          "Search algorithm: ida, ida-tt, rbfs, astar, greedy, beam[:W], \
+           bfs or portfolio (race several algorithm/heuristic \
+           configurations across --jobs domains, first mapping wins).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Number of CPU domains for the parallel engine: beam and astar \
+           expand their frontiers across $(docv) domains; portfolio races \
+           its entrants on $(docv) domains. 1 = sequential; 0 = one per \
+           available core.")
 
 let heuristic_arg =
   Arg.(
@@ -125,8 +139,8 @@ let write_file path contents =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc contents)
 
-let discover_cmd_run source target algorithm heuristic goal budget semfuns
-    paper save run_on =
+let discover_cmd_run source target algorithm heuristic goal budget jobs
+    semfuns paper save run_on =
   try
     let source = load_database source in
     let target = load_database target in
@@ -136,7 +150,12 @@ let discover_cmd_run source target algorithm heuristic goal budget semfuns
     let algorithm_opt = Tupelo.Discover.algorithm_of_string algorithm in
     match algorithm_opt with
     | None -> fail "unknown algorithm %S" algorithm
+    | Some _ when jobs < 0 -> fail "--jobs must be >= 0 (got %d)" jobs
+    | Some _ when budget <= 0 -> fail "--budget must be > 0 (got %d)" budget
     | Some alg -> (
+        let jobs =
+          if jobs = 0 then Search.Pool.default_domains () else jobs
+        in
         let scaling = Tupelo.Discover.scaling_for alg in
         let heuristic_opt = Heuristics.Heuristic.by_name scaling heuristic in
         let goal_opt = Tupelo.Goal.mode_of_string goal in
@@ -145,7 +164,8 @@ let discover_cmd_run source target algorithm heuristic goal budget semfuns
         | _, None -> fail "unknown goal mode %S" goal
         | Some heuristic, Some goal -> (
             let config =
-              Tupelo.Discover.config ~algorithm:alg ~heuristic ~goal ~budget ()
+              Tupelo.Discover.config ~algorithm:alg ~heuristic ~goal ~budget
+                ~jobs ()
             in
             match Tupelo.Discover.discover ~registry config ~source ~target with
             | Tupelo.Discover.Mapping m ->
@@ -192,8 +212,8 @@ let discover_cmd =
     Term.(
       ret
         (const discover_cmd_run $ source_arg $ target_arg $ algorithm_arg
-       $ heuristic_arg $ goal_arg $ budget_arg $ semfun_arg $ paper_arg
-       $ save_arg $ run_on_arg))
+       $ heuristic_arg $ goal_arg $ budget_arg $ jobs_arg $ semfun_arg
+       $ paper_arg $ save_arg $ run_on_arg))
 
 (* --- apply --- *)
 

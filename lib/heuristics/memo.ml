@@ -1,0 +1,55 @@
+type 'v tables = {
+  mutable current : (string, 'v) Hashtbl.t;
+  mutable previous : (string, 'v) Hashtbl.t;
+  mutable evictions : int;
+}
+
+type 'v t = {
+  half : int;  (* generation size: total residency is bounded by 2 * half *)
+  slot : 'v tables Domain.DLS.key;
+}
+
+let default_cap = 200_000
+
+let create ?(cap = default_cap) () =
+  if cap < 2 then invalid_arg "Memo.create: cap must be >= 2";
+  let half = cap / 2 in
+  {
+    half;
+    slot =
+      Domain.DLS.new_key (fun () ->
+          {
+            current = Hashtbl.create 1024;
+            previous = Hashtbl.create 0;
+            evictions = 0;
+          });
+  }
+
+let tables t = Domain.DLS.get t.slot
+
+let find_or_add t key compute =
+  let tb = tables t in
+  match Hashtbl.find_opt tb.current key with
+  | Some v -> v
+  | None ->
+      let v =
+        match Hashtbl.find_opt tb.previous key with
+        | Some v -> v (* promote below: recently-used entries survive *)
+        | None -> compute key
+      in
+      if Hashtbl.length tb.current >= t.half then begin
+        (* Generational eviction: the old generation is dropped wholesale,
+           but everything touched since the last flip survives — unlike a
+           full reset, the recent working set is never discarded. *)
+        tb.previous <- tb.current;
+        tb.current <- Hashtbl.create (max 1024 t.half);
+        tb.evictions <- tb.evictions + 1
+      end;
+      Hashtbl.add tb.current key v;
+      v
+
+let size t =
+  let tb = tables t in
+  Hashtbl.length tb.current + Hashtbl.length tb.previous
+
+let evictions t = (tables t).evictions

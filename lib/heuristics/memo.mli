@@ -1,0 +1,38 @@
+(** Bounded, domain-safe memoization for heuristic estimates.
+
+    Heuristic values depend only on a state's canonical key, so searches
+    memoize them ([Discover] does this for every algorithm). Two
+    requirements shape this cache:
+
+    - {b Bounded eviction.} Long runs visit millions of states; the
+      cache keeps at most [cap] entries using two generations (a flavor
+      of 2Q/SLRU): when the young generation fills, the old one is
+      dropped and the young becomes old. Entries used since the last
+      flip always survive, so the recent working set is never discarded
+      — unlike the previous [Hashtbl.reset]-style full flush.
+
+    - {b Domain safety.} The parallel engine ({!Search.Pool},
+      {!Search.Portfolio}) evaluates heuristics on several domains at
+      once. Each domain gets its own table via [Domain.DLS] —
+      shared-nothing, so no locks on the hot path; a value may be
+      computed once per domain, which is redundant work but never a
+      race. *)
+
+type 'v t
+
+val create : ?cap:int -> unit -> 'v t
+(** [create ~cap ()] bounds the per-domain residency to at most [cap]
+    entries (default 200_000).
+    @raise Invalid_argument if [cap < 2]. *)
+
+val find_or_add : 'v t -> string -> (string -> 'v) -> 'v
+(** [find_or_add t key compute] returns the cached value for [key] in
+    the calling domain's table, computing and caching [compute key] on a
+    miss. *)
+
+val size : 'v t -> int
+(** Number of entries resident in the calling domain's table. *)
+
+val evictions : 'v t -> int
+(** Number of generation flips performed in the calling domain's table
+    (each flip drops at most [cap / 2] cold entries). *)

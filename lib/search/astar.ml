@@ -1,74 +1,151 @@
 module Make (S : Space.S) = struct
   type node = { state : S.state; path_rev : S.action list; g : int }
 
-  let search ?(budget = Space.default_budget) ~heuristic root =
-    let t0 = Unix.gettimeofday () in
-    let examined = ref 0 and generated = ref 0 and expanded = ref 0 in
-    let finish outcome =
-      {
-        Space.outcome;
-        stats =
-          {
-            Space.examined = !examined;
-            generated = !generated;
-            expanded = !expanded;
-            iterations = 1;
-            elapsed_s = Unix.gettimeofday () -. t0;
-          };
-      }
-    in
+  (* Successor generation + heuristic scoring for one frontier node: the
+     per-node work that fans out across domains in batched mode. *)
+  let expand ~heuristic node =
+    let succs = S.successors node.state in
+    ( node,
+      List.length succs,
+      List.map
+        (fun (action, s) -> (action, s, S.key s, node.g + 1 + heuristic s))
+        succs )
+
+  let search ?(stop = Space.never_stop) ?pool ?batch
+      ?(budget = Space.default_budget) ~heuristic root =
+    Space.validate_budget "Astar.search" budget;
+    (match batch with
+    | Some b when b < 1 ->
+        invalid_arg
+          (Printf.sprintf "Astar.search: batch must be positive (got %d)" b)
+    | _ -> ());
+    let c = Space.counters () in
+    let elapsed = Space.stopwatch () in
+    let finish outcome = Space.finish c elapsed outcome in
     let frontier = Heap.create () in
     (* best g with which a key was ever enqueued/expanded *)
     let best_g : (string, int) Hashtbl.t = Hashtbl.create 256 in
     let push node =
       Heap.push frontier ~priority:(node.g + heuristic node.state) node
     in
+    let found node =
+      Space.Found
+        { path = List.rev node.path_rev; final = node.state; cost = node.g }
+    in
+    let is_stale node =
+      match Hashtbl.find_opt best_g (S.key node.state) with
+      | Some g -> g < node.g
+      | None -> false
+    in
     Hashtbl.replace best_g (S.key root) 0;
     push { state = root; path_rev = []; g = 0 };
-    let rec loop () =
-      match Heap.pop frontier with
-      | None -> finish Space.Exhausted
-      | Some (_, node) ->
-          let key = S.key node.state in
-          (* Skip stale entries superseded by a cheaper path. *)
-          let stale =
-            match Hashtbl.find_opt best_g key with
-            | Some g -> g < node.g
-            | None -> false
-          in
-          if stale then loop ()
-          else begin
-            incr examined;
-            if !examined > budget then finish Space.Budget_exceeded
-            else if S.is_goal node.state then
-              finish
-                (Space.Found
-                   {
-                     path = List.rev node.path_rev;
-                     final = node.state;
-                     cost = node.g;
-                   })
-            else begin
-              incr expanded;
-              let succs = S.successors node.state in
-              generated := !generated + List.length succs;
-              List.iter
-                (fun (action, s) ->
-                  let g = node.g + 1 in
-                  let k = S.key s in
-                  let better =
-                    match Hashtbl.find_opt best_g k with
-                    | Some g0 -> g < g0
-                    | None -> true
-                  in
-                  if better then begin
-                    Hashtbl.replace best_g k g;
-                    push { state = s; path_rev = action :: node.path_rev; g }
-                  end)
-                succs;
-              loop ()
-            end
-          end
+    (* Record a successor if it improves on the best known g for its key;
+       returns the nodes to enqueue. Sequential (deterministic dedup). *)
+    let admit node (action, s, k, g_and_f) =
+      let g = node.g + 1 in
+      let better =
+        match Hashtbl.find_opt best_g k with Some g0 -> g < g0 | None -> true
+      in
+      if better then begin
+        Hashtbl.replace best_g k g;
+        Heap.push frontier ~priority:g_and_f
+          { state = s; path_rev = action :: node.path_rev; g }
+      end
     in
-    loop ()
+    let merge_expansion (node, succ_count, candidates) =
+      c.expanded_c <- c.expanded_c + 1;
+      c.generated_c <- c.generated_c + succ_count;
+      List.iter (admit node) candidates
+    in
+    match pool with
+    | None ->
+        (* The classic sequential loop: pop one node at a time. *)
+        let rec loop () =
+          match Heap.pop frontier with
+          | None -> finish Space.Exhausted
+          | Some (_, node) ->
+              if stop () then finish Space.Cancelled
+              else if is_stale node then loop ()
+              else begin
+                c.examined_c <- c.examined_c + 1;
+                if c.examined_c > budget then finish Space.Budget_exceeded
+                else if S.is_goal node.state then finish (found node)
+                else begin
+                  merge_expansion (expand ~heuristic node);
+                  loop ()
+                end
+              end
+        in
+        loop ()
+    | Some pool ->
+        (* Batched frontier expansion: pop up to [batch] best nodes, goal
+           test them sequentially in f-order, then expand the non-goals
+           across the pool and merge in pop order. A goal found in a
+           batch becomes the incumbent rather than an immediate answer —
+           batch-mates with smaller f may still lead to a cheaper goal —
+           and the search returns it once no frontier f is below its
+           cost. With an admissible heuristic the incumbent returned is
+           optimal, the same cost as the sequential engine's answer. *)
+        let batch_size =
+          match batch with Some b -> b | None -> 2 * Pool.size pool
+        in
+        let rec take k acc =
+          if k = 0 then List.rev acc
+          else
+            match Heap.pop frontier with
+            | None -> List.rev acc
+            | Some (_, node) ->
+                if is_stale node then take k acc
+                else take (k - 1) (node :: acc)
+        in
+        let rec loop incumbent =
+          let settled =
+            (* The incumbent is the answer once no frontier f-value is
+               below its cost. *)
+            match incumbent with
+            | None -> false
+            | Some inc -> (
+                match Heap.peek frontier with
+                | None -> true
+                | Some (f, _) -> f >= inc.g)
+          in
+          if settled then
+            finish (found (Option.get incumbent))
+          else if Heap.is_empty frontier then finish Space.Exhausted
+          else if stop () then
+            (* Cancelled mid-race; an incumbent mapping is still a
+               mapping, so prefer reporting it. *)
+            finish
+              (match incumbent with
+              | Some inc -> found inc
+              | None -> Space.Cancelled)
+          else begin
+            let nodes = take batch_size [] in
+            let rec test incumbent to_expand = function
+              | [] -> `Go (incumbent, List.rev to_expand)
+              | node :: rest ->
+                  c.examined_c <- c.examined_c + 1;
+                  if c.examined_c > budget then
+                    `Done
+                      (match incumbent with
+                      | Some inc -> found inc
+                      | None -> Space.Budget_exceeded)
+                  else if S.is_goal node.state then
+                    let incumbent =
+                      match incumbent with
+                      | Some best when best.g <= node.g -> Some best
+                      | _ -> Some node
+                    in
+                    test incumbent to_expand rest
+                  else test incumbent (node :: to_expand) rest
+            in
+            match test incumbent [] nodes with
+            | `Done outcome -> finish outcome
+            | `Go (incumbent, to_expand) ->
+                Pool.map_list pool (expand ~heuristic) to_expand
+                |> List.iter merge_expansion;
+                loop incumbent
+          end
+        in
+        loop None
 end

@@ -9,8 +9,23 @@
 
 module Make (S : Space.S) : sig
   val search :
+    ?stop:(unit -> bool) ->
+    ?pool:Pool.t ->
+    ?batch:int ->
     ?budget:int ->
     heuristic:(S.state -> int) ->
     S.state ->
     (S.state, S.action) Space.result
+  (** With [pool], the frontier is expanded in batches of up to [batch]
+      nodes (default [2 * Pool.size pool]): successor generation and
+      heuristic scoring fan out across the pool's domains while goal
+      tests and duplicate detection stay sequential, merged in f-order.
+      A goal found inside a batch is held as an incumbent until no
+      frontier f-value is below its cost, so with an admissible
+      heuristic the returned cost equals the sequential engine's
+      ([examined] may differ and is reported honestly). [stop] is
+      polled once per batch (once per pop when sequential); when it
+      fires the search returns {!Space.Cancelled} — or the incumbent
+      mapping, if one is already in hand.
+      @raise Invalid_argument if [budget <= 0] or [batch < 1]. *)
 end

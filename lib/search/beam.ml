@@ -1,22 +1,27 @@
 module Make (S : Space.S) = struct
   type node = { state : S.state; path_rev : S.action list; g : int }
 
-  let search ?(budget = Space.default_budget) ?(width = 8) ~heuristic root =
-    let t0 = Unix.gettimeofday () in
-    let examined = ref 0 and generated = ref 0 and expanded = ref 0 in
-    let finish outcome =
-      {
-        Space.outcome;
-        stats =
-          {
-            Space.examined = !examined;
-            generated = !generated;
-            expanded = !expanded;
-            iterations = 1;
-            elapsed_s = Unix.gettimeofday () -. t0;
-          };
-      }
-    in
+  (* Successor generation + heuristic scoring for one beam node: the
+     per-node work that fans out across domains. Scores are f = g + h;
+     dedup happens later, at merge time, so this is domain-safe as long
+     as [S.successors], [S.key] and [heuristic] are. *)
+  let expand ~heuristic node =
+    let succs = S.successors node.state in
+    ( node,
+      List.length succs,
+      List.map
+        (fun (action, s) -> (action, s, S.key s, node.g + 1 + heuristic s))
+        succs )
+
+  let search ?(stop = Space.never_stop) ?pool
+      ?(budget = Space.default_budget) ?(width = 8) ~heuristic root =
+    Space.validate_budget "Beam.search" budget;
+    if width <= 0 then
+      invalid_arg
+        (Printf.sprintf "Beam.search: width must be positive (got %d)" width);
+    let c = Space.counters () in
+    let elapsed = Space.stopwatch () in
+    let finish outcome = Space.finish c elapsed outcome in
     (* States seen in any earlier beam are never re-admitted. *)
     let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
     Hashtbl.replace seen (S.key root) ();
@@ -25,46 +30,58 @@ module Make (S : Space.S) = struct
       let rec check = function
         | [] -> None
         | node :: rest ->
-            incr examined;
-            if !examined > budget then Some (finish Space.Budget_exceeded)
-            else if S.is_goal node.state then
-              Some
-                (finish
-                   (Space.Found
-                      {
-                        path = List.rev node.path_rev;
-                        final = node.state;
-                        cost = node.g;
-                      }))
-            else check rest
+            if stop () then Some (finish Space.Cancelled)
+            else begin
+              c.examined_c <- c.examined_c + 1;
+              if c.examined_c > budget then
+                Some (finish Space.Budget_exceeded)
+              else if S.is_goal node.state then
+                Some
+                  (finish
+                     (Space.Found
+                        {
+                          path = List.rev node.path_rev;
+                          final = node.state;
+                          cost = node.g;
+                        }))
+              else check rest
+            end
       in
       match check beam with
       | Some result -> result
       | None ->
+          let expansions =
+            match pool with
+            | Some p when List.compare_length_with beam 1 > 0 ->
+                Pool.map_list p (expand ~heuristic) beam
+            | _ -> List.map (expand ~heuristic) beam
+          in
+          (* Merge in beam order: candidates arrive in the order the
+             sequential engine would have produced them, so the surviving
+             children, their stable sort and the next beam are identical
+             to a sequential run. *)
           let children =
             List.concat_map
-              (fun node ->
-                incr expanded;
-                let succs = S.successors node.state in
-                generated := !generated + List.length succs;
+              (fun (node, succ_count, candidates) ->
+                c.expanded_c <- c.expanded_c + 1;
+                c.generated_c <- c.generated_c + succ_count;
                 List.filter_map
-                  (fun (action, s) ->
-                    let k = S.key s in
+                  (fun (action, s, k, f) ->
                     if Hashtbl.mem seen k then None
                     else begin
                       Hashtbl.replace seen k ();
                       Some
-                        { state = s; path_rev = action :: node.path_rev;
-                          g = node.g + 1 }
+                        ( f,
+                          { state = s; path_rev = action :: node.path_rev;
+                            g = node.g + 1 } )
                     end)
-                  succs)
-              beam
+                  candidates)
+              expansions
           in
           if children = [] then finish Space.Exhausted
           else
             let scored =
-              List.map (fun n -> (n.g + heuristic n.state, n)) children
-              |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+              List.stable_sort (fun (a, _) (b, _) -> compare a b) children
             in
             let next =
               List.filteri (fun i _ -> i < width) (List.map snd scored)

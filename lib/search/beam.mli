@@ -10,11 +10,21 @@
 
 module Make (S : Space.S) : sig
   val search :
+    ?stop:(unit -> bool) ->
+    ?pool:Pool.t ->
     ?budget:int ->
     ?width:int ->
     heuristic:(S.state -> int) ->
     S.state ->
     (S.state, S.action) Space.result
   (** Default [width] is 8. [Exhausted] means the beam died out — with a
-      finite width that is {e not} a proof that no mapping exists. *)
+      finite width that is {e not} a proof that no mapping exists.
+
+      With [pool], each sweep's successor generation and heuristic
+      scoring fan out across the pool's domains; goal tests and
+      deduplication stay sequential and candidates are merged in beam
+      order, so the result (outcome, cost {e and} stats) is identical to
+      a sequential run. [stop] is polled once per goal test; when it
+      returns true the search finishes with {!Space.Cancelled}.
+      @raise Invalid_argument if [budget <= 0] or [width <= 0]. *)
 end

@@ -1,22 +1,11 @@
 module Make (S : Space.S) = struct
   type node = { state : S.state; path_rev : S.action list; depth : int }
 
-  let search ?(budget = Space.default_budget) root =
-    let t0 = Unix.gettimeofday () in
-    let examined = ref 0 and generated = ref 0 and expanded = ref 0 in
-    let finish outcome =
-      {
-        Space.outcome;
-        stats =
-          {
-            Space.examined = !examined;
-            generated = !generated;
-            expanded = !expanded;
-            iterations = 1;
-            elapsed_s = Unix.gettimeofday () -. t0;
-          };
-      }
-    in
+  let search ?(stop = Space.never_stop) ?(budget = Space.default_budget) root =
+    Space.validate_budget "Bfs.search" budget;
+    let c = Space.counters () in
+    let elapsed = Space.stopwatch () in
+    let finish outcome = Space.finish c elapsed outcome in
     let queue = Queue.create () in
     let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
     Hashtbl.replace seen (S.key root) ();
@@ -25,33 +14,37 @@ module Make (S : Space.S) = struct
       if Queue.is_empty queue then finish Space.Exhausted
       else begin
         let node = Queue.pop queue in
-        incr examined;
-        if !examined > budget then finish Space.Budget_exceeded
-        else if S.is_goal node.state then
-          finish
-            (Space.Found
-               { path = List.rev node.path_rev; final = node.state; cost = node.depth })
+        if stop () then finish Space.Cancelled
         else begin
-          incr expanded;
-          let succs = S.successors node.state in
-          generated := !generated + List.length succs;
-          List.iter
-            (fun (action, s) ->
-              let k = S.key s in
-              if not (Hashtbl.mem seen k) then begin
-                Hashtbl.replace seen k ();
-                Queue.push
-                  { state = s; path_rev = action :: node.path_rev; depth = node.depth + 1 }
-                  queue
-              end)
-            succs;
-          loop ()
+          c.examined_c <- c.examined_c + 1;
+          if c.examined_c > budget then finish Space.Budget_exceeded
+          else if S.is_goal node.state then
+            finish
+              (Space.Found
+                 { path = List.rev node.path_rev; final = node.state; cost = node.depth })
+          else begin
+            c.expanded_c <- c.expanded_c + 1;
+            let succs = S.successors node.state in
+            c.generated_c <- c.generated_c + List.length succs;
+            List.iter
+              (fun (action, s) ->
+                let k = S.key s in
+                if not (Hashtbl.mem seen k) then begin
+                  Hashtbl.replace seen k ();
+                  Queue.push
+                    { state = s; path_rev = action :: node.path_rev; depth = node.depth + 1 }
+                    queue
+                end)
+              succs;
+            loop ()
+          end
         end
       end
     in
     loop ()
 
   let reachable ?(budget = Space.default_budget) ?(max_depth = max_int) root =
+    Space.validate_budget "Bfs.reachable" budget;
     let depths : (string, int) Hashtbl.t = Hashtbl.create 256 in
     let queue = Queue.create () in
     Hashtbl.replace depths (S.key root) 0;

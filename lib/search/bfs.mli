@@ -6,7 +6,13 @@
 
 module Make (S : Space.S) : sig
   val search :
-    ?budget:int -> S.state -> (S.state, S.action) Space.result
+    ?stop:(unit -> bool) ->
+    ?budget:int ->
+    S.state ->
+    (S.state, S.action) Space.result
+  (** [stop] is polled once per examination; when it returns true the
+      search finishes with {!Space.Cancelled}.
+      @raise Invalid_argument if [budget <= 0]. *)
 
   val reachable :
     ?budget:int -> ?max_depth:int -> S.state -> (string, int) Hashtbl.t

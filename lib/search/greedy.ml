@@ -1,22 +1,12 @@
 module Make (S : Space.S) = struct
   type node = { state : S.state; path_rev : S.action list; g : int }
 
-  let search ?(budget = Space.default_budget) ~heuristic root =
-    let t0 = Unix.gettimeofday () in
-    let examined = ref 0 and generated = ref 0 and expanded = ref 0 in
-    let finish outcome =
-      {
-        Space.outcome;
-        stats =
-          {
-            Space.examined = !examined;
-            generated = !generated;
-            expanded = !expanded;
-            iterations = 1;
-            elapsed_s = Unix.gettimeofday () -. t0;
-          };
-      }
-    in
+  let search ?(stop = Space.never_stop) ?(budget = Space.default_budget)
+      ~heuristic root =
+    Space.validate_budget "Greedy.search" budget;
+    let c = Space.counters () in
+    let elapsed = Space.stopwatch () in
+    let finish outcome = Space.finish c elapsed outcome in
     let frontier = Heap.create () in
     let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
     Hashtbl.replace seen (S.key root) ();
@@ -26,26 +16,29 @@ module Make (S : Space.S) = struct
       match Heap.pop frontier with
       | None -> finish Space.Exhausted
       | Some (_, node) ->
-          incr examined;
-          if !examined > budget then finish Space.Budget_exceeded
-          else if S.is_goal node.state then
-            finish
-              (Space.Found
-                 { path = List.rev node.path_rev; final = node.state; cost = node.g })
+          if stop () then finish Space.Cancelled
           else begin
-            incr expanded;
-            let succs = S.successors node.state in
-            generated := !generated + List.length succs;
-            List.iter
-              (fun (action, s) ->
-                let k = S.key s in
-                if not (Hashtbl.mem seen k) then begin
-                  Hashtbl.replace seen k ();
-                  Heap.push frontier ~priority:(heuristic s)
-                    { state = s; path_rev = action :: node.path_rev; g = node.g + 1 }
-                end)
-              succs;
-            loop ()
+            c.examined_c <- c.examined_c + 1;
+            if c.examined_c > budget then finish Space.Budget_exceeded
+            else if S.is_goal node.state then
+              finish
+                (Space.Found
+                   { path = List.rev node.path_rev; final = node.state; cost = node.g })
+            else begin
+              c.expanded_c <- c.expanded_c + 1;
+              let succs = S.successors node.state in
+              c.generated_c <- c.generated_c + List.length succs;
+              List.iter
+                (fun (action, s) ->
+                  let k = S.key s in
+                  if not (Hashtbl.mem seen k) then begin
+                    Hashtbl.replace seen k ();
+                    Heap.push frontier ~priority:(heuristic s)
+                      { state = s; path_rev = action :: node.path_rev; g = node.g + 1 }
+                  end)
+                succs;
+              loop ()
+            end
           end
     in
     loop ()

@@ -6,8 +6,12 @@
 
 module Make (S : Space.S) : sig
   val search :
+    ?stop:(unit -> bool) ->
     ?budget:int ->
     heuristic:(S.state -> int) ->
     S.state ->
     (S.state, S.action) Space.result
+  (** [stop] is polled once per examination; when it returns true the
+      search finishes with {!Space.Cancelled}.
+      @raise Invalid_argument if [budget <= 0]. *)
 end

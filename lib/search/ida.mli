@@ -8,6 +8,7 @@
 
 module Make (S : Space.S) : sig
   val search :
+    ?stop:(unit -> bool) ->
     ?budget:int ->
     heuristic:(S.state -> int) ->
     S.state ->
@@ -15,5 +16,8 @@ module Make (S : Space.S) : sig
   (** [search ~heuristic root] explores until a goal is found, the space is
       exhausted, or [budget] states (default {!Space.default_budget}) have
       been examined. With the constant-zero heuristic this is iterative
-      deepening — the paper's blind baseline h0. *)
+      deepening — the paper's blind baseline h0. [stop] is polled once per
+      examination; when it returns true the search finishes with
+      {!Space.Cancelled}.
+      @raise Invalid_argument if [budget <= 0]. *)
 end

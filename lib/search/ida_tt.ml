@@ -2,33 +2,17 @@ let infinity_cost = max_int
 
 module Make (S : Space.S) = struct
   exception Budget
-
-  type counters = {
-    mutable examined : int;
-    mutable generated : int;
-    mutable expanded : int;
-    mutable iterations : int;
-  }
+  exception Stopped
 
   type dfs_result = Hit of S.action list * S.state | Cutoff of int
 
-  let search ?(budget = Space.default_budget) ?(table_cap = 500_000)
-      ~heuristic root =
-    let t0 = Unix.gettimeofday () in
-    let c = { examined = 0; generated = 0; expanded = 0; iterations = 0 } in
-    let finish outcome =
-      {
-        Space.outcome;
-        stats =
-          {
-            Space.examined = c.examined;
-            generated = c.generated;
-            expanded = c.expanded;
-            iterations = c.iterations;
-            elapsed_s = Unix.gettimeofday () -. t0;
-          };
-      }
-    in
+  let search ?(stop = Space.never_stop) ?(budget = Space.default_budget)
+      ?(table_cap = 500_000) ~heuristic root =
+    Space.validate_budget "Ida_tt.search" budget;
+    let c = Space.counters () in
+    c.iterations_c <- 0;
+    let elapsed = Space.stopwatch () in
+    let finish outcome = Space.finish c elapsed outcome in
     let on_path : (string, unit) Hashtbl.t = Hashtbl.create 64 in
     (* improved (backed-up) heuristic values, persisted across iterations *)
     let improved : (string, int) Hashtbl.t = Hashtbl.create 4096 in
@@ -46,13 +30,14 @@ module Make (S : Space.S) = struct
       let f = g + h_eff key state in
       if f > bound then Cutoff f
       else begin
-        c.examined <- c.examined + 1;
-        if c.examined > budget then raise Budget;
+        if stop () then raise Stopped;
+        c.examined_c <- c.examined_c + 1;
+        if c.examined_c > budget then raise Budget;
         if S.is_goal state then Hit ([], state)
         else begin
           let succs = S.successors state in
-          c.expanded <- c.expanded + 1;
-          c.generated <- c.generated + List.length succs;
+          c.expanded_c <- c.expanded_c + 1;
+          c.generated_c <- c.generated_c + List.length succs;
           Hashtbl.add on_path key ();
           let best_cutoff = ref infinity_cost in
           (* A backed-up cutoff is only a context-free lower bound when no
@@ -90,7 +75,7 @@ module Make (S : Space.S) = struct
       end
     in
     let rec iterate bound =
-      c.iterations <- c.iterations + 1;
+      c.iterations_c <- c.iterations_c + 1;
       Hashtbl.reset on_path;
       match dfs root 0 bound with
       | Hit (path, final) ->
@@ -100,5 +85,7 @@ module Make (S : Space.S) = struct
             finish Space.Exhausted
           else iterate next
     in
-    try iterate (heuristic root) with Budget -> finish Space.Budget_exceeded
+    try iterate (heuristic root) with
+    | Budget -> finish Space.Budget_exceeded
+    | Stopped -> finish Space.Cancelled
 end

@@ -15,11 +15,15 @@
 
 module Make (S : Space.S) : sig
   val search :
+    ?stop:(unit -> bool) ->
     ?budget:int ->
     ?table_cap:int ->
     heuristic:(S.state -> int) ->
     S.state ->
     (S.state, S.action) Space.result
   (** [table_cap] bounds the number of stored entries (default 500_000);
-      the table is cleared when the cap is reached. *)
+      the table is cleared when the cap is reached. [stop] is polled once
+      per examination; when it returns true the search finishes with
+      {!Space.Cancelled}.
+      @raise Invalid_argument if [budget <= 0]. *)
 end

@@ -1,0 +1,192 @@
+(* A small Domain-based worker pool with work stealing.
+
+   The pool owns [size - 1] long-lived worker domains; the caller of
+   [parallel_map] acts as the remaining worker, so a pool of size N uses
+   exactly N domains during a parallel section and none while idle.
+
+   Work distribution: each worker (including the caller, slot 0) has its
+   own deque of tasks. A map over n items is split into contiguous chunks
+   that are dealt round-robin onto the deques; each worker drains its own
+   deque first and then steals from the others, scanning round-robin from
+   its right neighbour. Deques are tiny (a mutex around a list) — the
+   tasks they carry are chunk-sized, so contention on the locks is not on
+   the per-item hot path. *)
+
+type task = unit -> unit
+
+type deque = { lock : Mutex.t; mutable tasks : task list }
+
+type t = {
+  size : int;  (* total workers, including the calling domain *)
+  deques : deque array;  (* slot 0 belongs to the caller *)
+  mutable workers : unit Domain.t list;
+  m : Mutex.t;
+  wake : Condition.t;  (* workers park here between batches *)
+  idle : Condition.t;  (* the caller parks here waiting for a batch to drain *)
+  mutable generation : int;  (* bumped on submit; lost-wakeup guard *)
+  mutable stopped : bool;
+  pending : int Atomic.t;  (* tasks submitted and not yet completed *)
+  failure : exn option Atomic.t;  (* first exception raised by a task *)
+}
+
+let size pool = pool.size
+
+let push_task pool slot task =
+  let d = pool.deques.(slot) in
+  Mutex.lock d.lock;
+  d.tasks <- task :: d.tasks;
+  Mutex.unlock d.lock
+
+let pop_task pool slot =
+  let d = pool.deques.(slot) in
+  Mutex.lock d.lock;
+  let t =
+    match d.tasks with
+    | [] -> None
+    | t :: rest ->
+        d.tasks <- rest;
+        Some t
+  in
+  Mutex.unlock d.lock;
+  t
+
+(* Take from any deque, own first, then the others left to right from our
+   right neighbour. Task order across deques is irrelevant: every task
+   writes results at fixed indices. *)
+let steal_task pool slot =
+  let n = Array.length pool.deques in
+  let rec scan i =
+    if i = n then None
+    else
+      match pop_task pool ((slot + i) mod n) with
+      | Some t -> Some t
+      | None -> scan (i + 1)
+  in
+  scan 0
+
+let record_failure pool e =
+  ignore (Atomic.compare_and_set pool.failure None (Some e))
+
+let run_task pool task =
+  (try task () with e -> record_failure pool e);
+  if Atomic.fetch_and_add pool.pending (-1) = 1 then begin
+    (* Last task of the batch: wake the caller. *)
+    Mutex.lock pool.m;
+    Condition.broadcast pool.idle;
+    Mutex.unlock pool.m
+  end
+
+let rec drain pool slot =
+  match steal_task pool slot with
+  | Some t ->
+      run_task pool t;
+      drain pool slot
+  | None -> ()
+
+let worker_loop pool slot =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    drain pool slot;
+    Mutex.lock pool.m;
+    while pool.generation = !seen && not pool.stopped do
+      Condition.wait pool.wake pool.m
+    done;
+    seen := pool.generation;
+    if pool.stopped then running := false;
+    Mutex.unlock pool.m
+  done;
+  (* Drain any batch submitted concurrently with shutdown. *)
+  drain pool slot
+
+let default_domains () =
+  max 1 (min 128 (Domain.recommended_domain_count ()))
+
+let create ?domains () =
+  let size = match domains with Some d -> d | None -> default_domains () in
+  if size < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let pool =
+    {
+      size;
+      deques =
+        Array.init size (fun _ -> { lock = Mutex.create (); tasks = [] });
+      workers = [];
+      m = Mutex.create ();
+      wake = Condition.create ();
+      idle = Condition.create ();
+      generation = 0;
+      stopped = false;
+      pending = Atomic.make 0;
+      failure = Atomic.make None;
+    }
+  in
+  pool.workers <-
+    List.init (size - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop pool (i + 1)));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  pool.stopped <- true;
+  Condition.broadcast pool.wake;
+  Mutex.unlock pool.m;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+(* Deal [tasks] onto the deques round-robin and wake everyone. *)
+let submit pool tasks =
+  let n = List.length tasks in
+  Atomic.set pool.failure None;
+  Atomic.set pool.pending n;
+  List.iteri (fun i task -> push_task pool (i mod pool.size) task) tasks;
+  Mutex.lock pool.m;
+  pool.generation <- pool.generation + 1;
+  Condition.broadcast pool.wake;
+  Mutex.unlock pool.m
+
+let parallel_map pool f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if pool.size = 1 || n = 1 then Array.map f xs
+  else begin
+    if pool.stopped then invalid_arg "Pool.parallel_map: pool is shut down";
+    let results = Array.make n None in
+    (* Chunks several times smaller than a fair share, so stealing can
+       rebalance when items have uneven cost. *)
+    let chunk = max 1 (n / (pool.size * 4)) in
+    let rec chunks lo acc =
+      if lo >= n then List.rev acc
+      else
+        let hi = min n (lo + chunk) in
+        let task () =
+          for i = lo to hi - 1 do
+            results.(i) <- Some (f xs.(i))
+          done
+        in
+        chunks hi (task :: acc)
+    in
+    submit pool (chunks 0 []);
+    (* The caller is worker 0: run its share, steal the rest, then park
+       until stragglers finish. *)
+    drain pool 0;
+    Mutex.lock pool.m;
+    while Atomic.get pool.pending > 0 do
+      Condition.wait pool.idle pool.m
+    done;
+    Mutex.unlock pool.m;
+    (match Atomic.get pool.failure with
+    | Some e -> raise e
+    | None -> ());
+    Array.map
+      (function
+        | Some r -> r
+        | None -> assert false (* every index was covered by a chunk *))
+      results
+  end
+
+let map_list pool f xs =
+  Array.to_list (parallel_map pool f (Array.of_list xs))
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

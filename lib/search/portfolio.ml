@@ -1,0 +1,72 @@
+type 'r entrant = { name : string; run : cancelled:(unit -> bool) -> 'r }
+
+type 'r outcome = {
+  winner : (string * 'r) option;
+  results : (string * 'r) list;
+}
+
+let race_sequential ~won entrants =
+  (* One domain: run entrants in order, stopping at the first winner.
+     Entrants after the winner are never started (their [cancelled]
+     would be immediately true), which keeps the single-core fall-back
+     deterministic and cheap. *)
+  let rec go acc = function
+    | [] -> { winner = None; results = List.rev acc }
+    | e :: rest ->
+        let r = e.run ~cancelled:(fun () -> false) in
+        if won r then
+          { winner = Some (e.name, r); results = List.rev ((e.name, r) :: acc) }
+        else go ((e.name, r) :: acc) rest
+  in
+  go [] entrants
+
+let race ?domains ~won entrants =
+  if entrants = [] then invalid_arg "Portfolio.race: no entrants";
+  let n = List.length entrants in
+  let domains =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Portfolio.race: domains must be >= 1";
+        min d n
+    | None -> min (Pool.default_domains ()) n
+  in
+  if domains = 1 then race_sequential ~won entrants
+  else begin
+    let entrants = Array.of_list entrants in
+    let results = Array.make n None in
+    (* Index of the first entrant observed to win; doubles as the
+       cancellation flag every running entrant polls. *)
+    let winner = Atomic.make (-1) in
+    let next = Atomic.make 0 in
+    let cancelled () = Atomic.get winner >= 0 in
+    let work () =
+      let rec claim () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && not (cancelled ()) then begin
+          let r = entrants.(i).run ~cancelled in
+          results.(i) <- Some r;
+          if won r then ignore (Atomic.compare_and_set winner (-1) i);
+          claim ()
+        end
+      in
+      claim ()
+    in
+    let spawned =
+      List.init (domains - 1) (fun _ -> Domain.spawn work)
+    in
+    work ();
+    List.iter Domain.join spawned;
+    let results_list =
+      Array.to_list results
+      |> List.mapi (fun i r ->
+             Option.map (fun r -> (entrants.(i).name, r)) r)
+      |> List.filter_map Fun.id
+    in
+    let winner =
+      match Atomic.get winner with
+      | -1 -> None
+      | i ->
+          Option.map (fun r -> (entrants.(i).name, r)) results.(i)
+    in
+    { winner; results = results_list }
+  end

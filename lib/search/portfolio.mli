@@ -1,0 +1,41 @@
+(** Algorithm-portfolio racing across domains.
+
+    A portfolio runs several search configurations — (algorithm ×
+    heuristic) pairs in TUPELO's case — on the same problem in parallel
+    domains and takes the first result that wins, cancelling the rest.
+    The racer itself is generic: entrants are closures that poll a
+    [cancelled] flag and return any ['r].
+
+    Semantics (see DESIGN.md, "Parallel engine"):
+    - Every entrant receives [cancelled], which becomes true as soon as
+      some entrant's result satisfies [won]. Entrants are expected to
+      poll it and return promptly (the search algorithms return a
+      {!Space.Cancelled} outcome carrying honest partial stats).
+    - The winner is the first entrant {e observed} to finish with a
+      winning result. With more than one domain this is a race:
+      which entrant wins may vary run to run, but every returned result
+      is an honest outcome of its configuration.
+    - With [domains = 1] the race degenerates to running entrants
+      sequentially in list order, stopping at the first winner —
+      fully deterministic, and entrants after the winner are never
+      started. *)
+
+type 'r entrant = {
+  name : string;
+  run : cancelled:(unit -> bool) -> 'r;
+}
+
+type 'r outcome = {
+  winner : (string * 'r) option;
+      (** the first winning entrant, if any won *)
+  results : (string * 'r) list;
+      (** every entrant that ran to completion (winner included, losers
+          with their cancelled/partial results), in entrant order *)
+}
+
+val race : ?domains:int -> won:('r -> bool) -> 'r entrant list -> 'r outcome
+(** [race ~domains ~won entrants] runs entrants on up to [domains]
+    domains (default {!Pool.default_domains}, clamped to the number of
+    entrants). When there are more entrants than domains, finished
+    domains pick up the next unstarted entrant.
+    @raise Invalid_argument if [entrants] is empty or [domains < 1]. *)

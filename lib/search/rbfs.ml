@@ -3,12 +3,7 @@ let infinity_cost = max_int / 2
 
 module Make (S : Space.S) = struct
   exception Budget
-
-  type counters = {
-    mutable examined : int;
-    mutable generated : int;
-    mutable expanded : int;
-  }
+  exception Stopped
 
   type node = {
     state : S.state;
@@ -21,27 +16,18 @@ module Make (S : Space.S) = struct
     | Hit of S.action list * S.state
     | Failed of int  (** revised f-value *)
 
-  let search ?(budget = Space.default_budget) ~heuristic root =
-    let t0 = Unix.gettimeofday () in
-    let c = { examined = 0; generated = 0; expanded = 0 } in
-    let finish outcome =
-      {
-        Space.outcome;
-        stats =
-          {
-            Space.examined = c.examined;
-            generated = c.generated;
-            expanded = c.expanded;
-            iterations = 1;
-            elapsed_s = Unix.gettimeofday () -. t0;
-          };
-      }
-    in
+  let search ?(stop = Space.never_stop) ?(budget = Space.default_budget)
+      ~heuristic root =
+    Space.validate_budget "Rbfs.search" budget;
+    let c = Space.counters () in
+    let elapsed = Space.stopwatch () in
+    let finish outcome = Space.finish c elapsed outcome in
     let on_path : (string, unit) Hashtbl.t = Hashtbl.create 64 in
     let clamp x = if x > infinity_cost then infinity_cost else x in
     let rec rbfs node f_limit =
-      c.examined <- c.examined + 1;
-      if c.examined > budget then raise Budget;
+      if stop () then raise Stopped;
+      c.examined_c <- c.examined_c + 1;
+      if c.examined_c > budget then raise Budget;
       if S.is_goal node.state then Hit ([], node.state)
       else begin
         let key = S.key node.state in
@@ -50,8 +36,8 @@ module Make (S : Space.S) = struct
           S.successors node.state
           |> List.filter (fun (_, s) -> not (Hashtbl.mem on_path (S.key s)))
         in
-        c.expanded <- c.expanded + 1;
-        c.generated <- c.generated + List.length succs;
+        c.expanded_c <- c.expanded_c + 1;
+        c.generated_c <- c.generated_c + List.length succs;
         let result =
           if succs = [] then Failed infinity_cost
           else begin
@@ -98,4 +84,5 @@ module Make (S : Space.S) = struct
         finish (Space.Found { path; final; cost = List.length path })
     | Failed _ -> finish Space.Exhausted
     | exception Budget -> finish Space.Budget_exceeded
+    | exception Stopped -> finish Space.Cancelled
 end

@@ -37,6 +37,10 @@ type ('state, 'action) outcome =
       (** [path] in application order; [cost] = number of actions. *)
   | Exhausted  (** the whole (budgeted) space contains no goal *)
   | Budget_exceeded  (** gave up after examining the budget of states *)
+  | Cancelled
+      (** stopped by an external cancellation signal (e.g. a
+          {!Portfolio} race another entrant won); the stats describe the
+          work done up to that point *)
 
 type ('state, 'action) result = {
   outcome : ('state, 'action) outcome;
@@ -44,6 +48,52 @@ type ('state, 'action) result = {
 }
 
 let default_budget = 1_000_000
+
+(** {2 Shared bookkeeping}
+
+    Every algorithm maintains the same counters and stopwatch; they are
+    factored here so the accounting (and its clock) cannot drift between
+    implementations. *)
+
+(** Mutable counters shared by all algorithm implementations. *)
+type counters = {
+  mutable examined_c : int;
+  mutable generated_c : int;
+  mutable expanded_c : int;
+  mutable iterations_c : int;
+}
+
+let counters () =
+  { examined_c = 0; generated_c = 0; expanded_c = 0; iterations_c = 1 }
+
+(* CLOCK_MONOTONIC via bechamel's stub: immune to wall-clock steps, so
+   elapsed_s can never go negative (and is clamped besides, out of
+   paranoia about broken clocks). *)
+let now_ns () = Monotonic_clock.now ()
+
+let stopwatch () =
+  let t0 = now_ns () in
+  fun () -> Float.max 0. (Int64.to_float (Int64.sub (now_ns ()) t0) *. 1e-9)
+
+let finish c elapsed outcome =
+  {
+    outcome;
+    stats =
+      {
+        examined = c.examined_c;
+        generated = c.generated_c;
+        expanded = c.expanded_c;
+        iterations = c.iterations_c;
+        elapsed_s = elapsed ();
+      };
+  }
+
+let validate_budget name budget =
+  if budget <= 0 then
+    invalid_arg (Printf.sprintf "%s: budget must be positive (got %d)" name budget)
+
+(* A [stop] callback that never fires: the default for standalone runs. *)
+let never_stop () = false
 
 let found result =
   match result.outcome with Found _ -> true | _ -> false

@@ -2,7 +2,15 @@ let log_src = Logs.Src.create "tupelo.discover" ~doc:"Mapping discovery"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type algorithm = Ida | Ida_tt | Rbfs | Astar | Greedy | Beam of int | Bfs
+type algorithm =
+  | Ida
+  | Ida_tt
+  | Rbfs
+  | Astar
+  | Greedy
+  | Beam of int
+  | Bfs
+  | Portfolio
 
 let algorithm_name = function
   | Ida -> "IDA"
@@ -12,8 +20,23 @@ let algorithm_name = function
   | Greedy -> "Greedy"
   | Beam w -> Printf.sprintf "Beam(%d)" w
   | Bfs -> "BFS"
+  | Portfolio -> "Portfolio"
 
+(* Total inverse of [algorithm_name] (property-tested): every printed
+   name parses back, along with the historical spellings. *)
 let algorithm_of_string s =
+  let parse_beam prefix suffix =
+    (* "beam:W" and "beam(W)" *)
+    let p = String.length prefix and n = String.length s in
+    if n > p + String.length suffix
+       && String.lowercase_ascii (String.sub s 0 p) = prefix
+       && (suffix = ""
+          || String.sub s (n - String.length suffix) (String.length suffix)
+             = suffix)
+    then
+      int_of_string_opt (String.sub s p (n - p - String.length suffix))
+    else None
+  in
   match String.lowercase_ascii s with
   | "ida" -> Some Ida
   | "ida-tt" | "ida+tt" | "idatt" -> Some Ida_tt
@@ -22,15 +45,20 @@ let algorithm_of_string s =
   | "greedy" -> Some Greedy
   | "beam" -> Some (Beam 8)
   | "bfs" -> Some Bfs
-  | s when String.length s > 5 && String.sub s 0 5 = "beam:" -> (
-      match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+  | "portfolio" -> Some Portfolio
+  | _ -> (
+      match
+        match parse_beam "beam:" "" with
+        | Some w -> Some w
+        | None -> parse_beam "beam(" ")"
+      with
       | Some w when w > 0 -> Some (Beam w)
       | _ -> None)
-  | _ -> None
 
 let scaling_for = function
   | Rbfs -> Heuristics.Heuristic.Scaling.rbfs
-  | Ida | Ida_tt | Astar | Greedy | Beam _ | Bfs -> Heuristics.Heuristic.Scaling.ida
+  | Ida | Ida_tt | Astar | Greedy | Beam _ | Bfs | Portfolio ->
+      Heuristics.Heuristic.Scaling.ida
 
 type config = {
   algorithm : algorithm;
@@ -38,10 +66,12 @@ type config = {
   goal : Goal.mode;
   budget : int;
   moves : Moves.config;
+  jobs : int;
 }
 
 let config ?(algorithm = Rbfs) ?heuristic ?(goal = Goal.Superset)
-    ?(budget = Search.Space.default_budget) ?moves () =
+    ?(budget = Search.Space.default_budget) ?moves ?(jobs = 1) () =
+  if jobs < 1 then invalid_arg "Discover.config: jobs must be >= 1";
   let heuristic =
     match heuristic with
     | Some h -> h
@@ -50,7 +80,7 @@ let config ?(algorithm = Rbfs) ?heuristic ?(goal = Goal.Superset)
         Heuristics.Heuristic.cosine ~k
   in
   let moves = match moves with Some m -> m | None -> Moves.default goal in
-  { algorithm; heuristic; goal; budget; moves }
+  { algorithm; heuristic; goal; budget; moves; jobs }
 
 type outcome =
   | Mapping of Mapping.t
@@ -61,13 +91,47 @@ let states_examined = function
   | Mapping m -> m.Mapping.stats.Search.Space.examined
   | No_mapping stats | Gave_up stats -> stats.Search.Space.examined
 
+(* The default portfolio: diverse (algorithm × heuristic) entrants. RBFS
+   and IDA+TT are the paper's strongest configurations; A* and Greedy
+   with the discrete h1 explore a different region of the space; the
+   beam is the fast incomplete scout. *)
+let portfolio_entrants () =
+  let ida_k = Heuristics.Heuristic.Scaling.ida.k_cosine in
+  let rbfs_k = Heuristics.Heuristic.Scaling.rbfs.k_cosine in
+  [
+    (Rbfs, Heuristics.Heuristic.cosine ~k:rbfs_k);
+    (Ida_tt, Heuristics.Heuristic.cosine ~k:ida_k);
+    (Astar, Heuristics.Heuristic.h1);
+    (Beam 8, Heuristics.Heuristic.cosine ~k:ida_k);
+    (Greedy, Heuristics.Heuristic.h1);
+  ]
+
+let sum_stats ~iterations ~elapsed_s results =
+  List.fold_left
+    (fun acc (r : (State.t, Fira.Op.t) Search.Space.result) ->
+      let s = r.Search.Space.stats in
+      {
+        acc with
+        Search.Space.examined = acc.Search.Space.examined + s.Search.Space.examined;
+        generated = acc.Search.Space.generated + s.Search.Space.generated;
+        expanded = acc.Search.Space.expanded + s.Search.Space.expanded;
+      })
+    {
+      Search.Space.examined = 0;
+      generated = 0;
+      expanded = 0;
+      iterations;
+      elapsed_s;
+    }
+    results
+
 let discover ?(registry = Fira.Semfun.empty_registry) config ~source ~target =
   Log.debug (fun m ->
-      m "discover: %s/%s goal=%s budget=%d source=%d rels target=%d rels"
+      m "discover: %s/%s goal=%s budget=%d jobs=%d source=%d rels target=%d rels"
         (algorithm_name config.algorithm)
         config.heuristic.Heuristics.Heuristic.name
         (Goal.mode_to_string config.goal)
-        config.budget
+        config.budget config.jobs
         (Relational.Database.size source)
         (Relational.Database.size target));
   let target_info = Moves.target_info target in
@@ -91,77 +155,141 @@ let discover ?(registry = Fira.Semfun.empty_registry) config ~source ~target =
      This does not affect the states-examined counts — only wall clock —
      and matters most for the Levenshtein heuristic, whose edit-distance
      computation is quadratic in the instance size. The blind heuristic
-     skips profile construction altogether. *)
-  let estimate =
-    if config.heuristic.Heuristics.Heuristic.name = "h0" then fun _ -> 0
+     skips profile construction altogether. The cache is bounded and
+     per-domain (see {!Heuristics.Memo}), so parallel frontier expansion
+     and portfolio racing can score states on any domain. *)
+  let estimate_for (heuristic : Heuristics.Heuristic.t) =
+    if heuristic.Heuristics.Heuristic.name = "h0" then fun _ -> 0
     else begin
-      let cache : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+      let memo : int Heuristics.Memo.t = Heuristics.Memo.create () in
       fun state ->
-        let key = State.key state in
-        match Hashtbl.find_opt cache key with
-        | Some v -> v
-        | None ->
-            let v =
-              config.heuristic.Heuristics.Heuristic.estimate
-                ~target:target_profile (State.profile state)
-            in
-            (* Bound memory on pathological runs. *)
-            if Hashtbl.length cache > 200_000 then Hashtbl.reset cache;
-            Hashtbl.add cache key v;
-            v
+        Heuristics.Memo.find_or_add memo (State.key state) (fun _ ->
+            heuristic.Heuristics.Heuristic.estimate ~target:target_profile
+              (State.profile state))
     end
   in
-  let root = State.of_database source in
-  let result =
-    match config.algorithm with
+  let run_algorithm ?(stop = Search.Space.never_stop) ?pool alg heuristic root
+      =
+    let estimate = estimate_for heuristic in
+    match alg with
     | Ida ->
         let module I = Search.Ida.Make (Sp) in
-        I.search ~budget:config.budget ~heuristic:estimate root
+        I.search ~stop ~budget:config.budget ~heuristic:estimate root
     | Ida_tt ->
         let module I = Search.Ida_tt.Make (Sp) in
-        I.search ~budget:config.budget ~heuristic:estimate root
+        I.search ~stop ~budget:config.budget ~heuristic:estimate root
     | Rbfs ->
         let module R = Search.Rbfs.Make (Sp) in
-        R.search ~budget:config.budget ~heuristic:estimate root
+        R.search ~stop ~budget:config.budget ~heuristic:estimate root
     | Astar ->
         let module A = Search.Astar.Make (Sp) in
-        A.search ~budget:config.budget ~heuristic:estimate root
+        A.search ~stop ?pool ~budget:config.budget ~heuristic:estimate root
     | Greedy ->
         let module G = Search.Greedy.Make (Sp) in
-        G.search ~budget:config.budget ~heuristic:estimate root
+        G.search ~stop ~budget:config.budget ~heuristic:estimate root
     | Beam width ->
         let module B = Search.Beam.Make (Sp) in
-        B.search ~budget:config.budget ~width ~heuristic:estimate root
+        B.search ~stop ?pool ~budget:config.budget ~width ~heuristic:estimate
+          root
     | Bfs ->
         let module B = Search.Bfs.Make (Sp) in
-        B.search ~budget:config.budget root
+        B.search ~stop ~budget:config.budget root
+    | Portfolio ->
+        invalid_arg "Discover: Portfolio cannot be an entrant of itself"
   in
-  (match result.Search.Space.outcome with
-  | Search.Space.Found { path; _ } ->
-      Log.info (fun m ->
-          m "discovered %d-operator mapping, %d states examined"
-            (List.length path)
-            result.Search.Space.stats.Search.Space.examined)
-  | Search.Space.Exhausted ->
-      Log.info (fun m ->
-          m "space exhausted after %d states"
-            result.Search.Space.stats.Search.Space.examined)
-  | Search.Space.Budget_exceeded ->
-      Log.info (fun m ->
-          m "budget exceeded at %d states"
-            result.Search.Space.stats.Search.Space.examined));
-  match result.Search.Space.outcome with
-  | Search.Space.Found { path; _ } ->
-      Mapping
-        {
-          Mapping.expr = Fira.Expr.of_ops path;
-          algorithm = algorithm_name config.algorithm;
-          heuristic = config.heuristic.Heuristics.Heuristic.name;
-          goal = goal_mode;
-          stats = result.Search.Space.stats;
-        }
-  | Search.Space.Exhausted -> No_mapping result.Search.Space.stats
-  | Search.Space.Budget_exceeded -> Gave_up result.Search.Space.stats
+  let root = State.of_database source in
+  let finish ~name result =
+    (match result.Search.Space.outcome with
+    | Search.Space.Found { path; _ } ->
+        Log.info (fun m ->
+            m "discovered %d-operator mapping (%s), %d states examined"
+              (List.length path) name
+              result.Search.Space.stats.Search.Space.examined)
+    | Search.Space.Exhausted ->
+        Log.info (fun m ->
+            m "space exhausted after %d states"
+              result.Search.Space.stats.Search.Space.examined)
+    | Search.Space.Budget_exceeded ->
+        Log.info (fun m ->
+            m "budget exceeded at %d states"
+              result.Search.Space.stats.Search.Space.examined)
+    | Search.Space.Cancelled ->
+        Log.info (fun m ->
+            m "cancelled after %d states"
+              result.Search.Space.stats.Search.Space.examined));
+    match result.Search.Space.outcome with
+    | Search.Space.Found { path; _ } ->
+        Mapping
+          {
+            Mapping.expr = Fira.Expr.of_ops path;
+            algorithm = name;
+            heuristic = config.heuristic.Heuristics.Heuristic.name;
+            goal = goal_mode;
+            stats = result.Search.Space.stats;
+          }
+    | Search.Space.Exhausted -> No_mapping result.Search.Space.stats
+    | Search.Space.Budget_exceeded | Search.Space.Cancelled ->
+        (* Cancelled cannot occur for a standalone run (no racer), but is
+           an honest give-up if it ever does. *)
+        Gave_up result.Search.Space.stats
+  in
+  match config.algorithm with
+  | Portfolio ->
+      let elapsed = Search.Space.stopwatch () in
+      let entrants =
+        List.map
+          (fun (alg, heuristic) ->
+            {
+              Search.Portfolio.name =
+                Printf.sprintf "%s/%s" (algorithm_name alg)
+                  heuristic.Heuristics.Heuristic.name;
+              run =
+                (fun ~cancelled ->
+                  run_algorithm ~stop:cancelled alg heuristic root);
+            })
+          (portfolio_entrants ())
+      in
+      let race =
+        Search.Portfolio.race ~domains:config.jobs ~won:Search.Space.found
+          entrants
+      in
+      let completed = List.map snd race.Search.Portfolio.results in
+      (* Honest accounting: the portfolio's cost is the work of every
+         entrant that ran, not just the winner's. *)
+      let stats iterations =
+        sum_stats ~iterations ~elapsed_s:(elapsed ()) completed
+      in
+      (match race.Search.Portfolio.winner with
+      | Some (name, result) ->
+          let stats =
+            stats result.Search.Space.stats.Search.Space.iterations
+          in
+          finish
+            ~name:(Printf.sprintf "Portfolio(%s)" name)
+            { result with Search.Space.stats }
+      | None ->
+          let gave_up =
+            List.exists
+              (fun (r : (State.t, Fira.Op.t) Search.Space.result) ->
+                match r.Search.Space.outcome with
+                | Search.Space.Budget_exceeded | Search.Space.Cancelled ->
+                    true
+                | _ -> false)
+              completed
+          in
+          Log.info (fun m ->
+              m "portfolio: no entrant found a mapping (%d entrants)"
+                (List.length completed));
+          if gave_up then Gave_up (stats 1) else No_mapping (stats 1))
+  | alg ->
+      let uses_pool = match alg with Astar | Beam _ -> true | _ -> false in
+      let result =
+        if config.jobs > 1 && uses_pool then
+          Search.Pool.with_pool ~domains:config.jobs (fun pool ->
+              run_algorithm ~pool alg config.heuristic root)
+        else run_algorithm alg config.heuristic root
+      in
+      finish ~name:(algorithm_name alg) result
 
 let discover_mapping ?registry config ~source ~target =
   match discover ?registry config ~source ~target with

@@ -20,9 +20,18 @@ type algorithm =
       (** beam search with the given width — incomplete but O(width)
           memory; an extension beyond the paper (see [Search.Beam]) *)
   | Bfs
+  | Portfolio
+      (** race a curated set of (algorithm × heuristic) entrants across
+          [jobs] domains and keep the first mapping found, cancelling the
+          rest (see [Search.Portfolio]); the reported stats sum the work
+          of every entrant that ran *)
 
 val algorithm_name : algorithm -> string
+
 val algorithm_of_string : string -> algorithm option
+(** Total inverse of {!algorithm_name} — [algorithm_of_string
+    (algorithm_name a) = Some a] for every [a] (property-tested) — plus
+    the historical spellings ("beam:8", "ida-tt", "astar", any case). *)
 
 val scaling_for : algorithm -> Heuristics.Heuristic.Scaling.constants
 (** The paper's tuned scaling constants: IDA's for {!Ida}, {!Ida_tt} and
@@ -35,6 +44,10 @@ type config = {
   goal : Goal.mode;
   budget : int;  (** maximum states examined before giving up *)
   moves : Moves.config;
+  jobs : int;
+      (** number of domains for the parallel engine: [Beam]/[Astar] use a
+          {!Search.Pool} of this size for frontier expansion, {!Portfolio}
+          races entrants on this many domains; 1 = fully sequential *)
 }
 
 val config :
@@ -43,11 +56,13 @@ val config :
   ?goal:Goal.mode ->
   ?budget:int ->
   ?moves:Moves.config ->
+  ?jobs:int ->
   unit ->
   config
 (** Defaults: RBFS (the paper's overall best, §5.4), cosine similarity with
     the algorithm's tuned k, {!Goal.Superset}, a one-million-state budget,
-    and {!Moves.default} for the goal mode. *)
+    {!Moves.default} for the goal mode, and [jobs = 1].
+    @raise Invalid_argument if [jobs < 1]. *)
 
 type outcome =
   | Mapping of Mapping.t

@@ -16,6 +16,7 @@ let () =
       ("tnf", Test_tnf.suite);
       ("fira", Test_fira.suite);
       ("search", Test_search.suite);
+      ("parallel", Test_parallel.suite);
       ("heuristics", Test_heuristics.suite);
       ("tupelo", Test_tupelo.suite);
       ("workloads", Test_workloads.suite);

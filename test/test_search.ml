@@ -192,6 +192,45 @@ let test_bfs_reachable () =
   Alcotest.(check (option int)) "beyond max_depth absent" None
     (Hashtbl.find_opt depths "3,0")
 
+let test_degenerate_parameters () =
+  (* budget <= 0 and width <= 0 are programming errors, not "search the
+     empty space": all seven algorithms must refuse them loudly instead
+     of returning a misleading [Exhausted]. *)
+  let raises name f =
+    Alcotest.(check bool) name true
+      (match f () with
+      | exception Invalid_argument _ -> true
+      | (_ : (Grid.state, Grid.action) Search.Space.result) -> false)
+  in
+  raises "IDA budget 0" (fun () ->
+      Grid_ida.search ~budget:0 ~heuristic:zero (0, 0));
+  raises "IDA+TT budget -1" (fun () ->
+      Grid_ida_tt.search ~budget:(-1) ~heuristic:zero (0, 0));
+  raises "RBFS budget 0" (fun () ->
+      Grid_rbfs.search ~budget:0 ~heuristic:zero (0, 0));
+  raises "A* budget 0" (fun () ->
+      Grid_astar.search ~budget:0 ~heuristic:zero (0, 0));
+  raises "A* batch 0" (fun () ->
+      Grid_astar.search ~batch:0 ~heuristic:zero (0, 0));
+  raises "Greedy budget 0" (fun () ->
+      Grid_greedy.search ~budget:0 ~heuristic:zero (0, 0));
+  raises "Beam budget 0" (fun () ->
+      Grid_beam.search ~budget:0 ~heuristic:zero (0, 0));
+  raises "Beam width 0" (fun () ->
+      Grid_beam.search ~width:0 ~heuristic:zero (0, 0));
+  raises "Beam width -3" (fun () ->
+      Grid_beam.search ~width:(-3) ~heuristic:zero (0, 0));
+  raises "BFS budget 0" (fun () -> Grid_bfs.search ~budget:0 (0, 0));
+  Alcotest.(check bool) "BFS reachable budget 0" true
+    (match Grid_bfs.reachable ~budget:0 (0, 0) with
+    | exception Invalid_argument _ -> true
+    | (_ : (string, int) Hashtbl.t) -> false)
+
+let test_elapsed_non_negative () =
+  let r = Grid_astar.search ~heuristic:manhattan (0, 0) in
+  Alcotest.(check bool) "elapsed_s >= 0" true
+    (r.Search.Space.stats.Search.Space.elapsed_s >= 0.)
+
 let test_heap () =
   let h = Search.Heap.create () in
   Alcotest.(check bool) "empty" true (Search.Heap.is_empty h);
@@ -235,6 +274,8 @@ let suite =
     Alcotest.test_case "goal at root" `Quick test_goal_at_root;
     Alcotest.test_case "beam incompleteness" `Quick test_beam_incomplete;
     Alcotest.test_case "bfs reachable depths" `Quick test_bfs_reachable;
+    Alcotest.test_case "degenerate parameters rejected" `Quick test_degenerate_parameters;
+    Alcotest.test_case "elapsed time non-negative" `Quick test_elapsed_non_negative;
     Alcotest.test_case "heap ordering" `Quick test_heap;
     Alcotest.test_case "heap stress" `Quick test_heap_many;
   ]
