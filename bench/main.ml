@@ -16,6 +16,7 @@ let registry =
     ("flights", ("E4: Fig. 1 data-metadata restructuring", Flights_bench.run));
     ("ablation", ("Design-choice ablations", Ablation.run));
     ("accuracy", ("Matching precision/recall on BAMM (extension)", Accuracy.run));
+    ("telemetry", ("E5: aggregated telemetry metrics", Telemetry_bench.run));
     ("micro", ("Bechamel micro-benchmarks", Micro.run));
   ]
 

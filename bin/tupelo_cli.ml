@@ -129,7 +129,63 @@ let run_on_arg =
           "After discovery, execute the mapping on this instance of the \
            source schema and print the result (repeatable).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL trace of telemetry events (search \
+           examinations/expansions/prunes, frontier gauges, pool and \
+           portfolio activity, memo and operator counters) to $(docv), one \
+           JSON object per line.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Aggregate telemetry in memory and print a per-discovery metrics \
+           summary after the run.")
+
 let fail fmt = Format.kasprintf (fun m -> `Error (false, m)) fmt
+
+(* Build the telemetry handle requested by --trace/--metrics, run [k] with
+   it, then print the aggregated summary and close the trace file. With
+   neither flag the handle is {!Telemetry.disabled} and discovery runs on
+   the allocation-free path. *)
+let with_telemetry trace metrics k =
+  let agg = if metrics then Some (Telemetry.Agg.create ()) else None in
+  let run oc =
+    let sinks =
+      (match oc with Some oc -> [ Telemetry.Sink.jsonl_channel oc ] | None -> [])
+      @ (match agg with Some a -> [ Telemetry.Agg.sink a ] | None -> [])
+    in
+    let telemetry =
+      match sinks with
+      | [] -> Telemetry.disabled
+      | [ s ] -> Telemetry.create s
+      | ss -> Telemetry.create (Telemetry.Sink.tee ss)
+    in
+    let r = k telemetry in
+    (match agg with
+    | Some a ->
+        print_newline ();
+        print_string (Telemetry.Agg.summary a)
+    | None -> ());
+    r
+  in
+  match trace with
+  | Some path ->
+      let oc = open_out_bin path in
+      let r =
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> run (Some oc))
+      in
+      Printf.printf "trace written to %s\n" path;
+      r
+  | None -> run None
 
 (* --- discover --- *)
 
@@ -140,7 +196,7 @@ let write_file path contents =
     (fun () -> output_string oc contents)
 
 let discover_cmd_run source target algorithm heuristic goal budget jobs
-    semfuns paper save run_on =
+    semfuns paper save run_on trace metrics =
   try
     let source = load_database source in
     let target = load_database target in
@@ -162,12 +218,15 @@ let discover_cmd_run source target algorithm heuristic goal budget jobs
         match (heuristic_opt, goal_opt) with
         | None, _ -> fail "unknown heuristic %S" heuristic
         | _, None -> fail "unknown goal mode %S" goal
-        | Some heuristic, Some goal -> (
-            let config =
-              Tupelo.Discover.config ~algorithm:alg ~heuristic ~goal ~budget
-                ~jobs ()
-            in
-            match Tupelo.Discover.discover ~registry config ~source ~target with
+        | Some heuristic, Some goal ->
+            with_telemetry trace metrics @@ fun telemetry ->
+            (let config =
+               Tupelo.Discover.config ~algorithm:alg ~heuristic ~goal ~budget
+                 ~jobs ~telemetry ()
+             in
+             match
+               Tupelo.Discover.discover ~registry config ~source ~target
+             with
             | Tupelo.Discover.Mapping m ->
                 Printf.printf
                   "discovered: %d operators, %d states examined, %.3fs\n\n"
@@ -213,7 +272,7 @@ let discover_cmd =
       ret
         (const discover_cmd_run $ source_arg $ target_arg $ algorithm_arg
        $ heuristic_arg $ goal_arg $ budget_arg $ jobs_arg $ semfun_arg
-       $ paper_arg $ save_arg $ run_on_arg))
+       $ paper_arg $ save_arg $ run_on_arg $ trace_arg $ metrics_arg))
 
 (* --- apply --- *)
 

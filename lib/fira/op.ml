@@ -38,6 +38,22 @@ let rel_of = function
 let compare = Stdlib.compare
 let equal a b = compare a b = 0
 
+let kind_name = function
+  | Promote _ -> "promote"
+  | Demote _ -> "demote"
+  | Dereference _ -> "dereference"
+  | Partition _ -> "partition"
+  | Product _ -> "product"
+  | Drop _ -> "drop"
+  | Merge _ -> "merge"
+  | RenameAtt _ -> "rename_att"
+  | RenameRel _ -> "rename_rel"
+  | Apply _ -> "apply"
+  | Union _ -> "union"
+  | Diff _ -> "diff"
+  | Join _ -> "join"
+  | Select _ -> "select"
+
 let to_string = function
   | Promote { rel; name_col; value_col } ->
       Printf.sprintf "promote[%s/%s](%s)" name_col value_col rel

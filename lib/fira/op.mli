@@ -64,6 +64,11 @@ val rel_of : t -> string option
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+val kind_name : t -> string
+(** The operator's constructor as a stable lowercase identifier
+    ([promote], [rename_att], …) — used as the [<op>] segment of
+    telemetry event names such as [moves.proposed.<op>]. *)
+
 val to_string : t -> string
 (** Compact ASCII form, e.g. [promote[Route/Cost](Prices)]. *)
 

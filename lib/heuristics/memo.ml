@@ -7,11 +7,12 @@ type 'v tables = {
 type 'v t = {
   half : int;  (* generation size: total residency is bounded by 2 * half *)
   slot : 'v tables Domain.DLS.key;
+  telemetry : Telemetry.t;
 }
 
 let default_cap = 200_000
 
-let create ?(cap = default_cap) () =
+let create ?(telemetry = Telemetry.disabled) ?(cap = default_cap) () =
   if cap < 2 then invalid_arg "Memo.create: cap must be >= 2";
   let half = cap / 2 in
   {
@@ -23,6 +24,7 @@ let create ?(cap = default_cap) () =
             previous = Hashtbl.create 0;
             evictions = 0;
           });
+    telemetry;
   }
 
 let tables t = Domain.DLS.get t.slot
@@ -30,12 +32,19 @@ let tables t = Domain.DLS.get t.slot
 let find_or_add t key compute =
   let tb = tables t in
   match Hashtbl.find_opt tb.current key with
-  | Some v -> v
+  | Some v ->
+      Telemetry.count t.telemetry "memo.hit" 1;
+      v
   | None ->
       let v =
         match Hashtbl.find_opt tb.previous key with
-        | Some v -> v (* promote below: recently-used entries survive *)
-        | None -> compute key
+        | Some v ->
+            (* promote below: recently-used entries survive *)
+            Telemetry.count t.telemetry "memo.hit" 1;
+            v
+        | None ->
+            Telemetry.count t.telemetry "memo.miss" 1;
+            compute key
       in
       if Hashtbl.length tb.current >= t.half then begin
         (* Generational eviction: the old generation is dropped wholesale,
@@ -43,7 +52,8 @@ let find_or_add t key compute =
            full reset, the recent working set is never discarded. *)
         tb.previous <- tb.current;
         tb.current <- Hashtbl.create (max 1024 t.half);
-        tb.evictions <- tb.evictions + 1
+        tb.evictions <- tb.evictions + 1;
+        Telemetry.count t.telemetry "memo.eviction" 1
       end;
       Hashtbl.add tb.current key v;
       v

@@ -20,9 +20,11 @@
 
 type 'v t
 
-val create : ?cap:int -> unit -> 'v t
+val create : ?telemetry:Telemetry.t -> ?cap:int -> unit -> 'v t
 (** [create ~cap ()] bounds the per-domain residency to at most [cap]
-    entries (default 200_000).
+    entries (default 200_000). With [telemetry], every lookup emits a
+    [memo.hit] or [memo.miss] counter (a hit in either generation counts
+    as a hit) and every generation flip a [memo.eviction] counter.
     @raise Invalid_argument if [cap < 2]. *)
 
 val find_or_add : 'v t -> string -> (string -> 'v) -> 'v

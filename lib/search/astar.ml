@@ -11,8 +11,8 @@ module Make (S : Space.S) = struct
         (fun (action, s) -> (action, s, S.key s, node.g + 1 + heuristic s))
         succs )
 
-  let search ?(stop = Space.never_stop) ?pool ?batch
-      ?(budget = Space.default_budget) ~heuristic root =
+  let search ?(stop = Space.never_stop) ?(telemetry = Telemetry.disabled)
+      ?pool ?batch ?(budget = Space.default_budget) ~heuristic root =
     Space.validate_budget "Astar.search" budget;
     (match batch with
     | Some b when b < 1 ->
@@ -21,7 +21,7 @@ module Make (S : Space.S) = struct
     | _ -> ());
     let c = Space.counters () in
     let elapsed = Space.stopwatch () in
-    let finish outcome = Space.finish c elapsed outcome in
+    let finish outcome = Space.finish ~telemetry c elapsed outcome in
     let frontier = Heap.create () in
     (* best g with which a key was ever enqueued/expanded *)
     let best_g : (string, int) Hashtbl.t = Hashtbl.create 256 in
@@ -53,9 +53,12 @@ module Make (S : Space.S) = struct
       end
     in
     let merge_expansion (node, succ_count, candidates) =
-      c.expanded_c <- c.expanded_c + 1;
-      c.generated_c <- c.generated_c + succ_count;
+      Space.record_expansion telemetry c ~generated:succ_count;
       List.iter (admit node) candidates
+    in
+    let sample_frontier () =
+      Telemetry.gauge telemetry Space.Ev.frontier
+        (float_of_int (Heap.size frontier))
     in
     match pool with
     | None ->
@@ -65,13 +68,17 @@ module Make (S : Space.S) = struct
           | None -> finish Space.Exhausted
           | Some (_, node) ->
               if stop () then finish Space.Cancelled
-              else if is_stale node then loop ()
+              else if is_stale node then begin
+                Telemetry.count telemetry Space.Ev.prune_stale 1;
+                loop ()
+              end
               else begin
-                c.examined_c <- c.examined_c + 1;
+                Space.tick_examined telemetry c;
                 if c.examined_c > budget then finish Space.Budget_exceeded
                 else if S.is_goal node.state then finish (found node)
                 else begin
                   merge_expansion (expand ~heuristic node);
+                  sample_frontier ();
                   loop ()
                 end
               end
@@ -95,7 +102,10 @@ module Make (S : Space.S) = struct
             match Heap.pop frontier with
             | None -> List.rev acc
             | Some (_, node) ->
-                if is_stale node then take k acc
+                if is_stale node then begin
+                  Telemetry.count telemetry Space.Ev.prune_stale 1;
+                  take k acc
+                end
                 else take (k - 1) (node :: acc)
         in
         let rec loop incumbent =
@@ -121,10 +131,11 @@ module Make (S : Space.S) = struct
               | None -> Space.Cancelled)
           else begin
             let nodes = take batch_size [] in
+            sample_frontier ();
             let rec test incumbent to_expand = function
               | [] -> `Go (incumbent, List.rev to_expand)
               | node :: rest ->
-                  c.examined_c <- c.examined_c + 1;
+                  Space.tick_examined telemetry c;
                   if c.examined_c > budget then
                     `Done
                       (match incumbent with

@@ -10,6 +10,7 @@
 module Make (S : Space.S) : sig
   val search :
     ?stop:(unit -> bool) ->
+    ?telemetry:Telemetry.t ->
     ?pool:Pool.t ->
     ?batch:int ->
     ?budget:int ->

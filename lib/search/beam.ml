@@ -13,26 +13,28 @@ module Make (S : Space.S) = struct
         (fun (action, s) -> (action, s, S.key s, node.g + 1 + heuristic s))
         succs )
 
-  let search ?(stop = Space.never_stop) ?pool
-      ?(budget = Space.default_budget) ?(width = 8) ~heuristic root =
+  let search ?(stop = Space.never_stop) ?(telemetry = Telemetry.disabled)
+      ?pool ?(budget = Space.default_budget) ?(width = 8) ~heuristic root =
     Space.validate_budget "Beam.search" budget;
     if width <= 0 then
       invalid_arg
         (Printf.sprintf "Beam.search: width must be positive (got %d)" width);
     let c = Space.counters () in
     let elapsed = Space.stopwatch () in
-    let finish outcome = Space.finish c elapsed outcome in
+    let finish outcome = Space.finish ~telemetry c elapsed outcome in
     (* States seen in any earlier beam are never re-admitted. *)
     let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
     Hashtbl.replace seen (S.key root) ();
     let rec sweep beam =
+      Telemetry.gauge telemetry Space.Ev.frontier
+        (float_of_int (List.length beam));
       (* Examine the whole beam first (goal test), then expand. *)
       let rec check = function
         | [] -> None
         | node :: rest ->
             if stop () then Some (finish Space.Cancelled)
             else begin
-              c.examined_c <- c.examined_c + 1;
+              Space.tick_examined telemetry c;
               if c.examined_c > budget then
                 Some (finish Space.Budget_exceeded)
               else if S.is_goal node.state then
@@ -63,11 +65,13 @@ module Make (S : Space.S) = struct
           let children =
             List.concat_map
               (fun (node, succ_count, candidates) ->
-                c.expanded_c <- c.expanded_c + 1;
-                c.generated_c <- c.generated_c + succ_count;
+                Space.record_expansion telemetry c ~generated:succ_count;
                 List.filter_map
                   (fun (action, s, k, f) ->
-                    if Hashtbl.mem seen k then None
+                    if Hashtbl.mem seen k then begin
+                      Telemetry.count telemetry Space.Ev.prune_seen 1;
+                      None
+                    end
                     else begin
                       Hashtbl.replace seen k ();
                       Some

@@ -11,6 +11,7 @@
 module Make (S : Space.S) : sig
   val search :
     ?stop:(unit -> bool) ->
+    ?telemetry:Telemetry.t ->
     ?pool:Pool.t ->
     ?budget:int ->
     ?width:int ->

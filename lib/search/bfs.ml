@@ -1,11 +1,12 @@
 module Make (S : Space.S) = struct
   type node = { state : S.state; path_rev : S.action list; depth : int }
 
-  let search ?(stop = Space.never_stop) ?(budget = Space.default_budget) root =
+  let search ?(stop = Space.never_stop) ?(telemetry = Telemetry.disabled)
+      ?(budget = Space.default_budget) root =
     Space.validate_budget "Bfs.search" budget;
     let c = Space.counters () in
     let elapsed = Space.stopwatch () in
-    let finish outcome = Space.finish c elapsed outcome in
+    let finish outcome = Space.finish ~telemetry c elapsed outcome in
     let queue = Queue.create () in
     let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
     Hashtbl.replace seen (S.key root) ();
@@ -16,16 +17,15 @@ module Make (S : Space.S) = struct
         let node = Queue.pop queue in
         if stop () then finish Space.Cancelled
         else begin
-          c.examined_c <- c.examined_c + 1;
+          Space.tick_examined telemetry c;
           if c.examined_c > budget then finish Space.Budget_exceeded
           else if S.is_goal node.state then
             finish
               (Space.Found
                  { path = List.rev node.path_rev; final = node.state; cost = node.depth })
           else begin
-            c.expanded_c <- c.expanded_c + 1;
             let succs = S.successors node.state in
-            c.generated_c <- c.generated_c + List.length succs;
+            Space.record_expansion telemetry c ~generated:(List.length succs);
             List.iter
               (fun (action, s) ->
                 let k = S.key s in
@@ -34,8 +34,11 @@ module Make (S : Space.S) = struct
                   Queue.push
                     { state = s; path_rev = action :: node.path_rev; depth = node.depth + 1 }
                     queue
-                end)
+                end
+                else Telemetry.count telemetry Space.Ev.prune_seen 1)
               succs;
+            Telemetry.gauge telemetry Space.Ev.frontier
+              (float_of_int (Queue.length queue));
             loop ()
           end
         end

@@ -7,11 +7,15 @@
 module Make (S : Space.S) : sig
   val search :
     ?stop:(unit -> bool) ->
+    ?telemetry:Telemetry.t ->
     ?budget:int ->
     S.state ->
     (S.state, S.action) Space.result
   (** [stop] is polled once per examination; when it returns true the
-      search finishes with {!Space.Cancelled}.
+      search finishes with {!Space.Cancelled}. [telemetry] (default
+      {!Telemetry.disabled}) receives the standard search events —
+      examine/expand/generate counters, prune counters, frontier gauges
+      and the final outcome message (see {!Space.Ev}).
       @raise Invalid_argument if [budget <= 0]. *)
 
   val reachable :

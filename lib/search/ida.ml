@@ -8,13 +8,13 @@ module Make (S : Space.S) = struct
     | Hit of S.action list * S.state
     | Cutoff of int  (** least f value beyond the bound *)
 
-  let search ?(stop = Space.never_stop) ?(budget = Space.default_budget)
-      ~heuristic root =
+  let search ?(stop = Space.never_stop) ?(telemetry = Telemetry.disabled)
+      ?(budget = Space.default_budget) ~heuristic root =
     Space.validate_budget "Ida.search" budget;
     let c = Space.counters () in
     c.iterations_c <- 0;
     let elapsed = Space.stopwatch () in
-    let finish outcome = Space.finish c elapsed outcome in
+    let finish outcome = Space.finish ~telemetry c elapsed outcome in
     (* Keys of states on the current DFS path, for cycle avoidance. *)
     let on_path : (string, unit) Hashtbl.t = Hashtbl.create 64 in
     let rec dfs state g bound =
@@ -22,20 +22,22 @@ module Make (S : Space.S) = struct
       if f > bound then Cutoff f
       else begin
         if stop () then raise Stopped;
-        c.examined_c <- c.examined_c + 1;
+        Space.tick_examined telemetry c;
         if c.examined_c > budget then raise Budget;
         if S.is_goal state then Hit ([], state)
         else begin
           let succs = S.successors state in
-          c.expanded_c <- c.expanded_c + 1;
-          c.generated_c <- c.generated_c + List.length succs;
+          Space.record_expansion telemetry c ~generated:(List.length succs);
           let key = S.key state in
           Hashtbl.add on_path key ();
           let best_cutoff = ref infinity_cost in
           let rec try_succs = function
             | [] -> Cutoff !best_cutoff
             | (action, s) :: rest ->
-                if Hashtbl.mem on_path (S.key s) then try_succs rest
+                if Hashtbl.mem on_path (S.key s) then begin
+                  Telemetry.count telemetry Space.Ev.prune_cycle 1;
+                  try_succs rest
+                end
                 else begin
                   match dfs s (g + 1) bound with
                   | Hit (path, final) -> Hit (action :: path, final)
@@ -51,7 +53,8 @@ module Make (S : Space.S) = struct
       end
     in
     let rec iterate bound =
-      c.iterations_c <- c.iterations_c + 1;
+      Space.tick_iteration telemetry c;
+      Telemetry.gauge telemetry Space.Ev.bound (float_of_int bound);
       Hashtbl.reset on_path;
       match dfs root 0 bound with
       | Hit (path, final) ->

@@ -9,6 +9,7 @@
 module Make (S : Space.S) : sig
   val search :
     ?stop:(unit -> bool) ->
+    ?telemetry:Telemetry.t ->
     ?budget:int ->
     heuristic:(S.state -> int) ->
     S.state ->

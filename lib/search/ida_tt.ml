@@ -6,13 +6,13 @@ module Make (S : Space.S) = struct
 
   type dfs_result = Hit of S.action list * S.state | Cutoff of int
 
-  let search ?(stop = Space.never_stop) ?(budget = Space.default_budget)
-      ?(table_cap = 500_000) ~heuristic root =
+  let search ?(stop = Space.never_stop) ?(telemetry = Telemetry.disabled)
+      ?(budget = Space.default_budget) ?(table_cap = 500_000) ~heuristic root =
     Space.validate_budget "Ida_tt.search" budget;
     let c = Space.counters () in
     c.iterations_c <- 0;
     let elapsed = Space.stopwatch () in
-    let finish outcome = Space.finish c elapsed outcome in
+    let finish outcome = Space.finish ~telemetry c elapsed outcome in
     let on_path : (string, unit) Hashtbl.t = Hashtbl.create 64 in
     (* improved (backed-up) heuristic values, persisted across iterations *)
     let improved : (string, int) Hashtbl.t = Hashtbl.create 4096 in
@@ -31,13 +31,12 @@ module Make (S : Space.S) = struct
       if f > bound then Cutoff f
       else begin
         if stop () then raise Stopped;
-        c.examined_c <- c.examined_c + 1;
+        Space.tick_examined telemetry c;
         if c.examined_c > budget then raise Budget;
         if S.is_goal state then Hit ([], state)
         else begin
           let succs = S.successors state in
-          c.expanded_c <- c.expanded_c + 1;
-          c.generated_c <- c.generated_c + List.length succs;
+          Space.record_expansion telemetry c ~generated:(List.length succs);
           Hashtbl.add on_path key ();
           let best_cutoff = ref infinity_cost in
           (* A backed-up cutoff is only a context-free lower bound when no
@@ -50,6 +49,7 @@ module Make (S : Space.S) = struct
             | (action, s) :: rest ->
                 if Hashtbl.mem on_path (S.key s) then begin
                   pruned_by_cycle := true;
+                  Telemetry.count telemetry Space.Ev.prune_cycle 1;
                   try_succs rest
                 end
                 else begin
@@ -75,7 +75,8 @@ module Make (S : Space.S) = struct
       end
     in
     let rec iterate bound =
-      c.iterations_c <- c.iterations_c + 1;
+      Space.tick_iteration telemetry c;
+      Telemetry.gauge telemetry Space.Ev.bound (float_of_int bound);
       Hashtbl.reset on_path;
       match dfs root 0 bound with
       | Hit (path, final) ->

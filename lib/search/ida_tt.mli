@@ -16,6 +16,7 @@
 module Make (S : Space.S) : sig
   val search :
     ?stop:(unit -> bool) ->
+    ?telemetry:Telemetry.t ->
     ?budget:int ->
     ?table_cap:int ->
     heuristic:(S.state -> int) ->

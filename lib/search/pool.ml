@@ -27,6 +27,9 @@ type t = {
   mutable stopped : bool;
   pending : int Atomic.t;  (* tasks submitted and not yet completed *)
   failure : exn option Atomic.t;  (* first exception raised by a task *)
+  telemetry : Telemetry.t;
+      (* chunk executions are counted per emitting domain, so a trace
+         shows how work spread across the pool *)
 }
 
 let size pool = pool.size
@@ -68,6 +71,7 @@ let record_failure pool e =
   ignore (Atomic.compare_and_set pool.failure None (Some e))
 
 let run_task pool task =
+  Telemetry.count pool.telemetry "pool.task" 1;
   (try task () with e -> record_failure pool e);
   if Atomic.fetch_and_add pool.pending (-1) = 1 then begin
     (* Last task of the batch: wake the caller. *)
@@ -102,7 +106,7 @@ let worker_loop pool slot =
 let default_domains () =
   max 1 (min 128 (Domain.recommended_domain_count ()))
 
-let create ?domains () =
+let create ?(telemetry = Telemetry.disabled) ?domains () =
   let size = match domains with Some d -> d | None -> default_domains () in
   if size < 1 then invalid_arg "Pool.create: domains must be >= 1";
   let pool =
@@ -118,6 +122,7 @@ let create ?domains () =
       stopped = false;
       pending = Atomic.make 0;
       failure = Atomic.make None;
+      telemetry;
     }
   in
   pool.workers <-
@@ -150,6 +155,7 @@ let parallel_map pool f xs =
   else if pool.size = 1 || n = 1 then Array.map f xs
   else begin
     if pool.stopped then invalid_arg "Pool.parallel_map: pool is shut down";
+    Telemetry.gauge pool.telemetry "pool.batch" (float_of_int n);
     let results = Array.make n None in
     (* Chunks several times smaller than a fair share, so stealing can
        rebalance when items have uneven cost. *)
@@ -187,6 +193,6 @@ let parallel_map pool f xs =
 let map_list pool f xs =
   Array.to_list (parallel_map pool f (Array.of_list xs))
 
-let with_pool ?domains f =
-  let pool = create ?domains () in
+let with_pool ?telemetry ?domains f =
+  let pool = create ?telemetry ?domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -14,9 +14,12 @@
 
 type t
 
-val create : ?domains:int -> unit -> t
+val create : ?telemetry:Telemetry.t -> ?domains:int -> unit -> t
 (** [create ~domains ()] builds a pool of [domains] total workers
     (default {!Domain.recommended_domain_count}, clamped to [1, 128]).
+    With [telemetry], every executed work-stealing chunk emits a
+    [pool.task] counter (stamped with the executing domain, giving
+    per-domain work counts) and every parallel map a [pool.batch] gauge.
     @raise Invalid_argument if [domains < 1]. *)
 
 val size : t -> int
@@ -37,7 +40,7 @@ val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 val shutdown : t -> unit
 (** Join the worker domains. The pool must not be used afterwards. *)
 
-val with_pool : ?domains:int -> (t -> 'a) -> 'a
+val with_pool : ?telemetry:Telemetry.t -> ?domains:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)
 
 val default_domains : unit -> int

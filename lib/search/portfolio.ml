@@ -5,22 +5,42 @@ type 'r outcome = {
   results : (string * 'r) list;
 }
 
-let race_sequential ~won entrants =
+(* Entrant runs are wrapped in a [portfolio.entrant] span scoped by the
+   entrant's name; the first winning result emits [portfolio.win] and
+   entrants never started because the race was already won emit
+   [portfolio.skip] — together a trace tells the per-entrant story the
+   summed stats cannot. *)
+let run_entrant telemetry e ~cancelled =
+  Telemetry.span
+    (Telemetry.with_scope telemetry e.name)
+    "portfolio.entrant"
+    (fun () -> e.run ~cancelled)
+
+let race_sequential ~telemetry ~won entrants =
   (* One domain: run entrants in order, stopping at the first winner.
      Entrants after the winner are never started (their [cancelled]
      would be immediately true), which keeps the single-core fall-back
      deterministic and cheap. *)
+  let skip e =
+    Telemetry.message
+      (Telemetry.with_scope telemetry e.name)
+      "portfolio.skip"
+      (fun () -> e.name)
+  in
   let rec go acc = function
     | [] -> { winner = None; results = List.rev acc }
     | e :: rest ->
-        let r = e.run ~cancelled:(fun () -> false) in
-        if won r then
+        let r = run_entrant telemetry e ~cancelled:(fun () -> false) in
+        if won r then begin
+          Telemetry.message telemetry "portfolio.win" (fun () -> e.name);
+          List.iter skip rest;
           { winner = Some (e.name, r); results = List.rev ((e.name, r) :: acc) }
+        end
         else go ((e.name, r) :: acc) rest
   in
   go [] entrants
 
-let race ?domains ~won entrants =
+let race ?(telemetry = Telemetry.disabled) ?domains ~won entrants =
   if entrants = [] then invalid_arg "Portfolio.race: no entrants";
   let n = List.length entrants in
   let domains =
@@ -30,7 +50,7 @@ let race ?domains ~won entrants =
         min d n
     | None -> min (Pool.default_domains ()) n
   in
-  if domains = 1 then race_sequential ~won entrants
+  if domains = 1 then race_sequential ~telemetry ~won entrants
   else begin
     let entrants = Array.of_list entrants in
     let results = Array.make n None in
@@ -42,12 +62,20 @@ let race ?domains ~won entrants =
     let work () =
       let rec claim () =
         let i = Atomic.fetch_and_add next 1 in
-        if i < n && not (cancelled ()) then begin
-          let r = entrants.(i).run ~cancelled in
-          results.(i) <- Some r;
-          if won r then ignore (Atomic.compare_and_set winner (-1) i);
-          claim ()
-        end
+        if i < n then
+          if cancelled () then
+            Telemetry.message
+              (Telemetry.with_scope telemetry entrants.(i).name)
+              "portfolio.skip"
+              (fun () -> entrants.(i).name)
+          else begin
+            let r = run_entrant telemetry entrants.(i) ~cancelled in
+            results.(i) <- Some r;
+            if won r && Atomic.compare_and_set winner (-1) i then
+              Telemetry.message telemetry "portfolio.win" (fun () ->
+                  entrants.(i).name);
+            claim ()
+          end
       in
       claim ()
     in

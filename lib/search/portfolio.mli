@@ -33,9 +33,19 @@ type 'r outcome = {
           with their cancelled/partial results), in entrant order *)
 }
 
-val race : ?domains:int -> won:('r -> bool) -> 'r entrant list -> 'r outcome
+val race :
+  ?telemetry:Telemetry.t ->
+  ?domains:int ->
+  won:('r -> bool) ->
+  'r entrant list ->
+  'r outcome
 (** [race ~domains ~won entrants] runs entrants on up to [domains]
     domains (default {!Pool.default_domains}, clamped to the number of
     entrants). When there are more entrants than domains, finished
     domains pick up the next unstarted entrant.
+
+    With [telemetry], each entrant's run is wrapped in a
+    [portfolio.entrant] span scoped by the entrant's name, the first
+    winning entrant emits a [portfolio.win] message, and entrants never
+    started because the race was already decided emit [portfolio.skip].
     @raise Invalid_argument if [entrants] is empty or [domains < 1]. *)

@@ -16,28 +16,32 @@ module Make (S : Space.S) = struct
     | Hit of S.action list * S.state
     | Failed of int  (** revised f-value *)
 
-  let search ?(stop = Space.never_stop) ?(budget = Space.default_budget)
-      ~heuristic root =
+  let search ?(stop = Space.never_stop) ?(telemetry = Telemetry.disabled)
+      ?(budget = Space.default_budget) ~heuristic root =
     Space.validate_budget "Rbfs.search" budget;
     let c = Space.counters () in
     let elapsed = Space.stopwatch () in
-    let finish outcome = Space.finish c elapsed outcome in
+    let finish outcome = Space.finish ~telemetry c elapsed outcome in
     let on_path : (string, unit) Hashtbl.t = Hashtbl.create 64 in
     let clamp x = if x > infinity_cost then infinity_cost else x in
     let rec rbfs node f_limit =
       if stop () then raise Stopped;
-      c.examined_c <- c.examined_c + 1;
+      Space.tick_examined telemetry c;
       if c.examined_c > budget then raise Budget;
       if S.is_goal node.state then Hit ([], node.state)
       else begin
         let key = S.key node.state in
         Hashtbl.add on_path key ();
+        let all_succs = S.successors node.state in
         let succs =
-          S.successors node.state
-          |> List.filter (fun (_, s) -> not (Hashtbl.mem on_path (S.key s)))
+          List.filter
+            (fun (_, s) -> not (Hashtbl.mem on_path (S.key s)))
+            all_succs
         in
-        c.expanded_c <- c.expanded_c + 1;
-        c.generated_c <- c.generated_c + List.length succs;
+        let pruned = List.length all_succs - List.length succs in
+        if pruned > 0 then
+          Telemetry.count telemetry Space.Ev.prune_cycle pruned;
+        Space.record_expansion telemetry c ~generated:(List.length succs);
         let result =
           if succs = [] then Failed infinity_cost
           else begin

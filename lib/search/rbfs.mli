@@ -10,6 +10,7 @@
 module Make (S : Space.S) : sig
   val search :
     ?stop:(unit -> bool) ->
+    ?telemetry:Telemetry.t ->
     ?budget:int ->
     heuristic:(S.state -> int) ->
     S.state ->

@@ -66,6 +66,37 @@ type counters = {
 let counters () =
   { examined_c = 0; generated_c = 0; expanded_c = 0; iterations_c = 1 }
 
+(** Stable telemetry event names shared by every algorithm (the schema is
+    documented in [Telemetry]); counter sums are kept in lock-step with
+    the {!counters} fields by the helpers below, so an aggregated trace
+    always reconciles with the reported {!stats}. *)
+module Ev = struct
+  let examine = "search.examine"
+  let expand = "search.expand"
+  let generate = "search.generate"
+  let prune_seen = "search.prune.seen"
+  let prune_stale = "search.prune.stale"
+  let prune_cycle = "search.prune.cycle"
+  let frontier = "search.frontier"
+  let iteration = "search.iteration"
+  let bound = "search.bound"
+  let outcome = "search.outcome"
+end
+
+let tick_examined tel c =
+  c.examined_c <- c.examined_c + 1;
+  Telemetry.count tel Ev.examine 1
+
+let record_expansion tel c ~generated =
+  c.expanded_c <- c.expanded_c + 1;
+  c.generated_c <- c.generated_c + generated;
+  Telemetry.count tel Ev.expand 1;
+  Telemetry.count tel Ev.generate generated
+
+let tick_iteration tel c =
+  c.iterations_c <- c.iterations_c + 1;
+  Telemetry.count tel Ev.iteration 1
+
 (* CLOCK_MONOTONIC via bechamel's stub: immune to wall-clock steps, so
    elapsed_s can never go negative (and is clamped besides, out of
    paranoia about broken clocks). *)
@@ -75,7 +106,14 @@ let stopwatch () =
   let t0 = now_ns () in
   fun () -> Float.max 0. (Int64.to_float (Int64.sub (now_ns ()) t0) *. 1e-9)
 
-let finish c elapsed outcome =
+let outcome_name = function
+  | Found _ -> "found"
+  | Exhausted -> "exhausted"
+  | Budget_exceeded -> "budget_exceeded"
+  | Cancelled -> "cancelled"
+
+let finish ?(telemetry = Telemetry.disabled) c elapsed outcome =
+  Telemetry.message telemetry Ev.outcome (fun () -> outcome_name outcome);
   {
     outcome;
     stats =

@@ -1,0 +1,312 @@
+let now_ns () = Monotonic_clock.now ()
+
+let seconds_since epoch =
+  Float.max 0. (Int64.to_float (Int64.sub (now_ns ()) epoch) *. 1e-9)
+
+module Event = struct
+  type payload =
+    | Counter of { name : string; incr : int }
+    | Gauge of { name : string; value : float }
+    | Timer of { name : string; elapsed_s : float }
+    | Span_begin of { name : string }
+    | Span_end of { name : string; elapsed_s : float }
+    | Message of { name : string; detail : string }
+
+  type t = { at_s : float; domain : int; scope : string; payload : payload }
+
+  let name e =
+    match e.payload with
+    | Counter { name; _ }
+    | Gauge { name; _ }
+    | Timer { name; _ }
+    | Span_begin { name }
+    | Span_end { name; _ }
+    | Message { name; _ } ->
+        name
+
+  let add_json_string buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  (* %.9g: full microsecond resolution without the noise of %h floats;
+     every emitted number is a valid JSON number (no nan/inf sources). *)
+  let add_float buf f = Buffer.add_string buf (Printf.sprintf "%.9g" f)
+
+  let to_json e =
+    let buf = Buffer.create 128 in
+    let field_sep () = Buffer.add_char buf ',' in
+    Buffer.add_string buf "{\"at\":";
+    add_float buf e.at_s;
+    Buffer.add_string buf ",\"domain\":";
+    Buffer.add_string buf (string_of_int e.domain);
+    Buffer.add_string buf ",\"scope\":";
+    add_json_string buf e.scope;
+    let typed name ty =
+      field_sep ();
+      Buffer.add_string buf "\"type\":\"";
+      Buffer.add_string buf ty;
+      Buffer.add_string buf "\",\"name\":";
+      add_json_string buf name
+    in
+    (match e.payload with
+    | Counter { name; incr } ->
+        typed name "counter";
+        Buffer.add_string buf ",\"incr\":";
+        Buffer.add_string buf (string_of_int incr)
+    | Gauge { name; value } ->
+        typed name "gauge";
+        Buffer.add_string buf ",\"value\":";
+        add_float buf value
+    | Timer { name; elapsed_s } ->
+        typed name "timer";
+        Buffer.add_string buf ",\"elapsed_s\":";
+        add_float buf elapsed_s
+    | Span_begin { name } -> typed name "span_begin"
+    | Span_end { name; elapsed_s } ->
+        typed name "span_end";
+        Buffer.add_string buf ",\"elapsed_s\":";
+        add_float buf elapsed_s
+    | Message { name; detail } ->
+        typed name "message";
+        Buffer.add_string buf ",\"detail\":";
+        add_json_string buf detail);
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+end
+
+module Sink = struct
+  type t = { emit : Event.t -> unit; flush : unit -> unit }
+
+  let make ?(flush = fun () -> ()) emit = { emit; flush }
+  let noop = { emit = (fun _ -> ()); flush = (fun () -> ()) }
+
+  let tee sinks =
+    {
+      emit = (fun e -> List.iter (fun s -> s.emit e) sinks);
+      flush = (fun () -> List.iter (fun s -> s.flush ()) sinks);
+    }
+
+  let jsonl write =
+    (* Events arrive from any domain (pool workers, portfolio entrants);
+       one mutex serializes lines so records never interleave. *)
+    let m = Mutex.create () in
+    {
+      emit =
+        (fun e ->
+          let line = Event.to_json e ^ "\n" in
+          Mutex.lock m;
+          Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> write line));
+      flush = (fun () -> ());
+    }
+
+  let jsonl_channel oc =
+    let s = jsonl (fun line -> output_string oc line) in
+    { s with flush = (fun () -> flush oc) }
+
+  let emit s e = s.emit e
+  let flush s = s.flush ()
+end
+
+module Agg = struct
+  type cell = {
+    mutable count : int;  (* counter sum, or timer/span/gauge samples *)
+    mutable total_s : float;  (* timers/spans: summed elapsed *)
+    mutable last : float;  (* gauges *)
+    mutable max : float;  (* gauges *)
+  }
+
+  type t = {
+    m : Mutex.t;
+    cells : (string * string * string, cell) Hashtbl.t;
+        (* keyed by (kind, scope, name) *)
+    mutable events : int;
+  }
+
+  let create () = { m = Mutex.create (); cells = Hashtbl.create 64; events = 0 }
+
+  let cell t key =
+    match Hashtbl.find_opt t.cells key with
+    | Some c -> c
+    | None ->
+        let c = { count = 0; total_s = 0.; last = 0.; max = neg_infinity } in
+        Hashtbl.add t.cells key c;
+        c
+
+  let ingest t (e : Event.t) =
+    Mutex.lock t.m;
+    t.events <- t.events + 1;
+    (match e.Event.payload with
+    | Event.Counter { name; incr } ->
+        let c = cell t ("counter", e.Event.scope, name) in
+        c.count <- c.count + incr
+    | Event.Gauge { name; value } ->
+        let c = cell t ("gauge", e.Event.scope, name) in
+        c.count <- c.count + 1;
+        c.last <- value;
+        if value > c.max then c.max <- value
+    | Event.Timer { name; elapsed_s } ->
+        let c = cell t ("timer", e.Event.scope, name) in
+        c.count <- c.count + 1;
+        c.total_s <- c.total_s +. elapsed_s
+    | Event.Span_begin _ -> ()
+    | Event.Span_end { name; elapsed_s } ->
+        let c = cell t ("span", e.Event.scope, name) in
+        c.count <- c.count + 1;
+        c.total_s <- c.total_s +. elapsed_s
+    | Event.Message { name; _ } ->
+        let c = cell t ("message", e.Event.scope, name) in
+        c.count <- c.count + 1);
+    Mutex.unlock t.m
+
+  let sink t = Sink.make (ingest t)
+
+  let events t =
+    Mutex.lock t.m;
+    let n = t.events in
+    Mutex.unlock t.m;
+    n
+
+  (* Fold the cells of a (kind, name) — one scope or all. *)
+  let fold t kind ?scope name f init =
+    Mutex.lock t.m;
+    let r =
+      Hashtbl.fold
+        (fun (k, sc, n) c acc ->
+          if
+            k = kind && n = name
+            && match scope with None -> true | Some s -> s = sc
+          then f c acc
+          else acc)
+        t.cells init
+    in
+    Mutex.unlock t.m;
+    r
+
+  let counter t ?scope name =
+    fold t "counter" ?scope name (fun c acc -> acc + c.count) 0
+
+  let gauge_last t ?scope name =
+    fold t "gauge" ?scope name (fun c _ -> Some c.last) None
+
+  let gauge_max t ?scope name =
+    fold t "gauge" ?scope name
+      (fun c acc ->
+        match acc with
+        | Some m when m >= c.max -> acc
+        | _ -> Some c.max)
+      None
+
+  let timed_cells t ?scope name f init =
+    fold t "timer" ?scope name f (fold t "span" ?scope name f init)
+
+  let timer_count t ?scope name =
+    timed_cells t ?scope name (fun c acc -> acc + c.count) 0
+
+  let timer_total_s t ?scope name =
+    timed_cells t ?scope name (fun c acc -> acc +. c.total_s) 0.
+
+  let rows t =
+    Mutex.lock t.m;
+    let rows =
+      Hashtbl.fold
+        (fun (kind, scope, name) c acc ->
+          let metric, value =
+            match kind with
+            | "counter" -> (name, string_of_int c.count)
+            | "gauge" ->
+                ( "gauge:" ^ name,
+                  Printf.sprintf "last=%g max=%g samples=%d" c.last c.max
+                    c.count )
+            | "message" -> ("message:" ^ name, string_of_int c.count)
+            | kind ->
+                ( kind ^ ":" ^ name,
+                  Printf.sprintf "count=%d total=%.6fs" c.count c.total_s )
+          in
+          (scope, metric, value) :: acc)
+        t.cells []
+    in
+    Mutex.unlock t.m;
+    List.sort compare rows
+
+  let summary t =
+    let rows = rows t in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "telemetry summary (%d events)\n" (events t));
+    let width =
+      List.fold_left (fun w (_, m, _) -> max w (String.length m)) 6 rows
+    in
+    List.iter
+      (fun (scope, metric, value) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-*s  %s%s\n" width metric value
+             (if scope = "" then "" else Printf.sprintf "  [%s]" scope)))
+      rows;
+    Buffer.contents buf
+end
+
+type live = { sink : Sink.t; scope : string; epoch : int64 }
+type t = Off | On of live
+
+let disabled = Off
+let create ?(scope = "") sink = On { sink; scope; epoch = now_ns () }
+let enabled = function Off -> false | On _ -> true
+
+let with_scope t scope =
+  match t with Off -> Off | On l -> On { l with scope }
+
+let scope = function Off -> "" | On l -> l.scope
+
+let emit l payload =
+  Sink.emit l.sink
+    {
+      Event.at_s = seconds_since l.epoch;
+      domain = (Domain.self () :> int);
+      scope = l.scope;
+      payload;
+    }
+
+let count t name incr =
+  match t with Off -> () | On l -> emit l (Event.Counter { name; incr })
+
+let gauge t name value =
+  match t with Off -> () | On l -> emit l (Event.Gauge { name; value })
+
+let message t name detail =
+  match t with
+  | Off -> ()
+  | On l -> emit l (Event.Message { name; detail = detail () })
+
+let span t name f =
+  match t with
+  | Off -> f ()
+  | On l ->
+      emit l (Event.Span_begin { name });
+      let t0 = now_ns () in
+      let finish () =
+        emit l (Event.Span_end { name; elapsed_s = seconds_since t0 })
+      in
+      Fun.protect ~finally:finish f
+
+let timed t name f =
+  match t with
+  | Off -> f ()
+  | On l ->
+      let t0 = now_ns () in
+      let r = f () in
+      emit l (Event.Timer { name; elapsed_s = seconds_since t0 });
+      r
+
+let flush = function Off -> () | On l -> Sink.flush l.sink

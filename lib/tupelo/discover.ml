@@ -67,10 +67,12 @@ type config = {
   budget : int;
   moves : Moves.config;
   jobs : int;
+  telemetry : Telemetry.t;
 }
 
 let config ?(algorithm = Rbfs) ?heuristic ?(goal = Goal.Superset)
-    ?(budget = Search.Space.default_budget) ?moves ?(jobs = 1) () =
+    ?(budget = Search.Space.default_budget) ?moves ?(jobs = 1)
+    ?(telemetry = Telemetry.disabled) () =
   if jobs < 1 then invalid_arg "Discover.config: jobs must be >= 1";
   let heuristic =
     match heuristic with
@@ -80,7 +82,7 @@ let config ?(algorithm = Rbfs) ?heuristic ?(goal = Goal.Superset)
         Heuristics.Heuristic.cosine ~k
   in
   let moves = match moves with Some m -> m | None -> Moves.default goal in
-  { algorithm; heuristic; goal; budget; moves; jobs }
+  { algorithm; heuristic; goal; budget; moves; jobs; telemetry }
 
 type outcome =
   | Mapping of Mapping.t
@@ -125,7 +127,14 @@ let sum_stats ~iterations ~elapsed_s results =
     }
     results
 
-let discover ?(registry = Fira.Semfun.empty_registry) config ~source ~target =
+(* Per-operator-kind event names. Built with [^] only when telemetry is
+   live — callers guard with [Telemetry.enabled] so the disabled path
+   stays allocation-free. *)
+let proposed_event op = "moves.proposed." ^ Fira.Op.kind_name op
+let applied_event op = "moves.applied." ^ Fira.Op.kind_name op
+
+let discover_run ?(registry = Fira.Semfun.empty_registry) config ~source
+    ~target =
   Log.debug (fun m ->
       m "discover: %s/%s goal=%s budget=%d jobs=%d source=%d rels target=%d rels"
         (algorithm_name config.algorithm)
@@ -137,6 +146,7 @@ let discover ?(registry = Fira.Semfun.empty_registry) config ~source ~target =
   let target_info = Moves.target_info target in
   let target_profile = Heuristics.Profile.of_database target in
   let goal_mode = config.goal in
+  let telemetry = config.telemetry in
   let moves_config = { config.moves with goal = goal_mode } in
   let module Sp = struct
     type state = State.t
@@ -145,7 +155,12 @@ let discover ?(registry = Fira.Semfun.empty_registry) config ~source ~target =
     let key = State.key
 
     let successors state =
-      Moves.successors moves_config registry target_info state
+      let succs = Moves.successors moves_config registry target_info state in
+      if Telemetry.enabled telemetry then
+        List.iter
+          (fun (op, _) -> Telemetry.count telemetry (proposed_event op) 1)
+          succs;
+      succs
 
     let is_goal state =
       Goal.reached goal_mode ~target (State.database state)
@@ -158,42 +173,50 @@ let discover ?(registry = Fira.Semfun.empty_registry) config ~source ~target =
      skips profile construction altogether. The cache is bounded and
      per-domain (see {!Heuristics.Memo}), so parallel frontier expansion
      and portfolio racing can score states on any domain. *)
-  let estimate_for (heuristic : Heuristics.Heuristic.t) =
+  let estimate_for tel (heuristic : Heuristics.Heuristic.t) =
     if heuristic.Heuristics.Heuristic.name = "h0" then fun _ -> 0
     else begin
-      let memo : int Heuristics.Memo.t = Heuristics.Memo.create () in
+      let memo : int Heuristics.Memo.t =
+        Heuristics.Memo.create ~telemetry:tel ()
+      in
       fun state ->
         Heuristics.Memo.find_or_add memo (State.key state) (fun _ ->
-            heuristic.Heuristics.Heuristic.estimate ~target:target_profile
-              (State.profile state))
+            Telemetry.timed tel "heuristic.eval" (fun () ->
+                heuristic.Heuristics.Heuristic.estimate ~target:target_profile
+                  (State.profile state)))
     end
   in
-  let run_algorithm ?(stop = Search.Space.never_stop) ?pool alg heuristic root
-      =
-    let estimate = estimate_for heuristic in
+  let run_algorithm ?(stop = Search.Space.never_stop) ?pool ~telemetry:tel alg
+      heuristic root =
+    let estimate = estimate_for tel heuristic in
     match alg with
     | Ida ->
         let module I = Search.Ida.Make (Sp) in
-        I.search ~stop ~budget:config.budget ~heuristic:estimate root
+        I.search ~stop ~telemetry:tel ~budget:config.budget
+          ~heuristic:estimate root
     | Ida_tt ->
         let module I = Search.Ida_tt.Make (Sp) in
-        I.search ~stop ~budget:config.budget ~heuristic:estimate root
+        I.search ~stop ~telemetry:tel ~budget:config.budget
+          ~heuristic:estimate root
     | Rbfs ->
         let module R = Search.Rbfs.Make (Sp) in
-        R.search ~stop ~budget:config.budget ~heuristic:estimate root
+        R.search ~stop ~telemetry:tel ~budget:config.budget
+          ~heuristic:estimate root
     | Astar ->
         let module A = Search.Astar.Make (Sp) in
-        A.search ~stop ?pool ~budget:config.budget ~heuristic:estimate root
+        A.search ~stop ~telemetry:tel ?pool ~budget:config.budget
+          ~heuristic:estimate root
     | Greedy ->
         let module G = Search.Greedy.Make (Sp) in
-        G.search ~stop ~budget:config.budget ~heuristic:estimate root
+        G.search ~stop ~telemetry:tel ~budget:config.budget
+          ~heuristic:estimate root
     | Beam width ->
         let module B = Search.Beam.Make (Sp) in
-        B.search ~stop ?pool ~budget:config.budget ~width ~heuristic:estimate
-          root
+        B.search ~stop ~telemetry:tel ?pool ~budget:config.budget ~width
+          ~heuristic:estimate root
     | Bfs ->
         let module B = Search.Bfs.Make (Sp) in
-        B.search ~stop ~budget:config.budget root
+        B.search ~stop ~telemetry:tel ~budget:config.budget root
     | Portfolio ->
         invalid_arg "Discover: Portfolio cannot be an entrant of itself"
   in
@@ -219,6 +242,10 @@ let discover ?(registry = Fira.Semfun.empty_registry) config ~source ~target =
               result.Search.Space.stats.Search.Space.examined));
     match result.Search.Space.outcome with
     | Search.Space.Found { path; _ } ->
+        if Telemetry.enabled telemetry then
+          List.iter
+            (fun op -> Telemetry.count telemetry (applied_event op) 1)
+            path;
         Mapping
           {
             Mapping.expr = Fira.Expr.of_ops path;
@@ -239,19 +266,23 @@ let discover ?(registry = Fira.Semfun.empty_registry) config ~source ~target =
       let entrants =
         List.map
           (fun (alg, heuristic) ->
+            let name =
+              Printf.sprintf "%s/%s" (algorithm_name alg)
+                heuristic.Heuristics.Heuristic.name
+            in
             {
-              Search.Portfolio.name =
-                Printf.sprintf "%s/%s" (algorithm_name alg)
-                  heuristic.Heuristics.Heuristic.name;
+              Search.Portfolio.name;
               run =
                 (fun ~cancelled ->
-                  run_algorithm ~stop:cancelled alg heuristic root);
+                  run_algorithm ~stop:cancelled
+                    ~telemetry:(Telemetry.with_scope telemetry name)
+                    alg heuristic root);
             })
           (portfolio_entrants ())
       in
       let race =
-        Search.Portfolio.race ~domains:config.jobs ~won:Search.Space.found
-          entrants
+        Search.Portfolio.race ~telemetry ~domains:config.jobs
+          ~won:Search.Space.found entrants
       in
       let completed = List.map snd race.Search.Portfolio.results in
       (* Honest accounting: the portfolio's cost is the work of every
@@ -282,14 +313,24 @@ let discover ?(registry = Fira.Semfun.empty_registry) config ~source ~target =
                 (List.length completed));
           if gave_up then Gave_up (stats 1) else No_mapping (stats 1))
   | alg ->
+      let tel = Telemetry.with_scope telemetry (algorithm_name alg) in
       let uses_pool = match alg with Astar | Beam _ -> true | _ -> false in
       let result =
         if config.jobs > 1 && uses_pool then
-          Search.Pool.with_pool ~domains:config.jobs (fun pool ->
-              run_algorithm ~pool alg config.heuristic root)
-        else run_algorithm alg config.heuristic root
+          Search.Pool.with_pool ~telemetry:tel ~domains:config.jobs
+            (fun pool ->
+              run_algorithm ~pool ~telemetry:tel alg config.heuristic root)
+        else run_algorithm ~telemetry:tel alg config.heuristic root
       in
       finish ~name:(algorithm_name alg) result
+
+let discover ?registry config ~source ~target =
+  let outcome =
+    Telemetry.span config.telemetry "discover" (fun () ->
+        discover_run ?registry config ~source ~target)
+  in
+  Telemetry.flush config.telemetry;
+  outcome
 
 let discover_mapping ?registry config ~source ~target =
   match discover ?registry config ~source ~target with

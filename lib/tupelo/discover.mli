@@ -48,6 +48,15 @@ type config = {
       (** number of domains for the parallel engine: [Beam]/[Astar] use a
           {!Search.Pool} of this size for frontier expansion, {!Portfolio}
           races entrants on this many domains; 1 = fully sequential *)
+  telemetry : Telemetry.t;
+      (** instrumentation handle (default {!Telemetry.disabled}). A live
+          handle receives a [discover] span around the run, the standard
+          search events from the chosen algorithm (scoped by algorithm
+          name, or entrant name under {!Portfolio}), [heuristic.eval]
+          timers and [memo.*] counters from heuristic evaluation,
+          [moves.proposed.<op>]/[moves.applied.<op>] operator counters,
+          and [pool.*]/[portfolio.*] events from the parallel engine.
+          The handle's sink is flushed before [discover] returns. *)
 }
 
 val config :
@@ -57,11 +66,12 @@ val config :
   ?budget:int ->
   ?moves:Moves.config ->
   ?jobs:int ->
+  ?telemetry:Telemetry.t ->
   unit ->
   config
 (** Defaults: RBFS (the paper's overall best, §5.4), cosine similarity with
     the algorithm's tuned k, {!Goal.Superset}, a one-million-state budget,
-    {!Moves.default} for the goal mode, and [jobs = 1].
+    {!Moves.default} for the goal mode, [jobs = 1] and telemetry disabled.
     @raise Invalid_argument if [jobs < 1]. *)
 
 type outcome =

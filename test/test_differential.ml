@@ -1,0 +1,70 @@
+(* Differential testing of discovered mappings.
+
+   The search engine believes a mapping works because [Moves] applied its
+   operators incrementally, state by state, until [Goal] accepted. These
+   tests re-execute the finished FIRA expression from scratch with
+   [Fira.Expr.eval] on the original source critical instance and assert
+   the result still contains the target — the two implementations of
+   "apply this expression" (incremental search-side and batch
+   evaluator-side) must agree on every discovered mapping, across the
+   three workload families. *)
+
+module D = Tupelo.Discover
+
+let discover ~registry ~budget ~source ~target =
+  D.discover ~registry
+    (D.config ~algorithm:D.Ida ~heuristic:Heuristics.Heuristic.h1 ~budget ())
+    ~source ~target
+
+let check_differential name registry ~source ~target = function
+  | D.Mapping m ->
+      let replayed = Fira.Expr.eval registry m.Tupelo.Mapping.expr source in
+      Alcotest.(check bool)
+        (name ^ ": evaluated expression contains the target")
+        true
+        (Tupelo.Goal.reached Tupelo.Goal.Superset ~target replayed)
+  | D.No_mapping _ | D.Gave_up _ ->
+      Alcotest.fail (name ^ ": no mapping discovered")
+
+let test_flights () =
+  List.iter
+    (fun (name, source, target) ->
+      let registry = Workloads.Flights.registry in
+      discover ~registry ~budget:500_000 ~source ~target
+      |> check_differential ("flights " ^ name) registry ~source ~target)
+    Workloads.Flights.pairs
+
+let test_inventory () =
+  List.iter
+    (fun k ->
+      let t = Workloads.Inventory.task k in
+      let registry = t.Workloads.Inventory.registry in
+      let source = t.Workloads.Inventory.source in
+      let target = t.Workloads.Inventory.target in
+      discover ~registry ~budget:100_000 ~source ~target
+      |> check_differential
+           (Printf.sprintf "inventory k=%d" k)
+           registry ~source ~target)
+    [ 1; 2; 4 ]
+
+let test_real_estate () =
+  List.iter
+    (fun k ->
+      let t = Workloads.Real_estate.task k in
+      let registry = t.Workloads.Real_estate.registry in
+      let source = t.Workloads.Real_estate.source in
+      let target = t.Workloads.Real_estate.target in
+      discover ~registry ~budget:100_000 ~source ~target
+      |> check_differential
+           (Printf.sprintf "real estate k=%d" k)
+           registry ~source ~target)
+    [ 1; 3 ]
+
+let suite =
+  [
+    Alcotest.test_case "flights: eval agrees with search" `Quick test_flights;
+    Alcotest.test_case "inventory: eval agrees with search" `Quick
+      test_inventory;
+    Alcotest.test_case "real estate: eval agrees with search" `Quick
+      test_real_estate;
+  ]

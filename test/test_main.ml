@@ -17,6 +17,8 @@ let () =
       ("fira", Test_fira.suite);
       ("search", Test_search.suite);
       ("parallel", Test_parallel.suite);
+      ("telemetry", Test_telemetry.suite);
+      ("differential", Test_differential.suite);
       ("heuristics", Test_heuristics.suite);
       ("tupelo", Test_tupelo.suite);
       ("workloads", Test_workloads.suite);

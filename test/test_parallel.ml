@@ -197,6 +197,14 @@ let test_cancelled_outcome () =
 
 let cross_engine_seeds = List.init 22 (fun i -> (i * 7919) + 3)
 
+(* CI runs the suite under TUPELO_TEST_JOBS=1 and =2 so both the
+   sequential and the parallel engine paths are exercised; locally the
+   default is the 2-domain parallel path. *)
+let test_jobs =
+  match Option.bind (Sys.getenv_opt "TUPELO_TEST_JOBS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> 2
+
 let discover_with alg jobs seed =
   let g = Workloads.Prng.create seed in
   let source, target = Workloads.Random_db.rename_task g 3 in
@@ -215,6 +223,66 @@ let test_cross_engine_equal_cost alg () =
             (Tupelo.Mapping.length seq) (Tupelo.Mapping.length par)
       | _ -> Alcotest.failf "seed %d: an engine found no mapping" seed)
     cross_engine_seeds
+
+(* --- cross-algorithm agreement ---
+
+   h1 is admissible on rename tasks, so every complete optimal algorithm
+   must return the same solution cost; BFS (shortest path under unit
+   edges) is the oracle the others are checked against. *)
+
+let agreement_seeds = List.init 8 (fun i -> (i * 104729) + 11)
+
+let test_admissible_algorithms_agree () =
+  List.iter
+    (fun seed ->
+      let cost alg =
+        match discover_with alg 1 seed with
+        | Tupelo.Discover.Mapping m -> Tupelo.Mapping.length m
+        | _ ->
+            Alcotest.failf "seed %d: %s found no mapping" seed
+              (Tupelo.Discover.algorithm_name alg)
+      in
+      let oracle = cost Tupelo.Discover.Bfs in
+      List.iter
+        (fun alg ->
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d: %s cost" seed
+               (Tupelo.Discover.algorithm_name alg))
+            oracle (cost alg))
+        [
+          Tupelo.Discover.Astar;
+          Tupelo.Discover.Ida;
+          Tupelo.Discover.Ida_tt;
+          Tupelo.Discover.Rbfs;
+        ])
+    agreement_seeds
+
+(* Parallel Beam's contract is stronger than equal cost: the discovered
+   expression and every stat must be bit-identical to a sequential run. *)
+let test_beam_jobs_bit_identical () =
+  List.iter
+    (fun seed ->
+      match
+        ( discover_with (Tupelo.Discover.Beam 8) 1 seed,
+          discover_with (Tupelo.Discover.Beam 8) test_jobs seed )
+      with
+      | Tupelo.Discover.Mapping seq, Tupelo.Discover.Mapping par ->
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d: expression" seed)
+            (Fira.Expr.to_string seq.Tupelo.Mapping.expr)
+            (Fira.Expr.to_string par.Tupelo.Mapping.expr);
+          let st (m : Tupelo.Mapping.t) = m.Tupelo.Mapping.stats in
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d: examined" seed)
+            (st seq).Search.Space.examined (st par).Search.Space.examined;
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d: generated" seed)
+            (st seq).Search.Space.generated (st par).Search.Space.generated;
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d: expanded" seed)
+            (st seq).Search.Space.expanded (st par).Search.Space.expanded
+      | _ -> Alcotest.failf "seed %d: beam found no mapping" seed)
+    (List.filteri (fun i _ -> i < 8) cross_engine_seeds)
 
 let test_portfolio_discovers () =
   let g = Workloads.Prng.create 42 in
@@ -317,6 +385,10 @@ let suite =
       (test_cross_engine_equal_cost Tupelo.Discover.Astar);
     Alcotest.test_case "cross-engine: Beam equal cost on 22 seeds" `Slow
       (test_cross_engine_equal_cost (Tupelo.Discover.Beam 8));
+    Alcotest.test_case "cross-algorithm: admissible costs agree on 8 seeds"
+      `Slow test_admissible_algorithms_agree;
+    Alcotest.test_case "beam: jobs=2 run bit-identical on 8 seeds" `Slow
+      test_beam_jobs_bit_identical;
     Alcotest.test_case "portfolio: discovers a mapping" `Quick
       test_portfolio_discovers;
     Alcotest.test_case "memo: hits and bounded eviction" `Quick
