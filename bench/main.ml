@@ -18,6 +18,9 @@ let registry =
     ("accuracy", ("Matching precision/recall on BAMM (extension)", Accuracy.run));
     ("telemetry", ("E5: aggregated telemetry metrics", Telemetry_bench.run));
     ("micro", ("Bechamel micro-benchmarks", Micro.run));
+    ( "search",
+      ( "E6: fingerprint vs canonical-key state identity (BENCH_search.json)",
+        Search_bench.run ) );
   ]
 
 let usage () =

@@ -37,13 +37,14 @@ let tests () =
       (Staged.stage (fun () -> Heuristics.Profile.of_database b));
     Test.make ~name:"heuristics: levenshtein on string(d)"
       (Staged.stage (fun () ->
-           Heuristics.Text.levenshtein profile_b.Heuristics.Profile.str
-             profile_a.Heuristics.Profile.str));
+           Heuristics.Text.levenshtein
+             (Heuristics.Profile.str profile_b)
+             (Heuristics.Profile.str profile_a)));
     Test.make ~name:"heuristics: cosine distance"
       (Staged.stage (fun () ->
            Heuristics.Vector.cosine_distance
-             profile_b.Heuristics.Profile.vector
-             profile_a.Heuristics.Profile.vector));
+             (Heuristics.Profile.vector profile_b)
+             (Heuristics.Profile.vector profile_a)));
     Test.make ~name:"moves: successors of FlightsB (target A)"
       (Staged.stage (fun () ->
            Tupelo.Moves.successors moves_config Workloads.Flights.registry

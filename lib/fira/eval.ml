@@ -110,50 +110,79 @@ let explain_inapplicable registry op db =
 
 let applicable registry op db = explain_inapplicable registry op db = None
 
-let apply_with ~semantics registry op db =
+type delta = {
+  removed : (string * Relation.t) list;
+  added : (string * Relation.t) list;
+}
+
+let relation_cells r =
+  Relation.cardinality r * Schema.arity (Relation.schema r)
+
+let delta_cells d =
+  let sum rs = List.fold_left (fun n (_, r) -> n + relation_cells r) 0 rs in
+  sum d.added - sum d.removed
+
+let apply_with_delta ~semantics registry op db =
   (match explain_inapplicable registry op db with
   | Some reason -> error "fira: %s inapplicable: %s" (Op.to_string op) reason
   | None -> ());
+  (* Replace relation [name] with [r'], recording the displaced version (if
+     any) in [removed] so delta consumers see relation-granular changes. *)
+  let replace name r' =
+    let removed =
+      match Database.find_opt db name with
+      | Some old -> [ (name, old) ]
+      | None -> []
+    in
+    (Database.add db name r', { removed; added = [ (name, r') ] })
+  in
   match op with
   | Op.Promote { rel; name_col; value_col } ->
-      Database.add db rel
-        (Relation.promote (Database.find db rel) ~name_col ~value_col)
+      replace rel (Relation.promote (Database.find db rel) ~name_col ~value_col)
   | Op.Demote { rel; att_att; rel_att } ->
-      Database.add db rel
+      replace rel
         (Relation.demote (Database.find db rel) ~rel_name:rel ~att_att ~rel_att)
   | Op.Dereference { rel; target; pointer_col } ->
-      Database.add db rel
+      replace rel
         (Relation.dereference (Database.find db rel) ~target ~pointer_col)
   | Op.Partition { rel; col } ->
       let r = Database.find db rel in
       let groups = Relation.partition r col in
+      let named =
+        List.map (fun (v, group) -> (Value.to_string v, group)) groups
+      in
       let db = Database.remove db rel in
-      List.fold_left
-        (fun db (v, group) -> Database.add db (Value.to_string v) group)
-        db groups
+      let db =
+        List.fold_left
+          (fun db (name, group) -> Database.add db name group)
+          db named
+      in
+      (db, { removed = [ (rel, r) ]; added = named })
   | Op.Product { left; right; out } ->
-      Database.add db out
+      replace out
         (Relation.product (Database.find db left) (Database.find db right))
   | Op.Drop { rel; col } ->
-      Database.add db rel (Relation.project_away (Database.find db rel) col)
+      replace rel (Relation.project_away (Database.find db rel) col)
   | Op.Merge { rel; col } ->
-      Database.add db rel (Relation.merge (Database.find db rel) col)
+      replace rel (Relation.merge (Database.find db rel) col)
   | Op.RenameAtt { rel; old_name; new_name } ->
-      Database.add db rel
+      replace rel
         (Relation.rename_att (Database.find db rel) ~old_name ~new_name)
   | Op.RenameRel { old_name; new_name } ->
-      Database.rename_rel db ~old_name ~new_name
+      let r = Database.find db old_name in
+      ( Database.rename_rel db ~old_name ~new_name,
+        { removed = [ (old_name, r) ]; added = [ (new_name, r) ] } )
   | Op.Union { left; right; out } ->
-      Database.add db out
+      replace out
         (Relation.union (Database.find db left) (Database.find db right))
   | Op.Diff { left; right; out } ->
-      Database.add db out
+      replace out
         (Relation.diff (Database.find db left) (Database.find db right))
   | Op.Join { left; right; out } ->
-      Database.add db out
+      replace out
         (Algebra.natural_join (Database.find db left) (Database.find db right))
   | Op.Select { rel; pred } ->
-      Database.add db rel
+      replace rel
         (Relation.select (Database.find db rel) (Algebra.eval_pred pred))
   | Op.Apply { rel; func; inputs; output } ->
       let f = Semfun.find_exn registry func in
@@ -165,11 +194,20 @@ let apply_with ~semantics registry op db =
             | Some v -> v
             | None -> Value.Null)
       in
-      Database.add db rel
+      replace rel
         (Relation.extend (Database.find db rel) output (fun schema row ->
              eval_one (List.map (fun a -> Row.get schema row a) inputs)))
+
+let apply_with ~semantics registry op db =
+  fst (apply_with_delta ~semantics registry op db)
 
 let apply registry op db = apply_with ~semantics:`Full registry op db
 
 let apply_syntactic registry op db =
   apply_with ~semantics:`Syntactic registry op db
+
+let apply_delta registry op db =
+  apply_with_delta ~semantics:`Full registry op db
+
+let apply_syntactic_delta registry op db =
+  apply_with_delta ~semantics:`Syntactic registry op db

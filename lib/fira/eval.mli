@@ -20,3 +20,41 @@ val apply : Semfun.registry -> Op.t -> Database.t -> Database.t
 val apply_syntactic : Semfun.registry -> Op.t -> Database.t -> Database.t
 (** Like {!apply} but λ uses only {!Semfun.apply_example} — the search-time
     semantics in which functions stay black boxes (§4). *)
+
+(** {1 Deltas}
+
+    Every ℒ operator touches O(1) relations: it replaces one relation in
+    place (↑ ↓ → π̄ µ ρ{^att} λ σ), creates one (×, and ∪/−/⋈ with a fresh
+    [out]), moves one (ρ{^rel}), or splits one into groups (℘). A [delta]
+    records exactly those relation-granular changes, letting callers update
+    fingerprints, profiles and cell counts in O(cells changed) instead of
+    rescanning the database. *)
+
+type delta = {
+  removed : (string * Relation.t) list;
+      (** Relations removed, or the displaced versions of replaced ones. *)
+  added : (string * Relation.t) list;
+      (** Relations added, or the new versions of replaced ones. *)
+}
+
+val delta_cells : delta -> int
+(** Net change in total cell count (Σ cardinality × arity over [added] minus
+    the same over [removed]) — add to the predecessor's total to get the
+    successor's without scanning it. *)
+
+val apply_with_delta :
+  semantics:[ `Full | `Syntactic ] ->
+  Semfun.registry ->
+  Op.t ->
+  Database.t ->
+  Database.t * delta
+(** Apply one operator and report what changed. [apply_with_delta] is the
+    primitive; {!apply} and {!apply_syntactic} discard the delta.
+    @raise Error when the operator is not applicable. *)
+
+val apply_delta : Semfun.registry -> Op.t -> Database.t -> Database.t * delta
+(** [apply_with_delta ~semantics:`Full]. *)
+
+val apply_syntactic_delta :
+  Semfun.registry -> Op.t -> Database.t -> Database.t * delta
+(** [apply_with_delta ~semantics:`Syntactic]. *)

@@ -1,4 +1,4 @@
-module Strings = Profile.Strings
+module Counts = Profile.Counts
 
 type t = {
   name : string;
@@ -7,23 +7,28 @@ type t = {
 
 let h0 = { name = "h0"; estimate = (fun ~target:_ _ -> 0) }
 
-let card_diff a b = Strings.cardinal (Strings.diff a b)
-let card_inter a b = Strings.cardinal (Strings.inter a b)
+(* Cardinalities of set difference / intersection over the key sets of two
+   multiplicity maps (multiplicities are irrelevant to the set heuristics). *)
+let card_diff a b =
+  Counts.fold (fun k _ n -> if Counts.mem k b then n else n + 1) a 0
+
+let card_inter a b =
+  Counts.fold (fun k _ n -> if Counts.mem k b then n + 1 else n) a 0
 
 let h1_value ~target x =
-  card_diff target.Profile.rels x.Profile.rels
-  + card_diff target.Profile.atts x.Profile.atts
-  + card_diff target.Profile.values x.Profile.values
+  card_diff (Profile.rel_counts target) (Profile.rel_counts x)
+  + card_diff (Profile.att_counts target) (Profile.att_counts x)
+  + card_diff (Profile.val_counts target) (Profile.val_counts x)
 
 let h1 = { name = "h1"; estimate = h1_value }
 
 let h2_value ~target x =
-  card_inter target.Profile.rels x.Profile.atts
-  + card_inter target.Profile.rels x.Profile.values
-  + card_inter target.Profile.atts x.Profile.rels
-  + card_inter target.Profile.atts x.Profile.values
-  + card_inter target.Profile.values x.Profile.rels
-  + card_inter target.Profile.values x.Profile.atts
+  card_inter (Profile.rel_counts target) (Profile.att_counts x)
+  + card_inter (Profile.rel_counts target) (Profile.val_counts x)
+  + card_inter (Profile.att_counts target) (Profile.rel_counts x)
+  + card_inter (Profile.att_counts target) (Profile.val_counts x)
+  + card_inter (Profile.val_counts target) (Profile.rel_counts x)
+  + card_inter (Profile.val_counts target) (Profile.att_counts x)
 
 let h2 = { name = "h2"; estimate = h2_value }
 
@@ -40,7 +45,9 @@ let levenshtein ~k =
     name = "levenshtein";
     estimate =
       (fun ~target x ->
-        let d = Text.levenshtein_normalized x.Profile.str target.Profile.str in
+        let d =
+          Text.levenshtein_normalized (Profile.str x) (Profile.str target)
+        in
         round_to_int (float_of_int k *. d));
   }
 
@@ -49,7 +56,8 @@ let euclid =
     name = "euclid";
     estimate =
       (fun ~target x ->
-        round_to_int (Vector.euclidean_distance x.Profile.vector target.Profile.vector));
+        round_to_int
+          (Vector.euclidean_distance (Profile.vector x) (Profile.vector target)));
   }
 
 let euclid_norm ~k =
@@ -58,8 +66,8 @@ let euclid_norm ~k =
     estimate =
       (fun ~target x ->
         let d =
-          Vector.normalized_euclidean_distance x.Profile.vector
-            target.Profile.vector
+          Vector.normalized_euclidean_distance (Profile.vector x)
+            (Profile.vector target)
         in
         round_to_int (float_of_int k *. d));
   }
@@ -69,7 +77,9 @@ let cosine ~k =
     name = "cosine";
     estimate =
       (fun ~target x ->
-        let d = Vector.cosine_distance x.Profile.vector target.Profile.vector in
+        let d =
+          Vector.cosine_distance (Profile.vector x) (Profile.vector target)
+        in
         round_to_int (float_of_int k *. d));
   }
 

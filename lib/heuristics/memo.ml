@@ -1,12 +1,12 @@
-type 'v tables = {
-  mutable current : (string, 'v) Hashtbl.t;
-  mutable previous : (string, 'v) Hashtbl.t;
+type ('k, 'v) tables = {
+  mutable current : ('k, 'v) Hashtbl.t;
+  mutable previous : ('k, 'v) Hashtbl.t;
   mutable evictions : int;
 }
 
-type 'v t = {
+type ('k, 'v) t = {
   half : int;  (* generation size: total residency is bounded by 2 * half *)
-  slot : 'v tables Domain.DLS.key;
+  slot : ('k, 'v) tables Domain.DLS.key;
   telemetry : Telemetry.t;
 }
 
@@ -39,7 +39,10 @@ let find_or_add t key compute =
       let v =
         match Hashtbl.find_opt tb.previous key with
         | Some v ->
-            (* promote below: recently-used entries survive *)
+            (* Promote below: recently-used entries survive. The entry must
+               leave [previous] as it enters [current], or it would be
+               resident twice and [size] could exceed the 2 * half bound. *)
+            Hashtbl.remove tb.previous key;
             Telemetry.count t.telemetry "memo.hit" 1;
             v
         | None ->

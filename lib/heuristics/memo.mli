@@ -18,23 +18,28 @@
       computed once per domain, which is redundant work but never a
       race. *)
 
-type 'v t
+type ('k, 'v) t
+(** Keys are hashed and compared with the polymorphic [Hashtbl] primitives;
+    any structural key without functional values works — canonical-key
+    strings, or the 16-byte {!Relational.Fingerprint.t} records the search
+    layer now prefers. *)
 
-val create : ?telemetry:Telemetry.t -> ?cap:int -> unit -> 'v t
+val create : ?telemetry:Telemetry.t -> ?cap:int -> unit -> ('k, 'v) t
 (** [create ~cap ()] bounds the per-domain residency to at most [cap]
     entries (default 200_000). With [telemetry], every lookup emits a
     [memo.hit] or [memo.miss] counter (a hit in either generation counts
     as a hit) and every generation flip a [memo.eviction] counter.
     @raise Invalid_argument if [cap < 2]. *)
 
-val find_or_add : 'v t -> string -> (string -> 'v) -> 'v
+val find_or_add : ('k, 'v) t -> 'k -> ('k -> 'v) -> 'v
 (** [find_or_add t key compute] returns the cached value for [key] in
     the calling domain's table, computing and caching [compute key] on a
-    miss. *)
+    miss. A hit in the old generation moves the entry to the young one
+    (it is never resident in both). *)
 
-val size : 'v t -> int
+val size : ('k, 'v) t -> int
 (** Number of entries resident in the calling domain's table. *)
 
-val evictions : 'v t -> int
+val evictions : ('k, 'v) t -> int
 (** Number of generation flips performed in the calling domain's table
     (each flip drops at most [cap / 2] cold entries). *)

@@ -1,46 +1,107 @@
 open Relational
 module Strings = Set.Make (String)
+module Counts = Map.Make (String)
 
+(* The REL/ATT/VALUE projections are kept as multiplicity maps rather than
+   sets so they can be maintained under triple removal: a name disappears
+   from the projection exactly when its count reaches zero. The set and
+   string views of the old representation are derived on demand. *)
 type t = {
-  rels : Strings.t;
-  atts : Strings.t;
-  values : Strings.t;
+  rel_counts : int Counts.t;
+  att_counts : int Counts.t;
+  val_counts : int Counts.t;
   vector : Vector.t;
-  str : string;
 }
 
-let of_triples triples =
-  let rels, atts, values =
-    List.fold_left
-      (fun (rs, as_, vs) (r, a, v) ->
-        (Strings.add r rs, Strings.add a as_, Strings.add v vs))
-      (Strings.empty, Strings.empty, Strings.empty)
-      triples
-  in
-  let str =
-    List.map (fun (r, a, v) -> r ^ a ^ v) triples
-    |> List.sort String.compare |> String.concat ""
-  in
-  { rels; atts; values; vector = Vector.of_triples triples; str }
+let empty =
+  {
+    rel_counts = Counts.empty;
+    att_counts = Counts.empty;
+    val_counts = Counts.empty;
+    vector = Vector.empty;
+  }
+
+let incr m k =
+  Counts.update k (function None -> Some 1 | Some c -> Some (c + 1)) m
+
+let decr m k =
+  Counts.update k
+    (function
+      | None -> invalid_arg "Profile: removing a triple that is not present"
+      | Some 1 -> None
+      | Some c -> Some (c - 1))
+    m
+
+let add_triple p ((r, a, v) as triple) =
+  {
+    rel_counts = incr p.rel_counts r;
+    att_counts = incr p.att_counts a;
+    val_counts = incr p.val_counts v;
+    vector = Vector.add p.vector triple;
+  }
+
+let remove_triple p ((r, a, v) as triple) =
+  {
+    rel_counts = decr p.rel_counts r;
+    att_counts = decr p.att_counts a;
+    val_counts = decr p.val_counts v;
+    vector = Vector.remove p.vector triple;
+  }
+
+let add_triples p triples = List.fold_left add_triple p triples
+let remove_triples p triples = List.fold_left remove_triple p triples
+let of_triples triples = add_triples empty triples
+
+let relation_triples name rel =
+  let atts = Relation.attributes rel in
+  Relation.fold
+    (fun row acc ->
+      List.fold_left2
+        (fun acc att v ->
+          if Value.is_null v then acc else (name, att, Value.to_string v) :: acc)
+        acc atts (Row.to_list row))
+    rel []
 
 let of_database db =
-  let triples =
-    Database.fold
-      (fun name rel acc ->
-        let atts = Relation.attributes rel in
-        Relation.fold
-          (fun row acc ->
-            List.fold_left2
-              (fun acc att v ->
-                if Value.is_null v then acc
-                else (name, att, Value.to_string v) :: acc)
-              acc atts (Row.to_list row))
-          rel acc)
-      db []
-  in
-  of_triples triples
+  Database.fold
+    (fun name rel acc -> add_triples acc (relation_triples name rel))
+    db empty
 
 let of_tnf tnf = of_triples (Tnf.triples tnf)
+let rel_counts p = p.rel_counts
+let att_counts p = p.att_counts
+let val_counts p = p.val_counts
+let vector p = p.vector
+
+let names counts = Counts.fold (fun k _ s -> Strings.add k s) counts Strings.empty
+let rels p = names p.rel_counts
+let atts p = names p.att_counts
+let values p = names p.val_counts
+
+let str p =
+  (* Sorted (by triple, with multiplicity) cell rendering, components and
+     cells joined with '\x01' so distinct triple multisets cannot collide
+     (e.g. ("ab","c","d") vs ("a","bc","d")). *)
+  let buf = Buffer.create 256 in
+  Vector.fold
+    (fun (r, a, v) c () ->
+      for _ = 1 to c do
+        Buffer.add_string buf r;
+        Buffer.add_char buf '\x01';
+        Buffer.add_string buf a;
+        Buffer.add_char buf '\x01';
+        Buffer.add_string buf v;
+        Buffer.add_char buf '\x01'
+      done)
+    p.vector ();
+  Buffer.contents buf
 
 let size p =
-  Strings.cardinal p.rels + Strings.cardinal p.atts + Strings.cardinal p.values
+  Counts.cardinal p.rel_counts + Counts.cardinal p.att_counts
+  + Counts.cardinal p.val_counts
+
+let equal p q =
+  Vector.equal p.vector q.vector
+  && Counts.equal Int.equal p.rel_counts q.rel_counts
+  && Counts.equal Int.equal p.att_counts q.att_counts
+  && Counts.equal Int.equal p.val_counts q.val_counts

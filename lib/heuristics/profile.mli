@@ -2,21 +2,23 @@
 
     Every heuristic of §3 is a function of the TNF view of a database: its
     projections on REL / ATT / VALUE, its (REL, ATT, VALUE) triples as a
-    term vector, and its sorted cell string. Profiles compute these once
-    per state; the search layer caches a profile inside each state so each
-    is built exactly once however many heuristics inspect it. *)
+    term vector, and its sorted cell string. The projections are stored as
+    multiplicity maps so a successor's profile can be maintained
+    incrementally from its parent's — {!remove_triples} for the cells an ℒ
+    operator deleted, {!add_triples} for the cells it created — in O(cells
+    changed) instead of O(database). A delta-maintained profile is
+    structurally {!equal} to one rebuilt from scratch. *)
 
 open Relational
 
 module Strings : Set.S with type elt = string
+module Counts : Map.S with type key = string
 
-type t = {
-  rels : Strings.t;    (** distinct relation names, π{_REL} *)
-  atts : Strings.t;    (** distinct attribute names, π{_ATT} *)
-  values : Strings.t;  (** distinct cell value strings, π{_VALUE} *)
-  vector : Vector.t;   (** term vector over (REL, ATT, VALUE) triples *)
-  str : string;        (** the paper's [string(d)] for the Levenshtein heuristic *)
-}
+type t
+
+val empty : t
+
+val of_triples : (string * string * string) list -> t
 
 val of_database : Database.t -> t
 (** Built directly from the database, cell by cell, in exact agreement with
@@ -25,6 +27,43 @@ val of_database : Database.t -> t
 val of_tnf : Relation.t -> t
 (** Built from an explicit TNF relation. *)
 
+(** {1 Incremental maintenance} *)
+
+val relation_triples : string -> Relation.t -> (string * string * string) list
+(** The non-null (REL, ATT, VALUE) cells of one relation — the triples a
+    relation-granular delta adds or removes. *)
+
+val add_triples : t -> (string * string * string) list -> t
+
+val remove_triples : t -> (string * string * string) list -> t
+(** @raise Invalid_argument when removing a triple the profile does not
+    contain (a delta-bookkeeping bug, never a data condition). *)
+
+(** {1 Views} *)
+
+val rel_counts : t -> int Counts.t
+(** Multiplicity of each relation name over the database's cells; the key
+    set is the paper's π{_REL} projection. O(1). *)
+
+val att_counts : t -> int Counts.t
+val val_counts : t -> int Counts.t
+
+val rels : t -> Strings.t
+(** π{_REL} as a set, derived from {!rel_counts}. O(n). *)
+
+val atts : t -> Strings.t
+val values : t -> Strings.t
+
+val vector : t -> Vector.t
+(** Term vector over (REL, ATT, VALUE) triples. O(1). *)
+
+val str : t -> string
+(** The paper's [string(d)] for the Levenshtein heuristic: cells sorted by
+    triple, components and cells '\x01'-separated (injective on triple
+    multisets). Derived on demand, O(cells). *)
+
 val size : t -> int
 (** Total distinct names and values; proportional to the paper's |s| and
     |t| instance-size measure. *)
+
+val equal : t -> t -> bool

@@ -4,25 +4,31 @@ module M = Map.Make (struct
   let compare = compare
 end)
 
-type t = { counts : int M.t; norm : float }
+(* [sq_norm] is Σ c² kept exactly as an integer, so a vector maintained by
+   incremental [add]/[remove] is structurally identical to one rebuilt with
+   [of_triples] — no floating-point drift to break fingerprint/profile
+   equivalence checks. *)
+type t = { counts : int M.t; sq_norm : int }
 
-let compute_norm counts =
-  sqrt (M.fold (fun _ c acc -> acc +. (float_of_int c *. float_of_int c)) counts 0.0)
+let empty = { counts = M.empty; sq_norm = 0 }
 
-let empty = { counts = M.empty; norm = 0.0 }
+let add v key =
+  let c = match M.find_opt key v.counts with Some c -> c | None -> 0 in
+  { counts = M.add key (c + 1) v.counts; sq_norm = v.sq_norm + (2 * c) + 1 }
 
-let of_triples triples =
-  let counts =
-    List.fold_left
-      (fun m key ->
-        M.update key (function None -> Some 1 | Some c -> Some (c + 1)) m)
-      M.empty triples
-  in
-  { counts; norm = compute_norm counts }
+let remove v key =
+  match M.find_opt key v.counts with
+  | None -> invalid_arg "Vector.remove: triple not present"
+  | Some 1 -> { counts = M.remove key v.counts; sq_norm = v.sq_norm - 1 }
+  | Some c ->
+      { counts = M.add key (c - 1) v.counts; sq_norm = v.sq_norm - (2 * c) + 1 }
 
+let of_triples triples = List.fold_left add empty triples
 let cardinality v = M.cardinal v.counts
 let count v key = match M.find_opt key v.counts with Some c -> c | None -> 0
-let norm v = v.norm
+let norm v = sqrt (float_of_int v.sq_norm)
+let equal a b = a.sq_norm = b.sq_norm && M.equal Int.equal a.counts b.counts
+let fold f v init = M.fold f v.counts init
 
 let dot a b =
   (* Iterate over the smaller map. *)
@@ -38,20 +44,20 @@ let dot a b =
 
 let euclidean_distance a b =
   (* ||a - b||² = ||a||² + ||b||² − 2⟨a,b⟩ *)
-  let sq = (a.norm *. a.norm) +. (b.norm *. b.norm) -. (2.0 *. dot a b) in
+  let sq = float_of_int (a.sq_norm + b.sq_norm) -. (2.0 *. dot a b) in
   sqrt (max 0.0 sq)
 
 let normalized_euclidean_distance a b =
-  match (a.norm = 0.0, b.norm = 0.0) with
+  match (a.sq_norm = 0, b.sq_norm = 0) with
   | true, true -> 0.0
   | true, false | false, true -> sqrt 2.0
   | false, false ->
-      let cos = dot a b /. (a.norm *. b.norm) in
+      let cos = dot a b /. (norm a *. norm b) in
       (* ||â - b̂||² = 2 − 2cos *)
       sqrt (max 0.0 (2.0 -. (2.0 *. cos)))
 
 let cosine_distance a b =
-  match (a.norm = 0.0, b.norm = 0.0) with
+  match (a.sq_norm = 0, b.sq_norm = 0) with
   | true, true -> 0.0
   | true, false | false, true -> 1.0
-  | false, false -> 1.0 -. (dot a b /. (a.norm *. b.norm))
+  | false, false -> 1.0 -. (dot a b /. (norm a *. norm b))

@@ -14,8 +14,22 @@ val empty : t
 val of_triples : (string * string * string) list -> t
 (** Count multiplicities of each triple. *)
 
+val add : t -> string * string * string -> t
+(** Increment one coordinate. O(log support). *)
+
+val remove : t -> string * string * string -> t
+(** Decrement one coordinate. The squared norm is tracked exactly as an
+    integer, so interleaved {!add}/{!remove} yield a vector structurally
+    equal to one rebuilt from scratch.
+    @raise Invalid_argument if the coordinate is zero. *)
+
 val cardinality : t -> int
 (** Number of non-zero coordinates. *)
+
+val equal : t -> t -> bool
+
+val fold : (string * string * string -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Over non-zero coordinates in ascending triple order. *)
 
 val count : t -> string * string * string -> int
 val norm : t -> float

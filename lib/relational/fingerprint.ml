@@ -1,0 +1,160 @@
+(* Two-lane 128-bit multiset fingerprints over database contents.
+
+   Lane construction: every element (cell, attribute, relation name) is
+   hashed with FNV-1a 64 and finalized with the splitmix64 mixer; lane b
+   re-mixes lane a's element hash xored with an independent salt, so the
+   lanes behave as two independent hash functions. Terms are combined with
+   Int64 addition, which wraps mod 2^64 and is invertible — the basis for
+   O(Δ) incremental maintenance. *)
+
+type t = { a : int64; b : int64 }
+
+let zero = { a = 0L; b = 0L }
+let equal x y = Int64.equal x.a y.a && Int64.equal x.b y.b
+
+let compare x y =
+  let c = Int64.compare x.a y.a in
+  if c <> 0 then c else Int64.compare x.b y.b
+
+let hash x =
+  Int64.to_int (Int64.logxor x.a (Int64.shift_right_logical x.b 17))
+  land max_int
+
+let to_hex x = Printf.sprintf "%016Lx%016Lx" x.a x.b
+let combine x y = { a = Int64.add x.a y.a; b = Int64.add x.b y.b }
+let remove x y = { a = Int64.sub x.a y.a; b = Int64.sub x.b y.b }
+
+(* Salts: arbitrary odd 64-bit constants. [lane_salt] separates the two
+   lanes; [schema_salt] separates schema terms from row terms so that e.g. a
+   relation's schema term cannot cancel against a row term. *)
+let lane_salt = 0x9e3779b97f4a7c15L
+let schema_salt = 0x2545f4914f6cdd1dL
+
+(* splitmix64 finalizer. *)
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+(* The FNV-1a state is folded byte-by-byte, so a hash over several
+   components is just the fold continued from the previous component's
+   state — no intermediate strings are ever built on the hot path. *)
+let[@inline] fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int b)) fnv_prime
+let[@inline] fnv_char h c = fnv_byte h (Char.code c)
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv_char !h c) s;
+  !h
+
+let fnv_int64 h i =
+  let h = ref h in
+  for k = 0 to 7 do
+    h :=
+      fnv_byte !h
+        (Int64.to_int (Int64.logand (Int64.shift_right_logical i (8 * k)) 0xffL))
+  done;
+  !h
+
+let fnv1a64 s = fnv_string fnv_offset s
+
+(* Cell payload: a type tag byte followed by a value encoding that induces
+   exactly [canonical_key]'s equivalence — ints and bools hash their bits
+   (bijective with their printed form), floats hash the printed form
+   itself because the printer is lossy ([string_of_float] rounds), and
+   strings hash their bytes. *)
+let value_fnv h v =
+  match (v : Value.t) with
+  | Null -> fnv_char h 'N'
+  | Bool b -> fnv_char (fnv_char h 'B') (if b then '\x01' else '\x00')
+  | Int n -> fnv_int64 (fnv_char h 'I') (Int64.of_int n)
+  | Float _ -> fnv_string (fnv_char h 'F') (Value.to_string v)
+  | String s -> fnv_string (fnv_char h 'S') s
+
+(* Element hash: both lanes from one FNV pass. *)
+let[@inline] lanes h =
+  let e = mix64 h in
+  (e, mix64 (Int64.logxor e lane_salt))
+
+let elem s = lanes (fnv1a64 s)
+let rel_elem rel = elem rel
+
+(* Cell encoding binds the value to its attribute name, mirroring
+   canonical_key's attribute-tagged cells. The '\x1f' separator follows the
+   same reserved-byte convention canonical_key uses for '\x01'..'\x05'. *)
+let cell_elem att v = lanes (value_fnv (fnv_char (fnv1a64 att) '\x1f') v)
+
+let of_row ~rel schema row =
+  let ra, rb = rel_elem rel in
+  let atts = Schema.attributes schema in
+  let sa = ref 0L and sb = ref 0L in
+  List.iteri
+    (fun i att ->
+      let ca, cb = cell_elem att (Row.cell row i) in
+      sa := Int64.add !sa ca;
+      sb := Int64.add !sb cb)
+    atts;
+  { a = mix64 (Int64.add !sa ra); b = mix64 (Int64.add !sb rb) }
+
+let of_schema ~rel schema =
+  let ra, rb = rel_elem rel in
+  let sa = ref 0L and sb = ref 0L in
+  List.iter
+    (fun att ->
+      let aa, ab = elem att in
+      sa := Int64.add !sa aa;
+      sb := Int64.add !sb ab)
+    (Schema.attributes schema);
+  {
+    a = mix64 (Int64.add (Int64.add !sa ra) schema_salt);
+    b = mix64 (Int64.add (Int64.add !sb rb) schema_salt);
+  }
+
+(* The per-relation bulk path reuses the FNV state of ["att" '\x1f'] for
+   every row of a column instead of rehashing the attribute name per cell,
+   and walks rows with an index loop — the only allocations left are the
+   float printer's. *)
+let of_relation ~rel r =
+  let schema = Relation.schema r in
+  let acc = ref (of_schema ~rel schema) in
+  let ra, rb = rel_elem rel in
+  let prefixes =
+    Array.of_list
+      (List.map
+         (fun att -> fnv_char (fnv1a64 att) '\x1f')
+         (Schema.attributes schema))
+  in
+  let arity = Array.length prefixes in
+  Relation.iter
+    (fun row ->
+      let sa = ref 0L and sb = ref 0L in
+      for i = 0 to arity - 1 do
+        let ea = mix64 (value_fnv prefixes.(i) (Row.cell row i)) in
+        let eb = mix64 (Int64.logxor ea lane_salt) in
+        sa := Int64.add !sa ea;
+        sb := Int64.add !sb eb
+      done;
+      acc :=
+        combine !acc
+          { a = mix64 (Int64.add !sa ra); b = mix64 (Int64.add !sb rb) })
+    r;
+  !acc
+
+let of_database db =
+  Database.fold (fun name r acc -> combine acc (of_relation ~rel:name r)) db zero
+
+let add_relation fp ~rel r = combine fp (of_relation ~rel r)
+let remove_relation fp ~rel r = remove fp (of_relation ~rel r)
+let add_row fp ~rel schema row = combine fp (of_row ~rel schema row)
+let remove_row fp ~rel schema row = remove fp (of_row ~rel schema row)

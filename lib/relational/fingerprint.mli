@@ -1,0 +1,78 @@
+(** Order-independent 128-bit database fingerprints.
+
+    A fingerprint summarizes a database as two independent 64-bit lanes.
+    Every row contributes one 128-bit term and every relation contributes one
+    schema term; the database fingerprint is the lane-wise sum (mod 2^64) of
+    all terms. Because addition is commutative and invertible, fingerprints
+    can be maintained incrementally: applying an ℒ operator only requires
+    adding/removing the terms of the rows and relations it touched — O(cells
+    changed) instead of O(database).
+
+    Construction (see DESIGN.md, "State fingerprinting"):
+    - cell hash: FNV-1a 64 over [att '\x1f' tag value-bytes] — a type tag
+      byte plus a value encoding that induces exactly
+      {!Database.canonical_key}'s cell equivalence (ints and bools hash
+      their bits, floats their printed form, strings their bytes; nulls
+      included, matching canonical_key's null cells) — finalized with a
+      splitmix64 mixer; the second lane re-mixes with an independent salt.
+      The whole encoding is hashed as one continued FNV fold, with no
+      intermediate allocation.
+    - row term: [mix (Σ cell hashes + relation-name hash)] — the inner sum is
+      commutative (cells of a row are unordered once projected onto the
+      sorted schema) while the outer mix binds cells to their row, so
+      regrouping the same cell multiset into different rows changes the
+      fingerprint.
+    - schema term: [mix (Σ attribute hashes + relation-name hash + salt)] —
+      captures empty relations and attribute sets, which
+      {!Database.canonical_key} also serializes.
+
+    Two equal databases (in the sense of {!Database.equal}) always have equal
+    fingerprints; distinct databases collide with probability ~2^-128 per
+    pair under the usual uniform-hash heuristics. *)
+
+type t
+
+val zero : t
+(** Fingerprint of the empty database. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val hash : t -> int
+(** Mixes both lanes into a non-negative [int], for [Hashtbl.Make]. *)
+
+val to_hex : t -> string
+(** 32 lowercase hex digits (lane a then lane b). *)
+
+(** {1 Multiset combination} *)
+
+val combine : t -> t -> t
+(** Lane-wise sum: the fingerprint of the disjoint union of contributions. *)
+
+val remove : t -> t -> t
+(** Inverse of {!combine}: [remove (combine x y) y = x]. *)
+
+(** {1 Term construction} *)
+
+val of_row : rel:string -> Schema.t -> Row.t -> t
+(** Contribution of one row of relation [rel]. *)
+
+val of_schema : rel:string -> Schema.t -> t
+(** Contribution of the existence of relation [rel] with the given
+    attribute set. *)
+
+val of_relation : rel:string -> Relation.t -> t
+(** Schema term plus all row terms of [rel]. *)
+
+val of_database : Database.t -> t
+(** Full fingerprint: Σ {!of_relation} over all relations. Two databases
+    have equal fingerprints iff they have equal {!Database.canonical_key}
+    (modulo hash collisions). *)
+
+(** {1 Incremental updates} *)
+
+val add_relation : t -> rel:string -> Relation.t -> t
+val remove_relation : t -> rel:string -> Relation.t -> t
+
+val add_row : t -> rel:string -> Schema.t -> Row.t -> t
+val remove_row : t -> rel:string -> Schema.t -> Row.t -> t

@@ -1,4 +1,6 @@
 module Make (S : Space.S) = struct
+  module KT = Hashtbl.Make (S.Key)
+
   type node = { state : S.state; path_rev : S.action list; g : int }
 
   (* Successor generation + heuristic scoring for one frontier node: the
@@ -24,7 +26,7 @@ module Make (S : Space.S) = struct
     let finish outcome = Space.finish ~telemetry c elapsed outcome in
     let frontier = Heap.create () in
     (* best g with which a key was ever enqueued/expanded *)
-    let best_g : (string, int) Hashtbl.t = Hashtbl.create 256 in
+    let best_g : int KT.t = KT.create 256 in
     let push node =
       Heap.push frontier ~priority:(node.g + heuristic node.state) node
     in
@@ -33,21 +35,21 @@ module Make (S : Space.S) = struct
         { path = List.rev node.path_rev; final = node.state; cost = node.g }
     in
     let is_stale node =
-      match Hashtbl.find_opt best_g (S.key node.state) with
+      match KT.find_opt best_g (S.key node.state) with
       | Some g -> g < node.g
       | None -> false
     in
-    Hashtbl.replace best_g (S.key root) 0;
+    KT.replace best_g (S.key root) 0;
     push { state = root; path_rev = []; g = 0 };
     (* Record a successor if it improves on the best known g for its key;
        returns the nodes to enqueue. Sequential (deterministic dedup). *)
     let admit node (action, s, k, g_and_f) =
       let g = node.g + 1 in
       let better =
-        match Hashtbl.find_opt best_g k with Some g0 -> g < g0 | None -> true
+        match KT.find_opt best_g k with Some g0 -> g < g0 | None -> true
       in
       if better then begin
-        Hashtbl.replace best_g k g;
+        KT.replace best_g k g;
         Heap.push frontier ~priority:g_and_f
           { state = s; path_rev = action :: node.path_rev; g }
       end

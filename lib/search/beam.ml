@@ -1,4 +1,6 @@
 module Make (S : Space.S) = struct
+  module KT = Hashtbl.Make (S.Key)
+
   type node = { state : S.state; path_rev : S.action list; g : int }
 
   (* Successor generation + heuristic scoring for one beam node: the
@@ -23,8 +25,8 @@ module Make (S : Space.S) = struct
     let elapsed = Space.stopwatch () in
     let finish outcome = Space.finish ~telemetry c elapsed outcome in
     (* States seen in any earlier beam are never re-admitted. *)
-    let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
-    Hashtbl.replace seen (S.key root) ();
+    let seen : unit KT.t = KT.create 256 in
+    KT.replace seen (S.key root) ();
     let rec sweep beam =
       Telemetry.gauge telemetry Space.Ev.frontier
         (float_of_int (List.length beam));
@@ -68,12 +70,12 @@ module Make (S : Space.S) = struct
                 Space.record_expansion telemetry c ~generated:succ_count;
                 List.filter_map
                   (fun (action, s, k, f) ->
-                    if Hashtbl.mem seen k then begin
+                    if KT.mem seen k then begin
                       Telemetry.count telemetry Space.Ev.prune_seen 1;
                       None
                     end
                     else begin
-                      Hashtbl.replace seen k ();
+                      KT.replace seen k ();
                       Some
                         ( f,
                           { state = s; path_rev = action :: node.path_rev;

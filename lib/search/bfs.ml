@@ -1,4 +1,6 @@
 module Make (S : Space.S) = struct
+  module Keys = Hashtbl.Make (S.Key)
+
   type node = { state : S.state; path_rev : S.action list; depth : int }
 
   let search ?(stop = Space.never_stop) ?(telemetry = Telemetry.disabled)
@@ -8,8 +10,8 @@ module Make (S : Space.S) = struct
     let elapsed = Space.stopwatch () in
     let finish outcome = Space.finish ~telemetry c elapsed outcome in
     let queue = Queue.create () in
-    let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
-    Hashtbl.replace seen (S.key root) ();
+    let seen : unit Keys.t = Keys.create 256 in
+    Keys.replace seen (S.key root) ();
     Queue.push { state = root; path_rev = []; depth = 0 } queue;
     let rec loop () =
       if Queue.is_empty queue then finish Space.Exhausted
@@ -29,8 +31,8 @@ module Make (S : Space.S) = struct
             List.iter
               (fun (action, s) ->
                 let k = S.key s in
-                if not (Hashtbl.mem seen k) then begin
-                  Hashtbl.replace seen k ();
+                if not (Keys.mem seen k) then begin
+                  Keys.replace seen k ();
                   Queue.push
                     { state = s; path_rev = action :: node.path_rev; depth = node.depth + 1 }
                     queue
@@ -48,9 +50,9 @@ module Make (S : Space.S) = struct
 
   let reachable ?(budget = Space.default_budget) ?(max_depth = max_int) root =
     Space.validate_budget "Bfs.reachable" budget;
-    let depths : (string, int) Hashtbl.t = Hashtbl.create 256 in
+    let depths : int Keys.t = Keys.create 256 in
     let queue = Queue.create () in
-    Hashtbl.replace depths (S.key root) 0;
+    Keys.replace depths (S.key root) 0;
     Queue.push (root, 0) queue;
     let count = ref 0 in
     let continue = ref true in
@@ -62,8 +64,8 @@ module Make (S : Space.S) = struct
         List.iter
           (fun (_, s) ->
             let k = S.key s in
-            if not (Hashtbl.mem depths k) then begin
-              Hashtbl.replace depths k (depth + 1);
+            if not (Keys.mem depths k) then begin
+              Keys.replace depths k (depth + 1);
               Queue.push (s, depth + 1) queue
             end)
           (S.successors state)

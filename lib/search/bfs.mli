@@ -5,6 +5,9 @@
     must match its cost whenever the heuristic is admissible). *)
 
 module Make (S : Space.S) : sig
+  module Keys : Hashtbl.S with type key = S.Key.t
+  (** Tables keyed by state identity. *)
+
   val search :
     ?stop:(unit -> bool) ->
     ?telemetry:Telemetry.t ->
@@ -18,8 +21,7 @@ module Make (S : Space.S) : sig
       and the final outcome message (see {!Space.Ev}).
       @raise Invalid_argument if [budget <= 0]. *)
 
-  val reachable :
-    ?budget:int -> ?max_depth:int -> S.state -> (string, int) Hashtbl.t
+  val reachable : ?budget:int -> ?max_depth:int -> S.state -> int Keys.t
   (** Keys of all states reachable within [max_depth] steps, mapped to
       their BFS depth. Used by tests to characterize small spaces. *)
 end

@@ -1,4 +1,6 @@
 module Make (S : Space.S) = struct
+  module KT = Hashtbl.Make (S.Key)
+
   type node = { state : S.state; path_rev : S.action list; g : int }
 
   let search ?(stop = Space.never_stop) ?(telemetry = Telemetry.disabled)
@@ -8,8 +10,8 @@ module Make (S : Space.S) = struct
     let elapsed = Space.stopwatch () in
     let finish outcome = Space.finish ~telemetry c elapsed outcome in
     let frontier = Heap.create () in
-    let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
-    Hashtbl.replace seen (S.key root) ();
+    let seen : unit KT.t = KT.create 256 in
+    KT.replace seen (S.key root) ();
     Heap.push frontier ~priority:(heuristic root)
       { state = root; path_rev = []; g = 0 };
     let rec loop () =
@@ -31,8 +33,8 @@ module Make (S : Space.S) = struct
               List.iter
                 (fun (action, s) ->
                   let k = S.key s in
-                  if not (Hashtbl.mem seen k) then begin
-                    Hashtbl.replace seen k ();
+                  if not (KT.mem seen k) then begin
+                    KT.replace seen k ();
                     Heap.push frontier ~priority:(heuristic s)
                       { state = s; path_rev = action :: node.path_rev; g = node.g + 1 }
                   end

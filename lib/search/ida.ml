@@ -1,6 +1,8 @@
 let infinity_cost = max_int
 
 module Make (S : Space.S) = struct
+  module KT = Hashtbl.Make (S.Key)
+
   exception Budget
   exception Stopped
 
@@ -16,7 +18,7 @@ module Make (S : Space.S) = struct
     let elapsed = Space.stopwatch () in
     let finish outcome = Space.finish ~telemetry c elapsed outcome in
     (* Keys of states on the current DFS path, for cycle avoidance. *)
-    let on_path : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+    let on_path : unit KT.t = KT.create 64 in
     let rec dfs state g bound =
       let f = g + heuristic state in
       if f > bound then Cutoff f
@@ -29,12 +31,12 @@ module Make (S : Space.S) = struct
           let succs = S.successors state in
           Space.record_expansion telemetry c ~generated:(List.length succs);
           let key = S.key state in
-          Hashtbl.add on_path key ();
+          KT.add on_path key ();
           let best_cutoff = ref infinity_cost in
           let rec try_succs = function
             | [] -> Cutoff !best_cutoff
             | (action, s) :: rest ->
-                if Hashtbl.mem on_path (S.key s) then begin
+                if KT.mem on_path (S.key s) then begin
                   Telemetry.count telemetry Space.Ev.prune_cycle 1;
                   try_succs rest
                 end
@@ -47,7 +49,7 @@ module Make (S : Space.S) = struct
                 end
           in
           let result = try_succs succs in
-          Hashtbl.remove on_path key;
+          KT.remove on_path key;
           result
         end
       end
@@ -55,7 +57,7 @@ module Make (S : Space.S) = struct
     let rec iterate bound =
       Space.tick_iteration telemetry c;
       Telemetry.gauge telemetry Space.Ev.bound (float_of_int bound);
-      Hashtbl.reset on_path;
+      KT.reset on_path;
       match dfs root 0 bound with
       | Hit (path, final) ->
           finish (Space.Found { path; final; cost = List.length path })

@@ -1,6 +1,8 @@
 let infinity_cost = max_int
 
 module Make (S : Space.S) = struct
+  module KT = Hashtbl.Make (S.Key)
+
   exception Budget
   exception Stopped
 
@@ -13,17 +15,17 @@ module Make (S : Space.S) = struct
     c.iterations_c <- 0;
     let elapsed = Space.stopwatch () in
     let finish outcome = Space.finish ~telemetry c elapsed outcome in
-    let on_path : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+    let on_path : unit KT.t = KT.create 64 in
     (* improved (backed-up) heuristic values, persisted across iterations *)
-    let improved : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+    let improved : int KT.t = KT.create 4096 in
     let h_eff key state =
-      match Hashtbl.find_opt improved key with
+      match KT.find_opt improved key with
       | Some h' -> max h' (heuristic state)
       | None -> heuristic state
     in
     let remember key h' =
-      if Hashtbl.length improved >= table_cap then Hashtbl.reset improved;
-      Hashtbl.replace improved key h'
+      if KT.length improved >= table_cap then KT.reset improved;
+      KT.replace improved key h'
     in
     let rec dfs state g bound =
       let key = S.key state in
@@ -37,7 +39,7 @@ module Make (S : Space.S) = struct
         else begin
           let succs = S.successors state in
           Space.record_expansion telemetry c ~generated:(List.length succs);
-          Hashtbl.add on_path key ();
+          KT.add on_path key ();
           let best_cutoff = ref infinity_cost in
           (* A backed-up cutoff is only a context-free lower bound when no
              successor was suppressed by the on-path cycle check — a
@@ -47,7 +49,7 @@ module Make (S : Space.S) = struct
           let rec try_succs = function
             | [] -> Cutoff !best_cutoff
             | (action, s) :: rest ->
-                if Hashtbl.mem on_path (S.key s) then begin
+                if KT.mem on_path (S.key s) then begin
                   pruned_by_cycle := true;
                   Telemetry.count telemetry Space.Ev.prune_cycle 1;
                   try_succs rest
@@ -61,7 +63,7 @@ module Make (S : Space.S) = struct
                 end
           in
           let result = try_succs succs in
-          Hashtbl.remove on_path key;
+          KT.remove on_path key;
           (match result with
           | Cutoff fmin when not !pruned_by_cycle ->
               (* The subtree needs at least fmin; record it as an improved
@@ -77,7 +79,7 @@ module Make (S : Space.S) = struct
     let rec iterate bound =
       Space.tick_iteration telemetry c;
       Telemetry.gauge telemetry Space.Ev.bound (float_of_int bound);
-      Hashtbl.reset on_path;
+      KT.reset on_path;
       match dfs root 0 bound with
       | Hit (path, final) ->
           finish (Space.Found { path; final; cost = List.length path })

@@ -2,6 +2,8 @@ let infinity_cost = max_int / 2
 (* Half of max_int so that f-value arithmetic can never overflow. *)
 
 module Make (S : Space.S) = struct
+  module KT = Hashtbl.Make (S.Key)
+
   exception Budget
   exception Stopped
 
@@ -22,7 +24,7 @@ module Make (S : Space.S) = struct
     let c = Space.counters () in
     let elapsed = Space.stopwatch () in
     let finish outcome = Space.finish ~telemetry c elapsed outcome in
-    let on_path : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+    let on_path : unit KT.t = KT.create 64 in
     let clamp x = if x > infinity_cost then infinity_cost else x in
     let rec rbfs node f_limit =
       if stop () then raise Stopped;
@@ -31,11 +33,11 @@ module Make (S : Space.S) = struct
       if S.is_goal node.state then Hit ([], node.state)
       else begin
         let key = S.key node.state in
-        Hashtbl.add on_path key ();
+        KT.add on_path key ();
         let all_succs = S.successors node.state in
         let succs =
           List.filter
-            (fun (_, s) -> not (Hashtbl.mem on_path (S.key s)))
+            (fun (_, s) -> not (KT.mem on_path (S.key s)))
             all_succs
         in
         let pruned = List.length all_succs - List.length succs in
@@ -78,7 +80,7 @@ module Make (S : Space.S) = struct
             loop ()
           end
         in
-        Hashtbl.remove on_path key;
+        KT.remove on_path key;
         result
       end
     in

@@ -5,12 +5,33 @@
     [g(x)] = number of transformations applied). The algorithms below are
     generic over any space with that shape. *)
 
+(** Hashable state identity. Algorithms key every closed set,
+    transposition table and cycle check on [Key.t] via [Hashtbl.Make], so
+    a space can use compact identities (e.g. the 16-byte
+    [Relational.Fingerprint.t]) instead of canonical serializations. *)
+module type KEY = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+(** The classic choice — canonical serializations as keys. *)
+module String_key = struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end
+
 module type S = sig
   type state
   type action
 
-  val key : state -> string
-  (** Canonical serialization; two states with equal keys are identical.
+  module Key : KEY
+
+  val key : state -> Key.t
+  (** Canonical identity; two states with equal keys are identical.
       Used for on-path cycle detection (IDA*, RBFS) and A-star closed sets. *)
 
   val successors : state -> (action * state) list

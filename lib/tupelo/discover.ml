@@ -152,10 +152,14 @@ let discover_run ?(registry = Fira.Semfun.empty_registry) config ~source
     type state = State.t
     type action = Fira.Op.t
 
-    let key = State.key
+    module Key = Relational.Fingerprint
+
+    let key = State.fingerprint
 
     let successors state =
-      let succs = Moves.successors moves_config registry target_info state in
+      let succs =
+        Moves.successors ~telemetry moves_config registry target_info state
+      in
       if Telemetry.enabled telemetry then
         List.iter
           (fun (op, _) -> Telemetry.count telemetry (proposed_event op) 1)
@@ -166,7 +170,7 @@ let discover_run ?(registry = Fira.Semfun.empty_registry) config ~source
       Goal.reached goal_mode ~target (State.database state)
   end in
   (* IDA* and RBFS re-visit states across iterations/backtracks; heuristic
-     values depend only on the state, so memoize them by canonical key.
+     values depend only on the state, so memoize them by fingerprint.
      This does not affect the states-examined counts — only wall clock —
      and matters most for the Levenshtein heuristic, whose edit-distance
      computation is quadratic in the instance size. The blind heuristic
@@ -176,11 +180,11 @@ let discover_run ?(registry = Fira.Semfun.empty_registry) config ~source
   let estimate_for tel (heuristic : Heuristics.Heuristic.t) =
     if heuristic.Heuristics.Heuristic.name = "h0" then fun _ -> 0
     else begin
-      let memo : int Heuristics.Memo.t =
+      let memo : (Relational.Fingerprint.t, int) Heuristics.Memo.t =
         Heuristics.Memo.create ~telemetry:tel ()
       in
       fun state ->
-        Heuristics.Memo.find_or_add memo (State.key state) (fun _ ->
+        Heuristics.Memo.find_or_add memo (State.fingerprint state) (fun _ ->
             Telemetry.timed tel "heuristic.eval" (fun () ->
                 heuristic.Heuristics.Heuristic.estimate ~target:target_profile
                   (State.profile state)))
@@ -221,6 +225,9 @@ let discover_run ?(registry = Fira.Semfun.empty_registry) config ~source
         invalid_arg "Discover: Portfolio cannot be an entrant of itself"
   in
   let root = State.of_database source in
+  (* The root is the only state fingerprinted from scratch; successors are
+     all maintained incrementally (see [Moves.successors]). *)
+  Telemetry.count telemetry "fingerprint.full" 1;
   let finish ~name result =
     (match result.Search.Space.outcome with
     | Search.Space.Found { path; _ } ->

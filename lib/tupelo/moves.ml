@@ -16,7 +16,13 @@ type config = {
   rename_value_check : bool;
   max_lambda_inputs : int;
   max_state_cells : int;
+  paranoid_fingerprints : bool;
 }
+
+let paranoid_from_env () =
+  match Sys.getenv_opt "TUPELO_FP_VERIFY" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
 
 let default goal =
   {
@@ -33,6 +39,7 @@ let default goal =
     rename_value_check = true;
     max_lambda_inputs = 64;
     max_state_cells = 4096;
+    paranoid_fingerprints = paranoid_from_env ();
   }
 
 type target_info = {
@@ -360,28 +367,44 @@ let candidates config registry target db =
   List.rev !acc
   |> List.filter (fun op -> Fira.Eval.applicable registry op db)
 
-let total_cells db =
-  Database.fold
-    (fun _ r acc ->
-      acc + (Relation.cardinality r * Schema.arity (Relation.schema r)))
-    db 0
+module Fp_tbl = Hashtbl.Make (Fingerprint)
 
-let successors config registry target state =
+let successors ?(telemetry = Telemetry.disabled) config registry target state =
   let db = State.database state in
   let ops = candidates config registry target db in
-  let seen = Hashtbl.create 32 in
-  List.filter_map
-    (fun op ->
-      match Fira.Eval.apply_syntactic registry op db with
-      | exception Fira.Eval.Error _ -> None
-      | db' ->
-          if total_cells db' > config.max_state_cells then None
-          else
-            let s' = State.of_database db' in
-            let k = State.key s' in
-            if Hashtbl.mem seen k then None
+  (* Dedup on the 16-byte fingerprint; the first state admitted under each
+     fingerprint is kept so paranoid mode can compare canonical keys. *)
+  let seen : State.t Fp_tbl.t = Fp_tbl.create 32 in
+  let built = ref 0 in
+  let result =
+    List.filter_map
+      (fun op ->
+        match Fira.Eval.apply_syntactic_delta registry op db with
+        | exception Fira.Eval.Error _ -> None
+        | db', delta ->
+            (* The successor's size follows from the parent's count and the
+               delta — prune oversized states before building them. *)
+            if
+              State.total_cells state + Fira.Eval.delta_cells delta
+              > config.max_state_cells
+            then None
             else begin
-              Hashtbl.add seen k ();
-              Some (op, s')
+              let s' = State.of_successor state delta db' in
+              incr built;
+              match Fp_tbl.find_opt seen (State.fingerprint s') with
+              | Some s0 ->
+                  if config.paranoid_fingerprints then begin
+                    Telemetry.count telemetry "fingerprint.verify" 1;
+                    if not (String.equal (State.key s0) (State.key s')) then
+                      Telemetry.count telemetry "fingerprint.verify.mismatch"
+                        1
+                  end;
+                  None
+              | None ->
+                  Fp_tbl.add seen (State.fingerprint s') s';
+                  Some (op, s')
             end)
-    ops
+      ops
+  in
+  if !built > 0 then Telemetry.count telemetry "fingerprint.incremental" !built;
+  result

@@ -65,12 +65,20 @@ type config = {
       (** successors whose databases exceed this many cells are pruned —
           an implementation guard against pathological growth (repeated ↓
           and × square or multiply instance sizes); critical instances are
-          tiny, so the default of 4096 is far above any useful state *)
+          tiny, so the default of 4096 is far above any useful state. The
+          bound is checked against the parent's cell count plus the
+          operator's delta, before the successor state is built *)
+  paranoid_fingerprints : bool;
+      (** verify every fingerprint-based dedup hit in {!successors} against
+          the full canonical keys, emitting a [fingerprint.verify.mismatch]
+          telemetry counter on a (astronomically unlikely) collision *)
 }
 
 val default : Goal.mode -> config
 (** Everything enabled (including [rename_value_check]);
-    [max_lambda_inputs = 64]; [max_state_cells = 4096]. *)
+    [max_lambda_inputs = 64]; [max_state_cells = 4096];
+    [paranoid_fingerprints] follows the [TUPELO_FP_VERIFY] environment
+    variable ([1]/[true]/[yes] to enable). *)
 
 (** Target features consulted by the pruning rules, computed once per
     discovery run. *)
@@ -84,12 +92,18 @@ val candidates :
 (** Deterministically ordered list of applicable operator instances. *)
 
 val successors :
+  ?telemetry:Telemetry.t ->
   config ->
   Fira.Semfun.registry ->
   target_info ->
   State.t ->
   (Fira.Op.t * State.t) list
-(** {!candidates} applied with the search-time (syntactic λ) semantics.
-    Successors that fail to change the state are kept — cycle detection in
-    the search layer removes them — but duplicates within the list are
-    dropped. *)
+(** {!candidates} applied with the search-time (syntactic λ) semantics;
+    each successor state is built incrementally from its parent via
+    {!State.of_successor} (counted on the [fingerprint.incremental]
+    telemetry counter) and deduplicated by fingerprint before any full-key
+    work. Successors that fail to change the state are kept — cycle
+    detection in the search layer removes them — but duplicates within the
+    list are dropped. With [paranoid_fingerprints], each dedup hit is
+    double-checked against canonical keys ([fingerprint.verify] /
+    [fingerprint.verify.mismatch] counters). *)

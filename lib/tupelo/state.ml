@@ -1,20 +1,110 @@
 open Relational
 
+(* The profile is maintained incrementally but computed on demand: a fresh
+   successor holds its parent and the operator's delta, and the profile is
+   materialized (recursively, so a chain of unforced ancestors collapses in
+   one walk) the first time a heuristic asks for it. Successor states that
+   are deduplicated or never scored — the majority under closed-set-heavy
+   searches — never pay for profile maintenance at all.
+
+   The caches are plain mutable fields rather than [Lazy.t] on purpose:
+   parallel frontier expansion can score one state from several domains at
+   once, and [Lazy] is not safe to force concurrently. Racing domains here
+   at worst recompute the same structurally-equal value and both write it —
+   an idempotent, benign race on an atomic pointer store. *)
 type t = {
   db : Database.t;
-  key : string Lazy.t;
-  profile : Heuristics.Profile.t Lazy.t;
+  fp : Fingerprint.t;
+  cells : int;  (* total cells, maintained from the parent's count + delta *)
+  mutable profile : profile_state;
+  mutable key : string option;
+      (* canonical key: paranoid verification and tests *)
 }
+
+and profile_state =
+  | Profile of Heuristics.Profile.t
+  | From_parent of t * Fira.Eval.delta
+
+let db_cells db =
+  Database.fold
+    (fun _ r acc ->
+      acc + (Relation.cardinality r * Schema.arity (Relation.schema r)))
+    db 0
 
 let of_database db =
   {
     db;
-    key = lazy (Database.canonical_key db);
-    profile = lazy (Heuristics.Profile.of_database db);
+    fp = Fingerprint.of_database db;
+    cells = db_cells db;
+    profile = Profile (Heuristics.Profile.of_database db);
+    key = None;
+  }
+
+(* Deltas are relation-granular, but the removed and added versions of a
+   replaced relation usually share most of their triples (a rename touches
+   one column, a λ adds one) — cancel the common multiset first so only
+   the symmetric difference pays count-map updates. *)
+let apply_delta_to_profile profile (delta : Fira.Eval.delta) =
+  let triples side =
+    List.concat_map
+      (fun (name, r) -> Heuristics.Profile.relation_triples name r)
+      side
+  in
+  let removed = List.sort compare (triples delta.Fira.Eval.removed) in
+  let added = List.sort compare (triples delta.Fira.Eval.added) in
+  let rec cancel rem add racc aacc =
+    match (rem, add) with
+    | [], rest -> (racc, List.rev_append rest aacc)
+    | rest, [] -> (List.rev_append rest racc, aacc)
+    | r :: rem', a :: add' ->
+        let c = compare r a in
+        if c = 0 then cancel rem' add' racc aacc
+        else if c < 0 then cancel rem' add (r :: racc) aacc
+        else cancel rem add' racc (a :: aacc)
+  in
+  let removed, added = cancel removed added [] [] in
+  Heuristics.Profile.add_triples
+    (Heuristics.Profile.remove_triples profile removed)
+    added
+
+let rec profile s =
+  match s.profile with
+  | Profile p -> p
+  | From_parent (parent, delta) ->
+      let p = apply_delta_to_profile (profile parent) delta in
+      s.profile <- Profile p;
+      p
+
+let of_successor parent (delta : Fira.Eval.delta) db =
+  let fp =
+    List.fold_left
+      (fun fp (name, r) -> Fingerprint.remove_relation fp ~rel:name r)
+      parent.fp delta.removed
+  in
+  let fp =
+    List.fold_left
+      (fun fp (name, r) -> Fingerprint.add_relation fp ~rel:name r)
+      fp delta.added
+  in
+  {
+    db;
+    fp;
+    cells = parent.cells + Fira.Eval.delta_cells delta;
+    profile = From_parent (parent, delta);
+    key = None;
   }
 
 let database s = s.db
-let key s = Lazy.force s.key
-let profile s = Lazy.force s.profile
-let equal a b = String.equal (key a) (key b)
+let fingerprint s = s.fp
+let total_cells s = s.cells
+
+let key s =
+  match s.key with
+  | Some k -> k
+  | None ->
+      let k = Database.canonical_key s.db in
+      s.key <- Some k;
+      k
+
+let equal a b = Fingerprint.equal a.fp b.fp
 let pp ppf s = Database.pp ppf s.db

@@ -1,22 +1,51 @@
-(** Search states: a database plus lazily cached derived data.
+(** Search states: a database plus incrementally maintained derived data.
 
-    Wrapping {!Relational.Database.t} lets the canonical key (used for
-    cycle detection) and the heuristic {!Heuristics.Profile.t} be computed
-    at most once per state no matter how many times the search layer
-    consults them. *)
+    A state carries the three things the search layer consults on the hot
+    path — its 128-bit {!Relational.Fingerprint.t} identity, its total cell
+    count, and its heuristic {!Heuristics.Profile.t} — all maintained in
+    O(cells changed) from the parent state via {!of_successor} and the
+    relation-granular {!Fira.Eval.delta} of the applied ℒ operator.
+
+    The fingerprint and cell count are computed eagerly (they gate
+    deduplication and pruning before a successor is even kept); the profile
+    is maintained incrementally but materialized on first use, so
+    deduplicated or never-scored successors skip it entirely. The full
+    {!Relational.Database.canonical_key} serialization is likewise only
+    computed on demand, for paranoid fingerprint verification and tests.
+    Both on-demand caches are domain-safe: concurrent scorers at worst
+    recompute the same value (see the implementation note in state.ml). *)
 
 open Relational
 
 type t
 
 val of_database : Database.t -> t
+(** From-scratch construction (the root state; O(database)). *)
+
+val of_successor : t -> Fira.Eval.delta -> Database.t -> t
+(** [of_successor parent delta db] is the state for [db], with fingerprint,
+    profile and cell count updated from [parent]'s by [delta] — the delta
+    returned by applying one operator to [parent]'s database. Equivalent to
+    [of_database db] (a qcheck property checks structural equality of all
+    three derived views) at O(cells changed) cost. *)
+
 val database : t -> Database.t
 
+val fingerprint : t -> Fingerprint.t
+(** 128-bit identity; equal on two states iff their canonical keys are
+    equal, up to hash collisions (~2^-128). *)
+
+val total_cells : t -> int
+(** Σ cardinality × arity over all relations. *)
+
 val key : t -> string
-(** Cached {!Database.canonical_key}. *)
+(** Cached {!Database.canonical_key}; computed on first use. *)
 
 val profile : t -> Heuristics.Profile.t
-(** Cached TNF profile for the heuristics. *)
+(** TNF profile for the heuristics, delta-maintained; materialized (and
+    cached) on first use. *)
 
 val equal : t -> t -> bool
+(** Fingerprint equality. *)
+
 val pp : Format.formatter -> t -> unit

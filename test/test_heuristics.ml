@@ -61,15 +61,15 @@ let test_vector_distances () =
 
 let test_profile () =
   let p = flights_b () in
-  Alcotest.(check int) "one relation" 1 (P.Strings.cardinal p.P.rels);
-  Alcotest.(check int) "four attributes" 4 (P.Strings.cardinal p.P.atts);
+  Alcotest.(check int) "one relation" 1 (P.Strings.cardinal (P.rels p));
+  Alcotest.(check int) "four attributes" 4 (P.Strings.cardinal (P.atts p));
   Alcotest.(check bool) "values include 100" true
-    (P.Strings.mem "100" p.P.values);
+    (P.Strings.mem "100" (P.values p));
   (* Profile agrees with the explicit TNF view. *)
   let via_tnf = P.of_tnf (Tnf.encode Workloads.Flights.b) in
-  Alcotest.(check string) "string(d) agrees with TNF" via_tnf.P.str p.P.str;
+  Alcotest.(check string) "string(d) agrees with TNF" (P.str via_tnf) (P.str p);
   Alcotest.(check (float 1e-9)) "vector norm agrees"
-    (V.norm via_tnf.P.vector) (V.norm p.P.vector)
+    (V.norm (P.vector via_tnf)) (V.norm (P.vector p))
 
 let test_profile_skips_nulls () =
   let db =
@@ -77,7 +77,24 @@ let test_profile_skips_nulls () =
       [ ("r", Relation.of_strings [ "a"; "b" ] [ [ "1"; "" ] ]) ]
   in
   let p = profile db in
-  Alcotest.(check int) "null cell not a value" 1 (P.Strings.cardinal p.P.values)
+  Alcotest.(check int) "null cell not a value" 1
+    (P.Strings.cardinal (P.values p))
+
+let test_profile_str_unambiguous () =
+  (* The components of a cell must be separated in [str]: ("ab","c",·) and
+     ("a","bc",·) have the same character stream, so without a separator
+     the two profiles would serialize identically and Levenshtein-based
+     heuristics could not tell them apart. (Regression: components used to
+     be concatenated bare.) *)
+  let p1 = P.of_triples [ ("ab", "c", "d") ] in
+  let p2 = P.of_triples [ ("a", "bc", "d") ] in
+  Alcotest.(check bool) "different triples, different str" false
+    (String.equal (P.str p1) (P.str p2));
+  (* Repeated triples appear with their multiplicity. *)
+  let once = P.of_triples [ ("r", "a", "1") ] in
+  let twice = P.of_triples [ ("r", "a", "1"); ("r", "a", "1") ] in
+  Alcotest.(check bool) "multiplicity is visible" false
+    (String.equal (P.str once) (P.str twice))
 
 (* --- the seven heuristics --- *)
 
@@ -188,6 +205,8 @@ let suite =
     Alcotest.test_case "vector distances" `Quick test_vector_distances;
     Alcotest.test_case "profile construction" `Quick test_profile;
     Alcotest.test_case "profile skips nulls" `Quick test_profile_skips_nulls;
+    Alcotest.test_case "profile str is unambiguous" `Quick
+      test_profile_str_unambiguous;
     Alcotest.test_case "h0 blind" `Quick test_h0;
     Alcotest.test_case "all heuristics zero at target" `Quick test_h_zero_at_target;
     Alcotest.test_case "h1 missing names" `Quick test_h1;

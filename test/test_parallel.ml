@@ -11,6 +11,9 @@ module Grid = struct
   type action = [ `Right | `Up ]
 
   let size = 6
+
+  module Key = Search.Space.String_key
+
   let key (x, y) = Printf.sprintf "%d,%d" x y
 
   let successors (x, y) =
@@ -306,7 +309,7 @@ let test_portfolio_discovers () =
 (* --- memo cache --- *)
 
 let test_memo_hits_and_bound () =
-  let memo : int Heuristics.Memo.t = Heuristics.Memo.create ~cap:100 () in
+  let memo : (string, int) Heuristics.Memo.t = Heuristics.Memo.create ~cap:100 () in
   let computes = ref 0 in
   let f key =
     incr computes;
@@ -330,7 +333,7 @@ let test_memo_hits_and_bound () =
   Alcotest.(check int) "most recent key still cached" before !computes
 
 let test_memo_working_set_survives_eviction () =
-  let memo : int Heuristics.Memo.t = Heuristics.Memo.create ~cap:10 () in
+  let memo : (string, int) Heuristics.Memo.t = Heuristics.Memo.create ~cap:10 () in
   let f key = String.length key in
   (* Inserting 6 keys with cap 10 flips once (generation size 5). Unlike
      the old full-flush, the flip demotes rather than discards: the
@@ -349,8 +352,29 @@ let test_memo_working_set_survives_eviction () =
   done;
   Alcotest.(check int) "no recomputation after the flip" 0 !computes
 
+let test_memo_promote_moves_entry () =
+  let memo : (string, int) Heuristics.Memo.t =
+    Heuristics.Memo.create ~cap:10 ()
+  in
+  let f key = String.length key in
+  for i = 1 to 6 do
+    ignore (Heuristics.Memo.find_or_add memo (string_of_int i) f)
+  done;
+  Alcotest.(check int) "one flip" 1 (Heuristics.Memo.evictions memo);
+  Alcotest.(check int) "six resident" 6 (Heuristics.Memo.size memo);
+  (* Promoting a previous-generation key must move the entry, not copy it.
+     (Regression: promotion used to leave the old copy in the previous
+     generation, double-counting the key so residency could exceed the
+     cap.) *)
+  ignore (Heuristics.Memo.find_or_add memo "3" f);
+  Alcotest.(check int) "promotion does not duplicate" 6
+    (Heuristics.Memo.size memo);
+  (* Re-touching the promoted key is now a plain current-generation hit. *)
+  ignore (Heuristics.Memo.find_or_add memo "3" f);
+  Alcotest.(check int) "still six" 6 (Heuristics.Memo.size memo)
+
 let test_memo_domain_local () =
-  let memo : int Heuristics.Memo.t = Heuristics.Memo.create ~cap:100 () in
+  let memo : (string, int) Heuristics.Memo.t = Heuristics.Memo.create ~cap:100 () in
   let f _ = 1 in
   ignore (Heuristics.Memo.find_or_add memo "k" f);
   let other_domain_size =
@@ -395,6 +419,8 @@ let suite =
       test_memo_hits_and_bound;
     Alcotest.test_case "memo: working set survives a flip" `Quick
       test_memo_working_set_survives_eviction;
+    Alcotest.test_case "memo: promotion moves, not copies" `Quick
+      test_memo_promote_moves_entry;
     Alcotest.test_case "memo: domain-local tables" `Quick
       test_memo_domain_local;
   ]

@@ -9,6 +9,9 @@ module Grid = struct
   type action = [ `Right | `Up ]
 
   let size = 6
+
+  module Key = Search.Space.String_key
+
   let key (x, y) = Printf.sprintf "%d,%d" x y
 
   let successors (x, y) =
@@ -93,6 +96,8 @@ module Dead_end = struct
   type state = int
   type action = unit
 
+  module Key = Search.Space.String_key
+
   let key = string_of_int
   let successors n = if n < 5 then [ ((), n + 1) ] else []
   let is_goal _ = false
@@ -124,6 +129,8 @@ module Infinite = struct
   (* Unbounded branching chain with an unreachable goal: budgets must trip. *)
   type state = int
   type action = int
+
+  module Key = Search.Space.String_key
 
   let key = string_of_int
   let successors n = [ (0, (2 * n) + 1); (1, (2 * n) + 2) ]
@@ -157,6 +164,8 @@ let test_goal_at_root () =
     type state = unit
     type action = unit
 
+    module Key = Search.Space.String_key
+
     let key () = "root"
     let successors () = []
     let is_goal () = true
@@ -186,11 +195,11 @@ let test_beam_incomplete () =
 let test_bfs_reachable () =
   let depths = Grid_bfs.reachable ~max_depth:2 (0, 0) in
   Alcotest.(check (option int)) "root depth" (Some 0)
-    (Hashtbl.find_opt depths "0,0");
+    (Grid_bfs.Keys.find_opt depths "0,0");
   Alcotest.(check (option int)) "diagonal depth" (Some 2)
-    (Hashtbl.find_opt depths "1,1");
+    (Grid_bfs.Keys.find_opt depths "1,1");
   Alcotest.(check (option int)) "beyond max_depth absent" None
-    (Hashtbl.find_opt depths "3,0")
+    (Grid_bfs.Keys.find_opt depths "3,0")
 
 let test_degenerate_parameters () =
   (* budget <= 0 and width <= 0 are programming errors, not "search the
@@ -224,7 +233,7 @@ let test_degenerate_parameters () =
   Alcotest.(check bool) "BFS reachable budget 0" true
     (match Grid_bfs.reachable ~budget:0 (0, 0) with
     | exception Invalid_argument _ -> true
-    | (_ : (string, int) Hashtbl.t) -> false)
+    | (_ : int Grid_bfs.Keys.t) -> false)
 
 let test_elapsed_non_negative () =
   let r = Grid_astar.search ~heuristic:manhattan (0, 0) in
