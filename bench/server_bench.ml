@@ -1,0 +1,223 @@
+(* End-to-end bench of the mapping server: an in-process daemon driven
+   over real sockets by concurrent keep-alive clients.
+
+   Mix: [n_cold] discover requests over distinct instance pairs (every
+   one a real search), [n_hot] repeats of a single warmed pair (every
+   one a fingerprint-cache hit), and a sprinkle of /healthz and /stats
+   round trips — at least a thousand requests in total. Reports
+   client-observed p50/p99 per class, overall throughput and the cache
+   hit rate, checks that /stats reconciles exactly with the JSONL
+   trace the daemon wrote, and asserts the acceptance bar: the hot
+   (repeated-pair) p50 at least 10x below the cold-search p50.
+
+   Writes the committed BENCH_server.json (path overridable as the
+   first CLI argument). *)
+
+open Server
+
+let n_cold = 200
+let n_hot = 800
+let n_other = 50 (* alternating /healthz and /stats *)
+let client_threads = 4
+
+(* Cold workload: the paper's synthetic schema-matching instance
+   (n attribute renames), solved with A*/h1 so each cold request costs
+   a measurable search, plus one index-specific extra tuple so every
+   pair fingerprint is distinct. *)
+let attrs prefix n =
+  String.concat "," (List.init n (fun i -> Printf.sprintf "%s%02d" prefix (i + 1)))
+
+let tuple prefix n =
+  String.concat "," (List.init n (fun i -> Printf.sprintf "%s%02d" prefix (i + 1)))
+
+let synthetic_pair ~renames i =
+  let extra =
+    if i < 0 then ""
+    else
+      String.concat ","
+        (List.init renames (fun c -> Printf.sprintf "x%d_%02d" i c))
+      ^ "\n"
+  in
+  let body = tuple "a" renames ^ "\n" ^ extra in
+  ( [ ("R", attrs "A" renames ^ "\n" ^ body) ],
+    [ ("R", attrs "B" renames ^ "\n" ^ body) ] )
+
+let discover_request i =
+  let source, target = synthetic_pair ~renames:10 i in
+  Protocol.request ~algorithm:"astar" ~heuristic:"h1" ~source ~target ()
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let json_int json path =
+  let rec go j = function
+    | [] -> ( match j with Json.Num n -> int_of_float n | _ -> fail "stats leaf")
+    | k :: rest -> (
+        match Json.member k j with
+        | Some j' -> go j' rest
+        | None -> fail "stats key %s missing" k)
+  in
+  go json path
+
+let () =
+  let out_path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_server.json" in
+  let trace_path = Filename.temp_file "server_bench_trace" ".jsonl" in
+  let trace_oc = open_out_bin trace_path in
+  let config =
+    Daemon.config ~port:0 ~workers:2 ~queue_capacity:64 ~timeout_ms:30_000
+      ~search_telemetry:false
+      ~trace_sink:(Telemetry.Sink.jsonl_channel trace_oc) ()
+  in
+  let t = Daemon.start config in
+  let port = Daemon.port t in
+
+  (* Warm the hot pair once so every hot request below is a hit. *)
+  let warm =
+    let conn = Client.connect ~host:"127.0.0.1" ~port in
+    Fun.protect
+      ~finally:(fun () -> Client.close conn)
+      (fun () -> Client.discover conn (discover_request (-1)))
+  in
+  (match warm with
+  | Ok (200, Ok resp) when resp.Protocol.outcome = "mapping" -> ()
+  | Ok (s, _) -> fail "warm-up: HTTP %d" s
+  | Error m -> fail "warm-up: %s" m);
+
+  let cold_lat = Array.make n_cold nan in
+  let hot_lat = Array.make n_hot nan in
+  let other_lat = Array.make n_other nan in
+  let errors = Atomic.make 0 in
+
+  let run_client tid =
+    let conn = Client.connect ~host:"127.0.0.1" ~port in
+    Fun.protect
+      ~finally:(fun () -> Client.close conn)
+      (fun () ->
+        let timed_discover slot_arr slot req =
+          let t0 = Unix.gettimeofday () in
+          (match Client.discover conn req with
+          | Ok (200, Ok resp) when resp.Protocol.outcome = "mapping" -> ()
+          | _ -> Atomic.incr errors);
+          slot_arr.(slot) <- (Unix.gettimeofday () -. t0) *. 1000.
+        in
+        let i = ref tid in
+        while !i < n_cold do
+          timed_discover cold_lat !i (discover_request !i);
+          i := !i + client_threads
+        done;
+        let hot_req = discover_request (-1) in
+        i := tid;
+        while !i < n_hot do
+          timed_discover hot_lat !i hot_req;
+          i := !i + client_threads
+        done;
+        i := tid;
+        while !i < n_other do
+          let path = if !i mod 2 = 0 then "/healthz" else "/stats" in
+          let t0 = Unix.gettimeofday () in
+          (match Client.request conn ~meth:"GET" ~path () with
+          | Ok (200, _) -> ()
+          | _ -> Atomic.incr errors);
+          other_lat.(!i) <- (Unix.gettimeofday () -. t0) *. 1000.;
+          i := !i + client_threads
+        done)
+  in
+  let wall0 = Unix.gettimeofday () in
+  let threads = List.init client_threads (fun tid -> Thread.create run_client tid) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. wall0 in
+
+  if Atomic.get errors > 0 then fail "%d requests failed" (Atomic.get errors);
+
+  let stats =
+    match Json.parse (Daemon.stats_json t) with
+    | Ok j -> j
+    | Error m -> fail "stats: %s" m
+  in
+  Daemon.stop t;
+  close_out_noerr trace_oc;
+
+  (* Reconcile /stats against the trace the daemon wrote: re-aggregate
+     the JSONL counters independently and require exact equality. *)
+  let counters = Hashtbl.create 32 in
+  let ic = open_in trace_path in
+  (try
+     while true do
+       let line = input_line ic in
+       match Json.parse line with
+       | Error m -> fail "trace line does not parse: %s" m
+       | Ok j ->
+           if Json.member "type" j = Some (Json.Str "counter") then
+             let name =
+               match Json.member "name" j with
+               | Some (Json.Str s) -> s
+               | _ -> fail "trace counter without name"
+             in
+             let incr = json_int j [ "incr" ] in
+             Hashtbl.replace counters name
+               (incr + Option.value ~default:0 (Hashtbl.find_opt counters name))
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove trace_path;
+  let traced name = Option.value ~default:0 (Hashtbl.find_opt counters name) in
+  let reconcile path event =
+    let s = json_int stats path in
+    let tr = traced event in
+    if s <> tr then
+      fail "/stats %s = %d but trace says %d" (String.concat "." path) s tr
+  in
+  reconcile [ "requests"; "discover" ] "server.request.discover";
+  reconcile [ "requests"; "healthz" ] "server.request.healthz";
+  reconcile [ "requests"; "stats" ] "server.request.stats";
+  reconcile [ "responses"; "mapping" ] "server.response.mapping";
+  reconcile [ "cache"; "hits" ] "cache.hit";
+  reconcile [ "cache"; "misses" ] "cache.miss";
+  reconcile [ "search"; "states_examined" ] "server.states_examined";
+
+  Array.sort compare cold_lat;
+  Array.sort compare hot_lat;
+  Array.sort compare other_lat;
+  let total = n_cold + n_hot + n_other + 1 (* warm-up *) in
+  let throughput = float_of_int total /. wall in
+  let cold_p50 = percentile cold_lat 0.50 and cold_p99 = percentile cold_lat 0.99 in
+  let hot_p50 = percentile hot_lat 0.50 and hot_p99 = percentile hot_lat 0.99 in
+  let hits = json_int stats [ "cache"; "hits" ] in
+  let misses = json_int stats [ "cache"; "misses" ] in
+  let hit_rate = float_of_int hits /. float_of_int (hits + misses) in
+  let speedup = cold_p50 /. hot_p50 in
+
+  let oc = open_out out_path in
+  Printf.fprintf oc
+    {|{
+  "bench": "server",
+  "requests": { "total": %d, "discover_cold": %d, "discover_hot": %d, "other": %d, "client_threads": %d },
+  "wall_s": %.3f,
+  "throughput_rps": %.1f,
+  "latency_ms": {
+    "cold_search": { "p50": %.3f, "p99": %.3f },
+    "cache_hit":   { "p50": %.3f, "p99": %.3f },
+    "healthz_stats": { "p50": %.3f, "p99": %.3f }
+  },
+  "cache": { "hits": %d, "misses": %d, "hit_rate": %.4f },
+  "hot_vs_cold_p50_speedup": %.1f,
+  "stats_reconciled_with_trace": true
+}
+|}
+    total n_cold n_hot n_other client_threads wall throughput cold_p50
+    cold_p99 hot_p50 hot_p99 (percentile other_lat 0.50)
+    (percentile other_lat 0.99) hits misses hit_rate speedup;
+  close_out oc;
+
+  Printf.printf
+    "server bench: %d requests in %.2fs (%.0f rps)\n\
+     cold-search p50 %.3fms p99 %.3fms | cache-hit p50 %.3fms p99 %.3fms (%.0fx)\n\
+     cache hit rate %.1f%% | /stats reconciled with trace | wrote %s\n"
+    total wall throughput cold_p50 cold_p99 hot_p50 hot_p99 speedup
+    (100. *. hit_rate) out_path;
+  if speedup < 10. then
+    fail "repeated-pair p50 only %.1fx below cold-search p50 (need >= 10x)"
+      speedup

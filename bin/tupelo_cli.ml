@@ -31,11 +31,27 @@ let parse_rel_spec spec =
       let base = Filename.remove_extension (Filename.basename spec) in
       (base, spec)
 
-let load_database specs =
+(* Load REL=FILE.csv specs, blaming the offending spec on failure: a
+   bare [Csv.Error]/[Sys_error] out of a ten-relation command line gives
+   no clue which --source/--target file was at fault. *)
+let load_database ~what specs =
+  let context fmt = Printf.sprintf fmt in
   List.fold_left
     (fun db spec ->
       let name, path = parse_rel_spec spec in
-      Database.add db name (Csv.parse_relation (read_file path)))
+      let contents =
+        try read_file path
+        with Sys_error m ->
+          raise (Csv.Error (context "%s relation %S: %s" what name m))
+      in
+      let rel =
+        try Csv.parse_relation contents
+        with Csv.Error m ->
+          raise (Csv.Error (context "%s relation %S (%s): %s" what name path m))
+      in
+      try Database.add db name rel
+      with Database.Error m ->
+        raise (Csv.Error (context "%s relation %S (%s): %s" what name path m)))
     Database.empty specs
 
 (* --- common options --- *)
@@ -198,8 +214,8 @@ let write_file path contents =
 let discover_cmd_run source target algorithm heuristic goal budget jobs
     semfuns paper save run_on trace metrics =
   try
-    let source = load_database source in
-    let target = load_database target in
+    let source = load_database ~what:"--source" source in
+    let target = load_database ~what:"--target" target in
     let registry =
       Fira.Semfun.of_list (Fira.Semfun.decode_annotations semfuns)
     in
@@ -243,7 +259,7 @@ let discover_cmd_run source target algorithm heuristic goal budget jobs
                     Printf.printf "\nmapping saved to %s\n" path
                 | None -> ());
                 if run_on <> [] then begin
-                  let instance = load_database run_on in
+                  let instance = load_database ~what:"--run-on" run_on in
                   print_endline "\nresult of executing the mapping:";
                   print_endline
                     (Database.to_string
@@ -285,7 +301,7 @@ let apply_cmd_run mapping_path instance semfuns csv_out =
         let registry =
           Fira.Semfun.of_list (Fira.Semfun.decode_annotations semfuns)
         in
-        let db = load_database instance in
+        let db = load_database ~what:"instance" instance in
         let result = Fira.Expr.eval registry expr db in
         (match csv_out with
         | None -> print_endline (Database.to_string result)
@@ -331,7 +347,7 @@ let apply_cmd =
 
 let tnf_cmd_run inputs as_sql =
   try
-    let db = load_database inputs in
+    let db = load_database ~what:"input" inputs in
     if as_sql then print_string (Tnf.sql_script db)
     else print_endline (Relation.to_string (Tnf.encode db));
     `Ok ()
@@ -356,7 +372,7 @@ let tnf_cmd =
 
 let sql_cmd_run inputs script_path =
   try
-    let db = load_database inputs in
+    let db = load_database ~what:"input" inputs in
     let script = read_file script_path in
     let results = Sql.exec_script db script in
     List.iter
@@ -383,6 +399,217 @@ let sql_cmd =
       & info [] ~docv:"SCRIPT.sql" ~doc:"SQL script to execute.")
   in
   Cmd.v (Cmd.info "sql" ~doc) Term.(ret (const sql_cmd_run $ inputs $ script))
+
+(* --- serve --- *)
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind or connect to.")
+
+let port_arg ~default =
+  Arg.(
+    value
+    & opt int default
+    & info [ "p"; "port" ] ~docv:"PORT"
+        ~doc:"TCP port (0 = pick an ephemeral port).")
+
+let serve_cmd_run host port queue workers jobs budget timeout_ms max_payload
+    cache_capacity no_search_telemetry trace metrics =
+  try
+    let agg = if metrics then Some (Telemetry.Agg.create ()) else None in
+    let with_trace k =
+      match trace with
+      | Some path ->
+          let oc = open_out_bin path in
+          let r =
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> k (Some (Telemetry.Sink.jsonl_channel oc)))
+          in
+          Printf.printf "trace written to %s\n" path;
+          r
+      | None -> k None
+    in
+    with_trace @@ fun trace_sink ->
+    let trace_sink =
+      match (trace_sink, agg) with
+      | Some s, Some a -> Some (Telemetry.Sink.tee [ s; Telemetry.Agg.sink a ])
+      | Some s, None -> Some s
+      | None, Some a -> Some (Telemetry.Agg.sink a)
+      | None, None -> None
+    in
+    let config =
+      Server.Daemon.config ~host ~port ~queue_capacity:queue ~workers ~jobs
+        ~budget ~timeout_ms ~max_payload ~cache_capacity
+        ~search_telemetry:(not no_search_telemetry) ?trace_sink ()
+    in
+    (* Report the bound address before blocking: scripts wait for this
+       line, then talk to the port (which matters with --port 0). *)
+    let t = Server.Daemon.start config in
+    Printf.printf "tupelo server listening on %s:%d\n%!" host
+      (Server.Daemon.port t);
+    let stop_requested = ref false in
+    let handle = Sys.Signal_handle (fun _ -> stop_requested := true) in
+    let prev_term = Sys.signal Sys.sigterm handle in
+    let prev_int = Sys.signal Sys.sigint handle in
+    Fun.protect
+      ~finally:(fun () ->
+        Sys.set_signal Sys.sigterm prev_term;
+        Sys.set_signal Sys.sigint prev_int)
+      (fun () ->
+        while not !stop_requested do
+          Thread.delay 0.2
+        done;
+        print_endline "shutting down: draining in-flight requests";
+        Server.Daemon.stop t);
+    (match agg with
+    | Some a ->
+        print_newline ();
+        print_string (Telemetry.Agg.summary a)
+    | None -> ());
+    `Ok ()
+  with
+  | Invalid_argument m -> fail "%s" m
+  | Unix.Unix_error (e, fn, arg) ->
+      fail "%s %s: %s" fn arg (Unix.error_message e)
+
+let serve_cmd =
+  let doc = "run the mapping-discovery server (POST /discover, GET /healthz, GET /stats)" in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission-queue capacity; requests beyond it are refused \
+             with 429 (backpressure).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Discovery worker threads.")
+  in
+  let timeout =
+    Arg.(
+      value & opt int 30_000
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline; a search past it is \
+             cancelled cooperatively and reported as a timeout.")
+  in
+  let max_payload =
+    Arg.(
+      value
+      & opt int (8 * 1024 * 1024)
+      & info [ "max-payload" ] ~docv:"BYTES"
+          ~doc:"Request-body and per-relation CSV size limit (413 beyond).")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int 256
+      & info [ "cache" ] ~docv:"N"
+          ~doc:
+            "Mapping-cache entries: discovered mappings are remembered \
+             by the (source, target) instance fingerprints, LRU-evicted.")
+  in
+  let no_search_telemetry =
+    Arg.(
+      value & flag
+      & info [ "no-search-telemetry" ]
+          ~doc:
+            "Only server-level events (requests, queue, cache) reach \
+             --trace/--metrics; omit the per-state search event stream.")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const serve_cmd_run $ host_arg $ port_arg ~default:8080 $ queue
+       $ workers $ jobs_arg $ budget_arg $ timeout $ max_payload
+       $ cache_capacity $ no_search_telemetry $ trace_arg $ metrics_arg))
+
+(* --- request --- *)
+
+let request_cmd_run host port source target algorithm heuristic goal budget
+    jobs timeout_ms semfuns health stats =
+  try
+    let get path =
+      match Server.Client.once ~host ~port ~meth:"GET" ~path () with
+      | Ok (200, body) ->
+          print_endline body;
+          `Ok ()
+      | Ok (status, body) -> fail "HTTP %d: %s" status body
+      | Error m -> fail "%s" m
+    in
+    if health then get "/healthz"
+    else if stats then get "/stats"
+    else begin
+      let csv_specs specs =
+        List.map
+          (fun spec ->
+            let name, path = parse_rel_spec spec in
+            (name, read_file path))
+          specs
+      in
+      if source = [] || target = [] then
+        fail "--source and --target are required (or use --health/--stats)"
+      else
+        let req =
+          Server.Protocol.request ~algorithm ~heuristic ~goal ~budget ~jobs
+            ?timeout_ms ~semfuns ~source:(csv_specs source)
+            ~target:(csv_specs target) ()
+        in
+        let conn = Server.Client.connect ~host ~port in
+        Fun.protect
+          ~finally:(fun () -> Server.Client.close conn)
+          (fun () ->
+            match Server.Client.discover conn req with
+            | Error m -> fail "%s" m
+            | Ok (status, Error m) -> fail "HTTP %d: %s" status m
+            | Ok (_, Ok resp) ->
+                print_endline
+                  (Server.Json.to_string
+                     (Server.Protocol.encode_response resp));
+                if resp.Server.Protocol.outcome = "mapping" then `Ok ()
+                else `Error (false, "no mapping: " ^ resp.Server.Protocol.outcome))
+    end
+  with
+  | Sys_error m -> fail "%s" m
+  | Unix.Unix_error (e, fn, _) -> fail "%s: %s" fn (Unix.error_message e)
+
+let request_cmd =
+  let doc = "send one request to a running mapping-discovery server" in
+  let source =
+    Arg.(
+      value & opt_all string []
+      & info [ "s"; "source" ] ~docv:"REL=FILE.csv"
+          ~doc:"Source critical-instance relation (repeatable).")
+  in
+  let target =
+    Arg.(
+      value & opt_all string []
+      & info [ "t"; "target" ] ~docv:"REL=FILE.csv"
+          ~doc:"Target critical-instance relation (repeatable).")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline override.")
+  in
+  let health =
+    Arg.(value & flag & info [ "health" ] ~doc:"GET /healthz instead.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"GET /stats instead.")
+  in
+  Cmd.v (Cmd.info "request" ~doc)
+    Term.(
+      ret
+        (const request_cmd_run $ host_arg $ port_arg ~default:8080 $ source
+       $ target $ algorithm_arg $ heuristic_arg $ goal_arg $ budget_arg
+       $ jobs_arg $ timeout $ semfun_arg $ health $ stats))
 
 (* --- demo --- *)
 
@@ -413,6 +640,8 @@ let demo_cmd =
 let main_cmd =
   let doc = "data mapping as search (TUPELO, EDBT 2006)" in
   let info = Cmd.info "tupelo" ~version:"1.0.0" ~doc in
-  Cmd.group info [ discover_cmd; apply_cmd; tnf_cmd; sql_cmd; demo_cmd ]
+  Cmd.group info
+    [ discover_cmd; apply_cmd; tnf_cmd; sql_cmd; serve_cmd; request_cmd;
+      demo_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -4,7 +4,20 @@ let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
 type state = Field_start | In_field | In_quotes | Quote_seen
 
-let parse input =
+(* Refuse oversized documents up front: parsing is O(input) in both time
+   and allocation, so a hostile payload (the mapping server accepts CSV
+   inline over the wire) must be bounded before we touch it. *)
+let check_size ~max_bytes input =
+  match max_bytes with
+  | None -> ()
+  | Some limit ->
+      if limit < 0 then invalid_arg "Csv: max_bytes must be >= 0";
+      if String.length input > limit then
+        error "csv: input of %d bytes exceeds the %d-byte limit"
+          (String.length input) limit
+
+let parse ?max_bytes input =
+  check_size ~max_bytes input;
   let rows = ref [] and fields = ref [] and buf = Buffer.create 32 in
   let state = ref Field_start in
   let flush_field () =
@@ -54,8 +67,8 @@ let parse input =
   | _ -> flush_row ());
   List.rev !rows
 
-let parse_relation input =
-  match parse input with
+let parse_relation ?max_bytes input =
+  match parse ?max_bytes input with
   | [] -> error "csv: empty document"
   | header :: data ->
       let width = List.length header in

@@ -6,15 +6,21 @@
 
 exception Error of string
 
-val parse : string -> string list list
+val parse : ?max_bytes:int -> string -> string list list
 (** Parse a CSV document into rows of fields. Rows may have differing
-    lengths; a trailing newline is tolerated. @raise Error on unterminated
-    quotes. *)
+    lengths; a trailing newline is tolerated. With [max_bytes], inputs
+    longer than that are rejected with a clear {!Error} before any
+    parsing work — the guard for untrusted payloads (e.g. relations
+    supplied inline over the mapping server's wire protocol). @raise
+    Error on unterminated quotes or an oversized input.
+    @raise Invalid_argument if [max_bytes < 0]. *)
 
-val parse_relation : string -> Relation.t
+val parse_relation : ?max_bytes:int -> string -> Relation.t
 (** First row is the header; remaining rows are tuples, cells parsed with
     {!Value.of_string_guess}. Short rows are padded with nulls.
-    @raise Error on an empty document or duplicate header names. *)
+    [max_bytes] bounds the raw document as in {!parse}.
+    @raise Error on an empty document, duplicate header names or an
+    oversized input. *)
 
 val print : string list list -> string
 (** Render rows as CSV, quoting fields when needed. *)

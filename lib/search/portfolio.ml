@@ -16,11 +16,13 @@ let run_entrant telemetry e ~cancelled =
     "portfolio.entrant"
     (fun () -> e.run ~cancelled)
 
-let race_sequential ~telemetry ~won entrants =
+let race_sequential ~telemetry ~stop ~won entrants =
   (* One domain: run entrants in order, stopping at the first winner.
      Entrants after the winner are never started (their [cancelled]
      would be immediately true), which keeps the single-core fall-back
-     deterministic and cheap. *)
+     deterministic and cheap. An external [stop] also ends the race:
+     entrants not yet started are skipped, exactly as if another
+     entrant had won. *)
   let skip e =
     Telemetry.message
       (Telemetry.with_scope telemetry e.name)
@@ -29,8 +31,12 @@ let race_sequential ~telemetry ~won entrants =
   in
   let rec go acc = function
     | [] -> { winner = None; results = List.rev acc }
+    | e :: rest when stop () ->
+        skip e;
+        List.iter skip rest;
+        { winner = None; results = List.rev acc }
     | e :: rest ->
-        let r = run_entrant telemetry e ~cancelled:(fun () -> false) in
+        let r = run_entrant telemetry e ~cancelled:stop in
         if won r then begin
           Telemetry.message telemetry "portfolio.win" (fun () -> e.name);
           List.iter skip rest;
@@ -40,7 +46,10 @@ let race_sequential ~telemetry ~won entrants =
   in
   go [] entrants
 
-let race ?(telemetry = Telemetry.disabled) ?domains ~won entrants =
+let never_stop () = false
+
+let race ?(telemetry = Telemetry.disabled) ?domains ?(stop = never_stop) ~won
+    entrants =
   if entrants = [] then invalid_arg "Portfolio.race: no entrants";
   let n = List.length entrants in
   let domains =
@@ -50,15 +59,17 @@ let race ?(telemetry = Telemetry.disabled) ?domains ~won entrants =
         min d n
     | None -> min (Pool.default_domains ()) n
   in
-  if domains = 1 then race_sequential ~telemetry ~won entrants
+  if domains = 1 then race_sequential ~telemetry ~stop ~won entrants
   else begin
     let entrants = Array.of_list entrants in
     let results = Array.make n None in
     (* Index of the first entrant observed to win; doubles as the
-       cancellation flag every running entrant polls. *)
+       cancellation flag every running entrant polls. The external
+       [stop] is OR'd in, so a deadline or server-side cancellation
+       winds the whole race down through the same [Cancelled] path. *)
     let winner = Atomic.make (-1) in
     let next = Atomic.make 0 in
-    let cancelled () = Atomic.get winner >= 0 in
+    let cancelled () = Atomic.get winner >= 0 || stop () in
     let work () =
       let rec claim () =
         let i = Atomic.fetch_and_add next 1 in

@@ -36,6 +36,7 @@ type 'r outcome = {
 val race :
   ?telemetry:Telemetry.t ->
   ?domains:int ->
+  ?stop:(unit -> bool) ->
   won:('r -> bool) ->
   'r entrant list ->
   'r outcome
@@ -43,6 +44,13 @@ val race :
     domains (default {!Pool.default_domains}, clamped to the number of
     entrants). When there are more entrants than domains, finished
     domains pick up the next unstarted entrant.
+
+    [stop] (default: never) is an external cancellation signal — a
+    per-request deadline, a server shutdown — OR'd into the [cancelled]
+    flag every entrant polls. Once it returns [true] no further entrant
+    is started (the rest emit [portfolio.skip]) and running entrants
+    are expected to wind down through their [Cancelled] outcome; the
+    race then reports no winner unless one had already been observed.
 
     With [telemetry], each entrant's run is wrapped in a
     [portfolio.entrant] span scoped by the entrant's name, the first

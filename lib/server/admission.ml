@@ -1,0 +1,68 @@
+type 'a item = { payload : 'a; enqueued_at : float }
+
+type 'a t = {
+  q : 'a item Queue.t;
+  cap : int;
+  telemetry : Telemetry.t;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create ?(telemetry = Telemetry.disabled) ~capacity () =
+  if capacity < 1 then invalid_arg "Admission.create: capacity must be >= 1";
+  {
+    q = Queue.create ();
+    cap = capacity;
+    telemetry;
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let gauge_depth t =
+  Telemetry.gauge t.telemetry "queue.depth" (float_of_int (Queue.length t.q))
+
+let submit t payload =
+  locked t @@ fun () ->
+  if t.closed then `Closed
+  else if Queue.length t.q >= t.cap then `Busy
+  else begin
+    Queue.add { payload; enqueued_at = Unix.gettimeofday () } t.q;
+    gauge_depth t;
+    Condition.signal t.nonempty;
+    `Admitted
+  end
+
+let take t =
+  locked t @@ fun () ->
+  let rec wait () =
+    match Queue.take_opt t.q with
+    | Some item ->
+        gauge_depth t;
+        if Telemetry.enabled t.telemetry then
+          Telemetry.timer t.telemetry "queue.wait"
+            ~elapsed_s:(Unix.gettimeofday () -. item.enqueued_at);
+        Some item.payload
+    | None ->
+        if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.mu;
+          wait ()
+        end
+  in
+  wait ()
+
+let close t =
+  locked t @@ fun () ->
+  if not t.closed then begin
+    t.closed <- true;
+    Condition.broadcast t.nonempty
+  end
+
+let depth t = locked t @@ fun () -> Queue.length t.q
+let capacity t = t.cap

@@ -1,0 +1,32 @@
+(** Bounded admission queue with backpressure.
+
+    The gate between connection handlers and the discovery workers:
+    [submit] either admits a request or refuses immediately ([`Busy]
+    when the queue is at capacity, [`Closed] once shutdown has begun) —
+    the handler turns a refusal into 429/503 without blocking, which is
+    the server's backpressure. Workers block in [take]; after {!close},
+    [take] drains what was already admitted and then returns [None], so
+    a graceful shutdown finishes every in-flight request.
+
+    Telemetry: a [queue.depth] gauge on every transition and a
+    [queue.wait] timer per admitted item measuring time spent queued. *)
+
+type 'a t
+
+val create : ?telemetry:Telemetry.t -> capacity:int -> unit -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val submit : 'a t -> 'a -> [ `Admitted | `Busy | `Closed ]
+
+val take : 'a t -> 'a option
+(** Block until an item is available ([Some]) or the queue is closed
+    and drained ([None]). *)
+
+val close : 'a t -> unit
+(** Refuse new submissions; wake blocked takers as the queue drains.
+    Idempotent. *)
+
+val depth : 'a t -> int
+(** Items currently queued (admitted, not yet taken). *)
+
+val capacity : 'a t -> int

@@ -1,0 +1,118 @@
+open Relational
+
+type key = Fingerprint.t * Fingerprint.t
+
+module Tbl = Hashtbl.Make (struct
+  type t = key
+
+  let equal (sa, ta) (sb, tb) =
+    Fingerprint.equal sa sb && Fingerprint.equal ta tb
+
+  let hash (s, t) = (Fingerprint.hash s * 31) + Fingerprint.hash t
+end)
+
+(* Intrusive doubly-linked LRU list over the table's nodes: [head] is
+   most recent, [tail] least. The sentinel-free variant keeps the node
+   type simple; all pointer surgery happens under [mu]. *)
+type ('a, 'b) node = {
+  nkey : 'a;
+  mutable value : 'b;
+  mutable prev : ('a, 'b) node option;  (** towards head (more recent) *)
+  mutable next : ('a, 'b) node option;  (** towards tail (less recent) *)
+}
+
+type 'a t = {
+  tbl : (key, 'a) node Tbl.t;
+  cap : int;
+  telemetry : Telemetry.t;
+  mu : Mutex.t;
+  mutable head : (key, 'a) node option;
+  mutable tail : (key, 'a) node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(telemetry = Telemetry.disabled) ~capacity () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    tbl = Tbl.create (2 * capacity);
+    cap = capacity;
+    telemetry;
+    mu = Mutex.create ();
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some nx -> nx.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t ?(valid = fun _ -> true) key =
+  locked t @@ fun () ->
+  match Tbl.find_opt t.tbl key with
+  | Some node when valid node.value ->
+      unlink t node;
+      push_front t node;
+      t.hits <- t.hits + 1;
+      Telemetry.count t.telemetry "cache.hit" 1;
+      Some node.value
+  | Some _ | None ->
+      t.misses <- t.misses + 1;
+      Telemetry.count t.telemetry "cache.miss" 1;
+      None
+
+let add t key value =
+  locked t @@ fun () ->
+  (match Tbl.find_opt t.tbl key with
+  | Some node ->
+      node.value <- value;
+      unlink t node;
+      push_front t node
+  | None ->
+      let node = { nkey = key; value; prev = None; next = None } in
+      Tbl.replace t.tbl key node;
+      push_front t node;
+      if Tbl.length t.tbl > t.cap then begin
+        match t.tail with
+        | Some lru ->
+            unlink t lru;
+            Tbl.remove t.tbl lru.nkey;
+            t.evictions <- t.evictions + 1;
+            Telemetry.count t.telemetry "cache.evict" 1
+        | None -> assert false
+      end)
+
+let length t = locked t @@ fun () -> Tbl.length t.tbl
+let capacity t = t.cap
+let hits t = locked t @@ fun () -> t.hits
+let misses t = locked t @@ fun () -> t.misses
+let evictions t = locked t @@ fun () -> t.evictions
+
+let keys_lru_first t =
+  locked t @@ fun () ->
+  let rec walk acc = function
+    | None -> acc
+    | Some node -> walk (node.nkey :: acc) node.next
+  in
+  (* walking head→tail builds tail-first, i.e. LRU first *)
+  walk [] t.head

@@ -1,0 +1,46 @@
+(** Fingerprint-keyed LRU mapping cache.
+
+    The server's memory across requests: discovered mappings keyed by
+    the [(source, target)] pair of {!Relational.Fingerprint}s of the
+    critical instances. Fingerprints are order-independent and
+    collision-resistant (see [lib/relational/fingerprint.mli]), so a
+    re-submitted instance pair — same rows, any order, any CSV
+    formatting — hits, while perturbing a single cell misses.
+
+    Exact LRU: [find] promotes, [add] evicts the least-recently-used
+    entry when over capacity. All operations are thread-safe (the
+    daemon's handler threads share one cache) and O(1) modulo hashing.
+
+    Telemetry: [cache.hit] / [cache.miss] / [cache.evict] counters are
+    emitted inside the same critical section that updates the hit and
+    miss totals, so the counters below always reconcile exactly with an
+    aggregated trace. *)
+
+open Relational
+
+type key = Fingerprint.t * Fingerprint.t  (** (source, target) *)
+
+type 'a t
+
+val create : ?telemetry:Telemetry.t -> capacity:int -> unit -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val find : 'a t -> ?valid:('a -> bool) -> key -> 'a option
+(** Look up and promote to most-recently-used. An entry present but
+    rejected by [valid] (default: accept) counts — and is reported — as
+    a miss and is not promoted; the server uses this to serve only
+    cache entries whose goal mode matches the request's. *)
+
+val add : 'a t -> key -> 'a -> unit
+(** Insert or replace as most-recently-used; evicts the LRU entry when
+    the cache would exceed capacity. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int
+
+val keys_lru_first : 'a t -> key list
+(** Current keys, least-recently-used first (for tests). *)

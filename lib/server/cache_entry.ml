@@ -1,0 +1,14 @@
+(** What the daemon remembers per critical-instance pair: the
+    discovered mapping in both renderings plus the provenance echoed in
+    cache-hit responses. *)
+
+type t = {
+  mapping : string;  (** [Fira.Expr.to_string] rendering *)
+  expr : string;  (** replayable [Fira.Parser] file form *)
+  operators : int;
+  algorithm : string;  (** e.g. ["RBFS"] — whoever found it first *)
+  heuristic : string;
+  goal : Tupelo.Goal.mode;
+      (** hits are only served to requests with the same goal mode *)
+  states_examined : int;  (** of the original discovery *)
+}

@@ -1,0 +1,64 @@
+type conn = { fd : Unix.file_descr; reader : Http.Reader.t }
+
+let connect ~host ~port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; reader = Http.Reader.of_fd fd }
+
+let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write_substring fd s off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let request conn ~meth ~path ?(body = "") () =
+  match
+    let buf = Buffer.create (256 + String.length body) in
+    Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" meth path);
+    Buffer.add_string buf "host: tupelo\r\n";
+    if body <> "" || meth = "POST" then begin
+      Buffer.add_string buf "content-type: application/json\r\n";
+      Buffer.add_string buf
+        (Printf.sprintf "content-length: %d\r\n" (String.length body))
+    end;
+    Buffer.add_string buf "\r\n";
+    Buffer.add_string buf body;
+    write_all conn.fd (Buffer.contents buf);
+    Http.read_response conn.reader
+  with
+  | status, _headers, resp_body -> Ok (status, resp_body)
+  | exception Http.Bad_request m -> Error ("malformed response: " ^ m)
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
+let once ~host ~port ~meth ~path ?body () =
+  match connect ~host ~port with
+  | conn ->
+      Fun.protect
+        ~finally:(fun () -> close conn)
+        (fun () -> request conn ~meth ~path ?body ())
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
+let discover conn req =
+  let body = Json.to_string (Protocol.encode_request req) in
+  match request conn ~meth:"POST" ~path:"/discover" ~body () with
+  | Error _ as e -> e
+  | Ok (200, body) ->
+      let payload =
+        match Json.parse body with
+        | Error m -> Error m
+        | Ok json -> Protocol.decode_response json
+      in
+      Ok (200, payload)
+  | Ok (status, body) -> Ok (status, Error body)

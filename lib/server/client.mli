@@ -1,0 +1,40 @@
+(** Minimal blocking HTTP client for the mapping server.
+
+    Used by [tupelo request], the end-to-end tests and the bench
+    harness — no external HTTP dependency, same {!Http} framing as the
+    daemon. *)
+
+type conn
+(** A persistent (keep-alive) connection. *)
+
+val connect : host:string -> port:int -> conn
+(** @raise Unix.Unix_error when the server is unreachable. *)
+
+val close : conn -> unit
+
+val request :
+  conn ->
+  meth:string ->
+  path:string ->
+  ?body:string ->
+  unit ->
+  (int * string, string) result
+(** One round trip on the connection: [(status, body)], or [Error] on a
+    transport/framing failure (after which the connection should be
+    closed). *)
+
+val once :
+  host:string ->
+  port:int ->
+  meth:string ->
+  path:string ->
+  ?body:string ->
+  unit ->
+  (int * string, string) result
+(** Connect, one request, close. *)
+
+val discover :
+  conn -> Protocol.discover_request ->
+  (int * (Protocol.discover_response, string) result, string) result
+(** POST the request to [/discover]; on HTTP 200 the payload is the
+    decoded response, otherwise the server's error body as [Error]. *)

@@ -1,0 +1,627 @@
+open Relational
+
+type config = {
+  host : string;
+  port : int;
+  queue_capacity : int;
+  workers : int;
+  jobs : int;
+  budget : int;
+  timeout_ms : int;
+  max_payload : int;
+  cache_capacity : int;
+  search_telemetry : bool;
+  trace_sink : Telemetry.Sink.t option;
+}
+
+let config ?(host = "127.0.0.1") ?(port = 8080) ?(queue_capacity = 64)
+    ?(workers = 2) ?(jobs = 1) ?(budget = 1_000_000) ?(timeout_ms = 30_000)
+    ?(max_payload = 8 * 1024 * 1024) ?(cache_capacity = 256)
+    ?(search_telemetry = true) ?trace_sink () =
+  let positive what v =
+    if v < 1 then
+      invalid_arg (Printf.sprintf "Daemon.config: %s must be >= 1" what)
+  in
+  positive "queue_capacity" queue_capacity;
+  positive "workers" workers;
+  positive "jobs" jobs;
+  positive "budget" budget;
+  positive "timeout_ms" timeout_ms;
+  positive "max_payload" max_payload;
+  positive "cache_capacity" cache_capacity;
+  if port < 0 || port > 65535 then
+    invalid_arg "Daemon.config: port must be in [0, 65535]";
+  {
+    host;
+    port;
+    queue_capacity;
+    workers;
+    jobs;
+    budget;
+    timeout_ms;
+    max_payload;
+    cache_capacity;
+    search_telemetry;
+    trace_sink;
+  }
+
+(* --- event names (the /stats contract; see stats_json) --- *)
+
+module Ev = struct
+  let req_discover = "server.request.discover"
+  let req_healthz = "server.request.healthz"
+  let req_stats = "server.request.stats"
+  let req_unknown = "server.request.unknown"
+  let reject_bad = "server.reject.bad_request"
+  let reject_payload = "server.reject.payload"
+  let reject_busy = "server.reject.busy"
+  let reject_shutdown = "server.reject.shutdown"
+  let resp outcome = "server.response." ^ outcome
+  let states = "server.states_examined"
+  let span = "server.request"
+end
+
+(* --- a fully validated request, ready for a worker --- *)
+
+type prepared = {
+  p_source : Database.t;
+  p_target : Database.t;
+  p_registry : Fira.Semfun.registry;
+  p_algorithm : Tupelo.Discover.algorithm;
+  p_heuristic : Heuristics.Heuristic.t;
+  p_goal : Tupelo.Goal.mode;
+  p_budget : int;
+  p_jobs : int;
+  p_timeout_ms : int;
+  p_key : Cache.key;
+}
+
+exception Prep of string
+
+let prep_error fmt = Format.kasprintf (fun m -> raise (Prep m)) fmt
+
+let prepare cfg (r : Protocol.discover_request) =
+  match
+    let load what rels =
+      List.fold_left
+        (fun db (name, csv) ->
+          let rel =
+            try Csv.parse_relation ~max_bytes:cfg.max_payload csv
+            with Csv.Error m -> prep_error "%s relation %S: %s" what name m
+          in
+          try Database.add db name rel
+          with Database.Error m -> prep_error "%s relation %S: %s" what name m)
+        Database.empty rels
+    in
+    let p_source = load "source" r.Protocol.source in
+    let p_target = load "target" r.Protocol.target in
+    let p_registry =
+      try Fira.Semfun.of_list (Fira.Semfun.decode_annotations r.Protocol.semfuns)
+      with Fira.Semfun.Error m -> prep_error "semfuns: %s" m
+    in
+    let p_algorithm =
+      match Tupelo.Discover.algorithm_of_string r.Protocol.algorithm with
+      | Some a -> a
+      | None -> prep_error "unknown algorithm %S" r.Protocol.algorithm
+    in
+    let scaling = Tupelo.Discover.scaling_for p_algorithm in
+    let p_heuristic =
+      match Heuristics.Heuristic.by_name scaling r.Protocol.heuristic with
+      | Some h -> h
+      | None -> prep_error "unknown heuristic %S" r.Protocol.heuristic
+    in
+    let p_goal =
+      match Tupelo.Goal.mode_of_string r.Protocol.goal with
+      | Some g -> g
+      | None -> prep_error "unknown goal mode %S" r.Protocol.goal
+    in
+    {
+      p_source;
+      p_target;
+      p_registry;
+      p_algorithm;
+      p_heuristic;
+      p_goal;
+      p_budget = min r.Protocol.budget cfg.budget;
+      p_jobs = (if r.Protocol.jobs = 0 then cfg.jobs else r.Protocol.jobs);
+      p_timeout_ms =
+        Option.value r.Protocol.timeout_ms ~default:cfg.timeout_ms;
+      p_key =
+        ( Fingerprint.of_database p_source,
+          Fingerprint.of_database p_target );
+    }
+  with
+  | p -> Ok p
+  | exception Prep m -> Error m
+
+(* --- jobs: a prepared request plus the cell the handler waits on --- *)
+
+type job = {
+  prep : prepared;
+  jm : Mutex.t;
+  jcv : Condition.t;
+  mutable jresp : Protocol.discover_response option;
+}
+
+let job_deliver job resp =
+  Mutex.lock job.jm;
+  job.jresp <- Some resp;
+  Condition.signal job.jcv;
+  Mutex.unlock job.jm
+
+let job_await job =
+  Mutex.lock job.jm;
+  while job.jresp = None do
+    Condition.wait job.jcv job.jm
+  done;
+  let r = Option.get job.jresp in
+  Mutex.unlock job.jm;
+  r
+
+(* --- server state --- *)
+
+type t = {
+  cfg : config;
+  tel : Telemetry.t;  (** external sink teed with [agg] *)
+  agg : Telemetry.Agg.t;
+  mapping_cache : Cache_entry.t Cache.t;
+  queue : (job * float) Admission.t;
+      (** jobs stamped with the handler-side start of processing *)
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  shutdown : bool Atomic.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  handlers : (int, Thread.t) Hashtbl.t;
+  conns_mu : Mutex.t;
+  next_conn : int Atomic.t;
+  started_at : float;
+  mutable accept_thread : Thread.t option;
+  mutable worker_threads : Thread.t list;
+  stop_mu : Mutex.t;
+  mutable stopped : bool;
+}
+
+let port t = t.bound_port
+let cache t = t.mapping_cache
+
+(* --- /stats: every counter below is read from the aggregate that sits
+   behind the same tee as the trace sink, so a summed trace reconciles
+   exactly with this snapshot (given a quiescent server). --- *)
+
+let stats_json t =
+  let c name = Json.Num (float_of_int (Telemetry.Agg.counter t.agg name)) in
+  Json.to_string
+    (Json.Obj
+       [
+         ("uptime_s", Json.Num (Unix.gettimeofday () -. t.started_at));
+         ( "queue",
+           Json.Obj
+             [
+               ("depth", Json.Num (float_of_int (Admission.depth t.queue)));
+               ( "capacity",
+                 Json.Num (float_of_int (Admission.capacity t.queue)) );
+             ] );
+         ( "requests",
+           Json.Obj
+             [
+               ("discover", c Ev.req_discover);
+               ("healthz", c Ev.req_healthz);
+               ("stats", c Ev.req_stats);
+               ("unknown", c Ev.req_unknown);
+             ] );
+         ( "rejected",
+           Json.Obj
+             [
+               ("bad_request", c Ev.reject_bad);
+               ("payload", c Ev.reject_payload);
+               ("busy", c Ev.reject_busy);
+               ("shutdown", c Ev.reject_shutdown);
+             ] );
+         ( "responses",
+           Json.Obj
+             [
+               ("mapping", c (Ev.resp "mapping"));
+               ("no_mapping", c (Ev.resp "no_mapping"));
+               ("gave_up", c (Ev.resp "gave_up"));
+               ("timeout", c (Ev.resp "timeout"));
+             ] );
+         ( "cache",
+           Json.Obj
+             [
+               ( "size",
+                 Json.Num (float_of_int (Cache.length t.mapping_cache)) );
+               ( "capacity",
+                 Json.Num (float_of_int (Cache.capacity t.mapping_cache)) );
+               ("hits", c "cache.hit");
+               ("misses", c "cache.miss");
+               ("evictions", c "cache.evict");
+             ] );
+         ("search", Json.Obj [ ("states_examined", c Ev.states) ]);
+       ])
+
+(* --- the discovery worker --- *)
+
+let response_of_entry (e : Cache_entry.t) ~elapsed_ms ~cache :
+    Protocol.discover_response =
+  {
+    Protocol.outcome = "mapping";
+    mapping = Some e.Cache_entry.mapping;
+    expr = Some e.Cache_entry.expr;
+    operators = e.Cache_entry.operators;
+    res_algorithm = e.Cache_entry.algorithm;
+    res_heuristic = e.Cache_entry.heuristic;
+    states_examined = e.Cache_entry.states_examined;
+    elapsed_ms;
+    cache;
+  }
+
+let execute t job started =
+  let p = job.prep in
+  let deadline =
+    Unix.gettimeofday () +. (float_of_int p.p_timeout_ms /. 1000.)
+  in
+  let timed_out = ref false in
+  let stop () =
+    Atomic.get t.shutdown
+    ||
+    if Unix.gettimeofday () > deadline then begin
+      timed_out := true;
+      true
+    end
+    else false
+  in
+  let search_tel =
+    if t.cfg.search_telemetry then t.tel else Telemetry.disabled
+  in
+  let dconfig =
+    Tupelo.Discover.config ~algorithm:p.p_algorithm ~heuristic:p.p_heuristic
+      ~goal:p.p_goal ~budget:p.p_budget ~jobs:p.p_jobs ~telemetry:search_tel
+      ()
+  in
+  let outcome =
+    Tupelo.Discover.discover ~registry:p.p_registry ~stop dconfig
+      ~source:p.p_source ~target:p.p_target
+  in
+  let elapsed_ms = (Unix.gettimeofday () -. started) *. 1000. in
+  let resp =
+    match outcome with
+    | Tupelo.Discover.Mapping m ->
+        let entry =
+          {
+            Cache_entry.mapping = Fira.Expr.to_string m.Tupelo.Mapping.expr;
+            expr = Fira.Parser.expr_to_file_string m.Tupelo.Mapping.expr;
+            operators = Tupelo.Mapping.length m;
+            algorithm = m.Tupelo.Mapping.algorithm;
+            heuristic = m.Tupelo.Mapping.heuristic;
+            goal = p.p_goal;
+            states_examined =
+              m.Tupelo.Mapping.stats.Search.Space.examined;
+          }
+        in
+        Cache.add t.mapping_cache p.p_key entry;
+        response_of_entry entry ~elapsed_ms ~cache:"miss"
+    | Tupelo.Discover.No_mapping stats | Tupelo.Discover.Gave_up stats ->
+        let outcome_name =
+          match outcome with
+          | Tupelo.Discover.No_mapping _ -> "no_mapping"
+          | _ -> if !timed_out then "timeout" else "gave_up"
+        in
+        {
+          Protocol.outcome = outcome_name;
+          mapping = None;
+          expr = None;
+          operators = 0;
+          res_algorithm =
+            Tupelo.Discover.algorithm_name p.p_algorithm;
+          res_heuristic = p.p_heuristic.Heuristics.Heuristic.name;
+          states_examined = stats.Search.Space.examined;
+          elapsed_ms;
+          cache = "miss";
+        }
+  in
+  Telemetry.count t.tel (Ev.resp resp.Protocol.outcome) 1;
+  Telemetry.count t.tel Ev.states resp.Protocol.states_examined;
+  resp
+
+let worker_loop t =
+  let rec go () =
+    match Admission.take t.queue with
+    | None -> ()
+    | Some (job, started) ->
+        (let resp =
+           try execute t job started
+           with exn ->
+             (* a worker must never die: report the failure as a
+                response so the handler (and its client) see it *)
+             {
+               Protocol.outcome = "gave_up";
+               mapping = None;
+               expr = None;
+               operators = 0;
+               res_algorithm = "error";
+               res_heuristic = Printexc.to_string exn;
+               states_examined = 0;
+               elapsed_ms = (Unix.gettimeofday () -. started) *. 1000.;
+               cache = "miss";
+             }
+         in
+         job_deliver job resp);
+        go ()
+  in
+  go ()
+
+(* --- connection handling --- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write_substring fd s off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let respond t fd ~keep_alive status body =
+  Http.write_response ~keep_alive (write_all fd) (Http.response status body);
+  Telemetry.flush t.tel
+
+let handle_discover t fd ~keep_alive (req : Http.request) =
+  let started = Unix.gettimeofday () in
+  Telemetry.count t.tel Ev.req_discover 1;
+  match Json.parse req.Http.body with
+  | Error m ->
+      Telemetry.count t.tel Ev.reject_bad 1;
+      respond t fd ~keep_alive 400 (Protocol.error_body m)
+  | Ok json -> (
+      match Protocol.decode_request json with
+      | Error m ->
+          Telemetry.count t.tel Ev.reject_bad 1;
+          respond t fd ~keep_alive 400 (Protocol.error_body m)
+      | Ok dreq -> (
+          match prepare t.cfg dreq with
+          | Error m ->
+              Telemetry.count t.tel Ev.reject_bad 1;
+              respond t fd ~keep_alive 400 (Protocol.error_body m)
+          | Ok prep -> (
+              let goal_matches e = e.Cache_entry.goal = prep.p_goal in
+              match
+                Cache.find t.mapping_cache ~valid:goal_matches prep.p_key
+              with
+              | Some entry ->
+                  let elapsed_ms =
+                    (Unix.gettimeofday () -. started) *. 1000.
+                  in
+                  Telemetry.count t.tel (Ev.resp "mapping") 1;
+                  respond t fd ~keep_alive 200
+                    (Json.to_string
+                       (Protocol.encode_response
+                          (response_of_entry entry ~elapsed_ms ~cache:"hit")))
+              | None -> (
+                  let job =
+                    {
+                      prep;
+                      jm = Mutex.create ();
+                      jcv = Condition.create ();
+                      jresp = None;
+                    }
+                  in
+                  match Admission.submit t.queue (job, started) with
+                  | `Busy ->
+                      Telemetry.count t.tel Ev.reject_busy 1;
+                      respond t fd ~keep_alive 429
+                        (Protocol.error_body "admission queue is full")
+                  | `Closed ->
+                      Telemetry.count t.tel Ev.reject_shutdown 1;
+                      respond t fd ~keep_alive:false 503
+                        (Protocol.error_body "server is shutting down")
+                  | `Admitted ->
+                      let resp = job_await job in
+                      respond t fd ~keep_alive 200
+                        (Json.to_string (Protocol.encode_response resp))))))
+
+let handle_request t fd ~keep_alive (req : Http.request) =
+  Telemetry.span t.tel Ev.span @@ fun () ->
+  match (req.Http.meth, req.Http.path) with
+  | "GET", "/healthz" ->
+      Telemetry.count t.tel Ev.req_healthz 1;
+      respond t fd ~keep_alive 200
+        (Json.to_string
+           (Json.Obj
+              [
+                ("status", Json.Str "ok");
+                ( "uptime_s",
+                  Json.Num (Unix.gettimeofday () -. t.started_at) );
+              ]))
+  | "GET", "/stats" ->
+      Telemetry.count t.tel Ev.req_stats 1;
+      respond t fd ~keep_alive 200 (stats_json t)
+  | "POST", "/discover" -> handle_discover t fd ~keep_alive req
+  | _, _ ->
+      Telemetry.count t.tel Ev.req_unknown 1;
+      respond t fd ~keep_alive 404 (Protocol.error_body "no such route")
+
+let connection_loop t fd =
+  let reader = Http.Reader.of_fd fd in
+  let rec go () =
+    match Http.read_request ~max_body:t.cfg.max_payload reader with
+    | None -> ()
+    | Some req ->
+        let keep_alive =
+          Http.keep_alive req && not (Atomic.get t.shutdown)
+        in
+        handle_request t fd ~keep_alive req;
+        if keep_alive then go ()
+  in
+  try go () with
+  | Http.Payload_too_large { limit; declared } ->
+      Telemetry.count t.tel Ev.reject_payload 1;
+      (try
+         respond t fd ~keep_alive:false 413
+           (Protocol.error_body
+              (Printf.sprintf
+                 "declared payload of %d bytes exceeds the %d-byte limit"
+                 declared limit))
+       with Unix.Unix_error _ -> ())
+  | Http.Bad_request m -> (
+      Telemetry.count t.tel Ev.reject_bad 1;
+      try respond t fd ~keep_alive:false 400 (Protocol.error_body m)
+      with Unix.Unix_error _ -> ())
+  | Unix.Unix_error _ -> ()
+
+let spawn_handler t fd =
+  let id = Atomic.fetch_and_add t.next_conn 1 in
+  Mutex.lock t.conns_mu;
+  Hashtbl.replace t.conns id fd;
+  Mutex.unlock t.conns_mu;
+  let thread =
+    Thread.create
+      (fun () ->
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            Mutex.lock t.conns_mu;
+            Hashtbl.remove t.conns id;
+            Hashtbl.remove t.handlers id;
+            Mutex.unlock t.conns_mu)
+          (fun () -> connection_loop t fd))
+      ()
+  in
+  Mutex.lock t.conns_mu;
+  if Hashtbl.mem t.conns id then Hashtbl.replace t.handlers id thread;
+  Mutex.unlock t.conns_mu
+
+let accept_loop t =
+  let rec go () =
+    if not (Atomic.get t.shutdown) then begin
+      match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | readable, _, _ ->
+          if Atomic.get t.shutdown || List.mem t.wake_r readable then ()
+          else if List.mem t.listen_fd readable then begin
+            (match Unix.accept ~cloexec:true t.listen_fd with
+            | fd, _ -> spawn_handler t fd
+            | exception
+                Unix.Unix_error
+                  ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN), _, _) ->
+                ());
+            go ()
+          end
+          else go ()
+    end
+  in
+  go ()
+
+(* --- lifecycle --- *)
+
+let start cfg =
+  if Sys.os_type = "Unix" then
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let agg = Telemetry.Agg.create () in
+  let tel =
+    (* one handle: external sink (trace) and internal aggregate see the
+       same event stream, which is what makes /stats ≡ trace *)
+    Telemetry.create
+      (match cfg.trace_sink with
+      | Some sink -> Telemetry.Sink.tee [ sink; Telemetry.Agg.sink agg ]
+      | None -> Telemetry.Agg.sink agg)
+  in
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let t =
+    try
+      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+      Unix.bind listen_fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+      Unix.listen listen_fd 128;
+      let bound_port =
+        match Unix.getsockname listen_fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> cfg.port
+      in
+      let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+      {
+        cfg;
+        tel;
+        agg;
+        mapping_cache =
+          Cache.create ~telemetry:tel ~capacity:cfg.cache_capacity ();
+        queue = Admission.create ~telemetry:tel ~capacity:cfg.queue_capacity ();
+        listen_fd;
+        bound_port;
+        shutdown = Atomic.make false;
+        wake_r;
+        wake_w;
+        conns = Hashtbl.create 32;
+        handlers = Hashtbl.create 32;
+        conns_mu = Mutex.create ();
+        next_conn = Atomic.make 0;
+        started_at = Unix.gettimeofday ();
+        accept_thread = None;
+        worker_threads = [];
+        stop_mu = Mutex.create ();
+        stopped = false;
+      }
+    with e ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  t.worker_threads <-
+    List.init cfg.workers (fun _ -> Thread.create (fun () -> worker_loop t) ());
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let request_stop t =
+  if not (Atomic.exchange t.shutdown true) then
+    try ignore (Unix.write_substring t.wake_w "x" 0 1)
+    with Unix.Unix_error _ -> ()
+
+let stop t =
+  request_stop t;
+  Mutex.lock t.stop_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.stop_mu)
+    (fun () ->
+      if not t.stopped then begin
+        t.stopped <- true;
+        (match t.accept_thread with
+        | Some th -> Thread.join th
+        | None -> ());
+        (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+        (* Half-close every connection: idle keep-alive handlers see end
+           of input and wind down; a request already read keeps its
+           (still writable) socket and gets its response. *)
+        Mutex.lock t.conns_mu;
+        let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [] in
+        let handler_threads =
+          Hashtbl.fold (fun _ th acc -> th :: acc) t.handlers []
+        in
+        Mutex.unlock t.conns_mu;
+        List.iter
+          (fun fd ->
+            try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+            with Unix.Unix_error _ -> ())
+          fds;
+        List.iter Thread.join handler_threads;
+        (* Every request that will ever be admitted has been; drain. *)
+        Admission.close t.queue;
+        List.iter Thread.join t.worker_threads;
+        (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+        (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+        Telemetry.flush t.tel
+      end)
+
+let run cfg =
+  let t = start cfg in
+  let handle = Sys.Signal_handle (fun _ -> request_stop t) in
+  let prev_term = Sys.signal Sys.sigterm handle in
+  let prev_int = Sys.signal Sys.sigint handle in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int)
+    (fun () ->
+      while not (Atomic.get t.shutdown) do
+        Thread.delay 0.2
+      done;
+      stop t)

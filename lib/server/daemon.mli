@@ -1,0 +1,86 @@
+(** The TUPELO mapping-discovery daemon.
+
+    A long-running HTTP/1.1 + JSON service (stdlib [Unix] + [Thread]
+    only) that amortizes discovery across requests:
+
+    - [POST /discover] — body {!Protocol.discover_request}: relations
+      inline as CSV. The handler parses and fingerprints the instances,
+      consults the {!Cache} (a hit answers without touching the search
+      engine or the queue), and otherwise submits the request to the
+      bounded {!Admission} queue — full queue means an immediate 429.
+      Discovery workers execute admitted requests on the existing
+      search engine ({!Tupelo.Discover} with the configured [jobs]
+      domains) under a per-request deadline enforced through the
+      cooperative [stop]/[Cancelled] path.
+    - [GET /healthz] — liveness.
+    - [GET /stats] — a JSON snapshot whose counters are read from the
+      same telemetry aggregate that backs the [--trace] sink, so the
+      numbers reconcile exactly with an aggregated trace.
+
+    Error mapping: malformed HTTP or JSON → 400, oversized payload →
+    413, full queue → 429, shutting down → 503, unknown route → 404.
+
+    Shutdown ({!stop}, or SIGTERM/SIGINT under {!run}) is graceful:
+    stop accepting, half-close idle connections, let every request
+    already read or queued finish, join workers, flush telemetry. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  queue_capacity : int;  (** admission bound; beyond it requests get 429 *)
+  workers : int;  (** discovery worker threads *)
+  jobs : int;  (** search domains per request (when the request says 0) *)
+  budget : int;  (** cap on any request's states-examined budget *)
+  timeout_ms : int;  (** default per-request deadline *)
+  max_payload : int;  (** request-body and per-relation CSV byte limit *)
+  cache_capacity : int;  (** LRU entries in the mapping cache *)
+  search_telemetry : bool;
+      (** when true (default) the full search-engine event stream of
+          every executed discovery flows to the sink; when false only
+          server-level events do (compact traces under load) *)
+  trace_sink : Telemetry.Sink.t option;
+      (** external sink, e.g. the [--trace] JSONL file; the daemon tees
+          an internal aggregate behind the same events for [/stats] *)
+}
+
+val config :
+  ?host:string ->
+  ?port:int ->
+  ?queue_capacity:int ->
+  ?workers:int ->
+  ?jobs:int ->
+  ?budget:int ->
+  ?timeout_ms:int ->
+  ?max_payload:int ->
+  ?cache_capacity:int ->
+  ?search_telemetry:bool ->
+  ?trace_sink:Telemetry.Sink.t ->
+  unit ->
+  config
+(** Defaults: 127.0.0.1:8080, queue 64, 2 workers, 1 job, one-million
+    state budget cap, 30s timeout, 8 MiB payloads, 256 cache entries,
+    search telemetry on, no external sink.
+    @raise Invalid_argument on non-positive capacities/workers/limits. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen and serve on background threads; returns once the
+    socket is accepting. @raise Unix.Unix_error if binding fails. *)
+
+val port : t -> int
+(** The bound port (useful with [port = 0]). *)
+
+val cache : t -> Cache_entry.t Cache.t
+(** The live mapping cache (read-mostly introspection for tests and
+    the bench harness). *)
+
+val stats_json : t -> string
+(** The [GET /stats] body. *)
+
+val stop : t -> unit
+(** Graceful shutdown as described above; idempotent, returns when all
+    threads are joined and telemetry is flushed. *)
+
+val run : config -> unit
+(** {!start}, then block until SIGTERM or SIGINT, then {!stop}. *)

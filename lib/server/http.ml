@@ -1,0 +1,272 @@
+exception Bad_request of string
+exception Payload_too_large of { limit : int; declared : int }
+
+let bad fmt = Format.kasprintf (fun m -> raise (Bad_request m)) fmt
+
+let max_header_block = 64 * 1024
+let default_max_body = 8 * 1024 * 1024
+
+module Reader = struct
+  (* A buffered puller. [buf.[lo..hi)] holds bytes read but not yet
+     consumed; [fill] pulls one more chunk, whatever size the source
+     felt like producing — the framing code below never assumes a line
+     or a body arrives in one [read]. *)
+  type t = {
+    read : bytes -> int -> int -> int;
+    mutable buf : Bytes.t;
+    mutable lo : int;
+    mutable hi : int;
+    mutable eof : bool;
+  }
+
+  let of_fn read =
+    { read; buf = Bytes.create 8192; lo = 0; hi = 0; eof = false }
+
+  let of_fd fd = of_fn (Unix.read fd)
+
+  let of_string s =
+    let pos = ref 0 in
+    of_fn (fun buf off len ->
+        let n = min len (String.length s - !pos) in
+        Bytes.blit_string s !pos buf off n;
+        pos := !pos + n;
+        n)
+
+  let fill t =
+    if t.eof then false
+    else begin
+      if t.lo = t.hi then begin
+        t.lo <- 0;
+        t.hi <- 0
+      end
+      else if t.hi = Bytes.length t.buf && t.lo > 0 then begin
+        Bytes.blit t.buf t.lo t.buf 0 (t.hi - t.lo);
+        t.hi <- t.hi - t.lo;
+        t.lo <- 0
+      end;
+      if t.hi = Bytes.length t.buf then begin
+        (* one unconsumed line fills the buffer: grow it, bounded by the
+           header-block limit (bodies never need this — [read_exact]
+           drains the buffer as it goes) *)
+        if Bytes.length t.buf > max_header_block then
+          bad "buffered line exceeds %d bytes" max_header_block;
+        let nbuf = Bytes.create (2 * Bytes.length t.buf) in
+        Bytes.blit t.buf 0 nbuf 0 t.hi;
+        t.buf <- nbuf
+      end;
+      let n = t.read t.buf t.hi (Bytes.length t.buf - t.hi) in
+      if n = 0 then begin
+        t.eof <- true;
+        false
+      end
+      else begin
+        t.hi <- t.hi + n;
+        true
+      end
+    end
+
+  (* One CRLF- (or bare-LF-) terminated line, without the terminator.
+     [None] on end of input before any byte. [fill] may move or replace
+     the underlying buffer, so the scan position is tracked relative to
+     [lo], which survives compaction. *)
+  let read_line ?(limit = max_header_block) t =
+    if t.lo = t.hi && not (fill t) then None
+    else begin
+      let rec find_nl scanned =
+        let rec scan i =
+          if i < t.hi && Bytes.get t.buf i <> '\n' then scan (i + 1) else i
+        in
+        let i = scan (t.lo + scanned) in
+        if i < t.hi then i
+        else if t.hi - t.lo > limit then
+          bad "header line exceeds %d bytes" limit
+        else begin
+          let scanned = t.hi - t.lo in
+          if fill t then find_nl scanned
+          else bad "truncated line (no newline before end of input)"
+        end
+      in
+      let nl = find_nl 0 in
+      let len = nl - t.lo in
+      let len =
+        if len > 0 && Bytes.get t.buf (nl - 1) = '\r' then len - 1 else len
+      in
+      let line = Bytes.sub_string t.buf t.lo len in
+      t.lo <- nl + 1;
+      Some line
+    end
+
+  let read_exact t n =
+    let out = Buffer.create n in
+    let rec go remaining =
+      if remaining = 0 then Buffer.contents out
+      else begin
+        if t.lo = t.hi && not (fill t) then
+          bad "truncated body: %d of %d bytes missing" remaining n;
+        let take = min remaining (t.hi - t.lo) in
+        Buffer.add_subbytes out t.buf t.lo take;
+        t.lo <- t.lo + take;
+        go (remaining - take)
+      end
+    in
+    go n
+end
+
+type request = {
+  meth : string;
+  path : string;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+let header req name =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name req.headers
+
+let token_mem needle haystack =
+  (* comma-separated, case-insensitive membership ("keep-alive, upgrade") *)
+  String.split_on_char ',' haystack
+  |> List.exists (fun t -> String.lowercase_ascii (String.trim t) = needle)
+
+let keep_alive req =
+  match header req "connection" with
+  | Some c when token_mem "close" c -> false
+  | Some c when token_mem "keep-alive" c -> true
+  | _ -> req.version <> "HTTP/1.0"
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; path; version ] ->
+      let ok_token s =
+        s <> ""
+        && String.for_all (fun c -> (c >= 'A' && c <= 'Z') || c = '-') s
+      in
+      if not (ok_token meth) then bad "malformed method in %S" line;
+      if path = "" || path.[0] <> '/' then bad "malformed path in %S" line;
+      if version <> "HTTP/1.1" && version <> "HTTP/1.0" then
+        bad "unsupported version %S" version;
+      (meth, path, version)
+  | _ -> bad "malformed request line %S" line
+
+let parse_header line =
+  match String.index_opt line ':' with
+  | None | Some 0 -> bad "malformed header %S" line
+  | Some i ->
+      let name = String.sub line 0 i in
+      if String.exists (fun c -> c = ' ' || c = '\t') name then
+        bad "malformed header name %S" name;
+      ( String.lowercase_ascii name,
+        String.trim
+          (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let read_headers reader =
+  let rec go acc budget =
+    match Reader.read_line reader with
+    | None -> bad "truncated headers (end of input before blank line)"
+    | Some "" -> List.rev acc
+    | Some line ->
+        let budget = budget - String.length line in
+        if budget < 0 then bad "header block exceeds %d bytes" max_header_block;
+        go (parse_header line :: acc) budget
+  in
+  go [] max_header_block
+
+let body_of reader headers ~max_body =
+  (match List.assoc_opt "transfer-encoding" headers with
+  | Some _ -> bad "chunked transfer encoding is not supported"
+  | None -> ());
+  match List.assoc_opt "content-length" headers with
+  | None -> ""
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | None -> bad "malformed content-length %S" v
+      | Some n when n < 0 -> bad "malformed content-length %S" v
+      | Some n when n > max_body ->
+          raise (Payload_too_large { limit = max_body; declared = n })
+      | Some n -> Reader.read_exact reader n)
+
+let read_request ?(max_body = default_max_body) reader =
+  (* RFC 9112 §2.2: tolerate a little CRLF noise before the request line *)
+  let rec go skips =
+    match Reader.read_line reader with
+    | None -> None
+    | Some "" ->
+        if skips > 0 then go (skips - 1) else bad "empty request line"
+    | Some line ->
+        let meth, path, version = parse_request_line line in
+        let headers = read_headers reader in
+        let body = body_of reader headers ~max_body in
+        Some { meth; path; version; headers; body }
+  in
+  go 2
+
+(* --- responses --- *)
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 411 -> "Length Required"
+  | 413 -> "Payload Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | c -> Printf.sprintf "Status %d" c
+
+let response ?(content_type = "application/json") ?(headers = []) status body
+    =
+  {
+    status;
+    reason = reason_phrase status;
+    resp_headers = ("content-type", content_type) :: headers;
+    resp_body = body;
+  }
+
+let write_response ?(keep_alive = true) write r =
+  let buf = Buffer.create (256 + String.length r.resp_body) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" r.status r.reason);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    r.resp_headers;
+  Buffer.add_string buf
+    (Printf.sprintf "content-length: %d\r\n" (String.length r.resp_body));
+  Buffer.add_string buf
+    (Printf.sprintf "connection: %s\r\n\r\n"
+       (if keep_alive then "keep-alive" else "close"));
+  Buffer.add_string buf r.resp_body;
+  write (Buffer.contents buf)
+
+let read_response reader =
+  match Reader.read_line reader with
+  | None -> bad "no response"
+  | Some line ->
+      let status =
+        match String.split_on_char ' ' line with
+        | version :: code :: _
+          when String.length version >= 5 && String.sub version 0 5 = "HTTP/"
+          -> (
+            match int_of_string_opt code with
+            | Some c -> c
+            | None -> bad "malformed status line %S" line)
+        | _ -> bad "malformed status line %S" line
+      in
+      let headers = read_headers reader in
+      let body =
+        match List.assoc_opt "content-length" headers with
+        | None -> ""
+        | Some v -> (
+            match int_of_string_opt (String.trim v) with
+            | Some n when n >= 0 -> Reader.read_exact reader n
+            | _ -> bad "malformed content-length %S" v)
+      in
+      (status, headers, body)

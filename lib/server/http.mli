@@ -1,0 +1,79 @@
+(** Minimal HTTP/1.1 framing for the mapping server.
+
+    Just enough of RFC 9112 for a JSON API behind a trusted proxy or on
+    localhost: request/status line, headers, [Content-Length] bodies and
+    keep-alive. No chunked transfer encoding (a request declaring it is
+    rejected with 411), no pipelining guarantees beyond
+    read-one/write-one per round trip.
+
+    Reading is factored over a pull function so the parser can be
+    driven byte-by-byte in tests: bodies and header blocks split across
+    arbitrarily many [read] calls are reassembled, and truncation at
+    any point is a clean {!Bad_request}, never a hang or a partial
+    value. *)
+
+exception Bad_request of string
+(** Malformed or truncated input; the connection should answer 400 (if
+    it still can) and close. *)
+
+exception Payload_too_large of { limit : int; declared : int }
+(** The declared [Content-Length] exceeds the reader's limit; answer
+    413 and close {e without} reading the body. *)
+
+module Reader : sig
+  type t
+
+  val of_fn : (bytes -> int -> int -> int) -> t
+  (** [of_fn read] pulls bytes with [read buf pos len] (returning 0 at
+      end of input) — [Unix.read] partially applied, or a scripted
+      function in tests. *)
+
+  val of_fd : Unix.file_descr -> t
+  val of_string : string -> t
+end
+
+type request = {
+  meth : string;  (** verbatim, e.g. ["GET"] *)
+  path : string;  (** request-target, e.g. ["/discover"] *)
+  version : string;  (** ["HTTP/1.1"] *)
+  headers : (string * string) list;
+      (** names lowercased, values trimmed, in arrival order *)
+  body : string;
+}
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup (first match). *)
+
+val keep_alive : request -> bool
+(** HTTP/1.1 defaults to persistent; [Connection: close] (or HTTP/1.0
+    without [Connection: keep-alive]) turns it off. *)
+
+val read_request : ?max_body:int -> Reader.t -> request option
+(** Read one request. [None] on a clean end of input before any byte of
+    a request (the idle keep-alive close). [max_body] (default 8 MiB)
+    bounds the declared [Content-Length].
+    @raise Bad_request on a malformed request line or header, a header
+    block over 64 KiB, a chunked request, or input that ends mid-way.
+    @raise Payload_too_large when [Content-Length] exceeds [max_body]. *)
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+val response :
+  ?content_type:string -> ?headers:(string * string) list -> int -> string ->
+  response
+(** [response status body], defaulting to [application/json]. *)
+
+val reason_phrase : int -> string
+
+val write_response : ?keep_alive:bool -> (string -> unit) -> response -> unit
+(** Serialize status line, headers ([Content-Length] and [Connection]
+    added automatically), blank line and body to [write]. *)
+
+val read_response : Reader.t -> (int * (string * string) list * string)
+(** Client side: read one [(status, headers, body)].
+    @raise Bad_request on malformed or truncated input. *)

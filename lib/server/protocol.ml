@@ -1,0 +1,223 @@
+type discover_request = {
+  source : (string * string) list;
+  target : (string * string) list;
+  algorithm : string;
+  heuristic : string;
+  goal : string;
+  budget : int;
+  jobs : int;
+  timeout_ms : int option;
+  semfuns : string list;
+}
+
+let request ?(algorithm = "rbfs") ?(heuristic = "cosine")
+    ?(goal = "superset") ?(budget = 1_000_000) ?(jobs = 0) ?timeout_ms
+    ?(semfuns = []) ~source ~target () =
+  {
+    source;
+    target;
+    algorithm;
+    heuristic;
+    goal;
+    budget;
+    jobs;
+    timeout_ms;
+    semfuns;
+  }
+
+type discover_response = {
+  outcome : string;
+  mapping : string option;
+  expr : string option;
+  operators : int;
+  res_algorithm : string;
+  res_heuristic : string;
+  states_examined : int;
+  elapsed_ms : float;
+  cache : string;
+}
+
+(* --- encoding --- *)
+
+let relations rels = Json.Obj (List.map (fun (n, csv) -> (n, Json.Str csv)) rels)
+
+let encode_request r =
+  Json.Obj
+    ([
+       ("source", relations r.source);
+       ("target", relations r.target);
+       ("algorithm", Json.Str r.algorithm);
+       ("heuristic", Json.Str r.heuristic);
+       ("goal", Json.Str r.goal);
+       ("budget", Json.Num (float_of_int r.budget));
+       ("jobs", Json.Num (float_of_int r.jobs));
+     ]
+    @ (match r.timeout_ms with
+      | Some ms -> [ ("timeout_ms", Json.Num (float_of_int ms)) ]
+      | None -> [])
+    @
+    match r.semfuns with
+    | [] -> []
+    | fs -> [ ("semfuns", Json.Arr (List.map (fun f -> Json.Str f) fs)) ])
+
+let encode_response r =
+  Json.Obj
+    ([ ("outcome", Json.Str r.outcome) ]
+    @ (match r.mapping with
+      | Some m -> [ ("mapping", Json.Str m) ]
+      | None -> [])
+    @ (match r.expr with Some e -> [ ("expr", Json.Str e) ] | None -> [])
+    @ [
+        ("operators", Json.Num (float_of_int r.operators));
+        ("algorithm", Json.Str r.res_algorithm);
+        ("heuristic", Json.Str r.res_heuristic);
+        ("states_examined", Json.Num (float_of_int r.states_examined));
+        ("elapsed_ms", Json.Num r.elapsed_ms);
+        ("cache", Json.Str r.cache);
+      ])
+
+(* --- decoding --- *)
+
+let ( let* ) = Result.bind
+
+let field_str ~default json name =
+  match Json.member name json with
+  | None -> Ok default
+  | Some v -> (
+      match Json.to_str v with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "field %S must be a string" name))
+
+let field_int ~default json name =
+  match Json.member name json with
+  | None -> Ok default
+  | Some v -> (
+      match Json.to_int v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %S must be an integer" name))
+
+let field_relations json name =
+  match Json.member name json with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match Json.to_obj v with
+      | None ->
+          Error
+            (Printf.sprintf
+               "field %S must be an object of {relation: csv-text}" name)
+      | Some [] -> Error (Printf.sprintf "field %S must be non-empty" name)
+      | Some fields ->
+          List.fold_left
+            (fun acc (rel, csv) ->
+              let* acc = acc in
+              match Json.to_str csv with
+              | Some csv -> Ok ((rel, csv) :: acc)
+              | None ->
+                  Error
+                    (Printf.sprintf "relation %S in %S must be CSV text" rel
+                       name))
+            (Ok []) fields
+          |> Result.map List.rev)
+
+let decode_request json =
+  match json with
+  | Json.Obj _ ->
+      let* source = field_relations json "source" in
+      let* target = field_relations json "target" in
+      let* algorithm = field_str ~default:"rbfs" json "algorithm" in
+      let* heuristic = field_str ~default:"cosine" json "heuristic" in
+      let* goal = field_str ~default:"superset" json "goal" in
+      let* budget = field_int ~default:1_000_000 json "budget" in
+      let* jobs = field_int ~default:0 json "jobs" in
+      let* timeout_ms =
+        match Json.member "timeout_ms" json with
+        | None -> Ok None
+        | Some v -> (
+            match Json.to_int v with
+            | Some ms -> Ok (Some ms)
+            | None -> Error "field \"timeout_ms\" must be an integer")
+      in
+      let* semfuns =
+        match Json.member "semfuns" json with
+        | None -> Ok []
+        | Some v -> (
+            match Json.to_arr v with
+            | None -> Error "field \"semfuns\" must be an array of strings"
+            | Some items ->
+                List.fold_left
+                  (fun acc item ->
+                    let* acc = acc in
+                    match Json.to_str item with
+                    | Some s -> Ok (s :: acc)
+                    | None ->
+                        Error "field \"semfuns\" must be an array of strings")
+                  (Ok []) items
+                |> Result.map List.rev)
+      in
+      if budget <= 0 then Error "field \"budget\" must be positive"
+      else if jobs < 0 then Error "field \"jobs\" must be >= 0"
+      else
+        Ok
+          {
+            source;
+            target;
+            algorithm;
+            heuristic;
+            goal;
+            budget;
+            jobs;
+            timeout_ms;
+            semfuns;
+          }
+  | _ -> Error "request body must be a JSON object"
+
+let decode_response json =
+  match json with
+  | Json.Obj _ ->
+      let req name =
+        match Json.member name json with
+        | Some v -> (
+            match Json.to_str v with
+            | Some s -> Ok s
+            | None -> Error (Printf.sprintf "field %S must be a string" name))
+        | None -> Error (Printf.sprintf "missing field %S" name)
+      in
+      let opt name =
+        match Json.member name json with
+        | None -> Ok None
+        | Some v -> (
+            match Json.to_str v with
+            | Some s -> Ok (Some s)
+            | None -> Error (Printf.sprintf "field %S must be a string" name))
+      in
+      let* outcome = req "outcome" in
+      let* mapping = opt "mapping" in
+      let* expr = opt "expr" in
+      let* operators = field_int ~default:0 json "operators" in
+      let* res_algorithm = req "algorithm" in
+      let* res_heuristic = req "heuristic" in
+      let* states_examined = field_int ~default:0 json "states_examined" in
+      let* elapsed_ms =
+        match Json.member "elapsed_ms" json with
+        | Some v -> (
+            match Json.to_num v with
+            | Some f -> Ok f
+            | None -> Error "field \"elapsed_ms\" must be a number")
+        | None -> Error "missing field \"elapsed_ms\""
+      in
+      let* cache = req "cache" in
+      Ok
+        {
+          outcome;
+          mapping;
+          expr;
+          operators;
+          res_algorithm;
+          res_heuristic;
+          states_examined;
+          elapsed_ms;
+          cache;
+        }
+  | _ -> Error "response body must be a JSON object"
+
+let error_body msg = Json.to_string (Json.Obj [ ("error", Json.Str msg) ])

@@ -1,0 +1,60 @@
+(** The mapping server's JSON request/response codec.
+
+    [POST /discover] carries a {!discover_request}: the source and
+    target critical instances inline as CSV text (one document per
+    relation, exactly the files the CLI would read), plus the search
+    knobs the CLI exposes. The response is a {!discover_response}.
+    Both directions round-trip: [decode (encode r) = Ok r]
+    (property-tested), so clients can rely on the schema. *)
+
+type discover_request = {
+  source : (string * string) list;  (** relation name → CSV document *)
+  target : (string * string) list;
+  algorithm : string;  (** as accepted by [Discover.algorithm_of_string] *)
+  heuristic : string;
+  goal : string;
+  budget : int;
+  jobs : int;  (** domains for this request's search; 0 = server default *)
+  timeout_ms : int option;  (** per-request deadline; [None] = server default *)
+  semfuns : string list;  (** TNF annotation strings *)
+}
+
+val request :
+  ?algorithm:string ->
+  ?heuristic:string ->
+  ?goal:string ->
+  ?budget:int ->
+  ?jobs:int ->
+  ?timeout_ms:int ->
+  ?semfuns:string list ->
+  source:(string * string) list ->
+  target:(string * string) list ->
+  unit ->
+  discover_request
+(** Defaults: rbfs / cosine / superset, a one-million-state budget,
+    [jobs = 0] (server default), no timeout override, no semfuns. *)
+
+type discover_response = {
+  outcome : string;
+      (** ["mapping"], ["no_mapping"], ["gave_up"] or ["timeout"] *)
+  mapping : string option;  (** human-readable ℒ expression, on success *)
+  expr : string option;
+      (** replayable [Fira.Parser] file form, on success *)
+  operators : int;  (** mapping length; 0 unless a mapping was found *)
+  res_algorithm : string;  (** algorithm that found it, e.g. ["RBFS"] *)
+  res_heuristic : string;
+  states_examined : int;
+  elapsed_ms : float;  (** server-side processing time for this request *)
+  cache : string;  (** ["hit"] or ["miss"] *)
+}
+
+val encode_request : discover_request -> Json.t
+val decode_request : Json.t -> (discover_request, string) result
+(** Missing optional fields take the {!request} defaults; a missing or
+    empty [source]/[target], or any ill-typed field, is an [Error]. *)
+
+val encode_response : discover_response -> Json.t
+val decode_response : Json.t -> (discover_response, string) result
+
+val error_body : string -> string
+(** [{"error": msg}] — the body of every non-200 response. *)

@@ -300,6 +300,9 @@ let span t name f =
       in
       Fun.protect ~finally:finish f
 
+let timer t name ~elapsed_s =
+  match t with Off -> () | On l -> emit l (Event.Timer { name; elapsed_s })
+
 let timed t name f =
   match t with
   | Off -> f ()

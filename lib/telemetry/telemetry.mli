@@ -167,4 +167,9 @@ val timed : t -> string -> (unit -> 'a) -> 'a
 (** Like {!span} but emits a single [Timer] event on completion — the
     cheap form for hot sections aggregated rather than traced. *)
 
+val timer : t -> string -> elapsed_s:float -> unit
+(** Emit a [Timer] with an externally measured duration — for intervals
+    that start and end on different threads (e.g. the mapping server's
+    queue wait, clocked from submission to dequeue). *)
+
 val flush : t -> unit

@@ -133,8 +133,8 @@ let sum_stats ~iterations ~elapsed_s results =
 let proposed_event op = "moves.proposed." ^ Fira.Op.kind_name op
 let applied_event op = "moves.applied." ^ Fira.Op.kind_name op
 
-let discover_run ?(registry = Fira.Semfun.empty_registry) config ~source
-    ~target =
+let discover_run ?(registry = Fira.Semfun.empty_registry)
+    ?(stop = Search.Space.never_stop) config ~source ~target =
   Log.debug (fun m ->
       m "discover: %s/%s goal=%s budget=%d jobs=%d source=%d rels target=%d rels"
         (algorithm_name config.algorithm)
@@ -190,8 +190,7 @@ let discover_run ?(registry = Fira.Semfun.empty_registry) config ~source
                   (State.profile state)))
     end
   in
-  let run_algorithm ?(stop = Search.Space.never_stop) ?pool ~telemetry:tel alg
-      heuristic root =
+  let run_algorithm ?(stop = stop) ?pool ~telemetry:tel alg heuristic root =
     let estimate = estimate_for tel heuristic in
     match alg with
     | Ida ->
@@ -288,7 +287,7 @@ let discover_run ?(registry = Fira.Semfun.empty_registry) config ~source
           (portfolio_entrants ())
       in
       let race =
-        Search.Portfolio.race ~telemetry ~domains:config.jobs
+        Search.Portfolio.race ~telemetry ~domains:config.jobs ~stop
           ~won:Search.Space.found entrants
       in
       let completed = List.map snd race.Search.Portfolio.results in
@@ -331,15 +330,15 @@ let discover_run ?(registry = Fira.Semfun.empty_registry) config ~source
       in
       finish ~name:(algorithm_name alg) result
 
-let discover ?registry config ~source ~target =
+let discover ?registry ?stop config ~source ~target =
   let outcome =
     Telemetry.span config.telemetry "discover" (fun () ->
-        discover_run ?registry config ~source ~target)
+        discover_run ?registry ?stop config ~source ~target)
   in
   Telemetry.flush config.telemetry;
   outcome
 
-let discover_mapping ?registry config ~source ~target =
-  match discover ?registry config ~source ~target with
+let discover_mapping ?registry ?stop config ~source ~target =
+  match discover ?registry ?stop config ~source ~target with
   | Mapping m -> Some m
   | No_mapping _ | Gave_up _ -> None

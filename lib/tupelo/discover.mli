@@ -82,13 +82,21 @@ type outcome =
 
 val discover :
   ?registry:Fira.Semfun.registry ->
+  ?stop:(unit -> bool) ->
   config ->
   source:Database.t ->
   target:Database.t ->
   outcome
+(** [stop] (default: never) is an external cancellation signal polled
+    cooperatively by the running algorithm — a per-request deadline or
+    server shutdown, say. When it fires, the run winds down through the
+    algorithms' [Cancelled] path (under {!Portfolio} the whole race is
+    cancelled, see {!Search.Portfolio.race}) and [discover] reports
+    {!Gave_up} with honest partial stats. *)
 
 val discover_mapping :
   ?registry:Fira.Semfun.registry ->
+  ?stop:(unit -> bool) ->
   config ->
   source:Database.t ->
   target:Database.t ->

@@ -22,5 +22,7 @@ let () =
       ("heuristics", Test_heuristics.suite);
       ("tupelo", Test_tupelo.suite);
       ("workloads", Test_workloads.suite);
+      ("server", Test_server.suite);
+      ("server.cache", Test_server_cache.suite);
       ("properties", Test_props.suite);
     ]

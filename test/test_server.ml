@@ -1,0 +1,578 @@
+(* The mapping server: wire-protocol framing (malformed lines,
+   truncated bodies, byte-at-a-time delivery, payload limits), the JSON
+   and protocol codecs (property-tested round trips), and end-to-end
+   behaviour of a live daemon — keep-alive concurrency, cache hits,
+   backpressure, deadlines and graceful drain. *)
+
+open Server
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- HTTP framing --- *)
+
+let read_str ?max_body s = Http.read_request ?max_body (Http.Reader.of_string s)
+
+let expect_bad_request what input =
+  match read_str input with
+  | exception Http.Bad_request _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected Bad_request, got %s" what
+        (Printexc.to_string e)
+  | _ -> Alcotest.failf "%s: malformed input parsed" what
+
+let test_parses_simple_request () =
+  let req =
+    read_str "POST /discover HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody"
+  in
+  match req with
+  | None -> Alcotest.fail "expected a request"
+  | Some r ->
+      Alcotest.(check string) "method" "POST" r.Http.meth;
+      Alcotest.(check string) "path" "/discover" r.Http.path;
+      Alcotest.(check string) "body" "body" r.Http.body;
+      Alcotest.(check (option string))
+        "headers are lowercased" (Some "x") (Http.header r "HOST");
+      Alcotest.(check bool) "1.1 defaults to keep-alive" true
+        (Http.keep_alive r)
+
+let test_idle_close_is_none () =
+  Alcotest.(check bool) "clean EOF before any byte" true (read_str "" = None)
+
+let test_malformed_request_lines () =
+  expect_bad_request "two tokens" "GET /x\r\n\r\n";
+  expect_bad_request "lowercase method" "get /x HTTP/1.1\r\n\r\n";
+  expect_bad_request "relative path" "GET x HTTP/1.1\r\n\r\n";
+  expect_bad_request "unknown version" "GET /x HTTP/2.0\r\n\r\n";
+  expect_bad_request "header without colon"
+    "GET /x HTTP/1.1\r\nnot-a-header\r\n\r\n";
+  expect_bad_request "space in header name"
+    "GET /x HTTP/1.1\r\nbad name: v\r\n\r\n";
+  expect_bad_request "chunked rejected"
+    "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+  expect_bad_request "negative content-length"
+    "POST /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n";
+  expect_bad_request "persistent blank-line noise" "\r\n\r\n\r\n\r\n"
+
+let test_truncated_input () =
+  expect_bad_request "line without newline" "GET /x HT";
+  expect_bad_request "headers without blank line" "GET /x HTTP/1.1\r\nHost: x\r\n";
+  expect_bad_request "body shorter than declared"
+    "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nfour"
+
+let test_body_split_across_reads () =
+  (* Deliver the request one byte per [read] call: the framing layer
+     must reassemble the header block and the body identically to a
+     single-buffer delivery. *)
+  let raw =
+    "POST /discover HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world"
+  in
+  let pos = ref 0 in
+  let one_byte buf off len =
+    if !pos >= String.length raw || len = 0 then 0
+    else begin
+      Bytes.set buf off raw.[!pos];
+      incr pos;
+      1
+    end
+  in
+  match Http.read_request (Http.Reader.of_fn one_byte) with
+  | None -> Alcotest.fail "expected a request"
+  | Some r -> Alcotest.(check string) "body reassembled" "hello world" r.Http.body
+
+let test_truncated_body_split_across_reads () =
+  let raw = "POST /x HTTP/1.1\r\nContent-Length: 32\r\n\r\nonly this much" in
+  let pos = ref 0 in
+  let one_byte buf off len =
+    if !pos >= String.length raw || len = 0 then 0
+    else begin
+      Bytes.set buf off raw.[!pos];
+      incr pos;
+      1
+    end
+  in
+  match Http.read_request (Http.Reader.of_fn one_byte) with
+  | exception Http.Bad_request _ -> ()
+  | _ -> Alcotest.fail "truncated split body must raise Bad_request"
+
+let test_payload_too_large () =
+  let input = "POST /x HTTP/1.1\r\nContent-Length: 4096\r\n\r\n" in
+  match read_str ~max_body:512 input with
+  | exception Http.Payload_too_large { limit; declared } ->
+      Alcotest.(check int) "limit" 512 limit;
+      Alcotest.(check int) "declared" 4096 declared
+  | _ -> Alcotest.fail "expected Payload_too_large"
+
+let test_response_round_trip () =
+  let resp = Http.response 429 (Protocol.error_body "busy") in
+  let buf = Buffer.create 128 in
+  Http.write_response ~keep_alive:false (Buffer.add_string buf) resp;
+  let status, headers, body =
+    Http.read_response (Http.Reader.of_string (Buffer.contents buf))
+  in
+  Alcotest.(check int) "status" 429 status;
+  Alcotest.(check string) "body" (Protocol.error_body "busy") body;
+  Alcotest.(check (option string))
+    "connection: close" (Some "close")
+    (List.assoc_opt "connection" headers)
+
+(* --- JSON codec --- *)
+
+let json_gen =
+  let open QCheck2.Gen in
+  (* arbitrary bytes, including control characters and non-ASCII *)
+  let any_string = string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 12) in
+  let num = map (fun i -> Json.Num (float_of_int i /. 8.)) (int_range (-8_000_000) 8_000_000) in
+  let leaf =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        num;
+        map (fun s -> Json.Str s) any_string;
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           frequency
+             [
+               (2, leaf);
+               (1, map (fun l -> Json.Arr l) (list_size (int_range 0 4) (self (n / 3))));
+               ( 1,
+                 map
+                   (fun l -> Json.Obj l)
+                   (list_size (int_range 0 4) (pair any_string (self (n / 3)))) );
+             ])
+
+let json_round_trip =
+  qcheck ~count:500 "json: parse (to_string j) = j" json_gen (fun j ->
+      match Json.parse (Json.to_string j) with
+      | Ok j' -> Json.equal j j'
+      | Error m -> QCheck2.Test.fail_reportf "parse error: %s" m)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "parsed %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"\\x\""; "{\"a\" 1}" ]
+
+(* --- protocol codec --- *)
+
+let request_gen =
+  let open QCheck2.Gen in
+  let name = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  let csv = string_size ~gen:(map Char.chr (int_range 32 126)) (int_range 0 64) in
+  let relations = list_size (int_range 1 3) (pair name csv) in
+  let* source = relations in
+  let* target = relations in
+  let* algorithm = oneofl [ "rbfs"; "astar"; "portfolio"; "beam:4" ] in
+  let* heuristic = oneofl [ "cosine"; "h1"; "euclid" ] in
+  let* goal = oneofl [ "superset"; "exact" ] in
+  let* budget = int_range 1 1_000_000 in
+  let* jobs = int_range 0 8 in
+  let* timeout_ms = option (int_range 1 60_000) in
+  let* semfuns = list_size (int_range 0 2) csv in
+  return
+    {
+      Protocol.source;
+      target;
+      algorithm;
+      heuristic;
+      goal;
+      budget;
+      jobs;
+      timeout_ms;
+      semfuns;
+    }
+
+let request_round_trip =
+  qcheck ~count:300 "protocol: decode (encode req) = req" request_gen
+    (fun req ->
+      match Protocol.decode_request (Protocol.encode_request req) with
+      | Ok req' -> req' = req
+      | Error m -> QCheck2.Test.fail_reportf "decode error: %s" m)
+
+let response_gen =
+  let open QCheck2.Gen in
+  let text = string_size ~gen:(map Char.chr (int_range 32 126)) (int_range 0 32) in
+  let* outcome = oneofl [ "mapping"; "no_mapping"; "gave_up"; "timeout" ] in
+  let* mapping = option text in
+  let* expr = option text in
+  let* operators = int_range 0 16 in
+  let* res_algorithm = text in
+  let* res_heuristic = text in
+  let* states_examined = int_range 0 1_000_000 in
+  let* elapsed_ms = map (fun i -> float_of_int i /. 16.) (int_range 0 1_000_000) in
+  let* cache = oneofl [ "hit"; "miss" ] in
+  return
+    {
+      Protocol.outcome;
+      mapping;
+      expr;
+      operators;
+      res_algorithm;
+      res_heuristic;
+      states_examined;
+      elapsed_ms;
+      cache;
+    }
+
+let response_round_trip =
+  qcheck ~count:300 "protocol: decode (encode resp) = resp" response_gen
+    (fun resp ->
+      match Protocol.decode_response (Protocol.encode_response resp) with
+      | Ok resp' -> resp' = resp
+      | Error m -> QCheck2.Test.fail_reportf "decode error: %s" m)
+
+let test_decode_rejects_bad_requests () =
+  let check what json =
+    match Json.parse json with
+    | Error m -> Alcotest.failf "%s: test JSON invalid: %s" what m
+    | Ok j -> (
+        match Protocol.decode_request j with
+        | Ok _ -> Alcotest.failf "%s: decoded" what
+        | Error _ -> ())
+  in
+  check "empty object" "{}";
+  check "empty source" {|{"source":{},"target":{"S":"x\n"}}|};
+  check "missing target" {|{"source":{"R":"a\n"}}|};
+  check "ill-typed budget"
+    {|{"source":{"R":"a\n"},"target":{"S":"x\n"},"budget":"lots"}|};
+  check "non-positive budget"
+    {|{"source":{"R":"a\n"},"target":{"S":"x\n"},"budget":0}|};
+  check "negative jobs"
+    {|{"source":{"R":"a\n"},"target":{"S":"x\n"},"jobs":-1}|}
+
+(* --- live daemon --- *)
+
+(* The rename workload: source and target rows coincide, only the
+   relation name differs — found in a couple of states, so e2e tests
+   stay fast. The first CSV line is the header. *)
+let rename_pair ?(suffix = "") () =
+  ( [ ("R", "name,id\nalice,1\nbob,2\n" ^ suffix) ],
+    [ ("S", "name,id\nalice,1\nbob,2\n" ^ suffix) ] )
+
+(* A pairing the engine cannot map but cannot quickly refute either:
+   the headers double as plausible values and the target's association
+   of values is swapped relative to the source, so the search keeps
+   proposing operators until its budget or deadline runs out — a
+   deterministic way to keep a worker busy. *)
+let slow_pair i =
+  ( [ ("R", Printf.sprintf "a,%d\nb,%d\nc,%d\n" i (i + 1) (i + 2)) ],
+    [ ("S", Printf.sprintf "a,%d\nb,%d\nc,%d\n" (i + 1) (i + 2) i) ] )
+
+let with_daemon ?(workers = 2) ?(queue_capacity = 8) ?(timeout_ms = 30_000)
+    ?max_payload k =
+  let agg = Telemetry.Agg.create () in
+  let config =
+    Daemon.config ~port:0 ~workers ~queue_capacity ~timeout_ms ?max_payload
+      ~search_telemetry:false ~trace_sink:(Telemetry.Agg.sink agg) ()
+  in
+  let t = Daemon.start config in
+  Fun.protect ~finally:(fun () -> Daemon.stop t) (fun () -> k t agg)
+
+let discover_once ~port req =
+  let conn = Client.connect ~host:"127.0.0.1" ~port in
+  Fun.protect
+    ~finally:(fun () -> Client.close conn)
+    (fun () -> Client.discover conn req)
+
+let check_outcome what expected = function
+  | Error m -> Alcotest.failf "%s: transport error: %s" what m
+  | Ok (status, Error body) ->
+      Alcotest.failf "%s: HTTP %d: %s" what status body
+  | Ok (_, Ok resp) ->
+      Alcotest.(check string)
+        (what ^ ": outcome") expected resp.Protocol.outcome;
+      resp
+
+let test_routes_on_one_connection () =
+  with_daemon @@ fun t _agg ->
+  let port = Daemon.port t in
+  let conn = Client.connect ~host:"127.0.0.1" ~port in
+  Fun.protect
+    ~finally:(fun () -> Client.close conn)
+    (fun () ->
+      (* several round trips on the same keep-alive connection *)
+      (match Client.request conn ~meth:"GET" ~path:"/healthz" () with
+      | Ok (200, body) ->
+          Alcotest.(check bool) "healthz mentions ok" true
+            (String.length body > 0)
+      | other ->
+          Alcotest.failf "healthz: %s"
+            (match other with
+            | Ok (s, b) -> Printf.sprintf "HTTP %d %s" s b
+            | Error m -> m));
+      (match Client.request conn ~meth:"GET" ~path:"/nope" () with
+      | Ok (404, _) -> ()
+      | _ -> Alcotest.fail "unknown route must 404");
+      (match Client.request conn ~meth:"PUT" ~path:"/discover" ~body:"{}" () with
+      | Ok (s, _) ->
+          Alcotest.(check bool) "PUT rejected" true (s = 404 || s = 405)
+      | Error m -> Alcotest.failf "PUT: %s" m);
+      (match
+         Client.request conn ~meth:"POST" ~path:"/discover" ~body:"not json" ()
+       with
+      | Ok (400, _) -> ()
+      | _ -> Alcotest.fail "bad JSON must 400");
+      match Client.request conn ~meth:"GET" ~path:"/stats" () with
+      | Ok (200, body) -> (
+          match Json.parse body with
+          | Ok _ -> ()
+          | Error m -> Alcotest.failf "stats is not JSON: %s" m)
+      | _ -> Alcotest.fail "stats must 200")
+
+let test_discover_and_cache_hit () =
+  with_daemon @@ fun t agg ->
+  let port = Daemon.port t in
+  let source, target = rename_pair () in
+  let req = Protocol.request ~source ~target () in
+  let first = check_outcome "first" "mapping" (discover_once ~port req) in
+  Alcotest.(check string) "first is a miss" "miss" first.Protocol.cache;
+  (* Same instance, rows re-ordered and submitted as a brand-new
+     request: the fingerprint pair is identical, so this must be a
+     cache hit that bypasses the search engine. *)
+  let source' = [ ("R", "name,id\nbob,2\nalice,1\n") ] in
+  let target' = [ ("S", "name,id\nbob,2\nalice,1\n") ] in
+  let req' = Protocol.request ~source:source' ~target:target' () in
+  let second = check_outcome "second" "mapping" (discover_once ~port req') in
+  Alcotest.(check string) "second is a hit" "hit" second.Protocol.cache;
+  Alcotest.(check (option string))
+    "same mapping" first.Protocol.mapping second.Protocol.mapping;
+  (* One perturbed cell → different fingerprint → miss. *)
+  let source'' = [ ("R", "name,id\nalice,1\nbob,99\n") ] in
+  let target'' = [ ("S", "name,id\nalice,1\nbob,99\n") ] in
+  let req'' = Protocol.request ~source:source'' ~target:target'' () in
+  let third = check_outcome "third" "mapping" (discover_once ~port req'') in
+  Alcotest.(check string) "perturbed cell misses" "miss" third.Protocol.cache;
+  let cache = Daemon.cache t in
+  Alcotest.(check int) "cache holds both pairs" 2 (Cache.length cache);
+  Alcotest.(check int) "one hit" 1 (Cache.hits cache);
+  Alcotest.(check int) "two misses" 2 (Cache.misses cache);
+  Alcotest.(check int)
+    "trace agrees on hits" 1
+    (Telemetry.Agg.counter agg "cache.hit")
+
+let test_goal_mode_mismatch_is_a_miss () =
+  with_daemon @@ fun t _agg ->
+  let port = Daemon.port t in
+  let source, target = rename_pair ~suffix:"carol,3\n" () in
+  let req = Protocol.request ~source ~target ~goal:"superset" () in
+  ignore (check_outcome "superset" "mapping" (discover_once ~port req));
+  (* Same fingerprints, different goal mode: the cached entry must not
+     be served. *)
+  let req' = Protocol.request ~source ~target ~goal:"exact" () in
+  let second = check_outcome "exact" "mapping" (discover_once ~port req') in
+  Alcotest.(check string) "goal mismatch misses" "miss" second.Protocol.cache
+
+let test_concurrent_keep_alive_clients () =
+  with_daemon @@ fun t agg ->
+  let port = Daemon.port t in
+  let source, target = rename_pair () in
+  (* Warm the cache once so every threaded discover below is
+     deterministically a hit, whatever the interleaving. *)
+  ignore
+    (check_outcome "warm-up" "mapping"
+       (discover_once ~port (Protocol.request ~source ~target ())));
+  let failures = Atomic.make 0 in
+  let client _i =
+    let conn = Client.connect ~host:"127.0.0.1" ~port in
+    Fun.protect
+      ~finally:(fun () -> Client.close conn)
+      (fun () ->
+        for j = 1 to 5 do
+          let ok =
+            if j mod 2 = 0 then
+              match Client.request conn ~meth:"GET" ~path:"/healthz" () with
+              | Ok (200, _) -> true
+              | _ -> false
+            else
+              match Client.discover conn (Protocol.request ~source ~target ())
+              with
+              | Ok (200, Ok resp) -> resp.Protocol.outcome = "mapping"
+              | _ -> false
+          in
+          if not ok then Atomic.incr failures
+        done)
+  in
+  let threads = List.init 4 (fun i -> Thread.create client i) in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no failed round trips" 0 (Atomic.get failures);
+  Alcotest.(check int)
+    "all discovers counted" 13
+    (Telemetry.Agg.counter agg "server.request.discover");
+  let cache = Daemon.cache t in
+  Alcotest.(check int)
+    "every request after the warm-up hit" 12 (Cache.hits cache)
+
+let test_payload_limit_e2e () =
+  with_daemon ~max_payload:1024 @@ fun t _agg ->
+  let port = Daemon.port t in
+  let big = String.concat "" (List.init 300 (fun i -> Printf.sprintf "row%d,%d\n" i i)) in
+  let req =
+    Protocol.request ~source:[ ("R", big) ] ~target:[ ("S", big) ] ()
+  in
+  match discover_once ~port req with
+  | Ok (413, Error _) -> ()
+  | Ok (s, _) -> Alcotest.failf "expected 413, got %d" s
+  | Error m -> Alcotest.failf "transport error: %s" m
+
+let test_backpressure_and_deadline () =
+  (* One worker, a one-slot queue, a 600ms deadline. Occupy the worker
+     with a search that cannot finish, fill the queue with a second,
+     and the third must be refused immediately with 429. The first two
+     come back as deadline timeouts — exercising the cooperative
+     cancellation path end to end. *)
+  with_daemon ~workers:1 ~queue_capacity:1 ~timeout_ms:600 @@ fun t agg ->
+  let port = Daemon.port t in
+  let slow i =
+    let source, target = slow_pair i in
+    Protocol.request ~source ~target ~budget:100_000_000 ()
+  in
+  let results = Array.make 2 (Error "not run") in
+  let spawn idx i =
+    Thread.create (fun () -> results.(idx) <- discover_once ~port (slow i)) ()
+  in
+  let t1 = spawn 0 1 in
+  Thread.delay 0.15;
+  let t2 = spawn 1 10 in
+  Thread.delay 0.15;
+  (match discover_once ~port (slow 20) with
+  | Ok (429, Error _) -> ()
+  | Ok (s, _) -> Alcotest.failf "expected 429, got %d" s
+  | Error m -> Alcotest.failf "transport error: %s" m);
+  Thread.join t1;
+  Thread.join t2;
+  ignore (check_outcome "first slow request" "timeout" results.(0));
+  ignore (check_outcome "second slow request" "timeout" results.(1));
+  Alcotest.(check int)
+    "429 counted" 1
+    (Telemetry.Agg.counter agg "server.reject.busy");
+  Alcotest.(check int)
+    "timeouts counted" 2
+    (Telemetry.Agg.counter agg "server.response.timeout");
+  ignore t
+
+let stats_counter stats path =
+  (* path like ["cache"; "hits"] into the /stats JSON *)
+  let rec go j = function
+    | [] -> (
+        match j with
+        | Json.Num n -> int_of_float n
+        | _ -> Alcotest.fail "stats leaf is not a number")
+    | k :: rest -> (
+        match Json.member k j with
+        | Some j' -> go j' rest
+        | None -> Alcotest.failf "stats key %s missing" k)
+  in
+  go stats path
+
+let test_stats_reconcile_with_trace () =
+  with_daemon @@ fun t agg ->
+  let port = Daemon.port t in
+  let source, target = rename_pair () in
+  let req = Protocol.request ~source ~target () in
+  ignore (check_outcome "miss" "mapping" (discover_once ~port req));
+  ignore (check_outcome "hit" "mapping" (discover_once ~port req));
+  (match Client.once ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/healthz" () with
+  | Ok (200, _) -> ()
+  | _ -> Alcotest.fail "healthz");
+  let stats =
+    match Json.parse (Daemon.stats_json t) with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "stats: %s" m
+  in
+  let check path event =
+    Alcotest.(check int)
+      (String.concat "." path)
+      (Telemetry.Agg.counter agg event)
+      (stats_counter stats path)
+  in
+  check [ "requests"; "discover" ] "server.request.discover";
+  check [ "requests"; "healthz" ] "server.request.healthz";
+  check [ "responses"; "mapping" ] "server.response.mapping";
+  check [ "cache"; "hits" ] "cache.hit";
+  check [ "cache"; "misses" ] "cache.miss";
+  check [ "search"; "states_examined" ] "server.states_examined";
+  Alcotest.(check int) "two discovers" 2
+    (stats_counter stats [ "requests"; "discover" ]);
+  Alcotest.(check int) "one cache hit" 1
+    (stats_counter stats [ "cache"; "hits" ])
+
+let test_graceful_drain () =
+  let agg = Telemetry.Agg.create () in
+  let config =
+    Daemon.config ~port:0 ~workers:1 ~queue_capacity:4 ~timeout_ms:500
+      ~search_telemetry:false ~trace_sink:(Telemetry.Agg.sink agg) ()
+  in
+  let t = Daemon.start config in
+  let port = Daemon.port t in
+  let source, target = slow_pair 1 in
+  let req = Protocol.request ~source ~target ~budget:100_000_000 () in
+  let result = ref (Error "not run") in
+  let client = Thread.create (fun () -> result := discover_once ~port req) () in
+  Thread.delay 0.15;
+  (* Shutdown must wait for the in-flight request, not drop it. *)
+  Daemon.stop t;
+  Thread.join client;
+  (* The drain answers the in-flight request rather than dropping it;
+     its search is cancelled by the shutdown flag (gave_up) unless the
+     deadline happened to fire first. *)
+  (match !result with
+  | Ok (200, Ok resp)
+    when resp.Protocol.outcome = "gave_up"
+         || resp.Protocol.outcome = "timeout" ->
+      ()
+  | Ok (s, _) -> Alcotest.failf "drained request: HTTP %d" s
+  | Error m -> Alcotest.failf "drained request: %s" m);
+  (* ... and the listener is really gone. *)
+  match Client.once ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/healthz" () with
+  | Error _ -> ()
+  | Ok (s, _) -> Alcotest.failf "server still answering (%d) after stop" s
+
+let suite =
+  [
+    Alcotest.test_case "http: parses a simple request" `Quick
+      test_parses_simple_request;
+    Alcotest.test_case "http: idle close yields None" `Quick
+      test_idle_close_is_none;
+    Alcotest.test_case "http: malformed request lines raise" `Quick
+      test_malformed_request_lines;
+    Alcotest.test_case "http: truncated input raises" `Quick
+      test_truncated_input;
+    Alcotest.test_case "http: body split across reads" `Quick
+      test_body_split_across_reads;
+    Alcotest.test_case "http: truncated split body raises" `Quick
+      test_truncated_body_split_across_reads;
+    Alcotest.test_case "http: oversized payload raises" `Quick
+      test_payload_too_large;
+    Alcotest.test_case "http: response round trip" `Quick
+      test_response_round_trip;
+    json_round_trip;
+    Alcotest.test_case "json: rejects malformed documents" `Quick
+      test_json_rejects_garbage;
+    request_round_trip;
+    response_round_trip;
+    Alcotest.test_case "protocol: rejects invalid requests" `Quick
+      test_decode_rejects_bad_requests;
+    Alcotest.test_case "e2e: routes on one keep-alive connection" `Quick
+      test_routes_on_one_connection;
+    Alcotest.test_case "e2e: discover, cache hit, perturbation miss" `Quick
+      test_discover_and_cache_hit;
+    Alcotest.test_case "e2e: goal-mode mismatch bypasses the cache" `Quick
+      test_goal_mode_mismatch_is_a_miss;
+    Alcotest.test_case "e2e: concurrent keep-alive clients" `Quick
+      test_concurrent_keep_alive_clients;
+    Alcotest.test_case "e2e: payload limit answers 413" `Quick
+      test_payload_limit_e2e;
+    Alcotest.test_case "e2e: backpressure 429 and deadline timeouts" `Quick
+      test_backpressure_and_deadline;
+    Alcotest.test_case "e2e: /stats reconciles with the trace" `Quick
+      test_stats_reconcile_with_trace;
+    Alcotest.test_case "e2e: graceful drain on stop" `Quick
+      test_graceful_drain;
+  ]

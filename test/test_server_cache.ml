@@ -1,0 +1,191 @@
+(* The server's fingerprint-keyed LRU mapping cache: exact eviction
+   order, promotion on hit, the [valid] rejection path, keying by
+   instance content (not CSV formatting), and counters that reconcile
+   with the telemetry stream they claim to mirror. *)
+
+open Relational
+open Server
+
+(* A cache key from inline CSV documents, exactly as the daemon builds
+   one: parse each relation, fold into a database, fingerprint. *)
+let fp relations =
+  let db =
+    List.fold_left
+      (fun db (name, text) -> Database.add db name (Csv.parse_relation text))
+      Database.empty relations
+  in
+  Fingerprint.of_database db
+
+let key_of_csv ~source ~target = (fp source, fp target)
+
+(* Distinct throwaway keys for the pure-LRU tests. *)
+let key i =
+  key_of_csv
+    ~source:[ ("R", Printf.sprintf "k%d\n" i) ]
+    ~target:[ ("S", "x\n") ]
+
+let key_equal (a, b) (c, d) = Fingerprint.equal a c && Fingerprint.equal b d
+
+let check_keys what expected actual =
+  Alcotest.(check int)
+    (what ^ ": cardinality") (List.length expected) (List.length actual);
+  List.iter2
+    (fun e a ->
+      Alcotest.(check bool) (what ^ ": key order") true (key_equal e a))
+    expected actual
+
+let test_lru_eviction_order () =
+  let c = Cache.create ~capacity:3 () in
+  Cache.add c (key 1) 1;
+  Cache.add c (key 2) 2;
+  Cache.add c (key 3) 3;
+  check_keys "before eviction" [ key 1; key 2; key 3 ] (Cache.keys_lru_first c);
+  Cache.add c (key 4) 4;
+  Alcotest.(check int) "evictions" 1 (Cache.evictions c);
+  Alcotest.(check int) "length stays at capacity" 3 (Cache.length c);
+  check_keys "after eviction" [ key 2; key 3; key 4 ] (Cache.keys_lru_first c);
+  Alcotest.(check (option int)) "oldest entry gone" None (Cache.find c (key 1))
+
+let test_find_promotes () =
+  let c = Cache.create ~capacity:3 () in
+  Cache.add c (key 1) 1;
+  Cache.add c (key 2) 2;
+  Cache.add c (key 3) 3;
+  Alcotest.(check (option int)) "hit" (Some 1) (Cache.find c (key 1));
+  check_keys "promoted to MRU" [ key 2; key 3; key 1 ]
+    (Cache.keys_lru_first c);
+  Cache.add c (key 4) 4;
+  Alcotest.(check (option int))
+    "unpromoted entry evicted instead" None (Cache.find c (key 2));
+  Alcotest.(check (option int))
+    "promoted entry survives" (Some 1) (Cache.find c (key 1))
+
+let test_replace_is_not_eviction () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c (key 1) 1;
+  Cache.add c (key 1) 10;
+  Alcotest.(check int) "still one entry" 1 (Cache.length c);
+  Alcotest.(check int) "no eviction" 0 (Cache.evictions c);
+  Alcotest.(check (option int)) "new value" (Some 10) (Cache.find c (key 1))
+
+let test_valid_rejection_is_a_miss () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c (key 1) 1;
+  Cache.add c (key 2) 2;
+  Alcotest.(check (option int))
+    "rejected by valid" None
+    (Cache.find c ~valid:(fun _ -> false) (key 1));
+  Alcotest.(check int) "counts as a miss" 1 (Cache.misses c);
+  Alcotest.(check int) "not a hit" 0 (Cache.hits c);
+  (* ... and must not promote: key 1 is still the LRU victim. *)
+  Cache.add c (key 3) 3;
+  Alcotest.(check (option int))
+    "rejected entry was not promoted" None (Cache.find c (key 1));
+  Alcotest.(check (option int))
+    "other entry survives" (Some 2) (Cache.find c (key 2))
+
+let test_fingerprint_keying_ignores_formatting () =
+  (* Same instance, different CSV row order: fingerprints are multiset
+     hashes, so a re-submitted pair hits the cache. *)
+  let k_original =
+    key_of_csv
+      ~source:[ ("R", "name,id\nalice,1\nbob,2\ncarol,3\n") ]
+      ~target:[ ("S", "id\n1\n2\n3\n") ]
+  in
+  let k_resubmitted =
+    key_of_csv
+      ~source:[ ("R", "name,id\ncarol,3\nalice,1\nbob,2\n") ]
+      ~target:[ ("S", "id\n3\n1\n2\n") ]
+  in
+  Alcotest.(check bool)
+    "row order does not change the key" true
+    (key_equal k_original k_resubmitted);
+  let c = Cache.create ~capacity:4 () in
+  Cache.add c k_original "m";
+  Alcotest.(check (option string))
+    "re-submitted pair hits" (Some "m")
+    (Cache.find c k_resubmitted)
+
+let test_one_cell_perturbation_misses () =
+  let source = [ ("R", "name,id\nalice,1\nbob,2\ncarol,3\n") ] in
+  let k = key_of_csv ~source ~target:[ ("S", "id\n1\n2\n3\n") ] in
+  let k_perturbed = key_of_csv ~source ~target:[ ("S", "id\n1\n2\n4\n") ] in
+  Alcotest.(check bool)
+    "perturbed cell changes the key" false
+    (key_equal k k_perturbed);
+  let c = Cache.create ~capacity:4 () in
+  Cache.add c k "m";
+  Alcotest.(check (option string))
+    "perturbed pair misses" None
+    (Cache.find c k_perturbed);
+  Alcotest.(check int) "recorded as a miss" 1 (Cache.misses c)
+
+let test_counters_reconcile_with_telemetry () =
+  let agg = Telemetry.Agg.create () in
+  let telemetry = Telemetry.create (Telemetry.Agg.sink agg) in
+  let c = Cache.create ~telemetry ~capacity:2 () in
+  Cache.add c (key 1) 1;
+  Cache.add c (key 2) 2;
+  ignore (Cache.find c (key 1));          (* hit *)
+  ignore (Cache.find c (key 9));          (* miss *)
+  ignore (Cache.find c ~valid:(fun _ -> false) (key 2));  (* miss *)
+  Cache.add c (key 3) 3;                  (* evicts *)
+  ignore (Cache.find c (key 1));          (* hit *)
+  Alcotest.(check int) "hits" 2 (Cache.hits c);
+  Alcotest.(check int) "misses" 2 (Cache.misses c);
+  Alcotest.(check int) "evictions" 1 (Cache.evictions c);
+  Alcotest.(check int)
+    "cache.hit events" (Cache.hits c)
+    (Telemetry.Agg.counter agg "cache.hit");
+  Alcotest.(check int)
+    "cache.miss events" (Cache.misses c)
+    (Telemetry.Agg.counter agg "cache.miss");
+  Alcotest.(check int)
+    "cache.evict events" (Cache.evictions c)
+    (Telemetry.Agg.counter agg "cache.evict")
+
+let test_concurrent_access_is_consistent () =
+  (* 4 threads × 500 operations over 8 keys on a capacity-4 cache:
+     whatever interleaving happens, the counters must balance and the
+     structure must stay exactly at capacity. *)
+  let c = Cache.create ~capacity:4 () in
+  let ops_per_thread = 500 in
+  let worker seed =
+    let state = ref seed in
+    for _ = 1 to ops_per_thread do
+      let r = (!state * 1103515245) + 12345 in
+      state := r land 0x3FFFFFFF;
+      let k = key (!state mod 8) in
+      if !state land 1 = 0 then Cache.add c k !state
+      else ignore (Cache.find c k)
+    done
+  in
+  let threads = List.init 4 (fun i -> Thread.create worker (i + 1)) in
+  List.iter Thread.join threads;
+  Alcotest.(check bool) "length within capacity" true (Cache.length c <= 4);
+  Alcotest.(check int)
+    "keys list matches length"
+    (Cache.length c)
+    (List.length (Cache.keys_lru_first c));
+  let finds = Cache.hits c + Cache.misses c in
+  Alcotest.(check bool) "every find was counted" true (finds > 0)
+
+let suite =
+  [
+    Alcotest.test_case "lru: eviction follows insertion order" `Quick
+      test_lru_eviction_order;
+    Alcotest.test_case "lru: find promotes to most-recently-used" `Quick
+      test_find_promotes;
+    Alcotest.test_case "lru: replacing a key is not an eviction" `Quick
+      test_replace_is_not_eviction;
+    Alcotest.test_case "valid: rejected hit counts as a miss" `Quick
+      test_valid_rejection_is_a_miss;
+    Alcotest.test_case "keys: fingerprints ignore CSV row order" `Quick
+      test_fingerprint_keying_ignores_formatting;
+    Alcotest.test_case "keys: one-cell perturbation misses" `Quick
+      test_one_cell_perturbation_misses;
+    Alcotest.test_case "telemetry: counters reconcile exactly" `Quick
+      test_counters_reconcile_with_telemetry;
+    Alcotest.test_case "threads: concurrent access stays consistent" `Quick
+      test_concurrent_access_is_consistent;
+  ]
