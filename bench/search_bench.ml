@@ -280,7 +280,8 @@ let ballast_workload () =
   let source, target = Workloads.Random_db.rename_task g 5 in
   let shape =
     {
-      Workloads.Random_db.max_relations = 1;
+      Workloads.Random_db.default_shape with
+      max_relations = 1;
       max_attributes = 6;
       max_rows = 8;
       null_probability = 0.0;

@@ -611,6 +611,220 @@ let request_cmd =
        $ target $ algorithm_arg $ heuristic_arg $ goal_arg $ budget_arg
        $ jobs_arg $ timeout $ semfun_arg $ health $ stats))
 
+(* --- fuzz --- *)
+
+(* "HOST:PORT", with or without an http:// prefix or trailing slash. *)
+let parse_server url =
+  let url =
+    match String.index_opt url '/' with
+    | Some _ when String.length url > 7 && String.sub url 0 7 = "http://" ->
+        String.sub url 7 (String.length url - 7)
+    | _ -> url
+  in
+  let url =
+    match String.index_opt url '/' with
+    | Some i -> String.sub url 0 i
+    | None -> url
+  in
+  match String.rindex_opt url ':' with
+  | None -> None
+  | Some i -> (
+      let host = String.sub url 0 i in
+      match int_of_string_opt (String.sub url (i + 1) (String.length url - i - 1)) with
+      | Some port when host <> "" && port > 0 -> Some (host, port)
+      | _ -> None)
+
+let fuzz_cmd_run trials seed depth algorithm heuristic budget search_jobs jobs
+    time_budget server corpus_dir shrink_attempts not_found_fails =
+  try
+    if trials < 0 then fail "--trials must be >= 0 (got %d)" trials
+    else if depth < 0 then fail "--depth must be >= 0 (got %d)" depth
+    else if budget <= 0 then fail "--budget must be > 0 (got %d)" budget
+    else if jobs < 0 then fail "--jobs must be >= 0 (got %d)" jobs
+    else
+      match Tupelo.Discover.algorithm_of_string algorithm with
+      | None -> fail "unknown algorithm %S" algorithm
+      | Some alg -> (
+          let scaling = Tupelo.Discover.scaling_for alg in
+          match Heuristics.Heuristic.by_name scaling heuristic with
+          | None -> fail "unknown heuristic %S" heuristic
+          | Some _ -> (
+              let mode =
+                match server with
+                | None -> Ok Fuzz.Driver.Local
+                | Some url -> (
+                    match parse_server url with
+                    | Some (host, port) ->
+                        Ok (Fuzz.Driver.Remote { host; port })
+                    | None -> Error url)
+              in
+              match mode with
+              | Error url -> fail "--server: cannot parse %S (want HOST:PORT)" url
+              | Ok mode ->
+                  let jobs =
+                    if jobs = 0 then Search.Pool.default_domains () else jobs
+                  in
+                  let oracle =
+                    Fuzz.Oracle.config ~algorithm:alg ~heuristic ~budget
+                      ~jobs:search_jobs ()
+                  in
+                  (match corpus_dir with
+                  | Some dir when not (Sys.file_exists dir) ->
+                      Sys.mkdir dir 0o755
+                  | _ -> ());
+                  let config =
+                    Fuzz.Driver.config ~oracle ~trials ~seed ~depth ~jobs
+                      ?time_budget_s:time_budget ~mode ~shrink_attempts
+                      ?corpus_dir ~not_found_fails ()
+                  in
+                  Printf.printf
+                    "fuzzing: %d trials, master seed %d, depth %d, %s/%s, \
+                     budget %d, %d job%s%s\n%!"
+                    trials seed depth
+                    (Tupelo.Discover.algorithm_name alg)
+                    heuristic budget jobs
+                    (if jobs = 1 then "" else "s")
+                    (match mode with
+                    | Fuzz.Driver.Local -> ""
+                    | Fuzz.Driver.Remote { host; port } ->
+                        Printf.sprintf " via server %s:%d" host port);
+                  let summary =
+                    Fuzz.Driver.run ~log:(Printf.printf "%s\n%!") config
+                  in
+                  print_endline (Fuzz.Driver.summary_to_string summary);
+                  List.iter
+                    (fun (f : Fuzz.Driver.failure) ->
+                      Printf.printf "\nFAIL trial %d (%s):\n  %s\n%s"
+                        f.Fuzz.Driver.trial
+                        (Fuzz.Oracle.outcome_name
+                           f.Fuzz.Driver.report.Fuzz.Oracle.outcome)
+                        (Fuzz.Scenario.to_string f.Fuzz.Driver.scenario)
+                        (match f.Fuzz.Driver.saved with
+                        | Some path ->
+                            Printf.sprintf "  reproducer: %s\n" path
+                        | None ->
+                            "  reproducer bundle:\n"
+                            ^ Fuzz.Corpus.to_string
+                                ~label:
+                                  (Fuzz.Oracle.outcome_name
+                                     f.Fuzz.Driver.report.Fuzz.Oracle.outcome)
+                                f.Fuzz.Driver.scenario))
+                    summary.Fuzz.Driver.failures;
+                  if Fuzz.Driver.clean summary then `Ok ()
+                  else fail "%d failing scenario%s"
+                         (List.length summary.Fuzz.Driver.failures)
+                         (match summary.Fuzz.Driver.failures with
+                         | [ _ ] -> ""
+                         | _ -> "s")))
+  with Sys_error m -> fail "%s" m
+
+let fuzz_cmd =
+  let doc =
+    "inverse-problem fuzzing: generate random ℒ programs, apply them, \
+     rediscover the mapping, verify the replay"
+  in
+  let trials =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "n"; "trials" ] ~docv:"N" ~doc:"Number of scenarios to run.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Master seed; trial $(i,i) derives its own scenario seed from \
+             it deterministically, so any failure reproduces from the \
+             numbers in the log.")
+  in
+  let depth =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "depth" ] ~docv:"D"
+          ~doc:"Operators per generated program (the generator may stop \
+                short when nothing is applicable).")
+  in
+  let fuzz_budget =
+    Arg.(
+      value
+      & opt int 50_000
+      & info [ "b"; "budget" ] ~docv:"N"
+          ~doc:"Per-trial search budget (states examined).")
+  in
+  let search_jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "search-jobs" ] ~docv:"N"
+          ~doc:
+            "Domains for each trial's search engine (see discover --jobs); \
+             trials themselves are sharded with --jobs.")
+  in
+  let fuzz_jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains sharding the trials. 1 = sequential; 0 = one \
+             per available core.")
+  in
+  let time_budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget: no new trials start after $(docv) seconds \
+             and the in-flight search is cancelled cooperatively.")
+  in
+  let server =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "server" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Fuzz through a running mapping server (tupelo serve) instead \
+             of in-process: scenarios are POSTed to /discover and the \
+             returned expression is replayed locally.")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Save minimized reproducers of failing scenarios to $(docv) as \
+             self-contained .scenario bundles (created if missing). \
+             Without it, bundles are printed to stdout.")
+  in
+  let shrink_attempts =
+    Arg.(
+      value
+      & opt int 400
+      & info [ "shrink-attempts" ] ~docv:"N"
+          ~doc:"Cap on failure re-checks while minimizing each reproducer.")
+  in
+  let not_found_fails =
+    Arg.(
+      value & flag
+      & info [ "not-found-fails" ]
+          ~doc:
+            "Also treat a search that exhausts its space with no mapping as \
+             a failure (every scenario is solvable by construction, but \
+             with finite budgets this outcome is budget-dependent, so it \
+             is informational by default).")
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      ret
+        (const fuzz_cmd_run $ trials $ seed $ depth $ algorithm_arg
+       $ heuristic_arg $ fuzz_budget $ search_jobs $ fuzz_jobs $ time_budget
+       $ server $ corpus $ shrink_attempts $ not_found_fails))
+
 (* --- demo --- *)
 
 let demo_cmd_run () =
@@ -642,6 +856,6 @@ let main_cmd =
   let info = Cmd.info "tupelo" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ discover_cmd; apply_cmd; tnf_cmd; sql_cmd; serve_cmd; request_cmd;
-      demo_cmd ]
+      fuzz_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -54,33 +54,80 @@ let kind_name = function
   | Join _ -> "join"
   | Select _ -> "select"
 
-let to_string = function
+(* Names in the compact ASCII form are printed raw when they cannot be
+   mistaken for the syntax around them, and double-quoted (with backslash
+   escapes for backslash, double quote, newline and CR) otherwise.
+   Operators such as ↑ and ℘ mint attribute and relation names out of
+   data values, so a discovered mapping can legitimately mention names
+   containing any delimiter; quoting keeps [Parser.op_of_string] a total
+   inverse. *)
+
+let contains_sub s needle =
+  let nl = String.length needle and sl = String.length s in
+  let rec go i =
+    if i + nl > sl then false
+    else String.sub s i nl = needle || go (i + 1)
+  in
+  go 0
+
+let needs_quoting s =
+  s = ""
+  || String.trim s <> s
+  || String.exists
+       (function
+         | '"' | '[' | ']' | '(' | ')' | ',' | '/' | '\\' | '\n' | '\r' ->
+             true
+         | _ -> false)
+       s
+  || contains_sub s "->" || contains_sub s "<-*"
+
+let quote_name s =
+  if not (needs_quoting s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_string op =
+  let q = quote_name in
+  match op with
   | Promote { rel; name_col; value_col } ->
-      Printf.sprintf "promote[%s/%s](%s)" name_col value_col rel
+      Printf.sprintf "promote[%s/%s](%s)" (q name_col) (q value_col) (q rel)
   | Demote { rel; att_att; rel_att } ->
-      Printf.sprintf "demote[%s,%s](%s)" att_att rel_att rel
+      Printf.sprintf "demote[%s,%s](%s)" (q att_att) (q rel_att) (q rel)
   | Dereference { rel; target; pointer_col } ->
-      Printf.sprintf "deref[%s<-*%s](%s)" target pointer_col rel
-  | Partition { rel; col } -> Printf.sprintf "partition[%s](%s)" col rel
+      Printf.sprintf "deref[%s<-*%s](%s)" (q target) (q pointer_col) (q rel)
+  | Partition { rel; col } -> Printf.sprintf "partition[%s](%s)" (q col) (q rel)
   | Product { left; right; out } ->
-      Printf.sprintf "product[%s](%s, %s)" out left right
-  | Drop { rel; col } -> Printf.sprintf "drop[%s](%s)" col rel
-  | Merge { rel; col } -> Printf.sprintf "merge[%s](%s)" col rel
+      Printf.sprintf "product[%s](%s, %s)" (q out) (q left) (q right)
+  | Drop { rel; col } -> Printf.sprintf "drop[%s](%s)" (q col) (q rel)
+  | Merge { rel; col } -> Printf.sprintf "merge[%s](%s)" (q col) (q rel)
   | RenameAtt { rel; old_name; new_name } ->
-      Printf.sprintf "rename_att[%s->%s](%s)" old_name new_name rel
+      Printf.sprintf "rename_att[%s->%s](%s)" (q old_name) (q new_name) (q rel)
   | RenameRel { old_name; new_name } ->
-      Printf.sprintf "rename_rel[%s->%s]" old_name new_name
+      Printf.sprintf "rename_rel[%s->%s]" (q old_name) (q new_name)
   | Apply { rel; func; inputs; output } ->
-      Printf.sprintf "apply[%s(%s)->%s](%s)" func (String.concat "," inputs)
-        output rel
+      Printf.sprintf "apply[%s(%s)->%s](%s)" (q func)
+        (String.concat "," (List.map q inputs))
+        (q output) (q rel)
   | Union { left; right; out } ->
-      Printf.sprintf "union[%s](%s, %s)" out left right
+      Printf.sprintf "union[%s](%s, %s)" (q out) (q left) (q right)
   | Diff { left; right; out } ->
-      Printf.sprintf "diff[%s](%s, %s)" out left right
+      Printf.sprintf "diff[%s](%s, %s)" (q out) (q left) (q right)
   | Join { left; right; out } ->
-      Printf.sprintf "join[%s](%s, %s)" out left right
+      Printf.sprintf "join[%s](%s, %s)" (q out) (q left) (q right)
   | Select { rel; pred } ->
-      Printf.sprintf "select[%s](%s)" (Pred_syntax.to_string pred) rel
+      Printf.sprintf "select[%s](%s)" (Pred_syntax.to_string pred) (q rel)
 
 let to_paper_string = function
   | Promote { rel; name_col; value_col } ->

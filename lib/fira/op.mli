@@ -70,7 +70,10 @@ val kind_name : t -> string
     telemetry event names such as [moves.proposed.<op>]. *)
 
 val to_string : t -> string
-(** Compact ASCII form, e.g. [promote[Route/Cost](Prices)]. *)
+(** Compact ASCII form, e.g. [promote[Route/Cost](Prices)]. Names that
+    could be mistaken for surrounding syntax (delimiters, leading/trailing
+    whitespace, quotes, newlines, emptiness) are printed double-quoted with
+    backslash escapes; {!Parser.op_of_string} inverts both forms. *)
 
 val to_paper_string : t -> string
 (** Notation close to the paper's, e.g. [↑^Cost_Route(Prices)]. *)

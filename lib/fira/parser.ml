@@ -1,150 +1,199 @@
 let ( let* ) = Result.bind
 
-(* Split "head[body](args)" into (head, body, Some args), or
-   "head[body]" into (head, body, None). *)
-let dissect line =
+(* ------------------------------------------------------------------ *)
+(* Name components
+
+   A name prints either raw or double-quoted (see [Op.quote_name]);
+   operators mint names out of data values, so any delimiter can occur
+   inside a quoted name. Parsing therefore walks the line with a cursor,
+   reading one component at a time: a quoted component ends at its
+   closing quote, a raw component ends where one of the caller's stop
+   tokens begins. *)
+
+type cursor = { s : string; mutable i : int }
+
+let eos c = c.i >= String.length c.s
+
+let starts_with_at s i needle =
+  let nl = String.length needle in
+  i + nl <= String.length s && String.sub s i nl = needle
+
+let expect c token =
+  if starts_with_at c.s c.i token then begin
+    c.i <- c.i + String.length token;
+    Ok ()
+  end
+  else Error (Printf.sprintf "expected %S" token)
+
+let quoted_component c =
+  (* c.i is at the opening '"'. *)
+  let buf = Buffer.create 16 in
+  let n = String.length c.s in
+  let rec go i =
+    if i >= n then Error "unterminated quoted name"
+    else
+      match c.s.[i] with
+      | '"' ->
+          c.i <- i + 1;
+          Ok (Buffer.contents buf)
+      | '\\' ->
+          if i + 1 >= n then Error "dangling escape in quoted name"
+          else (
+            (match c.s.[i + 1] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | e ->
+                Buffer.add_char buf '\\';
+                Buffer.add_char buf e);
+            go (i + 2))
+      | ch ->
+          Buffer.add_char buf ch;
+          go (i + 1)
+  in
+  go (c.i + 1)
+
+(* Read one name, stopping (when unquoted) where any of [stops] begins;
+   an unquoted component may run to the end of the line when [stops]
+   don't occur. *)
+let component c ~stops =
+  if (not (eos c)) && c.s.[c.i] = '"' then quoted_component c
+  else begin
+    let n = String.length c.s in
+    let start = c.i in
+    let rec go i =
+      if i >= n || List.exists (starts_with_at c.s i) stops then i else go (i + 1)
+    in
+    let stop = go start in
+    c.i <- stop;
+    Ok (String.sub c.s start (stop - start))
+  end
+
+let nonempty what s = if s = "" then Error ("empty " ^ what) else Ok s
+
+let finish c k = if eos c then Ok k else Error "trailing characters"
+
+(* "](REL)" end-of-line: the relation argument shared by most operators. *)
+let rel_arg c =
+  let* () = expect c "](" in
+  let* rel = component c ~stops:[ ")" ] in
+  let* () = expect c ")" in
+  let* rel = nonempty "relation argument" rel in
+  finish c rel
+
+(* "](LEFT, RIGHT)" end-of-line: binary operators. *)
+let pair_arg c =
+  let* () = expect c "](" in
+  let* left = component c ~stops:[ ", " ] in
+  let* () = expect c ", " in
+  let* right = component c ~stops:[ ")" ] in
+  let* () = expect c ")" in
+  finish c (left, right)
+
+let op_of_string line =
+  let line = String.trim line in
   match String.index_opt line '[' with
   | None -> Error "expected '[' after operator name"
   | Some lb -> (
       let head = String.sub line 0 lb in
-      match String.rindex_opt line ']' with
-      | None -> Error "expected ']'"
-      | Some rb when rb < lb -> Error "mismatched brackets"
-      | Some rb ->
-          let body = String.sub line (lb + 1) (rb - lb - 1) in
-          let rest = String.sub line (rb + 1) (String.length line - rb - 1) in
-          let rest = String.trim rest in
-          if rest = "" then Ok (head, body, None)
-          else if
-            String.length rest >= 2
-            && rest.[0] = '('
-            && rest.[String.length rest - 1] = ')'
-          then Ok (head, body, Some (String.sub rest 1 (String.length rest - 2)))
-          else Error "expected '(relation)' after ']'")
-
-let split_once ~needle hay =
-  let nl = String.length needle and hl = String.length hay in
-  let rec go i =
-    if i + nl > hl then None
-    else if String.sub hay i nl = needle then
-      Some (String.sub hay 0 i, String.sub hay (i + nl) (hl - i - nl))
-    else go (i + 1)
-  in
-  go 0
-
-let require_rel = function
-  | Some r when r <> "" -> Ok r
-  | _ -> Error "missing relation argument"
-
-let nonempty what s = if s = "" then Error ("empty " ^ what) else Ok s
-
-let op_of_string line =
-  let line = String.trim line in
-  let* head, body, args = dissect line in
-  match head with
-  | "promote" ->
-      let* rel = require_rel args in
-      let* name_col, value_col =
-        match split_once ~needle:"/" body with
-        | Some (a, b) -> Ok (a, b)
-        | None -> Error "promote expects [name/value]"
-      in
-      Ok (Op.Promote { rel; name_col; value_col })
-  | "demote" ->
-      let* rel = require_rel args in
-      let* att_att, rel_att =
-        match String.split_on_char ',' body with
-        | [ a; b ] -> Ok (a, b)
-        | _ -> Error "demote expects [attcol,relcol]"
-      in
-      Ok (Op.Demote { rel; att_att; rel_att })
-  | "deref" ->
-      let* rel = require_rel args in
-      let* target, pointer_col =
-        match split_once ~needle:"<-*" body with
-        | Some (a, b) -> Ok (a, b)
-        | None -> Error "deref expects [target<-*pointer]"
-      in
-      Ok (Op.Dereference { rel; target; pointer_col })
-  | "partition" ->
-      let* rel = require_rel args in
-      let* col = nonempty "column" body in
-      Ok (Op.Partition { rel; col })
-  | "union" | "diff" | "join" ->
-      let* operands = require_rel args in
-      let* out = nonempty "output name" body in
-      let* left, right =
-        match split_once ~needle:", " operands with
-        | Some (l, r) -> Ok (l, r)
-        | None -> Error (head ^ " expects (left, right)")
-      in
-      Ok
-        (match head with
-        | "union" -> Op.Union { left; right; out }
-        | "diff" -> Op.Diff { left; right; out }
-        | _ -> Op.Join { left; right; out })
-  | "select" ->
-      let* rel = require_rel args in
-      let* pred =
-        match Pred_syntax.of_string body with
-        | Ok p -> Ok p
-        | Error m -> Error ("bad predicate: " ^ m)
-      in
-      Ok (Op.Select { rel; pred })
-  | "product" ->
-      let* operands = require_rel args in
-      let* out = nonempty "output name" body in
-      let* left, right =
-        match split_once ~needle:", " operands with
-        | Some (l, r) -> Ok (l, r)
-        | None -> Error "product expects (left, right)"
-      in
-      Ok (Op.Product { left; right; out })
-  | "drop" ->
-      let* rel = require_rel args in
-      let* col = nonempty "column" body in
-      Ok (Op.Drop { rel; col })
-  | "merge" ->
-      let* rel = require_rel args in
-      let* col = nonempty "column" body in
-      Ok (Op.Merge { rel; col })
-  | "rename_att" ->
-      let* rel = require_rel args in
-      let* old_name, new_name =
-        match split_once ~needle:"->" body with
-        | Some (a, b) -> Ok (a, b)
-        | None -> Error "rename_att expects [old->new]"
-      in
-      Ok (Op.RenameAtt { rel; old_name; new_name })
-  | "rename_rel" ->
-      if args <> None then Error "rename_rel takes no relation argument"
-      else
-        let* old_name, new_name =
-          match split_once ~needle:"->" body with
-          | Some (a, b) -> Ok (a, b)
-          | None -> Error "rename_rel expects [old->new]"
-        in
-        Ok (Op.RenameRel { old_name; new_name })
-  | "apply" ->
-      let* rel = require_rel args in
-      (* body = func(in1,in2,...)->out *)
-      let* call, output =
-        match split_once ~needle:")->" body with
-        | Some (a, b) -> Ok (a ^ ")", b)
-        | None -> Error "apply expects [f(inputs)->output]"
-      in
-      let* func, inputs =
-        match String.index_opt call '(' with
-        | Some i when call.[String.length call - 1] = ')' ->
-            let func = String.sub call 0 i in
-            let ins = String.sub call (i + 1) (String.length call - i - 2) in
-            Ok (func, if ins = "" then [] else String.split_on_char ',' ins)
-        | _ -> Error "apply expects a parenthesized input list"
-      in
-      let* func = nonempty "function name" func in
-      let* output = nonempty "output attribute" output in
-      Ok (Op.Apply { rel; func; inputs; output })
-  | other -> Error (Printf.sprintf "unknown operator %S" other)
+      let c = { s = line; i = lb + 1 } in
+      match head with
+      | "promote" ->
+          let* name_col = component c ~stops:[ "/" ] in
+          let* () = expect c "/" in
+          let* value_col = component c ~stops:[ "]" ] in
+          let* rel = rel_arg c in
+          Ok (Op.Promote { rel; name_col; value_col })
+      | "demote" ->
+          let* att_att = component c ~stops:[ "," ] in
+          let* () = expect c "," in
+          let* rel_att = component c ~stops:[ "]" ] in
+          let* rel = rel_arg c in
+          Ok (Op.Demote { rel; att_att; rel_att })
+      | "deref" ->
+          let* target = component c ~stops:[ "<-*" ] in
+          let* () = expect c "<-*" in
+          let* pointer_col = component c ~stops:[ "]" ] in
+          let* rel = rel_arg c in
+          Ok (Op.Dereference { rel; target; pointer_col })
+      | "partition" ->
+          let* col = component c ~stops:[ "]" ] in
+          let* col = nonempty "column" col in
+          let* rel = rel_arg c in
+          Ok (Op.Partition { rel; col })
+      | "product" | "union" | "diff" | "join" ->
+          let* out = component c ~stops:[ "]" ] in
+          let* out = nonempty "output name" out in
+          let* left, right = pair_arg c in
+          Ok
+            (match head with
+            | "product" -> Op.Product { left; right; out }
+            | "union" -> Op.Union { left; right; out }
+            | "diff" -> Op.Diff { left; right; out }
+            | _ -> Op.Join { left; right; out })
+      | "drop" ->
+          let* col = component c ~stops:[ "]" ] in
+          let* col = nonempty "column" col in
+          let* rel = rel_arg c in
+          Ok (Op.Drop { rel; col })
+      | "merge" ->
+          let* col = component c ~stops:[ "]" ] in
+          let* col = nonempty "column" col in
+          let* rel = rel_arg c in
+          Ok (Op.Merge { rel; col })
+      | "rename_att" ->
+          let* old_name = component c ~stops:[ "->" ] in
+          let* () = expect c "->" in
+          let* new_name = component c ~stops:[ "]" ] in
+          let* rel = rel_arg c in
+          Ok (Op.RenameAtt { rel; old_name; new_name })
+      | "rename_rel" ->
+          let* old_name = component c ~stops:[ "->" ] in
+          let* () = expect c "->" in
+          let* new_name = component c ~stops:[ "]" ] in
+          let* () = expect c "]" in
+          let* () = finish c () in
+          Ok (Op.RenameRel { old_name; new_name })
+      | "apply" ->
+          let* func = component c ~stops:[ "(" ] in
+          let* func = nonempty "function name" func in
+          let* () = expect c "(" in
+          let* inputs =
+            if starts_with_at c.s c.i ")" then Ok []
+            else
+              let rec more acc =
+                let* input = component c ~stops:[ ","; ")" ] in
+                if starts_with_at c.s c.i "," then (
+                  c.i <- c.i + 1;
+                  more (input :: acc))
+                else Ok (List.rev (input :: acc))
+              in
+              more []
+          in
+          let* () = expect c ")->" in
+          let* output = component c ~stops:[ "]" ] in
+          let* output = nonempty "output attribute" output in
+          let* rel = rel_arg c in
+          Ok (Op.Apply { rel; func; inputs; output })
+      | "select" -> (
+          (* The predicate has its own syntax ([Pred_syntax], unquoted);
+             split at the last "](" instead of walking components. *)
+          let rec last_at i best =
+            if i < 0 then best
+            else if starts_with_at line i "](" then last_at (i - 1) (Some i)
+            else last_at (i - 1) best
+          in
+          match last_at (String.length line - 1) None with
+          | None -> Error "select expects [predicate](relation)"
+          | Some rb -> (
+              let body = String.sub line (lb + 1) (rb - lb - 1) in
+              let c = { s = line; i = rb } in
+              let* rel = rel_arg c in
+              match Pred_syntax.of_string body with
+              | Ok pred -> Ok (Op.Select { rel; pred })
+              | Error m -> Error ("bad predicate: " ^ m)))
+      | other -> Error (Printf.sprintf "unknown operator %S" other))
 
 let expr_of_string text =
   let lines = String.split_on_char '\n' text in

@@ -10,9 +10,15 @@
 
     This makes discovered mappings round-trippable: the CLI saves a mapping
     to a file and executes it later without re-searching. Blank lines and
-    lines starting with [#] are ignored. Names may contain any characters
-    except the delimiters of their position (brackets, parentheses, [,],
-    [/], [->]); everything the system itself generates round-trips. *)
+    lines starting with [#] are ignored.
+
+    Names print raw when unambiguous and double-quoted otherwise (see
+    {!Op.to_string}): a quoted name is delimited by double quotes and uses
+    backslash escapes for backslash, double quote, newline and CR. Since ↑
+    and ℘ mint names out of data values, discovered expressions can mention
+    names containing brackets, parentheses, commas, slashes, arrows or
+    quotes — all of them round-trip (property-tested against the fuzzer's
+    expression generator). *)
 
 val op_of_string : string -> (Op.t, string) result
 

@@ -1,0 +1,181 @@
+open Relational
+
+(* A bundle is one self-contained text file: header fields, the source
+   relations as CSV, the semfun annotation strings, and the program in
+   [Fira.Parser] file form. Section payload lines are indented with two
+   spaces so the column-0 keywords ([relation]/[program]/[end]) can never
+   collide with CSV or operator text; the indent is stripped exactly on
+   load, making the round-trip byte-faithful. The target is not stored —
+   it is recomputed by replaying the program, which is also the first
+   integrity check a loaded bundle passes. *)
+
+let magic = "# tupelo fuzz scenario v1"
+let indent = "  "
+
+let to_string ?label (s : Scenario.t) =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  let payload text =
+    String.split_on_char '\n' text
+    |> List.iter (fun l -> if l <> "" then line "%s%s" indent l)
+  in
+  line "%s" magic;
+  line "seed %d" s.seed;
+  line "depth %d" s.depth;
+  Option.iter (fun l -> line "label %s" l) label;
+  List.iter
+    (fun (name, rel) ->
+      line "relation %s" name;
+      payload (Csv.print_relation rel);
+      line "end")
+    (Database.relations s.source);
+  List.iter
+    (fun f ->
+      List.iter (fun a -> line "semfun %s" a) (Fira.Semfun.encode_annotation f))
+    (Fira.Semfun.to_list s.registry);
+  line "program";
+  List.iter (fun op -> line "%s%s" indent (Fira.Op.to_string op))
+    (Fira.Expr.ops s.program);
+  line "end";
+  Buffer.contents b
+
+let strip_indent l =
+  let n = String.length indent in
+  if String.length l >= n && String.sub l 0 n = indent then
+    String.sub l n (String.length l - n)
+  else l
+
+let prefixed ~prefix l =
+  let n = String.length prefix in
+  if String.length l >= n && String.sub l 0 n = prefix then
+    Some (String.sub l n (String.length l - n))
+  else None
+
+let of_string text =
+  let ( let* ) = Result.bind in
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | first :: rest when String.trim first = magic ->
+      let seed = ref 0
+      and depth = ref 0
+      and label = ref None
+      and rels = ref []
+      and semfuns = ref []
+      and program = ref None in
+      (* [section] collects indented payload lines until a bare [end]. *)
+      let rec section acc = function
+        | [] -> Error "unterminated section (missing end)"
+        | l :: rest when String.trim l = "end" ->
+            Ok (String.concat "\n" (List.rev acc), rest)
+        | l :: rest -> section (strip_indent l :: acc) rest
+      in
+      let rec go = function
+        | [] -> Ok ()
+        | l :: rest -> (
+            let l' = String.trim l in
+            if l' = "" || (l' <> "" && l'.[0] = '#') then go rest
+            else
+              match prefixed ~prefix:"seed " l with
+              | Some v ->
+                  let* n =
+                    Option.to_result ~none:("bad seed: " ^ v)
+                      (int_of_string_opt (String.trim v))
+                  in
+                  seed := n;
+                  go rest
+              | None -> (
+                  match prefixed ~prefix:"depth " l with
+                  | Some v ->
+                      let* n =
+                        Option.to_result ~none:("bad depth: " ^ v)
+                          (int_of_string_opt (String.trim v))
+                      in
+                      depth := n;
+                      go rest
+                  | None -> (
+                      match prefixed ~prefix:"label " l with
+                      | Some v ->
+                          label := Some v;
+                          go rest
+                      | None -> (
+                          match prefixed ~prefix:"semfun " l with
+                          | Some v ->
+                              semfuns := v :: !semfuns;
+                              go rest
+                          | None -> (
+                              match prefixed ~prefix:"relation " l with
+                              | Some name ->
+                                  let* body, rest = section [] rest in
+                                  rels := (name, body) :: !rels;
+                                  go rest
+                              | None ->
+                                  if l = "program" then
+                                    let* body, rest = section [] rest in
+                                    match !program with
+                                    | Some _ -> Error "duplicate program section"
+                                    | None ->
+                                        program := Some body;
+                                        go rest
+                                  else Error ("unrecognized line: " ^ l))))))
+      in
+      let* () = go rest in
+      let* program_text =
+        Option.to_result ~none:"missing program section" !program
+      in
+      let* program = Fira.Parser.expr_of_string program_text in
+      let* source =
+        try
+          Ok
+            (Database.of_list
+               (List.rev_map
+                  (fun (name, csv) -> (name, Csv.parse_relation csv))
+                  !rels))
+        with
+        | Relation.Error m | Database.Error m | Schema.Error m ->
+            Error ("bad relation CSV: " ^ m)
+        | Failure m -> Error ("bad relation CSV: " ^ m)
+      in
+      let* registry =
+        try Ok (Fira.Semfun.of_list (Fira.Semfun.decode_annotations (List.rev !semfuns)))
+        with Fira.Semfun.Error m -> Error ("bad semfun annotation: " ^ m)
+      in
+      let base : Scenario.t =
+        {
+          seed = !seed;
+          depth = !depth;
+          shape = Workloads.Random_db.fuzz_shape;
+          source;
+          registry;
+          program;
+          target = source;
+        }
+      in
+      let* s =
+        Option.to_result ~none:"program does not apply to the stored source"
+          (Scenario.with_target base)
+      in
+      Ok (s, !label)
+  | _ -> Error (Printf.sprintf "not a fuzz scenario bundle (expected %S)" magic)
+
+let save ~path ?label s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?label s))
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> (
+      match of_string text with
+      | Ok r -> Ok r
+      | Error m -> Error (Printf.sprintf "%s: %s" path m))
+  | exception Sys_error m -> Error m
+
+let load_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter (fun n -> Filename.check_suffix n ".scenario")
+      |> List.sort compare
+      |> List.map (fun n -> (Filename.concat dir n, load (Filename.concat dir n)))

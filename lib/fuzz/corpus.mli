@@ -1,0 +1,26 @@
+(** Regression-corpus serialization for fuzz scenarios.
+
+    One scenario per [.scenario] text file, fully self-contained: header
+    fields ([seed]/[depth]/optional [label]), each source relation as an
+    inline CSV section, the semantic-function registry as §4 annotation
+    strings, and the ℒ program in {!Fira.Parser} file form. Section
+    payload lines are two-space indented so marker keywords can't collide
+    with data; the target database is not stored — loading replays the
+    program, which doubles as an integrity check. The encoding
+    round-trips: [of_string (to_string s)] recovers a scenario with equal
+    source, program, registry annotations and target. *)
+
+val to_string : ?label:string -> Scenario.t -> string
+
+val of_string : string -> (Scenario.t * string option, string) result
+(** The [string option] is the stored [label] (typically the oracle
+    outcome that made the scenario corpus-worthy). *)
+
+val save : path:string -> ?label:string -> Scenario.t -> unit
+val load : string -> (Scenario.t * string option, string) result
+
+val load_dir : string -> (string * (Scenario.t * string option, string) result) list
+(** All [*.scenario] files in a directory, sorted by name; missing
+    directory → []. Per-file parse failures are reported in place so a
+    corrupted corpus entry fails the replaying test instead of being
+    silently skipped. *)

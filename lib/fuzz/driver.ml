@@ -1,0 +1,202 @@
+module Prng = Workloads.Prng
+
+type mode = Local | Remote of { host : string; port : int }
+
+type config = {
+  oracle : Oracle.config;
+  trials : int;
+  seed : int;
+  depth : int;
+  shape : Workloads.Random_db.shape;
+  jobs : int;
+  time_budget_s : float option;
+  mode : mode;
+  shrink_attempts : int;
+  corpus_dir : string option;
+  not_found_fails : bool;
+}
+
+let config ?(oracle = Oracle.config ()) ?(trials = 100) ?(seed = 1)
+    ?(depth = 4) ?(shape = Workloads.Random_db.fuzz_shape) ?(jobs = 1)
+    ?time_budget_s ?(mode = Local) ?(shrink_attempts = 400) ?corpus_dir
+    ?(not_found_fails = false) () =
+  if trials < 0 then invalid_arg "Fuzz.Driver.config: trials must be >= 0";
+  if jobs < 1 then invalid_arg "Fuzz.Driver.config: jobs must be >= 1";
+  {
+    oracle;
+    trials;
+    seed;
+    depth;
+    shape;
+    jobs;
+    time_budget_s;
+    mode;
+    shrink_attempts;
+    corpus_dir;
+    not_found_fails;
+  }
+
+type failure = {
+  trial : int;
+  scenario : Scenario.t;  (* minimized *)
+  original : Scenario.t;
+  report : Oracle.report;
+  shrink : Shrink.stats;
+  saved : string option;
+}
+
+type summary = {
+  ran : int;
+  verified : int;
+  wrong_mapping : int;
+  not_found : int;
+  budget_exhausted : int;
+  oracle_errors : int;
+  failures : failure list;
+  elapsed_s : float;
+}
+
+let clean (s : summary) = s.failures = []
+
+let summary_to_string (s : summary) =
+  Printf.sprintf
+    "%d trials in %.1fs: %d verified, %d wrong_mapping, %d not_found, %d \
+     budget_exhausted, %d oracle_error%s"
+    s.ran s.elapsed_s s.verified s.wrong_mapping s.not_found s.budget_exhausted
+    s.oracle_errors
+    (if s.failures = [] then ""
+     else Printf.sprintf "; %d failing (minimized)" (List.length s.failures))
+
+(* Trial [i]'s scenario seed is position [i] of a SplitMix64 stream over
+   the master seed: independent of jobs/sharding, so any failing trial
+   reproduces standalone from [(master seed, i)]. *)
+let trial_seeds config =
+  let rng = Prng.create config.seed in
+  Array.init config.trials (fun _ -> Prng.int rng 0x3FFFFFFF)
+
+let check_in ~mode ?stop ?perturb oracle scenario =
+  match mode with
+  | Local -> Oracle.check ?stop ?perturb oracle scenario
+  | Remote { host; port } -> (
+      match Server.Client.connect ~host ~port with
+      | exception Unix.Unix_error (e, _, _) ->
+          {
+            Oracle.outcome =
+              Oracle.Oracle_error ("connect: " ^ Unix.error_message e);
+            mapping = None;
+            states_examined = 0;
+          }
+      | exception Failure m ->
+          {
+            Oracle.outcome = Oracle.Oracle_error ("connect: " ^ m);
+            mapping = None;
+            states_examined = 0;
+          }
+      | conn ->
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close conn)
+            (fun () -> Oracle.check_remote conn ?perturb oracle scenario))
+
+let failed config (o : Oracle.outcome) =
+  match o with
+  | Oracle.Wrong_mapping | Oracle.Oracle_error _ -> true
+  | Oracle.Not_found -> config.not_found_fails
+  | Oracle.Verified | Oracle.Budget_exhausted -> false
+
+let run ?perturb ?(log = fun (_ : string) -> ()) config =
+  let start = Unix.gettimeofday () in
+  let deadline = Option.map (fun b -> start +. b) config.time_budget_s in
+  let past_deadline () =
+    match deadline with
+    | None -> false
+    | Some d -> Unix.gettimeofday () > d
+  in
+  let seeds = trial_seeds config in
+  let log_mutex = Mutex.create () in
+  let log m = Mutex.protect log_mutex (fun () -> log m) in
+  let one_trial i =
+    if past_deadline () then None
+    else
+      let scenario =
+        Scenario.generate ~shape:config.shape ~depth:config.depth seeds.(i)
+      in
+      let report =
+        check_in ~mode:config.mode ~stop:past_deadline ?perturb config.oracle
+          scenario
+      in
+      if failed config report.Oracle.outcome then
+        log
+          (Printf.sprintf "trial %d (seed %d): %s" i scenario.Scenario.seed
+             (Oracle.outcome_name report.Oracle.outcome));
+      Some (i, scenario, report)
+  in
+  (* Interleaved sharding (worker w takes trials w, w+jobs, …) keeps the
+     shards balanced when the deadline cuts the run short. *)
+  let worker w =
+    let rec go i acc =
+      if i >= config.trials then List.rev acc
+      else
+        match one_trial i with
+        | None -> List.rev acc
+        | Some r -> go (i + config.jobs) (r :: acc)
+    in
+    go w []
+  in
+  let results =
+    if config.jobs = 1 then worker 0
+    else
+      List.init config.jobs (fun w -> Domain.spawn (fun () -> worker w))
+      |> List.map Domain.join
+      |> List.concat
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  (* Shrink failures sequentially after the fleet joins: failures are
+     rare and each [keeps] re-check is a full search, so this phase gets
+     whatever wall-clock it needs rather than racing the trial deadline. *)
+  let minimize (i, scenario, (report : Oracle.report)) =
+    if not (failed config report.Oracle.outcome) then None
+    else begin
+      let keeps c =
+        let r = check_in ~mode:config.mode ?perturb config.oracle c in
+        failed config r.Oracle.outcome
+      in
+      let minimized, stats =
+        Shrink.minimize ~max_attempts:config.shrink_attempts ~keeps scenario
+      in
+      log
+        (Printf.sprintf
+           "trial %d minimized: %d -> %d ops (%d shrink attempts, %d kept)" i
+           (Fira.Expr.length scenario.Scenario.program)
+           (Fira.Expr.length minimized.Scenario.program)
+           stats.Shrink.attempts stats.Shrink.accepted);
+      let saved =
+        Option.map
+          (fun dir ->
+            let label = Oracle.outcome_name report.Oracle.outcome in
+            let path =
+              Filename.concat dir
+                (Printf.sprintf "seed%d-%s.scenario" minimized.Scenario.seed
+                   label)
+            in
+            Corpus.save ~path ~label minimized;
+            log (Printf.sprintf "trial %d reproducer saved to %s" i path);
+            path)
+          config.corpus_dir
+      in
+      Some { trial = i; scenario = minimized; original = scenario; report;
+             shrink = stats; saved }
+    end
+  in
+  let failures = List.filter_map minimize results in
+  let count p = List.length (List.filter (fun (_, _, r) -> p r.Oracle.outcome) results) in
+  {
+    ran = List.length results;
+    verified = count (fun o -> o = Oracle.Verified);
+    wrong_mapping = count (fun o -> o = Oracle.Wrong_mapping);
+    not_found = count (fun o -> o = Oracle.Not_found);
+    budget_exhausted = count (fun o -> o = Oracle.Budget_exhausted);
+    oracle_errors =
+      count (function Oracle.Oracle_error _ -> true | _ -> false);
+    failures;
+    elapsed_s = Unix.gettimeofday () -. start;
+  }

@@ -1,0 +1,88 @@
+(** The fuzz campaign driver: N trials, a deadline, sharding, shrinking.
+
+    Each trial generates a scenario, runs the oracle and classifies the
+    outcome. Trial seeds are drawn upfront from a SplitMix64 stream over
+    the master seed, so trial [i] is the same scenario regardless of
+    [jobs] or of how a deadline truncated the run — any failure
+    reproduces standalone. Failing trials are delta-debugged with
+    {!Shrink.minimize} (after the parallel phase, so shrinking never
+    races the trial deadline) and, when [corpus_dir] is set, saved as
+    self-contained {!Corpus} bundles named [seed<n>-<outcome>.scenario]. *)
+
+type mode =
+  | Local  (** in-process {!Oracle.check} *)
+  | Remote of { host : string; port : int }
+      (** {!Oracle.check_remote} through a running [tupelo serve] *)
+
+type config = {
+  oracle : Oracle.config;
+  trials : int;
+  seed : int;  (** master seed *)
+  depth : int;  (** requested ℒ program length per scenario *)
+  shape : Workloads.Random_db.shape;
+  jobs : int;  (** worker domains sharding the trials *)
+  time_budget_s : float option;
+      (** wall-clock deadline: no new trials start after it, and the
+          in-flight search is cancelled through [Discover]'s [stop] *)
+  mode : mode;
+  shrink_attempts : int;
+  corpus_dir : string option;
+  not_found_fails : bool;
+      (** also treat {!Oracle.Not_found} as a shrink-worthy failure
+          (off by default: with a finite budget it is
+          budget-dependent, unlike the unconditional soundness bug
+          {!Oracle.Wrong_mapping}) *)
+}
+
+val config :
+  ?oracle:Oracle.config ->
+  ?trials:int ->
+  ?seed:int ->
+  ?depth:int ->
+  ?shape:Workloads.Random_db.shape ->
+  ?jobs:int ->
+  ?time_budget_s:float ->
+  ?mode:mode ->
+  ?shrink_attempts:int ->
+  ?corpus_dir:string ->
+  ?not_found_fails:bool ->
+  unit ->
+  config
+(** Defaults: local mode, 100 trials, seed 1, depth 4,
+    {!Workloads.Random_db.fuzz_shape}, 1 job, no deadline, 400 shrink
+    attempts, no corpus directory.
+    @raise Invalid_argument if [trials < 0] or [jobs < 1]. *)
+
+type failure = {
+  trial : int;
+  scenario : Scenario.t;  (** minimized reproducer *)
+  original : Scenario.t;  (** as generated, before shrinking *)
+  report : Oracle.report;  (** the original failing report *)
+  shrink : Shrink.stats;
+  saved : string option;  (** corpus bundle path, when [corpus_dir] set *)
+}
+
+type summary = {
+  ran : int;  (** trials actually started before the deadline *)
+  verified : int;
+  wrong_mapping : int;
+  not_found : int;
+  budget_exhausted : int;
+  oracle_errors : int;
+  failures : failure list;
+  elapsed_s : float;
+}
+
+val clean : summary -> bool
+(** No failures (per the configured failure policy). *)
+
+val summary_to_string : summary -> string
+
+val run :
+  ?perturb:(Relational.Database.t -> Relational.Database.t) ->
+  ?log:(string -> unit) ->
+  config ->
+  summary
+(** [perturb] is threaded to the oracle's replay step (the mutation
+    smoke-check hook); [log] receives progress lines (failing trials,
+    shrink results) and is serialized under a mutex. *)

@@ -1,0 +1,136 @@
+open Relational
+module D = Tupelo.Discover
+
+type config = {
+  algorithm : D.algorithm;
+  heuristic : string;
+  budget : int;
+  jobs : int;
+}
+
+let config ?(algorithm = D.Rbfs) ?(heuristic = "cosine") ?(budget = 50_000)
+    ?(jobs = 1) () =
+  if budget <= 0 then invalid_arg "Fuzz.Oracle.config: budget must be > 0";
+  if jobs < 1 then invalid_arg "Fuzz.Oracle.config: jobs must be >= 1";
+  { algorithm; heuristic; budget; jobs }
+
+type outcome =
+  | Verified
+  | Wrong_mapping
+  | Not_found
+  | Budget_exhausted
+  | Oracle_error of string
+
+type report = {
+  outcome : outcome;
+  mapping : Fira.Expr.t option;
+  states_examined : int;
+}
+
+let outcome_name = function
+  | Verified -> "verified"
+  | Wrong_mapping -> "wrong_mapping"
+  | Not_found -> "not_found"
+  | Budget_exhausted -> "budget_exhausted"
+  | Oracle_error _ -> "oracle_error"
+
+let is_failure = function
+  | Wrong_mapping | Oracle_error _ -> true
+  | Verified | Not_found | Budget_exhausted -> false
+
+let heuristic_exn config =
+  let scaling = D.scaling_for config.algorithm in
+  match Heuristics.Heuristic.by_name scaling config.heuristic with
+  | Some h -> h
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Fuzz.Oracle: unknown heuristic %S" config.heuristic)
+
+(* The replay side of the oracle: execute the discovered expression from
+   scratch on the scenario source ([Fira.Expr.eval], full λ semantics)
+   and demand the paper's goal test on the result. [perturb], when
+   given, post-processes the replayed database — the mutation hook used
+   by the smoke tests to inject a deliberate eval bug and prove the
+   fuzzer + shrinker catch it. *)
+let verdict ?perturb (s : Scenario.t) expr ~states =
+  match Scenario.replay s.registry expr s.source with
+  | None -> { outcome = Wrong_mapping; mapping = Some expr; states_examined = states }
+  | Some replayed ->
+      let replayed =
+        match perturb with Some f -> f replayed | None -> replayed
+      in
+      let ok =
+        Tupelo.Goal.reached Tupelo.Goal.Superset ~target:s.target replayed
+      in
+      {
+        outcome = (if ok then Verified else Wrong_mapping);
+        mapping = Some expr;
+        states_examined = states;
+      }
+
+let check ?stop ?perturb config (s : Scenario.t) =
+  let dcfg =
+    D.config ~algorithm:config.algorithm ~heuristic:(heuristic_exn config)
+      ~goal:Tupelo.Goal.Superset ~budget:config.budget ~jobs:config.jobs ()
+  in
+  match D.discover ?stop ~registry:s.registry dcfg ~source:s.source ~target:s.target with
+  | D.Mapping m ->
+      verdict ?perturb s m.Tupelo.Mapping.expr
+        ~states:m.Tupelo.Mapping.stats.Search.Space.examined
+  | D.No_mapping stats ->
+      { outcome = Not_found; mapping = None;
+        states_examined = stats.Search.Space.examined }
+  | D.Gave_up stats ->
+      { outcome = Budget_exhausted; mapping = None;
+        states_examined = stats.Search.Space.examined }
+
+(* ------------------------------------------------------------------ *)
+(* Wire-path oracle: round-trip the scenario through a running mapping
+   server. The discovered expression comes back in [Fira.Parser] file
+   form; replay and goal check still happen locally, so this exercises
+   CSV framing, the JSON codec, admission control and the server-side
+   search — everything [tupelo serve] puts between a client and
+   [Discover]. *)
+
+let request_of_scenario config (s : Scenario.t) =
+  let csvs db =
+    List.map (fun (name, rel) -> (name, Csv.print_relation rel))
+      (Database.relations db)
+  in
+  let semfuns =
+    Fira.Semfun.to_list s.registry
+    |> List.concat_map Fira.Semfun.encode_annotation
+  in
+  Server.Protocol.request
+    ~algorithm:(D.algorithm_name config.algorithm)
+    ~heuristic:config.heuristic ~goal:"superset" ~budget:config.budget
+    ~jobs:config.jobs ~semfuns ~source:(csvs s.source) ~target:(csvs s.target)
+    ()
+
+let check_remote conn ?perturb config (s : Scenario.t) =
+  match Server.Client.discover conn (request_of_scenario config s) with
+  | Error m -> { outcome = Oracle_error ("transport: " ^ m); mapping = None;
+                 states_examined = 0 }
+  | Ok (status, Error m) ->
+      { outcome = Oracle_error (Printf.sprintf "HTTP %d: %s" status m);
+        mapping = None; states_examined = 0 }
+  | Ok (_, Ok resp) -> (
+      let states = resp.Server.Protocol.states_examined in
+      match resp.Server.Protocol.outcome with
+      | "no_mapping" -> { outcome = Not_found; mapping = None; states_examined = states }
+      | "gave_up" | "timeout" ->
+          { outcome = Budget_exhausted; mapping = None; states_examined = states }
+      | "mapping" -> (
+          match resp.Server.Protocol.expr with
+          | None ->
+              { outcome = Oracle_error "mapping response carried no expr";
+                mapping = None; states_examined = states }
+          | Some text -> (
+              match Fira.Parser.expr_of_string text with
+              | Error m ->
+                  { outcome = Oracle_error ("unparseable expr: " ^ m);
+                    mapping = None; states_examined = states }
+              | Ok expr -> verdict ?perturb s expr ~states))
+      | other ->
+          { outcome = Oracle_error (Printf.sprintf "unknown outcome %S" other);
+            mapping = None; states_examined = states })

@@ -1,0 +1,79 @@
+(** The fuzzer's oracle: rediscover a scenario's mapping and verify it.
+
+    For a scenario [(I, e, e I)] the oracle runs {!Tupelo.Discover} on
+    the pair [(I, e I)] and classifies the result. Discovery may
+    legitimately return a {e different} expression than the one the
+    generator sampled — any program replaying (with full λ semantics,
+    {!Fira.Expr.eval}) to a state that satisfies the paper's
+    {!Tupelo.Goal.Superset} test is correct. Only a mapping that fails
+    that replay check — or a search that claims impossibility on a
+    solvable instance — is a bug. *)
+
+type config = {
+  algorithm : Tupelo.Discover.algorithm;
+  heuristic : string;
+  budget : int;  (** maximum states examined per trial *)
+  jobs : int;
+}
+
+val config :
+  ?algorithm:Tupelo.Discover.algorithm ->
+  ?heuristic:string ->
+  ?budget:int ->
+  ?jobs:int ->
+  unit ->
+  config
+(** Defaults: RBFS / cosine / 50k states / 1 domain.
+    @raise Invalid_argument if [budget <= 0] or [jobs < 1]. *)
+
+type outcome =
+  | Verified  (** a mapping was found and replays to a goal state *)
+  | Wrong_mapping
+      (** a mapping was found but does not replay to a goal state — a
+          soundness bug somewhere in search, eval or the wire path *)
+  | Not_found
+      (** search exhausted its space without a mapping; the instance is
+          solvable by construction, so this is a completeness bug *)
+  | Budget_exhausted  (** inconclusive: budget or deadline hit *)
+  | Oracle_error of string
+      (** server mode only: transport or protocol failure *)
+
+type report = {
+  outcome : outcome;
+  mapping : Fira.Expr.t option;  (** the discovered expression, if any *)
+  states_examined : int;
+}
+
+val outcome_name : outcome -> string
+
+val is_failure : outcome -> bool
+(** [Wrong_mapping] and [Oracle_error] are failures worth shrinking;
+    [Not_found] is reported separately by the driver (it depends on the
+    budget, so it shrinks poorly and is not treated as a corpus-worthy
+    counterexample unless it persists at high budgets). *)
+
+val check :
+  ?stop:(unit -> bool) ->
+  ?perturb:(Relational.Database.t -> Relational.Database.t) ->
+  config ->
+  Scenario.t ->
+  report
+(** In-process oracle. [stop] is passed through to
+    {!Tupelo.Discover.discover} (cooperative cancellation → at worst
+    {!Budget_exhausted}, never a false {!Verified}). [perturb]
+    post-processes the {e replayed} database before the goal check — the
+    mutation hook the smoke tests use to emulate an eval bug and prove
+    the pipeline catches it. *)
+
+val check_remote :
+  Server.Client.conn ->
+  ?perturb:(Relational.Database.t -> Relational.Database.t) ->
+  config ->
+  Scenario.t ->
+  report
+(** Wire-path oracle: POST the scenario to a running mapping server
+    ([tupelo serve]), parse the returned expression with
+    {!Fira.Parser.expr_of_string} and replay it locally — exercising the
+    CSV framing, the JSON codec and the server-side search end to end. *)
+
+val request_of_scenario : config -> Scenario.t -> Server.Protocol.discover_request

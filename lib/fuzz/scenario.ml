@@ -1,0 +1,322 @@
+open Relational
+module Prng = Workloads.Prng
+module Random_db = Workloads.Random_db
+module Op = Fira.Op
+
+type t = {
+  seed : int;
+  depth : int;
+  shape : Random_db.shape;
+  source : Database.t;
+  registry : Fira.Semfun.registry;
+  program : Fira.Expr.t;
+  target : Database.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Replay: (source, program) → target, or None when some step is
+   inapplicable (the shrinker proposes reductions that can invalidate
+   later operators). *)
+
+let replay registry program source =
+  try Some (Fira.Expr.eval registry program source) with
+  | Fira.Eval.Error _ | Relation.Error _ | Database.Error _ | Schema.Error _
+    ->
+      None
+
+let with_target s =
+  match replay s.registry s.program s.source with
+  | Some target -> Some { s with target }
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Derived semantic functions (§4, example-table only).
+
+   The λ of a fuzz scenario carries no implementation: search-time
+   (syntactic), generation-time and replay-time evaluation then all run
+   the same example-table lookup, so the inverse problem stays exactly
+   solvable. Examples are derived from the chosen relation's rows;
+   values whose rendering contains the annotation codec's delimiters are
+   skipped so the corpus serialization (annotation strings) round-trips. *)
+
+let contains_sub s needle =
+  let nl = String.length needle and sl = String.length s in
+  let rec go i =
+    if i + nl > sl then false else String.sub s i nl = needle || go (i + 1)
+  in
+  go 0
+
+let codec_safe s =
+  (not (String.exists (fun ch -> ch = '\x1f' || ch = '\n' || ch = '\r') s))
+  && not (contains_sub s "\xe2\x86\x92")
+
+(* Attribute names usable inside an annotation's [ins>out] signature. *)
+let signature_safe a =
+  codec_safe a
+  && not
+       (String.exists
+          (function ',' | '>' | '[' | ']' | ':' | '/' -> true | _ -> false)
+          a)
+
+let fresh_prefix = "z"
+
+let sample_semfun rng idx db =
+  match Database.relations db with
+  | [] -> None
+  | rels -> (
+      let _, rel = Prng.pick rng rels in
+      match List.filter signature_safe (Relation.attributes rel) with
+      | [] -> None
+      | atts -> (
+          let arity = 1 + Prng.int rng (min 2 (List.length atts)) in
+          let inputs = Prng.sample rng arity atts in
+          let arity = List.length inputs in
+          let output = Printf.sprintf "%s%d" fresh_prefix (100 + idx) in
+          let examples =
+            List.filter_map
+              (fun row ->
+                let ins = List.map (fun a -> Relation.get rel row a) inputs in
+                if
+                  List.for_all
+                    (fun v ->
+                      (not (Value.is_null v)) && codec_safe (Value.to_string v))
+                    ins
+                then
+                  (* The "o-" prefix keeps the rendering outside
+                     [Value.of_string_guess]'s numeric/bool/null guesses,
+                     so the example table survives the annotation codec
+                     (corpus bundles re-read examples through
+                     [of_string_guess]) with values intact. *)
+                  let out =
+                    Value.String
+                      ("o-" ^ String.concat "-" (List.map Value.to_string ins))
+                  in
+                  Some (ins, out)
+                else None)
+              (Relation.rows rel)
+            |> List.sort_uniq compare
+          in
+          match examples with
+          | [] -> None
+          | _ ->
+              Some
+                (Fira.Semfun.make
+                   ~signature:(inputs, output)
+                   ~name:(Printf.sprintf "f%d" (idx + 1))
+                   ~arity ~examples ())))
+
+(* ------------------------------------------------------------------ *)
+(* Applicability-respecting operator sampling.
+
+   Candidates are enumerated from the current database's own names and
+   values (unlike [Tupelo.Moves], which prunes toward a target — here
+   the program IS what defines the target), grouped by operator kind;
+   a step picks a kind uniformly among the non-empty ones, then an
+   instance uniformly within the kind, so programs stay op-diverse
+   instead of drowning in renames. Every candidate passes
+   [Fira.Eval.applicable]; growth is bounded by a cell budget. *)
+
+let max_scenario_cells = 512
+
+let total_cells db =
+  Database.fold
+    (fun _ r n -> n + (Relation.cardinality r * Schema.arity (Relation.schema r)))
+    db 0
+
+let names_a_column rel col =
+  let atts = Relation.attributes rel in
+  List.exists
+    (fun v -> (not (Value.is_null v)) && List.mem (Value.to_string v) atts)
+    (Relation.column rel col)
+
+let candidate_groups registry db ~fresh =
+  let rels = Database.relations db in
+  let group kind ops = if ops = [] then None else Some (kind, ops) in
+  let per_rel f = List.concat_map f rels in
+  let promote =
+    per_rel (fun (name, r) ->
+        let atts = Relation.attributes r in
+        List.concat_map
+          (fun a ->
+            List.filter_map
+              (fun b ->
+                if a = b then None
+                else Some (Op.Promote { rel = name; name_col = a; value_col = b }))
+              atts)
+          atts)
+  in
+  let demote = per_rel (fun (name, _) -> [ Op.demote name ]) in
+  let dereference =
+    per_rel (fun (name, r) ->
+        List.filter_map
+          (fun a ->
+            if names_a_column r a then
+              Some (Op.Dereference { rel = name; target = fresh; pointer_col = a })
+            else None)
+          (Relation.attributes r))
+  in
+  let partition =
+    per_rel (fun (name, r) ->
+        List.map (fun a -> Op.Partition { rel = name; col = a })
+          (Relation.attributes r))
+  in
+  let product =
+    List.concat_map
+      (fun (l, lr) ->
+        List.filter_map
+          (fun (r, rr) ->
+            if
+              l < r
+              && Relation.cardinality lr * Relation.cardinality rr <= 32
+              && Schema.arity (Relation.schema lr)
+                 + Schema.arity (Relation.schema rr)
+                 <= 8
+            then Some (Op.Product { left = l; right = r; out = fresh })
+            else None)
+          rels)
+      rels
+  in
+  let drop =
+    per_rel (fun (name, r) ->
+        List.map (fun a -> Op.Drop { rel = name; col = a })
+          (Relation.attributes r))
+  in
+  let merge =
+    per_rel (fun (name, r) ->
+        List.map (fun a -> Op.Merge { rel = name; col = a })
+          (Relation.attributes r))
+  in
+  let rename_att =
+    per_rel (fun (name, r) ->
+        List.map
+          (fun a -> Op.RenameAtt { rel = name; old_name = a; new_name = fresh })
+          (Relation.attributes r))
+  in
+  let rename_rel =
+    List.map
+      (fun (name, _) -> Op.RenameRel { old_name = name; new_name = fresh })
+      rels
+  in
+  let apply =
+    List.concat_map
+      (fun f ->
+        match Fira.Semfun.signature f with
+        | None -> []
+        | Some (ins, out) ->
+            List.filter_map
+              (fun (name, r) ->
+                let schema = Relation.schema r in
+                if
+                  List.for_all (Schema.mem schema) ins
+                  && not (Schema.mem schema out)
+                then
+                  Some
+                    (Op.Apply
+                       { rel = name; func = Fira.Semfun.name f; inputs = ins;
+                         output = out })
+                else None)
+              rels)
+      (Fira.Semfun.to_list registry)
+  in
+  List.filter_map
+    (fun (kind, ops) ->
+      group kind (List.filter (fun op -> Fira.Eval.applicable registry op db) ops))
+    [
+      ("promote", promote);
+      ("demote", demote);
+      ("dereference", dereference);
+      ("partition", partition);
+      ("product", product);
+      ("drop", drop);
+      ("merge", merge);
+      ("rename_att", rename_att);
+      ("rename_rel", rename_rel);
+      ("apply", apply);
+    ]
+
+(* One applicable, budget-respecting operator from [db], or None. *)
+let sample_op rng registry db ~fresh =
+  let rec attempt groups =
+    match groups with
+    | [] -> None
+    | _ -> (
+        let kind, ops = Prng.pick rng groups in
+        let op = Prng.pick rng ops in
+        match Fira.Eval.apply registry op db with
+        | exception
+            ( Fira.Eval.Error _ | Relation.Error _ | Database.Error _
+            | Schema.Error _ ) ->
+            retry groups kind op
+        | db' ->
+            if total_cells db' > max_scenario_cells then retry groups kind op
+            else Some (op, db'))
+  and retry groups kind op =
+    (* Remove the failed instance and try again. *)
+    let groups =
+      List.filter_map
+        (fun (k, ops) ->
+          if k <> kind then Some (k, ops)
+          else
+            match List.filter (fun o -> not (Op.equal o op)) ops with
+            | [] -> None
+            | ops -> Some (k, ops))
+        groups
+    in
+    attempt groups
+  in
+  attempt (candidate_groups registry db ~fresh)
+
+(* ------------------------------------------------------------------ *)
+(* Generation *)
+
+let fresh_name db k =
+  (* Fresh names are [z1], [z2], …, skipping anything the database
+     already uses as a relation or attribute name. *)
+  let used n =
+    Database.mem db n || List.mem n (Database.all_attributes db)
+  in
+  let rec go k =
+    let n = Printf.sprintf "%s%d" fresh_prefix k in
+    if used n then go (k + 1) else (n, k + 1)
+  in
+  go k
+
+let generate ?(shape = Random_db.fuzz_shape) ~depth seed =
+  if depth < 0 then invalid_arg "Fuzz.Scenario.generate: depth must be >= 0";
+  let rng = Prng.create seed in
+  let source = Random_db.database ~shape rng in
+  let registry =
+    let wanted = Prng.int rng 3 (* 0, 1 or 2 functions *) in
+    let rec add reg i =
+      if i >= wanted then reg
+      else
+        match sample_semfun rng i source with
+        | None -> reg
+        | Some f -> add (Fira.Semfun.register reg f) (i + 1)
+    in
+    add Fira.Semfun.empty_registry 0
+  in
+  let rec grow db acc k fresh_k =
+    if k = 0 then (List.rev acc, db)
+    else
+      let fresh, fresh_k = fresh_name db fresh_k in
+      match sample_op rng registry db ~fresh with
+      | None -> (List.rev acc, db)
+      | Some (op, db') -> grow db' (op :: acc) (k - 1) fresh_k
+  in
+  let ops, target = grow source [] depth 1 in
+  {
+    seed;
+    depth;
+    shape;
+    source;
+    registry;
+    program = Fira.Expr.of_ops ops;
+    target;
+  }
+
+let to_string s =
+  Printf.sprintf "seed=%d depth=%d ops=%d [%s]" s.seed s.depth
+    (Fira.Expr.length s.program)
+    (String.concat "; "
+       (List.map Op.to_string (Fira.Expr.ops s.program)))

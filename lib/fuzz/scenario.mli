@@ -1,0 +1,49 @@
+(** Inverse-problem scenarios: a random database, a random ℒ program, and
+    the program's output.
+
+    TUPELO's correctness claim is an inverse problem (the Rosetta Stone
+    principle, PAPER §3): for any instance [I] and ℒ expression [e],
+    discovery on [(I, e I)] must return a mapping that replays to a state
+    satisfying the goal. A scenario materializes one such instance of the
+    problem. Generation is deterministic: the scenario is a pure function
+    of its [(seed, shape, depth)] triple, so every fuzz failure is
+    reproducible from three numbers.
+
+    The program is applicability-respecting by construction — each next
+    operator is drawn (kind-uniformly, then instance-uniformly) from the
+    {!Fira.Op} instances actually typable in the current state, checked
+    with {!Fira.Eval.applicable} and bounded by a cell budget. Scenarios
+    may articulate complex semantic functions (§4): these carry example
+    tables only (no implementation), so search-time, generation-time and
+    replay-time evaluation agree exactly. *)
+
+open Relational
+
+type t = {
+  seed : int;
+  depth : int;  (** requested program length (the generator may stop short
+                    when no operator is applicable) *)
+  shape : Workloads.Random_db.shape;
+  source : Database.t;
+  registry : Fira.Semfun.registry;
+  program : Fira.Expr.t;
+  target : Database.t;  (** [program] applied to [source] *)
+}
+
+val generate : ?shape:Workloads.Random_db.shape -> depth:int -> int -> t
+(** [generate ~depth seed] — deterministic in [(seed, shape, depth)].
+    Default shape: {!Workloads.Random_db.fuzz_shape}.
+    @raise Invalid_argument if [depth < 0]. *)
+
+val replay : Fira.Semfun.registry -> Fira.Expr.t -> Database.t -> Database.t option
+(** Apply a program with full λ semantics; [None] when a step is
+    inapplicable (shrinker reductions can invalidate later operators). *)
+
+val with_target : t -> t option
+(** Recompute [target] from [(source, program)] — used after the shrinker
+    mutates either; [None] when the program no longer applies. *)
+
+val total_cells : Database.t -> int
+
+val to_string : t -> string
+(** One-line summary: the triple plus the program. *)

@@ -1,0 +1,82 @@
+open Relational
+
+type stats = { attempts : int; accepted : int }
+
+(* A candidate reduction proposes a new (source, program) pair; the
+   target is always recomputed, and a candidate whose program no longer
+   applies is discarded before the (expensive) failure re-check runs. *)
+let candidate (s : Scenario.t) ~source ~program =
+  Scenario.with_target { s with source; program }
+
+let ops_without i ops = List.filteri (fun j _ -> j <> i) ops
+
+(* Reductions for one round, cheapest-win first: whole-suffix
+   truncations (shortest surviving prefix immediately removes the most
+   operators), then single inner operators, then whole relations, then
+   attributes, then rows. Lazily produced so an accepted reduction early
+   in the round costs nothing for the rest. *)
+let proposals (s : Scenario.t) : Scenario.t option Seq.t =
+  let ops = Fira.Expr.ops s.program in
+  let n = List.length ops in
+  let with_program ops =
+    candidate s ~source:s.source ~program:(Fira.Expr.of_ops ops)
+  in
+  let with_source source = candidate s ~source ~program:s.program in
+  let truncations =
+    Seq.init n (fun len -> with_program (List.filteri (fun j _ -> j < len) ops))
+  in
+  let inner = Seq.init n (fun i -> with_program (ops_without i ops)) in
+  let rels = Database.relations s.source in
+  let drop_rels =
+    List.to_seq rels
+    |> Seq.map (fun (name, _) -> with_source (Database.remove s.source name))
+  in
+  let drop_atts =
+    List.to_seq rels
+    |> Seq.concat_map (fun (name, r) ->
+           if Schema.arity (Relation.schema r) <= 1 then Seq.empty
+           else
+             List.to_seq (Relation.attributes r)
+             |> Seq.map (fun a ->
+                    with_source
+                      (Database.add s.source name (Relation.project_away r a))))
+  in
+  let drop_rows =
+    List.to_seq rels
+    |> Seq.concat_map (fun (name, r) ->
+           let rows = Relation.rows r in
+           Seq.init (List.length rows) (fun i ->
+               let r' = Relation.of_rows (Relation.schema r) (ops_without i rows) in
+               with_source (Database.add s.source name r')))
+  in
+  Seq.concat
+    (List.to_seq [ truncations; inner; drop_rels; drop_atts; drop_rows ])
+
+let minimize ?(max_attempts = 400) ~keeps (s : Scenario.t) =
+  let attempts = ref 0 and accepted = ref 0 in
+  let try_one c =
+    match c with
+    | None -> None
+    | Some c ->
+        if !attempts >= max_attempts then None
+        else begin
+          incr attempts;
+          if keeps c then begin
+            incr accepted;
+            Some c
+          end
+          else None
+        end
+  in
+  (* Greedy fixpoint: restart the proposal sequence after every accepted
+     reduction, stop when a full round yields nothing (or the attempt
+     budget runs out). *)
+  let rec fix s =
+    if !attempts >= max_attempts then s
+    else
+      match Seq.find_map try_one (proposals s) with
+      | Some s' -> fix s'
+      | None -> s
+  in
+  let s' = fix s in
+  (s', { attempts = !attempts; accepted = !accepted })

@@ -1,0 +1,23 @@
+(** Delta-debugging shrinker for failing scenarios.
+
+    Given a failing scenario and a predicate that re-checks the failure,
+    greedily applies structure-preserving reductions — drop trailing
+    operators, drop inner operators, drop whole relations, drop
+    attributes, drop rows — recomputing the scenario's target after
+    each, and keeps any reduction under which the failure still
+    reproduces. Iterates to a fixpoint: the result is 1-minimal with
+    respect to the reduction set (no single further reduction keeps the
+    failure), which in practice lands mutation-injected eval bugs on
+    programs of one to three operators. *)
+
+type stats = { attempts : int; accepted : int }
+
+val minimize :
+  ?max_attempts:int ->
+  keeps:(Scenario.t -> bool) ->
+  Scenario.t ->
+  Scenario.t * stats
+(** [minimize ~keeps s] with [keeps s = true]. [keeps] typically re-runs
+    {!Oracle.check} (a full search per candidate), so the total work is
+    capped by [max_attempts] (default 400) failure re-checks; on budget
+    exhaustion the best scenario so far is returned. *)

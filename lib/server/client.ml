@@ -1,10 +1,20 @@
 type conn = { fd : Unix.file_descr; reader : Http.Reader.t }
 
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      match
+        Unix.getaddrinfo host ""
+          [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+      with
+      | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ -> addr
+      | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+
 let connect ~host ~port =
+  let addr = resolve host in
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try
-     Unix.connect fd
-       (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);

@@ -151,10 +151,22 @@ let candidates config registry target db =
               || not (Strings.is_empty (Strings.inter a_vals tv))
           | _ -> true (* no data illustrated: cannot rule the rename out *)
         in
+        (* An attribute is not renamed away while the target still wants
+           it — judged against the same-named target relation when there
+           is one, else against all target attributes. The per-relation
+           case came out of inverse-problem fuzzing: with two relations
+           sharing a column name, renaming it in one of them was never
+           proposed because the other relation's target schema still
+           wanted the name globally. *)
+        let wanted_atts =
+          match Database.find_opt target.db rel with
+          | Some tr -> Strings.of_list (Relation.attributes tr)
+          | None -> target.atts
+        in
         if not (Strings.is_empty missing_targets) then
           List.iter
             (fun a ->
-              if not (Strings.mem a target.atts) then
+              if not (Strings.mem a wanted_atts) then
                 Strings.iter
                   (fun b ->
                     if att_compatible a b then
@@ -203,7 +215,15 @@ let candidates config registry target db =
           atts;
       (* ↓ demote: this relation's metadata occurs among target values, and
          the relation does not already carry its metadata as data (a second
-         demote would only square the relation's size). *)
+         demote would only square the relation's size). Both tests are
+         value heuristics with blind spots that inverse-problem fuzzing
+         exposed — an empty relation demotes to no rows at all (so the
+         value test never fires), and a data value that coincidentally
+         equals a column name makes the already-demoted test suppress a
+         genuinely needed ↓. So, independently of the value tests, when a
+         same-named target relation's schema is exactly this relation's
+         plus two attributes, demote is also proposed aimed straight at
+         those two names. *)
       if config.enable_demote then begin
         let metadata_wanted =
           Strings.mem rel target.values
@@ -220,7 +240,18 @@ let candidates config registry target db =
           let att_att = fresh_name "ATT" taken in
           let rel_att = fresh_name "REL" (Strings.add att_att taken) in
           emit (Fira.Op.Demote { rel; att_att; rel_att })
-        end
+        end;
+        match Database.find_opt target.db rel with
+        | Some tr -> (
+            match
+              List.filter
+                (fun a -> not (Strings.mem a atts_set))
+                (Relation.attributes tr)
+            with
+            | [ att_att; rel_att ] ->
+                emit (Fira.Op.Demote { rel; att_att; rel_att })
+            | _ -> ())
+        | None -> ()
       end;
       (* → dereference *)
       if config.enable_dereference then begin

@@ -5,33 +5,73 @@ type shape = {
   max_attributes : int;
   max_rows : int;
   null_probability : float;
+  value_pool : string list;
+  ref_value_probability : float;
 }
 
-let default_shape =
-  { max_relations = 3; max_attributes = 4; max_rows = 4; null_probability = 0.1 }
-
-let value_pool =
+let base_pool =
   [ "alpha"; "bravo"; "charlie"; "delta"; "echo"; "foxtrot"; "10"; "20";
     "30"; "x1"; "x2"; "y1" ]
 
-let relation ?(shape = default_shape) rng =
+let default_shape =
+  {
+    max_relations = 3;
+    max_attributes = 4;
+    max_rows = 4;
+    null_probability = 0.1;
+    value_pool = base_pool;
+    ref_value_probability = 0.0;
+  }
+
+(* Strings carrying the delimiters of the §4 TNF annotation codec (λ
+   prefix, \x1f input separator, → arrow) and of the mapping-expression
+   parser's quoting layer — data that must survive every codec unscathed.
+   Excludes newlines so one CSV row stays one corpus-bundle line. *)
+let delimiter_spice =
+  [ "\xce\xbbnot/an:annotation"; "a\x1fb"; "x\xe2\x86\x92y"; "k[1]";
+    "p(q)"; "a,b"; "m/n"; "o->p"; "\"quoted\""; " padded " ]
+
+let fuzz_shape =
+  {
+    max_relations = 3;
+    max_attributes = 4;
+    max_rows = 4;
+    null_probability = 0.15;
+    value_pool = base_pool @ delimiter_spice;
+    ref_value_probability = 0.35;
+  }
+
+let cell rng shape metadata =
+  if Prng.float rng 1.0 < shape.null_probability then Value.Null
+  else if
+    (* Guarded so shapes with a zero probability (the default) consume the
+       same Prng draws as before the [metadata] pool existed. *)
+    shape.ref_value_probability > 0.0
+    && metadata <> []
+    && Prng.float rng 1.0 < shape.ref_value_probability
+  then Value.of_string_guess (Prng.pick rng metadata)
+  else Value.of_string_guess (Prng.pick rng shape.value_pool)
+
+let relation ?(shape = default_shape) ?(metadata = []) rng =
   let n_atts = 1 + Prng.int rng shape.max_attributes in
   let atts = List.init n_atts (fun i -> Printf.sprintf "c%d" (i + 1)) in
   let n_rows = Prng.int rng (shape.max_rows + 1) in
   let rows =
     List.init n_rows (fun _ ->
-        Row.of_list
-          (List.map
-             (fun _ ->
-               if Prng.float rng 1.0 < shape.null_probability then Value.Null
-               else Value.of_string_guess (Prng.pick rng value_pool))
-             atts))
+        Row.of_list (List.map (fun _ -> cell rng shape metadata) atts))
   in
   Relation.of_rows (Schema.of_list atts) rows
 
 let database ?(shape = default_shape) rng =
   let n_rels = 1 + Prng.int rng shape.max_relations in
-  List.init n_rels (fun i -> (Printf.sprintf "r%d" (i + 1), relation ~shape rng))
+  let names = List.init n_rels (fun i -> Printf.sprintf "r%d" (i + 1)) in
+  (* Metadata pool: the relation names plus every attribute name any
+     relation could use, so data ↔ metadata operators (↑ → ℘ ρ) have
+     real targets to fire on when [ref_value_probability] is positive. *)
+  let metadata =
+    names @ List.init shape.max_attributes (fun i -> Printf.sprintf "c%d" (i + 1))
+  in
+  List.map (fun name -> (name, relation ~shape ~metadata rng)) names
   |> Database.of_list
 
 let rename_task rng n =

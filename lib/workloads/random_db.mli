@@ -1,9 +1,10 @@
-(** Random database generation for property-based tests.
+(** Random database generation for property-based tests and fuzzing.
 
     Produces small, well-formed databases (and TNF-safe string values) with
     controllable shape; used by the qcheck suites to exercise substrate
     invariants (TNF round-trips, operator algebraic laws, search
-    optimality on random instances). *)
+    optimality on random instances) and by [Fuzz.Scenario] as the source
+    instances of inverse-problem scenarios. *)
 
 open Relational
 
@@ -12,13 +13,35 @@ type shape = {
   max_attributes : int;
   max_rows : int;
   null_probability : float;  (** chance of a null cell, in [0, 1] *)
+  value_pool : string list;
+      (** pool string cells are drawn from (parsed with
+          {!Relational.Value.of_string_guess}, so numeric strings become
+          numbers) *)
+  ref_value_probability : float;
+      (** chance a cell is drawn from the database's own metadata names
+          (relation and attribute names) instead of [value_pool] — positive
+          values make the data ↔ metadata operators (↑ → ℘ ρ) applicable on
+          generated instances *)
 }
 
 val default_shape : shape
-(** Up to 3 relations × 4 attributes × 4 rows, 10% nulls. *)
+(** Up to 3 relations × 4 attributes × 4 rows, 10% nulls, a tame
+    alphanumeric value pool, no metadata-valued cells. *)
 
-val relation : ?shape:shape -> Prng.t -> Relation.t
+val fuzz_shape : shape
+(** {!default_shape} plus 35% metadata-valued cells and a value pool spiced
+    with the delimiter characters of the §4 annotation codec and the
+    mapping-expression parser ([λ], [\x1f], [→], brackets, quotes, [,], [/],
+    [->]) — the adversarial inputs the inverse-problem fuzzer feeds every
+    codec. *)
+
+val relation : ?shape:shape -> ?metadata:string list -> Prng.t -> Relation.t
+(** [metadata] is the name pool consulted with [ref_value_probability]
+    (default empty). *)
+
 val database : ?shape:shape -> Prng.t -> Database.t
+(** Relations are named [r1], [r2], …; their names and candidate attribute
+    names form the metadata pool passed to {!relation}. *)
 
 val rename_task : Prng.t -> int -> Database.t * Database.t
 (** [rename_task rng n]: a single-relation source with [n] attributes and a

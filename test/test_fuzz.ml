@@ -1,0 +1,404 @@
+(* The inverse-problem fuzzer (lib/fuzz): scenario generation, the
+   discover-then-replay oracle, the shrinker, the corpus codec — and the
+   tier-1 replay of the committed regression corpus in test/corpus/.
+   Soak-length campaigns run in CI's nightly fuzz job; here every trial
+   count is kept small enough for the tier-1 budget. *)
+
+open Relational
+module Scenario = Fuzz.Scenario
+module Oracle = Fuzz.Oracle
+module Shrink = Fuzz.Shrink
+module Corpus = Fuzz.Corpus
+module Driver = Fuzz.Driver
+
+let quick_oracle = Oracle.config ~budget:30_000 ()
+
+let scenario_equal (a : Scenario.t) (b : Scenario.t) =
+  Database.equal a.source b.source
+  && Fira.Expr.equal a.program b.program
+  && Database.equal a.target b.target
+
+(* --- scenario generation --- *)
+
+let test_generate_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = Scenario.generate ~depth:4 seed
+      and b = Scenario.generate ~depth:4 seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d reproduces" seed)
+        true (scenario_equal a b))
+    [ 1; 7; 42; 1337 ]
+
+let test_generate_target_replays () =
+  (* The generated target must be exactly what replaying the program
+     produces — the scenario is a consistent inverse-problem instance. *)
+  for seed = 1 to 25 do
+    let s = Scenario.generate ~depth:4 seed in
+    match Scenario.replay s.registry s.program s.source with
+    | None -> Alcotest.failf "seed %d: program does not replay" seed
+    | Some db ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d target matches replay" seed)
+          true (Database.equal db s.target)
+  done
+
+let test_generate_respects_depth () =
+  for seed = 1 to 25 do
+    let s = Scenario.generate ~depth:3 seed in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: at most 3 ops" seed)
+      true
+      (Fira.Expr.length s.program <= 3)
+  done
+
+let test_generate_bounded_cells () =
+  for seed = 1 to 25 do
+    let s = Scenario.generate ~depth:6 seed in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: cell budget holds" seed)
+      true
+      (Scenario.total_cells s.target <= 512)
+  done
+
+(* --- the oracle --- *)
+
+let test_oracle_verifies () =
+  (* Acceptance-style batch: every discovered mapping must replay. A
+     trial may legitimately exhaust its budget; it must never be wrong. *)
+  let config = Driver.config ~oracle:quick_oracle ~trials:25 ~seed:42 ~depth:3 () in
+  let summary = Driver.run config in
+  Alcotest.(check int) "no wrong mappings" 0 summary.Driver.wrong_mapping;
+  Alcotest.(check int) "no oracle errors" 0 summary.Driver.oracle_errors;
+  Alcotest.(check bool) "clean" true (Driver.clean summary);
+  Alcotest.(check bool)
+    "most trials verify" true
+    (summary.Driver.verified * 10 >= summary.Driver.ran * 6)
+
+let test_oracle_trivial_scenario () =
+  (* depth 0: target = source; discovery finds the empty mapping. *)
+  let s = Scenario.generate ~depth:0 5 in
+  let r = Oracle.check quick_oracle s in
+  Alcotest.(check string)
+    "verified" "verified"
+    (Oracle.outcome_name r.Oracle.outcome)
+
+(* --- ?stop coverage (cancellation can never forge a Verified) --- *)
+
+let test_stop_never_verifies () =
+  for seed = 1 to 10 do
+    let s = Scenario.generate ~depth:3 seed in
+    let r = Oracle.check ~stop:(fun () -> true) quick_oracle s in
+    match r.Oracle.outcome with
+    | Oracle.Verified when Fira.Expr.length s.Scenario.program > 0 ->
+        (* A non-trivial scenario cancelled before the first expansion
+           may still verify only if the source already satisfies the
+           goal (e.g. the program only renamed into a superset state) —
+           which the replay check itself guarantees sound. What stop
+           must never produce is a wrong mapping. *)
+        ()
+    | Oracle.Wrong_mapping | Oracle.Oracle_error _ ->
+        Alcotest.failf "seed %d: cancellation produced a failure" seed
+    | _ -> ()
+  done
+
+let test_stop_immediate_budget_exhausted () =
+  (* A scenario whose target differs from its source cannot verify under
+     an immediately-firing stop. *)
+  let rec find seed =
+    let s = Scenario.generate ~depth:3 seed in
+    if Database.equal s.Scenario.source s.Scenario.target then find (seed + 1)
+    else s
+  in
+  let s = find 1 in
+  let r = Oracle.check ~stop:(fun () -> true) quick_oracle s in
+  Alcotest.(check string)
+    "cancelled run gives up" "budget_exhausted"
+    (Oracle.outcome_name r.Oracle.outcome)
+
+let test_same_seed_deterministic_without_stop () =
+  for seed = 1 to 5 do
+    let s = Scenario.generate ~depth:3 seed in
+    let a = Oracle.check quick_oracle s and b = Oracle.check quick_oracle s in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d outcome stable" seed)
+      (Oracle.outcome_name a.Oracle.outcome)
+      (Oracle.outcome_name b.Oracle.outcome);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d mapping stable" seed)
+      true
+      (match (a.Oracle.mapping, b.Oracle.mapping) with
+      | None, None -> true
+      | Some x, Some y -> Fira.Expr.equal x y
+      | _ -> false)
+  done
+
+(* --- mutation smoke-check: an injected eval bug is caught and shrunk --- *)
+
+let break_replay db =
+  (* Emulate an eval bug: silently drop one relation from the replayed
+     database. Any scenario whose program produced that relation (or
+     needed it in the goal state) now fails verification. *)
+  match Database.relation_names db with
+  | [] -> db
+  | name :: _ -> Database.remove db name
+
+let test_mutation_smoke_check () =
+  let config =
+    Driver.config ~oracle:quick_oracle ~trials:15 ~seed:7 ~depth:3 ()
+  in
+  let summary = Driver.run ~perturb:break_replay config in
+  Alcotest.(check bool)
+    "injected bug is caught" true
+    (summary.Driver.wrong_mapping > 0);
+  match summary.Driver.failures with
+  | [] -> Alcotest.fail "injected bug produced no minimized failure"
+  | failures ->
+      List.iter
+        (fun (f : Driver.failure) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "trial %d shrinks to <= 3 ops (got %d)" f.trial
+               (Fira.Expr.length f.scenario.Scenario.program))
+            true
+            (Fira.Expr.length f.scenario.Scenario.program <= 3))
+        failures
+
+let test_shrinker_minimizes_structure () =
+  (* Direct shrinker check, independent of search: fail whenever the
+     scenario still contains a given relation; the minimizer should cut
+     the program to nothing and the database to that single relation
+     with one row. *)
+  let s = Scenario.generate ~depth:4 3 in
+  match Database.relation_names s.Scenario.source with
+  | [] -> Alcotest.fail "generator produced an empty database"
+  | keep :: _ ->
+      let keeps (c : Scenario.t) = Database.mem c.source keep in
+      let minimized, stats = Shrink.minimize ~keeps s in
+      Alcotest.(check bool) "some reduction happened" true (stats.Shrink.accepted > 0);
+      Alcotest.(check int)
+        "program shrank away" 0
+        (Fira.Expr.length minimized.Scenario.program);
+      Alcotest.(check (list string))
+        "single relation left" [ keep ]
+        (Database.relation_names minimized.Scenario.source);
+      Alcotest.(check bool)
+        "at most one row left" true
+        (Database.total_tuples minimized.Scenario.source <= 1)
+
+(* --- corpus codec --- *)
+
+let test_corpus_roundtrip () =
+  for seed = 1 to 15 do
+    let s = Scenario.generate ~depth:3 seed in
+    match Corpus.of_string (Corpus.to_string ~label:"verified" s) with
+    | Error m -> Alcotest.failf "seed %d: corpus round-trip failed: %s" seed m
+    | Ok (s', label) ->
+        Alcotest.(check (option string)) "label" (Some "verified") label;
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d round-trips" seed)
+          true (scenario_equal s s')
+  done
+
+let test_corpus_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Corpus.of_string text with
+      | Ok _ -> Alcotest.failf "accepted %S" text
+      | Error _ -> ())
+    [
+      "";
+      "not a scenario";
+      "# tupelo fuzz scenario v1\nrelation r\n  TID,REL\n";  (* no end *)
+      "# tupelo fuzz scenario v1\nprogram\n  bogus op\nend\n";
+    ]
+
+(* --- committed regression corpus (tier-1 replay) --- *)
+
+let test_corpus_dir_replays () =
+  let entries = Corpus.load_dir "corpus" in
+  Alcotest.(check bool)
+    "committed corpus is non-empty" true
+    (List.length entries >= 3);
+  List.iter
+    (fun (path, loaded) ->
+      match loaded with
+      | Error m -> Alcotest.failf "%s failed to load: %s" path m
+      | Ok (s, _label) ->
+          let r = Oracle.check quick_oracle s in
+          if Oracle.is_failure r.Oracle.outcome then
+            Alcotest.failf "%s: %s" path (Oracle.outcome_name r.Oracle.outcome))
+    entries
+
+(* --- driver plumbing --- *)
+
+let test_driver_deadline () =
+  let config =
+    Driver.config ~oracle:quick_oracle ~trials:10_000 ~seed:11 ~depth:3
+      ~time_budget_s:0.5 ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let summary = Driver.run config in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    "deadline cut the campaign short" true
+    (summary.Driver.ran < 10_000);
+  Alcotest.(check bool)
+    (Printf.sprintf "returned promptly (%.1fs)" elapsed)
+    true (elapsed < 30.0)
+
+let test_driver_jobs_deterministic_trials () =
+  (* Sharding must not change what trial i is — the same master seed
+     yields the same per-trial outcomes regardless of jobs. *)
+  let mk jobs =
+    Driver.run
+      (Driver.config ~oracle:quick_oracle ~trials:8 ~seed:21 ~depth:2 ~jobs ())
+  in
+  let a = mk 1 and b = mk 2 in
+  Alcotest.(check int) "same trials ran" a.Driver.ran b.Driver.ran;
+  Alcotest.(check int) "same verified" a.Driver.verified b.Driver.verified;
+  Alcotest.(check int)
+    "same wrong_mapping" a.Driver.wrong_mapping b.Driver.wrong_mapping
+
+(* --- property: parser round-trips generator-produced programs --- *)
+
+let seed_gen = QCheck2.Gen.int_bound 1_000_000
+
+let qcheck ?(count = 100) ~name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let prop_parser_roundtrip =
+  qcheck ~name:"fuzz: parse (to_string op) = op on generated programs"
+    seed_gen (fun seed ->
+      let s = Scenario.generate ~depth:5 seed in
+      List.for_all
+        (fun op ->
+          match Fira.Parser.op_of_string (Fira.Op.to_string op) with
+          | Ok op' -> Fira.Op.equal op op'
+          | Error m ->
+              QCheck2.Test.fail_reportf "op %s does not parse: %s"
+                (Fira.Op.to_string op) m)
+        (Fira.Expr.ops s.Scenario.program))
+
+let prop_expr_file_roundtrip =
+  qcheck ~name:"fuzz: expr_of_string (expr_to_file_string e) = e" seed_gen
+    (fun seed ->
+      let s = Scenario.generate ~depth:5 seed in
+      match
+        Fira.Parser.expr_of_string
+          (Fira.Parser.expr_to_file_string s.Scenario.program)
+      with
+      | Ok e -> Fira.Expr.equal e s.Scenario.program
+      | Error m -> QCheck2.Test.fail_reportf "expr does not parse: %s" m)
+
+(* --- property: TNF round-trips fuzz databases (delimiter-laced values) --- *)
+
+(* Fuzzing found (and the unit test below pins) a family of
+   representational limits of TNF itself: structure that yields no
+   (TID, REL, ATT, VALUE) cell at all cannot be decoded back. That is an
+   all-null tuple, an all-null column, and an empty relation. The
+   delimiter round-trip property therefore quantifies over
+   TNF-representable databases (that structure removed) — which is also
+   what any critical instance contains in practice. *)
+let tnf_representable db =
+  Database.fold
+    (fun name r acc ->
+      let r =
+        Relation.select r (fun _ row ->
+            List.exists (fun v -> not (Value.is_null v)) (Row.to_list row))
+      in
+      let live_atts =
+        List.filter
+          (fun a ->
+            List.exists (fun v -> not (Value.is_null v)) (Relation.column r a))
+          (Relation.attributes r)
+      in
+      if Relation.is_empty r || live_atts = [] then acc
+      else Database.add acc name (Relation.project r live_atts))
+    db Database.empty
+
+let prop_tnf_roundtrip_fuzz_db =
+  qcheck ~name:"fuzz: TNF decode ∘ encode = id on delimiter-laced databases"
+    seed_gen (fun seed ->
+      let db =
+        tnf_representable
+          (Workloads.Random_db.database
+             ~shape:Workloads.Random_db.fuzz_shape
+             (Workloads.Prng.create seed))
+      in
+      Database.equal db (Tnf.decode (Tnf.encode db)))
+
+let test_tnf_all_null_row_limit () =
+  (* The pinned counterexamples: TNF drops tuples that are entirely
+     null, columns that are null in every tuple, and relations that are
+     entirely empty (no cell to emit in each case). If these ever start
+     round-tripping, the codec changed — revisit the property above. *)
+  let r = Relation.of_rows (Schema.of_list [ "c1" ]) [ Row.of_list [ Value.Null ] ] in
+  let db = Database.of_list [ ("r1", r) ] in
+  let decoded = Tnf.decode (Tnf.encode db) in
+  Alcotest.(check int)
+    "all-null tuple is not representable" 0
+    (Database.total_tuples decoded);
+  let empty = Database.of_list [ ("r2", Relation.create (Schema.of_list [ "c1" ])) ] in
+  Alcotest.(check (list string))
+    "empty relation is not representable" []
+    (Database.relation_names (Tnf.decode (Tnf.encode empty)));
+  let null_col =
+    Relation.of_rows
+      (Schema.of_list [ "c1"; "c2" ])
+      [ Row.of_list [ Value.String "v"; Value.Null ] ]
+  in
+  let db = Database.of_list [ ("r3", null_col) ] in
+  Alcotest.(check (list string))
+    "all-null column is not representable" [ "c1" ]
+    (Relation.attributes (Database.find (Tnf.decode (Tnf.encode db)) "r3"))
+
+let prop_corpus_roundtrip =
+  qcheck ~count:60 ~name:"fuzz: corpus of_string ∘ to_string = id" seed_gen
+    (fun seed ->
+      let s = Scenario.generate ~depth:4 seed in
+      match Corpus.of_string (Corpus.to_string s) with
+      | Ok (s', None) -> scenario_equal s s'
+      | Ok (_, Some _) -> false
+      | Error m -> QCheck2.Test.fail_reportf "no round-trip: %s" m)
+
+let suite =
+  [
+    Alcotest.test_case "generate: deterministic in the seed" `Quick
+      test_generate_deterministic;
+    Alcotest.test_case "generate: target = replayed program" `Quick
+      test_generate_target_replays;
+    Alcotest.test_case "generate: respects depth bound" `Quick
+      test_generate_respects_depth;
+    Alcotest.test_case "generate: respects cell budget" `Quick
+      test_generate_bounded_cells;
+    Alcotest.test_case "oracle: batch verifies with zero wrong mappings"
+      `Slow test_oracle_verifies;
+    Alcotest.test_case "oracle: empty program verifies trivially" `Quick
+      test_oracle_trivial_scenario;
+    Alcotest.test_case "stop: cancellation never forges a failure" `Quick
+      test_stop_never_verifies;
+    Alcotest.test_case "stop: immediate cancel gives up" `Quick
+      test_stop_immediate_budget_exhausted;
+    Alcotest.test_case "stop: same seed is deterministic without stop" `Slow
+      test_same_seed_deterministic_without_stop;
+    Alcotest.test_case "mutation: injected eval bug is caught and shrunk"
+      `Slow test_mutation_smoke_check;
+    Alcotest.test_case "shrink: minimizes program, relations and rows" `Quick
+      test_shrinker_minimizes_structure;
+    Alcotest.test_case "corpus: save/load round-trip" `Quick
+      test_corpus_roundtrip;
+    Alcotest.test_case "corpus: rejects malformed bundles" `Quick
+      test_corpus_rejects_garbage;
+    Alcotest.test_case "corpus: committed reproducers replay clean" `Slow
+      test_corpus_dir_replays;
+    Alcotest.test_case "driver: wall-clock deadline is honored" `Quick
+      test_driver_deadline;
+    Alcotest.test_case "driver: jobs do not change trial outcomes" `Slow
+      test_driver_jobs_deterministic_trials;
+    Alcotest.test_case "tnf: all-null tuples are a pinned codec limit" `Quick
+      test_tnf_all_null_row_limit;
+    prop_parser_roundtrip;
+    prop_expr_file_roundtrip;
+    prop_tnf_roundtrip_fuzz_db;
+    prop_corpus_roundtrip;
+  ]

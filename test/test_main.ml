@@ -23,6 +23,7 @@ let () =
       ("tupelo", Test_tupelo.suite);
       ("workloads", Test_workloads.suite);
       ("server", Test_server.suite);
+      ("fuzz", Test_fuzz.suite);
       ("server.cache", Test_server_cache.suite);
       ("properties", Test_props.suite);
     ]
