@@ -18,8 +18,13 @@
    the same order — the measured difference is pure state-identity
    bookkeeping. Each (workload, algorithm) pair reports:
 
-   - states/sec: the full search repeated until >= 0.5 s of wall clock,
-     generated states divided by elapsed time;
+   - states/sec: the median over TUPELO_BENCH_SEARCH_REPS (default 5)
+     timed samples; each sample repeats the whole search until a fixed
+     number of generated states, TUPELO_BENCH_SEARCH_STATES (default
+     20000), has been produced, so every sample measures the same amount
+     of work and the median is robust to scheduler noise (a wall-clock
+     window would measure however much work happened to fit into a noisy
+     slice);
    - closed-set key bytes: an untimed breadth-first exploration of the
      same space collects every distinct key (what a closed set /
      transposition table must retain) and sums its reachable heap words —
@@ -27,11 +32,24 @@
      new path.
 
    Results are printed as a table and written to BENCH_search.json (or
-   $TUPELO_BENCH_SEARCH_OUT) so CI can archive and diff them. *)
+   $TUPELO_BENCH_SEARCH_OUT) so CI can archive and diff them. When
+   TUPELO_BENCH_SEARCH_MIN_SPEEDUP is set, the bench exits non-zero if
+   the fingerprint side is slower than that multiple of the baseline on
+   flights-b-to-a or inventory-k6 — a same-run ratio, so a slow or noisy
+   CI machine does not fail the gate by itself. *)
 
 open Relational
 
-let min_elapsed = 0.5
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt s with Some v when v > 0 -> v | _ -> default)
+  | None -> default
+
+(* Generated states per timed sample; each sample repeats identical whole
+   searches until the count is reached, so samples are fixed work. *)
+let min_states = env_int "TUPELO_BENCH_SEARCH_STATES" 20_000
+let reps = env_int "TUPELO_BENCH_SEARCH_REPS" 5
 let closed_cap = 2000
 let goal = Tupelo.Goal.Superset
 
@@ -42,9 +60,9 @@ let algorithm_label = function
   | Beam w -> Printf.sprintf "beam%d" w
 
 type side = {
-  states_per_sec : float;
-  generated : int;
-  elapsed_s : float;
+  states_per_sec : float;  (* median across [reps] fixed-work samples *)
+  generated : int;  (* generated states per sample (identical samples) *)
+  elapsed_s : float;  (* median sample wall clock *)
   closed_states : int;
   closed_key_bytes : int;
 }
@@ -55,20 +73,35 @@ let total_cells db =
       acc + (Relation.cardinality r * Schema.arity (Relation.schema r)))
     db 0
 
-(* Repeat a whole search until the accumulated wall clock passes
-   [min_elapsed]; every repetition is identical (fresh memo, same
-   deterministic search), so the mean is meaningful. *)
-let repeat run =
-  let rec loop generated elapsed =
-    if elapsed >= min_elapsed then (generated, elapsed)
-    else begin
-      let t0 = Unix.gettimeofday () in
-      let stats : Search.Space.stats = run () in
-      let dt = Unix.gettimeofday () -. t0 in
-      loop (generated + stats.Search.Space.generated) (elapsed +. dt)
-    end
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then invalid_arg "median: empty"
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+(* One timed sample repeats the whole search — every repetition identical
+   (fresh memo, deterministic search) — until [min_states] states have
+   been generated. [reps] samples, median rate: fixed work per sample, so
+   a descheduled slice skews one sample, not the statistic. *)
+let measure run =
+  let sample () =
+    let rec loop generated elapsed =
+      if generated >= min_states then (generated, elapsed)
+      else begin
+        let t0 = Unix.gettimeofday () in
+        let stats : Search.Space.stats = run () in
+        let dt = Unix.gettimeofday () -. t0 in
+        loop (generated + stats.Search.Space.generated) (elapsed +. dt)
+      end
+    in
+    loop 0 0.0
   in
-  loop 0 0.0
+  let samples = List.init reps (fun _ -> sample ()) in
+  let rates = List.map (fun (g, e) -> float_of_int g /. e) samples in
+  let generated = fst (List.hd samples) in
+  (median rates, generated, median (List.map snd samples))
 
 (* Distinct keys reachable within [closed_cap] states, and their summed
    heap footprint — the payload a closed set keyed this way must hold. *)
@@ -163,18 +196,12 @@ let run_baseline ~registry ~target ~budget alg source =
     in
     result.Search.Space.stats
   in
-  let generated, elapsed_s = repeat run in
+  let states_per_sec, generated, elapsed_s = measure run in
   let closed_states, closed_key_bytes =
     closed_set_footprint ~key:Sp.key ~successors:Sp.successors
       (base_state source)
   in
-  {
-    states_per_sec = float_of_int generated /. elapsed_s;
-    generated;
-    elapsed_s;
-    closed_states;
-    closed_key_bytes;
-  }
+  { states_per_sec; generated; elapsed_s; closed_states; closed_key_bytes }
 
 let run_fingerprint ~registry ~target ~budget alg source =
   let info = Tupelo.Moves.target_info target in
@@ -190,18 +217,32 @@ let run_fingerprint ~registry ~target ~budget alg source =
     let key = Tupelo.State.fingerprint
     let successors state = Tupelo.Moves.successors config registry info state
 
+    (* The interned goal test, as production [Discover] runs it — no boxed
+       conversion per examined state. *)
     let is_goal state =
-      Tupelo.Goal.reached goal ~target (Tupelo.State.database state)
+      Tupelo.Goal.reached_interned goal
+        ~target:(Tupelo.Moves.target_idb info)
+        (Tupelo.State.idb state)
   end in
   let run () =
     let memo : (Relational.Fingerprint.t, int) Heuristics.Memo.t =
       Heuristics.Memo.create ()
     in
+    (* Incremental cosine scoring, as production [Discover] wires it:
+       dot/norm parts folded along the parent chain, no profile
+       materialization per scored state. Bit-identical to [estimate] on
+       the materialized profile. *)
+    let tvec = Heuristics.Profile.vector target_profile in
+    let k =
+      match heuristic.Heuristics.Heuristic.cosine_k with
+      | Some k -> k
+      | None -> assert false
+    in
     let estimate state =
       Heuristics.Memo.find_or_add memo (Tupelo.State.fingerprint state)
         (fun _ ->
-          heuristic.Heuristics.Heuristic.estimate ~target:target_profile
-            (Tupelo.State.profile state))
+          Heuristics.Heuristic.cosine_scaled ~k
+            (Tupelo.State.cosine_distance ~tvec state))
     in
     let root = Tupelo.State.of_database source in
     let result =
@@ -215,18 +256,12 @@ let run_fingerprint ~registry ~target ~budget alg source =
     in
     result.Search.Space.stats
   in
-  let generated, elapsed_s = repeat run in
+  let states_per_sec, generated, elapsed_s = measure run in
   let closed_states, closed_key_bytes =
     closed_set_footprint ~key:Sp.key ~successors:Sp.successors
       (Tupelo.State.of_database source)
   in
-  {
-    states_per_sec = float_of_int generated /. elapsed_s;
-    generated;
-    elapsed_s;
-    closed_states;
-    closed_key_bytes;
-  }
+  { states_per_sec; generated; elapsed_s; closed_states; closed_key_bytes }
 
 type entry = {
   workload : string;
@@ -240,8 +275,8 @@ let speedup e = e.fingerprint.states_per_sec /. e.baseline.states_per_sec
 let side_json s =
   Printf.sprintf
     "{ \"states_per_sec\": %.1f, \"generated\": %d, \"elapsed_s\": %.4f, \
-     \"closed_states\": %d, \"closed_key_bytes\": %d }"
-    s.states_per_sec s.generated s.elapsed_s s.closed_states
+     \"reps\": %d, \"closed_states\": %d, \"closed_key_bytes\": %d }"
+    s.states_per_sec s.generated s.elapsed_s reps s.closed_states
     s.closed_key_bytes
 
 let entry_json e =
@@ -359,4 +394,28 @@ let run () =
         "closed"; "base key KB"; "fp key KB";
       ]
     rows;
-  write_json entries
+  write_json entries;
+  match Sys.getenv_opt "TUPELO_BENCH_SEARCH_MIN_SPEEDUP" with
+  | None -> ()
+  | Some s -> (
+      match float_of_string_opt s with
+      | None ->
+          Printf.eprintf "ignoring non-numeric TUPELO_BENCH_SEARCH_MIN_SPEEDUP=%S\n" s
+      | Some min_speedup ->
+          let gated =
+            List.filter
+              (fun e ->
+                e.workload = "flights-b-to-a" || e.workload = "inventory-k6")
+              entries
+          in
+          let failures =
+            List.filter (fun e -> speedup e < min_speedup) gated
+          in
+          List.iter
+            (fun e ->
+              Printf.eprintf
+                "SPEEDUP GATE: %s/%s fingerprint is %.2fx baseline, below the \
+                 required %.2fx\n"
+                e.workload e.algorithm (speedup e) min_speedup)
+            failures;
+          if failures <> [] then exit 1)

@@ -198,6 +198,244 @@ let apply_with_delta ~semantics registry op db =
         (Relation.extend (Database.find db rel) output (fun schema row ->
              eval_one (List.map (fun a -> Row.get schema row a) inputs)))
 
+(* ------------------------------------------------------------------ *)
+(* Interned evaluation (the successor-generation hot path)             *)
+
+type idelta = {
+  iremoved : (int * Irel.t) list;
+  iadded : (int * Irel.t) list;
+}
+
+let idelta_cells d =
+  let sum rs = List.fold_left (fun n (_, r) -> n + Irel.cells r) 0 rs in
+  sum d.iadded - sum d.iremoved
+
+(* Mirror of [explain_inapplicable] over the interned form: same checks,
+   same outcomes, same reason strings. Name ids are interned on demand —
+   cheap hash hits for names that already live in the pool. *)
+let iexplain_inapplicable registry op idb =
+  let rel_exists name k =
+    match Idb.find_opt idb (Intern.string_id name) with
+    | None -> Some (Printf.sprintf "no relation %S" name)
+    | Some r -> k r
+  in
+  let has_col r name k =
+    if Irel.mem_att r (Intern.string_id name) then k ()
+    else Some (Printf.sprintf "no column %S" name)
+  in
+  let no_col r name k =
+    if Irel.mem_att r (Intern.string_id name) then
+      Some (Printf.sprintf "column %S already present" name)
+    else k ()
+  in
+  match op with
+  | Op.Promote { rel; name_col; value_col } ->
+      rel_exists rel (fun r ->
+          has_col r name_col (fun () -> has_col r value_col (fun () -> None)))
+  | Op.Demote { rel; att_att; rel_att } ->
+      rel_exists rel (fun r ->
+          if att_att = rel_att then Some "demote columns must differ"
+          else no_col r att_att (fun () -> no_col r rel_att (fun () -> None)))
+  | Op.Dereference { rel; target; pointer_col } ->
+      rel_exists rel (fun r ->
+          has_col r pointer_col (fun () -> no_col r target (fun () -> None)))
+  | Op.Partition { rel; col } ->
+      rel_exists rel (fun r ->
+          has_col r col (fun () ->
+              let rel_id = Intern.string_id rel in
+              let col_idx =
+                match Irel.index_of_opt r (Intern.string_id col) with
+                | Some j -> j
+                | None -> assert false
+              in
+              let clashes =
+                List.filter_map
+                  (fun v ->
+                    if Intern.value_is_null v then None
+                    else
+                      let name = Intern.value_str_id v in
+                      if name = Intern.empty_string_id then
+                        Some "empty group name"
+                      else if Idb.mem idb name && name <> rel_id then
+                        Some
+                          (Printf.sprintf "relation %S already exists"
+                             (Intern.string_of_id name))
+                      else None)
+                  (List.sort_uniq Intern.compare_values
+                     (Array.to_list (Irel.col_ids r col_idx)))
+              in
+              match clashes with [] -> None | reason :: _ -> Some reason))
+  | Op.Product { left; right; out } ->
+      rel_exists left (fun l ->
+          rel_exists right (fun r ->
+              if Idb.mem idb (Intern.string_id out) then
+                Some (Printf.sprintf "relation %S already exists" out)
+              else if
+                Array.exists (fun att -> Irel.mem_att r att) (Irel.atts l)
+              then Some "product operands share attributes"
+              else None))
+  | Op.Drop { rel; col } ->
+      rel_exists rel (fun r ->
+          has_col r col (fun () ->
+              if Irel.arity r <= 1 then Some "cannot drop the last column"
+              else None))
+  | Op.Merge { rel; col } ->
+      rel_exists rel (fun r -> has_col r col (fun () -> None))
+  | Op.RenameAtt { rel; old_name; new_name } ->
+      rel_exists rel (fun r ->
+          has_col r old_name (fun () ->
+              if old_name = new_name then Some "rename to same name"
+              else no_col r new_name (fun () -> None)))
+  | Op.RenameRel { old_name; new_name } ->
+      rel_exists old_name (fun _ ->
+          if old_name = new_name then Some "rename to same name"
+          else if Idb.mem idb (Intern.string_id new_name) then
+            Some (Printf.sprintf "relation %S already exists" new_name)
+          else None)
+  | Op.Union { left; right; out } | Op.Diff { left; right; out } ->
+      rel_exists left (fun l ->
+          rel_exists right (fun r ->
+              let sorted rel =
+                List.sort Intern.compare_strings
+                  (Array.to_list (Irel.atts rel))
+              in
+              if not (List.equal Int.equal (sorted l) (sorted r)) then
+                Some "operand schemas differ"
+              else if
+                Idb.mem idb (Intern.string_id out)
+                && out <> left && out <> right
+              then Some (Printf.sprintf "relation %S already exists" out)
+              else None))
+  | Op.Join { left; right; out } ->
+      rel_exists left (fun _ ->
+          rel_exists right (fun _ ->
+              if
+                Idb.mem idb (Intern.string_id out)
+                && out <> left && out <> right
+              then Some (Printf.sprintf "relation %S already exists" out)
+              else None))
+  | Op.Select { rel; pred = _ } -> rel_exists rel (fun _ -> None)
+  | Op.Apply { rel; func; inputs; output } ->
+      rel_exists rel (fun r ->
+          match Semfun.find registry func with
+          | None -> Some (Printf.sprintf "unknown function %S" func)
+          | Some f ->
+              if Semfun.arity f <> List.length inputs then
+                Some
+                  (Printf.sprintf "function %S has arity %d, got %d inputs"
+                     func (Semfun.arity f) (List.length inputs))
+              else
+                let rec check = function
+                  | [] -> no_col r output (fun () -> None)
+                  | a :: rest ->
+                      if Irel.mem_att r (Intern.string_id a) then check rest
+                      else Some (Printf.sprintf "no column %S" a)
+                in
+                check inputs)
+
+let iapplicable registry op idb = iexplain_inapplicable registry op idb = None
+
+let apply_interned_delta ~semantics registry op idb =
+  (match iexplain_inapplicable registry op idb with
+  | Some reason -> error "fira: %s inapplicable: %s" (Op.to_string op) reason
+  | None -> ());
+  let id = Intern.string_id in
+  let replace name r' =
+    let name = id name in
+    let iremoved =
+      match Idb.find_opt idb name with
+      | Some old -> [ (name, old) ]
+      | None -> []
+    in
+    (Idb.add idb name r', { iremoved; iadded = [ (name, r') ] })
+  in
+  match op with
+  | Op.Promote { rel; name_col; value_col } ->
+      replace rel
+        (Irel.promote (Idb.find idb (id rel)) ~name_col:(id name_col)
+           ~value_col:(id value_col))
+  | Op.Demote { rel; att_att; rel_att } ->
+      replace rel
+        (Irel.demote (Idb.find idb (id rel)) ~rel_name:(id rel)
+           ~att_att:(id att_att) ~rel_att:(id rel_att))
+  | Op.Dereference { rel; target; pointer_col } ->
+      replace rel
+        (Irel.dereference (Idb.find idb (id rel)) ~target:(id target)
+           ~pointer_col:(id pointer_col))
+  | Op.Partition { rel; col } ->
+      let rel = id rel in
+      let r = Idb.find idb rel in
+      let groups = Irel.partition r (id col) in
+      let named =
+        List.map (fun (v, group) -> (Intern.value_str_id v, group)) groups
+      in
+      let idb = Idb.remove idb rel in
+      let idb =
+        List.fold_left
+          (fun idb (name, group) -> Idb.add idb name group)
+          idb named
+      in
+      (idb, { iremoved = [ (rel, r) ]; iadded = named })
+  | Op.Product { left; right; out } ->
+      replace out
+        (Irel.product (Idb.find idb (id left)) (Idb.find idb (id right)))
+  | Op.Drop { rel; col } ->
+      replace rel (Irel.project_away (Idb.find idb (id rel)) (id col))
+  | Op.Merge { rel; col } ->
+      replace rel (Irel.merge (Idb.find idb (id rel)) (id col))
+  | Op.RenameAtt { rel; old_name; new_name } ->
+      replace rel
+        (Irel.rename_att (Idb.find idb (id rel)) ~old_name:(id old_name)
+           ~new_name:(id new_name))
+  | Op.RenameRel { old_name; new_name } ->
+      let old_name = id old_name and new_name = id new_name in
+      let r = Idb.find idb old_name in
+      ( Idb.rename_rel idb ~old_name ~new_name,
+        { iremoved = [ (old_name, r) ]; iadded = [ (new_name, r) ] } )
+  | Op.Apply { rel; func; inputs; output } ->
+      let f = Semfun.find_exn registry func in
+      let r = Idb.find idb (id rel) in
+      let input_idxs =
+        List.map (fun a -> Irel.index_of_opt r (id a) |> Option.get) inputs
+      in
+      let eval_one ins =
+        match semantics with
+        | `Full -> Semfun.apply f ins
+        | `Syntactic -> (
+            match Semfun.apply_example f ins with
+            | Some v -> v
+            | None -> Value.Null)
+      in
+      replace rel
+        (Irel.extend r (id output) (fun row ->
+             Intern.value_id
+               (eval_one
+                  (List.map
+                     (fun i -> Intern.value_of_id row.(i))
+                     input_idxs))))
+  | Op.Union _ | Op.Diff _ | Op.Join _ | Op.Select _ ->
+      (* Core relational ops are off the search hot path (Moves never
+         proposes them); go through the boxed implementation. *)
+      let boxed name = Irel.to_relation (Idb.find idb (id name)) in
+      let r' =
+        match op with
+        | Op.Union { left; right; _ } ->
+            Relation.union (boxed left) (boxed right)
+        | Op.Diff { left; right; _ } -> Relation.diff (boxed left) (boxed right)
+        | Op.Join { left; right; _ } ->
+            Algebra.natural_join (boxed left) (boxed right)
+        | Op.Select { rel; pred } ->
+            Relation.select (boxed rel) (Algebra.eval_pred pred)
+        | _ -> assert false
+      in
+      let out =
+        match op with
+        | Op.Union { out; _ } | Op.Diff { out; _ } | Op.Join { out; _ } -> out
+        | Op.Select { rel; _ } -> rel
+        | _ -> assert false
+      in
+      replace out (Irel.of_relation r')
+
 let apply_with ~semantics registry op db =
   fst (apply_with_delta ~semantics registry op db)
 

@@ -58,3 +58,36 @@ val apply_delta : Semfun.registry -> Op.t -> Database.t -> Database.t * delta
 val apply_syntactic_delta :
   Semfun.registry -> Op.t -> Database.t -> Database.t * delta
 (** [apply_with_delta ~semantics:`Syntactic]. *)
+
+(** {1 Interned evaluation}
+
+    The successor-generation hot path evaluates operators directly over
+    the interned columnar form ({!Relational.Idb}/{!Relational.Irel}),
+    avoiding boxed databases entirely. Bit-identity contract: for any
+    applicable operator, converting the interned result and delta to the
+    boxed form yields exactly {!apply_with_delta}'s output (same canonical
+    keys, same fingerprints) — property-tested. The core relational
+    operators ∪ − ⋈ σ, which {!Tupelo.Moves} never proposes, fall back to
+    the boxed implementations at a conversion cost. *)
+
+type idelta = {
+  iremoved : (int * Irel.t) list;
+      (** (relation-name id, relation) pairs, mirroring {!delta}. *)
+  iadded : (int * Irel.t) list;
+}
+
+val idelta_cells : idelta -> int
+
+val iapplicable : Semfun.registry -> Op.t -> Idb.t -> bool
+(** Mirror of {!applicable} over the interned form. *)
+
+val iexplain_inapplicable : Semfun.registry -> Op.t -> Idb.t -> string option
+
+val apply_interned_delta :
+  semantics:[ `Full | `Syntactic ] ->
+  Semfun.registry ->
+  Op.t ->
+  Idb.t ->
+  Idb.t * idelta
+(** Mirror of {!apply_with_delta} over the interned form.
+    @raise Error when the operator is not applicable. *)

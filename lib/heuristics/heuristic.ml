@@ -3,9 +3,10 @@ module Counts = Profile.Counts
 type t = {
   name : string;
   estimate : target:Profile.t -> Profile.t -> int;
+  cosine_k : int option;
 }
 
-let h0 = { name = "h0"; estimate = (fun ~target:_ _ -> 0) }
+let h0 = { name = "h0"; estimate = (fun ~target:_ _ -> 0); cosine_k = None }
 
 (* Cardinalities of set difference / intersection over the key sets of two
    multiplicity maps (multiplicities are irrelevant to the set heuristics). *)
@@ -20,7 +21,7 @@ let h1_value ~target x =
   + card_diff (Profile.att_counts target) (Profile.att_counts x)
   + card_diff (Profile.val_counts target) (Profile.val_counts x)
 
-let h1 = { name = "h1"; estimate = h1_value }
+let h1 = { name = "h1"; estimate = h1_value; cosine_k = None }
 
 let h2_value ~target x =
   card_inter (Profile.rel_counts target) (Profile.att_counts x)
@@ -30,15 +31,18 @@ let h2_value ~target x =
   + card_inter (Profile.val_counts target) (Profile.rel_counts x)
   + card_inter (Profile.val_counts target) (Profile.att_counts x)
 
-let h2 = { name = "h2"; estimate = h2_value }
+let h2 = { name = "h2"; estimate = h2_value; cosine_k = None }
 
 let h3 =
   {
     name = "h3";
     estimate = (fun ~target x -> max (h1_value ~target x) (h2_value ~target x));
+    cosine_k = None;
   }
 
 let round_to_int f = int_of_float (Float.round f)
+
+let cosine_scaled ~k d = round_to_int (float_of_int k *. d)
 
 let levenshtein ~k =
   {
@@ -49,6 +53,7 @@ let levenshtein ~k =
           Text.levenshtein_normalized (Profile.str x) (Profile.str target)
         in
         round_to_int (float_of_int k *. d));
+    cosine_k = None;
   }
 
 let euclid =
@@ -58,6 +63,7 @@ let euclid =
       (fun ~target x ->
         round_to_int
           (Vector.euclidean_distance (Profile.vector x) (Profile.vector target)));
+    cosine_k = None;
   }
 
 let euclid_norm ~k =
@@ -70,6 +76,7 @@ let euclid_norm ~k =
             (Profile.vector target)
         in
         round_to_int (float_of_int k *. d));
+    cosine_k = None;
   }
 
 let cosine ~k =
@@ -80,7 +87,8 @@ let cosine ~k =
         let d =
           Vector.cosine_distance (Profile.vector x) (Profile.vector target)
         in
-        round_to_int (float_of_int k *. d));
+        cosine_scaled ~k d);
+    cosine_k = Some k;
   }
 
 let combined ~k =
@@ -90,6 +98,7 @@ let combined ~k =
     estimate =
       (fun ~target x ->
         max (h1_value ~target x) (cos.estimate ~target x));
+    cosine_k = None;
   }
 
 module Scaling = struct

@@ -15,7 +15,17 @@ type t = {
   (** Short identifier used in benchmark tables: "h0", "h1", "h2", "h3",
       "euclid", "euclid-norm", "cosine", "levenshtein". *)
   estimate : target:Profile.t -> Profile.t -> int;
+  cosine_k : int option;
+  (** [Some k] iff [estimate] is exactly the scaled cosine distance
+      ({!cosine} with scaling [k]). Search engines that can maintain
+      dot/norm parts incrementally per state (see [Tupelo.State]) use this
+      to score successors without materializing their profiles; combined
+      with {!cosine_scaled} the fast path is bit-identical to [estimate]. *)
 }
+
+val cosine_scaled : k:int -> float -> int
+(** The scaling applied by {!cosine}: [round(k·d)] — exposed so an
+    incremental scorer reproduces the estimate exactly. *)
 
 val h0 : t
 (** Constant 0 — induces brute-force blind search (§5). *)

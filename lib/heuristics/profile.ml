@@ -1,6 +1,11 @@
 open Relational
 module Strings = Set.Make (String)
-module Counts = Map.Make (String)
+
+(* Multiplicity maps are keyed by interned string ids (Intern.string_id) —
+   REL and ATT names directly, VALUE by the id of its printed form. Ids
+   biject with strings, so key-set cardinalities (all the set heuristics
+   consume) agree exactly with the old string keying. *)
+module Counts = Map.Make (Int)
 
 (* The REL/ATT/VALUE projections are kept as multiplicity maps rather than
    sets so they can be maintained under triple removal: a name disappears
@@ -32,40 +37,214 @@ let decr m k =
       | Some c -> Some (c - 1))
     m
 
-let add_triple p ((r, a, v) as triple) =
+let add_id_triple p ((r, a, v) as triple) =
   {
     rel_counts = incr p.rel_counts r;
     att_counts = incr p.att_counts a;
     val_counts = incr p.val_counts v;
-    vector = Vector.add p.vector triple;
+    vector = Vector.add_id p.vector triple;
   }
 
-let remove_triple p ((r, a, v) as triple) =
+let remove_id_triple p ((r, a, v) as triple) =
   {
     rel_counts = decr p.rel_counts r;
     att_counts = decr p.att_counts a;
     val_counts = decr p.val_counts v;
-    vector = Vector.remove p.vector triple;
+    vector = Vector.remove_id p.vector triple;
   }
 
+let intern_triple (r, a, v) =
+  (Intern.string_id r, Intern.string_id a, Intern.string_id v)
+
+let add_triple p triple = add_id_triple p (intern_triple triple)
+let remove_triple p triple = remove_id_triple p (intern_triple triple)
 let add_triples p triples = List.fold_left add_triple p triples
 let remove_triples p triples = List.fold_left remove_triple p triples
+let add_id_triples p triples = List.fold_left add_id_triple p triples
+let remove_id_triples p triples = List.fold_left remove_id_triple p triples
 let of_triples triples = add_triples empty triples
 
 let relation_triples name rel =
   let atts = Relation.attributes rel in
+  let arity = List.length atts in
   Relation.fold
     (fun row acc ->
+      if Row.arity row <> arity then
+        invalid_arg
+          (Printf.sprintf
+             "Profile.relation_triples: ragged relation %S: row arity %d does \
+              not match schema arity %d"
+             name (Row.arity row) arity);
       List.fold_left2
         (fun acc att v ->
           if Value.is_null v then acc else (name, att, Value.to_string v) :: acc)
         acc atts (Row.to_list row))
     rel []
 
+let irel_triples name rel =
+  let atts = Irel.atts rel in
+  let n = Irel.cardinality rel in
+  let acc = ref [] in
+  for j = 0 to Array.length atts - 1 do
+    let att = atts.(j) in
+    let ids = Irel.col_ids rel j in
+    for i = 0 to n - 1 do
+      let vid = ids.(i) in
+      if not (Intern.value_is_null vid) then
+        acc := (name, att, Intern.value_str_id vid) :: !acc
+    done
+  done;
+  !acc
+
+(* Incremental application of a relation-granular interned delta.
+
+   Two reductions keep this O(changed cells), not O(changed relations):
+
+   - a replaced relation usually shares most column RECORDS with its
+     predecessor (rename_att, project_away, extend, promote and the
+     identity fast paths all share untouched columns physically) — a
+     column present on both sides under the same relation name contributes
+     identical triples to both, so it is skipped wholesale;
+   - the surviving cells are netted per component first (one hashtable
+     pass), so each distinct REL/ATT/VALUE key and each distinct vector
+     triple pays exactly one map update however many cells mention it. *)
+let col_shared name att ids side =
+  List.exists
+    (fun (name', r') ->
+      name = name'
+      &&
+      let atts' = Irel.atts r' in
+      let rec go j =
+        j < Array.length atts'
+        && ((atts'.(j) = att && Irel.col_ids r' j == ids) || go (j + 1))
+      in
+      go 0)
+    side
+
+let apply_idelta p ~removed ~added =
+  let rel_net : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let att_net : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let val_net : (int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let vec_net : (int * int * int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let bump tbl key sign =
+    match Hashtbl.find_opt tbl key with
+    | Some c -> c := !c + sign
+    | None -> Hashtbl.add tbl key (ref sign)
+  in
+  let scan sign other (name, rel) =
+    let atts = Irel.atts rel in
+    let n = Irel.cardinality rel in
+    for j = 0 to Array.length atts - 1 do
+      let att = atts.(j) in
+      let ids = Irel.col_ids rel j in
+      if not (col_shared name att ids other) then begin
+        (* Net the column's value ids locally first: a column with few
+           distinct values (the shape × and ↓ produce) pays per distinct
+           value, not per cell, and the REL/ATT keys pay once. *)
+        let local : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+        let nonnull = ref 0 in
+        for i = 0 to n - 1 do
+          let vid = Array.unsafe_get ids i in
+          if not (Intern.value_is_null vid) then begin
+            nonnull := !nonnull + 1;
+            bump local vid 1
+          end
+        done;
+        if !nonnull > 0 then begin
+          bump rel_net name (sign * !nonnull);
+          bump att_net att (sign * !nonnull);
+          Hashtbl.iter
+            (fun vid c ->
+              let v = Intern.value_str_id vid in
+              bump val_net v (sign * !c);
+              bump vec_net (name, att, v) (sign * !c))
+            local
+        end
+      end
+    done
+  in
+  List.iter (scan (-1) added) removed;
+  List.iter (scan 1 removed) added;
+  let apply_counts tbl counts =
+    Hashtbl.fold
+      (fun key c counts ->
+        let n = !c in
+        if n = 0 then counts
+        else
+          Counts.update key
+            (fun cur ->
+              let cur = Option.value ~default:0 cur in
+              let c' = cur + n in
+              if c' < 0 then
+                invalid_arg "Profile: removing a triple that is not present"
+              else if c' = 0 then None
+              else Some c')
+            counts)
+      tbl counts
+  in
+  let vector =
+    Hashtbl.fold
+      (fun key c vec ->
+        let n = !c in
+        if n > 0 then Vector.add_id_n vec key n
+        else if n < 0 then Vector.remove_id_n vec key (-n)
+        else vec)
+      vec_net p.vector
+  in
+  {
+    rel_counts = apply_counts rel_net p.rel_counts;
+    att_counts = apply_counts att_net p.att_counts;
+    val_counts = apply_counts val_net p.val_counts;
+    vector;
+  }
+
+(* Cosine-scoring delta: net the unshared cells of an interned delta and
+   return the exact changes to ⟨·, target⟩ and to the squared norm. Both
+   are integers — every dot addend is a product of integer counts and
+   (c+n)² − c² = n(2c+n) is integer algebra — so a score folded over a
+   chain of deltas is bit-identical to one recomputed from the child's
+   materialized vector, and the search order cannot diverge. *)
+let idelta_cosine ~tvec ~parent ~removed ~added =
+  let vec_net : (int * int * int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let scan sign other (name, rel) =
+    let atts = Irel.atts rel in
+    let n = Irel.cardinality rel in
+    for j = 0 to Array.length atts - 1 do
+      let att = atts.(j) in
+      let ids = Irel.col_ids rel j in
+      if not (col_shared name att ids other) then
+        for i = 0 to n - 1 do
+          let vid = Array.unsafe_get ids i in
+          if not (Intern.value_is_null vid) then begin
+            let key = (name, att, Intern.value_str_id vid) in
+            match Hashtbl.find_opt vec_net key with
+            | Some c -> c := !c + sign
+            | None -> Hashtbl.add vec_net key (ref sign)
+          end
+        done
+    done
+  in
+  List.iter (scan (-1) added) removed;
+  List.iter (scan 1 removed) added;
+  Hashtbl.fold
+    (fun key c (ddot, dsq) ->
+      let n = !c in
+      if n = 0 then (ddot, dsq)
+      else
+        let t = Vector.count_id tvec key in
+        let p = Vector.count_id parent key in
+        (ddot + (n * t), dsq + (n * ((2 * p) + n))))
+    vec_net (0, 0)
+
 let of_database db =
   Database.fold
     (fun name rel acc -> add_triples acc (relation_triples name rel))
     db empty
+
+let of_idb idb =
+  Idb.fold
+    (fun name rel acc -> add_id_triples acc (irel_triples name rel))
+    idb empty
 
 let of_tnf tnf = of_triples (Tnf.triples tnf)
 let rel_counts p = p.rel_counts
@@ -73,7 +252,11 @@ let att_counts p = p.att_counts
 let val_counts p = p.val_counts
 let vector p = p.vector
 
-let names counts = Counts.fold (fun k _ s -> Strings.add k s) counts Strings.empty
+let names counts =
+  Counts.fold
+    (fun k _ s -> Strings.add (Intern.string_of_id k) s)
+    counts Strings.empty
+
 let rels p = names p.rel_counts
 let atts p = names p.att_counts
 let values p = names p.val_counts
@@ -81,10 +264,16 @@ let values p = names p.val_counts
 let str p =
   (* Sorted (by triple, with multiplicity) cell rendering, components and
      cells joined with '\x01' so distinct triple multisets cannot collide
-     (e.g. ("ab","c","d") vs ("a","bc","d")). *)
+     (e.g. ("ab","c","d") vs ("a","bc","d")). The vector iterates in id
+     order, so the string triples are materialized and re-sorted to keep
+     the rendering byte-identical to the historical string keying. *)
+  let cells =
+    List.sort compare
+      (Vector.fold (fun triple c acc -> (triple, c) :: acc) p.vector [])
+  in
   let buf = Buffer.create 256 in
-  Vector.fold
-    (fun (r, a, v) c () ->
+  List.iter
+    (fun ((r, a, v), c) ->
       for _ = 1 to c do
         Buffer.add_string buf r;
         Buffer.add_char buf '\x01';
@@ -93,7 +282,7 @@ let str p =
         Buffer.add_string buf v;
         Buffer.add_char buf '\x01'
       done)
-    p.vector ();
+    cells;
   Buffer.contents buf
 
 let size p =

@@ -7,12 +7,17 @@
     incrementally from its parent's — {!remove_triples} for the cells an ℒ
     operator deleted, {!add_triples} for the cells it created — in O(cells
     changed) instead of O(database). A delta-maintained profile is
-    structurally {!equal} to one rebuilt from scratch. *)
+    structurally {!equal} to one rebuilt from scratch.
+
+    Names are keyed by {!Relational.Intern} string ids (values by the id of
+    their printed form); the id keying bijects with the old string keying,
+    so every heuristic value is unchanged, while hot-path maintenance over
+    interned relations ({!irel_triples}, {!of_idb}) touches no strings. *)
 
 open Relational
 
 module Strings : Set.S with type elt = string
-module Counts : Map.S with type key = string
+module Counts : Map.S with type key = int
 
 type t
 
@@ -24,6 +29,10 @@ val of_database : Database.t -> t
 (** Built directly from the database, cell by cell, in exact agreement with
     the views of [Tnf.encode] (null cells are skipped). *)
 
+val of_idb : Idb.t -> t
+(** Interned mirror of {!of_database}: [of_idb (Idb.of_database db)] is
+    {!equal} to [of_database db]. *)
+
 val of_tnf : Relation.t -> t
 (** Built from an explicit TNF relation. *)
 
@@ -31,7 +40,14 @@ val of_tnf : Relation.t -> t
 
 val relation_triples : string -> Relation.t -> (string * string * string) list
 (** The non-null (REL, ATT, VALUE) cells of one relation — the triples a
-    relation-granular delta adds or removes. *)
+    relation-granular delta adds or removes.
+    @raise Invalid_argument on a ragged relation (one whose row arities
+    disagree with its schema — constructible only via
+    [Relation.unsafe_of_rows]), naming the relation and both arities. *)
+
+val irel_triples : int -> Irel.t -> (int * int * int) list
+(** Interned mirror of {!relation_triples}: the same triple multiset as id
+    triples (order unspecified). *)
 
 val add_triples : t -> (string * string * string) list -> t
 
@@ -39,17 +55,43 @@ val remove_triples : t -> (string * string * string) list -> t
 (** @raise Invalid_argument when removing a triple the profile does not
     contain (a delta-bookkeeping bug, never a data condition). *)
 
+val add_id_triples : t -> (int * int * int) list -> t
+val remove_id_triples : t -> (int * int * int) list -> t
+
+val apply_idelta :
+  t -> removed:(int * Irel.t) list -> added:(int * Irel.t) list -> t
+(** One-shot application of a relation-granular interned delta (name-id,
+    relation pairs an operator removed and added). Equal to removing all
+    triples of [removed] and adding all triples of [added], but columns
+    physically shared between the two versions of a same-named relation are
+    skipped wholesale, and the rest is netted per key first — O(changed
+    cells) map updates however the delta is shaped. *)
+
+val idelta_cosine :
+  tvec:Vector.t ->
+  parent:Vector.t ->
+  removed:(int * Irel.t) list ->
+  added:(int * Irel.t) list ->
+  int * int
+(** [(ddot, dsq)]: the exact changes to [dot child tvec] and to the squared
+    norm induced by applying the delta to a state whose vector is [parent].
+    Same shared-column skip and per-key netting as {!apply_idelta}, but no
+    maps are rebuilt — this is how the search scores a successor without
+    materializing its profile. All quantities are integers, so a score
+    folded along a chain of deltas is bit-identical to one recomputed from
+    the materialized vector ({!Vector.dot} / {!Vector.sq_norm}). *)
+
 (** {1 Views} *)
 
 val rel_counts : t -> int Counts.t
-(** Multiplicity of each relation name over the database's cells; the key
-    set is the paper's π{_REL} projection. O(1). *)
+(** Multiplicity of each relation name over the database's cells, keyed by
+    string id; the key set is the paper's π{_REL} projection. O(1). *)
 
 val att_counts : t -> int Counts.t
 val val_counts : t -> int Counts.t
 
 val rels : t -> Strings.t
-(** π{_REL} as a set, derived from {!rel_counts}. O(n). *)
+(** π{_REL} as a string set, derived from {!rel_counts}. O(n). *)
 
 val atts : t -> Strings.t
 val values : t -> Strings.t
@@ -59,8 +101,8 @@ val vector : t -> Vector.t
 
 val str : t -> string
 (** The paper's [string(d)] for the Levenshtein heuristic: cells sorted by
-    triple, components and cells '\x01'-separated (injective on triple
-    multisets). Derived on demand, O(cells). *)
+    string triple, components and cells '\x01'-separated (injective on
+    triple multisets). Derived on demand, O(cells log cells). *)
 
 val size : t -> int
 (** Total distinct names and values; proportional to the paper's |s| and

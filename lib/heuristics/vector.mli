@@ -5,7 +5,14 @@
     of its cells matching that triple. Since only finitely many coordinates
     are non-zero, vectors are represented sparsely as maps from triples to
     counts — distances computed over the support union agree exactly with
-    distances in the full n³-dimensional space. *)
+    distances in the full n³-dimensional space.
+
+    Coordinates are keyed internally by {!Relational.Intern} string ids
+    (which biject with strings), so the search hot path can maintain a
+    successor's vector with int comparisons only; the string-triple API
+    interns on entry. All distances are bit-identical between the two
+    keyings: every dot-product addend is a product of two integer counts,
+    exact in float64, so summation order is immaterial. *)
 
 type t
 
@@ -23,17 +30,40 @@ val remove : t -> string * string * string -> t
     equal to one rebuilt from scratch.
     @raise Invalid_argument if the coordinate is zero. *)
 
+val add_id : t -> int * int * int -> t
+(** {!add} on an already-interned (rel id, att id, value-string id) triple —
+    the hot-path entry point. *)
+
+val remove_id : t -> int * int * int -> t
+
+val add_id_n : t -> int * int * int -> int -> t
+(** [add_id_n v key n] bumps one coordinate by [n ≥ 0] in a single map
+    update — equal to [n] iterated {!add_id}s. *)
+
+val remove_id_n : t -> int * int * int -> int -> t
+(** [remove_id_n v key n] decrements one coordinate by [n ≥ 0].
+    @raise Invalid_argument if the coordinate holds fewer than [n]. *)
+
 val cardinality : t -> int
 (** Number of non-zero coordinates. *)
 
 val equal : t -> t -> bool
 
 val fold : (string * string * string -> int -> 'a -> 'a) -> t -> 'a -> 'a
-(** Over non-zero coordinates in ascending triple order. *)
+(** Over non-zero coordinates, in ascending {e id}-triple order — NOT
+    string order; sort externally if a canonical string order is needed. *)
+
+val fold_id : (int * int * int -> int -> 'a -> 'a) -> t -> 'a -> 'a
 
 val count : t -> string * string * string -> int
+val count_id : t -> int * int * int -> int
+
 val norm : t -> float
 (** Euclidean length. *)
+
+val sq_norm : t -> int
+(** Σ c², kept exactly as an integer (so [norm v] is
+    [sqrt (float_of_int (sq_norm v))] with no drift). *)
 
 val dot : t -> t -> float
 

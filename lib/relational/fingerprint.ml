@@ -158,3 +158,19 @@ let add_relation fp ~rel r = combine fp (of_relation ~rel r)
 let remove_relation fp ~rel r = remove fp (of_relation ~rel r)
 let add_row fp ~rel schema row = combine fp (of_row ~rel schema row)
 let remove_row fp ~rel schema row = remove fp (of_row ~rel schema row)
+
+(* The interned columnar representation (Intern/Irel) recomputes these
+   exact terms over cached per-column lane arrays; it must stay
+   bit-identical with the boxed path, so the primitives are shared rather
+   than duplicated. *)
+module Hashing = struct
+  let mix64 = mix64
+  let lane_salt = lane_salt
+  let schema_salt = schema_salt
+  let fnv1a64 = fnv1a64
+  let fnv_char = fnv_char
+  let value_fnv = value_fnv
+  let lanes = lanes
+  let elem = elem
+  let make a b = { a; b }
+end

@@ -76,3 +76,30 @@ val remove_relation : t -> rel:string -> Relation.t -> t
 
 val add_row : t -> rel:string -> Schema.t -> Row.t -> t
 val remove_row : t -> rel:string -> Schema.t -> Row.t -> t
+
+(** {1 Hashing primitives}
+
+    Shared with the interned columnar representation ({!Intern}/{!Irel}),
+    which caches per-column element lanes and must reproduce the boxed
+    fingerprints bit for bit. Not a stable public interface. *)
+module Hashing : sig
+  val mix64 : int64 -> int64
+  val lane_salt : int64
+  val schema_salt : int64
+
+  val fnv1a64 : string -> int64
+  val fnv_char : int64 -> char -> int64
+
+  val value_fnv : int64 -> Value.t -> int64
+  (** Continue an FNV fold with the type-tagged encoding of one value. *)
+
+  val lanes : int64 -> int64 * int64
+  (** Both element lanes from one FNV state: [(mix64 h, mix64 (mix64 h lxor
+      lane_salt))]. *)
+
+  val elem : string -> int64 * int64
+  (** [lanes (fnv1a64 s)]. *)
+
+  val make : int64 -> int64 -> t
+  (** Assemble a fingerprint from raw lanes. *)
+end

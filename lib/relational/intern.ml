@@ -1,0 +1,263 @@
+(* Global hash-consing pools for strings and values.
+
+   The search hot path (Irel/Idb, Moves, Heuristics) works over dense int
+   ids instead of boxed strings and values: id equality is string (resp.
+   structural value) equality, and every per-string derived quantity the
+   fingerprint needs — the FNV state, the attribute cell prefix, the
+   element lanes — is computed once at interning time and then read with
+   plain array loads.
+
+   Domain safety. Interning takes a global mutex; id → entry lookups are
+   lock-free. The entry arrays grow by copy: the (atomic) array pointer is
+   replaced with a larger copy, never mutated in place past its published
+   length, so a reader holding any previously issued id always finds its
+   entry. Ids reach other domains only through synchronized channels (the
+   search work queues) or through caches derived from already-visible ids,
+   so the plain element reads are ordered after the interning writes.
+
+   The pools are process-global and append-only: they grow for the life of
+   the process (see DESIGN.md, "Interned hot path" — a deliberate trade-off
+   for the long-running discovery server, where the value universe is the
+   union of all admitted instances). *)
+
+type str_entry = {
+  str : string;
+  fnv : int64;  (* fnv1a64 str *)
+  prefix : int64;  (* FNV state of [str '\x1f'] — the cell hash prefix *)
+  ea : int64;
+  eb : int64;  (* Fingerprint element lanes of [str] *)
+  mutable as_value : int;
+      (* id of [Value.String str], -1 until interned; benign-race cache *)
+  mutable cell_ea : int64 array;
+      (* when this string is used as an attribute name: cached first cell
+         lane per value id ([mix64 (value_fnv prefix v)]), indexed by value
+         id, 0L = not yet computed. Grows by copy-replace; benign race (all
+         writers store the same deterministic value, a lost update or the
+         astronomically unlikely true-0L hash only costs a recompute). *)
+}
+
+type val_entry = {
+  value : Value.t;
+  vstr : int;  (* string id of [Value.to_string value] *)
+  tag : int;  (* constructor tag: canonical-key cell type *)
+  null : bool;
+}
+
+(* Structural identity for the value index: one id per distinct
+   representation. Floats are keyed by their bits so the pool never
+   conflates values the canonical key distinguishes; note this is FINER
+   than [Value.compare] (Int 1 and Float 1.0 get distinct ids, and compare
+   equal), which is why the comparison helpers below go through
+   [Value.compare] rather than id equality. *)
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal a b =
+    match (a, b) with
+    | Value.Null, Value.Null -> true
+    | Value.Bool x, Value.Bool y -> Bool.equal x y
+    | Value.Int x, Value.Int y -> Int.equal x y
+    | Value.Float x, Value.Float y ->
+        Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+    | Value.String x, Value.String y -> String.equal x y
+    | _ -> false
+
+  let hash = function
+    | Value.Null -> 17
+    | Value.Bool b -> Hashtbl.hash b
+    | Value.Int n -> Hashtbl.hash n
+    | Value.Float f -> Hashtbl.hash (Int64.bits_of_float f)
+    | Value.String s -> Hashtbl.hash s
+end)
+
+let value_tag = function
+  | Value.Null -> 0
+  | Value.Bool _ -> 1
+  | Value.Int _ -> 2
+  | Value.Float _ -> 3
+  | Value.String _ -> 4
+
+let mutex = Mutex.create ()
+
+let dummy_str =
+  {
+    str = "";
+    fnv = 0L;
+    prefix = 0L;
+    ea = 0L;
+    eb = 0L;
+    as_value = -1;
+    cell_ea = [||];
+  }
+
+let dummy_val = { value = Value.Null; vstr = 0; tag = 0; null = true }
+let str_index : (string, int) Hashtbl.t = Hashtbl.create 4096
+let str_entries = Atomic.make (Array.make 1024 dummy_str)
+let str_len = ref 0
+let val_index : int VH.t = VH.create 4096
+let val_entries = Atomic.make (Array.make 1024 dummy_val)
+let val_len = ref 0
+
+(* Callers hold [mutex]. Returns the array with room at index [!len]. *)
+let room entries len dummy =
+  let arr = Atomic.get entries in
+  if !len < Array.length arr then arr
+  else begin
+    let bigger = Array.make (2 * Array.length arr) dummy in
+    Array.blit arr 0 bigger 0 !len;
+    Atomic.set entries bigger;
+    bigger
+  end
+
+let intern_string_locked s =
+  match Hashtbl.find_opt str_index s with
+  | Some id -> id
+  | None ->
+      let fnv = Fingerprint.Hashing.fnv1a64 s in
+      let prefix = Fingerprint.Hashing.fnv_char fnv '\x1f' in
+      let ea, eb = Fingerprint.Hashing.lanes fnv in
+      let id = !str_len in
+      let arr = room str_entries str_len dummy_str in
+      arr.(id) <-
+        { str = s; fnv; prefix; ea; eb; as_value = -1; cell_ea = [||] };
+      str_len := id + 1;
+      Hashtbl.add str_index s id;
+      id
+
+(* Read-only snapshots of the two indexes, refreshed (by copy, under the
+   mutex) after every insertion. Lookups of already-interned keys — the
+   overwhelmingly common case on the successor hot path, where operator
+   names arrive as strings and every name is already pooled — then need no
+   lock at all: the snapshot tables are never mutated after publication,
+   so concurrent [find_opt]s are safe. A miss falls back to the mutex and
+   re-checks under it. *)
+let str_read : (string, int) Hashtbl.t Atomic.t =
+  Atomic.make (Hashtbl.create 1)
+
+let val_read : int VH.t Atomic.t = Atomic.make (VH.create 1)
+
+let string_id s =
+  match Hashtbl.find_opt (Atomic.get str_read) s with
+  | Some id -> id
+  | None ->
+      Mutex.lock mutex;
+      let id = intern_string_locked s in
+      Atomic.set str_read (Hashtbl.copy str_index);
+      Mutex.unlock mutex;
+      id
+
+let intern_value_locked v =
+  match VH.find_opt val_index v with
+  | Some id -> id
+  | None ->
+      let vstr = intern_string_locked (Value.to_string v) in
+      let id = !val_len in
+      let arr = room val_entries val_len dummy_val in
+      arr.(id) <-
+        { value = v; vstr; tag = value_tag v; null = Value.is_null v };
+      val_len := id + 1;
+      VH.add val_index v id;
+      id
+
+let value_id v =
+  match VH.find_opt (Atomic.get val_read) v with
+  | Some id -> id
+  | None ->
+      Mutex.lock mutex;
+      let id = intern_value_locked v in
+      (* A value insert may also have pooled its printed form. *)
+      Atomic.set str_read (Hashtbl.copy str_index);
+      Atomic.set val_read (VH.copy val_index);
+      Mutex.unlock mutex;
+      id
+
+let str_entry id = (Atomic.get str_entries).(id)
+let val_entry id = (Atomic.get val_entries).(id)
+let string_of_id id = (str_entry id).str
+let string_fnv id = (str_entry id).fnv
+let string_prefix id = (str_entry id).prefix
+
+let string_lanes id =
+  let e = str_entry id in
+  (e.ea, e.eb)
+
+let string_value_id id =
+  let e = str_entry id in
+  let v = e.as_value in
+  if v >= 0 then v
+  else begin
+    let v = value_id (Value.String e.str) in
+    (* Benign race: concurrent writers store the same id. *)
+    e.as_value <- v;
+    v
+  end
+
+let value_of_id id = (val_entry id).value
+let value_str_id id = (val_entry id).vstr
+let value_tag_id id = (val_entry id).tag
+let value_is_null id = (val_entry id).null
+
+(* Pre-interned constants. [empty_string_id] backs the [usable_column_name]
+   test (only [String ""] renders as the empty string); [null_value_id] is
+   the fill cell of ↑ and →. *)
+let empty_string_id = string_id ""
+let null_value_id = value_id Value.Null
+
+(* First fingerprint cell lane of value [v_id] under attribute [att_id]:
+   [mix64 (value_fnv (prefix att) (value v))], memoized per (attribute,
+   value) pair so successor generation never re-hashes a value's bytes for
+   an (attribute, value) combination it has seen before. The second lane is
+   a cheap [mix64] away (see [Irel.col_lanes]) and is not cached. *)
+let cell_lane_a att_id v_id =
+  let e = str_entry att_id in
+  let arr = e.cell_ea in
+  let n = Array.length arr in
+  if v_id < n then begin
+    let x = Array.unsafe_get arr v_id in
+    if Int64.equal x 0L then begin
+      let x =
+        Fingerprint.Hashing.mix64
+          (Fingerprint.Hashing.value_fnv e.prefix (val_entry v_id).value)
+      in
+      Array.unsafe_set arr v_id x;
+      x
+    end
+    else x
+  end
+  else begin
+    let size = ref (max 1024 (2 * n)) in
+    while v_id >= !size do
+      size := 2 * !size
+    done;
+    let bigger = Array.make !size 0L in
+    Array.blit arr 0 bigger 0 n;
+    let x =
+      Fingerprint.Hashing.mix64
+        (Fingerprint.Hashing.value_fnv e.prefix (val_entry v_id).value)
+    in
+    bigger.(v_id) <- x;
+    e.cell_ea <- bigger;
+    x
+  end
+
+let compare_values a b =
+  if a = b then 0 else Value.compare (value_of_id a) (value_of_id b)
+
+let equal_values a b = a = b || compare_values a b = 0
+
+let compare_strings a b =
+  if a = b then 0 else String.compare (string_of_id a) (string_of_id b)
+
+(* Canonical-key cell equivalence: type tag plus printed form. Coarser than
+   id equality only for floats whose 12-digit printed forms coincide. *)
+let canonical_equal_values a b =
+  a = b
+  ||
+  let ea = val_entry a and eb = val_entry b in
+  ea.tag = eb.tag && ea.vstr = eb.vstr
+
+let size () =
+  Mutex.lock mutex;
+  let s = (!str_len, !val_len) in
+  Mutex.unlock mutex;
+  s

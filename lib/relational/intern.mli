@@ -1,0 +1,80 @@
+(** Global hash-consing pools: strings and values as dense int ids.
+
+    The search hot path ({!Irel}, {!Idb}, successor generation, heuristic
+    profiles) carries ids instead of boxed strings and values. Interning is
+    mutex-guarded; id lookups are lock-free plain reads (the entry arrays
+    grow by copy and are never mutated past their published length), so any
+    number of domains can read while one interns — see DESIGN.md, "Interned
+    hot path", for the full domain-safety story.
+
+    Identity:
+    - string ids: one per distinct string; id equality ⟺ string equality.
+    - value ids: one per distinct {e structural} value (floats keyed by
+      their bits). Id equality implies {!Value.equal}, but NOT conversely:
+      [Int 1] and [Float 1.0] compare equal under {!Value.compare} while
+      holding distinct ids. Every comparison on the hot path therefore goes
+      through {!compare_values}/{!equal_values}, which mirror
+      {!Value.compare} exactly (with an id fast path).
+
+    The pools are process-global and append-only (never shrunk): a
+    deliberate trade-off for the long-running discovery server. *)
+
+(** {1 Strings} *)
+
+val string_id : string -> int
+val string_of_id : int -> string
+
+val string_fnv : int -> int64
+(** Cached [Fingerprint.Hashing.fnv1a64] of the string. *)
+
+val string_prefix : int -> int64
+(** Cached FNV state of [str '\x1f'] — the per-attribute cell-hash prefix
+    of {!Fingerprint.of_relation}. *)
+
+val string_lanes : int -> int64 * int64
+(** Cached {!Fingerprint.Hashing.elem} of the string. *)
+
+val string_value_id : int -> int
+(** Id of [Value.String s] for string id [s]; cached on the string entry. *)
+
+val cell_lane_a : int -> int -> int64
+(** [cell_lane_a att v] is the first fingerprint cell lane
+    [mix64 (value_fnv (string_prefix att) (value_of_id v))], memoized per
+    (attribute, value) pair — the successor hot path re-fingerprints fresh
+    relations over a value universe it has already hashed. *)
+
+val empty_string_id : int
+
+(** {1 Values} *)
+
+val value_id : Value.t -> int
+val value_of_id : int -> Value.t
+
+val value_str_id : int -> int
+(** String id of [Value.to_string v]. *)
+
+val value_tag_id : int -> int
+(** Constructor tag (Null 0, Bool 1, Int 2, Float 3, String 4) — the
+    canonical key's cell type. *)
+
+val value_is_null : int -> bool
+val null_value_id : int
+
+(** {1 Comparisons} *)
+
+val compare_values : int -> int -> int
+(** Exactly {!Value.compare} on the underlying values (id fast path).
+    Distinct ids can compare equal (mixed-type numerics). *)
+
+val equal_values : int -> int -> bool
+
+val compare_strings : int -> int -> int
+(** [String.compare] on contents. *)
+
+val canonical_equal_values : int -> int -> bool
+(** {!Database.canonical_key} cell equivalence: same type tag and printed
+    form. Implied by id equality; coarser only for floats whose printed
+    forms coincide. *)
+
+val size : unit -> int * int
+(** [(distinct strings, distinct values)] interned so far. *)

@@ -1,0 +1,103 @@
+(** Interned columnar relations for the search hot path.
+
+    One int array of {!Intern} value ids per column, plus per-column caches
+    (fingerprint lanes, distinct value strings, distinct counts) that are
+    shared across derived relations whenever a column's cells survive an
+    operator unchanged.
+
+    Bit-identity contract: every operator mirrors the corresponding
+    {!Relation} function step for step — same row production order, same
+    canonicalization — so [to_relation (op (of_relation r))] equals the
+    boxed [op r] exactly, canonical keys and fingerprints included
+    (property-tested). Rows are kept sorted and deduplicated under
+    {!Intern.compare_values}, exactly like boxed relation rows. *)
+
+type t
+
+(** {1 Construction and conversion} *)
+
+val of_rows : int array -> int array list -> t
+(** [of_rows atts rows]: attribute name ids plus one value-id array per
+    row; rows are canonicalized (sorted, deduplicated). *)
+
+val of_relation : Relation.t -> t
+val to_relation : t -> Relation.t
+
+(** {1 Structure} *)
+
+val arity : t -> int
+val cardinality : t -> int
+
+val cells : t -> int
+(** cardinality × arity. *)
+
+val atts : t -> int array
+(** Attribute name ids in schema order. Do not mutate. *)
+
+val col_ids : t -> int -> int array
+(** Value ids of column [j] in row order. Do not mutate. *)
+
+val row_of : t -> int -> int array
+val to_rows : t -> int array list
+val index_of_opt : t -> int -> int option
+val mem_att : t -> int -> bool
+val compare_rows : int array -> int array -> int
+
+(** {1 Cached derived data} *)
+
+val dcount : t -> int -> int
+(** [List.length (Relation.column_distinct r att)] for column [j] — the
+    number of {!Value.compare}-distinct values, nulls included. Cached. *)
+
+val dstrs : t -> int -> int array
+(** Distinct non-null value strings of column [j] (as string ids, sorted
+    by id) — the interned [column_strings]. Cached. *)
+
+val vstrs : t -> int array
+(** Distinct non-null value strings of the whole relation (sorted by id)
+    — the interned [value_strings]. Cached. *)
+
+val has_nulls : t -> bool
+(** Any null cell. Cached. *)
+
+val usable_name : int -> int option
+(** [Relation.usable_column_name] on a value id: the printed form's string
+    id, or [None] for Null and the empty string. *)
+
+val fingerprint : name:int -> t -> Fingerprint.t
+(** Bit-identical with [Fingerprint.of_relation ~rel r] for the relation
+    name with string id [name]. Per-column element lanes and the result
+    are cached. *)
+
+(** {1 ℒ operators} (mirrors of the {!Relation} functions) *)
+
+val promote : t -> name_col:int -> value_col:int -> t
+val demote : t -> rel_name:int -> att_att:int -> rel_att:int -> t
+val dereference : t -> target:int -> pointer_col:int -> t
+val merge : t -> int -> t
+
+val partition : t -> int -> (int * t) list
+(** Groups by distinct non-null column value (in {!Value.compare} order),
+    as (value id, group) pairs. *)
+
+val product : t -> t -> t
+val project_away : t -> int -> t
+val rename_att : t -> old_name:int -> new_name:int -> t
+
+val extend : t -> int -> (int array -> int) -> t
+(** [extend r att f]: append column [att], cell computed from each row's
+    value ids — the λ-apply building block. *)
+
+(** {1 Comparison and containment} *)
+
+val equal : t -> t -> bool
+(** {!Relation.equal}: same attribute set, same rows under
+    {!Value.compare} once projected onto the sorted attribute order. *)
+
+val canonical_equal : t -> t -> bool
+(** {!Database.canonical_key} equality: like {!equal} but with
+    type-tagged cell equivalence (Int 1 ≠ Float 1.0). *)
+
+val contains : t -> t -> bool
+(** {!Relation.contains}; the sorted projection of the big side is cached
+    on it, keyed by the small side's attribute array. *)

@@ -17,6 +17,8 @@ let of_rows schema rows =
   List.iter (check_arity schema) rows;
   { schema; rows = canonicalize rows }
 
+let unsafe_of_rows schema rows = { schema; rows }
+
 let of_strings atts rows =
   let schema = Schema.of_list atts in
   of_rows schema

@@ -25,6 +25,12 @@ val of_strings : string list -> string list list -> t
     each cell with {!Value.of_string_guess}. Convenient for tests and
     critical-instance construction. *)
 
+val unsafe_of_rows : Schema.t -> Row.t list -> t
+(** [of_rows] without the arity check or canonicalization — the rows are
+    stored exactly as given. For tests that need to construct invalid
+    (e.g. ragged) relations to pin diagnostic behavior; never use on a
+    data path. *)
+
 val add : t -> Row.t -> t
 
 (** {1 Inspection} *)

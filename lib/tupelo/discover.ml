@@ -167,7 +167,9 @@ let discover_run ?(registry = Fira.Semfun.empty_registry)
       succs
 
     let is_goal state =
-      Goal.reached goal_mode ~target (State.database state)
+      Goal.reached_interned goal_mode
+        ~target:(Moves.target_idb target_info)
+        (State.idb state)
   end in
   (* IDA* and RBFS re-visit states across iterations/backtracks; heuristic
      values depend only on the state, so memoize them by fingerprint.
@@ -183,11 +185,25 @@ let discover_run ?(registry = Fira.Semfun.empty_registry)
       let memo : (Relational.Fingerprint.t, int) Heuristics.Memo.t =
         Heuristics.Memo.create ~telemetry:tel ()
       in
+      (* Cosine estimates skip profile materialization entirely: the
+         state's dot/norm parts are folded incrementally along the parent
+         chain (State.cosine_parts) — bit-identical to scoring the
+         materialized profile, but O(changed cells) per new state. *)
+      let eval =
+        match heuristic.Heuristics.Heuristic.cosine_k with
+        | Some k ->
+            let tvec = Heuristics.Profile.vector target_profile in
+            fun state ->
+              Heuristics.Heuristic.cosine_scaled ~k
+                (State.cosine_distance ~tvec state)
+        | None ->
+            fun state ->
+              heuristic.Heuristics.Heuristic.estimate ~target:target_profile
+                (State.profile state)
+      in
       fun state ->
         Heuristics.Memo.find_or_add memo (State.fingerprint state) (fun _ ->
-            Telemetry.timed tel "heuristic.eval" (fun () ->
-                heuristic.Heuristics.Heuristic.estimate ~target:target_profile
-                  (State.profile state)))
+            Telemetry.timed tel "heuristic.eval" (fun () -> eval state))
     end
   in
   let run_algorithm ?(stop = stop) ?pool ~telemetry:tel alg heuristic root =

@@ -7,6 +7,11 @@ let reached mode ~target db =
   | Superset -> Database.contains db target
   | Exact -> Database.equal db target
 
+let reached_interned mode ~target idb =
+  match mode with
+  | Superset -> Idb.contains idb target
+  | Exact -> Idb.equal idb target
+
 let mode_to_string = function Superset -> "superset" | Exact -> "exact"
 
 let mode_of_string = function

@@ -15,5 +15,10 @@ type mode =
 
 val reached : mode -> target:Database.t -> Database.t -> bool
 
+val reached_interned : mode -> target:Idb.t -> Idb.t -> bool
+(** {!reached} over the interned form — the per-expansion goal test of the
+    search hot path ([Idb.contains] caches the big side's sorted
+    projection, so repeated tests against one target amortize). *)
+
 val mode_to_string : mode -> string
 val mode_of_string : string -> mode option

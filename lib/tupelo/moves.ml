@@ -42,8 +42,37 @@ let default goal =
     paranoid_fingerprints = paranoid_from_env ();
   }
 
+(* Membership in a sorted int array (binary search). *)
+let mem_sorted (arr : int array) x =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  let found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = arr.(mid) in
+    if v = x then found := true else if v < x then lo := mid + 1 else hi := mid
+  done;
+  !found
+
+(* Non-empty intersection of two id-sorted arrays (merge walk). *)
+let intersects (a : int array) (b : int array) =
+  let na = Array.length a and nb = Array.length b in
+  let i = ref 0 and j = ref 0 and hit = ref false in
+  while (not !hit) && !i < na && !j < nb do
+    let x = a.(!i) and y = b.(!j) in
+    if x = y then hit := true else if x < y then incr i else incr j
+  done;
+  !hit
+
+module FnTbl = Hashtbl.Make (struct
+  type t = Fira.Semfun.t
+
+  let equal = ( == )
+  let hash f = Hashtbl.hash (Fira.Semfun.name f)
+end)
+
 type target_info = {
   db : Database.t;
+  idb : Idb.t;
   rels : Strings.t;
   atts : Strings.t;
   values : Strings.t;
@@ -51,6 +80,23 @@ type target_info = {
       (* per target attribute, the value strings illustrated under it *)
   rel_values : Strings.t SMap.t;
       (* per target relation, all its value strings *)
+  (* Interned mirrors, for the [icandidates] hot path. Names appear twice:
+     string-sorted (for emission-order-faithful iteration) and id-sorted
+     (for O(log n) membership). *)
+  trels_sorted : int array;
+  trels_set : int array;
+  tatts_sorted : int array;
+  tatts_set : int array;
+  tvalues_set : int array;
+  itatt_values : (int, int array) Hashtbl.t;  (* att id → id-sorted values *)
+  itrel_values : (int, int array) Hashtbl.t;  (* rel id → id-sorted values *)
+  itrels : (int * int array) array;
+      (* (name id, att ids in schema order), name-string-sorted *)
+  itrel_atts : (int, int array) Hashtbl.t;  (* rel id → att ids, schema order *)
+  lambda_help : Fira.Semfun.t -> bool;
+      (* does some illustrated output of the function occur among the
+         target's values? Memoized per function (mutex-guarded — candidate
+         generation runs on several domains under parallel expansion). *)
 }
 
 let value_strings rel =
@@ -87,17 +133,84 @@ let target_info db =
       (fun name rel acc -> SMap.add name (value_strings rel) acc)
       db SMap.empty
   in
+  let rels = Strings.of_list (Database.relation_names db) in
+  let atts = Strings.of_list (Database.all_attributes db) in
+  let values =
+    Strings.of_list (List.map Value.to_string (Database.all_values db))
+  in
+  let sorted_ids set =
+    Array.of_list (List.map Intern.string_id (Strings.elements set))
+  in
+  let by_id arr =
+    let arr = Array.copy arr in
+    Array.sort Int.compare arr;
+    arr
+  in
+  let id_value_map smap =
+    let tbl = Hashtbl.create 16 in
+    SMap.iter
+      (fun name set -> Hashtbl.replace tbl (Intern.string_id name) (by_id (sorted_ids set)))
+      smap;
+    tbl
+  in
+  let trels_sorted = sorted_ids rels in
+  let tatts_sorted = sorted_ids atts in
+  let tvalues_set = by_id (sorted_ids values) in
+  let itrels =
+    Array.of_list
+      (List.map
+         (fun (name, rel) ->
+           ( Intern.string_id name,
+             Array.of_list
+               (List.map Intern.string_id (Relation.attributes rel)) ))
+         (Database.relations db))
+  in
+  let itrel_atts = Hashtbl.create 16 in
+  Array.iter (fun (name, atts) -> Hashtbl.replace itrel_atts name atts) itrels;
+  let lambda_help =
+    let tbl = FnTbl.create 8 in
+    let m = Mutex.create () in
+    fun f ->
+      Mutex.lock m;
+      let b =
+        match FnTbl.find_opt tbl f with
+        | Some b -> b
+        | None ->
+            let b =
+              List.exists
+                (fun (_, out) ->
+                  mem_sorted tvalues_set
+                    (Intern.string_id (Value.to_string out)))
+                (Fira.Semfun.examples f)
+            in
+            FnTbl.add tbl f b;
+            b
+      in
+      Mutex.unlock m;
+      b
+  in
   {
     db;
-    rels = Strings.of_list (Database.relation_names db);
-    atts = Strings.of_list (Database.all_attributes db);
-    values =
-      Strings.of_list (List.map Value.to_string (Database.all_values db));
+    idb = Idb.of_database db;
+    rels;
+    atts;
+    values;
     att_values;
     rel_values;
+    trels_sorted;
+    trels_set = by_id trels_sorted;
+    tatts_sorted;
+    tatts_set = by_id tatts_sorted;
+    tvalues_set;
+    itatt_values = id_value_map att_values;
+    itrel_values = id_value_map rel_values;
+    itrels;
+    itrel_atts;
+    lambda_help;
   }
 
 let target_db t = t.db
+let target_idb t = t.idb
 
 (* Values of a column rendered as strings, distinct. *)
 let column_strings rel att =
@@ -398,42 +511,374 @@ let candidates config registry target db =
   List.rev !acc
   |> List.filter (fun op -> Fira.Eval.applicable registry op db)
 
+(* ------------------------------------------------------------------ *)
+(* [icandidates]: the same proposal rules over the interned form.
+
+   Emission order mirrors [candidates] exactly — relations in sorted name
+   order, attributes in schema order, target names in string-sorted order
+   (the [*_sorted] arrays) — so the two functions return the SAME operator
+   list on corresponding databases (property-tested). Every boxed string
+   set becomes an id array; every [Strings.mem] becomes a binary search or
+   a linear scan over a tiny array; every [Strings.inter] emptiness test
+   becomes a sorted-array merge walk over cached [Irel.dstrs]/[vstrs]. *)
+
+let fresh_name_by mem base =
+  if not (mem base) then base
+  else
+    let rec go i =
+      let candidate = Printf.sprintf "%s_%d" base i in
+      if mem candidate then go (i + 1) else candidate
+    in
+    go 1
+
+let icandidates config registry target (idb : Idb.t) =
+  let str = Intern.string_of_id in
+  let acc = ref [] in
+  let emit op = acc := op :: !acc in
+  let mem_db_rel s = Idb.mem idb (Intern.string_id s) in
+  (* --- per-relation operators, relations in sorted name order --- *)
+  Idb.iter
+    (fun rel_id r ->
+      let rel = str rel_id in
+      let atts = Irel.atts r in
+      let arity = Array.length atts in
+      (* Target attributes missing from this relation, string-sorted. *)
+      let missing_targets () =
+        Array.of_list
+          (List.filter
+             (fun b -> not (Irel.mem_att r b))
+             (Array.to_list target.tatts_sorted))
+      in
+      (* Attributes the target still wants in this relation (same-named
+         target relation if present, else all target attributes). *)
+      let wanted_mem =
+        match Hashtbl.find_opt target.itrel_atts rel_id with
+        | Some tr_atts -> fun a -> Array.exists (( = ) a) tr_atts
+        | None -> fun a -> mem_sorted target.tatts_set a
+      in
+      (* ρ-att / ρ-rel *)
+      if config.enable_rename then begin
+        let missing = missing_targets () in
+        let att_compatible j b =
+          (not config.rename_value_check)
+          ||
+          let a_vals = Irel.dstrs r j in
+          match Hashtbl.find_opt target.itatt_values b with
+          | Some tv when Array.length tv > 0 ->
+              Array.length a_vals = 0 || intersects a_vals tv
+          | _ -> true (* no data illustrated: cannot rule the rename out *)
+        in
+        if Array.length missing > 0 then
+          Array.iteri
+            (fun j a ->
+              if not (wanted_mem a) then
+                Array.iter
+                  (fun b ->
+                    if att_compatible j b then
+                      emit
+                        (Fira.Op.RenameAtt
+                           { rel; old_name = str a; new_name = str b }))
+                  missing)
+            atts;
+        let rel_compatible n =
+          (not config.rename_value_check)
+          ||
+          let r_vals = Irel.vstrs r in
+          match Hashtbl.find_opt target.itrel_values n with
+          | Some tv when Array.length tv > 0 ->
+              Array.length r_vals = 0 || intersects r_vals tv
+          | _ -> true
+        in
+        if not (mem_sorted target.trels_set rel_id) then
+          Array.iter
+            (fun n ->
+              if (not (Idb.mem idb n)) && rel_compatible n then
+                emit (Fira.Op.RenameRel { old_name = rel; new_name = str n }))
+            (Array.of_list
+               (List.filter
+                  (fun n -> not (Idb.mem idb n))
+                  (Array.to_list target.trels_sorted)))
+      end;
+      (* ↑ promote *)
+      if config.enable_promote then
+        Array.iteri
+          (fun j a ->
+            let vals = Irel.dstrs r j in
+            let creates_target_att =
+              Array.exists
+                (fun v ->
+                  mem_sorted target.tatts_set v && not (Irel.mem_att r v))
+                vals
+            in
+            if creates_target_att then
+              Array.iteri
+                (fun jb b ->
+                  let value_overlap =
+                    Array.exists
+                      (fun v -> mem_sorted target.tvalues_set v)
+                      (Irel.dstrs r jb)
+                  in
+                  if value_overlap then
+                    emit
+                      (Fira.Op.Promote
+                         { rel; name_col = str a; value_col = str b }))
+                atts)
+          atts;
+      (* ↓ demote *)
+      if config.enable_demote then begin
+        let metadata_wanted =
+          mem_sorted target.tvalues_set rel_id
+          || Array.exists (fun a -> mem_sorted target.tvalues_set a) atts
+        in
+        let already_demoted =
+          let rec go j =
+            j < arity
+            && (Array.exists (fun v -> Irel.mem_att r v) (Irel.dstrs r j)
+               || go (j + 1))
+          in
+          go 0
+        in
+        if metadata_wanted && not already_demoted then begin
+          let taken s =
+            let id = Intern.string_id s in
+            Array.exists (( = ) id) atts || mem_sorted target.tatts_set id
+          in
+          let att_att = fresh_name_by taken "ATT" in
+          let rel_att =
+            fresh_name_by (fun s -> taken s || String.equal s att_att) "REL"
+          in
+          emit (Fira.Op.Demote { rel; att_att; rel_att })
+        end;
+        match Hashtbl.find_opt target.itrel_atts rel_id with
+        | Some tr_atts -> (
+            match
+              List.filter
+                (fun a -> not (Irel.mem_att r a))
+                (Array.to_list tr_atts)
+            with
+            | [ att_att; rel_att ] ->
+                emit
+                  (Fira.Op.Demote
+                     { rel; att_att = str att_att; rel_att = str rel_att })
+            | _ -> ())
+        | None -> ()
+      end;
+      (* → dereference *)
+      if config.enable_dereference then begin
+        let missing = missing_targets () in
+        if Array.length missing > 0 then
+          Array.iteri
+            (fun j a ->
+              let points_at_columns =
+                Array.exists (fun v -> Irel.mem_att r v) (Irel.dstrs r j)
+              in
+              if points_at_columns then
+                Array.iter
+                  (fun b ->
+                    emit
+                      (Fira.Op.Dereference
+                         { rel; target = str b; pointer_col = str a }))
+                  missing)
+            atts
+      end;
+      (* ℘ partition *)
+      if config.enable_partition then
+        Array.iteri
+          (fun j a ->
+            let creates_target_rel =
+              Array.exists
+                (fun v -> mem_sorted target.trels_set v)
+                (Irel.dstrs r j)
+            in
+            if creates_target_rel then
+              emit (Fira.Op.Partition { rel; col = str a }))
+          atts;
+      let has_nulls = Irel.has_nulls r in
+      (* π̄ drop *)
+      if config.enable_drop then begin
+        let propose_drops wanted =
+          Array.iter
+            (fun a ->
+              if not (wanted a) then emit (Fira.Op.Drop { rel; col = str a }))
+            atts
+        in
+        match config.goal with
+        | Goal.Exact -> propose_drops wanted_mem
+        | Goal.Superset ->
+            if has_nulls then
+              propose_drops (fun a -> mem_sorted target.tatts_set a)
+      end;
+      (* µ merge *)
+      if config.enable_merge && has_nulls then
+        Array.iteri
+          (fun j a ->
+            if Irel.cardinality r > Irel.dcount r j then
+              emit (Fira.Op.Merge { rel; col = str a }))
+          atts;
+      (* λ apply *)
+      if config.enable_apply then
+        List.iter
+          (fun f ->
+            let fname = Fira.Semfun.name f in
+            let output_helps oid =
+              mem_sorted target.tatts_set oid || target.lambda_help f
+            in
+            match Fira.Semfun.signature f with
+            | Some (inputs, output) ->
+                let oid = Intern.string_id output in
+                if
+                  (not (Irel.mem_att r oid))
+                  && output_helps oid
+                  && List.for_all
+                       (fun a -> Irel.mem_att r (Intern.string_id a))
+                       inputs
+                then
+                  emit (Fira.Op.Apply { rel; func = fname; inputs; output })
+            | None ->
+                let outs =
+                  List.filter
+                    (fun b -> not (Irel.mem_att r b))
+                    (Array.to_list target.tatts_sorted)
+                in
+                let input_tuples =
+                  enumerate_inputs (Array.to_list atts) (Fira.Semfun.arity f)
+                    config.max_lambda_inputs
+                in
+                List.iter
+                  (fun output ->
+                    List.iter
+                      (fun inputs ->
+                        emit
+                          (Fira.Op.Apply
+                             {
+                               rel;
+                               func = fname;
+                               inputs = List.map str inputs;
+                               output = str output;
+                             }))
+                      input_tuples)
+                  outs)
+          (Fira.Semfun.to_list registry);
+      ())
+    idb;
+  (* --- × product over relation pairs --- *)
+  if config.enable_product then begin
+    let names = Array.of_list (Idb.names idb) in
+    let n = Array.length names in
+    for il = 0 to n - 1 do
+      for ir = 0 to n - 1 do
+        (* Name order in the entry array is string order, so [il < ir]
+           is exactly the boxed [l < rt] string comparison. *)
+        if il < ir then begin
+          let l_id = names.(il) and rt_id = names.(ir) in
+          let latts = Irel.atts (Idb.find idb l_id) in
+          let ratts = Irel.atts (Idb.find idb rt_id) in
+          let disjoint =
+            not
+              (Array.exists (fun a -> Array.exists (( = ) a) ratts) latts)
+          in
+          if disjoint then begin
+            let absorbed tr_atts =
+              Array.for_all (fun a -> Array.exists (( = ) a) tr_atts) latts
+              && Array.for_all (fun a -> Array.exists (( = ) a) tr_atts) ratts
+            in
+            let fits_target =
+              Array.exists (fun (_, tr_atts) -> absorbed tr_atts) target.itrels
+            in
+            if fits_target then begin
+              let out =
+                let candidate =
+                  Array.fold_left
+                    (fun found (tname, tr_atts) ->
+                      match found with
+                      | Some _ -> found
+                      | None ->
+                          if (not (Idb.mem idb tname)) && absorbed tr_atts
+                          then Some tname
+                          else None)
+                    None target.itrels
+                in
+                match candidate with
+                | Some tname -> str tname
+                | None ->
+                    fresh_name_by mem_db_rel (str l_id ^ "*" ^ str rt_id)
+              in
+              emit (Fira.Op.Product { left = str l_id; right = str rt_id; out })
+            end
+          end
+        end
+      done
+    done
+  end;
+  List.rev !acc
+  |> List.filter (fun op -> Fira.Eval.iapplicable registry op idb)
+
 module Fp_tbl = Hashtbl.Make (Fingerprint)
 
 let successors ?(telemetry = Telemetry.disabled) config registry target state =
-  let db = State.database state in
-  let ops = candidates config registry target db in
-  (* Dedup on the 16-byte fingerprint; the first state admitted under each
-     fingerprint is kept so paranoid mode can compare canonical keys. *)
+  let idb = State.idb state in
+  let ops = icandidates config registry target idb in
+  (* Dedup on the 16-byte fingerprint — but never discard on the
+     fingerprint alone: a fingerprint hit is confirmed by a canonical
+     content comparison over the interned form, so an (astronomically
+     unlikely, but once latent) collision between genuinely distinct
+     successors keeps both instead of silently dropping one. Confirmed
+     collisions are counted on [fingerprint.collision]. *)
   let seen : State.t Fp_tbl.t = Fp_tbl.create 32 in
   let built = ref 0 in
   let result =
     List.filter_map
       (fun op ->
-        match Fira.Eval.apply_syntactic_delta registry op db with
+        match
+          Fira.Eval.apply_interned_delta ~semantics:`Syntactic registry op idb
+        with
         | exception Fira.Eval.Error _ -> None
-        | db', delta ->
+        | idb', delta ->
             (* The successor's size follows from the parent's count and the
                delta — prune oversized states before building them. *)
             if
-              State.total_cells state + Fira.Eval.delta_cells delta
+              State.total_cells state + Fira.Eval.idelta_cells delta
               > config.max_state_cells
             then None
             else begin
-              let s' = State.of_successor state delta db' in
+              let s' = State.of_isuccessor state delta idb' in
               incr built;
-              match Fp_tbl.find_opt seen (State.fingerprint s') with
-              | Some s0 ->
-                  if config.paranoid_fingerprints then begin
-                    Telemetry.count telemetry "fingerprint.verify" 1;
-                    if not (String.equal (State.key s0) (State.key s')) then
-                      Telemetry.count telemetry "fingerprint.verify.mismatch"
-                        1
-                  end;
-                  None
+              if config.paranoid_fingerprints then begin
+                (* Cross-check the whole interned path against the boxed
+                   one: same resulting database (canonical keys) and same
+                   incrementally-maintained fingerprint. *)
+                Telemetry.count telemetry "fingerprint.verify" 1;
+                let db = State.database state in
+                match Fira.Eval.apply_syntactic_delta registry op db with
+                | exception Fira.Eval.Error _ ->
+                    Telemetry.count telemetry "fingerprint.verify.mismatch" 1
+                | db', _ ->
+                    if
+                      (not
+                         (String.equal
+                            (Database.canonical_key db')
+                            (State.key s')))
+                      || not
+                           (Fingerprint.equal
+                              (Fingerprint.of_database db')
+                              (State.fingerprint s'))
+                    then
+                      Telemetry.count telemetry "fingerprint.verify.mismatch" 1
+              end;
+              let fp = State.fingerprint s' in
+              match Fp_tbl.find_opt seen fp with
               | None ->
-                  Fp_tbl.add seen (State.fingerprint s') s';
+                  Fp_tbl.add seen fp s';
                   Some (op, s')
+              | Some _ ->
+                  let twins = Fp_tbl.find_all seen fp in
+                  if List.exists (fun s0 -> State.same_content s0 s') twins
+                  then None (* true duplicate *)
+                  else begin
+                    Telemetry.count telemetry "fingerprint.collision" 1;
+                    Fp_tbl.add seen fp s';
+                    Some (op, s')
+                  end
             end)
       ops
   in

@@ -87,9 +87,19 @@ type target_info
 val target_info : Database.t -> target_info
 val target_db : target_info -> Database.t
 
+val target_idb : target_info -> Idb.t
+(** The target in interned form, converted once. *)
+
 val candidates :
   config -> Fira.Semfun.registry -> target_info -> Database.t -> Fira.Op.t list
 (** Deterministically ordered list of applicable operator instances. *)
+
+val icandidates :
+  config -> Fira.Semfun.registry -> target_info -> Idb.t -> Fira.Op.t list
+(** {!candidates} over the interned form: returns the SAME operator list
+    as [candidates config registry target (Idb.to_database idb)]
+    (property-tested) without touching boxed relations — membership and
+    value-overlap pruning run over cached id-sorted arrays. *)
 
 val successors :
   ?telemetry:Telemetry.t ->
@@ -98,12 +108,20 @@ val successors :
   target_info ->
   State.t ->
   (Fira.Op.t * State.t) list
-(** {!candidates} applied with the search-time (syntactic λ) semantics;
-    each successor state is built incrementally from its parent via
-    {!State.of_successor} (counted on the [fingerprint.incremental]
-    telemetry counter) and deduplicated by fingerprint before any full-key
-    work. Successors that fail to change the state are kept — cycle
-    detection in the search layer removes them — but duplicates within the
-    list are dropped. With [paranoid_fingerprints], each dedup hit is
-    double-checked against canonical keys ([fingerprint.verify] /
-    [fingerprint.verify.mismatch] counters). *)
+(** {!icandidates} applied with the search-time (syntactic λ) semantics
+    over the parent's interned database; each successor state is built
+    incrementally from its parent via {!State.of_isuccessor} (counted on
+    the [fingerprint.incremental] telemetry counter) and deduplicated by
+    fingerprint before any full-key work. A fingerprint hit alone never
+    discards a successor: it is confirmed by {!State.same_content}
+    (canonical comparison over the interned form), and a confirmed
+    collision — fingerprint-equal but content-distinct — keeps both states
+    and counts [fingerprint.collision]. Successors that fail to change the
+    state are kept — cycle detection in the search layer removes them —
+    but duplicates within the list are dropped. With
+    [paranoid_fingerprints], every successor is additionally cross-checked
+    against the boxed evaluation path: the operator is re-applied with
+    [Fira.Eval.apply_syntactic_delta] and the canonical key and a
+    from-scratch fingerprint of the result are compared with the interned
+    state's ([fingerprint.verify] / [fingerprint.verify.mismatch]
+    counters). *)

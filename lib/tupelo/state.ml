@@ -1,6 +1,11 @@
 open Relational
 
-(* The profile is maintained incrementally but computed on demand: a fresh
+(* States carry the interned columnar database (Idb.t) — the form the
+   successor-generation hot path reads and writes — and materialize the
+   boxed Database.t only on demand (goal reporting, paranoid verification,
+   tests, server responses).
+
+   The profile is maintained incrementally but computed on demand: a fresh
    successor holds its parent and the operator's delta, and the profile is
    materialized (recursively, so a chain of unforced ancestors collapses in
    one walk) the first time a heuristic asks for it. Successor states that
@@ -13,88 +18,165 @@ open Relational
    at worst recompute the same structurally-equal value and both write it —
    an idempotent, benign race on an atomic pointer store. *)
 type t = {
-  db : Database.t;
+  idb : Idb.t;
   fp : Fingerprint.t;
   cells : int;  (* total cells, maintained from the parent's count + delta *)
+  mutable db : Database.t option;  (* boxed view, converted on demand *)
   mutable profile : profile_state;
   mutable key : string option;
       (* canonical key: paranoid verification and tests *)
+  mutable score : (Heuristics.Vector.t * float * int) option;
+      (* cosine parts (dot, sq_norm) against one target vector, keyed by
+         physical identity of that vector — see [cosine_parts] *)
 }
 
 and profile_state =
   | Profile of Heuristics.Profile.t
-  | From_parent of t * Fira.Eval.delta
-
-let db_cells db =
-  Database.fold
-    (fun _ r acc ->
-      acc + (Relation.cardinality r * Schema.arity (Relation.schema r)))
-    db 0
+  | From_parent of t * (int * Irel.t) list * (int * Irel.t) list
+      (* parent, removed, added — the interned relation-granular delta *)
 
 let of_database db =
+  let idb = Idb.of_database db in
   {
-    db;
-    fp = Fingerprint.of_database db;
-    cells = db_cells db;
-    profile = Profile (Heuristics.Profile.of_database db);
+    idb;
+    (* Idb.fingerprint sums the same per-relation terms as
+       Fingerprint.of_database — bit-identical (property-tested). *)
+    fp = Idb.fingerprint idb;
+    cells = Idb.cells idb;
+    db = Some db;
+    profile = Profile (Heuristics.Profile.of_idb idb);
     key = None;
+    score = None;
   }
 
-(* Deltas are relation-granular, but the removed and added versions of a
-   replaced relation usually share most of their triples (a rename touches
-   one column, a λ adds one) — cancel the common multiset first so only
-   the symmetric difference pays count-map updates. *)
-let apply_delta_to_profile profile (delta : Fira.Eval.delta) =
-  let triples side =
-    List.concat_map
-      (fun (name, r) -> Heuristics.Profile.relation_triples name r)
-      side
-  in
-  let removed = List.sort compare (triples delta.Fira.Eval.removed) in
-  let added = List.sort compare (triples delta.Fira.Eval.added) in
-  let rec cancel rem add racc aacc =
-    match (rem, add) with
-    | [], rest -> (racc, List.rev_append rest aacc)
-    | rest, [] -> (List.rev_append rest racc, aacc)
-    | r :: rem', a :: add' ->
-        let c = compare r a in
-        if c = 0 then cancel rem' add' racc aacc
-        else if c < 0 then cancel rem' add (r :: racc) aacc
-        else cancel rem add' racc (a :: aacc)
-  in
-  let removed, added = cancel removed added [] [] in
-  Heuristics.Profile.add_triples
-    (Heuristics.Profile.remove_triples profile removed)
-    added
+let of_idb idb =
+  {
+    idb;
+    fp = Idb.fingerprint idb;
+    cells = Idb.cells idb;
+    db = None;
+    profile = Profile (Heuristics.Profile.of_idb idb);
+    key = None;
+    score = None;
+  }
 
 let rec profile s =
   match s.profile with
   | Profile p -> p
-  | From_parent (parent, delta) ->
-      let p = apply_delta_to_profile (profile parent) delta in
+  | From_parent (parent, removed, added) ->
+      (* Relation-granular delta; Profile skips physically shared columns
+         and nets the rest, so a rename or a λ pays for one column. *)
+      let p = Heuristics.Profile.apply_idelta (profile parent) ~removed ~added in
       s.profile <- Profile p;
       p
 
-let of_successor parent (delta : Fira.Eval.delta) db =
+(* Cosine score parts — dot(s, target) and |s|² — maintained incrementally
+   along the parent chain, so scoring a successor costs O(changed cells)
+   and never materializes its profile. The parent's profile IS forced (its
+   vector supplies the old per-key counts for the sq-norm algebra), which
+   amortizes: in best-first search a state's children are scored only when
+   it is expanded, so each expanded state pays for one profile and each
+   generated-but-never-expanded state pays only for its delta scan.
+
+   Both parts are exact integers (stored as float/int), so the incremental
+   score is bit-identical to [Vector.dot (Profile.vector (profile s)) tvec]
+   and [Vector.sq_norm ...] — search order cannot diverge from the
+   profile-based path. The cache is keyed by physical identity of the
+   target vector (one target per search); same benign-race story as the
+   other caches. *)
+let rec cosine_parts ~tvec s =
+  match s.score with
+  | Some (tv, dot, sq) when tv == tvec -> (dot, sq)
+  | _ ->
+      let ((dot, sq) as parts) =
+        match s.profile with
+        | Profile p ->
+            let v = Heuristics.Profile.vector p in
+            (Heuristics.Vector.dot v tvec, Heuristics.Vector.sq_norm v)
+        | From_parent (parent, removed, added) ->
+            let pdot, psq = cosine_parts ~tvec parent in
+            let pvec = Heuristics.Profile.vector (profile parent) in
+            let ddot, dsq =
+              Heuristics.Profile.idelta_cosine ~tvec ~parent:pvec ~removed
+                ~added
+            in
+            (pdot +. float_of_int ddot, psq + dsq)
+      in
+      s.score <- Some (tvec, dot, sq);
+      parts
+
+let cosine_distance ~tvec s =
+  (* Mirrors Vector.cosine_distance operation for operation so the result
+     is bit-identical to scoring the materialized vector. *)
+  let dot, sq = cosine_parts ~tvec s in
+  let tsq = Heuristics.Vector.sq_norm tvec in
+  match (sq = 0, tsq = 0) with
+  | true, true -> 0.0
+  | true, false | false, true -> 1.0
+  | false, false ->
+      1.0
+      -. (dot /. (sqrt (float_of_int sq) *. sqrt (float_of_int tsq)))
+
+let delta_fp parent_fp removed added =
   let fp =
     List.fold_left
-      (fun fp (name, r) -> Fingerprint.remove_relation fp ~rel:name r)
-      parent.fp delta.removed
+      (fun fp (name, r) -> Fingerprint.remove fp (Irel.fingerprint ~name r))
+      parent_fp removed
   in
-  let fp =
-    List.fold_left
-      (fun fp (name, r) -> Fingerprint.add_relation fp ~rel:name r)
-      fp delta.added
-  in
+  List.fold_left
+    (fun fp (name, r) -> Fingerprint.combine fp (Irel.fingerprint ~name r))
+    fp added
+
+let of_isuccessor parent (delta : Fira.Eval.idelta) idb =
   {
-    db;
-    fp;
-    cells = parent.cells + Fira.Eval.delta_cells delta;
-    profile = From_parent (parent, delta);
+    idb;
+    fp = delta_fp parent.fp delta.iremoved delta.iadded;
+    cells = parent.cells + Fira.Eval.idelta_cells delta;
+    db = None;
+    profile = From_parent (parent, delta.iremoved, delta.iadded);
     key = None;
+    score = None;
   }
 
-let database s = s.db
+let of_successor parent (delta : Fira.Eval.delta) db =
+  (* Boxed-delta construction, for callers that evaluated an operator over
+     the boxed database (tests, fuzzers). The interned database is rebuilt
+     by applying the delta to the parent's. *)
+  let intern side =
+    List.map
+      (fun (name, r) -> (Intern.string_id name, Irel.of_relation r))
+      side
+  in
+  let iremoved = intern delta.Fira.Eval.removed in
+  let iadded = intern delta.Fira.Eval.added in
+  let idb =
+    List.fold_left
+      (fun idb (name, _) -> Idb.remove idb name)
+      parent.idb iremoved
+  in
+  let idb =
+    List.fold_left (fun idb (name, r) -> Idb.add idb name r) idb iadded
+  in
+  {
+    idb;
+    fp = delta_fp parent.fp iremoved iadded;
+    cells = parent.cells + Fira.Eval.delta_cells delta;
+    db = Some db;
+    profile = From_parent (parent, iremoved, iadded);
+    key = None;
+    score = None;
+  }
+
+let idb s = s.idb
+
+let database s =
+  match s.db with
+  | Some db -> db
+  | None ->
+      let db = Idb.to_database s.idb in
+      s.db <- Some db;
+      db
+
 let fingerprint s = s.fp
 let total_cells s = s.cells
 
@@ -102,9 +184,10 @@ let key s =
   match s.key with
   | Some k -> k
   | None ->
-      let k = Database.canonical_key s.db in
+      let k = Database.canonical_key (database s) in
       s.key <- Some k;
       k
 
 let equal a b = Fingerprint.equal a.fp b.fp
-let pp ppf s = Database.pp ppf s.db
+let same_content a b = Idb.canonical_equal a.idb b.idb
+let pp ppf s = Database.pp ppf (database s)

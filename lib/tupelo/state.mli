@@ -1,19 +1,23 @@
-(** Search states: a database plus incrementally maintained derived data.
+(** Search states: an interned database plus incrementally maintained
+    derived data.
 
     A state carries the three things the search layer consults on the hot
     path — its 128-bit {!Relational.Fingerprint.t} identity, its total cell
     count, and its heuristic {!Heuristics.Profile.t} — all maintained in
-    O(cells changed) from the parent state via {!of_successor} and the
-    relation-granular {!Fira.Eval.delta} of the applied ℒ operator.
+    O(cells changed) from the parent state via {!of_isuccessor} and the
+    relation-granular {!Fira.Eval.idelta} of the applied ℒ operator.
 
-    The fingerprint and cell count are computed eagerly (they gate
+    The database itself lives in the interned columnar form
+    ({!Relational.Idb.t}); the boxed {!Relational.Database.t} view is
+    converted on demand (goal reporting, paranoid verification, tests) and
+    cached. The fingerprint and cell count are computed eagerly (they gate
     deduplication and pruning before a successor is even kept); the profile
     is maintained incrementally but materialized on first use, so
     deduplicated or never-scored successors skip it entirely. The full
     {!Relational.Database.canonical_key} serialization is likewise only
-    computed on demand, for paranoid fingerprint verification and tests.
-    Both on-demand caches are domain-safe: concurrent scorers at worst
-    recompute the same value (see the implementation note in state.ml). *)
+    computed on demand. All on-demand caches are domain-safe: concurrent
+    scorers at worst recompute the same value (see the implementation note
+    in state.ml). *)
 
 open Relational
 
@@ -22,14 +26,25 @@ type t
 val of_database : Database.t -> t
 (** From-scratch construction (the root state; O(database)). *)
 
+val of_idb : Idb.t -> t
+(** From-scratch construction from an already-interned database. *)
+
+val of_isuccessor : t -> Fira.Eval.idelta -> Idb.t -> t
+(** [of_isuccessor parent delta idb] is the state for [idb], with
+    fingerprint, profile and cell count updated from [parent]'s by [delta]
+    — the delta returned by applying one operator to [parent]'s interned
+    database. Equivalent to [of_idb idb] (a qcheck property checks
+    structural equality of all derived views) at O(cells changed) cost. *)
+
 val of_successor : t -> Fira.Eval.delta -> Database.t -> t
-(** [of_successor parent delta db] is the state for [db], with fingerprint,
-    profile and cell count updated from [parent]'s by [delta] — the delta
-    returned by applying one operator to [parent]'s database. Equivalent to
-    [of_database db] (a qcheck property checks structural equality of all
-    three derived views) at O(cells changed) cost. *)
+(** Boxed-delta counterpart of {!of_isuccessor}, for callers that applied
+    an operator over the boxed database (tests, fuzzers); the interned
+    database is rebuilt from the parent's by the delta. *)
+
+val idb : t -> Idb.t
 
 val database : t -> Database.t
+(** Boxed view; converted from the interned form on first use and cached. *)
 
 val fingerprint : t -> Fingerprint.t
 (** 128-bit identity; equal on two states iff their canonical keys are
@@ -45,7 +60,26 @@ val profile : t -> Heuristics.Profile.t
 (** TNF profile for the heuristics, delta-maintained; materialized (and
     cached) on first use. *)
 
+val cosine_parts : tvec:Heuristics.Vector.t -> t -> float * int
+(** [(dot, sq_norm)] of the state's term vector against target vector
+    [tvec], maintained incrementally along the parent chain (the delta scan
+    of {!Heuristics.Profile.idelta_cosine}) and cached per state. Both are
+    exact integers, so the result is bit-identical to computing
+    {!Heuristics.Vector.dot} / {!Heuristics.Vector.sq_norm} on the
+    materialized profile. The cache is keyed by physical identity of
+    [tvec] — use one vector per search. *)
+
+val cosine_distance : tvec:Heuristics.Vector.t -> t -> float
+(** [Vector.cosine_distance (Profile.vector (profile s)) tvec], computed
+    from {!cosine_parts} without materializing the state's profile;
+    bit-identical to the profile-based computation. *)
+
 val equal : t -> t -> bool
 (** Fingerprint equality. *)
+
+val same_content : t -> t -> bool
+(** Canonical-key equivalence of the two databases, computed directly over
+    the interned form (no serialization) — the collision check behind
+    fingerprint-based deduplication. *)
 
 val pp : Format.formatter -> t -> unit

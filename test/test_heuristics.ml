@@ -184,6 +184,36 @@ let test_all_and_by_name () =
   Alcotest.(check bool) "by_name resolves combined" true
     (H.by_name H.Scaling.ida "combined" <> None)
 
+let test_relation_triples_ragged () =
+  (* A ragged relation — row arity disagreeing with the schema — is only
+     constructible through [Relation.unsafe_of_rows] (a loader bug, never a
+     search state). [relation_triples] must fail diagnosably, naming the
+     relation and both arities, rather than raising a bare
+     [Invalid_argument] from deep inside [fold_left2]. *)
+  let ragged =
+    Relation.unsafe_of_rows
+      (Schema.of_list [ "a"; "b"; "c" ])
+      [
+        Row.of_list [ Value.Int 1; Value.Int 2; Value.Int 3 ];
+        Row.of_list [ Value.Int 4; Value.Int 5 ];
+      ]
+  in
+  let expected =
+    "Profile.relation_triples: ragged relation \"inventory\": row arity 2 \
+     does not match schema arity 3"
+  in
+  Alcotest.check_raises "names relation and arities"
+    (Invalid_argument expected) (fun () ->
+      ignore (P.relation_triples "inventory" ragged));
+  (* A well-formed relation through the same entry point still profiles. *)
+  let ok =
+    Relation.unsafe_of_rows
+      (Schema.of_list [ "a" ])
+      [ Row.of_list [ Value.Int 1 ] ]
+  in
+  Alcotest.(check int) "well-formed relation profiles" 1
+    (List.length (P.relation_triples "r" ok))
+
 let test_h1_monotone_under_progress () =
   (* Renaming an attribute toward the target must not increase h1. *)
   let source, target = Workloads.Synthetic.matching_pair 3 in
@@ -217,4 +247,6 @@ let suite =
     Alcotest.test_case "combined heuristic" `Quick test_combined;
     Alcotest.test_case "all/by_name" `Quick test_all_and_by_name;
     Alcotest.test_case "h1 rewards progress" `Quick test_h1_monotone_under_progress;
+    Alcotest.test_case "ragged relation diagnosable" `Quick
+      test_relation_triples_ragged;
   ]

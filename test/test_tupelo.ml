@@ -179,6 +179,79 @@ let test_successors_dedupe () =
     (List.length keys)
     (List.length (List.sort_uniq String.compare keys))
 
+let test_paranoid_cross_check () =
+  (* With [paranoid_fingerprints], every successor generated during the
+     search is re-evaluated along the boxed path and compared on canonical
+     key and from-scratch fingerprint ([fingerprint.verify.mismatch] counts
+     disagreements). The discovered program must be identical with and
+     without the checks — paranoia may only slow the search down. *)
+  let registry = Workloads.Flights.registry in
+  let source = Workloads.Flights.b and target = Workloads.Flights.a in
+  let run paranoid telemetry =
+    let moves =
+      {
+        (Tupelo.Moves.default Tupelo.Goal.Superset) with
+        Tupelo.Moves.paranoid_fingerprints = paranoid;
+      }
+    in
+    D.discover ~registry
+      (D.config ~algorithm:D.Greedy ~heuristic:Heuristics.Heuristic.h1
+         ~budget:10_000 ~moves ~telemetry ())
+      ~source ~target
+  in
+  let agg = Telemetry.Agg.create () in
+  let telemetry = Telemetry.create (Telemetry.Agg.sink agg) in
+  let count metric =
+    List.fold_left
+      (fun acc (_, m, v) ->
+        if String.equal m metric then acc + int_of_string v else acc)
+      0
+      (Telemetry.Agg.rows agg)
+  in
+  match (run true telemetry, run false Telemetry.disabled) with
+  | D.Mapping a, D.Mapping b ->
+      Alcotest.(check bool) "cross-checks ran" true
+        (count "fingerprint.verify" > 0);
+      Alcotest.(check int) "no mismatches" 0
+        (count "fingerprint.verify.mismatch");
+      Alcotest.(check int) "no collisions" 0 (count "fingerprint.collision");
+      Alcotest.(check bool) "identical program under paranoia" true
+        (a.Tupelo.Mapping.expr = b.Tupelo.Mapping.expr)
+  | _ -> Alcotest.fail "paranoid discovery failed"
+
+let test_successors_collision_accounting () =
+  (* Fingerprint-equal successors are only discarded after a canonical
+     content comparison; on a workload full of duplicate successors (the
+     matching pair proposes many renames that commute into identical
+     states) every hit must confirm as a true duplicate — zero entries on
+     the [fingerprint.collision] counter and distinct canonical keys in
+     the result. *)
+  let source, target = Workloads.Synthetic.matching_pair 3 in
+  let agg = Telemetry.Agg.create () in
+  let telemetry = Telemetry.create (Telemetry.Agg.sink agg) in
+  let info = Tupelo.Moves.target_info target in
+  let succs =
+    Tupelo.Moves.successors ~telemetry
+      (Tupelo.Moves.default Tupelo.Goal.Superset)
+      Fira.Semfun.empty_registry info
+      (Tupelo.State.of_database source)
+  in
+  let keys = List.map (fun (_, s) -> Tupelo.State.key s) succs in
+  Alcotest.(check int) "result keys distinct"
+    (List.length keys)
+    (List.length (List.sort_uniq String.compare keys));
+  let count metric =
+    List.fold_left
+      (fun acc (_, m, v) ->
+        if String.equal m metric then acc + int_of_string v else acc)
+      0
+      (Telemetry.Agg.rows agg)
+  in
+  Alcotest.(check bool) "states built incrementally" true
+    (count "fingerprint.incremental" >= List.length succs);
+  Alcotest.(check int) "no confirmed collisions" 0
+    (count "fingerprint.collision")
+
 let test_state_cell_guard () =
   (* With a tiny cell cap, the demote successor (2 rows x 4 cols -> 8 rows
      x 6 cols = 48 cells) must be pruned. *)
@@ -556,6 +629,9 @@ let suite =
     Alcotest.test_case "moves: B->C partition and λ" `Quick test_moves_partition_b_to_c;
     Alcotest.test_case "moves: all candidates applicable" `Quick test_moves_all_applicable;
     Alcotest.test_case "successors deduplicated" `Quick test_successors_dedupe;
+    Alcotest.test_case "paranoid cross-check" `Quick test_paranoid_cross_check;
+    Alcotest.test_case "collision accounting" `Quick
+      test_successors_collision_accounting;
     Alcotest.test_case "state cell guard" `Quick test_state_cell_guard;
     Alcotest.test_case "λ enumeration without signature" `Quick test_lambda_enumeration_without_signature;
     Alcotest.test_case "discover: Flights pairs" `Quick test_discover_flights_all_pairs;
