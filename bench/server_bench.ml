@@ -1,14 +1,20 @@
 (* End-to-end bench of the mapping server: an in-process daemon driven
    over real sockets by concurrent keep-alive clients.
 
-   Mix: [n_cold] discover requests over distinct instance pairs (every
-   one a real search), [n_hot] repeats of a single warmed pair (every
-   one a fingerprint-cache hit), and a sprinkle of /healthz and /stats
-   round trips — at least a thousand requests in total. Reports
-   client-observed p50/p99 per class, overall throughput and the cache
-   hit rate, checks that /stats reconciles exactly with the JSONL
-   trace the daemon wrote, and asserts the acceptance bar: the hot
-   (repeated-pair) p50 at least 10x below the cold-search p50.
+   Mix: [n_cold] discover requests over pairwise term-disjoint instance
+   pairs (every one a real search — disjointness keeps the near-miss
+   sketch path out of the cold class), [n_hot] repeats of a single
+   warmed pair (every one a fingerprint-cache hit), [n_drift] one-cell
+   perturbations of the warmed pair (every one an exact-lookup miss
+   that the sketch index turns into a warm-started search), and a
+   sprinkle of /healthz and /stats round trips — over a thousand
+   requests in total. Reports client-observed p50/p99 per class,
+   overall throughput, the cache hit rate, and the warm-vs-cold
+   states-examined contrast; checks that /stats reconciles exactly
+   with the JSONL trace the daemon wrote; asserts two acceptance bars:
+   the hot p50 at least 10x below the cold-search p50, and the drift
+   (warm-started) searches examining at most half the states of the
+   cold ones.
 
    Writes the committed BENCH_server.json (path overridable as the
    first CLI argument). *)
@@ -17,13 +23,15 @@ open Server
 
 let n_cold = 200
 let n_hot = 800
+let n_drift = 100
 let n_other = 50 (* alternating /healthz and /stats *)
 let client_threads = 4
 
 (* Cold workload: the paper's synthetic schema-matching instance
    (n attribute renames), solved with A*/h1 so each cold request costs
-   a measurable search, plus one index-specific extra tuple so every
-   pair fingerprint is distinct. *)
+   a measurable search. Every name and value carries the pair index,
+   so distinct cold pairs share no fingerprint term — a cold request
+   can neither hit nor warm from any other pair. *)
 let attrs prefix n =
   String.concat "," (List.init n (fun i -> Printf.sprintf "%s%02d" prefix (i + 1)))
 
@@ -31,20 +39,30 @@ let tuple prefix n =
   String.concat "," (List.init n (fun i -> Printf.sprintf "%s%02d" prefix (i + 1)))
 
 let synthetic_pair ~renames i =
-  let extra =
-    if i < 0 then ""
-    else
-      String.concat ","
-        (List.init renames (fun c -> Printf.sprintf "x%d_%02d" i c))
-      ^ "\n"
-  in
-  let body = tuple "a" renames ^ "\n" ^ extra in
-  ( [ ("R", attrs "A" renames ^ "\n" ^ body) ],
-    [ ("R", attrs "B" renames ^ "\n" ^ body) ] )
+  let tag = if i < 0 then "w" else Printf.sprintf "%d" i in
+  let body = tuple (Printf.sprintf "a%s_" tag) renames ^ "\n" in
+  ( [ ("R", attrs (Printf.sprintf "A%s_" tag) renames ^ "\n" ^ body) ],
+    [ ("R", attrs (Printf.sprintf "B%s_" tag) renames ^ "\n" ^ body) ] )
 
-let discover_request i =
-  let source, target = synthetic_pair ~renames:10 i in
+(* Drift workload: the warmed pair with one cell mutated (identically on
+   both sides, so the rename mapping still applies). Same schema terms
+   as the warmed pair → the sketch finds it; different rows → the exact
+   lookup misses. *)
+let drifted_pair ~renames i =
+  let cells =
+    List.init renames (fun c ->
+        if c = renames - 1 then Printf.sprintf "d%d" i
+        else Printf.sprintf "aw_%02d" (c + 1))
+  in
+  let body = String.concat "," cells ^ "\n" in
+  ( [ ("R", attrs "Aw_" renames ^ "\n" ^ body) ],
+    [ ("R", attrs "Bw_" renames ^ "\n" ^ body) ] )
+
+let request_of_pair (source, target) =
   Protocol.request ~algorithm:"astar" ~heuristic:"h1" ~source ~target ()
+
+let discover_request i = request_of_pair (synthetic_pair ~renames:10 i)
+let drift_request i = request_of_pair (drifted_pair ~renames:10 i)
 
 let percentile sorted p =
   let n = Array.length sorted in
@@ -89,7 +107,11 @@ let () =
 
   let cold_lat = Array.make n_cold nan in
   let hot_lat = Array.make n_hot nan in
+  let drift_lat = Array.make n_drift nan in
   let other_lat = Array.make n_other nan in
+  let cold_states = Array.make n_cold 0 in
+  let drift_states = Array.make n_drift 0 in
+  let drift_warms = Atomic.make 0 in
   let errors = Atomic.make 0 in
 
   let run_client tid =
@@ -97,22 +119,37 @@ let () =
     Fun.protect
       ~finally:(fun () -> Client.close conn)
       (fun () ->
-        let timed_discover slot_arr slot req =
+        let timed_discover ?states_arr ?expect_cache slot_arr slot req =
           let t0 = Unix.gettimeofday () in
           (match Client.discover conn req with
-          | Ok (200, Ok resp) when resp.Protocol.outcome = "mapping" -> ()
+          | Ok (200, Ok resp) when resp.Protocol.outcome = "mapping" ->
+              (match states_arr with
+              | Some a -> a.(slot) <- resp.Protocol.states_examined
+              | None -> ());
+              (match expect_cache with
+              | Some label when resp.Protocol.cache <> label ->
+                  Atomic.incr errors
+              | _ -> ());
+              if resp.Protocol.cache = "warm" then Atomic.incr drift_warms
           | _ -> Atomic.incr errors);
           slot_arr.(slot) <- (Unix.gettimeofday () -. t0) *. 1000.
         in
         let i = ref tid in
         while !i < n_cold do
-          timed_discover cold_lat !i (discover_request !i);
+          timed_discover ~states_arr:cold_states ~expect_cache:"miss" cold_lat
+            !i (discover_request !i);
           i := !i + client_threads
         done;
         let hot_req = discover_request (-1) in
         i := tid;
         while !i < n_hot do
-          timed_discover hot_lat !i hot_req;
+          timed_discover ~expect_cache:"hit" hot_lat !i hot_req;
+          i := !i + client_threads
+        done;
+        i := tid;
+        while !i < n_drift do
+          timed_discover ~states_arr:drift_states ~expect_cache:"warm"
+            drift_lat !i (drift_request !i);
           i := !i + client_threads
         done;
         i := tid;
@@ -176,48 +213,66 @@ let () =
   reconcile [ "responses"; "mapping" ] "server.response.mapping";
   reconcile [ "cache"; "hits" ] "cache.hit";
   reconcile [ "cache"; "misses" ] "cache.miss";
+  reconcile [ "cache"; "warms" ] "cache.warm";
   reconcile [ "search"; "states_examined" ] "server.states_examined";
 
   Array.sort compare cold_lat;
   Array.sort compare hot_lat;
+  Array.sort compare drift_lat;
   Array.sort compare other_lat;
-  let total = n_cold + n_hot + n_other + 1 (* warm-up *) in
+  let total = n_cold + n_hot + n_drift + n_other + 1 (* warm-up *) in
   let throughput = float_of_int total /. wall in
   let cold_p50 = percentile cold_lat 0.50 and cold_p99 = percentile cold_lat 0.99 in
   let hot_p50 = percentile hot_lat 0.50 and hot_p99 = percentile hot_lat 0.99 in
+  let drift_p50 = percentile drift_lat 0.50 and drift_p99 = percentile drift_lat 0.99 in
   let hits = json_int stats [ "cache"; "hits" ] in
   let misses = json_int stats [ "cache"; "misses" ] in
+  let warms = json_int stats [ "cache"; "warms" ] in
   let hit_rate = float_of_int hits /. float_of_int (hits + misses) in
   let speedup = cold_p50 /. hot_p50 in
+  let avg a =
+    float_of_int (Array.fold_left ( + ) 0 a) /. float_of_int (Array.length a)
+  in
+  let cold_avg_states = avg cold_states in
+  let warm_avg_states = avg drift_states in
 
   let oc = open_out out_path in
   Printf.fprintf oc
     {|{
   "bench": "server",
-  "requests": { "total": %d, "discover_cold": %d, "discover_hot": %d, "other": %d, "client_threads": %d },
+  "requests": { "total": %d, "discover_cold": %d, "discover_hot": %d, "discover_drift": %d, "other": %d, "client_threads": %d },
   "wall_s": %.3f,
   "throughput_rps": %.1f,
   "latency_ms": {
     "cold_search": { "p50": %.3f, "p99": %.3f },
     "cache_hit":   { "p50": %.3f, "p99": %.3f },
+    "drift_warm":  { "p50": %.3f, "p99": %.3f },
     "healthz_stats": { "p50": %.3f, "p99": %.3f }
   },
-  "cache": { "hits": %d, "misses": %d, "hit_rate": %.4f },
+  "cache": { "hits": %d, "misses": %d, "warms": %d, "hit_rate": %.4f },
   "hot_vs_cold_p50_speedup": %.1f,
+  "drift": { "requests": %d, "warm_started": %d, "avg_states_cold": %.1f, "avg_states_warm": %.1f },
   "stats_reconciled_with_trace": true
 }
 |}
-    total n_cold n_hot n_other client_threads wall throughput cold_p50
-    cold_p99 hot_p50 hot_p99 (percentile other_lat 0.50)
-    (percentile other_lat 0.99) hits misses hit_rate speedup;
+    total n_cold n_hot n_drift n_other client_threads wall throughput cold_p50
+    cold_p99 hot_p50 hot_p99 drift_p50 drift_p99 (percentile other_lat 0.50)
+    (percentile other_lat 0.99) hits misses warms hit_rate speedup n_drift
+    (Atomic.get drift_warms) cold_avg_states warm_avg_states;
   close_out oc;
 
   Printf.printf
     "server bench: %d requests in %.2fs (%.0f rps)\n\
      cold-search p50 %.3fms p99 %.3fms | cache-hit p50 %.3fms p99 %.3fms (%.0fx)\n\
+     drift-warm p50 %.3fms | avg states cold %.1f vs warm %.1f\n\
      cache hit rate %.1f%% | /stats reconciled with trace | wrote %s\n"
-    total wall throughput cold_p50 cold_p99 hot_p50 hot_p99 speedup
-    (100. *. hit_rate) out_path;
+    total wall throughput cold_p50 cold_p99 hot_p50 hot_p99 speedup drift_p50
+    cold_avg_states warm_avg_states (100. *. hit_rate) out_path;
   if speedup < 10. then
     fail "repeated-pair p50 only %.1fx below cold-search p50 (need >= 10x)"
-      speedup
+      speedup;
+  if warm_avg_states *. 2. > cold_avg_states then
+    fail
+      "warm-started drift searches examined %.1f states on average vs %.1f \
+       cold (need <= half)"
+      warm_avg_states cold_avg_states

@@ -635,13 +635,18 @@ let parse_server url =
       | _ -> None)
 
 let fuzz_cmd_run trials seed depth algorithm heuristic budget search_jobs jobs
-    time_budget server corpus_dir shrink_attempts not_found_fails =
+    time_budget server corpus_dir shrink_attempts not_found_fails oracle_mode =
   try
     if trials < 0 then fail "--trials must be >= 0 (got %d)" trials
     else if depth < 0 then fail "--depth must be >= 0 (got %d)" depth
     else if budget <= 0 then fail "--budget must be > 0 (got %d)" budget
     else if jobs < 0 then fail "--jobs must be >= 0 (got %d)" jobs
     else
+      match Fuzz.Oracle.mode_of_string oracle_mode with
+      | None ->
+          fail "--oracle: unknown mode %S (want replay|invert|compose|drift)"
+            oracle_mode
+      | Some omode -> (
       match Tupelo.Discover.algorithm_of_string algorithm with
       | None -> fail "unknown algorithm %S" algorithm
       | Some alg -> (
@@ -673,14 +678,14 @@ let fuzz_cmd_run trials seed depth algorithm heuristic budget search_jobs jobs
                       Sys.mkdir dir 0o755
                   | _ -> ());
                   let config =
-                    Fuzz.Driver.config ~oracle ~trials ~seed ~depth ~jobs
-                      ?time_budget_s:time_budget ~mode ~shrink_attempts
-                      ?corpus_dir ~not_found_fails ()
+                    Fuzz.Driver.config ~oracle ~oracle_mode:omode ~trials
+                      ~seed ~depth ~jobs ?time_budget_s:time_budget ~mode
+                      ~shrink_attempts ?corpus_dir ~not_found_fails ()
                   in
                   Printf.printf
-                    "fuzzing: %d trials, master seed %d, depth %d, %s/%s, \
-                     budget %d, %d job%s%s\n%!"
-                    trials seed depth
+                    "fuzzing (%s oracle): %d trials, master seed %d, depth \
+                     %d, %s/%s, budget %d, %d job%s%s\n%!"
+                    (Fuzz.Oracle.mode_name omode) trials seed depth
                     (Tupelo.Discover.algorithm_name alg)
                     heuristic budget jobs
                     (if jobs = 1 then "" else "s")
@@ -715,7 +720,7 @@ let fuzz_cmd_run trials seed depth algorithm heuristic budget search_jobs jobs
                          (List.length summary.Fuzz.Driver.failures)
                          (match summary.Fuzz.Driver.failures with
                          | [ _ ] -> ""
-                         | _ -> "s")))
+                         | _ -> "s"))))
   with Sys_error m -> fail "%s" m
 
 let fuzz_cmd =
@@ -818,12 +823,27 @@ let fuzz_cmd =
              with finite budgets this outcome is budget-dependent, so it \
              is informational by default).")
   in
+  let oracle_mode =
+    Arg.(
+      value
+      & opt string "replay"
+      & info [ "oracle" ] ~docv:"MODE"
+          ~doc:
+            "Which property each trial checks: $(b,replay) (rediscover and \
+             replay — the classic inverse problem), $(b,invert) \
+             (quasi-inverse containment over the longest invertible suffix, \
+             no search), $(b,compose) (composition/normalization laws, no \
+             search), or $(b,drift) (perturb one source cell and \
+             re-discover with the normalized original program as a warm \
+             start). The algebra modes always run in-process; --server \
+             only affects replay.")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       ret
         (const fuzz_cmd_run $ trials $ seed $ depth $ algorithm_arg
        $ heuristic_arg $ fuzz_budget $ search_jobs $ fuzz_jobs $ time_budget
-       $ server $ corpus $ shrink_attempts $ not_found_fails))
+       $ server $ corpus $ shrink_attempts $ not_found_fails $ oracle_mode))
 
 (* --- demo --- *)
 

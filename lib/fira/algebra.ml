@@ -1,0 +1,272 @@
+open Relational
+
+(* ------------------------------------------------------------------ *)
+(* Invertibility classification                                        *)
+
+type invertibility = Exact | Quasi | Lossy
+
+let invertibility_name = function
+  | Exact -> "exact"
+  | Quasi -> "quasi"
+  | Lossy -> "lossy"
+
+let classify = function
+  | Op.RenameRel _ | Op.RenameAtt _ | Op.Demote _ | Op.Dereference _
+  | Op.Apply _ ->
+      Exact
+  | Op.Promote _ | Op.Partition _ | Op.Product _ -> Quasi
+  | Op.Union { left; right; out }
+  | Op.Diff { left; right; out }
+  | Op.Join { left; right; out } ->
+      if out = left || out = right then Lossy else Quasi
+  | Op.Drop _ | Op.Merge _ | Op.Select _ -> Lossy
+
+(* ------------------------------------------------------------------ *)
+(* Quasi-inversion                                                     *)
+
+type lossy_step = { index : int; op : Op.t; reason : string }
+
+let try_apply registry op db =
+  match Eval.apply registry op db with
+  | db' -> Ok db'
+  | exception Eval.Error msg -> Error msg
+  | exception Relation.Error msg -> Error msg
+  | exception Database.Error msg -> Error msg
+  | exception Schema.Error msg -> Error msg
+
+(* The inverse of one operator, derived against the witness pre/post
+   states. [Error reason] marks genuine information loss on this witness;
+   correctness of the [Ok] inverses (containment after replay) is the
+   fuzz oracle's job, not re-checked here. *)
+let invert_step op ~before ~after =
+  if Database.equal before after then Ok [] (* no-op on the witness *)
+  else
+    match op with
+    | Op.RenameRel { old_name; new_name } ->
+        Ok [ Op.RenameRel { old_name = new_name; new_name = old_name } ]
+    | Op.RenameAtt { rel; old_name; new_name } ->
+        Ok [ Op.RenameAtt { rel; old_name = new_name; new_name = old_name } ]
+    | Op.Demote { rel; att_att; rel_att } ->
+        (* Set semantics collapse the duplicate base rows as soon as the
+           metadata columns are gone, so two drops recover [rel] exactly. *)
+        Ok [ Op.Drop { rel; col = att_att }; Op.Drop { rel; col = rel_att } ]
+    | Op.Dereference { rel; target; _ } -> Ok [ Op.Drop { rel; col = target } ]
+    | Op.Apply { rel; output; _ } -> Ok [ Op.Drop { rel; col = output } ]
+    | Op.Promote { rel; _ } ->
+        (* The minted columns are exactly the schema growth on the witness.
+           Dropping them recovers the input unless the promote overwrote a
+           pre-existing column for some tuple — detect that by simulation
+           rather than by re-deriving the name rules. *)
+        let before_r = Database.find before rel in
+        let after_r = Database.find after rel in
+        let base = Relation.attributes before_r in
+        let minted =
+          List.filter
+            (fun a -> not (List.mem a base))
+            (Relation.attributes after_r)
+        in
+        let recovered =
+          List.fold_left
+            (fun r col -> Relation.project_away r col)
+            after_r minted
+        in
+        if Relation.equal recovered before_r then
+          Ok (List.map (fun col -> Op.Drop { rel; col }) minted)
+        else Error "promote overwrote an existing column on the witness"
+    | Op.Partition { rel; col } ->
+        let r = Database.find before rel in
+        if List.mem Value.Null (Relation.column_distinct r col) then
+          Error "partition drops rows with a null key"
+        else
+          let names =
+            List.map
+              (fun (v, _) -> Value.to_string v)
+              (Relation.partition r col)
+          in
+          let distinct = List.sort_uniq String.compare names in
+          if names = [] then Error "partition of an empty relation erases it"
+          else if List.length distinct <> List.length names then
+            Error "partition group names collide"
+          else
+            (* Rebuild [rel] as the union of its groups (each retains the
+               partition column, so schemas agree); the groups themselves
+               are left behind, which quasi-containment tolerates. *)
+            let base, rest =
+              if List.mem rel names then
+                (rel, List.filter (fun n -> n <> rel) names)
+              else (List.hd names, List.tl names)
+            in
+            let renames =
+              if base = rel then []
+              else [ Op.RenameRel { old_name = base; new_name = rel } ]
+            in
+            Ok
+              (renames
+              @ List.map
+                  (fun g -> Op.Union { left = rel; right = g; out = rel })
+                  rest)
+    | Op.Product { out; _ }
+    | Op.Union { out; _ }
+    | Op.Diff { out; _ }
+    | Op.Join { out; _ } ->
+        if Database.mem before out then
+          Error "binary operator overwrote an operand"
+        else
+          (* Fresh output: the operands survive untouched, and the leftover
+             [out] relation is tolerated by quasi-containment. *)
+          Ok []
+    | Op.Drop _ -> Error "drop discards a column"
+    | Op.Merge _ -> Error "merge coalesces tuples"
+    | Op.Select _ -> Error "select discards rows"
+
+let invert ?(registry = Semfun.empty_registry) ~source ops =
+  (* Forward witness replay, keeping each step's pre/post states. *)
+  let rec forward i db acc = function
+    | [] -> Ok (List.rev acc, db)
+    | op :: rest -> (
+        match try_apply registry op db with
+        | Error msg ->
+            Error
+              { index = i; op; reason = "not applicable to witness: " ^ msg }
+        | Ok db' -> forward (i + 1) db' ((i, op, db, db') :: acc) rest)
+  in
+  match forward 0 source [] ops with
+  | Error e -> Error e
+  | Ok (steps, final) -> (
+      (* Per-step inverses, assembled in reverse application order. *)
+      let rec build acc = function
+        | [] -> Ok acc
+        | (i, op, before, after) :: rest -> (
+            match invert_step op ~before ~after with
+            | Error reason -> Error { index = i; op; reason }
+            | Ok inv -> build ((i, op, inv) :: acc) rest)
+      in
+      match build [] (List.rev steps) with
+      | Error e -> Error e
+      | Ok tagged -> (
+          (* Replay-validate: quasi-inverses leave residual relations
+             behind (partition groups, binary-operator outputs), and a
+             residue can clash with an earlier step's inverse. Such a
+             clash is data-dependent loss, reported like any other. *)
+          let rec validate db = function
+            | [] -> Ok ()
+            | (i, op0, inv) :: rest -> (
+                let rec apply_all db = function
+                  | [] -> Ok db
+                  | o :: os -> (
+                      match try_apply registry o db with
+                      | Error msg -> Error msg
+                      | Ok db' -> apply_all db' os)
+                in
+                match apply_all db inv with
+                | Error msg ->
+                    Error
+                      {
+                        index = i;
+                        op = op0;
+                        reason = "inverse inapplicable: " ^ msg;
+                      }
+                | Ok db' -> validate db' rest)
+          in
+          let tagged = List.rev tagged in
+          match validate final tagged with
+          | Error e -> Error e
+          | Ok () -> Ok (List.concat_map (fun (_, _, inv) -> inv) tagged)))
+
+let invert_from ?(registry = Semfun.empty_registry) ~source ops =
+  let n = List.length ops in
+  let states = Array.make (n + 1) source in
+  List.iteri (fun i op -> states.(i + 1) <- Eval.apply registry op states.(i)) ops;
+  let suffix_from i = List.filteri (fun j _ -> j >= i) ops in
+  let rec try_at i =
+    if i >= n then (n, [])
+    else
+      match invert ~registry ~source:states.(i) (suffix_from i) with
+      | Ok inv -> (i, inv)
+      | Error { index; _ } -> try_at (i + index + 1)
+  in
+  try_at 0
+
+(* ------------------------------------------------------------------ *)
+(* Normalization                                                       *)
+
+(* Relation names an operator reads, writes, creates or removes. [None]
+   means unbounded: partition mints relation names out of data, so it
+   commutes with nothing. Applicability of every operator depends only on
+   relations in its footprint (rename-rel's and the binary operators'
+   db-wide freshness checks name the probed relation explicitly), which
+   is what makes disjoint-footprint commutation sound. *)
+let footprint = function
+  | Op.Partition _ -> None
+  | Op.RenameRel { old_name; new_name } -> Some [ old_name; new_name ]
+  | Op.Product { left; right; out }
+  | Op.Union { left; right; out }
+  | Op.Diff { left; right; out }
+  | Op.Join { left; right; out } ->
+      Some [ left; right; out ]
+  | op -> ( match Op.rel_of op with Some r -> Some [ r ] | None -> None)
+
+let identity_op = function
+  | Op.RenameRel { old_name; new_name } -> old_name = new_name
+  | Op.RenameAtt { old_name; new_name; _ } -> old_name = new_name
+  | _ -> false
+
+(* Adjacent-pair rewrites. Each rule is semantics-preserving on every
+   database the pair applies to (the rewrite may apply more widely). *)
+let cancel_pair x y =
+  match (x, y) with
+  | ( Op.RenameRel { old_name = a; new_name = b },
+      Op.RenameRel { old_name = b'; new_name = c } )
+    when b = b' ->
+      Some (if a = c then [] else [ Op.RenameRel { old_name = a; new_name = c } ])
+  | ( Op.RenameAtt { rel; old_name = a; new_name = b },
+      Op.RenameAtt { rel = rel'; old_name = b'; new_name = c } )
+    when rel = rel' && b = b' ->
+      Some
+        (if a = c then []
+         else [ Op.RenameAtt { rel; old_name = a; new_name = c } ])
+  | Op.Dereference { rel; target; _ }, Op.Drop { rel = rel'; col }
+    when rel = rel' && col = target ->
+      Some []
+  | Op.Apply { rel; output; _ }, Op.Drop { rel = rel'; col }
+    when rel = rel' && col = output ->
+      Some []
+  | _ -> None
+
+let rec cancel_scan = function
+  | [] -> []
+  | x :: rest when identity_op x -> cancel_scan rest
+  | x :: y :: rest -> (
+      match cancel_pair x y with
+      | Some repl -> cancel_scan (repl @ rest)
+      | None -> x :: cancel_scan (y :: rest))
+  | [ x ] -> [ x ]
+
+let rec cancel_fix e =
+  let e' = cancel_scan e in
+  if List.length e' = List.length e then e' else cancel_fix e'
+
+let disjoint a b = List.for_all (fun x -> not (List.mem x b)) a
+
+let should_swap x y =
+  match (footprint x, footprint y) with
+  | Some fx, Some fy ->
+      disjoint fx fy && String.compare (Op.to_string y) (Op.to_string x) < 0
+  | _ -> false
+
+let rec bubble_pass = function
+  | x :: y :: rest when should_swap x y -> y :: bubble_pass (x :: rest)
+  | x :: rest -> x :: bubble_pass rest
+  | [] -> []
+
+let ops_equal a b = List.length a = List.length b && List.for_all2 Op.equal a b
+
+let rec commute_fix e =
+  let e' = bubble_pass e in
+  if ops_equal e' e then e else commute_fix e'
+
+let rec normalize e =
+  let e' = commute_fix (cancel_fix e) in
+  if ops_equal e' e then e else normalize e'
+
+let compose e f = normalize (e @ f)

@@ -1,0 +1,94 @@
+(** A mapping algebra over ℒ programs: composition, quasi-inversion and
+    normalization (Arenas et al., "Composition and Inversion of Schema
+    Mappings").
+
+    A discovered mapping is not just a replayable artifact — it is an
+    algebraic object. [compose] splices two programs into one canonical
+    program; [invert] derives a program running the transformation
+    backwards where the operators admit it; [normalize] rewrites a program
+    into a canonical form (shorter, deterministically ordered) with the
+    same semantics. The serving layer leans on these for drift reuse: a
+    near-miss cache hit seeds discovery with the normalized cached
+    program instead of an empty state. *)
+
+open Relational
+
+(** {1 Invertibility classification} *)
+
+type invertibility =
+  | Exact  (** An inverse recovering the pre-state exactly exists. *)
+  | Quasi
+      (** An inverse recovering a superset of the pre-state (in the sense
+          of {!Database.contains}) exists for typical instances, but it is
+          data-dependent — {!invert} is the ground truth on a witness. *)
+  | Lossy  (** The operator discards information; no inverse in general. *)
+
+val invertibility_name : invertibility -> string
+(** ["exact"], ["quasi"] or ["lossy"]. *)
+
+val classify : Op.t -> invertibility
+(** Syntactic classification per the invertibility table (DESIGN.md):
+    RenameRel/RenameAtt/Demote/Dereference/Apply are [Exact]; Promote,
+    Partition and fresh-output Product/Union/Diff/Join are [Quasi];
+    Drop/Merge/Select and operand-overwriting binary operators are
+    [Lossy]. Data can override the syntax in both directions (a lossy
+    merge may be a no-op; a quasi partition may drop null-keyed rows), so
+    {!invert} re-decides each step on the witness instance. *)
+
+(** {1 Quasi-inversion} *)
+
+type lossy_step = {
+  index : int;  (** 0-based position of the offending operator. *)
+  op : Op.t;
+  reason : string;
+}
+
+val invert :
+  ?registry:Semfun.registry ->
+  source:Database.t ->
+  Op.t list ->
+  (Op.t list, lossy_step) result
+(** [invert ~source e] derives a program [e⁻¹] such that
+    [e⁻¹ (e source) ⊇ source] ({!Database.contains}), by inverting each
+    step against the witness [source] (inverses of data–metadata operators
+    are data-dependent: Promote⁻¹ drops the columns the witness minted,
+    Partition⁻¹ renames and unions the witness's groups back together).
+    The derived inverse is replay-validated on [e source] before being
+    returned, so [Ok inv] guarantees applicability end to end.
+
+    [Error {index; op; reason}] reports the first lossy step: an operator
+    that discards information (Drop, Merge, operand-overwriting ∪/−/⋈), a
+    data-dependent loss (null partition keys, colliding group names, a
+    promote overwriting an existing column), or a residual-relation clash
+    that makes the inverse inapplicable. *)
+
+val invert_from :
+  ?registry:Semfun.registry ->
+  source:Database.t ->
+  Op.t list ->
+  int * Op.t list
+(** [invert_from ~source e] finds the longest invertible suffix: the
+    smallest [i] such that [invert] succeeds on [e_i..e_n] from witness
+    [e_1..e_{i-1} (source)], returning [(i, inverse)]. [(0, inv)] means
+    the whole program inverts; [(length e, [])] means no nonempty suffix
+    does. Used by the fuzz invert oracle to extract signal from programs
+    whose prefix is lossy.
+    @raise Eval.Error if [e] does not apply to [source]. *)
+
+(** {1 Normalization and composition} *)
+
+val normalize : Op.t list -> Op.t list
+(** Canonical form: cancels rename chains ([ρ a→b; ρ b→c] ⇒ [ρ a→c],
+    [ρ a→b; ρ b→a] ⇒ ε, identity renames ⇒ ε), cancels
+    introduce-then-drop pairs ([→ᵗ; π̄_t] and [λ→o; π̄_o] ⇒ ε), and
+    commutes adjacent operators with disjoint relation-name footprints
+    into a deterministic order. Semantics-preserving on every database
+    the input program applies to (the normal form may apply more widely),
+    and idempotent: [normalize (normalize e) = normalize e]. *)
+
+val compose : Op.t list -> Op.t list -> Op.t list
+(** [compose e f] — a single canonical program replay-equivalent to
+    applying [e] then [f]: [eval (compose e f) db = eval f (eval e db)]
+    wherever the right-hand side is defined. Equals [normalize (e @ f)],
+    so rename chains and introduce-drop pairs straddling the seam
+    cancel. *)

@@ -1,4 +1,5 @@
 open Relational
+module Algebra = Relational.Algebra
 
 exception Error of string
 

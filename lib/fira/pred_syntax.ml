@@ -1,5 +1,10 @@
 open Relational
 
+(* Bind the relational-algebra module explicitly: the fira library has
+   its own [Algebra] (the mapping algebra), and a bare [Algebra.] would
+   be read as a sibling reference by the dependency scanner. *)
+module Algebra = Relational.Algebra
+
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
 

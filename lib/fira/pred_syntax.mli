@@ -17,7 +17,5 @@
     comparisons print as [att ~ att] with [~] prefixing the right-hand
     attribute ([a = ~b]). *)
 
-open Relational
-
-val to_string : Algebra.pred -> string
-val of_string : string -> (Algebra.pred, string) result
+val to_string : Relational.Algebra.pred -> string
+val of_string : string -> (Relational.Algebra.pred, string) result

@@ -4,6 +4,7 @@ type mode = Local | Remote of { host : string; port : int }
 
 type config = {
   oracle : Oracle.config;
+  oracle_mode : Oracle.mode;
   trials : int;
   seed : int;
   depth : int;
@@ -16,14 +17,16 @@ type config = {
   not_found_fails : bool;
 }
 
-let config ?(oracle = Oracle.config ()) ?(trials = 100) ?(seed = 1)
-    ?(depth = 4) ?(shape = Workloads.Random_db.fuzz_shape) ?(jobs = 1)
-    ?time_budget_s ?(mode = Local) ?(shrink_attempts = 400) ?corpus_dir
+let config ?(oracle = Oracle.config ()) ?(oracle_mode = Oracle.Replay)
+    ?(trials = 100) ?(seed = 1) ?(depth = 4)
+    ?(shape = Workloads.Random_db.fuzz_shape) ?(jobs = 1) ?time_budget_s
+    ?(mode = Local) ?(shrink_attempts = 400) ?corpus_dir
     ?(not_found_fails = false) () =
   if trials < 0 then invalid_arg "Fuzz.Driver.config: trials must be >= 0";
   if jobs < 1 then invalid_arg "Fuzz.Driver.config: jobs must be >= 1";
   {
     oracle;
+    oracle_mode;
     trials;
     seed;
     depth;
@@ -74,7 +77,14 @@ let trial_seeds config =
   let rng = Prng.create config.seed in
   Array.init config.trials (fun _ -> Prng.int rng 0x3FFFFFFF)
 
-let check_in ~mode ?stop ?perturb oracle scenario =
+(* The algebra modes (invert/compose/drift) always run in process: they
+   exercise [Fira.Algebra] and the warm-start machinery, not the wire
+   path, so [Remote] only changes where [Replay] searches. *)
+let check_in ~mode ~oracle_mode ?stop ?perturb oracle scenario =
+  match (oracle_mode : Oracle.mode) with
+  | Oracle.Invert | Oracle.Compose | Oracle.Drift ->
+      Oracle.check_mode ?stop ?perturb oracle_mode oracle scenario
+  | Oracle.Replay -> (
   match mode with
   | Local -> Oracle.check ?stop ?perturb oracle scenario
   | Remote { host; port } -> (
@@ -95,7 +105,7 @@ let check_in ~mode ?stop ?perturb oracle scenario =
       | conn ->
           Fun.protect
             ~finally:(fun () -> Server.Client.close conn)
-            (fun () -> Oracle.check_remote conn ?perturb oracle scenario))
+            (fun () -> Oracle.check_remote conn ?perturb oracle scenario)))
 
 let failed config (o : Oracle.outcome) =
   match o with
@@ -121,8 +131,8 @@ let run ?perturb ?(log = fun (_ : string) -> ()) config =
         Scenario.generate ~shape:config.shape ~depth:config.depth seeds.(i)
       in
       let report =
-        check_in ~mode:config.mode ~stop:past_deadline ?perturb config.oracle
-          scenario
+        check_in ~mode:config.mode ~oracle_mode:config.oracle_mode
+          ~stop:past_deadline ?perturb config.oracle scenario
       in
       if failed config report.Oracle.outcome then
         log
@@ -157,7 +167,10 @@ let run ?perturb ?(log = fun (_ : string) -> ()) config =
     if not (failed config report.Oracle.outcome) then None
     else begin
       let keeps c =
-        let r = check_in ~mode:config.mode ?perturb config.oracle c in
+        let r =
+          check_in ~mode:config.mode ~oracle_mode:config.oracle_mode ?perturb
+            config.oracle c
+        in
         failed config r.Oracle.outcome
       in
       let minimized, stats =

@@ -16,6 +16,10 @@ type mode =
 
 type config = {
   oracle : Oracle.config;
+  oracle_mode : Oracle.mode;
+      (** which property each trial checks (default {!Oracle.Replay}).
+          The algebra modes ([Invert]/[Compose]/[Drift]) always run in
+          process — [mode] only changes where [Replay] searches. *)
   trials : int;
   seed : int;  (** master seed *)
   depth : int;  (** requested ℒ program length per scenario *)
@@ -36,6 +40,7 @@ type config = {
 
 val config :
   ?oracle:Oracle.config ->
+  ?oracle_mode:Oracle.mode ->
   ?trials:int ->
   ?seed:int ->
   ?depth:int ->

@@ -68,12 +68,15 @@ let verdict ?perturb (s : Scenario.t) expr ~states =
         states_examined = states;
       }
 
-let check ?stop ?perturb config (s : Scenario.t) =
+let search ?stop ?warm_start ?perturb config (s : Scenario.t) =
   let dcfg =
     D.config ~algorithm:config.algorithm ~heuristic:(heuristic_exn config)
       ~goal:Tupelo.Goal.Superset ~budget:config.budget ~jobs:config.jobs ()
   in
-  match D.discover ?stop ~registry:s.registry dcfg ~source:s.source ~target:s.target with
+  match
+    D.discover ?stop ?warm_start ~registry:s.registry dcfg ~source:s.source
+      ~target:s.target
+  with
   | D.Mapping m ->
       verdict ?perturb s m.Tupelo.Mapping.expr
         ~states:m.Tupelo.Mapping.stats.Search.Space.examined
@@ -83,6 +86,142 @@ let check ?stop ?perturb config (s : Scenario.t) =
   | D.Gave_up stats ->
       { outcome = Budget_exhausted; mapping = None;
         states_examined = stats.Search.Space.examined }
+
+let check ?stop ?perturb config (s : Scenario.t) = search ?stop ?perturb config s
+
+(* ------------------------------------------------------------------ *)
+(* Algebra oracles. [Invert] and [Compose] need no search at all: they
+   check [Fira.Algebra]'s laws against the scenario's witness replay.
+   [Drift] perturbs the scenario and re-discovers with the normalized
+   original program as a warm start — the server's near-miss reuse path,
+   exercised end to end in-process. *)
+
+type mode = Replay | Invert | Compose | Drift
+
+let mode_name = function
+  | Replay -> "replay"
+  | Invert -> "invert"
+  | Compose -> "compose"
+  | Drift -> "drift"
+
+let mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "replay" -> Some Replay
+  | "invert" -> Some Invert
+  | "compose" -> Some Compose
+  | "drift" -> Some Drift
+  | _ -> None
+
+let take n l = List.filteri (fun i _ -> i < n) l
+let drop_n n l = List.filteri (fun i _ -> i >= n) l
+
+let ops_equal a b =
+  List.length a = List.length b && List.for_all2 Fira.Op.equal a b
+
+(* Algebra outputs must survive the mapping file codec (the server ships
+   warm-start programs as parsed cache entries), so every inverse and
+   normalized program is also round-tripped through [Fira.Parser]. *)
+let round_trips expr =
+  match Fira.Parser.expr_of_string (Fira.Parser.expr_to_file_string expr) with
+  | Ok back ->
+      ops_equal (Fira.Expr.ops expr) (Fira.Expr.ops back)
+  | Error _ -> false
+
+(* Quasi-inverse containment (ISSUE §tentpole): for the longest
+   invertible suffix of the program, e⁻¹(e(I)) ⊇ I — replay the suffix's
+   inverse on the scenario target and demand it contains the witness
+   state where the suffix started. A fully lossy program has an empty
+   suffix and passes vacuously (the inverse of nothing recovers the
+   final state, which contains itself). *)
+let check_invert (s : Scenario.t) =
+  let ops = Fira.Expr.ops s.program in
+  let fail reason =
+    { outcome = Oracle_error reason; mapping = None; states_examined = 0 }
+  in
+  match
+    Fira.Algebra.invert_from ~registry:s.registry ~source:s.source ops
+  with
+  | exception
+      ( Fira.Eval.Error _ | Relation.Error _ | Database.Error _
+      | Schema.Error _ ) ->
+      fail "invert: scenario program does not replay on its own source"
+  | start, inverse -> (
+      let inv_expr = Fira.Expr.of_ops inverse in
+      if not (round_trips inv_expr) then
+        fail "invert: inverse does not round-trip through the parser"
+      else
+        match
+          Scenario.replay s.registry (Fira.Expr.of_ops (take start ops))
+            s.source
+        with
+        | None -> fail "invert: witness prefix replay failed"
+        | Some witness -> (
+            match Scenario.replay s.registry inv_expr s.target with
+            | None ->
+                (* [invert_from] replay-validates, so an inapplicable
+                   inverse is an algebra bug. *)
+                { outcome = Wrong_mapping; mapping = Some inv_expr;
+                  states_examined = 0 }
+            | Some recovered ->
+                let ok = Database.contains recovered witness in
+                { outcome = (if ok then Verified else Wrong_mapping);
+                  mapping = Some inv_expr; states_examined = 0 }))
+
+(* Composition and normalization laws: [compose e1 e2] of any split of
+   the program replays to exactly the scenario target (equality, not
+   just the goal test — normalization is semantics-preserving, not
+   merely goal-preserving); [normalize] is idempotent and preserves the
+   target fingerprint; normalized output round-trips the parser. *)
+let check_compose (s : Scenario.t) =
+  let ops = Fira.Expr.ops s.program in
+  let normalized = Fira.Algebra.normalize ops in
+  let wrong p =
+    { outcome = Wrong_mapping; mapping = Some p; states_examined = 0 }
+  in
+  if not (ops_equal normalized (Fira.Algebra.normalize normalized)) then
+    wrong (Fira.Expr.of_ops normalized)
+  else if not (round_trips (Fira.Expr.of_ops normalized)) then
+    { outcome = Oracle_error
+        "compose: normalized program does not round-trip through the parser";
+      mapping = Some (Fira.Expr.of_ops normalized); states_examined = 0 }
+  else
+    let n = List.length ops in
+    let splits = List.sort_uniq compare [ 0; n / 2; n ] in
+    let check_split k =
+      let composed = Fira.Algebra.compose (take k ops) (drop_n k ops) in
+      match Scenario.replay s.registry (Fira.Expr.of_ops composed) s.source with
+      | None -> Some (wrong (Fira.Expr.of_ops composed))
+      | Some db ->
+          if
+            Database.equal db s.target
+            && Fingerprint.equal (Fingerprint.of_database db)
+                 (Fingerprint.of_database s.target)
+          then None
+          else Some (wrong (Fira.Expr.of_ops composed))
+    in
+    match List.find_map check_split splits with
+    | Some failure -> failure
+    | None ->
+        { outcome = Verified;
+          mapping = Some (Fira.Expr.of_ops normalized); states_examined = 0 }
+
+(* Drift: perturb one source cell (deterministically), then the search
+   seeded with the normalized original program must still verify on the
+   drifted pair. A scenario that admits no surviving perturbation passes
+   vacuously. *)
+let check_drift ?stop ?perturb config (s : Scenario.t) =
+  match Scenario.perturb s with
+  | None -> { outcome = Verified; mapping = None; states_examined = 0 }
+  | Some drifted ->
+      let warm = Fira.Algebra.normalize (Fira.Expr.ops s.program) in
+      search ?stop ~warm_start:warm ?perturb config drifted
+
+let check_mode ?stop ?perturb mode config (s : Scenario.t) =
+  match mode with
+  | Replay -> check ?stop ?perturb config s
+  | Invert -> check_invert s
+  | Compose -> check_compose s
+  | Drift -> check_drift ?stop ?perturb config s
 
 (* ------------------------------------------------------------------ *)
 (* Wire-path oracle: round-trip the scenario through a running mapping

@@ -65,6 +65,40 @@ val check :
     mutation hook the smoke tests use to emulate an eval bug and prove
     the pipeline catches it. *)
 
+type mode =
+  | Replay  (** the classic inverse-problem oracle: {!check} *)
+  | Invert
+      (** no search: quasi-inverse containment [e⁻¹(e(I)) ⊇ I] over the
+          longest invertible suffix ({!Fira.Algebra.invert_from}), plus a
+          parser round-trip of the inverse. A fully lossy program passes
+          vacuously. *)
+  | Compose
+      (** no search: [compose e1 e2] of program splits replays to
+          {e exactly} the scenario target; [normalize] is idempotent,
+          preserves the target fingerprint and round-trips the parser. *)
+  | Drift
+      (** perturb one source cell ({!Scenario.perturb}) and re-discover
+          the drifted pair seeded with the normalized original program —
+          the warm-start path, in process. Scenarios admitting no
+          surviving perturbation pass vacuously. *)
+
+val mode_name : mode -> string
+
+val mode_of_string : string -> mode option
+(** Total inverse of {!mode_name}, case-insensitive. *)
+
+val check_mode :
+  ?stop:(unit -> bool) ->
+  ?perturb:(Relational.Database.t -> Relational.Database.t) ->
+  mode ->
+  config ->
+  Scenario.t ->
+  report
+(** Dispatch on [mode]; [Replay] is {!check}. [Invert] and [Compose]
+    never search ([states_examined = 0], [stop] ignored) and report
+    algebra-law violations as {!Wrong_mapping} and codec violations as
+    {!Oracle_error}. *)
+
 val check_remote :
   Server.Client.conn ->
   ?perturb:(Relational.Database.t -> Relational.Database.t) ->

@@ -315,6 +315,57 @@ let generate ?(shape = Random_db.fuzz_shape) ~depth seed =
     target;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Drift: a deterministic one-cell perturbation of the source with the
+   target recomputed by replay — the "same program, slightly different
+   data" setting the server's warm-start path targets. A mutated cell can
+   make a later operator inapplicable (a Dereference pointer, a Partition
+   key the program later renames through), so a few candidate cells are
+   tried; [None] when the source has no cells or every candidate kills
+   the replay. Deterministic in [s.seed], so a drift failure reproduces
+   from the same three numbers as the scenario itself. *)
+
+let perturb_attempts = 16
+
+let perturb (s : t) =
+  let rng = Prng.create (s.seed lxor 0x00D21F7) in
+  let cells =
+    List.concat_map
+      (fun (name, r) ->
+        let schema = Relation.schema r in
+        let atts = Relation.attributes r in
+        List.concat
+          (List.mapi
+             (fun ri _ -> List.map (fun a -> (name, r, schema, ri, a)) atts)
+             (Relation.rows r)))
+      (Database.relations s.source)
+  in
+  match cells with
+  | [] -> None
+  | _ ->
+      let rec attempt k =
+        if k >= perturb_attempts then None
+        else
+          let name, r, schema, ri, att = Prng.pick rng cells in
+          (* "o-drift<k>" stays codec-safe and outside
+             [Value.of_string_guess]'s numeric/bool/null guesses, so a
+             drifted scenario still survives a corpus round-trip. *)
+          let fresh = Value.String (Printf.sprintf "o-drift%d" k) in
+          let idx = Schema.index_of schema att in
+          let rows =
+            List.mapi
+              (fun i row -> if i = ri then Row.set row idx fresh else row)
+              (Relation.rows r)
+          in
+          let source = Database.add s.source name (Relation.of_rows schema rows) in
+          if Database.equal source s.source then attempt (k + 1)
+          else
+            match replay s.registry s.program source with
+            | Some target -> Some { s with source; target }
+            | None -> attempt (k + 1)
+      in
+      attempt 0
+
 let to_string s =
   Printf.sprintf "seed=%d depth=%d ops=%d [%s]" s.seed s.depth
     (Fira.Expr.length s.program)

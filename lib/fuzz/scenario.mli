@@ -43,6 +43,15 @@ val with_target : t -> t option
 (** Recompute [target] from [(source, program)] — used after the shrinker
     mutates either; [None] when the program no longer applies. *)
 
+val perturb : t -> t option
+(** A deterministic one-cell drift of the scenario: mutate one source
+    cell to a fresh string value and recompute [target] by replay — the
+    "same program, slightly different data" setting the server's
+    warm-start path targets. Tries a bounded number of candidate cells
+    (a mutation can make a later operator inapplicable); [None] when the
+    source is empty or no candidate survives replay. Deterministic in
+    the scenario's seed. *)
+
 val total_cells : Database.t -> int
 
 val to_string : t -> string

@@ -2,6 +2,56 @@ open Relational
 
 type key = Fingerprint.t * Fingerprint.t
 
+(* Row-granular term multisets of the instance pair, for near-miss
+   distance. Schema terms and row terms are the same ones [Fingerprint]
+   sums into a database fingerprint, kept unsummed and sorted so two
+   sketches diff in one merge walk; row granularity means a one-cell
+   perturbation moves exactly one term per side it touches. *)
+type sketch = {
+  s_terms : Fingerprint.t array;
+  t_terms : Fingerprint.t array;
+}
+
+let db_terms db =
+  let terms =
+    Database.fold
+      (fun rel r acc ->
+        let schema = Relation.schema r in
+        Relation.fold
+          (fun row acc -> Fingerprint.of_row ~rel schema row :: acc)
+          r
+          (Fingerprint.of_schema ~rel schema :: acc))
+      db []
+  in
+  let a = Array.of_list terms in
+  Array.sort Fingerprint.compare a;
+  a
+
+let sketch_of_pair ~source ~target =
+  { s_terms = db_terms source; t_terms = db_terms target }
+
+(* Symmetric-difference size of two sorted term arrays. *)
+let sym_diff a b =
+  let na = Array.length a and nb = Array.length b in
+  let rec go i j acc =
+    if i >= na then acc + (nb - j)
+    else if j >= nb then acc + (na - i)
+    else
+      let c = Fingerprint.compare a.(i) b.(j) in
+      if c = 0 then go (i + 1) (j + 1) acc
+      else if c < 0 then go (i + 1) j (acc + 1)
+      else go i (j + 1) (acc + 1)
+  in
+  go 0 0 0
+
+let sketch_distance a b =
+  let d = sym_diff a.s_terms b.s_terms + sym_diff a.t_terms b.t_terms in
+  let n =
+    Array.length a.s_terms + Array.length b.s_terms + Array.length a.t_terms
+    + Array.length b.t_terms
+  in
+  if n = 0 then 0.0 else float_of_int d /. float_of_int n
+
 module Tbl = Hashtbl.Make (struct
   type t = key
 
@@ -17,6 +67,7 @@ end)
 type ('a, 'b) node = {
   nkey : 'a;
   mutable value : 'b;
+  mutable skt : sketch option;
   mutable prev : ('a, 'b) node option;  (** towards head (more recent) *)
   mutable next : ('a, 'b) node option;  (** towards tail (less recent) *)
 }
@@ -31,6 +82,7 @@ type 'a t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable warms : int;
 }
 
 let create ?(telemetry = Telemetry.disabled) ~capacity () =
@@ -45,6 +97,7 @@ let create ?(telemetry = Telemetry.disabled) ~capacity () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    warms = 0;
   }
 
 let locked t f =
@@ -81,15 +134,16 @@ let find t ?(valid = fun _ -> true) key =
       Telemetry.count t.telemetry "cache.miss" 1;
       None
 
-let add t key value =
+let add t ?sketch key value =
   locked t @@ fun () ->
   (match Tbl.find_opt t.tbl key with
   | Some node ->
       node.value <- value;
+      (match sketch with Some _ -> node.skt <- sketch | None -> ());
       unlink t node;
       push_front t node
   | None ->
-      let node = { nkey = key; value; prev = None; next = None } in
+      let node = { nkey = key; value; skt = sketch; prev = None; next = None } in
       Tbl.replace t.tbl key node;
       push_front t node;
       if Tbl.length t.tbl > t.cap then begin
@@ -102,11 +156,42 @@ let add t key value =
         | None -> assert false
       end)
 
+(* Near-miss lookup: linear scan over the (capacity-bounded) entries for
+   the sketch-bearing, [valid] entry closest to [sketch]; accepted when
+   its normalized distance is strictly below [max_dist]. Deliberately
+   not part of the hit/miss accounting and does not promote — a warm
+   seed is a hint, not a served answer, so recency order must be exactly
+   what the exact-hit traffic produced. [cache.warm] is counted in the
+   same critical section, mirroring the other counters. *)
+let find_near t ?(valid = fun _ -> true) ~max_dist sketch =
+  locked t @@ fun () ->
+  let rec walk best = function
+    | None -> best
+    | Some node ->
+        let best =
+          match node.skt with
+          | Some s when valid node.value ->
+              let d = sketch_distance sketch s in
+              (match best with
+              | Some (_, bd) when bd <= d -> best
+              | _ -> Some (node.value, d))
+          | _ -> best
+        in
+        walk best node.next
+  in
+  match walk None t.head with
+  | Some (v, d) when d < max_dist ->
+      t.warms <- t.warms + 1;
+      Telemetry.count t.telemetry "cache.warm" 1;
+      Some (v, d)
+  | _ -> None
+
 let length t = locked t @@ fun () -> Tbl.length t.tbl
 let capacity t = t.cap
 let hits t = locked t @@ fun () -> t.hits
 let misses t = locked t @@ fun () -> t.misses
 let evictions t = locked t @@ fun () -> t.evictions
+let warms t = locked t @@ fun () -> t.warms
 
 let keys_lru_first t =
   locked t @@ fun () ->

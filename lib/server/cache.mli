@@ -11,14 +11,35 @@
     entry when over capacity. All operations are thread-safe (the
     daemon's handler threads share one cache) and O(1) modulo hashing.
 
-    Telemetry: [cache.hit] / [cache.miss] / [cache.evict] counters are
-    emitted inside the same critical section that updates the hit and
-    miss totals, so the counters below always reconcile exactly with an
-    aggregated trace. *)
+    Near-miss reuse: entries added with a {!sketch} — the unsummed,
+    row-granular fingerprint terms of the instance pair — additionally
+    participate in {!find_near}, which locates the closest cached pair
+    under normalized symmetric-difference distance. The daemon seeds
+    discovery with the found entry's normalized program (a warm start)
+    when the exact lookup misses.
+
+    Telemetry: [cache.hit] / [cache.miss] / [cache.evict] /
+    [cache.warm] counters are emitted inside the same critical section
+    that updates the corresponding totals, so the counters below always
+    reconcile exactly with an aggregated trace. *)
 
 open Relational
 
 type key = Fingerprint.t * Fingerprint.t  (** (source, target) *)
+
+type sketch
+(** Row-granular term multisets of an instance pair: the same schema and
+    row terms {!Relational.Fingerprint.of_database} would sum, kept
+    unsummed so two pairs can be diffed term by term. *)
+
+val sketch_of_pair : source:Database.t -> target:Database.t -> sketch
+
+val sketch_distance : sketch -> sketch -> float
+(** Normalized symmetric difference over both sides, in [0, 1]: [0] for
+    identical pairs, [1] when no term is shared. A one-cell perturbation
+    of one relation moves one row term per side it touches, so drifted
+    pairs land strictly below [1] while unrelated pairs (no shared
+    schema or rows) land at [1]. *)
 
 type 'a t
 
@@ -31,9 +52,20 @@ val find : 'a t -> ?valid:('a -> bool) -> key -> 'a option
     a miss and is not promoted; the server uses this to serve only
     cache entries whose goal mode matches the request's. *)
 
-val add : 'a t -> key -> 'a -> unit
+val find_near :
+  'a t -> ?valid:('a -> bool) -> max_dist:float -> sketch -> ('a * float) option
+(** The [valid], sketch-bearing entry closest to the probe, if its
+    normalized {!sketch_distance} is strictly below [max_dist]
+    ([max_dist = 1.0] accepts any entry sharing at least one term).
+    Does not promote and is not counted as a hit or a miss — recency
+    order and the hit/miss totals are exactly what the exact-key
+    traffic produced; a successful call counts [cache.warm] instead.
+    O(capacity) scan under the cache lock. *)
+
+val add : 'a t -> ?sketch:sketch -> key -> 'a -> unit
 (** Insert or replace as most-recently-used; evicts the LRU entry when
-    the cache would exceed capacity. *)
+    the cache would exceed capacity. Entries added without [sketch] are
+    invisible to {!find_near}. *)
 
 val length : 'a t -> int
 val capacity : 'a t -> int
@@ -41,6 +73,9 @@ val capacity : 'a t -> int
 val hits : 'a t -> int
 val misses : 'a t -> int
 val evictions : 'a t -> int
+
+val warms : 'a t -> int
+(** Number of successful {!find_near} probes. *)
 
 val keys_lru_first : 'a t -> key list
 (** Current keys, least-recently-used first (for tests). *)

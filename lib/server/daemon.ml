@@ -74,6 +74,7 @@ type prepared = {
   p_jobs : int;
   p_timeout_ms : int;
   p_key : Cache.key;
+  p_sketch : Cache.sketch;
 }
 
 exception Prep of string
@@ -129,6 +130,7 @@ let prepare cfg (r : Protocol.discover_request) =
       p_key =
         ( Fingerprint.of_database p_source,
           Fingerprint.of_database p_target );
+      p_sketch = Cache.sketch_of_pair ~source:p_source ~target:p_target;
     }
   with
   | p -> Ok p
@@ -138,6 +140,8 @@ let prepare cfg (r : Protocol.discover_request) =
 
 type job = {
   prep : prepared;
+  jwarm : Fira.Op.t list;
+      (** warm-start program from a near-miss cache entry; [[]] = cold *)
   jm : Mutex.t;
   jcv : Condition.t;
   mutable jresp : Protocol.discover_response option;
@@ -236,6 +240,7 @@ let stats_json t =
                  Json.Num (float_of_int (Cache.capacity t.mapping_cache)) );
                ("hits", c "cache.hit");
                ("misses", c "cache.miss");
+               ("warms", c "cache.warm");
                ("evictions", c "cache.evict");
              ] );
          ("search", Json.Obj [ ("states_examined", c Ev.states) ]);
@@ -259,6 +264,9 @@ let response_of_entry (e : Cache_entry.t) ~elapsed_ms ~cache :
 
 let execute t job started =
   let p = job.prep in
+  (* "warm" when a near-miss cache entry seeded the search, "miss" for a
+     cold search — whatever the outcome, so clients can attribute cost. *)
+  let cache_label = if job.jwarm = [] then "miss" else "warm" in
   let deadline =
     Unix.gettimeofday () +. (float_of_int p.p_timeout_ms /. 1000.)
   in
@@ -281,8 +289,8 @@ let execute t job started =
       ()
   in
   let outcome =
-    Tupelo.Discover.discover ~registry:p.p_registry ~stop dconfig
-      ~source:p.p_source ~target:p.p_target
+    Tupelo.Discover.discover ~registry:p.p_registry ~stop
+      ~warm_start:job.jwarm dconfig ~source:p.p_source ~target:p.p_target
   in
   let elapsed_ms = (Unix.gettimeofday () -. started) *. 1000. in
   let resp =
@@ -300,8 +308,8 @@ let execute t job started =
               m.Tupelo.Mapping.stats.Search.Space.examined;
           }
         in
-        Cache.add t.mapping_cache p.p_key entry;
-        response_of_entry entry ~elapsed_ms ~cache:"miss"
+        Cache.add t.mapping_cache ~sketch:p.p_sketch p.p_key entry;
+        response_of_entry entry ~elapsed_ms ~cache:cache_label
     | Tupelo.Discover.No_mapping stats | Tupelo.Discover.Gave_up stats ->
         let outcome_name =
           match outcome with
@@ -318,7 +326,7 @@ let execute t job started =
           res_heuristic = p.p_heuristic.Heuristics.Heuristic.name;
           states_examined = stats.Search.Space.examined;
           elapsed_ms;
-          cache = "miss";
+          cache = cache_label;
         }
   in
   Telemetry.count t.tel (Ev.resp resp.Protocol.outcome) 1;
@@ -399,9 +407,29 @@ let handle_discover t fd ~keep_alive (req : Http.request) =
                        (Protocol.encode_response
                           (response_of_entry entry ~elapsed_ms ~cache:"hit")))
               | None -> (
+                  (* Near-miss path: seed discovery with the normalized
+                     program of the closest cached pair sharing at least
+                     one schema or row term. Entries whose saved
+                     expression fails to parse (impossible for entries
+                     this server wrote, but the label is client-visible)
+                     fall back to a cold search. *)
+                  let warm =
+                    match
+                      Cache.find_near t.mapping_cache ~valid:goal_matches
+                        ~max_dist:1.0 prep.p_sketch
+                    with
+                    | None -> []
+                    | Some (entry, _dist) -> (
+                        match
+                          Fira.Parser.expr_of_string entry.Cache_entry.expr
+                        with
+                        | Ok e -> Fira.Algebra.normalize (Fira.Expr.ops e)
+                        | Error _ -> [])
+                  in
                   let job =
                     {
                       prep;
+                      jwarm = warm;
                       jm = Mutex.create ();
                       jcv = Condition.create ();
                       jresp = None;

@@ -45,7 +45,10 @@ type discover_response = {
   res_heuristic : string;
   states_examined : int;
   elapsed_ms : float;  (** server-side processing time for this request *)
-  cache : string;  (** ["hit"] or ["miss"] *)
+  cache : string;
+      (** ["hit"] — served from the cache without searching; ["warm"] — a
+          near-miss cache entry seeded the search (see
+          [Cache.find_near]); ["miss"] — cold search. *)
 }
 
 val encode_request : discover_request -> Json.t

@@ -134,7 +134,8 @@ let proposed_event op = "moves.proposed." ^ Fira.Op.kind_name op
 let applied_event op = "moves.applied." ^ Fira.Op.kind_name op
 
 let discover_run ?(registry = Fira.Semfun.empty_registry)
-    ?(stop = Search.Space.never_stop) config ~source ~target =
+    ?(stop = Search.Space.never_stop) ?(warm_start = []) config ~source
+    ~target =
   Log.debug (fun m ->
       m "discover: %s/%s goal=%s budget=%d jobs=%d source=%d rels target=%d rels"
         (algorithm_name config.algorithm)
@@ -243,6 +244,52 @@ let discover_run ?(registry = Fira.Semfun.empty_registry)
   (* The root is the only state fingerprinted from scratch; successors are
      all maintained incrementally (see [Moves.successors]). *)
   Telemetry.count telemetry "fingerprint.full" 1;
+  (* Warm start: apply the longest applicable prefix of the supplied
+     program (a normalized cached mapping for a near-miss pair, say) and
+     search from the resulting state instead of the source. The prefix
+     runs under the same syntactic semantics as the move generator, so
+     the goal test and successor dedup agree with search-built states;
+     it stops at the first inapplicable operator, at the cell bound, or
+     as soon as the goal is reached — a drifted pair whose cached
+     program still applies ends the search at its root. *)
+  let warm_prefix, root =
+    match warm_start with
+    | [] -> ([], root)
+    | ops ->
+        let at_goal st =
+          Goal.reached_interned goal_mode
+            ~target:(Moves.target_idb target_info)
+            (State.idb st)
+        in
+        let rec go acc st = function
+          | [] -> (List.rev acc, st)
+          | op :: rest -> (
+              if at_goal st then (List.rev acc, st)
+              else
+                match
+                  Fira.Eval.apply_interned_delta ~semantics:`Syntactic
+                    registry op (State.idb st)
+                with
+                | exception Fira.Eval.Error _ -> (List.rev acc, st)
+                | exception Relational.Relation.Error _ ->
+                    (List.rev acc, st)
+                | exception Relational.Database.Error _ ->
+                    (List.rev acc, st)
+                | idb', delta ->
+                    if
+                      State.total_cells st + Fira.Eval.idelta_cells delta
+                      > moves_config.Moves.max_state_cells
+                    then (List.rev acc, st)
+                    else
+                      go (op :: acc) (State.of_isuccessor st delta idb') rest)
+        in
+        let prefix, st = go [] root ops in
+        Telemetry.count telemetry "discover.warm_ops" (List.length prefix);
+        Log.debug (fun m ->
+            m "warm start: applied %d/%d prefix operators"
+              (List.length prefix) (List.length ops));
+        (prefix, st)
+  in
   let finish ~name result =
     (match result.Search.Space.outcome with
     | Search.Space.Found { path; _ } ->
@@ -264,6 +311,9 @@ let discover_run ?(registry = Fira.Semfun.empty_registry)
               result.Search.Space.stats.Search.Space.examined));
     match result.Search.Space.outcome with
     | Search.Space.Found { path; _ } ->
+        (* The reported mapping replays from the original source, so the
+           warm prefix is part of it. *)
+        let path = warm_prefix @ path in
         if Telemetry.enabled telemetry then
           List.iter
             (fun op -> Telemetry.count telemetry (applied_event op) 1)
@@ -346,15 +396,15 @@ let discover_run ?(registry = Fira.Semfun.empty_registry)
       in
       finish ~name:(algorithm_name alg) result
 
-let discover ?registry ?stop config ~source ~target =
+let discover ?registry ?stop ?warm_start config ~source ~target =
   let outcome =
     Telemetry.span config.telemetry "discover" (fun () ->
-        discover_run ?registry ?stop config ~source ~target)
+        discover_run ?registry ?stop ?warm_start config ~source ~target)
   in
   Telemetry.flush config.telemetry;
   outcome
 
-let discover_mapping ?registry ?stop config ~source ~target =
-  match discover ?registry ?stop config ~source ~target with
+let discover_mapping ?registry ?stop ?warm_start config ~source ~target =
+  match discover ?registry ?stop ?warm_start config ~source ~target with
   | Mapping m -> Some m
   | No_mapping _ | Gave_up _ -> None

@@ -83,6 +83,7 @@ type outcome =
 val discover :
   ?registry:Fira.Semfun.registry ->
   ?stop:(unit -> bool) ->
+  ?warm_start:Fira.Op.t list ->
   config ->
   source:Database.t ->
   target:Database.t ->
@@ -92,11 +93,22 @@ val discover :
     server shutdown, say. When it fires, the run winds down through the
     algorithms' [Cancelled] path (under {!Portfolio} the whole race is
     cancelled, see {!Search.Portfolio.race}) and [discover] reports
-    {!Gave_up} with honest partial stats. *)
+    {!Gave_up} with honest partial stats.
+
+    [warm_start] (default: none) seeds the search with a program believed
+    close to a solution — typically the normalized cached mapping of a
+    near-miss pair (see [Server.Cache.find_near]). The longest applicable
+    prefix is applied to the source (stopping early if the goal is
+    reached or the cell bound would be exceeded) and the search runs from
+    the resulting state; the prefix is prepended to any discovered path,
+    so the returned mapping still replays from the original source. A
+    live telemetry handle receives the prefix length as the
+    [discover.warm_ops] counter. *)
 
 val discover_mapping :
   ?registry:Fira.Semfun.registry ->
   ?stop:(unit -> bool) ->
+  ?warm_start:Fira.Op.t list ->
   config ->
   source:Database.t ->
   target:Database.t ->

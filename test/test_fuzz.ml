@@ -361,6 +361,78 @@ let prop_corpus_roundtrip =
       | Ok (_, Some _) -> false
       | Error m -> QCheck2.Test.fail_reportf "no round-trip: %s" m)
 
+(* --- drift perturbation and the algebra oracle modes --- *)
+
+let test_perturb_deterministic_and_consistent () =
+  let perturbed = ref 0 in
+  for seed = 1 to 50 do
+    let s = Scenario.generate ~depth:3 seed in
+    match Scenario.perturb s with
+    | None -> ()
+    | Some d ->
+        incr perturbed;
+        if Database.equal d.Scenario.source s.Scenario.source then
+          Alcotest.failf "seed %d: perturbation changed nothing" seed;
+        (* the drifted pair is still a consistent inverse-problem
+           instance *)
+        (match Scenario.replay d.registry d.program d.source with
+        | Some db when Database.equal db d.target -> ()
+        | _ -> Alcotest.failf "seed %d: drifted target inconsistent" seed);
+        (* deterministic: same scenario, same drift *)
+        (match Scenario.perturb s with
+        | Some d' when Database.equal d.source d'.Scenario.source -> ()
+        | _ -> Alcotest.failf "seed %d: perturb is nondeterministic" seed)
+  done;
+  (* the generator shapes always carry cells, so most scenarios must
+     admit a drift *)
+  Alcotest.(check bool)
+    (Printf.sprintf "most scenarios perturb (%d/50)" !perturbed)
+    true (!perturbed >= 25)
+
+let test_oracle_modes_verify () =
+  (* All three algebra modes over a seed batch: any wrong_mapping or
+     oracle_error is an algebra/codec bug. *)
+  List.iter
+    (fun mode ->
+      for seed = 1 to 40 do
+        let s = Scenario.generate ~depth:4 seed in
+        let r = Oracle.check_mode mode quick_oracle s in
+        match r.Oracle.outcome with
+        | Oracle.Wrong_mapping | Oracle.Oracle_error _ ->
+            Alcotest.failf "%s oracle failed on seed %d: %s"
+              (Oracle.mode_name mode) seed
+              (Oracle.outcome_name r.Oracle.outcome)
+        | _ -> ()
+      done)
+    [ Oracle.Invert; Oracle.Compose; Oracle.Drift ]
+
+let test_oracle_mode_names_roundtrip () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Oracle.mode_name m ^ " round-trips") true
+        (Oracle.mode_of_string (Oracle.mode_name m) = Some m))
+    [ Oracle.Replay; Oracle.Invert; Oracle.Compose; Oracle.Drift ];
+  Alcotest.(check bool)
+    "unknown mode rejected" true
+    (Oracle.mode_of_string "nope" = None)
+
+let test_driver_runs_algebra_modes () =
+  List.iter
+    (fun mode ->
+      let config =
+        Driver.config ~oracle:quick_oracle ~oracle_mode:mode ~trials:10
+          ~seed:3 ~depth:3 ()
+      in
+      let summary = Driver.run config in
+      Alcotest.(check int)
+        (Oracle.mode_name mode ^ ": all trials ran")
+        10 summary.Driver.ran;
+      Alcotest.(check bool)
+        (Oracle.mode_name mode ^ ": clean")
+        true (Driver.clean summary))
+    [ Oracle.Invert; Oracle.Compose; Oracle.Drift ]
+
 let suite =
   [
     Alcotest.test_case "generate: deterministic in the seed" `Quick
@@ -395,6 +467,14 @@ let suite =
       test_driver_deadline;
     Alcotest.test_case "driver: jobs do not change trial outcomes" `Slow
       test_driver_jobs_deterministic_trials;
+    Alcotest.test_case "perturb: deterministic one-cell drift" `Quick
+      test_perturb_deterministic_and_consistent;
+    Alcotest.test_case "oracle modes: invert/compose/drift verify clean"
+      `Slow test_oracle_modes_verify;
+    Alcotest.test_case "oracle modes: names round-trip" `Quick
+      test_oracle_mode_names_roundtrip;
+    Alcotest.test_case "driver: algebra modes run end to end" `Quick
+      test_driver_runs_algebra_modes;
     Alcotest.test_case "tnf: all-null tuples are a pinned codec limit" `Quick
       test_tnf_all_null_row_limit;
     prop_parser_roundtrip;

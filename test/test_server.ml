@@ -207,7 +207,7 @@ let response_gen =
   let* res_heuristic = text in
   let* states_examined = int_range 0 1_000_000 in
   let* elapsed_ms = map (fun i -> float_of_int i /. 16.) (int_range 0 1_000_000) in
-  let* cache = oneofl [ "hit"; "miss" ] in
+  let* cache = oneofl [ "hit"; "warm"; "miss" ] in
   return
     {
       Protocol.outcome;
@@ -343,19 +343,29 @@ let test_discover_and_cache_hit () =
   Alcotest.(check string) "second is a hit" "hit" second.Protocol.cache;
   Alcotest.(check (option string))
     "same mapping" first.Protocol.mapping second.Protocol.mapping;
-  (* One perturbed cell → different fingerprint → miss. *)
+  (* One perturbed cell → different fingerprint, so the exact lookup
+     misses — but the near-miss sketch finds the cached pair and seeds
+     the search with its normalized program: a warm start, not a cold
+     miss. *)
   let source'' = [ ("R", "name,id\nalice,1\nbob,99\n") ] in
   let target'' = [ ("S", "name,id\nalice,1\nbob,99\n") ] in
   let req'' = Protocol.request ~source:source'' ~target:target'' () in
   let third = check_outcome "third" "mapping" (discover_once ~port req'') in
-  Alcotest.(check string) "perturbed cell misses" "miss" third.Protocol.cache;
+  Alcotest.(check string) "perturbed cell warms" "warm" third.Protocol.cache;
+  Alcotest.(check bool)
+    "warm search examines no more states than cold" true
+    (third.Protocol.states_examined <= first.Protocol.states_examined);
   let cache = Daemon.cache t in
   Alcotest.(check int) "cache holds both pairs" 2 (Cache.length cache);
   Alcotest.(check int) "one hit" 1 (Cache.hits cache);
   Alcotest.(check int) "two misses" 2 (Cache.misses cache);
+  Alcotest.(check int) "one warm" 1 (Cache.warms cache);
   Alcotest.(check int)
     "trace agrees on hits" 1
-    (Telemetry.Agg.counter agg "cache.hit")
+    (Telemetry.Agg.counter agg "cache.hit");
+  Alcotest.(check int)
+    "trace agrees on warms" 1
+    (Telemetry.Agg.counter agg "cache.warm")
 
 let test_goal_mode_mismatch_is_a_miss () =
   with_daemon @@ fun t _agg ->
@@ -497,6 +507,7 @@ let test_stats_reconcile_with_trace () =
   check [ "responses"; "mapping" ] "server.response.mapping";
   check [ "cache"; "hits" ] "cache.hit";
   check [ "cache"; "misses" ] "cache.miss";
+  check [ "cache"; "warms" ] "cache.warm";
   check [ "search"; "states_examined" ] "server.states_examined";
   Alcotest.(check int) "two discovers" 2
     (stats_counter stats [ "requests"; "discover" ]);

@@ -170,6 +170,102 @@ let test_concurrent_access_is_consistent () =
   let finds = Cache.hits c + Cache.misses c in
   Alcotest.(check bool) "every find was counted" true (finds > 0)
 
+(* --- near-miss sketches (the warm-start seed path) --- *)
+
+let db_of_csv relations =
+  List.fold_left
+    (fun db (name, text) -> Database.add db name (Csv.parse_relation text))
+    Database.empty relations
+
+(* Key and sketch of a CSV pair, exactly as the daemon prepares one. *)
+let pair source target =
+  let source = db_of_csv source and target = db_of_csv target in
+  ( (Fingerprint.of_database source, Fingerprint.of_database target),
+    Cache.sketch_of_pair ~source ~target )
+
+let base_source = [ ("R", "name,id\nalice,1\nbob,2\ncarol,3\n") ]
+let base_target = [ ("S", "id\n1\n2\n3\n") ]
+
+(* One cell of the target perturbed — the drift scenario. *)
+let drifted_target = [ ("S", "id\n1\n2\n4\n") ]
+
+(* No shared schema or rows with the base pair at all. *)
+let unrelated_source = [ ("X", "color\nred\ngreen\n") ]
+let unrelated_target = [ ("Y", "len\nfoo\nbar\n") ]
+
+let test_sketch_distance_shape () =
+  let _, sk = pair base_source base_target in
+  Alcotest.(check (float 1e-9))
+    "identical pair at 0" 0.0 (Cache.sketch_distance sk sk);
+  let _, sk_drift = pair base_source drifted_target in
+  let d = Cache.sketch_distance sk sk_drift in
+  Alcotest.(check bool)
+    "one-cell drift strictly inside (0, 1)" true
+    (d > 0.0 && d < 1.0);
+  let _, sk_far = pair unrelated_source unrelated_target in
+  Alcotest.(check (float 1e-9))
+    "unrelated pair at 1" 1.0 (Cache.sketch_distance sk sk_far)
+
+let test_find_near_warms_drifted_pair () =
+  let agg = Telemetry.Agg.create () in
+  let telemetry = Telemetry.create (Telemetry.Agg.sink agg) in
+  let c = Cache.create ~telemetry ~capacity:4 () in
+  let k, sk = pair base_source base_target in
+  Cache.add c ~sketch:sk k "mapping";
+  let _, sk_drift = pair base_source drifted_target in
+  (match Cache.find_near c ~max_dist:1.0 sk_drift with
+  | None -> Alcotest.fail "drifted pair did not warm"
+  | Some (v, d) ->
+      Alcotest.(check string) "warm value" "mapping" v;
+      Alcotest.(check bool) "warm distance < 1" true (d < 1.0));
+  let _, sk_far = pair unrelated_source unrelated_target in
+  Alcotest.(check bool)
+    "unrelated pair stays cold" true
+    (Cache.find_near c ~max_dist:1.0 sk_far = None);
+  Alcotest.(check int) "warms counter" 1 (Cache.warms c);
+  Alcotest.(check int)
+    "cache.warm events reconcile" (Cache.warms c)
+    (Telemetry.Agg.counter agg "cache.warm");
+  (* A warm probe is a hint, not a served answer. *)
+  Alcotest.(check int) "no hit recorded" 0 (Cache.hits c);
+  Alcotest.(check int) "no miss recorded" 0 (Cache.misses c)
+
+let test_find_near_does_not_promote () =
+  let c = Cache.create ~capacity:3 () in
+  let k1, sk1 = pair base_source base_target in
+  Cache.add c ~sketch:sk1 k1 "warmable";
+  Cache.add c (key 2) "2";
+  Cache.add c (key 3) "3";
+  let _, sk_drift = pair base_source drifted_target in
+  (match Cache.find_near c ~max_dist:1.0 sk_drift with
+  | Some _ -> ()
+  | None -> Alcotest.fail "probe should warm");
+  (* Recency order is exactly what the exact-key traffic produced: the
+     warmed entry is still the LRU victim. *)
+  check_keys "keys_lru_first unchanged" [ k1; key 2; key 3 ]
+    (Cache.keys_lru_first c);
+  Cache.add c (key 4) "4";
+  Alcotest.(check (option string))
+    "warmed entry still evicted first" None (Cache.find c k1)
+
+let test_find_near_skips_sketchless_and_invalid () =
+  let c = Cache.create ~capacity:4 () in
+  let k, sk = pair base_source base_target in
+  (* Same pair added without a sketch: invisible to near-miss probes. *)
+  Cache.add c k "no-sketch";
+  Alcotest.(check bool)
+    "sketchless entry never warms" true
+    (Cache.find_near c ~max_dist:1.0 sk = None);
+  Cache.add c ~sketch:sk k "with-sketch";
+  Alcotest.(check bool)
+    "re-add with sketch warms" true
+    (Cache.find_near c ~max_dist:1.0 sk <> None);
+  Alcotest.(check bool)
+    "valid rejection stays cold" true
+    (Cache.find_near c ~valid:(fun _ -> false) ~max_dist:1.0 sk = None);
+  (* Failed probes never count. *)
+  Alcotest.(check int) "warms counts successes only" 1 (Cache.warms c)
+
 let suite =
   [
     Alcotest.test_case "lru: eviction follows insertion order" `Quick
@@ -188,4 +284,12 @@ let suite =
       test_counters_reconcile_with_telemetry;
     Alcotest.test_case "threads: concurrent access stays consistent" `Quick
       test_concurrent_access_is_consistent;
+    Alcotest.test_case "near: sketch distance 0 / (0,1) / 1 shape" `Quick
+      test_sketch_distance_shape;
+    Alcotest.test_case "near: drifted pair warms, unrelated stays cold"
+      `Quick test_find_near_warms_drifted_pair;
+    Alcotest.test_case "near: probe does not promote or miscount" `Quick
+      test_find_near_does_not_promote;
+    Alcotest.test_case "near: sketchless and invalid entries skipped" `Quick
+      test_find_near_skips_sketchless_and_invalid;
   ]
