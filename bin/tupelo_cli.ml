@@ -415,8 +415,9 @@ let port_arg ~default =
     & info [ "p"; "port" ] ~docv:"PORT"
         ~doc:"TCP port (0 = pick an ephemeral port).")
 
-let serve_cmd_run host port queue workers jobs budget timeout_ms max_payload
-    cache_capacity no_search_telemetry trace metrics =
+let serve_cmd_run host port queue workers jobs budget timeout_ms
+    read_timeout_ms max_payload cache_capacity cache_shards
+    no_search_telemetry trace metrics =
   try
     let agg = if metrics then Some (Telemetry.Agg.create ()) else None in
     let with_trace k =
@@ -442,16 +443,16 @@ let serve_cmd_run host port queue workers jobs budget timeout_ms max_payload
     in
     let config =
       Server.Daemon.config ~host ~port ~queue_capacity:queue ~workers ~jobs
-        ~budget ~timeout_ms ~max_payload ~cache_capacity
-        ~search_telemetry:(not no_search_telemetry) ?trace_sink ()
+        ~budget ~timeout_ms ~read_timeout_ms ~max_payload ~cache_capacity
+        ~cache_shards ~search_telemetry:(not no_search_telemetry) ?trace_sink
+        ()
     in
     (* Report the bound address before blocking: scripts wait for this
        line, then talk to the port (which matters with --port 0). *)
     let t = Server.Daemon.start config in
     Printf.printf "tupelo server listening on %s:%d\n%!" host
       (Server.Daemon.port t);
-    let stop_requested = ref false in
-    let handle = Sys.Signal_handle (fun _ -> stop_requested := true) in
+    let handle = Sys.Signal_handle (fun _ -> Server.Daemon.request_stop t) in
     let prev_term = Sys.signal Sys.sigterm handle in
     let prev_int = Sys.signal Sys.sigint handle in
     Fun.protect
@@ -459,9 +460,7 @@ let serve_cmd_run host port queue workers jobs budget timeout_ms max_payload
         Sys.set_signal Sys.sigterm prev_term;
         Sys.set_signal Sys.sigint prev_int)
       (fun () ->
-        while not !stop_requested do
-          Thread.delay 0.2
-        done;
+        Server.Daemon.await_stop_request t;
         print_endline "shutting down: draining in-flight requests";
         Server.Daemon.stop t);
     (match agg with
@@ -488,7 +487,7 @@ let serve_cmd =
   let workers =
     Arg.(
       value & opt int 2
-      & info [ "workers" ] ~docv:"N" ~doc:"Discovery worker threads.")
+      & info [ "workers" ] ~docv:"N" ~doc:"Discovery worker domains.")
   in
   let timeout =
     Arg.(
@@ -498,12 +497,30 @@ let serve_cmd =
             "Default per-request deadline; a search past it is \
              cancelled cooperatively and reported as a timeout.")
   in
+  let read_timeout =
+    Arg.(
+      value & opt int 10_000
+      & info [ "read-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Deadline for completing a partially received request; a \
+             connection dribbling a header slower than this gets 408 \
+             and is closed (slow-loris protection).")
+  in
   let max_payload =
     Arg.(
       value
       & opt int (8 * 1024 * 1024)
       & info [ "max-payload" ] ~docv:"BYTES"
           ~doc:"Request-body and per-relation CSV size limit (413 beyond).")
+  in
+  let cache_shards =
+    Arg.(
+      value & opt int 8
+      & info [ "cache-shards" ] ~docv:"N"
+          ~doc:
+            "Independent LRU shards in the mapping cache (per-shard \
+             locks; routed by schema fingerprints so drifted pairs \
+             warm-start from their owning shard).")
   in
   let cache_capacity =
     Arg.(
@@ -525,8 +542,9 @@ let serve_cmd =
     Term.(
       ret
         (const serve_cmd_run $ host_arg $ port_arg ~default:8080 $ queue
-       $ workers $ jobs_arg $ budget_arg $ timeout $ max_payload
-       $ cache_capacity $ no_search_telemetry $ trace_arg $ metrics_arg))
+       $ workers $ jobs_arg $ budget_arg $ timeout $ read_timeout
+       $ max_payload $ cache_capacity $ cache_shards $ no_search_telemetry
+       $ trace_arg $ metrics_arg))
 
 (* --- request --- *)
 

@@ -14,7 +14,13 @@ let resolve host =
 let connect ~host ~port =
   let addr = resolve host in
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+  (try
+     Unix.connect fd (Unix.ADDR_INET (addr, port));
+     (* request-response over a kept-alive connection: without NODELAY,
+        Nagle holds the request's last segment until the server's
+        delayed ACK (~40 ms tail on the cache-hit path) *)
+     try Unix.setsockopt fd Unix.TCP_NODELAY true
+     with Unix.Unix_error _ -> ()
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);

@@ -8,16 +8,19 @@ type config = {
   jobs : int;
   budget : int;
   timeout_ms : int;
+  read_timeout_ms : int;
   max_payload : int;
   cache_capacity : int;
+  cache_shards : int;
   search_telemetry : bool;
   trace_sink : Telemetry.Sink.t option;
 }
 
 let config ?(host = "127.0.0.1") ?(port = 8080) ?(queue_capacity = 64)
     ?(workers = 2) ?(jobs = 1) ?(budget = 1_000_000) ?(timeout_ms = 30_000)
-    ?(max_payload = 8 * 1024 * 1024) ?(cache_capacity = 256)
-    ?(search_telemetry = true) ?trace_sink () =
+    ?(read_timeout_ms = 10_000) ?(max_payload = 8 * 1024 * 1024)
+    ?(cache_capacity = 256) ?(cache_shards = 8) ?(search_telemetry = true)
+    ?trace_sink () =
   let positive what v =
     if v < 1 then
       invalid_arg (Printf.sprintf "Daemon.config: %s must be >= 1" what)
@@ -27,8 +30,10 @@ let config ?(host = "127.0.0.1") ?(port = 8080) ?(queue_capacity = 64)
   positive "jobs" jobs;
   positive "budget" budget;
   positive "timeout_ms" timeout_ms;
+  positive "read_timeout_ms" read_timeout_ms;
   positive "max_payload" max_payload;
   positive "cache_capacity" cache_capacity;
+  positive "cache_shards" cache_shards;
   if port < 0 || port > 65535 then
     invalid_arg "Daemon.config: port must be in [0, 65535]";
   {
@@ -39,11 +44,18 @@ let config ?(host = "127.0.0.1") ?(port = 8080) ?(queue_capacity = 64)
     jobs;
     budget;
     timeout_ms;
+    read_timeout_ms;
     max_payload;
     cache_capacity;
+    cache_shards;
     search_telemetry;
     trace_sink;
   }
+
+(* Bodies up to this size are JSON-parsed and fingerprinted on the event
+   loop (so cache hits never queue behind a search); larger ones are
+   shipped whole to the worker pool, which does everything off-loop. *)
+let loop_parse_max = 64 * 1024
 
 (* --- event names (the /stats contract; see stats_json) --- *)
 
@@ -56,6 +68,7 @@ module Ev = struct
   let reject_payload = "server.reject.payload"
   let reject_busy = "server.reject.busy"
   let reject_shutdown = "server.reject.shutdown"
+  let reject_timeout = "server.reject.timeout"
   let resp outcome = "server.response." ^ outcome
   let states = "server.states_examined"
   let span = "server.request"
@@ -74,7 +87,9 @@ type prepared = {
   p_jobs : int;
   p_timeout_ms : int;
   p_key : Cache.key;
-  p_sketch : Cache.sketch;
+  p_route : Cache.route;
+      (** shard route; the full near-miss sketch is only computed by a
+          worker on the miss path, never on the event loop *)
 }
 
 exception Prep of string
@@ -130,37 +145,29 @@ let prepare cfg (r : Protocol.discover_request) =
       p_key =
         ( Fingerprint.of_database p_source,
           Fingerprint.of_database p_target );
-      p_sketch = Cache.sketch_of_pair ~source:p_source ~target:p_target;
+      p_route = Cache.route_of_pair ~source:p_source ~target:p_target;
     }
   with
   | p -> Ok p
   | exception Prep m -> Error m
 
-(* --- jobs: a prepared request plus the cell the handler waits on --- *)
+(* --- work shipped from the event loop to the domain pool --- *)
 
-type job = {
-  prep : prepared;
-  jwarm : Fira.Op.t list;
-      (** warm-start program from a near-miss cache entry; [[]] = cold *)
-  jm : Mutex.t;
-  jcv : Condition.t;
-  mutable jresp : Protocol.discover_response option;
-}
+type work =
+  | W_search of {
+      w_cid : int;
+      w_keep : bool;
+      w_prep : prepared;
+      w_started : float;
+    }  (** exact cache miss: worker sketches, warm-probes, searches *)
+  | W_full of {
+      f_cid : int;
+      f_keep : bool;
+      f_body : string;
+      f_started : float;
+    }  (** oversized body: worker parses JSON, prepares and serves *)
 
-let job_deliver job resp =
-  Mutex.lock job.jm;
-  job.jresp <- Some resp;
-  Condition.signal job.jcv;
-  Mutex.unlock job.jm
-
-let job_await job =
-  Mutex.lock job.jm;
-  while job.jresp = None do
-    Condition.wait job.jcv job.jm
-  done;
-  let r = Option.get job.jresp in
-  Mutex.unlock job.jm;
-  r
+type completion = { c_cid : int; c_keep : bool; c_resp : Http.response }
 
 (* --- server state --- *)
 
@@ -169,20 +176,19 @@ type t = {
   tel : Telemetry.t;  (** external sink teed with [agg] *)
   agg : Telemetry.Agg.t;
   mapping_cache : Cache_entry.t Cache.t;
-  queue : (job * float) Admission.t;
-      (** jobs stamped with the handler-side start of processing *)
+  queue : work Admission.t;
   listen_fd : Unix.file_descr;
   bound_port : int;
   shutdown : bool Atomic.t;
-  wake_r : Unix.file_descr;
+  wake_r : Unix.file_descr;  (** worker → event loop (and stop → loop) *)
   wake_w : Unix.file_descr;
-  conns : (int, Unix.file_descr) Hashtbl.t;
-  handlers : (int, Thread.t) Hashtbl.t;
-  conns_mu : Mutex.t;
-  next_conn : int Atomic.t;
+  notify_r : Unix.file_descr;  (** request_stop → await_stop_request *)
+  notify_w : Unix.file_descr;
+  comp_mu : Mutex.t;
+  mutable completions : completion list;  (** newest first *)
   started_at : float;
-  mutable accept_thread : Thread.t option;
-  mutable worker_threads : Thread.t list;
+  mutable loop_thread : Thread.t option;
+  mutable worker_domains : unit Domain.t list;
   stop_mu : Mutex.t;
   mutable stopped : bool;
 }
@@ -222,6 +228,7 @@ let stats_json t =
                ("payload", c Ev.reject_payload);
                ("busy", c Ev.reject_busy);
                ("shutdown", c Ev.reject_shutdown);
+               ("timeout", c Ev.reject_timeout);
              ] );
          ( "responses",
            Json.Obj
@@ -238,6 +245,8 @@ let stats_json t =
                  Json.Num (float_of_int (Cache.length t.mapping_cache)) );
                ( "capacity",
                  Json.Num (float_of_int (Cache.capacity t.mapping_cache)) );
+               ( "shards",
+                 Json.Num (float_of_int (Cache.shards t.mapping_cache)) );
                ("hits", c "cache.hit");
                ("misses", c "cache.miss");
                ("warms", c "cache.warm");
@@ -246,7 +255,7 @@ let stats_json t =
          ("search", Json.Obj [ ("states_examined", c Ev.states) ]);
        ])
 
-(* --- the discovery worker --- *)
+(* --- the discovery worker (runs on pool domains) --- *)
 
 let response_of_entry (e : Cache_entry.t) ~elapsed_ms ~cache :
     Protocol.discover_response =
@@ -262,11 +271,10 @@ let response_of_entry (e : Cache_entry.t) ~elapsed_ms ~cache :
     cache;
   }
 
-let execute t job started =
-  let p = job.prep in
+let execute t (p : prepared) ~warm ~sketch started =
   (* "warm" when a near-miss cache entry seeded the search, "miss" for a
      cold search — whatever the outcome, so clients can attribute cost. *)
-  let cache_label = if job.jwarm = [] then "miss" else "warm" in
+  let cache_label = if warm = [] then "miss" else "warm" in
   let deadline =
     Unix.gettimeofday () +. (float_of_int p.p_timeout_ms /. 1000.)
   in
@@ -289,8 +297,8 @@ let execute t job started =
       ()
   in
   let outcome =
-    Tupelo.Discover.discover ~registry:p.p_registry ~stop
-      ~warm_start:job.jwarm dconfig ~source:p.p_source ~target:p.p_target
+    Tupelo.Discover.discover ~registry:p.p_registry ~stop ~warm_start:warm
+      dconfig ~source:p.p_source ~target:p.p_target
   in
   let elapsed_ms = (Unix.gettimeofday () -. started) *. 1000. in
   let resp =
@@ -308,7 +316,7 @@ let execute t job started =
               m.Tupelo.Mapping.stats.Search.Space.examined;
           }
         in
-        Cache.add t.mapping_cache ~sketch:p.p_sketch p.p_key entry;
+        Cache.add t.mapping_cache ~sketch p.p_key entry;
         response_of_entry entry ~elapsed_ms ~cache:cache_label
     | Tupelo.Discover.No_mapping stats | Tupelo.Discover.Gave_up stats ->
         let outcome_name =
@@ -333,213 +341,482 @@ let execute t job started =
   Telemetry.count t.tel Ev.states resp.Protocol.states_examined;
   resp
 
+(* Exact miss: sketch the pair (off-loop — sorting every row term is the
+   expensive part of near-miss matching), probe the owning shard for a
+   warm seed, then search. *)
+let run_discover t (p : prepared) started =
+  let goal_matches e = e.Cache_entry.goal = p.p_goal in
+  let sketch = Cache.sketch_of_pair ~source:p.p_source ~target:p.p_target in
+  let warm =
+    match
+      Cache.find_near t.mapping_cache ~valid:goal_matches ~max_dist:1.0
+        sketch
+    with
+    | None -> []
+    | Some (entry, _dist) -> (
+        (* Entries whose saved expression fails to parse (impossible for
+           entries this server wrote, but the label is client-visible)
+           fall back to a cold search. *)
+        match Fira.Parser.expr_of_string entry.Cache_entry.expr with
+        | Ok e -> Fira.Algebra.normalize (Fira.Expr.ops e)
+        | Error _ -> [])
+  in
+  execute t p ~warm ~sketch started
+
+let error_response exn started =
+  (* a worker must never die: report the failure as a response *)
+  {
+    Protocol.outcome = "gave_up";
+    mapping = None;
+    expr = None;
+    operators = 0;
+    res_algorithm = "error";
+    res_heuristic = Printexc.to_string exn;
+    states_examined = 0;
+    elapsed_ms = (Unix.gettimeofday () -. started) *. 1000.;
+    cache = "miss";
+  }
+
+let encode_discover resp =
+  Http.response 200 (Json.to_string (Protocol.encode_response resp))
+
+(* The oversized-body path: everything the event loop would have done
+   (JSON parse, decode, prepare, cache probe), off-loop. *)
+let full_response t body started =
+  let parsed =
+    match Json.parse body with
+    | Error m -> Error m
+    | Ok json -> (
+        match Protocol.decode_request json with
+        | Error m -> Error m
+        | Ok dreq -> prepare t.cfg dreq)
+  in
+  match parsed with
+  | Error m ->
+      Telemetry.count t.tel Ev.reject_bad 1;
+      Http.response 400 (Protocol.error_body m)
+  | Ok prep -> (
+      let goal_matches e = e.Cache_entry.goal = prep.p_goal in
+      match
+        Cache.find t.mapping_cache ~valid:goal_matches ~route:prep.p_route
+          prep.p_key
+      with
+      | Some entry ->
+          let elapsed_ms = (Unix.gettimeofday () -. started) *. 1000. in
+          Telemetry.count t.tel (Ev.resp "mapping") 1;
+          encode_discover (response_of_entry entry ~elapsed_ms ~cache:"hit")
+      | None -> encode_discover (run_discover t prep started))
+
+let post_completion t comp =
+  Mutex.lock t.comp_mu;
+  t.completions <- comp :: t.completions;
+  Mutex.unlock t.comp_mu;
+  (* wake the event loop; harmless if it is already awake or gone *)
+  try ignore (Unix.write_substring t.wake_w "c" 0 1)
+  with Unix.Unix_error _ -> ()
+
 let worker_loop t =
   let rec go () =
     match Admission.take t.queue with
     | None -> ()
-    | Some (job, started) ->
-        (let resp =
-           try execute t job started
-           with exn ->
-             (* a worker must never die: report the failure as a
-                response so the handler (and its client) see it *)
-             {
-               Protocol.outcome = "gave_up";
-               mapping = None;
-               expr = None;
-               operators = 0;
-               res_algorithm = "error";
-               res_heuristic = Printexc.to_string exn;
-               states_examined = 0;
-               elapsed_ms = (Unix.gettimeofday () -. started) *. 1000.;
-               cache = "miss";
-             }
-         in
-         job_deliver job resp);
+    | Some work ->
+        let comp =
+          match work with
+          | W_search w ->
+              let resp =
+                try encode_discover (run_discover t w.w_prep w.w_started)
+                with exn ->
+                  encode_discover (error_response exn w.w_started)
+              in
+              { c_cid = w.w_cid; c_keep = w.w_keep; c_resp = resp }
+          | W_full f ->
+              let resp =
+                try full_response t f.f_body f.f_started
+                with exn ->
+                  encode_discover (error_response exn f.f_started)
+              in
+              { c_cid = f.f_cid; c_keep = f.f_keep; c_resp = resp }
+        in
+        post_completion t comp;
+        (* collect this domain's (large) minor heap now, while idle
+           between jobs and right after the response was posted — most
+           of the search's young allocation is already dead, so the
+           pause is short, and it keeps the deferred collection from
+           landing mid-flood on the reactor's hit path later *)
+        Gc.minor ();
         go ()
   in
   go ()
 
-(* --- connection handling --- *)
+(* --- the reactor: one thread, non-blocking fds, per-connection state
+   machines over Http.parse_buffered --- *)
 
-let write_all fd s =
-  let len = String.length s in
-  let rec go off =
-    if off < len then
-      let n = Unix.write_substring fd s off (len - off) in
-      go (off + n)
-  in
-  go 0
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  mutable inbuf : Bytes.t;
+  mutable inlen : int;  (** bytes of [inbuf] holding unparsed input *)
+  outq : string Queue.t;  (** serialized responses awaiting the socket *)
+  mutable outpos : int;  (** bytes of the queue's front already written *)
+  mutable in_flight : bool;
+      (** a request is at the pool; reads pause so responses stay in
+          request order, buffered pipelined bytes wait *)
+  mutable close_after_flush : bool;
+  mutable peer_eof : bool;
+  mutable dead : bool;  (** socket error; close without flushing *)
+  mutable read_deadline : float;
+      (** absolute deadline for completing a partially received request;
+          [infinity] when the buffer holds no partial request *)
+}
 
-let respond t fd ~keep_alive status body =
-  Http.write_response ~keep_alive (write_all fd) (Http.response status body);
-  Telemetry.flush t.tel
+let enqueue_response c ~keep resp =
+  Http.write_response ~keep_alive:keep (fun s -> Queue.push s c.outq) resp;
+  if not keep then c.close_after_flush <- true
 
-let handle_discover t fd ~keep_alive (req : Http.request) =
-  let started = Unix.gettimeofday () in
-  Telemetry.count t.tel Ev.req_discover 1;
-  match Json.parse req.Http.body with
-  | Error m ->
-      Telemetry.count t.tel Ev.reject_bad 1;
-      respond t fd ~keep_alive 400 (Protocol.error_body m)
-  | Ok json -> (
-      match Protocol.decode_request json with
-      | Error m ->
-          Telemetry.count t.tel Ev.reject_bad 1;
-          respond t fd ~keep_alive 400 (Protocol.error_body m)
-      | Ok dreq -> (
-          match prepare t.cfg dreq with
-          | Error m ->
-              Telemetry.count t.tel Ev.reject_bad 1;
-              respond t fd ~keep_alive 400 (Protocol.error_body m)
-          | Ok prep -> (
-              let goal_matches e = e.Cache_entry.goal = prep.p_goal in
-              match
-                Cache.find t.mapping_cache ~valid:goal_matches prep.p_key
-              with
-              | Some entry ->
-                  let elapsed_ms =
-                    (Unix.gettimeofday () -. started) *. 1000.
-                  in
-                  Telemetry.count t.tel (Ev.resp "mapping") 1;
-                  respond t fd ~keep_alive 200
-                    (Json.to_string
-                       (Protocol.encode_response
-                          (response_of_entry entry ~elapsed_ms ~cache:"hit")))
-              | None -> (
-                  (* Near-miss path: seed discovery with the normalized
-                     program of the closest cached pair sharing at least
-                     one schema or row term. Entries whose saved
-                     expression fails to parse (impossible for entries
-                     this server wrote, but the label is client-visible)
-                     fall back to a cold search. *)
-                  let warm =
-                    match
-                      Cache.find_near t.mapping_cache ~valid:goal_matches
-                        ~max_dist:1.0 prep.p_sketch
-                    with
-                    | None -> []
-                    | Some (entry, _dist) -> (
-                        match
-                          Fira.Parser.expr_of_string entry.Cache_entry.expr
-                        with
-                        | Ok e -> Fira.Algebra.normalize (Fira.Expr.ops e)
-                        | Error _ -> [])
-                  in
-                  let job =
-                    {
-                      prep;
-                      jwarm = warm;
-                      jm = Mutex.create ();
-                      jcv = Condition.create ();
-                      jresp = None;
-                    }
-                  in
-                  match Admission.submit t.queue (job, started) with
-                  | `Busy ->
-                      Telemetry.count t.tel Ev.reject_busy 1;
-                      respond t fd ~keep_alive 429
-                        (Protocol.error_body "admission queue is full")
-                  | `Closed ->
-                      Telemetry.count t.tel Ev.reject_shutdown 1;
-                      respond t fd ~keep_alive:false 503
-                        (Protocol.error_body "server is shutting down")
-                  | `Admitted ->
-                      let resp = job_await job in
-                      respond t fd ~keep_alive 200
-                        (Json.to_string (Protocol.encode_response resp))))))
-
-let handle_request t fd ~keep_alive (req : Http.request) =
-  Telemetry.span t.tel Ev.span @@ fun () ->
-  match (req.Http.meth, req.Http.path) with
-  | "GET", "/healthz" ->
-      Telemetry.count t.tel Ev.req_healthz 1;
-      respond t fd ~keep_alive 200
-        (Json.to_string
-           (Json.Obj
-              [
-                ("status", Json.Str "ok");
-                ( "uptime_s",
-                  Json.Num (Unix.gettimeofday () -. t.started_at) );
-              ]))
-  | "GET", "/stats" ->
-      Telemetry.count t.tel Ev.req_stats 1;
-      respond t fd ~keep_alive 200 (stats_json t)
-  | "POST", "/discover" -> handle_discover t fd ~keep_alive req
-  | _, _ ->
-      Telemetry.count t.tel Ev.req_unknown 1;
-      respond t fd ~keep_alive 404 (Protocol.error_body "no such route")
-
-let connection_loop t fd =
-  let reader = Http.Reader.of_fd fd in
+let try_flush c =
   let rec go () =
-    match Http.read_request ~max_body:t.cfg.max_payload reader with
-    | None -> ()
-    | Some req ->
-        let keep_alive =
-          Http.keep_alive req && not (Atomic.get t.shutdown)
-        in
-        handle_request t fd ~keep_alive req;
-        if keep_alive then go ()
-  in
-  try go () with
-  | Http.Payload_too_large { limit; declared } ->
-      Telemetry.count t.tel Ev.reject_payload 1;
-      (try
-         respond t fd ~keep_alive:false 413
-           (Protocol.error_body
-              (Printf.sprintf
-                 "declared payload of %d bytes exceeds the %d-byte limit"
-                 declared limit))
-       with Unix.Unix_error _ -> ())
-  | Http.Bad_request m -> (
-      Telemetry.count t.tel Ev.reject_bad 1;
-      try respond t fd ~keep_alive:false 400 (Protocol.error_body m)
-      with Unix.Unix_error _ -> ())
-  | Unix.Unix_error _ -> ()
-
-let spawn_handler t fd =
-  let id = Atomic.fetch_and_add t.next_conn 1 in
-  Mutex.lock t.conns_mu;
-  Hashtbl.replace t.conns id fd;
-  Mutex.unlock t.conns_mu;
-  let thread =
-    Thread.create
-      (fun () ->
-        Fun.protect
-          ~finally:(fun () ->
-            (try Unix.close fd with Unix.Unix_error _ -> ());
-            Mutex.lock t.conns_mu;
-            Hashtbl.remove t.conns id;
-            Hashtbl.remove t.handlers id;
-            Mutex.unlock t.conns_mu)
-          (fun () -> connection_loop t fd))
-      ()
-  in
-  Mutex.lock t.conns_mu;
-  if Hashtbl.mem t.conns id then Hashtbl.replace t.handlers id thread;
-  Mutex.unlock t.conns_mu
-
-let accept_loop t =
-  let rec go () =
-    if not (Atomic.get t.shutdown) then begin
-      match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.) with
+    if not (Queue.is_empty c.outq) then begin
+      let s = Queue.peek c.outq in
+      match Unix.write_substring c.fd s c.outpos (String.length s - c.outpos)
+      with
+      | n ->
+          c.outpos <- c.outpos + n;
+          if c.outpos = String.length s then begin
+            ignore (Queue.pop c.outq);
+            c.outpos <- 0
+          end;
+          go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        ->
+          ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-      | readable, _, _ ->
-          if Atomic.get t.shutdown || List.mem t.wake_r readable then ()
-          else if List.mem t.listen_fd readable then begin
-            (match Unix.accept ~cloexec:true t.listen_fd with
-            | fd, _ -> spawn_handler t fd
-            | exception
-                Unix.Unix_error
-                  ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN), _, _) ->
-                ());
-            go ()
-          end
-          else go ()
+      | exception Unix.Unix_error _ -> c.dead <- true
     end
   in
   go ()
+
+let dispatch t c ~keep work =
+  match Admission.submit t.queue work with
+  | `Admitted -> c.in_flight <- true
+  | `Busy ->
+      Telemetry.count t.tel Ev.reject_busy 1;
+      enqueue_response c ~keep
+        (Http.response 429 (Protocol.error_body "admission queue is full"))
+  | `Closed ->
+      Telemetry.count t.tel Ev.reject_shutdown 1;
+      enqueue_response c ~keep:false
+        (Http.response 503 (Protocol.error_body "server is shutting down"))
+
+let handle_on_loop t c (req : Http.request) =
+  Telemetry.span t.tel Ev.span @@ fun () ->
+  let keep = Http.keep_alive req && not (Atomic.get t.shutdown) in
+  let started = Unix.gettimeofday () in
+  match (req.Http.meth, req.Http.path) with
+  | "GET", "/healthz" ->
+      Telemetry.count t.tel Ev.req_healthz 1;
+      enqueue_response c ~keep
+        (Http.response 200
+           (Json.to_string
+              (Json.Obj
+                 [
+                   ("status", Json.Str "ok");
+                   ( "uptime_s",
+                     Json.Num (Unix.gettimeofday () -. t.started_at) );
+                 ])))
+  | "GET", "/stats" ->
+      Telemetry.count t.tel Ev.req_stats 1;
+      enqueue_response c ~keep (Http.response 200 (stats_json t))
+  | "POST", "/discover" -> (
+      Telemetry.count t.tel Ev.req_discover 1;
+      if String.length req.Http.body > loop_parse_max then
+        dispatch t c ~keep
+          (W_full
+             {
+               f_cid = c.cid;
+               f_keep = keep;
+               f_body = req.Http.body;
+               f_started = started;
+             })
+      else
+        let parsed =
+          match Json.parse req.Http.body with
+          | Error m -> Error m
+          | Ok json -> (
+              match Protocol.decode_request json with
+              | Error m -> Error m
+              | Ok dreq -> prepare t.cfg dreq)
+        in
+        match parsed with
+        | Error m ->
+            Telemetry.count t.tel Ev.reject_bad 1;
+            enqueue_response c ~keep
+              (Http.response 400 (Protocol.error_body m))
+        | Ok prep -> (
+            let goal_matches e = e.Cache_entry.goal = prep.p_goal in
+            match
+              Cache.find t.mapping_cache ~valid:goal_matches
+                ~route:prep.p_route prep.p_key
+            with
+            | Some entry ->
+                let elapsed_ms =
+                  (Unix.gettimeofday () -. started) *. 1000.
+                in
+                Telemetry.count t.tel (Ev.resp "mapping") 1;
+                enqueue_response c ~keep
+                  (encode_discover
+                     (response_of_entry entry ~elapsed_ms ~cache:"hit"))
+            | None ->
+                dispatch t c ~keep
+                  (W_search
+                     {
+                       w_cid = c.cid;
+                       w_keep = keep;
+                       w_prep = prep;
+                       w_started = started;
+                     })))
+  | _, _ ->
+      Telemetry.count t.tel Ev.req_unknown 1;
+      enqueue_response c ~keep
+        (Http.response 404 (Protocol.error_body "no such route"))
+
+(* Carve and serve as many complete requests as the buffer holds.
+   Stops at a dispatch (response order = request order), on close, or
+   during shutdown (new requests are no longer served; the sweep will
+   close the connection once pending output is flushed). *)
+let rec process t c =
+  if c.in_flight || c.close_after_flush || c.dead || Atomic.get t.shutdown
+  then ()
+  else
+    match
+      Http.parse_buffered ~max_body:t.cfg.max_payload c.inbuf ~len:c.inlen
+    with
+    | `Need_more ->
+        if c.inlen = 0 then c.read_deadline <- infinity
+        else if c.read_deadline = infinity then
+          c.read_deadline <-
+            Unix.gettimeofday ()
+            +. (float_of_int t.cfg.read_timeout_ms /. 1000.)
+    | `Request (req, consumed) ->
+        let rest = c.inlen - consumed in
+        if rest > 0 then Bytes.blit c.inbuf consumed c.inbuf 0 rest;
+        c.inlen <- rest;
+        c.read_deadline <- infinity;
+        handle_on_loop t c req;
+        process t c
+    | exception Http.Bad_request m ->
+        Telemetry.count t.tel Ev.reject_bad 1;
+        c.inlen <- 0;
+        enqueue_response c ~keep:false
+          (Http.response 400 (Protocol.error_body m))
+    | exception Http.Payload_too_large { limit; declared } ->
+        Telemetry.count t.tel Ev.reject_payload 1;
+        c.inlen <- 0;
+        enqueue_response c ~keep:false
+          (Http.response 413
+             (Protocol.error_body
+                (Printf.sprintf
+                   "declared payload of %d bytes exceeds the %d-byte limit"
+                   declared limit)))
+
+let on_readable t c =
+  let want = c.inlen + 16384 in
+  if Bytes.length c.inbuf < want then begin
+    let cap = ref (Bytes.length c.inbuf) in
+    while !cap < want do
+      cap := 2 * !cap
+    done;
+    let nbuf = Bytes.create !cap in
+    Bytes.blit c.inbuf 0 nbuf 0 c.inlen;
+    c.inbuf <- nbuf
+  end;
+  match Unix.read c.fd c.inbuf c.inlen (Bytes.length c.inbuf - c.inlen) with
+  | 0 ->
+      c.peer_eof <- true;
+      (* serve whatever complete requests were already buffered *)
+      process t c
+  | n ->
+      c.inlen <- c.inlen + n;
+      process t c
+  | exception
+      Unix.Unix_error
+        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+  | exception Unix.Unix_error _ -> c.dead <- true
+
+let timeout_conn t c =
+  Telemetry.count t.tel Ev.reject_timeout 1;
+  c.inlen <- 0;
+  c.read_deadline <- infinity;
+  enqueue_response c ~keep:false
+    (Http.response 408
+       (Protocol.error_body "timed out waiting for a complete request"))
+
+let serve_loop t =
+  let conns : (int, conn) Hashtbl.t = Hashtbl.create 64 in
+  let next_cid = ref 0 in
+  let gc_tick = ref 0 in
+  let listen_open = ref true in
+  let close_listen () =
+    if !listen_open then begin
+      listen_open := false;
+      try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+    end
+  in
+  let close_conn c =
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove conns c.cid
+  in
+  let drain_wake () =
+    let buf = Bytes.create 256 in
+    let rec go () =
+      match Unix.read t.wake_r buf 0 256 with
+      | 256 -> go ()
+      | _ -> ()
+      | exception
+          Unix.Unix_error
+            ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          ()
+    in
+    go ()
+  in
+  let deliver_completions () =
+    Mutex.lock t.comp_mu;
+    let comps = t.completions in
+    t.completions <- [];
+    Mutex.unlock t.comp_mu;
+    List.iter
+      (fun { c_cid; c_keep; c_resp } ->
+        match Hashtbl.find_opt conns c_cid with
+        | None -> () (* the connection died while its search ran *)
+        | Some c ->
+            c.in_flight <- false;
+            let keep =
+              c_keep && (not (Atomic.get t.shutdown)) && not c.peer_eof
+            in
+            enqueue_response c ~keep c_resp;
+            (* resume pipelined requests buffered behind the search *)
+            process t c)
+      (List.rev comps)
+  in
+  let accept_burst () =
+    let rec go () =
+      match Unix.accept ~cloexec:true t.listen_fd with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          (* the hit path writes one small response per request; without
+             NODELAY, Nagle + delayed ACK holds it hostage for ~40 ms *)
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          let cid = !next_cid in
+          incr next_cid;
+          Hashtbl.replace conns cid
+            {
+              cid;
+              fd;
+              inbuf = Bytes.create 4096;
+              inlen = 0;
+              outq = Queue.create ();
+              outpos = 0;
+              in_flight = false;
+              close_after_flush = false;
+              peer_eof = false;
+              dead = false;
+              read_deadline = infinity;
+            };
+          go ()
+      | exception
+          Unix.Unix_error
+            ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+              | Unix.ECONNABORTED ),
+              _,
+              _ ) ->
+          ()
+    in
+    go ()
+  in
+  let rec iterate () =
+    let sd = Atomic.get t.shutdown in
+    if sd then close_listen ();
+    (* sweep: closed by error, or nothing left to read/serve/flush *)
+    let victims =
+      Hashtbl.fold
+        (fun _ c acc ->
+          if
+            c.dead
+            || (c.close_after_flush || c.peer_eof || sd)
+               && (not c.in_flight)
+               && Queue.is_empty c.outq
+          then c :: acc
+          else acc)
+        conns []
+    in
+    List.iter close_conn victims;
+    if sd && Hashtbl.length conns = 0 then () (* loop exits; stop joins *)
+    else begin
+      let rd_conns = ref [] and wr_conns = ref [] in
+      let deadline = ref infinity in
+      Hashtbl.iter
+        (fun _ c ->
+          if not c.dead then begin
+            if not (Queue.is_empty c.outq) then wr_conns := c :: !wr_conns;
+            if
+              (not sd) && (not c.in_flight) && (not c.close_after_flush)
+              && not c.peer_eof
+            then begin
+              rd_conns := c :: !rd_conns;
+              if c.read_deadline < !deadline then
+                deadline := c.read_deadline
+            end
+          end)
+        conns;
+      let reads =
+        (if !listen_open && not sd then [ t.listen_fd ] else [])
+        @ (t.wake_r :: List.map (fun c -> c.fd) !rd_conns)
+      in
+      let writes = List.map (fun c -> c.fd) !wr_conns in
+      let timeout =
+        if !deadline = infinity then -1.
+        else max 0. (!deadline -. Unix.gettimeofday ())
+      in
+      match Unix.select reads writes [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> iterate ()
+      | readable, _writable, _ ->
+          if List.mem t.wake_r readable then drain_wake ();
+          deliver_completions ();
+          List.iter
+            (fun c -> if List.mem c.fd readable then on_readable t c)
+            !rd_conns;
+          if !listen_open && (not sd) && List.mem t.listen_fd readable then
+            accept_burst ();
+          let now = Unix.gettimeofday () in
+          Hashtbl.iter
+            (fun _ c ->
+              if
+                (not c.in_flight) && (not c.dead)
+                && c.read_deadline <= now
+              then timeout_conn t c)
+            conns;
+          (* flush everything with pending output; EAGAIN just leaves
+             the rest for the next readiness round *)
+          Hashtbl.iter
+            (fun _ c ->
+              if (not c.dead) && not (Queue.is_empty c.outq) then
+                try_flush c)
+            conns;
+          (* Pre-pay major-GC mark work in small bounded slices, a few
+             readiness rounds apart. Left to its own pacing the runtime
+             schedules slices at this thread's allocation points and
+             sizes them to catch up on whatever the rest of the process
+             promoted — after a burst of searches that lands a
+             tens-of-ms catch-up slice in the middle of the cache-hit
+             flood. Many small slices here keep the auto-pacer's debt
+             near zero, so no single request ever carries the bill. *)
+          incr gc_tick;
+          if !gc_tick land 7 = 0 then ignore (Gc.major_slice 4096);
+          iterate ()
+    end
+  in
+  iterate ()
 
 (* --- lifecycle --- *)
 
@@ -561,32 +838,36 @@ let start cfg =
       Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
       Unix.bind listen_fd
         (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
-      Unix.listen listen_fd 128;
+      Unix.listen listen_fd 512;
+      Unix.set_nonblock listen_fd;
       let bound_port =
         match Unix.getsockname listen_fd with
         | Unix.ADDR_INET (_, p) -> p
         | _ -> cfg.port
       in
       let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+      Unix.set_nonblock wake_r;
+      let notify_r, notify_w = Unix.pipe ~cloexec:true () in
       {
         cfg;
         tel;
         agg;
         mapping_cache =
-          Cache.create ~telemetry:tel ~capacity:cfg.cache_capacity ();
+          Cache.create ~telemetry:tel ~shards:cfg.cache_shards
+            ~capacity:cfg.cache_capacity ();
         queue = Admission.create ~telemetry:tel ~capacity:cfg.queue_capacity ();
         listen_fd;
         bound_port;
         shutdown = Atomic.make false;
         wake_r;
         wake_w;
-        conns = Hashtbl.create 32;
-        handlers = Hashtbl.create 32;
-        conns_mu = Mutex.create ();
-        next_conn = Atomic.make 0;
+        notify_r;
+        notify_w;
+        comp_mu = Mutex.create ();
+        completions = [];
         started_at = Unix.gettimeofday ();
-        accept_thread = None;
-        worker_threads = [];
+        loop_thread = None;
+        worker_domains = [];
         stop_mu = Mutex.create ();
         stopped = false;
       }
@@ -594,15 +875,65 @@ let start cfg =
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       raise e
   in
-  t.worker_threads <-
-    List.init cfg.workers (fun _ -> Thread.create (fun () -> worker_loop t) ());
-  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  (* [workers] is the number of concurrent searches; pack them as
+     threads onto at most [cores - 1] dedicated domains. On a big box
+     every worker gets its own domain (true parallelism); on a small
+     one the workers interleave as systhreads inside a single domain.
+     Never run more busy domains than cores: OCaml's minor collections
+     are stop-the-world across domains, so a second busy domain on a
+     one-core box turns every collection into a wait for the OS to
+     schedule the peer — measured as a ~2.5x slowdown on cold
+     searches. *)
+  let worker_domain_count =
+    max 1 (min cfg.workers (Domain.recommended_domain_count () - 1))
+  in
+  t.worker_domains <-
+    List.init worker_domain_count (fun d ->
+        let threads =
+          (cfg.workers / worker_domain_count)
+          + if d < cfg.workers mod worker_domain_count then 1 else 0
+        in
+        Domain.spawn (fun () ->
+            (* searches allocate hard, and every minor collection in
+               this domain is a stop-the-world handshake with every
+               other domain — a bigger minor heap here (and only here;
+               the reactor wants short pauses) cuts that cross-domain
+               tax by an order of magnitude *)
+            (try
+               Gc.set
+                 { (Gc.get ()) with Gc.minor_heap_size = 2 * 1024 * 1024 }
+             with Invalid_argument _ | Sys_error _ -> ());
+            List.init (threads - 1)
+              (fun _ -> Thread.create (fun () -> worker_loop t) ())
+            |> fun extra ->
+            worker_loop t;
+            List.iter Thread.join extra));
+  (* The reactor is a thread in the caller's domain, not a domain of
+     its own: under `tupelo serve` the main thread only blocks on the
+     stop pipe, so the loop effectively owns the domain, and keeping
+     the domain count at 1 + workers avoids paying cross-domain GC
+     synchronisation on every search minor collection. Embedders that
+     run busy threads of their own should expect ~50 ms systhread
+     tick granularity between those threads and the loop. *)
+  t.loop_thread <- Some (Thread.create (fun () -> serve_loop t) ());
   t
 
 let request_stop t =
-  if not (Atomic.exchange t.shutdown true) then
-    try ignore (Unix.write_substring t.wake_w "x" 0 1)
+  if not (Atomic.exchange t.shutdown true) then begin
+    (try ignore (Unix.write_substring t.wake_w "x" 0 1)
+     with Unix.Unix_error _ -> ());
+    try ignore (Unix.write_substring t.notify_w "x" 0 1)
     with Unix.Unix_error _ -> ()
+  end
+
+let await_stop_request t =
+  let rec wait () =
+    if not (Atomic.get t.shutdown) then
+      match Unix.select [ t.notify_r ] [] [] (-1.) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      | _ -> ()
+  in
+  wait ()
 
 let stop t =
   request_stop t;
@@ -612,30 +943,18 @@ let stop t =
     (fun () ->
       if not t.stopped then begin
         t.stopped <- true;
-        (match t.accept_thread with
+        (* the loop closes the listener, serves what was already read or
+           queued (workers still draining), flushes and closes every
+           connection, then exits *)
+        (match t.loop_thread with
         | Some th -> Thread.join th
         | None -> ());
-        (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-        (* Half-close every connection: idle keep-alive handlers see end
-           of input and wind down; a request already read keeps its
-           (still writable) socket and gets its response. *)
-        Mutex.lock t.conns_mu;
-        let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [] in
-        let handler_threads =
-          Hashtbl.fold (fun _ th acc -> th :: acc) t.handlers []
-        in
-        Mutex.unlock t.conns_mu;
-        List.iter
-          (fun fd ->
-            try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
-            with Unix.Unix_error _ -> ())
-          fds;
-        List.iter Thread.join handler_threads;
-        (* Every request that will ever be admitted has been; drain. *)
         Admission.close t.queue;
-        List.iter Thread.join t.worker_threads;
+        List.iter Domain.join t.worker_domains;
         (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
         (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+        (try Unix.close t.notify_r with Unix.Unix_error _ -> ());
+        (try Unix.close t.notify_w with Unix.Unix_error _ -> ());
         Telemetry.flush t.tel
       end)
 
@@ -649,7 +968,5 @@ let run cfg =
       Sys.set_signal Sys.sigterm prev_term;
       Sys.set_signal Sys.sigint prev_int)
     (fun () ->
-      while not (Atomic.get t.shutdown) do
-        Thread.delay 0.2
-      done;
+      await_stop_request t;
       stop t)

@@ -1,39 +1,55 @@
 (** The TUPELO mapping-discovery daemon.
 
-    A long-running HTTP/1.1 + JSON service (stdlib [Unix] + [Thread]
-    only) that amortizes discovery across requests:
+    A long-running HTTP/1.1 + JSON service (stdlib [Unix] + [Thread] +
+    [Domain] only) built as a readiness-driven event loop feeding a
+    pool of domains:
 
+    - One reactor thread owns every socket: non-blocking accept,
+      per-connection input buffers parsed incrementally
+      ({!Http.parse_buffered}), keep-alive with pipelining (responses
+      in request order), and non-blocking buffered writes. Cache hits,
+      [/healthz], [/stats] and every 4xx are answered directly on the
+      loop — they are never queued behind a search.
     - [POST /discover] — body {!Protocol.discover_request}: relations
-      inline as CSV. The handler parses and fingerprints the instances,
-      consults the {!Cache} (a hit answers without touching the search
-      engine or the queue), and otherwise submits the request to the
-      bounded {!Admission} queue — full queue means an immediate 429.
-      Discovery workers execute admitted requests on the existing
-      search engine ({!Tupelo.Discover} with the configured [jobs]
-      domains) under a per-request deadline enforced through the
-      cooperative [stop]/[Cancelled] path.
+      inline as CSV. The loop parses and fingerprints the instances
+      and consults the sharded {!Cache}; a hit answers immediately. A
+      miss is submitted to the bounded {!Admission} queue — full queue
+      means an immediate 429 — and executed by a pool of [workers]
+      OCaml domains ({!Tupelo.Discover} with the configured [jobs]
+      search domains, warm-started from near-miss cache entries) under
+      a per-request deadline enforced through the cooperative
+      [stop]/[Cancelled] path. Bodies over 64 KiB are shipped to the
+      pool whole, so the loop never JSON-parses a large payload.
     - [GET /healthz] — liveness.
     - [GET /stats] — a JSON snapshot whose counters are read from the
       same telemetry aggregate that backs the [--trace] sink, so the
       numbers reconcile exactly with an aggregated trace.
 
-    Error mapping: malformed HTTP or JSON → 400, oversized payload →
-    413, full queue → 429, shutting down → 503, unknown route → 404.
+    Error mapping: malformed HTTP or JSON → 400, a partial request
+    older than [read_timeout_ms] (slow loris) → 408 and close,
+    oversized payload → 413, full queue → 429, shutting down → 503,
+    unknown route → 404.
 
-    Shutdown ({!stop}, or SIGTERM/SIGINT under {!run}) is graceful:
-    stop accepting, half-close idle connections, let every request
-    already read or queued finish, join workers, flush telemetry. *)
+    Shutdown ({!stop}, or SIGTERM/SIGINT under {!run}) is graceful and
+    signalled, never polled: stop accepting, stop reading, let every
+    request already read or queued finish and flush, close every
+    connection, join the pool, flush telemetry. *)
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
   port : int;  (** 0 picks an ephemeral port (see {!port}) *)
   queue_capacity : int;  (** admission bound; beyond it requests get 429 *)
-  workers : int;  (** discovery worker threads *)
+  workers : int;  (** discovery worker domains *)
   jobs : int;  (** search domains per request (when the request says 0) *)
   budget : int;  (** cap on any request's states-examined budget *)
-  timeout_ms : int;  (** default per-request deadline *)
+  timeout_ms : int;  (** default per-request search deadline *)
+  read_timeout_ms : int;
+      (** reactor-side deadline for completing a partially received
+          request; a connection that dribbles a header slower than this
+          gets 408 and is closed *)
   max_payload : int;  (** request-body and per-relation CSV byte limit *)
-  cache_capacity : int;  (** LRU entries in the mapping cache *)
+  cache_capacity : int;  (** LRU entries in the mapping cache, all shards *)
+  cache_shards : int;  (** independent LRU shards (see {!Cache}) *)
   search_telemetry : bool;
       (** when true (default) the full search-engine event stream of
           every executed discovery flows to the sink; when false only
@@ -51,22 +67,26 @@ val config :
   ?jobs:int ->
   ?budget:int ->
   ?timeout_ms:int ->
+  ?read_timeout_ms:int ->
   ?max_payload:int ->
   ?cache_capacity:int ->
+  ?cache_shards:int ->
   ?search_telemetry:bool ->
   ?trace_sink:Telemetry.Sink.t ->
   unit ->
   config
-(** Defaults: 127.0.0.1:8080, queue 64, 2 workers, 1 job, one-million
-    state budget cap, 30s timeout, 8 MiB payloads, 256 cache entries,
-    search telemetry on, no external sink.
+(** Defaults: 127.0.0.1:8080, queue 64, 2 worker domains, 1 job,
+    one-million state budget cap, 30s search timeout, 10s read timeout,
+    8 MiB payloads, 256 cache entries in 8 shards, search telemetry on,
+    no external sink.
     @raise Invalid_argument on non-positive capacities/workers/limits. *)
 
 type t
 
 val start : config -> t
-(** Bind, listen and serve on background threads; returns once the
-    socket is accepting. @raise Unix.Unix_error if binding fails. *)
+(** Bind, listen, spawn the reactor thread and the worker domains;
+    returns once the socket is accepting.
+    @raise Unix.Unix_error if binding fails. *)
 
 val port : t -> int
 (** The bound port (useful with [port = 0]). *)
@@ -78,9 +98,20 @@ val cache : t -> Cache_entry.t Cache.t
 val stats_json : t -> string
 (** The [GET /stats] body. *)
 
+val request_stop : t -> unit
+(** Begin shutdown without waiting: flips the shutdown flag and wakes
+    both the reactor and {!await_stop_request}. Safe to call from a
+    signal handler; idempotent. *)
+
+val await_stop_request : t -> unit
+(** Block until {!request_stop} has been called (self-pipe, no
+    polling). Returns immediately if it already has. Must not be called
+    after {!stop} has returned. *)
+
 val stop : t -> unit
-(** Graceful shutdown as described above; idempotent, returns when all
-    threads are joined and telemetry is flushed. *)
+(** Graceful shutdown as described above; idempotent, returns when the
+    reactor and all worker domains are joined and telemetry is
+    flushed. *)
 
 val run : config -> unit
 (** {!start}, then block until SIGTERM or SIGINT, then {!stop}. *)

@@ -172,19 +172,24 @@ let read_headers reader =
   in
   go [] max_header_block
 
-let body_of reader headers ~max_body =
+let content_length headers ~max_body =
   (match List.assoc_opt "transfer-encoding" headers with
   | Some _ -> bad "chunked transfer encoding is not supported"
   | None -> ());
   match List.assoc_opt "content-length" headers with
-  | None -> ""
+  | None -> 0
   | Some v -> (
       match int_of_string_opt (String.trim v) with
       | None -> bad "malformed content-length %S" v
       | Some n when n < 0 -> bad "malformed content-length %S" v
       | Some n when n > max_body ->
           raise (Payload_too_large { limit = max_body; declared = n })
-      | Some n -> Reader.read_exact reader n)
+      | Some n -> n)
+
+let body_of reader headers ~max_body =
+  match content_length headers ~max_body with
+  | 0 -> ""
+  | n -> Reader.read_exact reader n
 
 let read_request ?(max_body = default_max_body) reader =
   (* RFC 9112 §2.2: tolerate a little CRLF noise before the request line *)
@@ -201,6 +206,68 @@ let read_request ?(max_body = default_max_body) reader =
   in
   go 2
 
+(* --- incremental (reactor-side) parsing ---
+
+   The event loop cannot block in [Reader.fill]: it owns many
+   connections and learns about new bytes from readiness events. It
+   accumulates raw bytes per connection and calls [parse_buffered] after
+   every read; the function either carves one complete request off the
+   front of the buffer or reports that the bytes so far are a valid
+   prefix ([`Need_more]). Malformed input raises the same exceptions as
+   the pull-based path, so the loop's error mapping is identical. *)
+
+(* Up to [skips] leading blank lines (CRLF noise between pipelined
+   requests, RFC 9112 §2.2) — mirrors [read_request]'s tolerance. *)
+let skip_blank_lines buf ~len =
+  let rec go pos skips =
+    if skips = 0 then pos
+    else if pos + 1 < len && Bytes.get buf pos = '\r'
+            && Bytes.get buf (pos + 1) = '\n' then go (pos + 2) (skips - 1)
+    else if pos < len && Bytes.get buf pos = '\n' then go (pos + 1) (skips - 1)
+    else pos
+  in
+  go 0 2
+
+(* Index one past the header block's terminating blank line, scanning
+   the first [len] bytes from [start]; [None] when the terminator has
+   not arrived yet. *)
+let header_block_end buf ~start ~len =
+  let rec scan i =
+    if i >= len then None
+    else if Bytes.get buf i <> '\n' then scan (i + 1)
+    else if i + 1 >= len then None (* '\n' at the edge: cannot tell yet *)
+    else if Bytes.get buf (i + 1) = '\n' then Some (i + 2)
+    else if Bytes.get buf (i + 1) = '\r' then
+      if i + 2 >= len then None
+      else if Bytes.get buf (i + 2) = '\n' then Some (i + 3)
+      else scan (i + 2)
+    else scan (i + 1)
+  in
+  scan start
+
+let parse_buffered ?(max_body = default_max_body) buf ~len =
+  let start = skip_blank_lines buf ~len in
+  if start >= len then `Need_more
+  else
+    match header_block_end buf ~start ~len with
+    | None ->
+        if len - start > max_header_block then
+          bad "header block exceeds %d bytes" max_header_block;
+        `Need_more
+    | Some hend ->
+        let reader = Reader.of_string (Bytes.sub_string buf start (hend - start)) in
+        let meth, path, version =
+          match Reader.read_line reader with
+          | None | Some "" -> bad "empty request line"
+          | Some line -> parse_request_line line
+        in
+        let headers = read_headers reader in
+        let clen = content_length headers ~max_body in
+        if hend + clen > len then `Need_more
+        else
+          let body = Bytes.sub_string buf hend clen in
+          `Request ({ meth; path; version; headers; body }, hend + clen)
+
 (* --- responses --- *)
 
 type response = {
@@ -215,6 +282,7 @@ let reason_phrase = function
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
   | 411 -> "Length Required"
   | 413 -> "Payload Too Large"
   | 429 -> "Too Many Requests"

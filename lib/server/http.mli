@@ -56,6 +56,25 @@ val read_request : ?max_body:int -> Reader.t -> request option
     block over 64 KiB, a chunked request, or input that ends mid-way.
     @raise Payload_too_large when [Content-Length] exceeds [max_body]. *)
 
+val parse_buffered :
+  ?max_body:int ->
+  Bytes.t ->
+  len:int ->
+  [ `Request of request * int | `Need_more ]
+(** Incremental (event-loop) counterpart of {!read_request}: attempt to
+    carve one complete request off the first [len] bytes of [buf] — a
+    connection's accumulated input. [`Request (r, consumed)] hands back
+    the request and how many leading bytes it occupied (including any
+    tolerated blank-line noise; the caller discards them and keeps the
+    rest for the next pipelined request); [`Need_more] means the bytes
+    so far are a valid prefix of a request and more input is needed.
+    Never blocks and never consumes on [`Need_more], so it is safe to
+    call after every readiness event.
+    @raise Bad_request on malformed input or a header block over 64 KiB.
+    @raise Payload_too_large when [Content-Length] exceeds [max_body]
+    (raised as soon as the headers are complete, before the body
+    arrives). *)
+
 type response = {
   status : int;
   reason : string;

@@ -266,11 +266,12 @@ let slow_pair i =
     [ ("S", Printf.sprintf "a,%d\nb,%d\nc,%d\n" (i + 1) (i + 2) i) ] )
 
 let with_daemon ?(workers = 2) ?(queue_capacity = 8) ?(timeout_ms = 30_000)
-    ?max_payload k =
+    ?read_timeout_ms ?max_payload k =
   let agg = Telemetry.Agg.create () in
   let config =
-    Daemon.config ~port:0 ~workers ~queue_capacity ~timeout_ms ?max_payload
-      ~search_telemetry:false ~trace_sink:(Telemetry.Agg.sink agg) ()
+    Daemon.config ~port:0 ~workers ~queue_capacity ~timeout_ms
+      ?read_timeout_ms ?max_payload ~search_telemetry:false
+      ~trace_sink:(Telemetry.Agg.sink agg) ()
   in
   let t = Daemon.start config in
   Fun.protect ~finally:(fun () -> Daemon.stop t) (fun () -> k t agg)
@@ -545,6 +546,179 @@ let test_graceful_drain () =
   | Error _ -> ()
   | Ok (s, _) -> Alcotest.failf "server still answering (%d) after stop" s
 
+(* --- reactor-level behaviour: raw sockets against the live daemon --- *)
+
+let raw_connect port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let send_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write_substring fd s off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let discover_body () =
+  let source, target = rename_pair () in
+  Json.to_string (Protocol.encode_request (Protocol.request ~source ~target ()))
+
+let post_discover body =
+  Printf.sprintf
+    "POST /discover HTTP/1.1\r\nhost: t\r\ncontent-type: \
+     application/json\r\ncontent-length: %d\r\n\r\n%s"
+    (String.length body) body
+
+let decoded_response body =
+  match Json.parse body with
+  | Error m -> Alcotest.failf "response is not JSON: %s" m
+  | Ok json -> (
+      match Protocol.decode_response json with
+      | Error m -> Alcotest.failf "response does not decode: %s" m
+      | Ok resp -> resp)
+
+let test_pipelined_requests () =
+  with_daemon @@ fun t _agg ->
+  let port = Daemon.port t in
+  let source, target = rename_pair () in
+  ignore
+    (check_outcome "warm-up" "mapping"
+       (discover_once ~port (Protocol.request ~source ~target ())));
+  (* Three requests in one write, no reads in between: the reactor must
+     answer all of them, in order, on the one connection. The middle one
+     is a discover that hits the warmed cache — served on the loop, the
+     pipelined /stats behind it not blocked by any search. *)
+  let burst =
+    "GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n"
+    ^ post_discover (discover_body ())
+    ^ "GET /stats HTTP/1.1\r\nhost: t\r\n\r\n"
+  in
+  let fd = raw_connect port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      send_all fd burst;
+      let reader = Http.Reader.of_fd fd in
+      let s1, _, b1 = Http.read_response reader in
+      let s2, _, b2 = Http.read_response reader in
+      let s3, _, b3 = Http.read_response reader in
+      Alcotest.(check (list int)) "three 200s in order" [ 200; 200; 200 ]
+        [ s1; s2; s3 ];
+      Alcotest.(check bool) "first is healthz" true
+        (String.length b1 > 0);
+      let resp = decoded_response b2 in
+      Alcotest.(check string) "pipelined discover hits" "hit"
+        resp.Protocol.cache;
+      match Json.parse b3 with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "stats is not JSON: %s" m)
+
+let test_byte_split_discover () =
+  with_daemon @@ fun t _agg ->
+  let port = Daemon.port t in
+  let source, target = rename_pair () in
+  ignore
+    (check_outcome "warm-up" "mapping"
+       (discover_once ~port (Protocol.request ~source ~target ())));
+  (* The whole request dribbled one byte per write: the incremental
+     parser must reassemble it across arbitrarily many readiness
+     events and still serve the cache hit. *)
+  let wire = post_discover (discover_body ()) in
+  let fd = raw_connect port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      String.iter
+        (fun ch -> send_all fd (String.make 1 ch))
+        wire;
+      let reader = Http.Reader.of_fd fd in
+      let status, _, body = Http.read_response reader in
+      Alcotest.(check int) "byte-split discover answers 200" 200 status;
+      let resp = decoded_response body in
+      Alcotest.(check string) "and hits the cache" "hit" resp.Protocol.cache)
+
+let test_slow_loris_read_deadline () =
+  with_daemon ~read_timeout_ms:200 @@ fun t agg ->
+  let port = Daemon.port t in
+  let fd = raw_connect port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* a partial request line, then silence: the read deadline must
+         fire, answer 408 and close — not hold the connection open *)
+      send_all fd "GET /heal";
+      let reader = Http.Reader.of_fd fd in
+      let status, _, _ = Http.read_response reader in
+      Alcotest.(check int) "partial header answers 408" 408 status;
+      (* ... and the server closed its end afterwards *)
+      let buf = Bytes.create 1 in
+      Alcotest.(check int)
+        "connection closed after 408" 0
+        (Unix.read fd buf 0 1);
+      Alcotest.(check int)
+        "read timeout counted" 1
+        (Telemetry.Agg.counter agg "server.reject.timeout");
+      ignore t)
+
+let test_connection_reuse_after_4xx () =
+  with_daemon @@ fun t _agg ->
+  let port = Daemon.port t in
+  let source, target = rename_pair () in
+  ignore
+    (check_outcome "warm-up" "mapping"
+       (discover_once ~port (Protocol.request ~source ~target ())));
+  let conn = Client.connect ~host:"127.0.0.1" ~port in
+  Fun.protect
+    ~finally:(fun () -> Client.close conn)
+    (fun () ->
+      (* 404 then 400 are request-level errors, not connection-level:
+         the same connection keeps serving afterwards *)
+      (match Client.request conn ~meth:"GET" ~path:"/nope" () with
+      | Ok (404, _) -> ()
+      | _ -> Alcotest.fail "expected 404");
+      (match
+         Client.request conn ~meth:"POST" ~path:"/discover"
+           ~body:"{\"not\":" ()
+       with
+      | Ok (400, _) -> ()
+      | _ -> Alcotest.fail "expected 400");
+      (match Client.request conn ~meth:"GET" ~path:"/healthz" () with
+      | Ok (200, _) -> ()
+      | _ -> Alcotest.fail "healthz after 4xx must still answer");
+      match Client.discover conn (Protocol.request ~source ~target ()) with
+      | Ok (200, Ok resp) ->
+          Alcotest.(check string) "discover after 4xx hits" "hit"
+            resp.Protocol.cache
+      | _ -> Alcotest.fail "discover after 4xx must still answer")
+
+let test_big_body_offloaded () =
+  with_daemon @@ fun t _agg ->
+  let port = Daemon.port t in
+  (* A body over the 64 KiB on-loop parse bound takes the
+     ship-to-the-pool path: JSON parsing, preparation and the cache
+     probe all happen on a worker. Same rename workload, padded with
+     long values so the body crosses the bound while the instance stays
+     small enough for the search to solve. *)
+  let pad = String.make 400 'x' in
+  let rows =
+    String.concat ""
+      (List.init 200 (fun i -> Printf.sprintf "row%04d%s,%d\n" i pad i))
+  in
+  let csv = "name,id\n" ^ rows in
+  let req = Protocol.request ~source:[ ("R", csv) ] ~target:[ ("S", csv) ] () in
+  let body = Json.to_string (Protocol.encode_request req) in
+  Alcotest.(check bool)
+    "body actually exceeds the on-loop bound" true
+    (String.length body > 64 * 1024);
+  let first = check_outcome "big miss" "mapping" (discover_once ~port req) in
+  Alcotest.(check string) "first is a miss" "miss" first.Protocol.cache;
+  let second = check_outcome "big hit" "mapping" (discover_once ~port req) in
+  Alcotest.(check string)
+    "repeat is a cache hit through the pool" "hit" second.Protocol.cache
+
 let suite =
   [
     Alcotest.test_case "http: parses a simple request" `Quick
@@ -586,4 +760,14 @@ let suite =
       test_stats_reconcile_with_trace;
     Alcotest.test_case "e2e: graceful drain on stop" `Quick
       test_graceful_drain;
+    Alcotest.test_case "e2e: pipelined requests answered in order" `Quick
+      test_pipelined_requests;
+    Alcotest.test_case "e2e: request split at every byte boundary" `Quick
+      test_byte_split_discover;
+    Alcotest.test_case "e2e: slow-loris partial header answers 408" `Quick
+      test_slow_loris_read_deadline;
+    Alcotest.test_case "e2e: connection reuse after 4xx" `Quick
+      test_connection_reuse_after_4xx;
+    Alcotest.test_case "e2e: oversized body served through the pool" `Quick
+      test_big_body_offloaded;
   ]

@@ -266,6 +266,140 @@ let test_find_near_skips_sketchless_and_invalid () =
   (* Failed probes never count. *)
   Alcotest.(check int) "warms counts successes only" 1 (Cache.warms c)
 
+(* --- sharding --- *)
+
+(* A schema-distinct CSV pair: relation names carry [i], so each pair
+   carries its own schema-derived route. *)
+let routed_pair i =
+  pair
+    [ (Printf.sprintf "R%d" i, "name,id\nalice,1\nbob,2\n") ]
+    [ (Printf.sprintf "S%d" i, "id\n1\n2\n") ]
+
+let shard_of_pair c (k, sk) = Cache.shard_of c ~route:(Cache.sketch_route sk) k
+
+let test_sharded_counters_sum () =
+  let agg = Telemetry.Agg.create () in
+  let telemetry = Telemetry.create (Telemetry.Agg.sink agg) in
+  let c = Cache.create ~telemetry ~shards:4 ~capacity:8 () in
+  Alcotest.(check int) "shards" 4 (Cache.shards c);
+  Alcotest.(check int) "capacity split across shards" 8 (Cache.capacity c);
+  let pairs = List.init 16 routed_pair in
+  List.iter (fun (k, sk) -> Cache.add c ~sketch:sk k "v") pairs;
+  (* per shard: an independent exact LRU of at most capacity/shards *)
+  let per_shard = List.init 4 (fun s -> Cache.keys_lru_first ~shard:s c) in
+  List.iteri
+    (fun s keys ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d within its bound" s)
+        true
+        (List.length keys <= 2))
+    per_shard;
+  Alcotest.(check int)
+    "length = sum over shards"
+    (List.fold_left (fun a l -> a + List.length l) 0 per_shard)
+    (Cache.length c);
+  Alcotest.(check int)
+    "evictions account for the overflow"
+    (16 - Cache.length c) (Cache.evictions c);
+  (* probe every pair once: live keys hit, evicted keys miss *)
+  List.iter
+    (fun (k, sk) -> ignore (Cache.find c ~route:(Cache.sketch_route sk) k))
+    pairs;
+  Alcotest.(check int)
+    "hits + misses = probes" 16
+    (Cache.hits c + Cache.misses c);
+  Alcotest.(check int) "hits = live entries" (Cache.length c) (Cache.hits c);
+  (* the summed totals still reconcile with the telemetry stream *)
+  Alcotest.(check int)
+    "cache.hit events" (Cache.hits c)
+    (Telemetry.Agg.counter agg "cache.hit");
+  Alcotest.(check int)
+    "cache.miss events" (Cache.misses c)
+    (Telemetry.Agg.counter agg "cache.miss");
+  Alcotest.(check int)
+    "cache.evict events" (Cache.evictions c)
+    (Telemetry.Agg.counter agg "cache.evict")
+
+let test_per_shard_lru_order () =
+  let c = Cache.create ~shards:4 ~capacity:8 () in
+  (* two schema-distinct pairs that happen to share a shard *)
+  let a = routed_pair 0 in
+  let rec find_mate i =
+    let b = routed_pair i in
+    if shard_of_pair c b = shard_of_pair c a && not (key_equal (fst b) (fst a))
+    then b
+    else find_mate (i + 1)
+  in
+  let b = find_mate 1 in
+  let s = shard_of_pair c a in
+  Cache.add c ~sketch:(snd a) (fst a) "a";
+  Cache.add c ~sketch:(snd b) (fst b) "b";
+  check_keys "in-shard insertion order" [ fst a; fst b ]
+    (Cache.keys_lru_first ~shard:s c);
+  ignore (Cache.find c ~route:(Cache.sketch_route (snd a)) (fst a));
+  check_keys "promotion reorders only this shard" [ fst b; fst a ]
+    (Cache.keys_lru_first ~shard:s c);
+  List.iter
+    (fun s' ->
+      if s' <> s then
+        Alcotest.(check int)
+          (Printf.sprintf "shard %d untouched" s')
+          0
+          (List.length (Cache.keys_lru_first ~shard:s' c)))
+    [ 0; 1; 2; 3 ]
+
+let test_find_near_confined_to_owning_shard () =
+  let c = Cache.create ~shards:4 ~capacity:8 () in
+  let k, sk = pair base_source base_target in
+  Cache.add c ~sketch:sk k "mapping";
+  let owner = Cache.shard_of c ~route:(Cache.sketch_route sk) k in
+  Alcotest.(check int)
+    "entry lives in the shard its route selects" 1
+    (List.length (Cache.keys_lru_first ~shard:owner c));
+  (* a drifted probe routes identically — row perturbation never moves
+     the schema-derived route — so the single-shard scan still finds it *)
+  let _, sk_drift = pair base_source drifted_target in
+  Alcotest.(check int)
+    "drift routes to the same shard" owner
+    (Cache.shard_of c ~route:(Cache.sketch_route sk_drift) k);
+  (match Cache.find_near c ~max_dist:1.0 sk_drift with
+  | Some (v, _) ->
+      Alcotest.(check string) "drifted probe warms in-shard" "mapping" v
+  | None -> Alcotest.fail "drifted probe did not warm");
+  Alcotest.(check int) "warm counted once" 1 (Cache.warms c)
+
+let test_concurrent_sharded_access () =
+  (* 4 threads hammering a 4-shard cache with adds, routed finds and
+     near-miss probes over 16 schema-distinct pairs: whatever the
+     interleaving, totals balance and every shard stays within bound. *)
+  let c = Cache.create ~shards:4 ~capacity:8 () in
+  let pairs = Array.init 16 routed_pair in
+  let worker seed =
+    let state = ref seed in
+    for _ = 1 to 300 do
+      let r = (!state * 1103515245) + 12345 in
+      state := r land 0x3FFFFFFF;
+      let k, sk = pairs.(!state mod 16) in
+      match !state mod 3 with
+      | 0 -> Cache.add c ~sketch:sk k !state
+      | 1 -> ignore (Cache.find c ~route:(Cache.sketch_route sk) k)
+      | _ -> ignore (Cache.find_near c ~max_dist:1.0 sk)
+    done
+  in
+  let threads = List.init 4 (fun i -> Thread.create worker (i + 1)) in
+  List.iter Thread.join threads;
+  Alcotest.(check bool) "length within capacity" true (Cache.length c <= 8);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d within its bound" s)
+        true
+        (List.length (Cache.keys_lru_first ~shard:s c) <= 2))
+    [ 0; 1; 2; 3 ];
+  Alcotest.(check int)
+    "keys list matches length" (Cache.length c)
+    (List.length (Cache.keys_lru_first c))
+
 let suite =
   [
     Alcotest.test_case "lru: eviction follows insertion order" `Quick
@@ -292,4 +426,12 @@ let suite =
       test_find_near_does_not_promote;
     Alcotest.test_case "near: sketchless and invalid entries skipped" `Quick
       test_find_near_skips_sketchless_and_invalid;
+    Alcotest.test_case "shards: counters sum across shards" `Quick
+      test_sharded_counters_sum;
+    Alcotest.test_case "shards: LRU order is per shard" `Quick
+      test_per_shard_lru_order;
+    Alcotest.test_case "shards: find_near confined to the owning shard"
+      `Quick test_find_near_confined_to_owning_shard;
+    Alcotest.test_case "shards: concurrent access stays consistent" `Quick
+      test_concurrent_sharded_access;
   ]
