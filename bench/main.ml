@@ -21,6 +21,9 @@ let registry =
     ( "search",
       ( "E6: fingerprint vs canonical-key state identity (BENCH_search.json)",
         Search_bench.run ) );
+    ( "migrate",
+      ( "E7: bulk migration throughput, 1 vs N domains (BENCH_migrate.json)",
+        Migrate_bench.run ) );
   ]
 
 let usage () =

@@ -1,0 +1,273 @@
+(* E7: bulk migration throughput — chunked multi-domain execution of ℒ
+   programs (lib/migrate) on multi-million-row instances.
+
+   Three workloads, generated deterministically straight into the
+   interned columnar representation (generation is untimed):
+
+   - wide: a 16-attribute relation with a unique id column, a name-pool
+     tag column and small-domain value columns; the program exercises
+     one operator of every parallel plan class — promote (global schema
+     pass + rebuild), drops and a rename (per-chunk), and a merge on the
+     unique id (cross-chunk regroup). This is the gated workload.
+   - partition: ℘ on a 64-name group column — per-chunk partitions
+     reassembled into per-class chunk lists.
+   - merge: µ on a key with 2-row groups carrying complementary nulls,
+     so the greedy fixpoint actually folds rows.
+
+   Each workload runs at jobs=1 and jobs=TUPELO_BENCH_MIGRATE_JOBS
+   (default 4) over the same pre-chunked Cdb; the reported rate is
+   row-visits/sec (Σ operator input rows / wall clock) and the speedup
+   is the same-run jobs-N/jobs-1 ratio, so a slow machine cannot fail
+   the gate by itself. A separate leg times the boxed sequential
+   Fira.Expr.eval on a row-capped copy (default 200k rows,
+   TUPELO_BENCH_MIGRATE_BOXED_ROWS) of the wide workload — the
+   columnar-vs-boxed ratio that is measurable even on one core.
+
+   Results go to BENCH_migrate.json (or $TUPELO_BENCH_MIGRATE_OUT).
+   When TUPELO_BENCH_MIGRATE_MIN_SPEEDUP is set, exits non-zero if the
+   wide workload's jobs-N speedup falls below it — meant for CI runners
+   with at least TUPELO_BENCH_MIGRATE_JOBS cores (host_domains is
+   recorded in the JSON; a 1-core host cannot show a parallel speedup). *)
+
+open Relational
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt s with Some v when v > 0 -> v | _ -> default)
+  | None -> default
+
+let rows = env_int "TUPELO_BENCH_MIGRATE_ROWS" 2_000_000
+let jobs_n = env_int "TUPELO_BENCH_MIGRATE_JOBS" 4
+let chunk_rows = env_int "TUPELO_BENCH_MIGRATE_CHUNK_ROWS" 65_536
+let reps = env_int "TUPELO_BENCH_MIGRATE_REPS" 3
+let boxed_rows = env_int "TUPELO_BENCH_MIGRATE_BOXED_ROWS" 200_000
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then invalid_arg "median: empty"
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let expr_exn text =
+  match Fira.Parser.expr_of_string text with
+  | Ok e -> e
+  | Error m -> failwith ("migrate bench: bad program: " ^ m)
+
+(* --- workload generators (untimed) --- *)
+
+let vint i = Intern.value_id (Value.Int i)
+let vstr s = Intern.value_id (Value.String s)
+
+let irel_of names cell =
+  let atts = Array.of_list (List.map Intern.string_id names) in
+  let arity = Array.length atts in
+  let rows = List.init rows (fun i -> Array.init arity (cell i)) in
+  Irel.of_rows atts rows
+
+(* 16 attributes: unique id, an 8-name tag pool (the promoted column
+   names), and small-domain int payloads. Unique ids keep canonical
+   dedup from collapsing the instance. *)
+let wide_instance () =
+  let tags = Array.init 8 (fun k -> vstr (Printf.sprintf "c%d" k)) in
+  let payload = Array.init 1024 vint in
+  let names =
+    "id" :: "tag" :: List.init 14 (fun k -> Printf.sprintf "v%d" k)
+  in
+  let rel =
+    irel_of names (fun i j ->
+        if j = 0 then vint i
+        else if j = 1 then tags.(i mod 8)
+        else payload.((i * (j + 3)) mod 1024))
+  in
+  Idb.add Idb.empty (Intern.string_id "R") rel
+
+let wide_program =
+  "promote[tag/v0](R)\n\
+   drop[tag](R)\n\
+   drop[v1](R)\n\
+   rename_att[v2->metric](R)\n\
+   merge[id](R)"
+
+(* 8 attributes, 64-name group column. *)
+let partition_instance () =
+  let groups = Array.init 64 (fun k -> vstr (Printf.sprintf "g%02d" k)) in
+  let payload = Array.init 1024 vint in
+  let names = "id" :: "g" :: List.init 6 (fun k -> Printf.sprintf "v%d" k) in
+  let rel =
+    irel_of names (fun i j ->
+        if j = 0 then vint i
+        else if j = 1 then groups.(i mod 64)
+        else payload.((i * (j + 5)) mod 1024))
+  in
+  Idb.add Idb.empty (Intern.string_id "R") rel
+
+let partition_program = "partition[g](R)"
+
+(* 2-row groups with complementary nulls: each pair folds to one row. *)
+let merge_instance () =
+  let payload = Array.init 1024 vint in
+  let names = "key" :: List.init 7 (fun k -> Printf.sprintf "v%d" k) in
+  let rel =
+    irel_of names (fun i j ->
+        let pair = i / 2 and side = i mod 2 in
+        if j = 0 then vint pair
+        else if j mod 2 = side then Intern.null_value_id
+        else payload.((pair * (j + 7)) mod 1024))
+  in
+  Idb.add Idb.empty (Intern.string_id "R") rel
+
+let merge_program = "merge[key](R)"
+
+(* --- measurement --- *)
+
+type leg = { rate : float; elapsed_s : float; row_visits : int }
+
+let run_leg ~jobs cdb expr =
+  let samples =
+    List.init reps (fun _ ->
+        let cfg = Migrate.config ~chunk_rows ~jobs () in
+        let _, stats = Migrate.run cfg expr cdb in
+        (float_of_int stats.Migrate.row_visits /. stats.Migrate.elapsed_s,
+         stats.Migrate.elapsed_s,
+         stats.Migrate.row_visits))
+  in
+  let rate = median (List.map (fun (r, _, _) -> r) samples) in
+  let elapsed_s = median (List.map (fun (_, e, _) -> e) samples) in
+  let row_visits = match samples with (_, _, v) :: _ -> v | [] -> 0 in
+  { rate; elapsed_s; row_visits }
+
+type entry = { workload : string; jobs1 : leg; jobsn : leg }
+
+let speedup e = e.jobsn.rate /. e.jobs1.rate
+
+let measure workload instance program =
+  let idb = instance () in
+  let cdb = Migrate.Cdb.of_idb ~chunk_rows idb in
+  let expr = expr_exn program in
+  let jobs1 = run_leg ~jobs:1 cdb expr in
+  let jobsn = run_leg ~jobs:jobs_n cdb expr in
+  { workload; jobs1; jobsn }
+
+(* Boxed sequential eval on a row-capped wide instance: the
+   columnar-vs-boxed single-core ratio. *)
+let boxed_leg () =
+  let n = min boxed_rows rows in
+  let tags = Array.init 8 (fun k -> Value.String (Printf.sprintf "c%d" k)) in
+  let names = "id" :: "tag" :: List.init 14 (fun k -> Printf.sprintf "v%d" k) in
+  let rel =
+    Relation.of_rows (Schema.of_list names)
+      (List.init n (fun i ->
+           Row.of_list
+             (List.mapi
+                (fun j _ ->
+                  if j = 0 then Value.Int i
+                  else if j = 1 then tags.(i mod 8)
+                  else Value.Int ((i * (j + 3)) mod 1024))
+                names)))
+  in
+  let db = Database.add Database.empty "R" rel in
+  let expr = expr_exn wide_program in
+  let ops = Fira.Expr.length expr in
+  let t0 = Unix.gettimeofday () in
+  let _ = Fira.Expr.eval Fira.Semfun.empty_registry expr db in
+  let dt = Unix.gettimeofday () -. t0 in
+  (float_of_int (ops * n) /. dt, n, dt)
+
+(* --- output --- *)
+
+let leg_json l =
+  Printf.sprintf
+    "{ \"row_visits_per_sec\": %.0f, \"elapsed_s\": %.4f, \"row_visits\": %d }"
+    l.rate l.elapsed_s l.row_visits
+
+let write_json entries (boxed_rate, boxed_n, boxed_dt) =
+  let path =
+    match Sys.getenv_opt "TUPELO_BENCH_MIGRATE_OUT" with
+    | Some p -> p
+    | None -> "BENCH_migrate.json"
+  in
+  let wide = List.find (fun e -> e.workload = "wide") entries in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"migrate\",\n\
+    \  \"rows\": %d,\n\
+    \  \"chunk_rows\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"host_domains\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"workloads\": {\n%s\n  },\n\
+    \  \"boxed\": { \"rows\": %d, \"elapsed_s\": %.4f, \
+     \"row_visits_per_sec\": %.0f },\n\
+    \  \"columnar_vs_boxed\": %.2f\n\
+     }\n"
+    rows chunk_rows jobs_n
+    (Search.Pool.default_domains ())
+    reps
+    (String.concat ",\n"
+       (List.map
+          (fun e ->
+            Printf.sprintf
+              "    \"%s\": { \"jobs1\": %s, \"jobs%d\": %s, \"speedup\": %.2f }"
+              e.workload (leg_json e.jobs1) jobs_n (leg_json e.jobsn)
+              (speedup e))
+          entries))
+    boxed_n boxed_dt boxed_rate
+    (wide.jobs1.rate /. boxed_rate);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let run () =
+  let entries =
+    [
+      measure "wide" wide_instance wide_program;
+      measure "partition" partition_instance partition_program;
+      measure "merge" merge_instance merge_program;
+    ]
+  in
+  let boxed = boxed_leg () in
+  Report.print_table
+    ~title:
+      (Printf.sprintf "bulk migration row-visits/sec (%d rows, chunks of %d)"
+         rows chunk_rows)
+    ~header:
+      [
+        "workload"; "jobs=1"; Printf.sprintf "jobs=%d" jobs_n; "speedup";
+        "visits";
+      ]
+    (List.map
+       (fun e ->
+         [
+           e.workload;
+           Printf.sprintf "%.0f" e.jobs1.rate;
+           Printf.sprintf "%.0f" e.jobsn.rate;
+           Printf.sprintf "%.2fx" (speedup e);
+           string_of_int e.jobs1.row_visits;
+         ])
+       entries);
+  let boxed_rate, boxed_n, _ = boxed in
+  Printf.printf
+    "boxed sequential eval (wide, %d rows): %.0f row-visits/s; columnar \
+     jobs=1 is %.2fx\n"
+    boxed_n boxed_rate
+    ((List.find (fun e -> e.workload = "wide") entries).jobs1.rate /. boxed_rate);
+  write_json entries boxed;
+  match Sys.getenv_opt "TUPELO_BENCH_MIGRATE_MIN_SPEEDUP" with
+  | None -> ()
+  | Some s -> (
+      match float_of_string_opt s with
+      | None ->
+          Printf.eprintf
+            "ignoring non-numeric TUPELO_BENCH_MIGRATE_MIN_SPEEDUP=%S\n" s
+      | Some min_speedup ->
+          let wide = List.find (fun e -> e.workload = "wide") entries in
+          if speedup wide < min_speedup then begin
+            Printf.eprintf
+              "SPEEDUP GATE: wide workload jobs=%d is %.2fx jobs=1, below \
+               the required %.2fx\n"
+              jobs_n (speedup wide) min_speedup;
+            exit 1
+          end)

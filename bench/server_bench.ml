@@ -693,7 +693,7 @@ let () =
   },
   "cache": { "hits": %d, "misses": %d, "warms": %d, "hit_rate": %.4f },
   "hot_vs_cold_p50_speedup": %.1f,
-  "drift": { "requests": %d, "warm_started": %d, "avg_states_cold": %.1f, "avg_states_warm": %.1f },
+  "drift": { "requests": %d, "warm_started": %d, "avg_states_cold": %.1f, "avg_states_warm": %.1f },%s
   %s,
   "stats_reconciled_with_trace": true
 }
@@ -702,7 +702,22 @@ let () =
       throughput cold_p50 cold_p99 hot_p50 hot_p99 drift_p50 drift_p99
       (percentile other_lat 0.50) (percentile other_lat 0.99) hits misses
       warms hit_rate speedup n_drift (Atomic.get drift_warms) cold_avg_states
-      warm_avg_states open_loop_json;
+      warm_avg_states
+      (* Before/after record for the cold-search GC fix (chunked frontier,
+         budget-sized closed sets): the "before" figure is measured by
+         running this bench on the pre-fix build and passed back in via
+         the environment, so the committed artifact carries the
+         comparison made on the same host in the same sitting. *)
+      (match
+         Sys.getenv_opt "TUPELO_BENCH_SERVER_COLD_P99_BEFORE_MS"
+       with
+      | Some before ->
+          Printf.sprintf
+            "\n  \"gc_fix\": { \"cold_p99_before_ms\": %s, \
+             \"cold_p99_after_ms\": %.3f },"
+            before cold_p99
+      | None -> "")
+      open_loop_json;
 
     Printf.printf
       "server bench (closed loop): %d requests in %.2fs (%.0f rps)\n\

@@ -343,6 +343,125 @@ let apply_cmd =
     Term.(
       ret (const apply_cmd_run $ mapping $ instance $ semfun_arg $ csv_out))
 
+(* --- migrate --- *)
+
+let migrate_cmd_run program_path inputs semfuns out_dir jobs chunk_rows =
+  try
+    let text = read_file program_path in
+    match Fira.Parser.expr_of_string text with
+    | Error m -> fail "%s: %s" program_path m
+    | Ok expr ->
+        let registry =
+          Fira.Semfun.of_list (Fira.Semfun.decode_annotations semfuns)
+        in
+        let jobs = if jobs = 0 then Search.Pool.default_domains () else jobs in
+        let cfg = Migrate.config ~chunk_rows ~jobs () in
+        let cdb =
+          List.fold_left
+            (fun cdb spec ->
+              let name, path = parse_rel_spec spec in
+              let ic =
+                try open_in_bin path
+                with Sys_error m ->
+                  raise
+                    (Migrate.Error
+                       (Printf.sprintf "input relation %S: %s" name m))
+              in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () ->
+                  try Migrate.ingest_channel cfg cdb ~name ic
+                  with Csv.Error m ->
+                    raise
+                      (Migrate.Error
+                         (Printf.sprintf "input relation %S (%s): %s" name path
+                            m))))
+            Migrate.Cdb.empty inputs
+        in
+        let out, stats = Migrate.run ~registry cfg expr cdb in
+        let idb = Migrate.Cdb.to_idb out in
+        (match out_dir with
+        | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            Idb.fold
+              (fun name r () ->
+                let path =
+                  Filename.concat dir (Intern.string_of_id name ^ ".csv")
+                in
+                let oc = open_out_bin path in
+                Fun.protect
+                  ~finally:(fun () -> close_out_noerr oc)
+                  (fun () -> Migrate.emit_channel cfg oc r);
+                Printf.printf "wrote %s\n" path)
+              idb ()
+        | None ->
+            Idb.fold
+              (fun name r () ->
+                Printf.printf "# relation %s\n" (Intern.string_of_id name);
+                Migrate.emit_channel cfg stdout r;
+                flush stdout)
+              idb ());
+        Printf.eprintf
+          "migrated %d rows -> %d rows: %d ops over %d chunks, %.3fs, %.0f \
+           row-visits/s (jobs=%d, chunk-rows=%d)\n"
+          stats.Migrate.rows_in stats.Migrate.rows_out stats.Migrate.ops
+          stats.Migrate.chunks_in stats.Migrate.elapsed_s
+          (float_of_int stats.Migrate.row_visits
+          /. Float.max 1e-9 stats.Migrate.elapsed_s)
+          jobs chunk_rows;
+        `Ok ()
+  with
+  | Sys_error m | Csv.Error m | Migrate.Error m | Fira.Semfun.Error m ->
+      fail "%s" m
+
+let migrate_cmd =
+  let doc = "bulk-execute a mapping program over full-size CSV instances" in
+  let program =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "p"; "program" ] ~docv:"FILE"
+          ~doc:"Mapping expression file (from discover --save).")
+  in
+  let inputs =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"REL=FILE.csv"
+          ~doc:"Input relation, streamed chunk by chunk (repeatable).")
+  in
+  let out_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv-out" ] ~docv:"DIR"
+          ~doc:
+            "Write each result relation as $(docv)/<name>.csv (default: \
+             stream everything to stdout).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains for chunk-parallel operator application. 1 = \
+             sequential; 0 = one per available core.")
+  in
+  let chunk_rows =
+    Arg.(
+      value
+      & opt int 65536
+      & info [ "chunk-rows" ] ~docv:"N"
+          ~doc:
+            "Rows per columnar chunk: bounds ingest memory and sets the \
+             parallel task granularity.")
+  in
+  Cmd.v (Cmd.info "migrate" ~doc)
+    Term.(
+      ret
+        (const migrate_cmd_run $ program $ inputs $ semfun_arg $ out_dir
+       $ jobs $ chunk_rows))
+
 (* --- tnf --- *)
 
 let tnf_cmd_run inputs as_sql =
@@ -652,14 +771,27 @@ let parse_server url =
       | Some port when host <> "" && port > 0 -> Some (host, port)
       | _ -> None)
 
+let shape_of_string = function
+  | "default" -> Some Workloads.Random_db.default_shape
+  | "fuzz" -> Some Workloads.Random_db.fuzz_shape
+  | "wide" -> Some Workloads.Random_db.wide_shape
+  | "skewed" -> Some Workloads.Random_db.skewed_shape
+  | _ -> None
+
 let fuzz_cmd_run trials seed depth algorithm heuristic budget search_jobs jobs
-    time_budget server corpus_dir shrink_attempts not_found_fails oracle_mode =
+    time_budget server corpus_dir shrink_attempts not_found_fails oracle_mode
+    shape_name =
   try
     if trials < 0 then fail "--trials must be >= 0 (got %d)" trials
     else if depth < 0 then fail "--depth must be >= 0 (got %d)" depth
     else if budget <= 0 then fail "--budget must be > 0 (got %d)" budget
     else if jobs < 0 then fail "--jobs must be >= 0 (got %d)" jobs
     else
+      match shape_of_string shape_name with
+      | None ->
+          fail "--shape: unknown shape %S (want default|fuzz|wide|skewed)"
+            shape_name
+      | Some shape -> (
       match Fuzz.Oracle.mode_of_string oracle_mode with
       | None ->
           fail "--oracle: unknown mode %S (want replay|invert|compose|drift)"
@@ -697,13 +829,13 @@ let fuzz_cmd_run trials seed depth algorithm heuristic budget search_jobs jobs
                   | _ -> ());
                   let config =
                     Fuzz.Driver.config ~oracle ~oracle_mode:omode ~trials
-                      ~seed ~depth ~jobs ?time_budget_s:time_budget ~mode
-                      ~shrink_attempts ?corpus_dir ~not_found_fails ()
+                      ~seed ~depth ~shape ~jobs ?time_budget_s:time_budget
+                      ~mode ~shrink_attempts ?corpus_dir ~not_found_fails ()
                   in
                   Printf.printf
-                    "fuzzing (%s oracle): %d trials, master seed %d, depth \
-                     %d, %s/%s, budget %d, %d job%s%s\n%!"
-                    (Fuzz.Oracle.mode_name omode) trials seed depth
+                    "fuzzing (%s oracle, %s shape): %d trials, master seed \
+                     %d, depth %d, %s/%s, budget %d, %d job%s%s\n%!"
+                    (Fuzz.Oracle.mode_name omode) shape_name trials seed depth
                     (Tupelo.Discover.algorithm_name alg)
                     heuristic budget jobs
                     (if jobs = 1 then "" else "s")
@@ -738,7 +870,7 @@ let fuzz_cmd_run trials seed depth algorithm heuristic budget search_jobs jobs
                          (List.length summary.Fuzz.Driver.failures)
                          (match summary.Fuzz.Driver.failures with
                          | [ _ ] -> ""
-                         | _ -> "s"))))
+                         | _ -> "s")))))
   with Sys_error m -> fail "%s" m
 
 let fuzz_cmd =
@@ -856,12 +988,24 @@ let fuzz_cmd =
              start). The algebra modes always run in-process; --server \
              only affects replay.")
   in
+  let shape =
+    Arg.(
+      value
+      & opt string "fuzz"
+      & info [ "shape" ] ~docv:"SHAPE"
+          ~doc:
+            "Scenario source-database shape: $(b,default) (tame pool), \
+             $(b,fuzz) (delimiter-spiced, metadata-valued cells), \
+             $(b,wide) (up to 24 attributes, unicode values) or \
+             $(b,skewed) (null-heavy, power-law hot keys).")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       ret
         (const fuzz_cmd_run $ trials $ seed $ depth $ algorithm_arg
        $ heuristic_arg $ fuzz_budget $ search_jobs $ fuzz_jobs $ time_budget
-       $ server $ corpus $ shrink_attempts $ not_found_fails $ oracle_mode))
+       $ server $ corpus $ shrink_attempts $ not_found_fails $ oracle_mode
+       $ shape))
 
 (* --- demo --- *)
 
@@ -893,7 +1037,7 @@ let main_cmd =
   let doc = "data mapping as search (TUPELO, EDBT 2006)" in
   let info = Cmd.info "tupelo" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ discover_cmd; apply_cmd; tnf_cmd; sql_cmd; serve_cmd; request_cmd;
-      fuzz_cmd; demo_cmd ]
+    [ discover_cmd; apply_cmd; migrate_cmd; tnf_cmd; sql_cmd; serve_cmd;
+      request_cmd; fuzz_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,780 @@
+(* Bulk migration: chunked, multi-domain execution of ℒ programs.
+
+   A relation is a list of bounded-size columnar chunks (Irel.t), each
+   internally canonical (sorted, deduplicated rows) but with duplicates
+   permitted ACROSS chunks — global set semantics are restored once, at
+   Cdb.to_idb. That one relaxation is what makes the operator plans
+   embarrassingly parallel: per-row operators (ρ ↓ → λ π̄ σ) map over
+   chunks independently, and only the genuinely global operators pay a
+   merge step:
+
+   - ↑ (promote): a global pass unions the usable new column names (and
+     detects promotion into an existing column) before every chunk is
+     rebuilt against the full combined schema — a chunk that never sees
+     name "x" still gains the all-null column "x".
+   - µ (merge): rows are regrouped across chunks by the key cell's
+     printed form (the boxed Relation.merge group key), each group is
+     deduplicated into canonical order and fed REVERSED to the exact
+     same greedy fixpoint (Irel.merge_rows) the sequential path runs —
+     µ's fixpoint is order-dependent, so replicating the boxed feeding
+     order is what keeps chunked ≡ sequential.
+   - ℘ (partition): per-chunk partitions are regrouped by key value
+     equivalence class; a class's chunk-groups simply become the chunks
+     of the output relation.
+   - − (diff): the right side is materialized once as a sorted row
+     array; left chunks filter against it by binary search, in parallel.
+   - ∪ (union): chunk-list concatenation (right chunks permuted onto the
+     left column order when the orders differ).
+   - ⋈ (join, never emitted by discovery): coalesce and delegate to the
+     boxed implementation, like the search path does.
+
+   Equivalence caveat (documented in DESIGN.md): when Value.compare-equal
+   but structurally distinct values collide (Int 1 vs Float 1.0), the
+   surviving representative under chunked dedup/regroup may differ from
+   the sequential pick. No CSV-ingested or fuzz-generated instance mixes
+   the two spellings of one number in a colliding position; the qcheck
+   equivalence property runs over shapes where the results are exactly
+   canonically equal. *)
+
+open Relational
+module Op = Fira.Op
+module Semfun = Fira.Semfun
+module Pool = Search.Pool
+
+exception Error of string
+exception Cancelled
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let att_index atts att =
+  let n = Array.length atts in
+  let rec go j =
+    if j >= n then invalid_arg "Migrate: missing attribute"
+    else if atts.(j) = att then j
+    else go (j + 1)
+  in
+  go 0
+
+(* Split [xs] into consecutive batches of at most [n]. *)
+let chunk_list n xs =
+  let rec take k acc rest =
+    if k = 0 then (List.rev acc, rest)
+    else
+      match rest with
+      | [] -> (List.rev acc, [])
+      | x :: tl -> take (k - 1) (x :: acc) tl
+  in
+  let rec go xs =
+    match xs with
+    | [] -> []
+    | _ ->
+        let batch, rest = take n [] xs in
+        batch :: go rest
+  in
+  go xs
+
+module Cdb = struct
+  type crel = { catts : int array; cchunks : Irel.t list }
+  (* Invariants: [cchunks] is non-empty; every chunk's attribute array is
+     content-equal to [catts]; all chunks but a lone empty one carry rows. *)
+
+  type t = (int * crel) list (* name-sorted, mirroring Idb's binding order *)
+
+  let empty = []
+  let names t = List.map fst t
+  let mem t name = List.mem_assoc name t
+  let find_opt t name = List.assoc_opt name t
+  let crel_rows r = List.fold_left (fun n c -> n + Irel.cardinality c) 0 r.cchunks
+  let rows t = List.fold_left (fun n (_, r) -> n + crel_rows r) 0 t
+
+  let cells t =
+    List.fold_left (fun n (_, r) -> n + (crel_rows r * Array.length r.catts)) 0 t
+
+  let chunk_count t =
+    List.fold_left (fun n (_, r) -> n + List.length r.cchunks) 0 t
+
+  let rec add t name r =
+    match t with
+    | [] -> [ (name, r) ]
+    | (n, r0) :: rest ->
+        let c = Intern.compare_strings name n in
+        if c < 0 then (name, r) :: t
+        else if c = 0 then (name, r) :: rest
+        else (n, r0) :: add rest name r
+
+  let remove t name = List.filter (fun (n, _) -> n <> name) t
+
+  let split_chunk ~chunk_rows c =
+    let n = Irel.cardinality c in
+    if n <= chunk_rows then [ c ]
+    else
+      List.init
+        ((n + chunk_rows - 1) / chunk_rows)
+        (fun k ->
+          let off = k * chunk_rows in
+          Irel.slice c ~off ~len:(min chunk_rows (n - off)))
+
+  (* Drop empty chunks; a rowless relation keeps exactly one empty chunk
+     so its schema stays represented. *)
+  let crel catts cchunks =
+    match List.filter (fun c -> Irel.cardinality c > 0) cchunks with
+    | [] -> { catts; cchunks = [ Irel.of_rows catts [] ] }
+    | cchunks -> { catts; cchunks }
+
+  let of_idb ~chunk_rows idb =
+    if chunk_rows < 1 then invalid_arg "Migrate: chunk_rows must be >= 1";
+    Idb.fold
+      (fun name r acc -> add acc name (crel (Irel.atts r) (split_chunk ~chunk_rows r)))
+      idb empty
+
+  let of_database ~chunk_rows db = of_idb ~chunk_rows (Idb.of_database db)
+
+  let coalesce r =
+    match r.cchunks with
+    | [ c ] -> c (* already canonical: chunks are *)
+    | cs -> Irel.of_rows r.catts (List.concat_map Irel.to_rows cs)
+
+  let to_idb t =
+    List.fold_left (fun idb (name, r) -> Idb.add idb name (coalesce r)) Idb.empty t
+
+  let to_database t = Idb.to_database (to_idb t)
+end
+
+type config = {
+  chunk_rows : int;
+  jobs : int;
+  semantics : [ `Full | `Syntactic ];
+  telemetry : Telemetry.t;
+  stop : unit -> bool;
+}
+
+let config ?(chunk_rows = 65536) ?jobs ?(semantics = `Full)
+    ?(telemetry = Telemetry.disabled) ?(stop = fun () -> false) () =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_domains () in
+  if chunk_rows < 1 then invalid_arg "Migrate.config: chunk_rows must be >= 1";
+  if jobs < 1 then invalid_arg "Migrate.config: jobs must be >= 1";
+  { chunk_rows; jobs; semantics; telemetry; stop }
+
+(* Mirror of Fira.Eval's applicability checks over the chunked form: same
+   checks, same outcomes, same reason strings — a program that fails
+   sequentially fails here with the same message. The ℘ group-name checks
+   need the cross-chunk distinct values and run inside the operator. *)
+let cexplain_inapplicable registry op (cdb : Cdb.t) =
+  let rel_exists name k =
+    match Cdb.find_opt cdb (Intern.string_id name) with
+    | None -> Some (Printf.sprintf "no relation %S" name)
+    | Some r -> k r
+  in
+  let mem_att r name = Array.mem (Intern.string_id name) r.Cdb.catts in
+  let has_col r name k =
+    if mem_att r name then k () else Some (Printf.sprintf "no column %S" name)
+  in
+  let no_col r name k =
+    if mem_att r name then Some (Printf.sprintf "column %S already present" name)
+    else k ()
+  in
+  match op with
+  | Op.Promote { rel; name_col; value_col } ->
+      rel_exists rel (fun r ->
+          has_col r name_col (fun () -> has_col r value_col (fun () -> None)))
+  | Op.Demote { rel; att_att; rel_att } ->
+      rel_exists rel (fun r ->
+          if att_att = rel_att then Some "demote columns must differ"
+          else no_col r att_att (fun () -> no_col r rel_att (fun () -> None)))
+  | Op.Dereference { rel; target; pointer_col } ->
+      rel_exists rel (fun r ->
+          has_col r pointer_col (fun () -> no_col r target (fun () -> None)))
+  | Op.Partition { rel; col } ->
+      rel_exists rel (fun r -> has_col r col (fun () -> None))
+  | Op.Product { left; right; out } ->
+      rel_exists left (fun l ->
+          rel_exists right (fun r ->
+              if Cdb.mem cdb (Intern.string_id out) then
+                Some (Printf.sprintf "relation %S already exists" out)
+              else if Array.exists (fun att -> Array.mem att r.Cdb.catts) l.Cdb.catts
+              then Some "product operands share attributes"
+              else None))
+  | Op.Drop { rel; col } ->
+      rel_exists rel (fun r ->
+          has_col r col (fun () ->
+              if Array.length r.Cdb.catts <= 1 then
+                Some "cannot drop the last column"
+              else None))
+  | Op.Merge { rel; col } -> rel_exists rel (fun r -> has_col r col (fun () -> None))
+  | Op.RenameAtt { rel; old_name; new_name } ->
+      rel_exists rel (fun r ->
+          has_col r old_name (fun () ->
+              if old_name = new_name then Some "rename to same name"
+              else no_col r new_name (fun () -> None)))
+  | Op.RenameRel { old_name; new_name } ->
+      rel_exists old_name (fun _ ->
+          if old_name = new_name then Some "rename to same name"
+          else if Cdb.mem cdb (Intern.string_id new_name) then
+            Some (Printf.sprintf "relation %S already exists" new_name)
+          else None)
+  | Op.Union { left; right; out } | Op.Diff { left; right; out } ->
+      rel_exists left (fun l ->
+          rel_exists right (fun r ->
+              let sorted rel =
+                List.sort Intern.compare_strings (Array.to_list rel.Cdb.catts)
+              in
+              if not (List.equal Int.equal (sorted l) (sorted r)) then
+                Some "operand schemas differ"
+              else if
+                Cdb.mem cdb (Intern.string_id out) && out <> left && out <> right
+              then Some (Printf.sprintf "relation %S already exists" out)
+              else None))
+  | Op.Join { left; right; out } ->
+      rel_exists left (fun _ ->
+          rel_exists right (fun _ ->
+              if Cdb.mem cdb (Intern.string_id out) && out <> left && out <> right
+              then Some (Printf.sprintf "relation %S already exists" out)
+              else None))
+  | Op.Select { rel; pred = _ } -> rel_exists rel (fun _ -> None)
+  | Op.Apply { rel; func; inputs; output } ->
+      rel_exists rel (fun r ->
+          match Semfun.find registry func with
+          | None -> Some (Printf.sprintf "unknown function %S" func)
+          | Some f ->
+              if Semfun.arity f <> List.length inputs then
+                Some
+                  (Printf.sprintf "function %S has arity %d, got %d inputs" func
+                     (Semfun.arity f) (List.length inputs))
+              else
+                let rec check = function
+                  | [] -> no_col r output (fun () -> None)
+                  | a :: rest ->
+                      if mem_att r a then check rest
+                      else Some (Printf.sprintf "no column %S" a)
+                in
+                check inputs)
+
+let mem_sorted sorted row =
+  let lo = ref 0 and hi = ref (Array.length sorted) in
+  let found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Irel.compare_rows row sorted.(mid) in
+    if c = 0 then found := true else if c < 0 then hi := mid else lo := mid + 1
+  done;
+  !found
+
+let apply_op cfg registry pool op cdb =
+  (match cexplain_inapplicable registry op cdb with
+  | Some reason -> error "migrate: %s inapplicable: %s" (Op.to_string op) reason
+  | None -> ());
+  let chunk_rows = cfg.chunk_rows in
+  let id = Intern.string_id in
+  let pmap f xs = Pool.map_list pool f xs in
+  let find name = List.assoc (id name) cdb in
+  let replace name r' = Cdb.add cdb (id name) r' in
+  let rechunk catts chunks =
+    Cdb.crel catts (List.concat_map (Cdb.split_chunk ~chunk_rows) chunks)
+  in
+  (* Per-chunk operator: map chunks in parallel, schema from the first
+     result chunk (chunk lists are never empty). *)
+  let mapped name f =
+    let r = find name in
+    let chunks = pmap f r.Cdb.cchunks in
+    replace name (rechunk (Irel.atts (List.hd chunks)) chunks)
+  in
+  match op with
+  | Op.Promote { rel; name_col; value_col } ->
+      let r = find rel in
+      let catts = r.Cdb.catts in
+      let ni = att_index catts (id name_col)
+      and vi = att_index catts (id value_col) in
+      (* Pass 1 (parallel): per-chunk usable new names in first-seen order,
+         plus whether any tuple promotes into an existing column. *)
+      let scans =
+        pmap
+          (fun c ->
+            let nids = Irel.col_ids c ni in
+            let seen = Hashtbl.create 8 in
+            let order = ref [] in
+            let base_hit = ref false in
+            Array.iter
+              (fun vid ->
+                match Irel.usable_name vid with
+                | Some name ->
+                    if Array.mem name catts then base_hit := true
+                    else if not (Hashtbl.mem seen name) then begin
+                      Hashtbl.add seen name ();
+                      order := name :: !order
+                    end
+                | None -> ())
+              nids;
+            (List.rev !order, !base_hit))
+          r.Cdb.cchunks
+      in
+      let base_hit = List.exists snd scans in
+      let seen = Hashtbl.create 16 in
+      let new_names =
+        List.concat_map fst scans
+        |> List.filter (fun n ->
+               if Hashtbl.mem seen n then false
+               else begin
+                 Hashtbl.add seen n ();
+                 true
+               end)
+      in
+      if new_names = [] && not base_hit then cdb
+      else if not base_hit then begin
+        (* Pass 2, scatter plan (parallel): every chunk gains the same
+           combined new columns — a chunk never seeing name "x" still
+           gains the all-null column "x" — built by one scan per chunk
+           and appended without re-canonicalization (extend_cols). *)
+        let new_atts = Array.of_list new_names in
+        let n_new = Array.length new_atts in
+        let slot = Hashtbl.create 16 in
+        Array.iteri (fun j a -> Hashtbl.replace slot a j) new_atts;
+        let chunks =
+          pmap
+            (fun c ->
+              let n = Irel.cardinality c in
+              let nids = Irel.col_ids c ni and vids = Irel.col_ids c vi in
+              let cols =
+                Array.init n_new (fun _ -> Array.make n Intern.null_value_id)
+              in
+              for i = 0 to n - 1 do
+                match Irel.usable_name nids.(i) with
+                | Some name -> cols.(Hashtbl.find slot name).(i) <- vids.(i)
+                | None -> ()
+              done;
+              Irel.extend_cols c new_atts cols)
+            r.Cdb.cchunks
+        in
+        replace rel (Cdb.crel (Array.append catts new_atts) chunks)
+      end
+      else begin
+        (* Promotion into an existing column: full per-chunk rebuild
+           against the combined schema (rare — only when a tuple's name
+           cell spells an attribute the relation already has). *)
+        let catts' = Array.append catts (Array.of_list new_names) in
+        let slot = Hashtbl.create 16 in
+        Array.iteri (fun j a -> Hashtbl.replace slot a j) catts';
+        let base_arity = Array.length catts in
+        let arity' = Array.length catts' in
+        let chunks =
+          pmap
+            (fun c ->
+              let rows' =
+                List.map
+                  (fun row ->
+                    let cells = Array.make arity' Intern.null_value_id in
+                    Array.blit row 0 cells 0 base_arity;
+                    (match Irel.usable_name row.(ni) with
+                    | Some name -> cells.(Hashtbl.find slot name) <- row.(vi)
+                    | None -> ());
+                    cells)
+                  (Irel.to_rows c)
+              in
+              Irel.of_rows catts' rows')
+            r.Cdb.cchunks
+        in
+        replace rel (rechunk catts' chunks)
+      end
+  | Op.Demote { rel; att_att; rel_att } ->
+      let rel_name = id rel and att_att = id att_att and rel_att = id rel_att in
+      mapped rel (fun c -> Irel.demote c ~rel_name ~att_att ~rel_att)
+  | Op.Dereference { rel; target; pointer_col } ->
+      let target = id target and pointer_col = id pointer_col in
+      mapped rel (fun c -> Irel.dereference c ~target ~pointer_col)
+  | Op.Drop { rel; col } ->
+      let col = id col in
+      mapped rel (fun c -> Irel.project_away c col)
+  | Op.RenameAtt { rel; old_name; new_name } ->
+      let old_name = id old_name and new_name = id new_name in
+      mapped rel (fun c -> Irel.rename_att c ~old_name ~new_name)
+  | Op.RenameRel { old_name; new_name } ->
+      let r = find old_name in
+      Cdb.add (Cdb.remove cdb (id old_name)) (id new_name) r
+  | Op.Merge { rel; col } ->
+      let r = find rel in
+      let catts = r.Cdb.catts in
+      let ki = att_index catts (id col) in
+      (* Pass 1 (parallel): per-chunk key tallies by the key cell's
+         printed form — the boxed Relation.merge group key. µ only acts
+         on keys occurring more than once; everything else is identity. *)
+      let tallies =
+        pmap
+          (fun c ->
+            let kids = Irel.col_ids c ki in
+            let t = Hashtbl.create 256 in
+            Array.iter
+              (fun kid ->
+                let key = Intern.value_str_id kid in
+                match Hashtbl.find_opt t key with
+                | Some n -> Hashtbl.replace t key (n + 1)
+                | None -> Hashtbl.add t key 1)
+              kids;
+            t)
+          r.Cdb.cchunks
+      in
+      let counts =
+        Hashtbl.create
+          (List.fold_left (fun n t -> n + Hashtbl.length t) 16 tallies)
+      in
+      List.iter
+        (fun t ->
+          Hashtbl.iter
+            (fun k n ->
+              match Hashtbl.find_opt counts k with
+              | Some m -> Hashtbl.replace counts k (m + n)
+              | None -> Hashtbl.add counts k n)
+            t)
+        tallies;
+      let contested k =
+        match Hashtbl.find_opt counts k with Some n -> n > 1 | None -> false
+      in
+      if not (Hashtbl.fold (fun _ n acc -> acc || n > 1) counts false) then
+        cdb (* all keys unique: µ is the identity, chunks shared as-is *)
+      else begin
+        (* Pass 2 (parallel): split each chunk into kept rows (unique
+           key — a canonical subsequence, no re-sort) and contested rows
+           to regroup across chunks. [counts] is read-only here, so the
+           concurrent lookups are safe. *)
+        let splits =
+          pmap
+            (fun c ->
+              let kids = Irel.col_ids c ki in
+              let keys = Array.map Intern.value_str_id kids in
+              let flags = Array.map contested keys in
+              let kept = Irel.filter_idx c (fun i -> not flags.(i)) in
+              let rows = ref [] in
+              Array.iteri
+                (fun i f ->
+                  if f then rows := (keys.(i), Irel.row_of c i) :: !rows)
+                flags;
+              (kept, !rows))
+            r.Cdb.cchunks
+        in
+        let groups : (int, int array list ref) Hashtbl.t =
+          Hashtbl.create 1024
+        in
+        List.iter
+          (fun (_, rows) ->
+            List.iter
+              (fun (key, row) ->
+                match Hashtbl.find_opt groups key with
+                | Some l -> l := row :: !l
+                | None -> Hashtbl.add groups key (ref [ row ]))
+              rows)
+          splits;
+        let glist = Hashtbl.fold (fun _ l acc -> !l :: acc) groups [] in
+        (* Each group: global dedup into canonical order, then the greedy
+           fixpoint on the REVERSED rows — the boxed feeding order, which
+           determines which fixpoint µ reaches. Groups are batched so the
+           pool's task granularity amortizes over many small groups. *)
+        let merged =
+          pmap
+            (fun batch ->
+              List.concat_map
+                (fun rows ->
+                  match List.sort_uniq Irel.compare_rows rows with
+                  | [ row ] -> [ row ]
+                  | sorted -> Irel.merge_rows (List.rev sorted))
+                batch)
+            (chunk_list 64 glist)
+        in
+        let merged_chunks =
+          pmap (fun rs -> Irel.of_rows catts rs)
+            (chunk_list chunk_rows (List.concat merged))
+        in
+        replace rel
+          (Cdb.crel catts (List.map fst splits @ merged_chunks))
+      end
+  | Op.Partition { rel; col } ->
+      let rel_id = id rel in
+      let r = find rel in
+      let catts = r.Cdb.catts in
+      let ki = att_index catts (id col) in
+      (* Single-pass per-chunk grouping (Irel.partition scans the column
+         once per distinct value — O(distinct × rows)): bucket row indices
+         by exact value id, then collapse Value.compare-equal ids (mixed
+         numeric spellings only) into one group per class. *)
+      let parts =
+        pmap
+          (fun c ->
+            let kids = Irel.col_ids c ki in
+            let buckets : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+            let order = ref [] in
+            Array.iteri
+              (fun i kid ->
+                if kid <> Intern.null_value_id then
+                  match Hashtbl.find_opt buckets kid with
+                  | Some l -> l := i :: !l
+                  | None ->
+                      Hashtbl.add buckets kid (ref [ i ]);
+                      order := kid :: !order)
+              kids;
+            let reps = ref [] in
+            List.iter
+              (fun kid ->
+                match
+                  List.find_opt
+                    (fun (rep, _) -> Intern.compare_values rep kid = 0)
+                    !reps
+                with
+                | Some (_, l) -> l := kid :: !l
+                | None -> reps := (kid, ref [ kid ]) :: !reps)
+              (List.rev !order);
+            List.rev_map
+              (fun (rep, kids_of_class) ->
+                let idxs =
+                  List.concat_map
+                    (fun kid -> !(Hashtbl.find buckets kid))
+                    !kids_of_class
+                  |> List.sort_uniq compare |> Array.of_list
+                in
+                (rep, Irel.take_idx c idxs))
+              !reps)
+          r.Cdb.cchunks
+      in
+      (* Regroup per-chunk groups by key value equivalence class; each
+         class's chunk-groups become the output relation's chunks. *)
+      let sorted =
+        List.stable_sort
+          (fun (a, _) (b, _) -> Intern.compare_values a b)
+          (List.concat parts)
+      in
+      let classes =
+        List.fold_left
+          (fun acc (v, g) ->
+            match acc with
+            | (v0, gs) :: rest when Intern.compare_values v0 v = 0 ->
+                (v0, g :: gs) :: rest
+            | _ -> (v, [ g ]) :: acc)
+          [] sorted
+        |> List.rev_map (fun (v, gs) -> (v, List.rev gs))
+      in
+      (* The group-name checks of the sequential applicability test, in the
+         same (sorted-value) order, so the first reason matches. *)
+      List.iter
+        (fun (v, _) ->
+          let name = Intern.value_str_id v in
+          if name = Intern.empty_string_id then
+            error "migrate: %s inapplicable: empty group name" (Op.to_string op)
+          else if Cdb.mem cdb name && name <> rel_id then
+            error "migrate: %s inapplicable: relation %S already exists"
+              (Op.to_string op) (Intern.string_of_id name))
+        classes;
+      let cdb = Cdb.remove cdb rel_id in
+      List.fold_left
+        (fun cdb (v, gs) ->
+          Cdb.add cdb (Intern.value_str_id v) (Cdb.crel catts gs))
+        cdb classes
+  | Op.Product { left; right; out } ->
+      let l = find left and rt = find right in
+      let catts' = Array.append l.Cdb.catts rt.Cdb.catts in
+      let pairs =
+        List.concat_map
+          (fun ca -> List.map (fun cb -> (ca, cb)) rt.Cdb.cchunks)
+          l.Cdb.cchunks
+      in
+      let chunks = pmap (fun (a, b) -> Irel.product a b) pairs in
+      replace out (rechunk catts' chunks)
+  | Op.Union { left; right; out } ->
+      let l = find left and rt = find right in
+      let rchunks =
+        if Array.for_all2 Int.equal l.Cdb.catts rt.Cdb.catts then rt.Cdb.cchunks
+        else begin
+          let perm = Array.map (att_index rt.Cdb.catts) l.Cdb.catts in
+          pmap
+            (fun c ->
+              Irel.of_rows l.Cdb.catts
+                (List.map
+                   (fun row -> Array.map (fun j -> row.(j)) perm)
+                   (Irel.to_rows c)))
+            rt.Cdb.cchunks
+        end
+      in
+      replace out (Cdb.crel l.Cdb.catts (l.Cdb.cchunks @ rchunks))
+  | Op.Diff { left; right; out } ->
+      let l = find left and rt = find right in
+      let same_order = Array.for_all2 Int.equal l.Cdb.catts rt.Cdb.catts in
+      let perm =
+        if same_order then [||] else Array.map (att_index rt.Cdb.catts) l.Cdb.catts
+      in
+      let project row =
+        if same_order then row else Array.map (fun j -> row.(j)) perm
+      in
+      let rrows =
+        List.concat_map
+          (fun c -> List.rev_map project (Irel.to_rows c))
+          rt.Cdb.cchunks
+      in
+      let sorted = Array.of_list (List.sort Irel.compare_rows rrows) in
+      let chunks =
+        pmap
+          (fun c ->
+            Irel.of_rows l.Cdb.catts
+              (List.filter (fun row -> not (mem_sorted sorted row)) (Irel.to_rows c)))
+          l.Cdb.cchunks
+      in
+      replace out (Cdb.crel l.Cdb.catts chunks)
+  | Op.Join { left; right; out } ->
+      (* Off the discovery path; coalesce and delegate to the boxed
+         implementation, as the interned search evaluator does. *)
+      let l = Cdb.coalesce (find left) and rt = Cdb.coalesce (find right) in
+      let j = Algebra.natural_join (Irel.to_relation l) (Irel.to_relation rt) in
+      let ir = Irel.of_relation j in
+      replace out (rechunk (Irel.atts ir) [ ir ])
+  | Op.Select { rel; pred } ->
+      let p = Algebra.eval_pred pred in
+      mapped rel (fun c -> Irel.of_relation (Relation.select (Irel.to_relation c) p))
+  | Op.Apply { rel; func; inputs; output } ->
+      let f = Semfun.find_exn registry func in
+      let r = find rel in
+      let input_idxs = List.map (fun a -> att_index r.Cdb.catts (id a)) inputs in
+      let out_id = id output in
+      let eval_one ins =
+        match cfg.semantics with
+        | `Full -> Semfun.apply f ins
+        | `Syntactic -> (
+            match Semfun.apply_example f ins with Some v -> v | None -> Value.Null)
+      in
+      mapped rel (fun c ->
+          Irel.extend c out_id (fun row ->
+              Intern.value_id
+                (eval_one
+                   (List.map (fun i -> Intern.value_of_id row.(i)) input_idxs))))
+
+type stats = {
+  rows_in : int;
+  rows_out : int;
+  row_visits : int;
+  chunks_in : int;
+  chunks_out : int;
+  ops : int;
+  elapsed_s : float;
+}
+
+let op_input_sizes cdb op =
+  let one name =
+    match Cdb.find_opt cdb (Intern.string_id name) with
+    | None -> (0, 0)
+    | Some r -> (Cdb.crel_rows r, List.length r.Cdb.cchunks)
+  in
+  match op with
+  | Op.Product { left; right; _ }
+  | Op.Union { left; right; _ }
+  | Op.Diff { left; right; _ }
+  | Op.Join { left; right; _ } ->
+      let ra, ca = one left and rb, cb = one right in
+      (ra + rb, ca + cb)
+  | op -> ( match Op.rel_of op with Some rel -> one rel | None -> (0, 0))
+
+let run ?(registry = Semfun.empty_registry) cfg expr cdb =
+  let t0 = Unix.gettimeofday () in
+  let tel = cfg.telemetry in
+  let rows_in = Cdb.rows cdb and chunks_in = Cdb.chunk_count cdb in
+  let row_visits = ref 0 and nops = ref 0 in
+  let out =
+    Telemetry.span tel "migrate" (fun () ->
+        Pool.with_pool ~telemetry:tel ~domains:cfg.jobs (fun pool ->
+            List.fold_left
+              (fun cdb op ->
+                if cfg.stop () then raise Cancelled;
+                let in_rows, in_chunks = op_input_sizes cdb op in
+                Telemetry.count tel "migrate.rows" in_rows;
+                Telemetry.count tel "migrate.chunk" in_chunks;
+                row_visits := !row_visits + in_rows;
+                incr nops;
+                Telemetry.timed tel
+                  ("migrate.op." ^ Op.kind_name op)
+                  (fun () -> apply_op cfg registry pool op cdb))
+              cdb (Fira.Expr.ops expr)))
+  in
+  ( out,
+    {
+      rows_in;
+      rows_out = Cdb.rows out;
+      row_visits = !row_visits;
+      chunks_in;
+      chunks_out = Cdb.chunk_count out;
+      ops = !nops;
+      elapsed_s = Unix.gettimeofday () -. t0;
+    } )
+
+let run_idb ?registry cfg expr idb =
+  let t0 = Unix.gettimeofday () in
+  let cdb = Cdb.of_idb ~chunk_rows:cfg.chunk_rows idb in
+  let out, stats = run ?registry cfg expr cdb in
+  let idb' = Cdb.to_idb out in
+  (idb', { stats with elapsed_s = Unix.gettimeofday () -. t0 })
+
+(* ------------------------------------------------------------------ *)
+(* Streaming CSV                                                       *)
+
+let ingest_channel cfg cdb ~name ic =
+  let tel = cfg.telemetry in
+  let atts = ref [||] in
+  let width = ref 0 in
+  let have_header = ref false in
+  let pending = ref [] in
+  let npending = ref 0 in
+  let chunks = ref [] in
+  let flush () =
+    if !npending > 0 then begin
+      if cfg.stop () then raise Cancelled;
+      Telemetry.count tel "migrate.ingest.rows" !npending;
+      chunks := Irel.of_rows !atts (List.rev !pending) :: !chunks;
+      pending := [];
+      npending := 0
+    end
+  in
+  Csv.fold_channel
+    (fun () fields ->
+      if not !have_header then begin
+        let seen = Hashtbl.create 16 in
+        let ids =
+          List.map
+            (fun a ->
+              let s = Intern.string_id a in
+              if Hashtbl.mem seen s then
+                error "migrate: relation %S: duplicate attribute %S" name a;
+              Hashtbl.add seen s ();
+              s)
+            fields
+        in
+        atts := Array.of_list ids;
+        width := Array.length !atts;
+        have_header := true
+      end
+      else begin
+        (* Short rows pad with nulls, long rows truncate, cells parsed
+           with Value.of_string_guess — exactly Csv.parse_relation. *)
+        let row = Array.make !width Intern.null_value_id in
+        List.iteri
+          (fun i s ->
+            if i < !width then
+              row.(i) <- Intern.value_id (Value.of_string_guess s))
+          fields;
+        pending := row :: !pending;
+        incr npending;
+        if !npending >= cfg.chunk_rows then flush ()
+      end)
+    () ic;
+  flush ();
+  if not !have_header then error "migrate: relation %S: empty document" name;
+  Cdb.add cdb (Intern.string_id name) (Cdb.crel !atts (List.rev !chunks))
+
+let emit_channel cfg oc r =
+  let buf = Buffer.create 65536 in
+  let atts = Irel.atts r in
+  let arity = Array.length atts in
+  Csv.add_row buf (List.map Intern.string_of_id (Array.to_list atts));
+  let cols = Array.init arity (Irel.col_ids r) in
+  let n = Irel.cardinality r in
+  for i = 0 to n - 1 do
+    Csv.add_row buf
+      (List.init arity (fun j ->
+           Intern.string_of_id (Intern.value_str_id cols.(j).(i))));
+    if Buffer.length buf >= 61440 then begin
+      Buffer.output_buffer oc buf;
+      Buffer.clear buf
+    end
+  done;
+  Buffer.output_buffer oc buf;
+  Telemetry.count cfg.telemetry "migrate.emit.rows" n

@@ -1,0 +1,134 @@
+(** Bulk migration: streaming, chunked, multi-domain execution of ℒ
+    programs over the interned columnar representation.
+
+    Discovery runs on small critical instances; the discovered program is
+    only useful once executed against full production data. This module
+    is that execution layer: relations are held as lists of bounded-size
+    columnar chunks ({!Irel.t}), each operator of a {!Fira.Expr.t} is
+    applied chunk-parallel across domains (reusing {!Search.Pool}), and
+    CSV flows in and out as streams, so peak memory tracks the chunk
+    size — never the instance size — on the ingest and emit paths.
+
+    {2 Chunk-merge semantics}
+
+    Per-row operators (ρ/↓/→/λ/π̄/σ) apply to each chunk independently.
+    Operators whose result depends on the whole relation run a
+    partition-then-merge plan: ↑ takes a global new-column pass before
+    the per-chunk rebuild, µ and ℘ regroup rows across chunks by the key
+    value's printed form, − probes a sorted materialization of the right
+    side, ∪ concatenates chunk lists, and ⋈ (never emitted by discovery)
+    coalesces and delegates to the boxed implementation. Chunks stay
+    canonical internally but may duplicate rows {e across} chunks;
+    {!Cdb.to_idb} performs the final global canonicalization. The result
+    is canonically equal ({!Idb.canonical_equal}) to sequential
+    {!Fira.Eval} — property-tested over random (DB, program) pairs —
+    with one caveat: when {!Value.compare}-equal but distinct values
+    (Int 1 vs Float 1.0) collide, the surviving representative may
+    differ from the sequential pick. See DESIGN.md, "Bulk migration". *)
+
+open Relational
+
+exception Error of string
+(** Inapplicable step or malformed input, with the same reason phrasing
+    as {!Fira.Eval} ("migrate: <op> inapplicable: no relation ..."). *)
+
+exception Cancelled
+(** Raised by {!run} and {!ingest_channel} when [stop] returns [true]. *)
+
+(** {1 Chunked databases} *)
+
+module Cdb : sig
+  type t
+  (** Relation-name ids bound to chunk lists, name-sorted like {!Idb.t}.
+      Each chunk is internally canonical; rows may repeat across chunks
+      (global deduplication is deferred to {!to_idb}). *)
+
+  val empty : t
+  val names : t -> int list
+  val mem : t -> int -> bool
+
+  val rows : t -> int
+  (** Physical rows summed over chunks (cross-chunk duplicates counted). *)
+
+  val cells : t -> int
+  val chunk_count : t -> int
+
+  val of_idb : chunk_rows:int -> Idb.t -> t
+  (** Slice each relation into chunks of at most [chunk_rows] rows. *)
+
+  val of_database : chunk_rows:int -> Database.t -> t
+
+  val to_idb : t -> Idb.t
+  (** Concatenate and canonicalize each relation — the final global
+      sort/dedup of a migration. Single-chunk relations are passed
+      through untouched. *)
+
+  val to_database : t -> Database.t
+end
+
+(** {1 Configuration} *)
+
+type config = {
+  chunk_rows : int;  (** target rows per chunk *)
+  jobs : int;  (** domains for chunk-parallel application *)
+  semantics : [ `Full | `Syntactic ];  (** λ evaluation, as {!Fira.Eval} *)
+  telemetry : Telemetry.t;
+  stop : unit -> bool;  (** cooperative cancellation, polled between ops *)
+}
+
+val config :
+  ?chunk_rows:int ->
+  ?jobs:int ->
+  ?semantics:[ `Full | `Syntactic ] ->
+  ?telemetry:Telemetry.t ->
+  ?stop:(unit -> bool) ->
+  unit ->
+  config
+(** Defaults: [chunk_rows = 65536], [jobs = Search.Pool.default_domains ()],
+    [`Full] semantics, disabled telemetry, never stop.
+    @raise Invalid_argument if [chunk_rows < 1] or [jobs < 1]. *)
+
+(** {1 Execution} *)
+
+type stats = {
+  rows_in : int;
+  rows_out : int;
+  row_visits : int;
+      (** Σ over applied operators of input rows — the rows/sec basis. *)
+  chunks_in : int;
+  chunks_out : int;
+  ops : int;
+  elapsed_s : float;
+}
+
+val run :
+  ?registry:Fira.Semfun.registry -> config -> Fira.Expr.t -> Cdb.t -> Cdb.t * stats
+(** Apply the program operator by operator, each chunk-parallel across
+    [jobs] domains. Emits telemetry per operator: [migrate.rows] /
+    [migrate.chunk] counters (input rows/chunks) and a
+    [migrate.op.<kind>] timer, all inside a [migrate] span.
+    @raise Error when a step is inapplicable (mirrors {!Fira.Eval}'s
+    checks and reason strings).
+    @raise Cancelled when [stop] fires between operators or phases. *)
+
+val run_idb :
+  ?registry:Fira.Semfun.registry -> config -> Fira.Expr.t -> Idb.t -> Idb.t * stats
+(** [run] wrapped in {!Cdb.of_idb}/{!Cdb.to_idb}; the canonicalization
+    is included in [elapsed_s]. *)
+
+(** {1 Streaming CSV} *)
+
+val ingest_channel : config -> Cdb.t -> name:string -> in_channel -> Cdb.t
+(** Read one relation (header then data rows) to EOF, interning cells
+    chunk by chunk through {!Csv.fold_channel} — no boxed rows, no
+    whole-document string. Short rows are padded with nulls, long rows
+    truncated, cells parsed with {!Value.of_string_guess} (all exactly
+    as {!Csv.parse_relation}). Emits [migrate.ingest.rows] telemetry.
+    Replaces [name] if already bound.
+    @raise Error on an empty document or duplicate header attribute.
+    @raise Cancelled when [stop] fires between chunks. *)
+
+val emit_channel : config -> out_channel -> Irel.t -> unit
+(** Write header and rows as CSV through one reused buffer flushed as it
+    fills. Cells render via the interned printed form ({!Value.to_string}
+    equivalent). Emits [migrate.emit.rows] telemetry. *)

@@ -16,56 +16,123 @@ let check_size ~max_bytes input =
         error "csv: input of %d bytes exceeds the %d-byte limit"
           (String.length input) limit
 
+(* Incremental parser. The state machine survives arbitrary chunk
+   boundaries — a quoted field (or even a CRLF pair) may be split across
+   two [feed] calls — which is what lets the bulk-migration ingest read
+   multi-gigabyte relations through a fixed-size buffer. *)
+module Stream = struct
+  type t = {
+    on_row : string list -> unit;
+    max_bytes : int option;
+    buf : Buffer.t; (* current field *)
+    mutable fields : string list; (* current row, reversed *)
+    mutable state : state;
+    mutable seen : int; (* cumulative bytes fed *)
+    mutable finished : bool;
+  }
+
+  let create ?max_bytes ~on_row () =
+    (match max_bytes with
+    | Some limit when limit < 0 -> invalid_arg "Csv: max_bytes must be >= 0"
+    | _ -> ());
+    {
+      on_row;
+      max_bytes;
+      buf = Buffer.create 64;
+      fields = [];
+      state = Field_start;
+      seen = 0;
+      finished = false;
+    }
+
+  let flush_field t =
+    t.fields <- Buffer.contents t.buf :: t.fields;
+    Buffer.clear t.buf
+
+  let flush_row t =
+    flush_field t;
+    t.on_row (List.rev t.fields);
+    t.fields <- []
+
+  let feed ?(off = 0) ?len t input =
+    if t.finished then invalid_arg "Csv.Stream: feed after finish";
+    let len =
+      match len with Some l -> l | None -> String.length input - off
+    in
+    if off < 0 || len < 0 || off + len > String.length input then
+      invalid_arg "Csv.Stream.feed: bad substring";
+    t.seen <- t.seen + len;
+    (match t.max_bytes with
+    | Some limit when t.seen > limit ->
+        error "csv: input of %d bytes exceeds the %d-byte limit" t.seen limit
+    | _ -> ());
+    for i = off to off + len - 1 do
+      let c = String.unsafe_get input i in
+      match (t.state, c) with
+      | (Field_start | In_field), ',' ->
+          flush_field t;
+          t.state <- Field_start
+      | (Field_start | In_field), '\n' ->
+          flush_row t;
+          t.state <- Field_start
+      | (Field_start | In_field), '\r' -> () (* swallow CR of CRLF *)
+      | Field_start, '"' -> t.state <- In_quotes
+      | Field_start, c ->
+          Buffer.add_char t.buf c;
+          t.state <- In_field
+      | In_field, c -> Buffer.add_char t.buf c
+      | In_quotes, '"' -> t.state <- Quote_seen
+      | In_quotes, c -> Buffer.add_char t.buf c
+      | Quote_seen, '"' ->
+          Buffer.add_char t.buf '"';
+          t.state <- In_quotes
+      | Quote_seen, ',' ->
+          flush_field t;
+          t.state <- Field_start
+      | Quote_seen, '\n' ->
+          flush_row t;
+          t.state <- Field_start
+      | Quote_seen, '\r' -> ()
+      | Quote_seen, c -> error "csv: unexpected %C after closing quote" c
+    done
+
+  let finish t =
+    if not t.finished then begin
+      t.finished <- true;
+      match t.state with
+      | In_quotes -> error "csv: unterminated quoted field"
+      | Field_start when t.fields = [] && Buffer.length t.buf = 0 -> ()
+      | _ -> flush_row t
+    end
+end
+
+let fold_rows ?max_bytes f init input =
+  check_size ~max_bytes input;
+  let acc = ref init in
+  let st = Stream.create ~on_row:(fun row -> acc := f !acc row) () in
+  Stream.feed st input;
+  Stream.finish st;
+  !acc
+
+let fold_channel ?max_bytes ?(chunk_bytes = 65536) f init ic =
+  if chunk_bytes <= 0 then invalid_arg "Csv: chunk_bytes must be > 0";
+  let acc = ref init in
+  let st = Stream.create ?max_bytes ~on_row:(fun row -> acc := f !acc row) () in
+  let chunk = Bytes.create chunk_bytes in
+  let rec loop () =
+    let n = input ic chunk 0 chunk_bytes in
+    if n > 0 then begin
+      Stream.feed st (Bytes.unsafe_to_string chunk) ~len:n;
+      loop ()
+    end
+  in
+  loop ();
+  Stream.finish st;
+  !acc
+
 let parse ?max_bytes input =
   check_size ~max_bytes input;
-  let rows = ref [] and fields = ref [] and buf = Buffer.create 32 in
-  let state = ref Field_start in
-  let flush_field () =
-    fields := Buffer.contents buf :: !fields;
-    Buffer.clear buf
-  in
-  let flush_row () =
-    flush_field ();
-    rows := List.rev !fields :: !rows;
-    fields := []
-  in
-  let n = String.length input in
-  let i = ref 0 in
-  while !i < n do
-    let c = input.[!i] in
-    (match (!state, c) with
-    | (Field_start | In_field), ',' ->
-        flush_field ();
-        state := Field_start
-    | (Field_start | In_field), '\n' ->
-        flush_row ();
-        state := Field_start
-    | (Field_start | In_field), '\r' -> () (* swallow CR of CRLF *)
-    | Field_start, '"' -> state := In_quotes
-    | Field_start, c ->
-        Buffer.add_char buf c;
-        state := In_field
-    | In_field, c -> Buffer.add_char buf c
-    | In_quotes, '"' -> state := Quote_seen
-    | In_quotes, c -> Buffer.add_char buf c
-    | Quote_seen, '"' ->
-        Buffer.add_char buf '"';
-        state := In_quotes
-    | Quote_seen, ',' ->
-        flush_field ();
-        state := Field_start
-    | Quote_seen, '\n' ->
-        flush_row ();
-        state := Field_start
-    | Quote_seen, '\r' -> ()
-    | Quote_seen, c -> error "csv: unexpected %C after closing quote" c);
-    incr i
-  done;
-  (match !state with
-  | In_quotes -> error "csv: unterminated quoted field"
-  | Field_start when !fields = [] && Buffer.length buf = 0 -> ()
-  | _ -> flush_row ());
-  List.rev !rows
+  List.rev (fold_rows (fun rows row -> row :: rows) [] input)
 
 let parse_relation ?max_bytes input =
   match parse ?max_bytes input with
@@ -95,29 +162,41 @@ let parse_relation ?max_bytes input =
 let needs_quoting s =
   String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
 
-let quote s =
-  let buf = Buffer.create (String.length s + 2) in
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"';
-  Buffer.contents buf
+(* Writes stream through the caller's buffer: no per-field or per-row
+   string allocation, so emitting a multi-million-row relation reuses one
+   arena that is flushed to the channel whenever it fills. *)
+let add_field buf s =
+  if needs_quoting s then begin
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+  end
+  else Buffer.add_string buf s
 
-let print_field s = if needs_quoting s then quote s else s
+let add_row buf fields =
+  (match fields with
+  | [] -> ()
+  | first :: rest ->
+      add_field buf first;
+      List.iter
+        (fun f ->
+          Buffer.add_char buf ',';
+          add_field buf f)
+        rest);
+  Buffer.add_char buf '\n'
 
 let print rows =
-  String.concat ""
-    (List.map
-       (fun fields -> String.concat "," (List.map print_field fields) ^ "\n")
-       rows)
+  let buf = Buffer.create 256 in
+  List.iter (add_row buf) rows;
+  Buffer.contents buf
 
 let print_relation r =
-  let header = Relation.attributes r in
-  let data =
-    List.map
-      (fun row -> List.map Value.to_string (Row.to_list row))
-      (Relation.rows r)
-  in
-  print (header :: data)
+  let buf = Buffer.create 256 in
+  add_row buf (Relation.attributes r);
+  List.iter
+    (fun row -> add_row buf (List.map Value.to_string (Row.to_list row)))
+    (Relation.rows r);
+  Buffer.contents buf

@@ -2,9 +2,48 @@
 
     Used for loading critical instances from files (the CLI accepts one CSV
     per relation) and for exporting mapping results. Supports quoted fields
-    with embedded commas, quotes and newlines. *)
+    with embedded commas, quotes and newlines.
+
+    Two reading modes share one state machine: {!parse} materializes a
+    whole document, while {!Stream}/{!fold_rows}/{!fold_channel} push rows
+    to a callback as bytes arrive — the bulk-migration ingest path, which
+    must read relations far larger than memory-bounded wire payloads. *)
 
 exception Error of string
+
+(** Incremental push parser. [feed] accepts arbitrary byte chunks — a
+    quoted field, an escaped quote or a CRLF pair may be split across
+    chunk boundaries — and invokes [on_row] once per completed row.
+    [finish] flushes a final unterminated row and rejects an unclosed
+    quote. *)
+module Stream : sig
+  type t
+
+  val create : ?max_bytes:int -> on_row:(string list -> unit) -> unit -> t
+  (** [max_bytes] bounds the {e cumulative} bytes fed; exceeding it
+      raises {!Error}. @raise Invalid_argument if [max_bytes < 0]. *)
+
+  val feed : ?off:int -> ?len:int -> t -> string -> unit
+  (** Consume [len] bytes of [input] starting at [off] (defaults: the
+      whole string). @raise Error on malformed CSV or an oversized
+      cumulative input. @raise Invalid_argument after {!finish} or on a
+      bad substring. *)
+
+  val finish : t -> unit
+  (** Flush the trailing row, if any. Idempotent.
+      @raise Error on an unterminated quoted field. *)
+end
+
+val fold_rows : ?max_bytes:int -> ('a -> string list -> 'a) -> 'a -> string -> 'a
+(** [fold_rows f init doc] folds [f] over the rows of [doc] in order
+    without materializing the row list. Same [max_bytes] contract as
+    {!parse}. *)
+
+val fold_channel :
+  ?max_bytes:int -> ?chunk_bytes:int -> ('a -> string list -> 'a) -> 'a -> in_channel -> 'a
+(** Like {!fold_rows} but reads the channel to EOF through a reused
+    [chunk_bytes]-sized buffer (default 64 KiB), so memory stays bounded
+    by the chunk size plus one row regardless of document size. *)
 
 val parse : ?max_bytes:int -> string -> string list list
 (** Parse a CSV document into rows of fields. Rows may have differing
@@ -21,6 +60,11 @@ val parse_relation : ?max_bytes:int -> string -> Relation.t
     [max_bytes] bounds the raw document as in {!parse}.
     @raise Error on an empty document, duplicate header names or an
     oversized input. *)
+
+val add_row : Buffer.t -> string list -> unit
+(** Append one CSV line (fields quoted as needed, ['\n']-terminated) to
+    [buf]. The streaming write primitive: emit loops reuse one buffer
+    and flush it to a channel when it fills. *)
 
 val print : string list list -> string
 (** Render rows as CSV, quoting fields when needed. *)

@@ -91,11 +91,11 @@ let dummy_str =
   }
 
 let dummy_val = { value = Value.Null; vstr = 0; tag = 0; null = true }
-let str_index : (string, int) Hashtbl.t = Hashtbl.create 4096
-let str_entries = Atomic.make (Array.make 1024 dummy_str)
+let str_index : (string, int) Hashtbl.t = Hashtbl.create 65536
+let str_entries = Atomic.make (Array.make 4096 dummy_str)
 let str_len = ref 0
-let val_index : int VH.t = VH.create 4096
-let val_entries = Atomic.make (Array.make 1024 dummy_val)
+let val_index : int VH.t = VH.create 65536
+let val_entries = Atomic.make (Array.make 4096 dummy_val)
 let val_len = ref 0
 
 (* Callers hold [mutex]. Returns the array with room at index [!len]. *)
@@ -124,17 +124,42 @@ let intern_string_locked s =
       Hashtbl.add str_index s id;
       id
 
-(* Read-only snapshots of the two indexes, refreshed (by copy, under the
-   mutex) after every insertion. Lookups of already-interned keys — the
-   overwhelmingly common case on the successor hot path, where operator
-   names arrive as strings and every name is already pooled — then need no
-   lock at all: the snapshot tables are never mutated after publication,
-   so concurrent [find_opt]s are safe. A miss falls back to the mutex and
-   re-checks under it. *)
+(* Read-only snapshots of the two indexes. Lookups of already-interned
+   keys — the overwhelmingly common case on the successor hot path, where
+   operator names arrive as strings and every name is already pooled —
+   need no lock at all: the snapshot tables are never mutated after
+   publication, so concurrent [find_opt]s are safe. A miss falls back to
+   the mutex and re-checks the authoritative index under it, so snapshot
+   staleness never affects the answer, only which path computes it.
+
+   Snapshots are republished {e amortized}, not on every insertion: a
+   fresh copy only once the mutex path has been taken [64 + pooled/8]
+   times since the last publish. Copying the whole index per insert made
+   bulk ingest quadratic (interning n distinct values cost O(n²) bytes of
+   Hashtbl copies, all allocated directly on the major heap — the GC debt
+   behind the cold-search p99 noted in ROADMAP item 1); the amortized
+   policy bounds total copy work at O(n) while keeping the steady-state
+   hot path lock-free. Counting mutex-path {e lookups} (not just inserts)
+   toward the threshold guarantees a key interned after the last publish
+   stops paying the mutex once it has been looked up a bounded number of
+   times. *)
 let str_read : (string, int) Hashtbl.t Atomic.t =
   Atomic.make (Hashtbl.create 1)
 
 let val_read : int VH.t Atomic.t = Atomic.make (VH.create 1)
+
+(* Guarded by [mutex]. *)
+let stale = ref 0
+
+let publish_locked () =
+  Atomic.set str_read (Hashtbl.copy str_index);
+  Atomic.set val_read (VH.copy val_index);
+  stale := 0
+
+let maybe_publish_locked () =
+  incr stale;
+  if !stale >= 64 + (Hashtbl.length str_index + VH.length val_index) / 8 then
+    publish_locked ()
 
 let string_id s =
   match Hashtbl.find_opt (Atomic.get str_read) s with
@@ -142,7 +167,7 @@ let string_id s =
   | None ->
       Mutex.lock mutex;
       let id = intern_string_locked s in
-      Atomic.set str_read (Hashtbl.copy str_index);
+      maybe_publish_locked ();
       Mutex.unlock mutex;
       id
 
@@ -165,9 +190,9 @@ let value_id v =
   | None ->
       Mutex.lock mutex;
       let id = intern_value_locked v in
-      (* A value insert may also have pooled its printed form. *)
-      Atomic.set str_read (Hashtbl.copy str_index);
-      Atomic.set val_read (VH.copy val_index);
+      (* A value insert may also have pooled its printed form; the shared
+         publish refreshes both snapshots together. *)
+      maybe_publish_locked ();
       Mutex.unlock mutex;
       id
 
@@ -261,3 +286,26 @@ let size () =
   let s = (!str_len, !val_len) in
   Mutex.unlock mutex;
   s
+
+(* Pre-size the entry arrays so a bulk ingest with a known cardinality
+   estimate pays one large allocation up front instead of a doubling
+   cascade of copy-the-whole-pool major allocations mid-stream. Same
+   publication discipline as [room]: the bigger array is fully written
+   before the atomic pointer swap. *)
+let reserve ~strings ~values =
+  let grow entries len dummy want =
+    let arr = Atomic.get entries in
+    if want > Array.length arr then begin
+      let size = ref (Array.length arr) in
+      while !size < want do
+        size := 2 * !size
+      done;
+      let bigger = Array.make !size dummy in
+      Array.blit arr 0 bigger 0 !len;
+      Atomic.set entries bigger
+    end
+  in
+  Mutex.lock mutex;
+  grow str_entries str_len dummy_str strings;
+  grow val_entries val_len dummy_val values;
+  Mutex.unlock mutex

@@ -78,3 +78,9 @@ val canonical_equal_values : int -> int -> bool
 
 val size : unit -> int * int
 (** [(distinct strings, distinct values)] interned so far. *)
+
+val reserve : strings:int -> values:int -> unit
+(** Pre-size the entry pools for at least that many distinct strings and
+    values. A cardinality hint for bulk ingest: one up-front allocation
+    instead of a doubling cascade of pool copies mid-stream. Never
+    shrinks. *)

@@ -419,11 +419,15 @@ let lub a b =
   Array.init (Array.length a) (fun i ->
       if a.(i) = null_id then b.(i) else a.(i))
 
-let merge r att =
-  let ai = index_of r att in
-  let kids = r.cols.(ai).ids in
-  let changed = ref false in
-  let rec merge_group rows =
+(* The µ in-group greedy fixpoint: repeatedly find any compatible pair,
+   replace it with its lub, until no pair merges. Input order matters to
+   which fixpoint is reached (µ is not confluent on pathological groups),
+   so callers must feed rows in the boxed [Relation.merge] order: the
+   group's canonical rows, reversed. Factored out so the chunked bulk
+   executor ([Migrate]) can run the exact same fixpoint on groups it
+   reassembles across chunk boundaries. *)
+let merge_group ~changed rows =
+  let rec go rows =
     let rec extract_one seen = function
       | [] -> None
       | x :: rest -> (
@@ -440,9 +444,18 @@ let merge r att =
     match extract_one [] rows with
     | Some rows' ->
         changed := true;
-        merge_group rows'
+        go rows'
     | None -> rows
   in
+  go rows
+
+let merge_rows rows = merge_group ~changed:(ref false) rows
+
+let merge r att =
+  let ai = index_of r att in
+  let kids = r.cols.(ai).ids in
+  let changed = ref false in
+  let merge_group rows = merge_group ~changed rows in
   (* Group ROW INDICES by the cell's printed form — exactly
      Relation.merge's [Value.to_string] Hashtbl key (vstr id equality ⟺
      string equality). Consing indices reproduces the reversed in-group
@@ -482,6 +495,25 @@ let merge r att =
     in
     of_rows r.atts rows'
 
+let slice r ~off ~len =
+  if off < 0 || len < 0 || off + len > r.nrows then
+    invalid_arg "Irel.slice: bad range";
+  (* A contiguous row range of a canonical relation is canonical: sorted
+     distinct rows stay sorted and distinct. Columnar [Array.sub] per
+     column — no row materialization. *)
+  let cols =
+    Array.map (fun c -> fresh_col c.att (Array.sub c.ids off len)) r.cols
+  in
+  {
+    atts = r.atts;
+    cols;
+    nrows = len;
+    fp = None;
+    vstrs = None;
+    nulls = -1;
+    proj = None;
+  }
+
 let filter_rows r mask kept =
   (* Filtered rows of a canonical relation stay canonical: no re-sort. *)
   let cols =
@@ -503,6 +535,55 @@ let filter_rows r mask kept =
     atts = r.atts;
     cols;
     nrows = kept;
+    fp = None;
+    vstrs = None;
+    nulls = -1;
+    proj = None;
+  }
+
+let filter_idx r pred =
+  let mask = Array.init r.nrows pred in
+  let kept = Array.fold_left (fun n b -> if b then n + 1 else n) 0 mask in
+  if kept = r.nrows then r else filter_rows r mask kept
+
+let take_idx r idxs =
+  let n = Array.length idxs in
+  for k = 0 to n - 1 do
+    let i = idxs.(k) in
+    if i < 0 || i >= r.nrows || (k > 0 && idxs.(k - 1) >= i) then
+      invalid_arg "Irel.take_idx: indices must be strictly increasing and in range"
+  done;
+  (* A strictly-increasing gather of canonical rows is canonical. *)
+  let cols =
+    Array.map
+      (fun c -> fresh_col c.att (Array.map (fun i -> c.ids.(i)) idxs))
+      r.cols
+  in
+  { atts = r.atts; cols; nrows = n; fp = None; vstrs = None; nulls = -1;
+    proj = None }
+
+let extend_cols r atts cols =
+  let n_new = Array.length atts in
+  if Array.length cols <> n_new then
+    invalid_arg "Irel.extend_cols: atts/cols length mismatch";
+  Array.iter
+    (fun a ->
+      if mem_att r a then
+        invalid_arg
+          (Printf.sprintf "Irel.extend_cols: attribute %S already present"
+             (Intern.string_of_id a)))
+    atts;
+  Array.iter
+    (fun ids ->
+      if Array.length ids <> r.nrows then
+        invalid_arg "Irel.extend_cols: bad column length")
+    cols;
+  (* Same argument as [extend]: appending columns to pairwise-distinct
+     sorted rows keeps them strictly increasing — no re-canonicalization. *)
+  {
+    atts = Array.append r.atts atts;
+    cols = Array.append r.cols (Array.map2 fresh_col atts cols);
+    nrows = r.nrows;
     fp = None;
     vstrs = None;
     nulls = -1;

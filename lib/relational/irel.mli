@@ -88,6 +88,40 @@ val extend : t -> int -> (int array -> int) -> t
 (** [extend r att f]: append column [att], cell computed from each row's
     value ids — the λ-apply building block. *)
 
+val extend_cols : t -> int array -> int array array -> t
+(** [extend_cols r atts cols]: append pre-built columns (one value-id
+    array per new attribute, in row order). Appending columns to
+    pairwise-distinct sorted rows keeps them strictly increasing, so the
+    old columns are shared and nothing is re-sorted — the bulk executor's
+    scatter plan for ↑.
+    @raise Invalid_argument on a present attribute or a length mismatch. *)
+
+val filter_idx : t -> (int -> bool) -> t
+(** [filter_idx r pred]: keep rows whose index satisfies [pred]. A
+    subsequence of canonical rows is canonical: no re-sort, one scan per
+    column. Returns [r] itself when every row is kept. *)
+
+val take_idx : t -> int array -> t
+(** [take_idx r idxs]: gather the rows at the given strictly-increasing
+    indices — a canonical subsequence, one gather per column. The bulk
+    executor's single-pass ℘ building block.
+    @raise Invalid_argument unless indices are strictly increasing and in
+    range. *)
+
+val merge_rows : int array list -> int array list
+(** The µ in-group greedy fixpoint on bare rows: repeatedly replace a
+    compatible pair (agreeing on every non-null position) by its least
+    upper bound until none merges. Callers must feed rows in the boxed
+    [Relation.merge] group order — canonical rows, reversed — to reach
+    the same fixpoint; the chunked bulk executor uses this to merge
+    groups reassembled across chunk boundaries. *)
+
+val slice : t -> off:int -> len:int -> t
+(** [slice r ~off ~len]: rows [off, off+len) as a relation — a contiguous
+    range of canonical rows is itself canonical, so this is a columnar
+    [Array.sub] per column. The chunking primitive of bulk migration.
+    @raise Invalid_argument on a bad range. *)
+
 (** {1 Comparison and containment} *)
 
 val equal : t -> t -> bool

@@ -25,8 +25,11 @@ module Make (S : Space.S) = struct
     let elapsed = Space.stopwatch () in
     let finish outcome = Space.finish ~telemetry c elapsed outcome in
     let frontier = Heap.create () in
-    (* best g with which a key was ever enqueued/expanded *)
-    let best_g : int KT.t = KT.create 256 in
+    (* best g with which a key was ever enqueued/expanded; pre-sized to
+       the working set a budgeted cold search actually reaches, so the
+       table doesn't resize through a series of ever-larger major-heap
+       bucket arrays mid-search *)
+    let best_g : int KT.t = KT.create (max 256 (min budget 8192)) in
     let push node =
       Heap.push frontier ~priority:(node.g + heuristic node.state) node
     in

@@ -25,7 +25,7 @@ module Make (S : Space.S) = struct
     let elapsed = Space.stopwatch () in
     let finish outcome = Space.finish ~telemetry c elapsed outcome in
     (* States seen in any earlier beam are never re-admitted. *)
-    let seen : unit KT.t = KT.create 256 in
+    let seen : unit KT.t = KT.create (max 256 (min budget 8192)) in
     KT.replace seen (S.key root) ();
     let rec sweep beam =
       Telemetry.gauge telemetry Space.Ev.frontier

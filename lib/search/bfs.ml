@@ -10,7 +10,7 @@ module Make (S : Space.S) = struct
     let elapsed = Space.stopwatch () in
     let finish outcome = Space.finish ~telemetry c elapsed outcome in
     let queue = Queue.create () in
-    let seen : unit Keys.t = Keys.create 256 in
+    let seen : unit Keys.t = Keys.create (max 256 (min budget 8192)) in
     Keys.replace seen (S.key root) ();
     Queue.push { state = root; path_rev = []; depth = 0 } queue;
     let rec loop () =
@@ -50,7 +50,7 @@ module Make (S : Space.S) = struct
 
   let reachable ?(budget = Space.default_budget) ?(max_depth = max_int) root =
     Space.validate_budget "Bfs.reachable" budget;
-    let depths : int Keys.t = Keys.create 256 in
+    let depths : int Keys.t = Keys.create (max 256 (min budget 8192)) in
     let queue = Queue.create () in
     Keys.replace depths (S.key root) 0;
     Queue.push (root, 0) queue;

@@ -10,7 +10,7 @@ module Make (S : Space.S) = struct
     let elapsed = Space.stopwatch () in
     let finish outcome = Space.finish ~telemetry c elapsed outcome in
     let frontier = Heap.create () in
-    let seen : unit KT.t = KT.create 256 in
+    let seen : unit KT.t = KT.create (max 256 (min budget 8192)) in
     KT.replace seen (S.key root) ();
     Heap.push frontier ~priority:(heuristic root)
       { state = root; path_rev = []; g = 0 };

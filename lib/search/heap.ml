@@ -1,27 +1,43 @@
 type 'a entry = { priority : int; seq : int; value : 'a }
 
+(* Chunked backing store. A cold search's frontier grows into the
+   thousands, and a flat doubling array allocates every generation past
+   256 words directly on the major heap, leaving the outgrown copies
+   behind as major garbage — allocation debt the serving reactor's
+   [Gc.major_slice] pre-pay has to work off (DESIGN "Serving"). 128-entry
+   chunks stay under the minor-allocation ceiling and growth never
+   copies live entries; only the small spine ever doubles. *)
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable chunks : 'a entry array array;
   mutable len : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; len = 0; next_seq = 0 }
+let chunk_bits = 7
+let chunk_size = 1 lsl chunk_bits
+let chunk_mask = chunk_size - 1
+
+let create () = { chunks = [||]; len = 0; next_seq = 0 }
 let is_empty h = h.len = 0
 let size h = h.len
+
+let get h i = Array.unsafe_get h.chunks.(i lsr chunk_bits) (i land chunk_mask)
+
+let set h i e =
+  Array.unsafe_set h.chunks.(i lsr chunk_bits) (i land chunk_mask) e
 
 let less a b =
   a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
 
 let swap h i j =
-  let tmp = h.data.(i) in
-  h.data.(i) <- h.data.(j);
-  h.data.(j) <- tmp
+  let tmp = get h i in
+  set h i (get h j);
+  set h j tmp
 
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less h.data.(i) h.data.(parent) then begin
+    if less (get h i) (get h parent) then begin
       swap h i parent;
       sift_up h parent
     end
@@ -30,8 +46,8 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.len && less h.data.(l) h.data.(!smallest) then smallest := l;
-  if r < h.len && less h.data.(r) h.data.(!smallest) then smallest := r;
+  if l < h.len && less (get h l) (get h !smallest) then smallest := l;
+  if r < h.len && less (get h r) (get h !smallest) then smallest := r;
   if !smallest <> i then begin
     swap h i !smallest;
     sift_down h !smallest
@@ -40,26 +56,32 @@ let rec sift_down h i =
 let push h ~priority value =
   let entry = { priority; seq = h.next_seq; value } in
   h.next_seq <- h.next_seq + 1;
-  if h.len = Array.length h.data then begin
-    let cap = max 16 (2 * Array.length h.data) in
-    let data = Array.make cap entry in
-    Array.blit h.data 0 data 0 h.len;
-    h.data <- data
+  let ci = h.len lsr chunk_bits in
+  if ci = Array.length h.chunks then begin
+    let spine = Array.make (max 8 (2 * Array.length h.chunks)) [||] in
+    Array.blit h.chunks 0 spine 0 (Array.length h.chunks);
+    h.chunks <- spine
   end;
-  h.data.(h.len) <- entry;
+  if Array.length h.chunks.(ci) = 0 then
+    h.chunks.(ci) <- Array.make chunk_size entry;
+  set h h.len entry;
   h.len <- h.len + 1;
   sift_up h (h.len - 1)
 
 let pop h =
   if h.len = 0 then None
   else begin
-    let top = h.data.(0) in
+    let top = get h 0 in
     h.len <- h.len - 1;
     if h.len > 0 then begin
-      h.data.(0) <- h.data.(h.len);
+      set h 0 (get h h.len);
       sift_down h 0
     end;
     Some (top.priority, top.value)
   end
 
-let peek h = if h.len = 0 then None else Some (h.data.(0).priority, h.data.(0).value)
+let peek h =
+  if h.len = 0 then None
+  else
+    let e = get h 0 in
+    Some (e.priority, e.value)

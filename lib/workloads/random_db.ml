@@ -7,6 +7,7 @@ type shape = {
   null_probability : float;
   value_pool : string list;
   ref_value_probability : float;
+  value_skew : float;
 }
 
 let base_pool =
@@ -21,6 +22,7 @@ let default_shape =
     null_probability = 0.1;
     value_pool = base_pool;
     ref_value_probability = 0.0;
+    value_skew = 0.0;
   }
 
 (* Strings carrying the delimiters of the §4 TNF annotation codec (λ
@@ -39,7 +41,47 @@ let fuzz_shape =
     null_probability = 0.15;
     value_pool = base_pool @ delimiter_spice;
     ref_value_probability = 0.35;
+    value_skew = 0.0;
   }
+
+(* Multi-byte UTF-8 strings (no newlines, so one CSV row stays one
+   corpus-bundle line): accents, CJK, Greek, an emoji. Group names minted
+   from these by ℘/↑ must survive the expression parser's quoting layer
+   and the CSV codec byte-for-byte. *)
+let unicode_spice =
+  [ "h\xc3\xa9llo"; "\xe6\x97\xa5\xe6\x9c\xac"; "\xce\xa9mega";
+    "na\xc3\xafve"; "\xf0\x9f\x99\x82ok" ]
+
+let wide_shape =
+  {
+    max_relations = 2;
+    max_attributes = 24;
+    max_rows = 3;
+    null_probability = 0.2;
+    value_pool = base_pool @ delimiter_spice @ unicode_spice;
+    ref_value_probability = 0.25;
+    value_skew = 0.0;
+  }
+
+let skewed_shape =
+  {
+    max_relations = 3;
+    max_attributes = 4;
+    max_rows = 6;
+    null_probability = 0.45;
+    value_pool = unicode_spice @ base_pool @ delimiter_spice;
+    ref_value_probability = 0.2;
+    value_skew = 2.0;
+  }
+
+(* Power-law pick: index ∝ u^(1+skew), biasing draws toward the front of
+   the pool — hot keys and heavy value repetition, the distribution the
+   chunked µ/℘ regroup plans are most sensitive to. *)
+let skewed_pick rng skew pool =
+  let n = List.length pool in
+  let u = Prng.float rng 1.0 in
+  let i = int_of_float (Float.of_int n *. (u ** (1.0 +. skew))) in
+  List.nth pool (min i (n - 1))
 
 let cell rng shape metadata =
   if Prng.float rng 1.0 < shape.null_probability then Value.Null
@@ -50,6 +92,10 @@ let cell rng shape metadata =
     && metadata <> []
     && Prng.float rng 1.0 < shape.ref_value_probability
   then Value.of_string_guess (Prng.pick rng metadata)
+  else if shape.value_skew > 0.0 then
+    (* Guarded for the same reason: zero-skew shapes keep their exact
+       historical draw sequence. *)
+    Value.of_string_guess (skewed_pick rng shape.value_skew shape.value_pool)
   else Value.of_string_guess (Prng.pick rng shape.value_pool)
 
 let relation ?(shape = default_shape) ?(metadata = []) rng =

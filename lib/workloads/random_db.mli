@@ -22,6 +22,10 @@ type shape = {
           (relation and attribute names) instead of [value_pool] — positive
           values make the data ↔ metadata operators (↑ → ℘ ρ) applicable on
           generated instances *)
+  value_skew : float;
+      (** 0 = uniform pool draws; [s > 0] biases the pool index by
+          [u^(1+s)] toward the front of [value_pool] — hot keys and heavy
+          value repetition *)
 }
 
 val default_shape : shape
@@ -34,6 +38,16 @@ val fuzz_shape : shape
     mapping-expression parser ([λ], [\x1f], [→], brackets, quotes, [,], [/],
     [->]) — the adversarial inputs the inverse-problem fuzzer feeds every
     codec. *)
+
+val wide_shape : shape
+(** Wide-schema instances: up to 2 relations × 24 attributes × 3 rows,
+    20% nulls, multi-byte UTF-8 values in the pool — exercises schema-heavy
+    operators (↑ minting many columns, wide π̄/ρ) and non-ASCII names. *)
+
+val skewed_shape : shape
+(** Null-heavy (45%), power-law value draws ([value_skew = 2]) over a
+    unicode-spiced pool: hot keys, heavy repetition, group collisions —
+    the distribution µ/℘ group plans are most sensitive to. *)
 
 val relation : ?shape:shape -> ?metadata:string list -> Prng.t -> Relation.t
 (** [metadata] is the name pool consulted with [ref_value_probability]

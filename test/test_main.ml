@@ -26,5 +26,6 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("algebra.mapping", Test_mapping_algebra.suite);
       ("server.cache", Test_server_cache.suite);
+      ("migrate", Test_migrate.suite);
       ("properties", Test_props.suite);
     ]

@@ -1,0 +1,222 @@
+(* The bulk migration executor (lib/migrate): the chunked multi-domain
+   run must be canonically equal to sequential Fira.Eval on random
+   (database, program) pairs, and the streaming CSV ingest/emit path
+   must agree with the one-shot parser — including a quoted multi-line
+   field split across a chunk boundary. *)
+
+open Relational
+module Scenario = Fuzz.Scenario
+
+let canonical_idb db = Idb.of_database db
+
+(* --- the equivalence property ---
+
+   500 generated scenarios (random source database + random applicable ℒ
+   program), each executed chunked with deliberately tiny chunks — so
+   every chunk-merge plan (promote's global schema pass, merge's
+   cross-chunk regroup, partition's class reassembly, diff's sorted
+   probe) actually crosses chunk boundaries — and with both a sequential
+   and a 2-domain pool. The result must be canonically equal to the
+   boxed sequential evaluator's. *)
+let test_equivalence () =
+  let chunk_sizes = [| 1; 2; 3; 7 |] in
+  for seed = 1 to 500 do
+    let s = Scenario.generate ~depth:4 seed in
+    let expected = canonical_idb (Fira.Expr.eval s.registry s.program s.source) in
+    let chunk_rows = chunk_sizes.(seed mod Array.length chunk_sizes) in
+    let jobs = 1 + (seed mod 2) in
+    let cfg = Migrate.config ~chunk_rows ~jobs () in
+    let got, stats =
+      Migrate.run_idb ~registry:s.registry cfg s.program
+        (canonical_idb s.source)
+    in
+    if not (Idb.canonical_equal got expected) then
+      Alcotest.failf
+        "seed %d (chunk_rows=%d jobs=%d): chunked result diverges from \
+         sequential eval\nprogram:\n%s"
+        seed chunk_rows jobs
+        (Fira.Expr.to_string s.program);
+    if stats.Migrate.ops <> Fira.Expr.length s.program then
+      Alcotest.failf "seed %d: %d ops applied, program has %d" seed
+        stats.Migrate.ops
+        (Fira.Expr.length s.program)
+  done
+
+(* --- edge cases --- *)
+
+let expr_exn text =
+  match Fira.Parser.expr_of_string text with
+  | Ok e -> e
+  | Error m -> Alcotest.failf "bad test program: %s" m
+
+let rel_of_strings header rows =
+  Irel.of_relation (Relation.of_strings header rows)
+
+let idb_of name r = Idb.add Idb.empty (Intern.string_id name) r
+
+let test_empty_relation () =
+  (* A rowless relation flows through per-row and global operators alike
+     and keeps its (renamed) schema. *)
+  let source = idb_of "R" (rel_of_strings [ "a"; "b"; "c" ] []) in
+  let program = expr_exn "drop[c](R)\nmerge[a](R)\nrename_rel[R->Out]" in
+  let cfg = Migrate.config ~chunk_rows:2 ~jobs:2 () in
+  let got, stats = Migrate.run_idb cfg program source in
+  let out = Idb.find got (Intern.string_id "Out") in
+  Alcotest.(check int) "no rows" 0 (Irel.cardinality out);
+  Alcotest.(check int) "schema survives" 2 (Irel.arity out);
+  Alcotest.(check int) "three ops ran" 3 stats.Migrate.ops
+
+let test_single_chunk_matches_eval () =
+  (* chunk_rows larger than the relation: one chunk, still equal. *)
+  let s = Scenario.generate ~depth:5 77 in
+  let expected = canonical_idb (Fira.Expr.eval s.registry s.program s.source) in
+  let cfg = Migrate.config ~chunk_rows:1_000_000 ~jobs:1 () in
+  let got, _ =
+    Migrate.run_idb ~registry:s.registry cfg s.program (canonical_idb s.source)
+  in
+  Alcotest.(check bool) "single chunk = sequential" true
+    (Idb.canonical_equal got expected)
+
+let test_absent_relation_error () =
+  let source = idb_of "R" (rel_of_strings [ "a" ] [ [ "1" ] ]) in
+  let cfg = Migrate.config () in
+  Alcotest.(check bool) "clear error names the relation" true
+    (match Migrate.run_idb cfg (expr_exn "drop[a](Missing)") source with
+    | exception Migrate.Error m ->
+        (* same phrasing as Fira.Eval: ... inapplicable: no relation ... *)
+        let has needle =
+          let rec go i =
+            i + String.length needle <= String.length m
+            && (String.sub m i (String.length needle) = needle || go (i + 1))
+          in
+          go 0
+        in
+        has "inapplicable" && has "no relation \"Missing\""
+    | _ -> false)
+
+let test_stop_cancels () =
+  let source = idb_of "R" (rel_of_strings [ "a"; "b" ] [ [ "1"; "2" ] ]) in
+  let program = expr_exn "drop[b](R)\nrename_rel[R->Out]" in
+  let polls = ref 0 in
+  let cfg =
+    Migrate.config
+      ~stop:(fun () ->
+        incr polls;
+        !polls > 1)
+      ()
+  in
+  Alcotest.(check bool) "second op cancelled" true
+    (match Migrate.run_idb cfg program source with
+    | exception Migrate.Cancelled -> true
+    | _ -> false)
+
+let with_temp_csv contents f =
+  let path = Filename.temp_file "tupelo_migrate" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc contents;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f path ic))
+
+let test_ingest_matches_parse_relation () =
+  (* Chunked interning ingest — including a quoted multi-line field that
+     a row-count chunk boundary falls inside — equals the boxed one-shot
+     parse. chunk_rows=2 puts a flush right before the multi-line row. *)
+  let doc =
+    "name,note,price\nwidget,plain,25\ngadget,\"spans,\nlines\",60\n\
+     gizmo,\"he said \"\"hi\"\"\",\nsprocket,,19\n"
+  in
+  let expected = Irel.of_relation (Csv.parse_relation doc) in
+  with_temp_csv doc (fun _path ic ->
+      let cfg = Migrate.config ~chunk_rows:2 ~jobs:1 () in
+      let cdb = Migrate.ingest_channel cfg Migrate.Cdb.empty ~name:"R" ic in
+      Alcotest.(check int) "two chunks of two" 2
+        (Migrate.Cdb.chunk_count cdb);
+      let got = Idb.find (Migrate.Cdb.to_idb cdb) (Intern.string_id "R") in
+      Alcotest.(check bool) "ingest = parse_relation" true
+        (Irel.canonical_equal got expected))
+
+let test_ingest_errors () =
+  let cfg = Migrate.config () in
+  with_temp_csv "" (fun _ ic ->
+      Alcotest.(check bool) "empty document" true
+        (match Migrate.ingest_channel cfg Migrate.Cdb.empty ~name:"R" ic with
+        | exception Migrate.Error _ -> true
+        | _ -> false));
+  with_temp_csv "a,a\n1,2\n" (fun _ ic ->
+      Alcotest.(check bool) "duplicate attribute" true
+        (match Migrate.ingest_channel cfg Migrate.Cdb.empty ~name:"R" ic with
+        | exception Migrate.Error _ -> true
+        | _ -> false))
+
+let test_emit_roundtrip () =
+  (* emit_channel then parse_relation recovers the relation (modulo the
+     usual CSV type-guess on cell strings, which to_string survives for
+     interned values by construction). *)
+  let r =
+    rel_of_strings
+      [ "name"; "qty"; "note" ]
+      [
+        [ "widget"; "2"; "with,comma" ];
+        [ "gadget"; "5"; "multi\nline" ];
+        [ "gizmo"; ""; "quote\"y" ];
+      ]
+  in
+  let path = Filename.temp_file "tupelo_emit" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      Migrate.emit_channel (Migrate.config ()) oc r;
+      close_out oc;
+      let ic = open_in_bin path in
+      let doc =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let got = Irel.of_relation (Csv.parse_relation doc) in
+      Alcotest.(check bool) "emit then parse = id" true
+        (Irel.canonical_equal got r))
+
+let test_cdb_roundtrip () =
+  (* of_idb with tiny chunks, then to_idb, is the identity. *)
+  for seed = 1 to 20 do
+    let s = Scenario.generate ~depth:0 seed in
+    let idb = canonical_idb s.source in
+    let cdb = Migrate.Cdb.of_idb ~chunk_rows:1 idb in
+    (* one chunk per row, plus one schema-carrying empty chunk per
+       rowless relation *)
+    let empties =
+      Idb.fold
+        (fun _ r n -> if Irel.cardinality r = 0 then n + 1 else n)
+        idb 0
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: one row per chunk" seed)
+      (Migrate.Cdb.rows cdb + empties)
+      (Migrate.Cdb.chunk_count cdb);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: to_idb ∘ of_idb = id" seed)
+      true
+      (Idb.canonical_equal idb (Migrate.Cdb.to_idb cdb))
+  done
+
+let suite =
+  [
+    Alcotest.test_case "chunked = sequential (500 seeds)" `Slow
+      test_equivalence;
+    Alcotest.test_case "empty relation" `Quick test_empty_relation;
+    Alcotest.test_case "single chunk" `Quick test_single_chunk_matches_eval;
+    Alcotest.test_case "absent relation error" `Quick
+      test_absent_relation_error;
+    Alcotest.test_case "stop cancels" `Quick test_stop_cancels;
+    Alcotest.test_case "ingest chunk boundary" `Quick
+      test_ingest_matches_parse_relation;
+    Alcotest.test_case "ingest errors" `Quick test_ingest_errors;
+    Alcotest.test_case "emit round-trip" `Quick test_emit_roundtrip;
+    Alcotest.test_case "cdb round-trip" `Quick test_cdb_roundtrip;
+  ]
