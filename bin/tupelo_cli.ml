@@ -105,7 +105,28 @@ let goal_arg =
     value
     & opt string "superset"
     & info [ "g"; "goal" ] ~docv:"MODE"
-        ~doc:"Goal test: superset (the paper's) or exact.")
+        ~doc:
+          "Goal test: superset (the paper's), exact, or schema \
+           (structure only — the coarsest multiresolution answer).")
+
+let partial_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "partial" ] ~docv:"REL[,REL]"
+        ~doc:
+          "Restrict discovery to this subset of target relations \
+           (repeatable, comma-separable). The search works toward the \
+           named relations only; combine with -g schema for the \
+           coarsest answer.")
+
+let split_partial specs =
+  List.concat_map
+    (fun spec ->
+      List.filter_map
+        (fun s -> match String.trim s with "" -> None | s -> Some s)
+        (String.split_on_char ',' spec))
+    specs
 
 let budget_arg =
   Arg.(
@@ -211,8 +232,8 @@ let write_file path contents =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc contents)
 
-let discover_cmd_run source target algorithm heuristic goal budget jobs
-    semfuns paper save run_on trace metrics =
+let discover_cmd_run source target algorithm heuristic goal partial budget
+    jobs semfuns anytime frontier_path paper save run_on trace metrics =
   try
     let source = load_database ~what:"--source" source in
     let target = load_database ~what:"--target" target in
@@ -231,64 +252,150 @@ let discover_cmd_run source target algorithm heuristic goal budget jobs
         let scaling = Tupelo.Discover.scaling_for alg in
         let heuristic_opt = Heuristics.Heuristic.by_name scaling heuristic in
         let goal_opt = Tupelo.Goal.mode_of_string goal in
+        let partial = split_partial partial in
         match (heuristic_opt, goal_opt) with
         | None, _ -> fail "unknown heuristic %S" heuristic
         | _, None -> fail "unknown goal mode %S" goal
-        | Some heuristic, Some goal ->
-            with_telemetry trace metrics @@ fun telemetry ->
-            (let config =
-               Tupelo.Discover.config ~algorithm:alg ~heuristic ~goal ~budget
-                 ~jobs ~telemetry ()
-             in
-             match
-               Tupelo.Discover.discover ~registry config ~source ~target
-             with
-            | Tupelo.Discover.Mapping m ->
-                Printf.printf
-                  "discovered: %d operators, %d states examined, %.3fs\n\n"
-                  (Tupelo.Mapping.length m)
-                  m.Tupelo.Mapping.stats.Search.Space.examined
-                  m.Tupelo.Mapping.stats.Search.Space.elapsed_s;
-                print_endline
-                  (if paper then Fira.Expr.to_paper_string m.Tupelo.Mapping.expr
-                   else Fira.Expr.to_string m.Tupelo.Mapping.expr);
-                (match save with
-                | Some path ->
-                    write_file path
-                      (Fira.Parser.expr_to_file_string m.Tupelo.Mapping.expr);
-                    Printf.printf "\nmapping saved to %s\n" path
-                | None -> ());
-                if run_on <> [] then begin
-                  let instance = load_database ~what:"--run-on" run_on in
-                  print_endline "\nresult of executing the mapping:";
-                  print_endline
-                    (Database.to_string
-                       (Tupelo.Mapping.apply registry m instance))
-                end;
-                `Ok ()
-            | Tupelo.Discover.No_mapping stats ->
-                Printf.printf
-                  "no mapping exists in the (budgeted) space; %d states \
-                   examined\n"
-                  stats.Search.Space.examined;
-                `Ok ()
-            | Tupelo.Discover.Gave_up stats ->
-                Printf.printf "gave up after %d states\n"
-                  stats.Search.Space.examined;
-                `Ok ()))
+        | Some heuristic, Some goal -> (
+            match
+              List.find_opt
+                (fun rel -> Database.find_opt target rel = None)
+                partial
+            with
+            | Some rel -> fail "--partial: no target relation %S" rel
+            | None -> (
+                let resume =
+                  match frontier_path with
+                  | Some path when Sys.file_exists path -> (
+                      match
+                        Tupelo.Discover.frontier_of_string (read_file path)
+                      with
+                      | Ok fr -> Ok (Some fr)
+                      | Error m ->
+                          Error (Printf.sprintf "--frontier %s: %s" path m))
+                  | _ -> Ok None
+                in
+                match resume with
+                | Error m -> fail "%s" m
+                | Ok resume ->
+                    with_telemetry trace metrics @@ fun telemetry ->
+                    let config =
+                      Tupelo.Discover.config ~algorithm:alg ~heuristic ~goal
+                        ~partial ~budget ~jobs ~telemetry ()
+                    in
+                    let report = function
+                      | Tupelo.Discover.Mapping m ->
+                          Printf.printf
+                            "discovered: %d operators, %d states examined, \
+                             %.3fs\n\n"
+                            (Tupelo.Mapping.length m)
+                            m.Tupelo.Mapping.stats.Search.Space.examined
+                            m.Tupelo.Mapping.stats.Search.Space.elapsed_s;
+                          print_endline
+                            (if paper then
+                               Fira.Expr.to_paper_string m.Tupelo.Mapping.expr
+                             else Fira.Expr.to_string m.Tupelo.Mapping.expr);
+                          (match save with
+                          | Some path ->
+                              write_file path
+                                (Fira.Parser.expr_to_file_string
+                                   m.Tupelo.Mapping.expr);
+                              Printf.printf "\nmapping saved to %s\n" path
+                          | None -> ());
+                          if run_on <> [] then begin
+                            let instance =
+                              load_database ~what:"--run-on" run_on
+                            in
+                            print_endline
+                              "\nresult of executing the mapping:";
+                            print_endline
+                              (Database.to_string
+                                 (Tupelo.Mapping.apply registry m instance))
+                          end;
+                          `Ok ()
+                      | Tupelo.Discover.No_mapping stats ->
+                          Printf.printf
+                            "no mapping exists in the (budgeted) space; %d \
+                             states examined\n"
+                            stats.Search.Space.examined;
+                          `Ok ()
+                      | Tupelo.Discover.Gave_up stats ->
+                          Printf.printf "gave up after %d states\n"
+                            stats.Search.Space.examined;
+                          `Ok ()
+                    in
+                    if (not anytime) && frontier_path = None then
+                      report
+                        (Tupelo.Discover.discover ~registry config ~source
+                           ~target)
+                    else begin
+                      let on_incumbent (inc : Tupelo.Discover.incumbent) =
+                        if anytime then
+                          Printf.printf
+                            "incumbent after %d states: %d ops, h=%d, \
+                             coverage %d/%d [%s]\n\
+                             %!"
+                            inc.Tupelo.Discover.inc_seq
+                            inc.Tupelo.Discover.inc_cost
+                            inc.Tupelo.Discover.inc_h
+                            inc.Tupelo.Discover.inc_covered
+                            inc.Tupelo.Discover.inc_total
+                            inc.Tupelo.Discover.inc_entrant
+                      in
+                      let result =
+                        Tupelo.Discover.discover_anytime ~registry
+                          ~on_incumbent ?resume config ~source ~target
+                      in
+                      (match
+                         (frontier_path, result.Tupelo.Discover.a_frontier)
+                       with
+                      | Some path, Some fr ->
+                          write_file path
+                            (Tupelo.Discover.frontier_to_string fr);
+                          Printf.printf
+                            "frontier checkpointed to %s (rerun with \
+                             --frontier %s to continue)\n"
+                            path path
+                      | Some path, None ->
+                          (* the checkpoint was consumed (or none was
+                             produced): a rerun must not resurrect it *)
+                          if resume <> None && Sys.file_exists path then
+                            Sys.remove path
+                      | None, _ -> ());
+                      report result.Tupelo.Discover.a_outcome
+                    end)))
   with
   | Sys_error m | Csv.Error m | Database.Error m | Fira.Semfun.Error m ->
       fail "%s" m
 
 let discover_cmd =
   let doc = "discover a mapping expression between two critical instances" in
+  let anytime =
+    Arg.(
+      value & flag
+      & info [ "anytime" ]
+          ~doc:
+            "Print each improving incumbent (best partial mapping seen so \
+             far) while the search runs.")
+  in
+  let frontier =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "frontier" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint file for resumable discovery: when the budget runs \
+             out the search frontier is saved to $(docv), and a rerun with \
+             the same flag resumes from it instead of starting over.")
+  in
   Cmd.v
     (Cmd.info "discover" ~doc)
     Term.(
       ret
         (const discover_cmd_run $ source_arg $ target_arg $ algorithm_arg
-       $ heuristic_arg $ goal_arg $ budget_arg $ jobs_arg $ semfun_arg
-       $ paper_arg $ save_arg $ run_on_arg $ trace_arg $ metrics_arg))
+       $ heuristic_arg $ goal_arg $ partial_arg $ budget_arg $ jobs_arg
+       $ semfun_arg $ anytime $ frontier $ paper_arg $ save_arg $ run_on_arg
+       $ trace_arg $ metrics_arg))
 
 (* --- apply --- *)
 
@@ -535,8 +642,8 @@ let port_arg ~default =
         ~doc:"TCP port (0 = pick an ephemeral port).")
 
 let serve_cmd_run host port queue workers jobs budget timeout_ms
-    read_timeout_ms max_payload cache_capacity cache_shards
-    no_search_telemetry trace metrics =
+    read_timeout_ms max_payload cache_capacity cache_shards frontier_capacity
+    frontier_ttl_ms no_search_telemetry trace metrics =
   try
     let agg = if metrics then Some (Telemetry.Agg.create ()) else None in
     let with_trace k =
@@ -563,8 +670,8 @@ let serve_cmd_run host port queue workers jobs budget timeout_ms
     let config =
       Server.Daemon.config ~host ~port ~queue_capacity:queue ~workers ~jobs
         ~budget ~timeout_ms ~read_timeout_ms ~max_payload ~cache_capacity
-        ~cache_shards ~search_telemetry:(not no_search_telemetry) ?trace_sink
-        ()
+        ~cache_shards ~frontier_capacity ~frontier_ttl_ms
+        ~search_telemetry:(not no_search_telemetry) ?trace_sink ()
     in
     (* Report the bound address before blocking: scripts wait for this
        line, then talk to the port (which matters with --port 0). *)
@@ -649,6 +756,20 @@ let serve_cmd =
             "Mapping-cache entries: discovered mappings are remembered \
              by the (source, target) instance fingerprints, LRU-evicted.")
   in
+  let frontier_capacity =
+    Arg.(
+      value & opt int 32
+      & info [ "frontier-capacity" ] ~docv:"N"
+          ~doc:
+            "Retained resume checkpoints for anytime requests that gave \
+             up; beyond it the oldest checkpoint is evicted.")
+  in
+  let frontier_ttl =
+    Arg.(
+      value & opt int 300_000
+      & info [ "frontier-ttl-ms" ] ~docv:"MS"
+          ~doc:"How long an unredeemed resume token stays valid.")
+  in
   let no_search_telemetry =
     Arg.(
       value & flag
@@ -662,13 +783,13 @@ let serve_cmd =
       ret
         (const serve_cmd_run $ host_arg $ port_arg ~default:8080 $ queue
        $ workers $ jobs_arg $ budget_arg $ timeout $ read_timeout
-       $ max_payload $ cache_capacity $ cache_shards $ no_search_telemetry
-       $ trace_arg $ metrics_arg))
+       $ max_payload $ cache_capacity $ cache_shards $ frontier_capacity
+       $ frontier_ttl $ no_search_telemetry $ trace_arg $ metrics_arg))
 
 (* --- request --- *)
 
-let request_cmd_run host port source target algorithm heuristic goal budget
-    jobs timeout_ms semfuns health stats =
+let request_cmd_run host port source target algorithm heuristic goal partial
+    budget jobs timeout_ms semfuns anytime resume health stats =
   try
     let get path =
       match Server.Client.once ~host ~port ~meth:"GET" ~path () with
@@ -681,34 +802,57 @@ let request_cmd_run host port source target algorithm heuristic goal budget
     if health then get "/healthz"
     else if stats then get "/stats"
     else begin
-      let csv_specs specs =
-        List.map
-          (fun spec ->
-            let name, path = parse_rel_spec spec in
-            (name, read_file path))
-          specs
+      (* the final response prints last either way; incumbent frames
+         stream above it as they arrive *)
+      let on_frame = function
+        | Server.Protocol.F_incumbent i ->
+            print_endline
+              (Server.Json.to_string (Server.Protocol.encode_incumbent i))
+        | Server.Protocol.F_final _ | Server.Protocol.F_error _ -> ()
       in
-      if source = [] || target = [] then
-        fail "--source and --target are required (or use --health/--stats)"
-      else
-        let req =
-          Server.Protocol.request ~algorithm ~heuristic ~goal ~budget ~jobs
-            ?timeout_ms ~semfuns ~source:(csv_specs source)
-            ~target:(csv_specs target) ()
-        in
+      let print_final (resp : Server.Protocol.discover_response) =
+        print_endline
+          (Server.Json.to_string (Server.Protocol.encode_response resp));
+        if resp.Server.Protocol.outcome = "mapping" then `Ok ()
+        else `Error (false, "no mapping: " ^ resp.Server.Protocol.outcome)
+      in
+      let with_conn k =
         let conn = Server.Client.connect ~host ~port in
         Fun.protect
           ~finally:(fun () -> Server.Client.close conn)
           (fun () ->
-            match Server.Client.discover conn req with
+            match k conn with
             | Error m -> fail "%s" m
             | Ok (status, Error m) -> fail "HTTP %d: %s" status m
-            | Ok (_, Ok resp) ->
-                print_endline
-                  (Server.Json.to_string
-                     (Server.Protocol.encode_response resp));
-                if resp.Server.Protocol.outcome = "mapping" then `Ok ()
-                else `Error (false, "no mapping: " ^ resp.Server.Protocol.outcome))
+            | Ok (_, Ok resp) -> print_final resp)
+      in
+      match resume with
+      | Some token ->
+          with_conn (fun conn ->
+              Server.Client.discover_resume conn ~on_frame token)
+      | None ->
+          let csv_specs specs =
+            List.map
+              (fun spec ->
+                let name, path = parse_rel_spec spec in
+                (name, read_file path))
+              specs
+          in
+          if source = [] || target = [] then
+            fail
+              "--source and --target are required (or use \
+               --health/--stats/--resume)"
+          else
+            let req =
+              Server.Protocol.request ~algorithm ~heuristic ~goal
+                ~partial:(split_partial partial) ~budget ~jobs ?timeout_ms
+                ~semfuns ~source:(csv_specs source)
+                ~target:(csv_specs target) ()
+            in
+            with_conn (fun conn ->
+                if anytime then
+                  Server.Client.discover_anytime conn ~on_frame req
+                else Server.Client.discover conn req)
     end
   with
   | Sys_error m -> fail "%s" m
@@ -741,12 +885,33 @@ let request_cmd =
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"GET /stats instead.")
   in
+  let anytime =
+    Arg.(
+      value & flag
+      & info [ "anytime" ]
+          ~doc:
+            "Stream the request ([/discover?anytime=1]): improving \
+             incumbent frames print as they arrive, then the final \
+             response. A budget-starved search's final frame carries a \
+             resume_token for --resume.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"TOKEN"
+          ~doc:
+            "Redeem a resume_token from an earlier --anytime response and \
+             continue that search where it stopped (tokens are \
+             single-use).")
+  in
   Cmd.v (Cmd.info "request" ~doc)
     Term.(
       ret
         (const request_cmd_run $ host_arg $ port_arg ~default:8080 $ source
-       $ target $ algorithm_arg $ heuristic_arg $ goal_arg $ budget_arg
-       $ jobs_arg $ timeout $ semfun_arg $ health $ stats))
+       $ target $ algorithm_arg $ heuristic_arg $ goal_arg $ partial_arg
+       $ budget_arg $ jobs_arg $ timeout $ semfun_arg $ anytime $ resume
+       $ health $ stats))
 
 (* --- fuzz --- *)
 
@@ -794,7 +959,9 @@ let fuzz_cmd_run trials seed depth algorithm heuristic budget search_jobs jobs
       | Some shape -> (
       match Fuzz.Oracle.mode_of_string oracle_mode with
       | None ->
-          fail "--oracle: unknown mode %S (want replay|invert|compose|drift)"
+          fail
+            "--oracle: unknown mode %S (want \
+             replay|invert|compose|drift|anytime)"
             oracle_mode
       | Some omode -> (
       match Tupelo.Discover.algorithm_of_string algorithm with
@@ -983,10 +1150,11 @@ let fuzz_cmd =
              replay — the classic inverse problem), $(b,invert) \
              (quasi-inverse containment over the longest invertible suffix, \
              no search), $(b,compose) (composition/normalization laws, no \
-             search), or $(b,drift) (perturb one source cell and \
-             re-discover with the normalized original program as a warm \
-             start). The algebra modes always run in-process; --server \
-             only affects replay.")
+             search), $(b,drift) (perturb one source cell and re-discover \
+             with the normalized original program as a warm start), or \
+             $(b,anytime) (stream incumbents and hold each one to its \
+             claimed replay and coverage). Only replay honours --server; \
+             the other modes always run in-process.")
   in
   let shape =
     Arg.(

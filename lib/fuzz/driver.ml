@@ -77,12 +77,13 @@ let trial_seeds config =
   let rng = Prng.create config.seed in
   Array.init config.trials (fun _ -> Prng.int rng 0x3FFFFFFF)
 
-(* The algebra modes (invert/compose/drift) always run in process: they
-   exercise [Fira.Algebra] and the warm-start machinery, not the wire
-   path, so [Remote] only changes where [Replay] searches. *)
+(* The non-replay modes (invert/compose/drift/anytime) always run in
+   process: they exercise [Fira.Algebra], the warm-start machinery and
+   the anytime layer, not the wire path, so [Remote] only changes where
+   [Replay] searches. *)
 let check_in ~mode ~oracle_mode ?stop ?perturb oracle scenario =
   match (oracle_mode : Oracle.mode) with
-  | Oracle.Invert | Oracle.Compose | Oracle.Drift ->
+  | Oracle.Invert | Oracle.Compose | Oracle.Drift | Oracle.Anytime ->
       Oracle.check_mode ?stop ?perturb oracle_mode oracle scenario
   | Oracle.Replay -> (
   match mode with

@@ -96,13 +96,14 @@ let check ?stop ?perturb config (s : Scenario.t) = search ?stop ?perturb config 
    original program as a warm start — the server's near-miss reuse path,
    exercised end to end in-process. *)
 
-type mode = Replay | Invert | Compose | Drift
+type mode = Replay | Invert | Compose | Drift | Anytime
 
 let mode_name = function
   | Replay -> "replay"
   | Invert -> "invert"
   | Compose -> "compose"
   | Drift -> "drift"
+  | Anytime -> "anytime"
 
 let mode_of_string s =
   match String.lowercase_ascii (String.trim s) with
@@ -110,6 +111,7 @@ let mode_of_string s =
   | "invert" -> Some Invert
   | "compose" -> Some Compose
   | "drift" -> Some Drift
+  | "anytime" -> Some Anytime
   | _ -> None
 
 let take n l = List.filteri (fun i _ -> i < n) l
@@ -216,12 +218,104 @@ let check_drift ?stop ?perturb config (s : Scenario.t) =
       let warm = Fira.Algebra.normalize (Fira.Expr.ops s.program) in
       search ?stop ~warm_start:warm ?perturb config drifted
 
+(* Anytime: run [discover_anytime] and hold every streamed incumbent to
+   its claims. Each incumbent's operator path must replay on the
+   scenario source (full λ semantics) and the replayed state's
+   recounted coverage must equal the claimed one; across the stream,
+   coverage must never regress and the heuristic must never worsen at
+   equal coverage. The final incumbent must carry exactly the
+   discovered mapping's operators, which then replay-verify as in
+   {!check}. Any lie is an [Oracle_error] (the reason travels in the
+   message) pinned to the incumbent's expression, so the shrinker can
+   minimize it. *)
+let check_anytime ?stop ?perturb config (s : Scenario.t) =
+  let dcfg =
+    D.config ~algorithm:config.algorithm ~heuristic:(heuristic_exn config)
+      ~goal:Tupelo.Goal.Superset ~budget:config.budget ~jobs:config.jobs ()
+  in
+  let target_idb = Idb.of_database s.target in
+  let violation = ref None in
+  let last = ref None in
+  let flag inc reason =
+    if !violation = None then
+      violation := Some (Fira.Expr.of_ops inc.D.inc_ops, reason)
+  in
+  let on_incumbent (inc : D.incumbent) =
+    (match !last with
+    | Some (prev : D.incumbent) ->
+        if inc.D.inc_covered < prev.D.inc_covered then
+          flag inc "incumbent stream regressed: coverage decreased"
+        else if
+          inc.D.inc_covered = prev.D.inc_covered && inc.D.inc_h > prev.D.inc_h
+        then flag inc "incumbent stream regressed: heuristic increased"
+    | None -> ());
+    last := Some inc;
+    match Scenario.replay s.registry (Fira.Expr.of_ops inc.D.inc_ops) s.source
+    with
+    | None -> flag inc "incumbent operators do not replay on the source"
+    | Some db ->
+        let covered, total =
+          Tupelo.Goal.coverage_totals
+            (Tupelo.Goal.coverage_interned Tupelo.Goal.Superset
+               ~target:target_idb (Idb.of_database db))
+        in
+        if covered <> inc.D.inc_covered || total <> inc.D.inc_total then
+          flag inc
+            (Printf.sprintf
+               "incumbent claims coverage %d/%d but replay recounts %d/%d"
+               inc.D.inc_covered inc.D.inc_total covered total)
+  in
+  let result =
+    D.discover_anytime ?stop ~registry:s.registry ~on_incumbent dcfg
+      ~source:s.source ~target:s.target
+  in
+  let states = D.states_examined result.D.a_outcome in
+  match !violation with
+  | Some (expr, reason) ->
+      {
+        outcome = Oracle_error ("anytime: " ^ reason);
+        mapping = Some expr;
+        states_examined = states;
+      }
+  | None -> (
+      match result.D.a_outcome with
+      | D.No_mapping _ ->
+          { outcome = Not_found; mapping = None; states_examined = states }
+      | D.Gave_up _ ->
+          {
+            outcome = Budget_exhausted;
+            mapping = None;
+            states_examined = states;
+          }
+      | D.Mapping m -> (
+          let ops = Fira.Expr.ops m.Tupelo.Mapping.expr in
+          match result.D.a_incumbent with
+          | None ->
+              {
+                outcome =
+                  Oracle_error
+                    "anytime: a mapping was found but nothing was streamed";
+                mapping = Some m.Tupelo.Mapping.expr;
+                states_examined = states;
+              }
+          | Some final when not (ops_equal final.D.inc_ops ops) ->
+              {
+                outcome =
+                  Oracle_error
+                    "anytime: final incumbent differs from the discovered \
+                     mapping";
+                mapping = Some m.Tupelo.Mapping.expr;
+                states_examined = states;
+              }
+          | Some _ -> verdict ?perturb s m.Tupelo.Mapping.expr ~states))
+
 let check_mode ?stop ?perturb mode config (s : Scenario.t) =
   match mode with
   | Replay -> check ?stop ?perturb config s
   | Invert -> check_invert s
   | Compose -> check_compose s
   | Drift -> check_drift ?stop ?perturb config s
+  | Anytime -> check_anytime ?stop ?perturb config s
 
 (* ------------------------------------------------------------------ *)
 (* Wire-path oracle: round-trip the scenario through a running mapping

@@ -36,7 +36,9 @@ type outcome =
           solvable by construction, so this is a completeness bug *)
   | Budget_exhausted  (** inconclusive: budget or deadline hit *)
   | Oracle_error of string
-      (** server mode only: transport or protocol failure *)
+      (** a transport/protocol failure (server mode), or an anytime
+          incumbent caught lying about its claims (the reason is in the
+          message) *)
 
 type report = {
   outcome : outcome;
@@ -81,6 +83,15 @@ type mode =
           the drifted pair seeded with the normalized original program —
           the warm-start path, in process. Scenarios admitting no
           surviving perturbation pass vacuously. *)
+  | Anytime
+      (** run {!Tupelo.Discover.discover_anytime} and hold every streamed
+          incumbent to its claims: each operator path must replay on the
+          source with the claimed per-relation coverage (recounted via
+          {!Tupelo.Goal.coverage_interned}), the stream must stay
+          monotone, and the final incumbent must carry exactly the
+          discovered mapping — which then replay-verifies as {!Replay}
+          does. Violations are {!Oracle_error}s pinned to the lying
+          incumbent's expression. *)
 
 val mode_name : mode -> string
 

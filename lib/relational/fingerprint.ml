@@ -21,6 +21,21 @@ let hash x =
   land max_int
 
 let to_hex x = Printf.sprintf "%016Lx%016Lx" x.a x.b
+
+let of_hex s =
+  if String.length s <> 32 then None
+  else
+    let is_hex c =
+      (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+    in
+    if not (String.for_all is_hex s) then None
+    else
+      (* Int64.of_string on "0x…" parses the full unsigned range. *)
+      Some
+        {
+          a = Int64.of_string ("0x" ^ String.sub s 0 16);
+          b = Int64.of_string ("0x" ^ String.sub s 16 16);
+        }
 let combine x y = { a = Int64.add x.a y.a; b = Int64.add x.b y.b }
 let remove x y = { a = Int64.sub x.a y.a; b = Int64.sub x.b y.b }
 

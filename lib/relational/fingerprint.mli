@@ -44,6 +44,11 @@ val hash : t -> int
 val to_hex : t -> string
 (** 32 lowercase hex digits (lane a then lane b). *)
 
+val of_hex : string -> t option
+(** Inverse of {!to_hex} (either case accepted); [None] unless the string
+    is exactly 32 hex digits. The round-trip makes fingerprints usable as
+    the serialized closed-set keys of a resumable search frontier. *)
+
 (** {1 Multiset combination} *)
 
 val combine : t -> t -> t

@@ -737,31 +737,46 @@ let canonical_equal a b =
    sorted projection is cached on [big]: target relations are fixed per
    run and unchanged state relations are shared across states, so the goal
    check amortizes to a few binary searches. *)
+let sorted_proj big small_atts =
+  match big.proj with
+  | Some (key, rows) when key = small_atts -> rows
+  | _ ->
+      let rows =
+        Array.of_list
+          (List.sort compare_rows
+             (project_rows big (Array.to_list small_atts)))
+      in
+      big.proj <- Some (Array.copy small_atts, rows);
+      rows
+
+let proj_mem proj row =
+  let lo = ref 0 and hi = ref (Array.length proj) in
+  let found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = compare_rows row proj.(mid) in
+    if c = 0 then found := true
+    else if c < 0 then hi := mid
+    else lo := mid + 1
+  done;
+  !found
+
 let contains big small =
   Array.for_all (fun att -> mem_att big att) small.atts
   &&
-  let atts = Array.to_list small.atts in
-  let proj =
-    match big.proj with
-    | Some (key, rows) when key = small.atts -> rows
-    | _ ->
-        let rows =
-          Array.of_list (List.sort compare_rows (project_rows big atts))
-        in
-        big.proj <- Some (Array.copy small.atts, rows);
-        rows
+  let proj = sorted_proj big small.atts in
+  let rec all i =
+    i >= small.nrows || (proj_mem proj (row_of small i) && all (i + 1))
   in
-  let mem row =
-    let lo = ref 0 and hi = ref (Array.length proj) in
-    let found = ref false in
-    while (not !found) && !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      let c = compare_rows row proj.(mid) in
-      if c = 0 then found := true
-      else if c < 0 then hi := mid
-      else lo := mid + 1
-    done;
-    !found
-  in
-  let rec all i = i >= small.nrows || (mem (row_of small i) && all (i + 1)) in
   all 0
+
+let count_contained big small =
+  if not (Array.for_all (fun att -> mem_att big att) small.atts) then 0
+  else begin
+    let proj = sorted_proj big small.atts in
+    let n = ref 0 in
+    for i = 0 to small.nrows - 1 do
+      if proj_mem proj (row_of small i) then incr n
+    done;
+    !n
+  end

@@ -135,3 +135,11 @@ val canonical_equal : t -> t -> bool
 val contains : t -> t -> bool
 (** {!Relation.contains}; the sorted projection of the big side is cached
     on it, keyed by the small side's attribute array. *)
+
+val count_contained : t -> t -> int
+(** Number of [small] rows found in [big]'s projection onto [small]'s
+    attributes — the per-relation goal-coverage measure of anytime
+    discovery. 0 when [small]'s attributes are not a subset of [big]'s.
+    When the schemas do line up, the count reaches [cardinality small]
+    exactly when [contains big small]. Shares {!contains}'s projection
+    cache. *)

@@ -14,7 +14,8 @@ module Make (S : Space.S) = struct
         succs )
 
   let search ?(stop = Space.never_stop) ?(telemetry = Telemetry.disabled)
-      ?pool ?batch ?(budget = Space.default_budget) ~heuristic root =
+      ?pool ?batch ?(budget = Space.default_budget) ?watch ?resume ?snapshot
+      ~heuristic root =
     Space.validate_budget "Astar.search" budget;
     (match batch with
     | Some b when b < 1 ->
@@ -42,8 +43,62 @@ module Make (S : Space.S) = struct
       | Some g -> g < node.g
       | None -> false
     in
-    KT.replace best_g (S.key root) 0;
-    push { state = root; path_rev = []; g = 0 };
+    let observe =
+      match watch with
+      | None -> fun _ -> ()
+      | Some f ->
+          fun node ->
+            f
+              {
+                Space.w_state = node.state;
+                w_path_rev = node.path_rev;
+                w_cost = node.g;
+              }
+    in
+    (* Frontier capture for checkpoint/resume: the node in hand (popped
+       but not goal-tested) followed by the heap drained in pop order,
+       stale entries dropped, plus the whole dedup table. Only reached
+       on Budget_exceeded/Cancelled, when the heap is dead anyway. *)
+    let capture extra =
+      match snapshot with
+      | None -> ()
+      | Some f ->
+          let rec drain acc =
+            match Heap.pop frontier with
+            | None -> List.rev acc
+            | Some (_, n) -> if is_stale n then drain acc else drain (n :: acc)
+          in
+          let nodes = extra @ drain [] in
+          f
+            {
+              Space.snap_nodes =
+                List.map (fun n -> (List.rev n.path_rev, n.state)) nodes;
+              snap_closed = KT.fold (fun k g acc -> (k, g) :: acc) best_g [];
+              snap_checked = 0;
+            }
+    in
+    (match resume with
+    | None ->
+        KT.replace best_g (S.key root) 0;
+        push { state = root; path_rev = []; g = 0 }
+    | Some snap ->
+        (* Transplanted dedup table + re-enqueued open nodes: pushing the
+           snapshot in its own (priority-sorted) order preserves the
+           original heap's tie-breaking against both itself and any node
+           enqueued later, so the resumed run pops in exactly the order
+           the interrupted run would have. *)
+        List.iter
+          (fun (k, g) -> KT.replace best_g k g)
+          snap.Space.snap_closed;
+        List.iter
+          (fun (path, state) ->
+            let g = List.length path in
+            let k = S.key state in
+            (match KT.find_opt best_g k with
+            | Some g0 when g0 <= g -> ()
+            | _ -> KT.replace best_g k g);
+            push { state; path_rev = List.rev path; g })
+          snap.Space.snap_nodes);
     (* Record a successor if it improves on the best known g for its key;
        returns the nodes to enqueue. Sequential (deterministic dedup). *)
     let admit node (action, s, k, g_and_f) =
@@ -72,15 +127,25 @@ module Make (S : Space.S) = struct
           match Heap.pop frontier with
           | None -> finish Space.Exhausted
           | Some (_, node) ->
-              if stop () then finish Space.Cancelled
+              if stop () then begin
+                capture [ node ];
+                finish Space.Cancelled
+              end
               else if is_stale node then begin
                 Telemetry.count telemetry Space.Ev.prune_stale 1;
                 loop ()
               end
+              else if c.examined_c >= budget then begin
+                (* Checked before the tick so the node in hand is
+                   captured untested — resume examines it first and the
+                   budget split stays exact (see [Greedy]). *)
+                capture [ node ];
+                finish Space.Budget_exceeded
+              end
               else begin
                 Space.tick_examined telemetry c;
-                if c.examined_c > budget then finish Space.Budget_exceeded
-                else if S.is_goal node.state then finish (found node)
+                if (observe node; S.is_goal node.state) then
+                  finish (found node)
                 else begin
                   merge_expansion (expand ~heuristic node);
                   sample_frontier ();
@@ -140,20 +205,22 @@ module Make (S : Space.S) = struct
             let rec test incumbent to_expand = function
               | [] -> `Go (incumbent, List.rev to_expand)
               | node :: rest ->
-                  Space.tick_examined telemetry c;
-                  if c.examined_c > budget then
+                  if c.examined_c >= budget then
                     `Done
                       (match incumbent with
                       | Some inc -> found inc
                       | None -> Space.Budget_exceeded)
-                  else if S.is_goal node.state then
-                    let incumbent =
-                      match incumbent with
-                      | Some best when best.g <= node.g -> Some best
-                      | _ -> Some node
-                    in
-                    test incumbent to_expand rest
-                  else test incumbent (node :: to_expand) rest
+                  else begin
+                    Space.tick_examined telemetry c;
+                    if (observe node; S.is_goal node.state) then
+                      let incumbent =
+                        match incumbent with
+                        | Some best when best.g <= node.g -> Some best
+                        | _ -> Some node
+                      in
+                      test incumbent to_expand rest
+                    else test incumbent (node :: to_expand) rest
+                  end
             in
             match test incumbent [] nodes with
             | `Done outcome -> finish outcome

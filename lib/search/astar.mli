@@ -14,6 +14,9 @@ module Make (S : Space.S) : sig
     ?pool:Pool.t ->
     ?batch:int ->
     ?budget:int ->
+    ?watch:((S.state, S.action) Space.witness -> unit) ->
+    ?resume:(S.state, S.action, S.Key.t) Space.snapshot ->
+    ?snapshot:((S.state, S.action, S.Key.t) Space.snapshot -> unit) ->
     heuristic:(S.state -> int) ->
     S.state ->
     (S.state, S.action) Space.result
@@ -28,5 +31,18 @@ module Make (S : Space.S) : sig
       polled once per batch (once per pop when sequential); when it
       fires the search returns {!Space.Cancelled} — or the incumbent
       mapping, if one is already in hand.
+
+      [watch] (anytime observation) fires once per goal-tested node —
+      after the budget check, before the goal test — and must not
+      mutate the space; it never changes the outcome, stats or
+      examination order. [snapshot] is invoked with a resumable
+      frontier when the sequential engine finishes with
+      {!Space.Budget_exceeded} or {!Space.Cancelled} (the pooled engine
+      does not checkpoint); passing that snapshot back as [resume]
+      continues the search exactly where it stopped — the dedup table
+      is transplanted and the open nodes re-enqueued in order, so the
+      resumed run pops in the same order the interrupted run would
+      have. With [resume], the root is ignored in favor of the
+      snapshot's open nodes.
       @raise Invalid_argument if [budget <= 0] or [batch < 1]. *)
 end

@@ -16,7 +16,8 @@ module Make (S : Space.S) = struct
         succs )
 
   let search ?(stop = Space.never_stop) ?(telemetry = Telemetry.disabled)
-      ?pool ?(budget = Space.default_budget) ?(width = 8) ~heuristic root =
+      ?pool ?(budget = Space.default_budget) ?(width = 8) ?watch ?resume
+      ?snapshot ~heuristic root =
     Space.validate_budget "Beam.search" budget;
     if width <= 0 then
       invalid_arg
@@ -26,20 +27,59 @@ module Make (S : Space.S) = struct
     let finish outcome = Space.finish ~telemetry c elapsed outcome in
     (* States seen in any earlier beam are never re-admitted. *)
     let seen : unit KT.t = KT.create (max 256 (min budget 8192)) in
-    KT.replace seen (S.key root) ();
-    let rec sweep beam =
+    let observe =
+      match watch with
+      | None -> fun _ -> ()
+      | Some f ->
+          fun node ->
+            f
+              {
+                Space.w_state = node.state;
+                w_path_rev = node.path_rev;
+                w_cost = node.g;
+              }
+    in
+    (* Checkpoint on Budget_exceeded/Cancelled: the whole current beam
+       (the interrupted sweep still owes the unchecked tail its goal
+       tests and every member its expansion) plus the seen set.
+       [snap_checked] marks how many head nodes were already goal-tested
+       so the resumed sweep skips exactly those. *)
+    let capture ~checked beam =
+      match snapshot with
+      | None -> ()
+      | Some f ->
+          f
+            {
+              Space.snap_nodes =
+                List.map (fun n -> (List.rev n.path_rev, n.state)) beam;
+              snap_closed = KT.fold (fun k () acc -> (k, 0) :: acc) seen [];
+              snap_checked = checked;
+            }
+    in
+    let rec sweep ~skip beam =
       Telemetry.gauge telemetry Space.Ev.frontier
         (float_of_int (List.length beam));
-      (* Examine the whole beam first (goal test), then expand. *)
-      let rec check = function
+      (* Examine the whole beam first (goal test), then expand. The first
+         [skip] nodes of a resumed sweep were goal-tested before the
+         snapshot was taken and are not re-examined. *)
+      let rec check i = function
         | [] -> None
         | node :: rest ->
-            if stop () then Some (finish Space.Cancelled)
+            if i < skip then check (i + 1) rest
+            else if stop () then
+              Some
+                (capture ~checked:i beam;
+                 finish Space.Cancelled)
+            else if c.examined_c >= budget then
+              (* Checked before the tick so the node in hand is captured
+                 untested — resume examines it first and the budget split
+                 stays exact (see [Greedy]). *)
+              Some
+                (capture ~checked:i beam;
+                 finish Space.Budget_exceeded)
             else begin
               Space.tick_examined telemetry c;
-              if c.examined_c > budget then
-                Some (finish Space.Budget_exceeded)
-              else if S.is_goal node.state then
+              if (observe node; S.is_goal node.state) then
                 Some
                   (finish
                      (Space.Found
@@ -48,10 +88,10 @@ module Make (S : Space.S) = struct
                           final = node.state;
                           cost = node.g;
                         }))
-              else check rest
+              else check (i + 1) rest
             end
       in
-      match check beam with
+      match check 0 beam with
       | Some result -> result
       | None ->
           let expansions =
@@ -92,7 +132,22 @@ module Make (S : Space.S) = struct
             let next =
               List.filteri (fun i _ -> i < width) (List.map snd scored)
             in
-            sweep next
+            sweep ~skip:0 next
     in
-    sweep [ { state = root; path_rev = []; g = 0 } ]
+    match resume with
+    | None ->
+        KT.replace seen (S.key root) ();
+        sweep ~skip:0 [ { state = root; path_rev = []; g = 0 } ]
+    | Some snap ->
+        List.iter (fun (k, _) -> KT.replace seen k ()) snap.Space.snap_closed;
+        let beam =
+          List.map
+            (fun (path, state) ->
+              KT.replace seen (S.key state) ();
+              { state; path_rev = List.rev path; g = List.length path })
+            snap.Space.snap_nodes
+        in
+        if beam = [] then
+          Space.finish ~telemetry c elapsed Space.Exhausted
+        else sweep ~skip:snap.Space.snap_checked beam
 end

@@ -15,6 +15,9 @@ module Make (S : Space.S) : sig
     ?pool:Pool.t ->
     ?budget:int ->
     ?width:int ->
+    ?watch:((S.state, S.action) Space.witness -> unit) ->
+    ?resume:(S.state, S.action, S.Key.t) Space.snapshot ->
+    ?snapshot:((S.state, S.action, S.Key.t) Space.snapshot -> unit) ->
     heuristic:(S.state -> int) ->
     S.state ->
     (S.state, S.action) Space.result
@@ -27,5 +30,14 @@ module Make (S : Space.S) : sig
       order, so the result (outcome, cost {e and} stats) is identical to
       a sequential run. [stop] is polled once per goal test; when it
       returns true the search finishes with {!Space.Cancelled}.
+
+      [watch] fires once per goal-tested node (after the budget check,
+      before the goal test) and must not mutate the space. [snapshot]
+      is invoked on {!Space.Budget_exceeded}/{!Space.Cancelled} with
+      the whole current beam (its [snap_checked] head nodes were
+      already goal-tested in the interrupted sweep) and the seen set;
+      passing it back as [resume] restores both and skips exactly the
+      already-tested head, so the examined count continues where it
+      stopped. With [resume] the root is ignored.
       @raise Invalid_argument if [budget <= 0] or [width <= 0]. *)
 end

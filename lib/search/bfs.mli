@@ -12,6 +12,9 @@ module Make (S : Space.S) : sig
     ?stop:(unit -> bool) ->
     ?telemetry:Telemetry.t ->
     ?budget:int ->
+    ?watch:((S.state, S.action) Space.witness -> unit) ->
+    ?resume:(S.state, S.action, S.Key.t) Space.snapshot ->
+    ?snapshot:((S.state, S.action, S.Key.t) Space.snapshot -> unit) ->
     S.state ->
     (S.state, S.action) Space.result
   (** [stop] is polled once per examination; when it returns true the
@@ -19,6 +22,14 @@ module Make (S : Space.S) : sig
       {!Telemetry.disabled}) receives the standard search events —
       examine/expand/generate counters, prune counters, frontier gauges
       and the final outcome message (see {!Space.Ev}).
+
+      [watch] fires once per goal-tested node (after the budget check,
+      before the goal test) and must not mutate the space. [snapshot]
+      is invoked with a resumable frontier (the remaining queue in FIFO
+      order plus the seen set) on
+      {!Space.Budget_exceeded}/{!Space.Cancelled}; passing it back as
+      [resume] continues the traversal exactly where it stopped. With
+      [resume] the root is ignored.
       @raise Invalid_argument if [budget <= 0]. *)
 
   val reachable : ?budget:int -> ?max_depth:int -> S.state -> int Keys.t

@@ -4,25 +4,82 @@ module Make (S : Space.S) = struct
   type node = { state : S.state; path_rev : S.action list; g : int }
 
   let search ?(stop = Space.never_stop) ?(telemetry = Telemetry.disabled)
-      ?(budget = Space.default_budget) ~heuristic root =
+      ?(budget = Space.default_budget) ?watch ?resume ?snapshot ~heuristic
+      root =
     Space.validate_budget "Greedy.search" budget;
     let c = Space.counters () in
     let elapsed = Space.stopwatch () in
     let finish outcome = Space.finish ~telemetry c elapsed outcome in
     let frontier = Heap.create () in
     let seen : unit KT.t = KT.create (max 256 (min budget 8192)) in
-    KT.replace seen (S.key root) ();
-    Heap.push frontier ~priority:(heuristic root)
-      { state = root; path_rev = []; g = 0 };
+    let observe =
+      match watch with
+      | None -> fun _ -> ()
+      | Some f ->
+          fun node ->
+            f
+              {
+                Space.w_state = node.state;
+                w_path_rev = node.path_rev;
+                w_cost = node.g;
+              }
+    in
+    (* Checkpoint on Budget_exceeded/Cancelled: the node in hand followed
+       by the heap in pop order, plus the seen set (g is not tracked, so
+       closed entries carry 0). *)
+    let capture extra =
+      match snapshot with
+      | None -> ()
+      | Some f ->
+          let rec drain acc =
+            match Heap.pop frontier with
+            | None -> List.rev acc
+            | Some (_, n) -> drain (n :: acc)
+          in
+          let nodes = extra @ drain [] in
+          f
+            {
+              Space.snap_nodes =
+                List.map (fun n -> (List.rev n.path_rev, n.state)) nodes;
+              snap_closed = KT.fold (fun k () acc -> (k, 0) :: acc) seen [];
+              snap_checked = 0;
+            }
+    in
+    (match resume with
+    | None ->
+        KT.replace seen (S.key root) ();
+        Heap.push frontier ~priority:(heuristic root)
+          { state = root; path_rev = []; g = 0 }
+    | Some snap ->
+        (* Seen-set transplant + open nodes re-enqueued in snapshot order:
+           h is deterministic, so the resumed heap pops in exactly the
+           order the interrupted run would have. *)
+        List.iter (fun (k, _) -> KT.replace seen k ()) snap.Space.snap_closed;
+        List.iter
+          (fun (path, state) ->
+            KT.replace seen (S.key state) ();
+            Heap.push frontier ~priority:(heuristic state)
+              { state; path_rev = List.rev path; g = List.length path })
+          snap.Space.snap_nodes);
     let rec loop () =
       match Heap.pop frontier with
       | None -> finish Space.Exhausted
       | Some (_, node) ->
-          if stop () then finish Space.Cancelled
+          if stop () then begin
+            capture [ node ];
+            finish Space.Cancelled
+          end
+          else if c.examined_c >= budget then begin
+            (* Checked before the tick so the node in hand is captured
+               untested: a resumed run examines it first, and budget B
+               then resume B' examines exactly the states of one B + B'
+               run (no double count at the seam). *)
+            capture [ node ];
+            finish Space.Budget_exceeded
+          end
           else begin
             Space.tick_examined telemetry c;
-            if c.examined_c > budget then finish Space.Budget_exceeded
-            else if S.is_goal node.state then
+            if (observe node; S.is_goal node.state) then
               finish
                 (Space.Found
                    { path = List.rev node.path_rev; final = node.state; cost = node.g })

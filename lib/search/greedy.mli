@@ -9,10 +9,22 @@ module Make (S : Space.S) : sig
     ?stop:(unit -> bool) ->
     ?telemetry:Telemetry.t ->
     ?budget:int ->
+    ?watch:((S.state, S.action) Space.witness -> unit) ->
+    ?resume:(S.state, S.action, S.Key.t) Space.snapshot ->
+    ?snapshot:((S.state, S.action, S.Key.t) Space.snapshot -> unit) ->
     heuristic:(S.state -> int) ->
     S.state ->
     (S.state, S.action) Space.result
   (** [stop] is polled once per examination; when it returns true the
       search finishes with {!Space.Cancelled}.
+
+      [watch] fires once per goal-tested node (after the budget check,
+      before the goal test) and must not mutate the space. [snapshot]
+      is invoked with a resumable frontier on
+      {!Space.Budget_exceeded}/{!Space.Cancelled}; passing it back as
+      [resume] transplants the seen set and re-enqueues the open nodes
+      in order — h is deterministic, so the resumed run continues in
+      exactly the interrupted run's order. With [resume] the root is
+      ignored.
       @raise Invalid_argument if [budget <= 0]. *)
 end

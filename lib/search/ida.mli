@@ -11,6 +11,7 @@ module Make (S : Space.S) : sig
     ?stop:(unit -> bool) ->
     ?telemetry:Telemetry.t ->
     ?budget:int ->
+    ?watch:((S.state, S.action) Space.witness -> unit) ->
     heuristic:(S.state -> int) ->
     S.state ->
     (S.state, S.action) Space.result

@@ -9,12 +9,19 @@ module Make (S : Space.S) = struct
   type dfs_result = Hit of S.action list * S.state | Cutoff of int
 
   let search ?(stop = Space.never_stop) ?(telemetry = Telemetry.disabled)
-      ?(budget = Space.default_budget) ?(table_cap = 500_000) ~heuristic root =
+      ?(budget = Space.default_budget) ?(table_cap = 500_000) ?watch
+      ~heuristic root =
     Space.validate_budget "Ida_tt.search" budget;
     let c = Space.counters () in
     c.iterations_c <- 0;
     let elapsed = Space.stopwatch () in
     let finish outcome = Space.finish ~telemetry c elapsed outcome in
+    let observe state path_rev g =
+      match watch with
+      | None -> ()
+      | Some f ->
+          f { Space.w_state = state; w_path_rev = path_rev; w_cost = g }
+    in
     let on_path : unit KT.t = KT.create 64 in
     (* improved (backed-up) heuristic values, persisted across iterations *)
     let improved : int KT.t = KT.create 4096 in
@@ -27,7 +34,7 @@ module Make (S : Space.S) = struct
       if KT.length improved >= table_cap then KT.reset improved;
       KT.replace improved key h'
     in
-    let rec dfs state g bound =
+    let rec dfs state path_rev g bound =
       let key = S.key state in
       let f = g + h_eff key state in
       if f > bound then Cutoff f
@@ -35,6 +42,7 @@ module Make (S : Space.S) = struct
         if stop () then raise Stopped;
         Space.tick_examined telemetry c;
         if c.examined_c > budget then raise Budget;
+        observe state path_rev g;
         if S.is_goal state then Hit ([], state)
         else begin
           let succs = S.successors state in
@@ -55,7 +63,7 @@ module Make (S : Space.S) = struct
                   try_succs rest
                 end
                 else begin
-                  match dfs s (g + 1) bound with
+                  match dfs s (action :: path_rev) (g + 1) bound with
                   | Hit (path, final) -> Hit (action :: path, final)
                   | Cutoff fmin ->
                       if fmin < !best_cutoff then best_cutoff := fmin;
@@ -80,7 +88,7 @@ module Make (S : Space.S) = struct
       Space.tick_iteration telemetry c;
       Telemetry.gauge telemetry Space.Ev.bound (float_of_int bound);
       KT.reset on_path;
-      match dfs root 0 bound with
+      match dfs root [] 0 bound with
       | Hit (path, final) ->
           finish (Space.Found { path; final; cost = List.length path })
       | Cutoff next ->

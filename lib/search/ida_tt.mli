@@ -19,6 +19,7 @@ module Make (S : Space.S) : sig
     ?telemetry:Telemetry.t ->
     ?budget:int ->
     ?table_cap:int ->
+    ?watch:((S.state, S.action) Space.witness -> unit) ->
     heuristic:(S.state -> int) ->
     S.state ->
     (S.state, S.action) Space.result

@@ -19,17 +19,24 @@ module Make (S : Space.S) = struct
     | Failed of int  (** revised f-value *)
 
   let search ?(stop = Space.never_stop) ?(telemetry = Telemetry.disabled)
-      ?(budget = Space.default_budget) ~heuristic root =
+      ?(budget = Space.default_budget) ?watch ~heuristic root =
     Space.validate_budget "Rbfs.search" budget;
     let c = Space.counters () in
     let elapsed = Space.stopwatch () in
     let finish outcome = Space.finish ~telemetry c elapsed outcome in
+    let observe state path_rev g =
+      match watch with
+      | None -> ()
+      | Some f ->
+          f { Space.w_state = state; w_path_rev = path_rev; w_cost = g }
+    in
     let on_path : unit KT.t = KT.create 64 in
     let clamp x = if x > infinity_cost then infinity_cost else x in
-    let rec rbfs node f_limit =
+    let rec rbfs node path_rev f_limit =
       if stop () then raise Stopped;
       Space.tick_examined telemetry c;
       if c.examined_c > budget then raise Budget;
+      observe node.state path_rev node.g;
       if S.is_goal node.state then Hit ([], node.state)
       else begin
         let key = S.key node.state in
@@ -69,7 +76,13 @@ module Make (S : Space.S) = struct
                 let alternative =
                   if Array.length arr > 1 then arr.(1).f else infinity_cost
                 in
-                match rbfs best (min f_limit alternative) with
+                match
+                  rbfs best
+                    (match best.action with
+                    | Some a -> a :: path_rev
+                    | None -> path_rev)
+                    (min f_limit alternative)
+                with
                 | Hit (path, final) ->
                     Hit ((match best.action with Some a -> a :: path | None -> path), final)
                 | Failed revised ->
@@ -85,7 +98,7 @@ module Make (S : Space.S) = struct
       end
     in
     let root_node = { state = root; action = None; g = 0; f = clamp (heuristic root) } in
-    match rbfs root_node infinity_cost with
+    match rbfs root_node [] infinity_cost with
     | Hit (path, final) ->
         finish (Space.Found { path; final; cost = List.length path })
     | Failed _ -> finish Space.Exhausted

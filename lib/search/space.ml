@@ -68,6 +68,33 @@ type ('state, 'action) result = {
   stats : stats;
 }
 
+(** One examined state, as seen by an anytime observer: the state, its
+    action path from the root in reverse application order, and its path
+    cost g. Watchers fire once per goal-tested state — after the budget
+    check, before the goal test — so a pure observer never perturbs the
+    outcome, the stats or the examination order. *)
+type ('state, 'action) witness = {
+  w_state : 'state;
+  w_path_rev : 'action list;  (** reverse application order *)
+  w_cost : int;  (** g: actions from the root *)
+}
+
+(** A resumable frontier: everything a frontier-based algorithm (A*,
+    greedy, beam, BFS) needs to continue a budget-exceeded or cancelled
+    search where it stopped. [snap_nodes] are the open nodes in the
+    order the engine would have considered them (paths in application
+    order); [snap_closed] transplants the dedup table — keys already
+    enqueued or expanded, with the best g known for each (0 where the
+    algorithm tracks membership only); [snap_checked] is beam-specific:
+    the number of head nodes of the snapshot already goal-tested in the
+    interrupted sweep, skipped on resume so the examined count continues
+    exactly. *)
+type ('state, 'action, 'key) snapshot = {
+  snap_nodes : ('action list * 'state) list;
+  snap_closed : ('key * int) list;
+  snap_checked : int;
+}
+
 let default_budget = 1_000_000
 
 (** {2 Shared bookkeeping}

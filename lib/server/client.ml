@@ -78,3 +78,119 @@ let discover conn req =
       in
       Ok (200, payload)
   | Ok (status, body) -> Ok (status, Error body)
+
+(* --- the anytime stream --- *)
+
+let send_request conn ~path ~body =
+  let buf = Buffer.create (256 + String.length body) in
+  Buffer.add_string buf (Printf.sprintf "POST %s HTTP/1.1\r\n" path);
+  Buffer.add_string buf "host: tupelo\r\n";
+  Buffer.add_string buf "content-type: application/json\r\n";
+  Buffer.add_string buf
+    (Printf.sprintf "content-length: %d\r\n" (String.length body));
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf body;
+  write_all conn.fd (Buffer.contents buf)
+
+(* Reassemble a chunked body into newline-delimited frames, invoking
+   [on_frame] as each completes; the final/error frame decides the
+   call's result. Chunk boundaries carry no meaning — a frame may span
+   chunks and a chunk may hold several frames. *)
+let stream_frames conn ~on_frame =
+  let final = ref None in
+  let partial = Buffer.create 512 in
+  let feed_line line =
+    if String.trim line <> "" then begin
+      let frame =
+        match Json.parse line with
+        | Error m -> Error ("malformed frame: " ^ m)
+        | Ok json -> Protocol.decode_frame json
+      in
+      match frame with
+      | Error m -> final := Some (Error m)
+      | Ok f -> (
+          on_frame f;
+          match f with
+          | Protocol.F_incumbent _ -> ()
+          | Protocol.F_final resp -> final := Some (Ok resp)
+          | Protocol.F_error m -> final := Some (Error ("server error: " ^ m)))
+    end
+  in
+  let feed data =
+    String.iter
+      (fun ch ->
+        if ch = '\n' then begin
+          feed_line (Buffer.contents partial);
+          Buffer.clear partial
+        end
+        else Buffer.add_char partial ch)
+      data
+  in
+  let rec drain () =
+    match Http.read_chunk conn.reader with
+    | Some data ->
+        feed data;
+        drain ()
+    | None -> feed_line (Buffer.contents partial)
+  in
+  drain ();
+  match !final with
+  | Some r -> r
+  | None -> Error "stream ended without a final frame"
+
+let run_stream conn ~path ~body ~on_frame =
+  match
+    send_request conn ~path ~body;
+    Http.read_response_head conn.reader
+  with
+  | exception Http.Bad_request m -> Error ("malformed response: " ^ m)
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | status, headers -> (
+      match
+        if Http.response_chunked headers then
+          (* the stream proper: frames as the search improves *)
+          Ok (200, stream_frames conn ~on_frame)
+        else
+          (* non-streamed: a cache hit (200, a plain response) or an
+             error status; body framed by content-length either way *)
+          let resp_body = Http.read_body conn.reader headers in
+          if status = 200 then
+            let payload =
+              match Json.parse resp_body with
+              | Error m -> Error m
+              | Ok json -> Protocol.decode_response json
+            in
+            Ok
+              ( 200,
+                Result.map
+                  (fun resp ->
+                    on_frame (Protocol.F_final resp);
+                    resp)
+                  payload )
+          else Ok (status, Error resp_body)
+      with
+      | r -> r
+      | exception Http.Bad_request m -> Error ("malformed response: " ^ m)
+      | exception Unix.Unix_error (e, fn, _) ->
+          Error (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+
+let discover_anytime conn ?(on_frame = fun _ -> ()) req =
+  let body = Json.to_string (Protocol.encode_request req) in
+  run_stream conn ~path:"/discover?anytime=1" ~body ~on_frame
+
+let discover_resume conn ?(on_frame = fun _ -> ()) token =
+  let path =
+    (* tokens are hex, but encode anyway so a garbage token cannot
+       corrupt the request line *)
+    let buf = Buffer.create 64 in
+    String.iter
+      (fun ch ->
+        match ch with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' | '_' | '~' ->
+            Buffer.add_char buf ch
+        | _ -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code ch)))
+      token;
+    "/discover?resume=" ^ Buffer.contents buf
+  in
+  run_stream conn ~path ~body:"" ~on_frame

@@ -38,3 +38,25 @@ val discover :
   (int * (Protocol.discover_response, string) result, string) result
 (** POST the request to [/discover]; on HTTP 200 the payload is the
     decoded response, otherwise the server's error body as [Error]. *)
+
+val discover_anytime :
+  conn ->
+  ?on_frame:(Protocol.frame -> unit) ->
+  Protocol.discover_request ->
+  (int * (Protocol.discover_response, string) result, string) result
+(** POST to [/discover?anytime=1] and consume the stream: [on_frame]
+    fires for every frame in arrival order (incumbents, then the
+    final), and the result carries the final response — or the server's
+    in-stream error. A cache hit arrives as a plain (non-chunked)
+    response; it is surfaced as a single [F_final] frame so callers
+    need not care. *)
+
+val discover_resume :
+  conn ->
+  ?on_frame:(Protocol.frame -> unit) ->
+  string ->
+  (int * (Protocol.discover_response, string) result, string) result
+(** [discover_resume conn token] redeems a [resume_token] from an
+    earlier anytime final frame via [/discover?resume=token] and
+    consumes the continued stream as {!discover_anytime} does. An
+    unknown, expired or already-redeemed token is [(404, Error body)]. *)

@@ -12,6 +12,8 @@ type config = {
   max_payload : int;
   cache_capacity : int;
   cache_shards : int;
+  frontier_capacity : int;
+  frontier_ttl_ms : int;
   search_telemetry : bool;
   trace_sink : Telemetry.Sink.t option;
 }
@@ -19,8 +21,8 @@ type config = {
 let config ?(host = "127.0.0.1") ?(port = 8080) ?(queue_capacity = 64)
     ?(workers = 2) ?(jobs = 1) ?(budget = 1_000_000) ?(timeout_ms = 30_000)
     ?(read_timeout_ms = 10_000) ?(max_payload = 8 * 1024 * 1024)
-    ?(cache_capacity = 256) ?(cache_shards = 8) ?(search_telemetry = true)
-    ?trace_sink () =
+    ?(cache_capacity = 256) ?(cache_shards = 8) ?(frontier_capacity = 32)
+    ?(frontier_ttl_ms = 300_000) ?(search_telemetry = true) ?trace_sink () =
   let positive what v =
     if v < 1 then
       invalid_arg (Printf.sprintf "Daemon.config: %s must be >= 1" what)
@@ -34,6 +36,8 @@ let config ?(host = "127.0.0.1") ?(port = 8080) ?(queue_capacity = 64)
   positive "max_payload" max_payload;
   positive "cache_capacity" cache_capacity;
   positive "cache_shards" cache_shards;
+  positive "frontier_capacity" frontier_capacity;
+  positive "frontier_ttl_ms" frontier_ttl_ms;
   if port < 0 || port > 65535 then
     invalid_arg "Daemon.config: port must be in [0, 65535]";
   {
@@ -48,6 +52,8 @@ let config ?(host = "127.0.0.1") ?(port = 8080) ?(queue_capacity = 64)
     max_payload;
     cache_capacity;
     cache_shards;
+    frontier_capacity;
+    frontier_ttl_ms;
     search_telemetry;
     trace_sink;
   }
@@ -61,9 +67,11 @@ let loop_parse_max = 64 * 1024
 
 module Ev = struct
   let req_discover = "server.request.discover"
+  let req_resume = "server.request.resume"
   let req_healthz = "server.request.healthz"
   let req_stats = "server.request.stats"
   let req_unknown = "server.request.unknown"
+  let incumbents = "server.incumbents"
   let reject_bad = "server.reject.bad_request"
   let reject_payload = "server.reject.payload"
   let reject_busy = "server.reject.busy"
@@ -83,6 +91,7 @@ type prepared = {
   p_algorithm : Tupelo.Discover.algorithm;
   p_heuristic : Heuristics.Heuristic.t;
   p_goal : Tupelo.Goal.mode;
+  p_partial : string list;
   p_budget : int;
   p_jobs : int;
   p_timeout_ms : int;
@@ -131,6 +140,15 @@ let prepare cfg (r : Protocol.discover_request) =
       | Some g -> g
       | None -> prep_error "unknown goal mode %S" r.Protocol.goal
     in
+    (match r.Protocol.partial with
+    | [] -> ()
+    | rels ->
+        List.iter
+          (fun rel ->
+            match Database.find_opt p_target rel with
+            | Some _ -> ()
+            | None -> prep_error "partial: no target relation %S" rel)
+          rels);
     {
       p_source;
       p_target;
@@ -138,6 +156,7 @@ let prepare cfg (r : Protocol.discover_request) =
       p_algorithm;
       p_heuristic;
       p_goal;
+      p_partial = r.Protocol.partial;
       p_budget = min r.Protocol.budget cfg.budget;
       p_jobs = (if r.Protocol.jobs = 0 then cfg.jobs else r.Protocol.jobs);
       p_timeout_ms =
@@ -153,6 +172,18 @@ let prepare cfg (r : Protocol.discover_request) =
 
 (* --- work shipped from the event loop to the domain pool --- *)
 
+(* A parked checkpoint: everything a resume needs to continue the
+   search — the validated request plus the engine frontier. *)
+type retained = {
+  r_prep : prepared;
+  r_frontier : Tupelo.Discover.frontier;
+}
+
+type anytime_task =
+  | A_prep of prepared  (** parsed on the loop, cache already missed *)
+  | A_raw of string  (** oversized body: worker parses and prepares *)
+  | A_resume of retained  (** redeemed checkpoint: continue the search *)
+
 type work =
   | W_search of {
       w_cid : int;
@@ -166,8 +197,30 @@ type work =
       f_body : string;
       f_started : float;
     }  (** oversized body: worker parses JSON, prepares and serves *)
+  | W_anytime of {
+      a_cid : int;
+      a_keep : bool;
+      a_task : anytime_task;
+      a_token : string;
+          (** pre-allocated resume token, quoted in the final frame iff
+              the search checkpoints a frontier *)
+      a_started : float;
+    }
 
-type completion = { c_cid : int; c_keep : bool; c_resp : Http.response }
+(* What a worker hands back to the reactor. A plain request completes
+   with one [P_response]; an anytime request streams [P_chunk] frames
+   and always ends with exactly one [P_done] (worker errors become
+   in-stream error frames — the chunked header is already on the
+   wire). *)
+type payload =
+  | P_response of Http.response
+  | P_chunk of string  (** one newline-terminated frame, not yet chunk-framed *)
+  | P_done of {
+      d_body : string;  (** final frame, newline-terminated *)
+      d_retain : (string * retained) option;  (** token → checkpoint *)
+    }
+
+type completion = { c_cid : int; c_keep : bool; c_payload : payload }
 
 (* --- server state --- *)
 
@@ -176,6 +229,7 @@ type t = {
   tel : Telemetry.t;  (** external sink teed with [agg] *)
   agg : Telemetry.Agg.t;
   mapping_cache : Cache_entry.t Cache.t;
+  frontiers : retained Frontier.t;  (** reactor-thread only *)
   queue : work Admission.t;
   listen_fd : Unix.file_descr;
   bound_port : int;
@@ -253,6 +307,27 @@ let stats_json t =
                ("evictions", c "cache.evict");
              ] );
          ("search", Json.Obj [ ("states_examined", c Ev.states) ]);
+         ( "anytime",
+           Json.Obj
+             [
+               ("incumbents", c Ev.incumbents);
+               ("resume_requests", c Ev.req_resume);
+               ( "frontier",
+                 Json.Obj
+                   [
+                     ( "size",
+                       Json.Num (float_of_int (Frontier.length t.frontiers))
+                     );
+                     ( "capacity",
+                       Json.Num (float_of_int (Frontier.capacity t.frontiers))
+                     );
+                     ("retained", c "frontier.retained");
+                     ("resumed", c "frontier.resumed");
+                     ("misses", c "frontier.miss");
+                     ("evictions_ttl", c "frontier.evict.ttl");
+                     ("evictions_lru", c "frontier.evict.lru");
+                   ] );
+             ] );
        ])
 
 (* --- the discovery worker (runs on pool domains) --- *)
@@ -269,12 +344,60 @@ let response_of_entry (e : Cache_entry.t) ~elapsed_ms ~cache :
     states_examined = e.Cache_entry.states_examined;
     elapsed_ms;
     cache;
+    incumbents = 0;
+    resume_token = None;
   }
 
-let execute t (p : prepared) ~warm ~sketch started =
-  (* "warm" when a near-miss cache entry seeded the search, "miss" for a
-     cold search — whatever the outcome, so clients can attribute cost. *)
-  let cache_label = if warm = [] then "miss" else "warm" in
+(* The shared tail of both executors: build the response, cache full
+   (non-partial) mappings, bump the outcome counters. *)
+let finish_execution t (p : prepared) ~sketch ~cache_label ~timed_out started
+    outcome =
+  let elapsed_ms = (Unix.gettimeofday () -. started) *. 1000. in
+  let resp =
+    match outcome with
+    | Tupelo.Discover.Mapping m ->
+        let entry =
+          {
+            Cache_entry.mapping = Fira.Expr.to_string m.Tupelo.Mapping.expr;
+            expr = Fira.Parser.expr_to_file_string m.Tupelo.Mapping.expr;
+            operators = Tupelo.Mapping.length m;
+            algorithm = m.Tupelo.Mapping.algorithm;
+            heuristic = m.Tupelo.Mapping.heuristic;
+            goal = p.p_goal;
+            states_examined =
+              m.Tupelo.Mapping.stats.Search.Space.examined;
+          }
+        in
+        (* A partial-goal mapping reaches a sub-target: never cache it
+           as the pair's mapping. *)
+        if p.p_partial = [] then Cache.add t.mapping_cache ~sketch p.p_key entry;
+        response_of_entry entry ~elapsed_ms ~cache:cache_label
+    | Tupelo.Discover.No_mapping stats | Tupelo.Discover.Gave_up stats ->
+        let outcome_name =
+          match outcome with
+          | Tupelo.Discover.No_mapping _ -> "no_mapping"
+          | _ -> if timed_out then "timeout" else "gave_up"
+        in
+        {
+          Protocol.outcome = outcome_name;
+          mapping = None;
+          expr = None;
+          operators = 0;
+          res_algorithm =
+            Tupelo.Discover.algorithm_name p.p_algorithm;
+          res_heuristic = p.p_heuristic.Heuristics.Heuristic.name;
+          states_examined = stats.Search.Space.examined;
+          elapsed_ms;
+          cache = cache_label;
+          incumbents = 0;
+          resume_token = None;
+        }
+  in
+  Telemetry.count t.tel (Ev.resp resp.Protocol.outcome) 1;
+  Telemetry.count t.tel Ev.states resp.Protocol.states_examined;
+  resp
+
+let search_setup t (p : prepared) =
   let deadline =
     Unix.gettimeofday () +. (float_of_int p.p_timeout_ms /. 1000.)
   in
@@ -293,53 +416,49 @@ let execute t (p : prepared) ~warm ~sketch started =
   in
   let dconfig =
     Tupelo.Discover.config ~algorithm:p.p_algorithm ~heuristic:p.p_heuristic
-      ~goal:p.p_goal ~budget:p.p_budget ~jobs:p.p_jobs ~telemetry:search_tel
-      ()
+      ~goal:p.p_goal ~partial:p.p_partial ~budget:p.p_budget ~jobs:p.p_jobs
+      ~telemetry:search_tel ()
   in
+  (stop, timed_out, dconfig)
+
+let execute t (p : prepared) ~warm ~sketch started =
+  (* "warm" when a near-miss cache entry seeded the search, "miss" for a
+     cold search — whatever the outcome, so clients can attribute cost. *)
+  let cache_label = if warm = [] then "miss" else "warm" in
+  let stop, timed_out, dconfig = search_setup t p in
   let outcome =
     Tupelo.Discover.discover ~registry:p.p_registry ~stop ~warm_start:warm
       dconfig ~source:p.p_source ~target:p.p_target
   in
-  let elapsed_ms = (Unix.gettimeofday () -. started) *. 1000. in
-  let resp =
-    match outcome with
-    | Tupelo.Discover.Mapping m ->
-        let entry =
-          {
-            Cache_entry.mapping = Fira.Expr.to_string m.Tupelo.Mapping.expr;
-            expr = Fira.Parser.expr_to_file_string m.Tupelo.Mapping.expr;
-            operators = Tupelo.Mapping.length m;
-            algorithm = m.Tupelo.Mapping.algorithm;
-            heuristic = m.Tupelo.Mapping.heuristic;
-            goal = p.p_goal;
-            states_examined =
-              m.Tupelo.Mapping.stats.Search.Space.examined;
-          }
-        in
-        Cache.add t.mapping_cache ~sketch p.p_key entry;
-        response_of_entry entry ~elapsed_ms ~cache:cache_label
-    | Tupelo.Discover.No_mapping stats | Tupelo.Discover.Gave_up stats ->
-        let outcome_name =
-          match outcome with
-          | Tupelo.Discover.No_mapping _ -> "no_mapping"
-          | _ -> if !timed_out then "timeout" else "gave_up"
-        in
-        {
-          Protocol.outcome = outcome_name;
-          mapping = None;
-          expr = None;
-          operators = 0;
-          res_algorithm =
-            Tupelo.Discover.algorithm_name p.p_algorithm;
-          res_heuristic = p.p_heuristic.Heuristics.Heuristic.name;
-          states_examined = stats.Search.Space.examined;
-          elapsed_ms;
-          cache = cache_label;
-        }
+  finish_execution t p ~sketch ~cache_label ~timed_out:!timed_out started
+    outcome
+
+(* The anytime executor: stream incumbents through [on_incumbent] and
+   hand back the would-be-final response plus the checkpoint, if the
+   engine materialized one. *)
+let execute_anytime t (p : prepared) ~warm ~sketch ~resume ~on_incumbent
+    started =
+  let cache_label =
+    if resume <> None then "resume" else if warm = [] then "miss" else "warm"
   in
-  Telemetry.count t.tel (Ev.resp resp.Protocol.outcome) 1;
-  Telemetry.count t.tel Ev.states resp.Protocol.states_examined;
-  resp
+  let stop, timed_out, dconfig = search_setup t p in
+  let streamed = ref 0 in
+  let on_inc inc =
+    incr streamed;
+    Telemetry.count t.tel Ev.incumbents 1;
+    on_incumbent inc
+  in
+  let result =
+    Tupelo.Discover.discover_anytime ~registry:p.p_registry ~stop
+      ~warm_start:warm ~on_incumbent:on_inc ?resume dconfig
+      ~source:p.p_source ~target:p.p_target
+  in
+  let resp =
+    finish_execution t p ~sketch ~cache_label ~timed_out:!timed_out started
+      result.Tupelo.Discover.a_outcome
+  in
+  ({ resp with Protocol.incumbents = !streamed },
+   result.Tupelo.Discover.a_frontier)
 
 (* Exact miss: sketch the pair (off-loop — sorting every row term is the
    expensive part of near-miss matching), probe the owning shard for a
@@ -375,6 +494,8 @@ let error_response exn started =
     states_examined = 0;
     elapsed_ms = (Unix.gettimeofday () -. started) *. 1000.;
     cache = "miss";
+    incumbents = 0;
+    resume_token = None;
   }
 
 let encode_discover resp =
@@ -398,8 +519,12 @@ let full_response t body started =
   | Ok prep -> (
       let goal_matches e = e.Cache_entry.goal = prep.p_goal in
       match
-        Cache.find t.mapping_cache ~valid:goal_matches ~route:prep.p_route
-          prep.p_key
+        (* the cache holds full-target mappings only; a partial-goal
+           request can neither hit nor populate it *)
+        if prep.p_partial <> [] then None
+        else
+          Cache.find t.mapping_cache ~valid:goal_matches ~route:prep.p_route
+            prep.p_key
       with
       | Some entry ->
           let elapsed_ms = (Unix.gettimeofday () -. started) *. 1000. in
@@ -415,29 +540,154 @@ let post_completion t comp =
   try ignore (Unix.write_substring t.wake_w "c" 0 1)
   with Unix.Unix_error _ -> ()
 
+(* --- the anytime worker path --- *)
+
+let frame_of_incumbent (inc : Tupelo.Discover.incumbent) =
+  Protocol.encode_incumbent
+    {
+      Protocol.i_seq = inc.Tupelo.Discover.inc_seq;
+      i_cost = inc.Tupelo.Discover.inc_cost;
+      i_h = inc.Tupelo.Discover.inc_h;
+      i_covered = inc.Tupelo.Discover.inc_covered;
+      i_total = inc.Tupelo.Discover.inc_total;
+      i_entrant = inc.Tupelo.Discover.inc_entrant;
+      i_coverage =
+        List.map
+          (fun (c : Tupelo.Goal.coverage) ->
+            (c.Tupelo.Goal.rel, c.Tupelo.Goal.covered, c.Tupelo.Goal.total))
+          inc.Tupelo.Discover.inc_coverage;
+      i_expr =
+        Fira.Parser.expr_to_file_string
+          (Fira.Expr.of_ops inc.Tupelo.Discover.inc_ops);
+    }
+
+let frame_line json = Json.to_string json ^ "\n"
+
+(* Run one anytime task to completion, streaming each incumbent back to
+   the reactor as its own [P_chunk] and ending with the [P_done] final
+   frame. Always produces exactly one [P_done]: any failure after the
+   chunked header went on the wire must travel as an in-stream error
+   frame, not an HTTP status. *)
+let run_anytime t ~cid ~keep ~token ~started task =
+  let emit payload = post_completion t { c_cid = cid; c_keep = keep; c_payload = payload } in
+  let on_incumbent inc = emit (P_chunk (frame_line (frame_of_incumbent inc))) in
+  let serve p ~resume =
+    let sketch =
+      Cache.sketch_of_pair ~source:p.p_source ~target:p.p_target
+    in
+    let warm =
+      if resume <> None then []
+      else
+        let goal_matches e = e.Cache_entry.goal = p.p_goal in
+        match
+          Cache.find_near t.mapping_cache ~valid:goal_matches ~max_dist:1.0
+            sketch
+        with
+        | None -> []
+        | Some (entry, _dist) -> (
+            match Fira.Parser.expr_of_string entry.Cache_entry.expr with
+            | Ok e -> Fira.Algebra.normalize (Fira.Expr.ops e)
+            | Error _ -> [])
+    in
+    let resp, frontier =
+      execute_anytime t p ~warm ~sketch ~resume ~on_incumbent started
+    in
+    let d_retain =
+      Option.map
+        (fun fr -> (token, { r_prep = p; r_frontier = fr }))
+        frontier
+    in
+    let resp =
+      if d_retain = None then resp
+      else { resp with Protocol.resume_token = Some token }
+    in
+    emit
+      (P_done { d_body = frame_line (Protocol.encode_final resp); d_retain })
+  in
+  match task with
+  | A_prep p -> serve p ~resume:None
+  | A_resume r -> serve r.r_prep ~resume:(Some r.r_frontier)
+  | A_raw body -> (
+      let parsed =
+        match Json.parse body with
+        | Error m -> Error m
+        | Ok json -> (
+            match Protocol.decode_request json with
+            | Error m -> Error m
+            | Ok dreq -> prepare t.cfg dreq)
+      in
+      match parsed with
+      | Error m ->
+          Telemetry.count t.tel Ev.reject_bad 1;
+          emit
+            (P_done
+               {
+                 d_body = frame_line (Protocol.encode_error_frame m);
+                 d_retain = None;
+               })
+      | Ok p -> (
+          let goal_matches e = e.Cache_entry.goal = p.p_goal in
+          match
+            (* a partial-goal request never matches the pair's cached
+               full-target mapping *)
+            if p.p_partial <> [] then None
+            else
+              Cache.find t.mapping_cache ~valid:goal_matches ~route:p.p_route
+                p.p_key
+          with
+          | Some entry ->
+              let elapsed_ms = (Unix.gettimeofday () -. started) *. 1000. in
+              Telemetry.count t.tel (Ev.resp "mapping") 1;
+              let resp = response_of_entry entry ~elapsed_ms ~cache:"hit" in
+              emit
+                (P_done
+                   {
+                     d_body = frame_line (Protocol.encode_final resp);
+                     d_retain = None;
+                   })
+          | None -> serve p ~resume:None))
+
 let worker_loop t =
   let rec go () =
     match Admission.take t.queue with
     | None -> ()
     | Some work ->
-        let comp =
-          match work with
-          | W_search w ->
-              let resp =
-                try encode_discover (run_discover t w.w_prep w.w_started)
-                with exn ->
-                  encode_discover (error_response exn w.w_started)
-              in
-              { c_cid = w.w_cid; c_keep = w.w_keep; c_resp = resp }
-          | W_full f ->
-              let resp =
-                try full_response t f.f_body f.f_started
-                with exn ->
-                  encode_discover (error_response exn f.f_started)
-              in
-              { c_cid = f.f_cid; c_keep = f.f_keep; c_resp = resp }
-        in
-        post_completion t comp;
+        (match work with
+        | W_search w ->
+            let resp =
+              try encode_discover (run_discover t w.w_prep w.w_started)
+              with exn -> encode_discover (error_response exn w.w_started)
+            in
+            post_completion t
+              { c_cid = w.w_cid; c_keep = w.w_keep; c_payload = P_response resp }
+        | W_full f ->
+            let resp =
+              try full_response t f.f_body f.f_started
+              with exn -> encode_discover (error_response exn f.f_started)
+            in
+            post_completion t
+              { c_cid = f.f_cid; c_keep = f.f_keep; c_payload = P_response resp }
+        | W_anytime a -> (
+            try
+              run_anytime t ~cid:a.a_cid ~keep:a.a_keep ~token:a.a_token
+                ~started:a.a_started a.a_task
+            with exn ->
+              (* the chunked header is already on the wire: the stream
+                 must still end with exactly one final chunk *)
+              post_completion t
+                {
+                  c_cid = a.a_cid;
+                  c_keep = a.a_keep;
+                  c_payload =
+                    P_done
+                      {
+                        d_body =
+                          frame_line
+                            (Protocol.encode_error_frame
+                               (Printexc.to_string exn));
+                        d_retain = None;
+                      };
+                }));
         (* collect this domain's (large) minor heap now, while idle
            between jobs and right after the response was posted — most
            of the search's young allocation is already dead, so the
@@ -507,11 +757,43 @@ let dispatch t c ~keep work =
       enqueue_response c ~keep:false
         (Http.response 503 (Protocol.error_body "server is shutting down"))
 
+(* Admit an anytime task. On admission the chunked response header goes
+   on the wire immediately — from here on, failures travel as in-stream
+   error frames. Rejections happen before the header commits, so they
+   are still ordinary status responses. *)
+let dispatch_anytime t c ~keep ~started task =
+  let a_token = Frontier.fresh_token t.frontiers in
+  match
+    Admission.submit t.queue
+      (W_anytime
+         {
+           a_cid = c.cid;
+           a_keep = keep;
+           a_task = task;
+           a_token;
+           a_started = started;
+         })
+  with
+  | `Admitted ->
+      c.in_flight <- true;
+      Queue.push (Http.chunked_head ~keep_alive:keep 200) c.outq
+  | `Busy ->
+      Telemetry.count t.tel Ev.reject_busy 1;
+      enqueue_response c ~keep
+        (Http.response 429 (Protocol.error_body "admission queue is full"))
+  | `Closed ->
+      Telemetry.count t.tel Ev.reject_shutdown 1;
+      enqueue_response c ~keep:false
+        (Http.response 503 (Protocol.error_body "server is shutting down"))
+
+let truthy = function Some ("1" | "true" | "yes") -> true | _ -> false
+
 let handle_on_loop t c (req : Http.request) =
   Telemetry.span t.tel Ev.span @@ fun () ->
   let keep = Http.keep_alive req && not (Atomic.get t.shutdown) in
   let started = Unix.gettimeofday () in
-  match (req.Http.meth, req.Http.path) with
+  let path, params = Http.split_target req.Http.path in
+  match (req.Http.meth, path) with
   | "GET", "/healthz" ->
       Telemetry.count t.tel Ev.req_healthz 1;
       enqueue_response c ~keep
@@ -525,55 +807,106 @@ let handle_on_loop t c (req : Http.request) =
                  ])))
   | "GET", "/stats" ->
       Telemetry.count t.tel Ev.req_stats 1;
+      (* expire stale checkpoints first so the snapshot reconciles *)
+      Frontier.sweep t.frontiers ~now:started;
       enqueue_response c ~keep (Http.response 200 (stats_json t))
   | "POST", "/discover" -> (
       Telemetry.count t.tel Ev.req_discover 1;
-      if String.length req.Http.body > loop_parse_max then
-        dispatch t c ~keep
-          (W_full
-             {
-               f_cid = c.cid;
-               f_keep = keep;
-               f_body = req.Http.body;
-               f_started = started;
-             })
-      else
-        let parsed =
-          match Json.parse req.Http.body with
-          | Error m -> Error m
-          | Ok json -> (
-              match Protocol.decode_request json with
+      match List.assoc_opt "resume" params with
+      | Some token -> (
+          Telemetry.count t.tel Ev.req_resume 1;
+          match Frontier.take t.frontiers ~now:started token with
+          | None ->
+              enqueue_response c ~keep
+                (Http.response 404
+                   (Protocol.error_body "unknown or expired resume token"))
+          | Some retained ->
+              dispatch_anytime t c ~keep ~started (A_resume retained))
+      | None when truthy (List.assoc_opt "anytime" params) -> (
+          if String.length req.Http.body > loop_parse_max then
+            dispatch_anytime t c ~keep ~started (A_raw req.Http.body)
+          else
+            let parsed =
+              match Json.parse req.Http.body with
               | Error m -> Error m
-              | Ok dreq -> prepare t.cfg dreq)
-        in
-        match parsed with
-        | Error m ->
-            Telemetry.count t.tel Ev.reject_bad 1;
-            enqueue_response c ~keep
-              (Http.response 400 (Protocol.error_body m))
-        | Ok prep -> (
-            let goal_matches e = e.Cache_entry.goal = prep.p_goal in
-            match
-              Cache.find t.mapping_cache ~valid:goal_matches
-                ~route:prep.p_route prep.p_key
-            with
-            | Some entry ->
-                let elapsed_ms =
-                  (Unix.gettimeofday () -. started) *. 1000.
-                in
-                Telemetry.count t.tel (Ev.resp "mapping") 1;
+              | Ok json -> (
+                  match Protocol.decode_request json with
+                  | Error m -> Error m
+                  | Ok dreq -> prepare t.cfg dreq)
+            in
+            match parsed with
+            | Error m ->
+                Telemetry.count t.tel Ev.reject_bad 1;
                 enqueue_response c ~keep
-                  (encode_discover
-                     (response_of_entry entry ~elapsed_ms ~cache:"hit"))
-            | None ->
-                dispatch t c ~keep
-                  (W_search
-                     {
-                       w_cid = c.cid;
-                       w_keep = keep;
-                       w_prep = prep;
-                       w_started = started;
-                     })))
+                  (Http.response 400 (Protocol.error_body m))
+            | Ok prep -> (
+                let goal_matches e = e.Cache_entry.goal = prep.p_goal in
+                match
+                  if prep.p_partial <> [] then None
+                  else
+                    Cache.find t.mapping_cache ~valid:goal_matches
+                      ~route:prep.p_route prep.p_key
+                with
+                | Some entry ->
+                    (* a cache hit needs no stream: answer it as a plain
+                       content-length response (clients accept both) *)
+                    let elapsed_ms =
+                      (Unix.gettimeofday () -. started) *. 1000.
+                    in
+                    Telemetry.count t.tel (Ev.resp "mapping") 1;
+                    enqueue_response c ~keep
+                      (encode_discover
+                         (response_of_entry entry ~elapsed_ms ~cache:"hit"))
+                | None -> dispatch_anytime t c ~keep ~started (A_prep prep)))
+      | None -> (
+          if String.length req.Http.body > loop_parse_max then
+            dispatch t c ~keep
+              (W_full
+                 {
+                   f_cid = c.cid;
+                   f_keep = keep;
+                   f_body = req.Http.body;
+                   f_started = started;
+                 })
+          else
+            let parsed =
+              match Json.parse req.Http.body with
+              | Error m -> Error m
+              | Ok json -> (
+                  match Protocol.decode_request json with
+                  | Error m -> Error m
+                  | Ok dreq -> prepare t.cfg dreq)
+            in
+            match parsed with
+            | Error m ->
+                Telemetry.count t.tel Ev.reject_bad 1;
+                enqueue_response c ~keep
+                  (Http.response 400 (Protocol.error_body m))
+            | Ok prep -> (
+                let goal_matches e = e.Cache_entry.goal = prep.p_goal in
+                match
+                  if prep.p_partial <> [] then None
+                  else
+                    Cache.find t.mapping_cache ~valid:goal_matches
+                      ~route:prep.p_route prep.p_key
+                with
+                | Some entry ->
+                    let elapsed_ms =
+                      (Unix.gettimeofday () -. started) *. 1000.
+                    in
+                    Telemetry.count t.tel (Ev.resp "mapping") 1;
+                    enqueue_response c ~keep
+                      (encode_discover
+                         (response_of_entry entry ~elapsed_ms ~cache:"hit"))
+                | None ->
+                    dispatch t c ~keep
+                      (W_search
+                         {
+                           w_cid = c.cid;
+                           w_keep = keep;
+                           w_prep = prep;
+                           w_started = started;
+                         }))))
   | _, _ ->
       Telemetry.count t.tel Ev.req_unknown 1;
       enqueue_response c ~keep
@@ -685,17 +1018,38 @@ let serve_loop t =
     t.completions <- [];
     Mutex.unlock t.comp_mu;
     List.iter
-      (fun { c_cid; c_keep; c_resp } ->
+      (fun { c_cid; c_keep; c_payload } ->
         match Hashtbl.find_opt conns c_cid with
-        | None -> () (* the connection died while its search ran *)
-        | Some c ->
-            c.in_flight <- false;
-            let keep =
-              c_keep && (not (Atomic.get t.shutdown)) && not c.peer_eof
-            in
-            enqueue_response c ~keep c_resp;
-            (* resume pipelined requests buffered behind the search *)
-            process t c)
+        | None ->
+            (* The connection died while its search ran: frames are
+               dropped, and so is any checkpoint — the client never
+               received its token, so retaining it would only pin the
+               frontier store until the TTL. *)
+            ()
+        | Some c -> (
+            match c_payload with
+            | P_response resp ->
+                c.in_flight <- false;
+                let keep =
+                  c_keep && (not (Atomic.get t.shutdown)) && not c.peer_eof
+                in
+                enqueue_response c ~keep resp;
+                (* resume pipelined requests buffered behind the search *)
+                process t c
+            | P_chunk data ->
+                (* mid-stream frame: the request stays in flight *)
+                Queue.push (Http.chunk data) c.outq
+            | P_done { d_body; d_retain } ->
+                (match d_retain with
+                | Some (token, retained) ->
+                    Frontier.put t.frontiers ~now:(Unix.gettimeofday ())
+                      ~token retained
+                | None -> ());
+                Queue.push (Http.chunk d_body ^ Http.last_chunk) c.outq;
+                c.in_flight <- false;
+                if (not c_keep) || Atomic.get t.shutdown || c.peer_eof then
+                  c.close_after_flush <- true;
+                process t c))
       (List.rev comps)
   in
   let accept_burst () =
@@ -737,6 +1091,7 @@ let serve_loop t =
   let rec iterate () =
     let sd = Atomic.get t.shutdown in
     if sd then close_listen ();
+    Frontier.sweep t.frontiers ~now:(Unix.gettimeofday ());
     (* sweep: closed by error, or nothing left to read/serve/flush *)
     let victims =
       Hashtbl.fold
@@ -855,6 +1210,9 @@ let start cfg =
         mapping_cache =
           Cache.create ~telemetry:tel ~shards:cfg.cache_shards
             ~capacity:cfg.cache_capacity ();
+        frontiers =
+          Frontier.create ~telemetry:tel ~capacity:cfg.frontier_capacity
+            ~ttl_ms:cfg.frontier_ttl_ms ();
         queue = Admission.create ~telemetry:tel ~capacity:cfg.queue_capacity ();
         listen_fd;
         bound_port;

@@ -20,10 +20,22 @@
       a per-request deadline enforced through the cooperative
       [stop]/[Cancelled] path. Bodies over 64 KiB are shipped to the
       pool whole, so the loop never JSON-parses a large payload.
+    - [POST /discover?anytime=1] — same body, streamed response: a
+      chunked sequence of newline-delimited frames (see
+      {!Protocol.frame}) — improving incumbents as the search runs,
+      then one final frame. A search that gives up with a resumable
+      engine checkpoint parks it in a bounded, TTL'd {!Frontier} store
+      and quotes a single-use [resume_token] in the final frame;
+      [POST /discover?resume=<token>] redeems it and continues the
+      search where it stopped (404 for unknown/expired/replayed
+      tokens). Requests with a [partial] relation list search toward
+      that sub-target and bypass the mapping cache both ways.
     - [GET /healthz] — liveness.
     - [GET /stats] — a JSON snapshot whose counters are read from the
       same telemetry aggregate that backs the [--trace] sink, so the
-      numbers reconcile exactly with an aggregated trace.
+      numbers reconcile exactly with an aggregated trace. Includes an
+      [anytime] section (incumbents streamed, resume requests, frontier
+      retention/eviction counters).
 
     Error mapping: malformed HTTP or JSON → 400, a partial request
     older than [read_timeout_ms] (slow loris) → 408 and close,
@@ -50,6 +62,11 @@ type config = {
   max_payload : int;  (** request-body and per-relation CSV byte limit *)
   cache_capacity : int;  (** LRU entries in the mapping cache, all shards *)
   cache_shards : int;  (** independent LRU shards (see {!Cache}) *)
+  frontier_capacity : int;
+      (** retained resume checkpoints (see {!Frontier}); beyond it the
+          oldest checkpoint is evicted *)
+  frontier_ttl_ms : int;
+      (** how long an unredeemed resume token stays valid *)
   search_telemetry : bool;
       (** when true (default) the full search-engine event stream of
           every executed discovery flows to the sink; when false only
@@ -71,14 +88,17 @@ val config :
   ?max_payload:int ->
   ?cache_capacity:int ->
   ?cache_shards:int ->
+  ?frontier_capacity:int ->
+  ?frontier_ttl_ms:int ->
   ?search_telemetry:bool ->
   ?trace_sink:Telemetry.Sink.t ->
   unit ->
   config
 (** Defaults: 127.0.0.1:8080, queue 64, 2 worker domains, 1 job,
     one-million state budget cap, 30s search timeout, 10s read timeout,
-    8 MiB payloads, 256 cache entries in 8 shards, search telemetry on,
-    no external sink.
+    8 MiB payloads, 256 cache entries in 8 shards, 32 retained
+    frontiers with a 5-minute TTL, search telemetry on, no external
+    sink.
     @raise Invalid_argument on non-positive capacities/workers/limits. *)
 
 type t

@@ -1,0 +1,103 @@
+(* Token-addressed retention of per-request search checkpoints.
+
+   Bounded two ways — a TTL (an abandoned search should not pin its
+   frontier forever) and an LRU capacity (a burst of gave-up requests
+   should not grow the table without bound). Tokens are single-use:
+   [take] removes, so a resume consumes its checkpoint and a replayed
+   token is a clean miss.
+
+   All access happens on the reactor thread (retention and resume are
+   both completion-time/dispatch-time events), so there is no lock;
+   the structure is not thread-safe. *)
+
+type 'a entry = { value : 'a; expires_at : float; seq : int }
+
+type 'a t = {
+  telemetry : Telemetry.t;
+  capacity : int;
+  ttl_ms : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable next_seq : int;  (** insertion order; smallest = oldest *)
+  rng : Random.State.t;
+}
+
+let create ?(telemetry = Telemetry.disabled) ~capacity ~ttl_ms () =
+  if capacity < 1 then invalid_arg "Frontier.create: capacity must be >= 1";
+  if ttl_ms < 1 then invalid_arg "Frontier.create: ttl_ms must be >= 1";
+  {
+    telemetry;
+    capacity;
+    ttl_ms;
+    tbl = Hashtbl.create (2 * capacity);
+    next_seq = 0;
+    rng = Random.State.make_self_init ();
+  }
+
+let length t = Hashtbl.length t.tbl
+let capacity t = t.capacity
+
+let fresh_token t =
+  (* 96 random bits; collisions in a <= capacity-entry table are not a
+     realistic concern, but loop anyway so [put] never overwrites *)
+  let rec go () =
+    let token =
+      Printf.sprintf "%08lx%08lx%08lx"
+        (Random.State.int32 t.rng Int32.max_int)
+        (Random.State.int32 t.rng Int32.max_int)
+        (Random.State.int32 t.rng Int32.max_int)
+    in
+    if Hashtbl.mem t.tbl token then go () else token
+  in
+  go ()
+
+let evict_oldest t =
+  let victim =
+    Hashtbl.fold
+      (fun token e acc ->
+        match acc with
+        | Some (_, oldest) when oldest.seq <= e.seq -> acc
+        | _ -> Some (token, e))
+      t.tbl None
+  in
+  match victim with
+  | Some (token, _) ->
+      Hashtbl.remove t.tbl token;
+      Telemetry.count t.telemetry "frontier.evict.lru" 1
+  | None -> ()
+
+let put t ~now ~token value =
+  if not (Hashtbl.mem t.tbl token) && Hashtbl.length t.tbl >= t.capacity then
+    evict_oldest t;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Hashtbl.replace t.tbl token
+    { value; expires_at = now +. (float_of_int t.ttl_ms /. 1000.); seq };
+  Telemetry.count t.telemetry "frontier.retained" 1
+
+let take t ~now token =
+  match Hashtbl.find_opt t.tbl token with
+  | Some e when e.expires_at >= now ->
+      Hashtbl.remove t.tbl token;
+      Telemetry.count t.telemetry "frontier.resumed" 1;
+      Some e.value
+  | Some _ ->
+      (* found but expired: the sweep has not visited it yet *)
+      Hashtbl.remove t.tbl token;
+      Telemetry.count t.telemetry "frontier.evict.ttl" 1;
+      Telemetry.count t.telemetry "frontier.miss" 1;
+      None
+  | None ->
+      Telemetry.count t.telemetry "frontier.miss" 1;
+      None
+
+let sweep t ~now =
+  let expired =
+    Hashtbl.fold
+      (fun token e acc -> if e.expires_at < now then token :: acc else acc)
+      t.tbl []
+  in
+  List.iter
+    (fun token ->
+      Hashtbl.remove t.tbl token;
+      Telemetry.count t.telemetry "frontier.evict.ttl" 1)
+    expired

@@ -1,0 +1,43 @@
+(** Token-addressed retention of interrupted searches.
+
+    When an anytime [/discover] gives up with a resumable checkpoint,
+    the daemon parks the checkpoint here and hands the client a token
+    in the final frame; a follow-up [/discover?resume=<token>] redeems
+    it and continues the search where it stopped. Entries are bounded
+    by a TTL {e and} an LRU capacity, and tokens are single-use —
+    {!take} removes, so a replayed token is a miss (404 at the HTTP
+    layer).
+
+    Not thread-safe: built for the reactor thread, which performs both
+    retention (on worker completion) and redemption (on dispatch).
+
+    Telemetry counters (reconciling with the [/stats] snapshot):
+    [frontier.retained], [frontier.resumed], [frontier.miss],
+    [frontier.evict.ttl], [frontier.evict.lru] — at any quiescent
+    moment, [length = retained - resumed - evict.ttl - evict.lru]. *)
+
+type 'a t
+
+val create : ?telemetry:Telemetry.t -> capacity:int -> ttl_ms:int -> unit -> 'a t
+(** @raise Invalid_argument if [capacity < 1] or [ttl_ms < 1]. *)
+
+val fresh_token : 'a t -> string
+(** A fresh 24-hex-character token, not currently in the table. The
+    daemon allocates it at dispatch time — the worker must be able to
+    quote the token in its final frame before the checkpoint itself
+    arrives back on the reactor to be {!put}. *)
+
+val put : 'a t -> now:float -> token:string -> 'a -> unit
+(** Retain a value under [token] (from {!fresh_token}) until
+    [now + ttl]. At capacity, the oldest entry is LRU-evicted first. *)
+
+val take : 'a t -> now:float -> string -> 'a option
+(** Redeem a token, removing the entry. [None] (a counted miss) for
+    unknown, already-redeemed, or expired tokens. *)
+
+val sweep : 'a t -> now:float -> unit
+(** Drop entries past their TTL (counted as [frontier.evict.ttl]).
+    O(size); the daemon calls it on reactor housekeeping ticks. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int

@@ -120,6 +120,64 @@ type request = {
   body : string;
 }
 
+(* --- request-target query strings --- *)
+
+let percent_decode s =
+  if not (String.exists (fun c -> c = '%' || c = '+') s) then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let hex c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+      | _ -> None
+    in
+    let n = String.length s in
+    let rec go i =
+      if i < n then
+        match s.[i] with
+        | '+' ->
+            Buffer.add_char buf ' ';
+            go (i + 1)
+        | '%' when i + 2 < n -> (
+            match (hex s.[i + 1], hex s.[i + 2]) with
+            | Some hi, Some lo ->
+                Buffer.add_char buf (Char.chr ((hi * 16) + lo));
+                go (i + 3)
+            | _ ->
+                Buffer.add_char buf '%';
+                go (i + 1))
+        | c ->
+            Buffer.add_char buf c;
+            go (i + 1)
+    in
+    go 0;
+    Buffer.contents buf
+  end
+
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some i ->
+      let path = String.sub target 0 i in
+      let qs = String.sub target (i + 1) (String.length target - i - 1) in
+      let params =
+        String.split_on_char '&' qs
+        |> List.filter_map (fun kv ->
+               if kv = "" then None
+               else
+                 match String.index_opt kv '=' with
+                 | None -> Some (percent_decode kv, "")
+                 | Some j ->
+                     Some
+                       ( percent_decode (String.sub kv 0 j),
+                         percent_decode
+                           (String.sub kv (j + 1) (String.length kv - j - 1))
+                       ))
+      in
+      (path, params)
+
 let header req name =
   let name = String.lowercase_ascii name in
   List.assoc_opt name req.headers
@@ -314,7 +372,61 @@ let write_response ?(keep_alive = true) write r =
   Buffer.add_string buf r.resp_body;
   write (Buffer.contents buf)
 
-let read_response reader =
+(* --- chunked responses (the anytime incumbent stream) --- *)
+
+let chunked_head ?(content_type = "application/json") ?(headers = [])
+    ?(keep_alive = true) status =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason_phrase status));
+  Buffer.add_string buf (Printf.sprintf "content-type: %s\r\n" content_type);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string buf "transfer-encoding: chunked\r\n";
+  Buffer.add_string buf
+    (Printf.sprintf "connection: %s\r\n\r\n"
+       (if keep_alive then "keep-alive" else "close"));
+  Buffer.contents buf
+
+let chunk data =
+  (* an empty chunk would be the stream terminator; suppress it *)
+  if data = "" then ""
+  else Printf.sprintf "%x\r\n%s\r\n" (String.length data) data
+
+let last_chunk = "0\r\n\r\n"
+
+let read_chunk reader =
+  match Reader.read_line reader with
+  | None -> bad "truncated chunked body (no chunk-size line)"
+  | Some line -> (
+      let size_field =
+        (* chunk extensions (";ext=…") are tolerated and ignored *)
+        match String.index_opt line ';' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      match int_of_string_opt ("0x" ^ String.trim size_field) with
+      | None -> bad "malformed chunk size %S" line
+      | Some n when n < 0 -> bad "malformed chunk size %S" line
+      | Some 0 ->
+          (* trailer section up to the final blank line *)
+          let rec drain () =
+            match Reader.read_line reader with
+            | None -> bad "truncated chunk trailer"
+            | Some "" -> ()
+            | Some _ -> drain ()
+          in
+          drain ();
+          None
+      | Some n ->
+          let data = Reader.read_exact reader n in
+          (match Reader.read_line reader with
+          | Some "" -> ()
+          | _ -> bad "missing CRLF after a %d-byte chunk" n);
+          Some data)
+
+let read_response_head reader =
   match Reader.read_line reader with
   | None -> bad "no response"
   | Some line ->
@@ -329,12 +441,33 @@ let read_response reader =
         | _ -> bad "malformed status line %S" line
       in
       let headers = read_headers reader in
-      let body =
-        match List.assoc_opt "content-length" headers with
-        | None -> ""
-        | Some v -> (
-            match int_of_string_opt (String.trim v) with
-            | Some n when n >= 0 -> Reader.read_exact reader n
-            | _ -> bad "malformed content-length %S" v)
-      in
-      (status, headers, body)
+      (status, headers)
+
+let response_chunked headers =
+  match List.assoc_opt "transfer-encoding" headers with
+  | Some v -> token_mem "chunked" v
+  | None -> false
+
+let read_body reader headers =
+  if response_chunked headers then begin
+    let buf = Buffer.create 1024 in
+    let rec go () =
+      match read_chunk reader with
+      | Some data ->
+          Buffer.add_string buf data;
+          go ()
+      | None -> Buffer.contents buf
+    in
+    go ()
+  end
+  else
+    match List.assoc_opt "content-length" headers with
+    | None -> ""
+    | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some n when n >= 0 -> Reader.read_exact reader n
+        | _ -> bad "malformed content-length %S" v)
+
+let read_response reader =
+  let status, headers = read_response_head reader in
+  (status, headers, read_body reader headers)

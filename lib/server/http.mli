@@ -2,9 +2,10 @@
 
     Just enough of RFC 9112 for a JSON API behind a trusted proxy or on
     localhost: request/status line, headers, [Content-Length] bodies and
-    keep-alive. No chunked transfer encoding (a request declaring it is
-    rejected with 411), no pipelining guarantees beyond
-    read-one/write-one per round trip.
+    keep-alive. Chunked transfer encoding is supported on {e responses}
+    only (the anytime incumbent stream); a request declaring it is
+    rejected. No pipelining guarantees beyond read-one/write-one per
+    round trip.
 
     Reading is factored over a pull function so the parser can be
     driven byte-by-byte in tests: bodies and header blocks split across
@@ -43,6 +44,13 @@ type request = {
 
 val header : request -> string -> string option
 (** Case-insensitive header lookup (first match). *)
+
+val split_target : string -> string * (string * string) list
+(** Split a request-target into its path and decoded query parameters:
+    [split_target "/discover?anytime=1&resume=a%2Fb"] is
+    [("/discover", [("anytime", "1"); ("resume", "a/b")])]. Parameters
+    keep arrival order; a key without ["="] decodes to the empty value;
+    ["+"] and [%XX] escapes are decoded in both keys and values. *)
 
 val keep_alive : request -> bool
 (** HTTP/1.1 defaults to persistent; [Connection: close] (or HTTP/1.0
@@ -94,5 +102,52 @@ val write_response : ?keep_alive:bool -> (string -> unit) -> response -> unit
     added automatically), blank line and body to [write]. *)
 
 val read_response : Reader.t -> (int * (string * string) list * string)
-(** Client side: read one [(status, headers, body)].
+(** Client side: read one [(status, headers, body)]. Bodies framed with
+    [Transfer-Encoding: chunked] (the anytime incumbent stream) are
+    accumulated whole; otherwise [Content-Length] governs as before.
     @raise Bad_request on malformed or truncated input. *)
+
+(** {1 Chunked responses}
+
+    The anytime [/discover] stream: the daemon commits to a 200 before
+    the search finishes, then emits one chunk per incumbent frame.
+    Requests still never use chunked framing (rejected with 400). *)
+
+val chunked_head :
+  ?content_type:string ->
+  ?headers:(string * string) list ->
+  ?keep_alive:bool ->
+  int ->
+  string
+(** Serialized status line and headers announcing
+    [Transfer-Encoding: chunked] — written once, before the first
+    chunk. *)
+
+val chunk : string -> string
+(** One chunk frame ([size CRLF data CRLF]). [chunk "" = ""] — an empty
+    payload must not emit the stream terminator. *)
+
+val last_chunk : string
+(** The terminating zero chunk. *)
+
+val read_response_head : Reader.t -> int * (string * string) list
+(** Client side: status line and headers only, leaving the body (and
+    its framing) to the caller — the streaming entry point.
+    @raise Bad_request on malformed or truncated input. *)
+
+val response_chunked : (string * string) list -> bool
+(** Whether headers (from {!read_response_head}) declare a chunked
+    body. *)
+
+val read_body : Reader.t -> (string * string) list -> string
+(** Client side: read the body whose framing [headers] describe —
+    chunked bodies accumulated whole, otherwise per [Content-Length]
+    (empty when absent). [read_response] ≡ head + this.
+    @raise Bad_request on malformed or truncated framing. *)
+
+val read_chunk : Reader.t -> string option
+(** Read one chunk of a chunked body: [Some data], or [None] on the
+    terminating zero chunk (trailers drained). Chunk boundaries carry
+    no meaning — callers reassemble and re-split on their own framing
+    (the incumbent stream uses newline-delimited JSON).
+    @raise Bad_request on malformed or truncated framing. *)

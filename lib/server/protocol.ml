@@ -4,6 +4,7 @@ type discover_request = {
   algorithm : string;
   heuristic : string;
   goal : string;
+  partial : string list;
   budget : int;
   jobs : int;
   timeout_ms : int option;
@@ -11,14 +12,15 @@ type discover_request = {
 }
 
 let request ?(algorithm = "rbfs") ?(heuristic = "cosine")
-    ?(goal = "superset") ?(budget = 1_000_000) ?(jobs = 0) ?timeout_ms
-    ?(semfuns = []) ~source ~target () =
+    ?(goal = "superset") ?(partial = []) ?(budget = 1_000_000) ?(jobs = 0)
+    ?timeout_ms ?(semfuns = []) ~source ~target () =
   {
     source;
     target;
     algorithm;
     heuristic;
     goal;
+    partial;
     budget;
     jobs;
     timeout_ms;
@@ -35,6 +37,8 @@ type discover_response = {
   states_examined : int;
   elapsed_ms : float;
   cache : string;
+  incumbents : int;
+  resume_token : string option;
 }
 
 (* --- encoding --- *)
@@ -52,6 +56,10 @@ let encode_request r =
        ("budget", Json.Num (float_of_int r.budget));
        ("jobs", Json.Num (float_of_int r.jobs));
      ]
+    @ (match r.partial with
+      | [] -> []
+      | rels ->
+          [ ("partial", Json.Arr (List.map (fun n -> Json.Str n) rels)) ])
     @ (match r.timeout_ms with
       | Some ms -> [ ("timeout_ms", Json.Num (float_of_int ms)) ]
       | None -> [])
@@ -74,7 +82,13 @@ let encode_response r =
         ("states_examined", Json.Num (float_of_int r.states_examined));
         ("elapsed_ms", Json.Num r.elapsed_ms);
         ("cache", Json.Str r.cache);
-      ])
+      ]
+    @ (if r.incumbents = 0 then []
+       else [ ("incumbents", Json.Num (float_of_int r.incumbents)) ])
+    @
+    match r.resume_token with
+    | Some tok -> [ ("resume_token", Json.Str tok) ]
+    | None -> [])
 
 (* --- decoding --- *)
 
@@ -137,12 +151,14 @@ let decode_request json =
             | Some ms -> Ok (Some ms)
             | None -> Error "field \"timeout_ms\" must be an integer")
       in
-      let* semfuns =
-        match Json.member "semfuns" json with
+      let str_list name =
+        match Json.member name json with
         | None -> Ok []
         | Some v -> (
             match Json.to_arr v with
-            | None -> Error "field \"semfuns\" must be an array of strings"
+            | None ->
+                Error
+                  (Printf.sprintf "field %S must be an array of strings" name)
             | Some items ->
                 List.fold_left
                   (fun acc item ->
@@ -150,10 +166,14 @@ let decode_request json =
                     match Json.to_str item with
                     | Some s -> Ok (s :: acc)
                     | None ->
-                        Error "field \"semfuns\" must be an array of strings")
+                        Error
+                          (Printf.sprintf
+                             "field %S must be an array of strings" name))
                   (Ok []) items
                 |> Result.map List.rev)
       in
+      let* semfuns = str_list "semfuns" in
+      let* partial = str_list "partial" in
       if budget <= 0 then Error "field \"budget\" must be positive"
       else if jobs < 0 then Error "field \"jobs\" must be >= 0"
       else
@@ -164,6 +184,7 @@ let decode_request json =
             algorithm;
             heuristic;
             goal;
+            partial;
             budget;
             jobs;
             timeout_ms;
@@ -206,6 +227,8 @@ let decode_response json =
         | None -> Error "missing field \"elapsed_ms\""
       in
       let* cache = req "cache" in
+      let* incumbents = field_int ~default:0 json "incumbents" in
+      let* resume_token = opt "resume_token" in
       Ok
         {
           outcome;
@@ -217,7 +240,117 @@ let decode_response json =
           states_examined;
           elapsed_ms;
           cache;
+          incumbents;
+          resume_token;
         }
   | _ -> Error "response body must be a JSON object"
 
 let error_body msg = Json.to_string (Json.Obj [ ("error", Json.Str msg) ])
+
+(* --- anytime stream frames ---
+
+   A chunked [/discover?anytime=1] body is a sequence of
+   newline-delimited JSON objects, each tagged with a "frame" field:
+   zero or more "incumbent" frames, then exactly one "final" frame
+   (the usual response object) — or one "error" frame when the worker
+   failed before producing a result. Chunk boundaries are transport
+   artifacts; only newlines delimit frames. *)
+
+type incumbent_frame = {
+  i_seq : int;
+  i_cost : int;
+  i_h : int;
+  i_covered : int;
+  i_total : int;
+  i_entrant : string;
+  i_coverage : (string * int * int) list;
+  i_expr : string;
+}
+
+let encode_incumbent i =
+  Json.Obj
+    [
+      ("frame", Json.Str "incumbent");
+      ("seq", Json.Num (float_of_int i.i_seq));
+      ("cost", Json.Num (float_of_int i.i_cost));
+      ("h", Json.Num (float_of_int i.i_h));
+      ("covered", Json.Num (float_of_int i.i_covered));
+      ("total", Json.Num (float_of_int i.i_total));
+      ("entrant", Json.Str i.i_entrant);
+      ( "coverage",
+        Json.Obj
+          (List.map
+             (fun (rel, covered, total) ->
+               ( rel,
+                 Json.Obj
+                   [
+                     ("covered", Json.Num (float_of_int covered));
+                     ("total", Json.Num (float_of_int total));
+                   ] ))
+             i.i_coverage) );
+      ("expr", Json.Str i.i_expr);
+    ]
+
+let encode_final r =
+  match encode_response r with
+  | Json.Obj fields -> Json.Obj (("frame", Json.Str "final") :: fields)
+  | other -> other
+
+let encode_error_frame msg =
+  Json.Obj [ ("frame", Json.Str "error"); ("error", Json.Str msg) ]
+
+type frame =
+  | F_incumbent of incumbent_frame
+  | F_final of discover_response
+  | F_error of string
+
+let decode_incumbent json =
+  let* seq = field_int ~default:0 json "seq" in
+  let* cost = field_int ~default:0 json "cost" in
+  let* h = field_int ~default:0 json "h" in
+  let* covered = field_int ~default:0 json "covered" in
+  let* total = field_int ~default:0 json "total" in
+  let* entrant = field_str ~default:"" json "entrant" in
+  let* expr = field_str ~default:"" json "expr" in
+  let* coverage =
+    match Json.member "coverage" json with
+    | None -> Ok []
+    | Some v -> (
+        match Json.to_obj v with
+        | None -> Error "field \"coverage\" must be an object"
+        | Some fields ->
+            List.fold_left
+              (fun acc (rel, entry) ->
+                let* acc = acc in
+                let* covered = field_int ~default:0 entry "covered" in
+                let* total = field_int ~default:0 entry "total" in
+                Ok ((rel, covered, total) :: acc))
+              (Ok []) fields
+            |> Result.map List.rev)
+  in
+  Ok
+    {
+      i_seq = seq;
+      i_cost = cost;
+      i_h = h;
+      i_covered = covered;
+      i_total = total;
+      i_entrant = entrant;
+      i_coverage = coverage;
+      i_expr = expr;
+    }
+
+let decode_frame json =
+  match Json.member "frame" json with
+  | None -> Error "frame object lacks a \"frame\" tag"
+  | Some tag -> (
+      match Json.to_str tag with
+      | Some "incumbent" ->
+          Result.map (fun i -> F_incumbent i) (decode_incumbent json)
+      | Some "final" -> Result.map (fun r -> F_final r) (decode_response json)
+      | Some "error" -> (
+          match Json.member "error" json with
+          | Some (Json.Str m) -> Ok (F_error m)
+          | _ -> Ok (F_error "unspecified server error"))
+      | Some other -> Error (Printf.sprintf "unknown frame tag %S" other)
+      | None -> Error "field \"frame\" must be a string")

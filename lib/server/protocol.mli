@@ -13,6 +13,9 @@ type discover_request = {
   algorithm : string;  (** as accepted by [Discover.algorithm_of_string] *)
   heuristic : string;
   goal : string;
+  partial : string list;
+      (** partial goal: search toward this subset of target relations
+          only ([[]] = the whole target; see [Discover.config]) *)
   budget : int;
   jobs : int;  (** domains for this request's search; 0 = server default *)
   timeout_ms : int option;  (** per-request deadline; [None] = server default *)
@@ -23,6 +26,7 @@ val request :
   ?algorithm:string ->
   ?heuristic:string ->
   ?goal:string ->
+  ?partial:string list ->
   ?budget:int ->
   ?jobs:int ->
   ?timeout_ms:int ->
@@ -31,8 +35,9 @@ val request :
   target:(string * string) list ->
   unit ->
   discover_request
-(** Defaults: rbfs / cosine / superset, a one-million-state budget,
-    [jobs = 0] (server default), no timeout override, no semfuns. *)
+(** Defaults: rbfs / cosine / superset, the whole target, a
+    one-million-state budget, [jobs = 0] (server default), no timeout
+    override, no semfuns. *)
 
 type discover_response = {
   outcome : string;
@@ -49,6 +54,12 @@ type discover_response = {
       (** ["hit"] — served from the cache without searching; ["warm"] — a
           near-miss cache entry seeded the search (see
           [Cache.find_near]); ["miss"] — cold search. *)
+  incumbents : int;
+      (** anytime requests: improving incumbents streamed before this
+          final answer; 0 otherwise *)
+  resume_token : string option;
+      (** anytime requests that gave up with a resumable frontier: redeem
+          with [/discover?resume=<token>] to continue the search *)
 }
 
 val encode_request : discover_request -> Json.t
@@ -61,3 +72,39 @@ val decode_response : Json.t -> (discover_response, string) result
 
 val error_body : string -> string
 (** [{"error": msg}] — the body of every non-200 response. *)
+
+(** {1 Anytime stream frames}
+
+    The body of a chunked [/discover?anytime=1] response is a sequence
+    of newline-delimited JSON objects tagged with a ["frame"] field:
+    zero or more ["incumbent"] frames as the search improves, then
+    exactly one ["final"] frame (a {!discover_response} with the tag
+    prepended) — or one ["error"] frame if the worker failed before
+    producing a result. Chunk boundaries carry no meaning; clients
+    reassemble chunks and split on newlines. *)
+
+type incumbent_frame = {
+  i_seq : int;  (** states observed when reported *)
+  i_cost : int;  (** operators from the original source *)
+  i_h : int;  (** scaled heuristic estimate; 0 for the final mapping *)
+  i_covered : int;
+  i_total : int;
+  i_entrant : string;  (** algorithm (or portfolio entrant) provenance *)
+  i_coverage : (string * int * int) list;
+      (** per target relation: (name, covered, total) *)
+  i_expr : string;  (** the incumbent's program, [Fira.Parser] file form *)
+}
+
+type frame =
+  | F_incumbent of incumbent_frame
+  | F_final of discover_response
+  | F_error of string
+
+val encode_incumbent : incumbent_frame -> Json.t
+val encode_final : discover_response -> Json.t
+val encode_error_frame : string -> Json.t
+
+val decode_frame : Json.t -> (frame, string) result
+(** Dispatch on the ["frame"] tag; [decode_frame (encode_incumbent i) =
+    Ok (F_incumbent i)] and likewise for the other constructors
+    (property-tested). *)

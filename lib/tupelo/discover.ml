@@ -64,6 +64,7 @@ type config = {
   algorithm : algorithm;
   heuristic : Heuristics.Heuristic.t;
   goal : Goal.mode;
+  partial : string list;
   budget : int;
   moves : Moves.config;
   jobs : int;
@@ -71,8 +72,8 @@ type config = {
 }
 
 let config ?(algorithm = Rbfs) ?heuristic ?(goal = Goal.Superset)
-    ?(budget = Search.Space.default_budget) ?moves ?(jobs = 1)
-    ?(telemetry = Telemetry.disabled) () =
+    ?(partial = []) ?(budget = Search.Space.default_budget) ?moves
+    ?(jobs = 1) ?(telemetry = Telemetry.disabled) () =
   if jobs < 1 then invalid_arg "Discover.config: jobs must be >= 1";
   let heuristic =
     match heuristic with
@@ -82,7 +83,7 @@ let config ?(algorithm = Rbfs) ?heuristic ?(goal = Goal.Superset)
         Heuristics.Heuristic.cosine ~k
   in
   let moves = match moves with Some m -> m | None -> Moves.default goal in
-  { algorithm; heuristic; goal; budget; moves; jobs; telemetry }
+  { algorithm; heuristic; goal; partial; budget; moves; jobs; telemetry }
 
 type outcome =
   | Mapping of Mapping.t
@@ -92,6 +93,129 @@ type outcome =
 let states_examined = function
   | Mapping m -> m.Mapping.stats.Search.Space.examined
   | No_mapping stats | Gave_up stats -> stats.Search.Space.examined
+
+(* ------------------------------------------------------------------ *)
+(* Anytime discovery: streamed incumbents and resumable frontiers.    *)
+(* ------------------------------------------------------------------ *)
+
+type incumbent = {
+  inc_ops : Fira.Op.t list;
+  inc_cost : int;
+  inc_h : int;
+  inc_coverage : Goal.coverage list;
+  inc_covered : int;
+  inc_total : int;
+  inc_entrant : string;
+  inc_seq : int;
+}
+
+type frontier = {
+  fr_algorithm : algorithm;
+  fr_nodes : Fira.Op.t list list;
+  fr_closed : (Relational.Fingerprint.t * int) list;
+  fr_checked : int;
+}
+
+type anytime = {
+  a_outcome : outcome;
+  a_incumbent : incumbent option;
+  a_frontier : frontier option;
+}
+
+(* Retention bounds on a captured frontier: the open-node paths are the
+   part a resume cannot do without (capped generously — a beam is at
+   most its width, a heap snapshot is best-first so the tail matters
+   least); the closed set only prevents re-exploration, so overflow is
+   dropped rather than failing. *)
+let frontier_nodes_cap = 512
+let frontier_closed_cap = 200_000
+
+let rec take_at_most n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take_at_most (n - 1) rest
+
+(* The incumbent tracker: one per run, shared by every portfolio entrant
+   (hence the mutex — entrants race on separate domains). An examined
+   state becomes a candidate when its h beats every previous candidate's
+   (a cheap filter: coverage is only computed for the few states on the
+   descending-h envelope), and a candidate is reported when its coverage
+   has not decreased — so the reported stream is monotone by
+   construction: covered never decreases, h never worsens. *)
+type tracker = {
+  tr_mutex : Mutex.t;
+  mutable tr_obs : int;
+  mutable tr_best_h : int;
+  mutable tr_best_cov : int;
+  mutable tr_best : incumbent option;
+  tr_report : incumbent -> unit;
+  tr_coverage : State.t -> Goal.coverage list;
+  tr_prefix : Fira.Op.t list;
+  tr_telemetry : Telemetry.t;
+}
+
+let tracker_observe t ~entrant ~estimate
+    (w : (State.t, Fira.Op.t) Search.Space.witness) =
+  let h = estimate w.Search.Space.w_state in
+  Mutex.lock t.tr_mutex;
+  t.tr_obs <- t.tr_obs + 1;
+  if h < t.tr_best_h then begin
+    t.tr_best_h <- h;
+    let cov = t.tr_coverage w.Search.Space.w_state in
+    let covered, total = Goal.coverage_totals cov in
+    if covered >= t.tr_best_cov then begin
+      t.tr_best_cov <- covered;
+      let inc =
+        {
+          inc_ops = t.tr_prefix @ List.rev w.Search.Space.w_path_rev;
+          inc_cost = List.length t.tr_prefix + w.Search.Space.w_cost;
+          inc_h = h;
+          inc_coverage = cov;
+          inc_covered = covered;
+          inc_total = total;
+          inc_entrant = entrant;
+          inc_seq = t.tr_obs;
+        }
+      in
+      t.tr_best <- Some inc;
+      Telemetry.count t.tr_telemetry "discover.incumbents" 1;
+      t.tr_report inc
+    end
+  end;
+  Mutex.unlock t.tr_mutex
+
+(* The goal state closes the stream: reported unconditionally with h = 0
+   and full coverage, so the final incumbent always equals the returned
+   mapping. *)
+let tracker_final t ~entrant ~ops final =
+  Mutex.lock t.tr_mutex;
+  t.tr_obs <- t.tr_obs + 1;
+  let cov = t.tr_coverage final in
+  let covered, total = Goal.coverage_totals cov in
+  let inc =
+    {
+      inc_ops = ops;
+      inc_cost = List.length ops;
+      inc_h = 0;
+      inc_coverage = cov;
+      inc_covered = covered;
+      inc_total = total;
+      inc_entrant = entrant;
+      inc_seq = t.tr_obs;
+    }
+  in
+  t.tr_best <- Some inc;
+  t.tr_best_cov <- covered;
+  t.tr_best_h <- 0;
+  Telemetry.count t.tr_telemetry "discover.incumbents" 1;
+  t.tr_report inc;
+  Mutex.unlock t.tr_mutex
+
+let tracker_best t =
+  Mutex.lock t.tr_mutex;
+  let b = t.tr_best in
+  Mutex.unlock t.tr_mutex;
+  b
 
 (* The default portfolio: diverse (algorithm × heuristic) entrants. RBFS
    and IDA+TT are the paper's strongest configurations; A* and Greedy
@@ -134,11 +258,35 @@ let proposed_event op = "moves.proposed." ^ Fira.Op.kind_name op
 let applied_event op = "moves.applied." ^ Fira.Op.kind_name op
 
 let discover_run ?(registry = Fira.Semfun.empty_registry)
-    ?(stop = Search.Space.never_stop) ?(warm_start = []) config ~source
-    ~target =
+    ?(stop = Search.Space.never_stop) ?(warm_start = []) ?(anytime = false)
+    ?on_incumbent ?resume config ~source ~target =
+  (* Partial goals: restrict the target to the requested relations before
+     anything else looks at it — the goal test, the move generator and
+     the heuristic profile then all work toward the sub-target. *)
+  let target =
+    match config.partial with
+    | [] -> target
+    | rels ->
+        Relational.Database.of_list
+          (List.map
+             (fun n ->
+               match Relational.Database.find_opt target n with
+               | Some r -> (n, r)
+               | None ->
+                   invalid_arg
+                     (Printf.sprintf
+                        "Discover: partial goal relation %S not in target" n))
+             rels)
+  in
+  (* A resumed run continues the snapshot's algorithm; its node paths
+     replay from the original source, so any warm start is ignored. *)
+  let algorithm =
+    match resume with Some fr -> fr.fr_algorithm | None -> config.algorithm
+  in
+  let warm_start = match resume with Some _ -> [] | None -> warm_start in
   Log.debug (fun m ->
       m "discover: %s/%s goal=%s budget=%d jobs=%d source=%d rels target=%d rels"
-        (algorithm_name config.algorithm)
+        (algorithm_name algorithm)
         config.heuristic.Heuristics.Heuristic.name
         (Goal.mode_to_string config.goal)
         config.budget config.jobs
@@ -207,36 +355,44 @@ let discover_run ?(registry = Fira.Semfun.empty_registry)
             Telemetry.timed tel "heuristic.eval" (fun () -> eval state))
     end
   in
-  let run_algorithm ?(stop = stop) ?pool ~telemetry:tel alg heuristic root =
+  let run_algorithm ?(stop = stop) ?pool ?tracker ?resume ?snapshot ~entrant
+      ~telemetry:tel alg heuristic root =
     let estimate = estimate_for tel heuristic in
+    (* Anytime observation: every goal-tested state flows through the
+       shared incumbent tracker, scored with this entrant's own memoized
+       heuristic (domain-safe under portfolio racing). *)
+    let watch =
+      Option.map (fun t w -> tracker_observe t ~entrant ~estimate w) tracker
+    in
     match alg with
     | Ida ->
         let module I = Search.Ida.Make (Sp) in
-        I.search ~stop ~telemetry:tel ~budget:config.budget
+        I.search ~stop ~telemetry:tel ~budget:config.budget ?watch
           ~heuristic:estimate root
     | Ida_tt ->
         let module I = Search.Ida_tt.Make (Sp) in
-        I.search ~stop ~telemetry:tel ~budget:config.budget
+        I.search ~stop ~telemetry:tel ~budget:config.budget ?watch
           ~heuristic:estimate root
     | Rbfs ->
         let module R = Search.Rbfs.Make (Sp) in
-        R.search ~stop ~telemetry:tel ~budget:config.budget
+        R.search ~stop ~telemetry:tel ~budget:config.budget ?watch
           ~heuristic:estimate root
     | Astar ->
         let module A = Search.Astar.Make (Sp) in
-        A.search ~stop ~telemetry:tel ?pool ~budget:config.budget
-          ~heuristic:estimate root
+        A.search ~stop ~telemetry:tel ?pool ~budget:config.budget ?watch
+          ?resume ?snapshot ~heuristic:estimate root
     | Greedy ->
         let module G = Search.Greedy.Make (Sp) in
-        G.search ~stop ~telemetry:tel ~budget:config.budget
-          ~heuristic:estimate root
+        G.search ~stop ~telemetry:tel ~budget:config.budget ?watch ?resume
+          ?snapshot ~heuristic:estimate root
     | Beam width ->
         let module B = Search.Beam.Make (Sp) in
         B.search ~stop ~telemetry:tel ?pool ~budget:config.budget ~width
-          ~heuristic:estimate root
+          ?watch ?resume ?snapshot ~heuristic:estimate root
     | Bfs ->
         let module B = Search.Bfs.Make (Sp) in
-        B.search ~stop ~telemetry:tel ~budget:config.budget root
+        B.search ~stop ~telemetry:tel ~budget:config.budget ?watch ?resume
+          ?snapshot root
     | Portfolio ->
         invalid_arg "Discover: Portfolio cannot be an entrant of itself"
   in
@@ -290,6 +446,85 @@ let discover_run ?(registry = Fira.Semfun.empty_registry)
               (List.length prefix) (List.length ops));
         (prefix, st)
   in
+  let tracker =
+    if not anytime then None
+    else
+      Some
+        {
+          tr_mutex = Mutex.create ();
+          tr_obs = 0;
+          tr_best_h = max_int;
+          (* -1 so the first observed state always reports, even with
+             zero coverage: the stream opens with the root. *)
+          tr_best_cov = -1;
+          tr_best = None;
+          tr_report =
+            (match on_incumbent with Some f -> f | None -> ignore);
+          tr_coverage =
+            (fun st ->
+              Goal.coverage_interned goal_mode
+                ~target:(Moves.target_idb target_info)
+                (State.idb st));
+          tr_prefix = warm_prefix;
+          tr_telemetry = telemetry;
+        }
+  in
+  let to_frontier alg
+      (snap :
+        (State.t, Fira.Op.t, Relational.Fingerprint.t) Search.Space.snapshot)
+      =
+    let nodes = take_at_most frontier_nodes_cap snap.Search.Space.snap_nodes in
+    {
+      fr_algorithm = alg;
+      (* Paths are absolute (warm prefix included), so a resumed run
+         replays them from the original source. *)
+      fr_nodes = List.map (fun (path, _) -> warm_prefix @ path) nodes;
+      fr_closed =
+        take_at_most frontier_closed_cap snap.Search.Space.snap_closed;
+      fr_checked = min snap.Search.Space.snap_checked (List.length nodes);
+    }
+  in
+  let resume_snap =
+    match resume with
+    | None -> None
+    | Some fr ->
+        (* Rebuild live open nodes by replaying each path from the source
+           under the same syntactic semantics the move generator uses, so
+           the resumed states are bit-identical (fingerprint and all) to
+           the captured ones. A path that no longer applies is dropped —
+           the search just re-derives whatever it led to. *)
+        let replay path =
+          let rec go st = function
+            | [] -> Some st
+            | op :: rest -> (
+                match
+                  Fira.Eval.apply_interned_delta ~semantics:`Syntactic
+                    registry op (State.idb st)
+                with
+                | exception Fira.Eval.Error _ -> None
+                | exception Relational.Relation.Error _ -> None
+                | exception Relational.Database.Error _ -> None
+                | idb', delta -> go (State.of_isuccessor st delta idb') rest)
+          in
+          go root path
+        in
+        let nodes =
+          List.filter_map
+            (fun path ->
+              match replay path with
+              | Some st -> Some (path, st)
+              | None ->
+                  Telemetry.count telemetry "discover.resume.dropped" 1;
+                  None)
+            fr.fr_nodes
+        in
+        Some
+          {
+            Search.Space.snap_nodes = nodes;
+            snap_closed = fr.fr_closed;
+            snap_checked = min fr.fr_checked (List.length nodes);
+          }
+  in
   let finish ~name result =
     (match result.Search.Space.outcome with
     | Search.Space.Found { path; _ } ->
@@ -310,7 +545,7 @@ let discover_run ?(registry = Fira.Semfun.empty_registry)
             m "cancelled after %d states"
               result.Search.Space.stats.Search.Space.examined));
     match result.Search.Space.outcome with
-    | Search.Space.Found { path; _ } ->
+    | Search.Space.Found { path; final; _ } ->
         (* The reported mapping replays from the original source, so the
            warm prefix is part of it. *)
         let path = warm_prefix @ path in
@@ -318,6 +553,11 @@ let discover_run ?(registry = Fira.Semfun.empty_registry)
           List.iter
             (fun op -> Telemetry.count telemetry (applied_event op) 1)
             path;
+        (* Close the incumbent stream with the answer itself, so the
+           final incumbent always equals the returned mapping. *)
+        (match tracker with
+        | Some t -> tracker_final t ~entrant:name ~ops:path final
+        | None -> ());
         Mapping
           {
             Mapping.expr = Fira.Expr.of_ops path;
@@ -332,26 +572,39 @@ let discover_run ?(registry = Fira.Semfun.empty_registry)
            an honest give-up if it ever does. *)
         Gave_up result.Search.Space.stats
   in
-  match config.algorithm with
+  let best_incumbent () =
+    match tracker with Some t -> tracker_best t | None -> None
+  in
+  match algorithm with
   | Portfolio ->
       let elapsed = Search.Space.stopwatch () in
-      let entrants =
+      let entrant_slots =
         List.map
           (fun (alg, heuristic) ->
             let name =
               Printf.sprintf "%s/%s" (algorithm_name alg)
                 heuristic.Heuristics.Heuristic.name
             in
-            {
-              Search.Portfolio.name;
-              run =
-                (fun ~cancelled ->
-                  run_algorithm ~stop:cancelled
-                    ~telemetry:(Telemetry.with_scope telemetry name)
-                    alg heuristic root);
-            })
+            let slot = ref None in
+            let snapshot =
+              if anytime then
+                Some (fun snap -> slot := Some (to_frontier alg snap))
+              else None
+            in
+            ( name,
+              slot,
+              {
+                Search.Portfolio.name;
+                run =
+                  (fun ~cancelled ->
+                    run_algorithm ~stop:cancelled ?tracker ?snapshot
+                      ~entrant:name
+                      ~telemetry:(Telemetry.with_scope telemetry name)
+                      alg heuristic root);
+              } ))
           (portfolio_entrants ())
       in
+      let entrants = List.map (fun (_, _, e) -> e) entrant_slots in
       let race =
         Search.Portfolio.race ~telemetry ~domains:config.jobs ~stop
           ~won:Search.Space.found entrants
@@ -362,14 +615,38 @@ let discover_run ?(registry = Fira.Semfun.empty_registry)
       let stats iterations =
         sum_stats ~iterations ~elapsed_s:(elapsed ()) completed
       in
+      (* When every entrant exhausts, the best entrant's partial work —
+         the incumbent it reported and the frontier it checkpointed — is
+         propagated instead of being discarded with the race. *)
+      let pick_frontier () =
+        if not anytime then None
+        else
+          let named =
+            List.map (fun (n, slot, _) -> (n, !slot)) entrant_slots
+          in
+          let preferred =
+            match best_incumbent () with
+            | Some inc -> (
+                match List.assoc_opt inc.inc_entrant named with
+                | Some (Some f) -> Some f
+                | _ -> None)
+            | None -> None
+          in
+          match preferred with
+          | Some f -> Some f
+          | None -> List.find_map snd named
+      in
       (match race.Search.Portfolio.winner with
       | Some (name, result) ->
           let stats =
             stats result.Search.Space.stats.Search.Space.iterations
           in
-          finish
-            ~name:(Printf.sprintf "Portfolio(%s)" name)
-            { result with Search.Space.stats }
+          let out =
+            finish
+              ~name:(Printf.sprintf "Portfolio(%s)" name)
+              { result with Search.Space.stats }
+          in
+          { a_outcome = out; a_incumbent = best_incumbent (); a_frontier = None }
       | None ->
           let gave_up =
             List.exists
@@ -383,28 +660,165 @@ let discover_run ?(registry = Fira.Semfun.empty_registry)
           Log.info (fun m ->
               m "portfolio: no entrant found a mapping (%d entrants)"
                 (List.length completed));
-          if gave_up then Gave_up (stats 1) else No_mapping (stats 1))
+          let out =
+            if gave_up then Gave_up (stats 1) else No_mapping (stats 1)
+          in
+          {
+            a_outcome = out;
+            a_incumbent = best_incumbent ();
+            a_frontier = (if gave_up then pick_frontier () else None);
+          })
   | alg ->
       let tel = Telemetry.with_scope telemetry (algorithm_name alg) in
       let uses_pool = match alg with Astar | Beam _ -> true | _ -> false in
+      let slot = ref None in
+      let snapshot =
+        if anytime then
+          Some (fun snap -> slot := Some (to_frontier alg snap))
+        else None
+      in
+      let entrant = algorithm_name alg in
       let result =
         if config.jobs > 1 && uses_pool then
           Search.Pool.with_pool ~telemetry:tel ~domains:config.jobs
             (fun pool ->
-              run_algorithm ~pool ~telemetry:tel alg config.heuristic root)
-        else run_algorithm ~telemetry:tel alg config.heuristic root
+              run_algorithm ~pool ?tracker ?resume:resume_snap ?snapshot
+                ~entrant ~telemetry:tel alg config.heuristic root)
+        else
+          run_algorithm ?tracker ?resume:resume_snap ?snapshot ~entrant
+            ~telemetry:tel alg config.heuristic root
       in
-      finish ~name:(algorithm_name alg) result
+      let out = finish ~name:entrant result in
+      { a_outcome = out; a_incumbent = best_incumbent (); a_frontier = !slot }
 
 let discover ?registry ?stop ?warm_start config ~source ~target =
-  let outcome =
+  let result =
     Telemetry.span config.telemetry "discover" (fun () ->
         discover_run ?registry ?stop ?warm_start config ~source ~target)
   in
   Telemetry.flush config.telemetry;
-  outcome
+  result.a_outcome
+
+let discover_anytime ?registry ?stop ?warm_start ?on_incumbent ?resume config
+    ~source ~target =
+  let result =
+    Telemetry.span config.telemetry "discover" (fun () ->
+        discover_run ?registry ?stop ?warm_start ~anytime:true ?on_incumbent
+          ?resume config ~source ~target)
+  in
+  (match result.a_frontier with
+  | Some fr ->
+      Telemetry.count config.telemetry "discover.frontier.nodes"
+        (List.length fr.fr_nodes)
+  | None -> ());
+  Telemetry.flush config.telemetry;
+  result
 
 let discover_mapping ?registry ?stop ?warm_start config ~source ~target =
   match discover ?registry ?stop ?warm_start config ~source ~target with
   | Mapping m -> Some m
   | No_mapping _ | Gave_up _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Frontier serialization: a line-based text form so a checkpoint can
+   leave the process — saved to a file by the CLI, retained by the
+   server behind a resume token. Operators reuse the mapping parser's
+   round-trippable ASCII form, closed-set keys are hex fingerprints. *)
+(* ------------------------------------------------------------------ *)
+
+let frontier_to_string fr =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "# tupelo frontier v1\n";
+  Buffer.add_string b
+    (Printf.sprintf "algorithm %s\n" (algorithm_name fr.fr_algorithm));
+  Buffer.add_string b (Printf.sprintf "checked %d\n" fr.fr_checked);
+  List.iter
+    (fun (k, g) ->
+      Buffer.add_string b
+        (Printf.sprintf "closed %s %d\n" (Relational.Fingerprint.to_hex k) g))
+    fr.fr_closed;
+  List.iter
+    (fun path ->
+      Buffer.add_string b (Printf.sprintf "node %d\n" (List.length path));
+      List.iter
+        (fun op ->
+          Buffer.add_string b (Fira.Op.to_string op);
+          Buffer.add_char b '\n')
+        path)
+    fr.fr_nodes;
+  Buffer.contents b
+
+let frontier_of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let parse_closed line =
+    match String.index_opt line ' ' with
+    | Some i -> (
+        let hex = String.sub line 0 i in
+        let g = String.sub line (i + 1) (String.length line - i - 1) in
+        match (Relational.Fingerprint.of_hex hex, int_of_string_opt g) with
+        | Some k, Some g -> Ok (k, g)
+        | _ -> err "frontier: bad closed entry %S" line)
+    | None -> err "frontier: bad closed entry %S" line
+  in
+  let strip_prefix p line =
+    let lp = String.length p in
+    if String.length line > lp && String.sub line 0 lp = p then
+      Some (String.sub line lp (String.length line - lp))
+    else None
+  in
+  match lines with
+  | alg_line :: checked_line :: rest -> (
+      match
+        ( Option.bind (strip_prefix "algorithm " alg_line)
+            algorithm_of_string,
+          Option.bind (strip_prefix "checked " checked_line) int_of_string_opt
+        )
+      with
+      | Some algorithm, Some checked ->
+          let rec parse_entries closed nodes = function
+            | [] -> Ok (List.rev closed, List.rev nodes)
+            | line :: rest -> (
+                match strip_prefix "closed " line with
+                | Some payload -> (
+                    match parse_closed payload with
+                    | Ok entry -> parse_entries (entry :: closed) nodes rest
+                    | Error e -> Error e)
+                | None -> (
+                    match
+                      Option.bind (strip_prefix "node " line) int_of_string_opt
+                    with
+                    | Some n when n >= 0 ->
+                        let rec take_ops k acc rest =
+                          if k = 0 then Ok (List.rev acc, rest)
+                          else
+                            match rest with
+                            | [] -> err "frontier: truncated node block"
+                            | op_line :: rest -> (
+                                match Fira.Parser.op_of_string op_line with
+                                | Ok op -> take_ops (k - 1) (op :: acc) rest
+                                | Error e ->
+                                    err "frontier: bad operator %S (%s)"
+                                      op_line e)
+                        in
+                        (match take_ops n [] rest with
+                        | Ok (path, rest) ->
+                            parse_entries closed (path :: nodes) rest
+                        | Error e -> Error e)
+                    | _ -> err "frontier: unexpected line %S" line))
+          in
+          (match parse_entries [] [] rest with
+          | Ok (fr_closed, fr_nodes) ->
+              Ok
+                {
+                  fr_algorithm = algorithm;
+                  fr_nodes;
+                  fr_closed;
+                  fr_checked = checked;
+                }
+          | Error e -> Error e)
+      | _ -> err "frontier: missing algorithm/checked header")
+  | _ -> err "frontier: missing header"

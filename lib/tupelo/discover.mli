@@ -42,6 +42,14 @@ type config = {
   algorithm : algorithm;
   heuristic : Heuristics.Heuristic.t;
   goal : Goal.mode;
+  partial : string list;
+      (** partial goal: restrict discovery to this subset of target
+          relations ([[]] = the whole target). The target database is
+          filtered before the goal test, move generator and heuristic
+          profile see it, so the search works toward the sub-target
+          only. Combine with {!Goal.Schema} for the coarsest
+          multiresolution answer: reach just the named relations'
+          structure. *)
   budget : int;  (** maximum states examined before giving up *)
   moves : Moves.config;
   jobs : int;
@@ -63,6 +71,7 @@ val config :
   ?algorithm:algorithm ->
   ?heuristic:Heuristics.Heuristic.t ->
   ?goal:Goal.mode ->
+  ?partial:string list ->
   ?budget:int ->
   ?moves:Moves.config ->
   ?jobs:int ->
@@ -70,8 +79,9 @@ val config :
   unit ->
   config
 (** Defaults: RBFS (the paper's overall best, §5.4), cosine similarity with
-    the algorithm's tuned k, {!Goal.Superset}, a one-million-state budget,
-    {!Moves.default} for the goal mode, [jobs = 1] and telemetry disabled.
+    the algorithm's tuned k, {!Goal.Superset}, the whole target
+    ([partial = []]), a one-million-state budget, {!Moves.default} for the
+    goal mode, [jobs = 1] and telemetry disabled.
     @raise Invalid_argument if [jobs < 1]. *)
 
 type outcome =
@@ -117,3 +127,88 @@ val discover_mapping :
 
 val states_examined : outcome -> int
 (** The paper's reported metric, whatever the outcome. *)
+
+(** {1 Anytime discovery}
+
+    The multiresolution layer: a discovery run streams improving
+    incumbents while it searches, and a blown budget (or cancellation)
+    checkpoints a resumable frontier instead of discarding the work. *)
+
+type incumbent = {
+  inc_ops : Fira.Op.t list;
+      (** operator path from the original source (warm prefix included) *)
+  inc_cost : int;  (** [List.length inc_ops] *)
+  inc_h : int;  (** scaled heuristic estimate; 0 for the final mapping *)
+  inc_coverage : Goal.coverage list;  (** per target relation *)
+  inc_covered : int;  (** summed covered units *)
+  inc_total : int;  (** summed total units *)
+  inc_entrant : string;
+      (** provenance: the algorithm (or portfolio entrant) that examined
+          the state *)
+  inc_seq : int;  (** states observed across the run when reported *)
+}
+(** A reported incumbent: the best state seen so far. The stream is
+    monotone by construction — [inc_covered] never decreases and [inc_h]
+    never increases from one report to the next (property-tested). *)
+
+type frontier = {
+  fr_algorithm : algorithm;
+      (** the algorithm that checkpointed (resume continues it) *)
+  fr_nodes : Fira.Op.t list list;
+      (** open-node paths from the original source, in the order the
+          engine would have considered them; capped at 512 *)
+  fr_closed : (Relational.Fingerprint.t * int) list;
+      (** dedup-table transplant (key, best g); capped at 200k entries —
+          overflow only costs re-exploration, never correctness *)
+  fr_checked : int;  (** beam: head nodes already goal-tested *)
+}
+(** A serializable checkpoint of an interrupted search (see
+    {!frontier_to_string}). States are not stored; a resume replays each
+    node path from the source under the move generator's syntactic
+    semantics, reconstructing bit-identical states. *)
+
+type anytime = {
+  a_outcome : outcome;
+      (** bit-identical to what {!discover} returns for the same
+          configuration and budget — observation never perturbs the
+          search (property-tested) *)
+  a_incumbent : incumbent option;
+      (** the last (best) incumbent, [None] only if nothing was observed *)
+  a_frontier : frontier option;
+      (** on {!Gave_up} with a frontier-based algorithm (A*, greedy,
+          beam, BFS — sequential engines), the checkpoint to continue
+          from; [None] for the DFS algorithms (IDA*, IDA+TT, RBFS),
+          whose implicit frontier is not materialized — resuming them
+          restarts from the source *)
+}
+
+val discover_anytime :
+  ?registry:Fira.Semfun.registry ->
+  ?stop:(unit -> bool) ->
+  ?warm_start:Fira.Op.t list ->
+  ?on_incumbent:(incumbent -> unit) ->
+  ?resume:frontier ->
+  config ->
+  source:Database.t ->
+  target:Database.t ->
+  anytime
+(** {!discover} with the anytime layer switched on. [on_incumbent] fires
+    on each improving incumbent, in order, from whatever domain examined
+    the state (reports are serialized under a lock, so the callback never
+    runs concurrently with itself); under {!Portfolio} the stream merges
+    every entrant's observations and stays monotone. [resume] continues a
+    checkpointed search: the frontier's algorithm overrides
+    [config.algorithm], its open nodes are replayed from [source] and its
+    dedup table transplanted, so budget B then resume with budget B'
+    examines the same states as one run with budget B + B' (exact for
+    sequential greedy/A*/beam/BFS). [warm_start] is ignored when [resume]
+    is given. A live telemetry handle receives [discover.incumbents] per
+    report and [discover.resume.dropped] per no-longer-applicable resume
+    path. *)
+
+val frontier_to_string : frontier -> string
+(** Line-based text form: operators in the mapping parser's
+    round-trippable ASCII, closed keys as hex fingerprints. *)
+
+val frontier_of_string : string -> (frontier, string) result
+(** Inverse of {!frontier_to_string} (first error otherwise). *)

@@ -1,20 +1,92 @@
 open Relational
 
-type mode = Superset | Exact
+type mode = Superset | Exact | Schema
+
+(* Schema-only matching over the boxed form: every target relation is
+   present with at least the target's attributes. *)
+let schema_reached ~target db =
+  Database.fold
+    (fun name trel ok ->
+      ok
+      &&
+      match Database.find_opt db name with
+      | None -> false
+      | Some r ->
+          let have = Relation.attributes r in
+          List.for_all
+            (fun a -> List.mem a have)
+            (Relation.attributes trel))
+    target true
+
+let schema_reached_interned ~target idb =
+  List.for_all
+    (fun name ->
+      match Idb.find_opt idb name with
+      | None -> false
+      | Some r ->
+          let tr = Idb.find target name in
+          Array.for_all (fun a -> Irel.mem_att r a) (Irel.atts tr))
+    (Idb.names target)
 
 let reached mode ~target db =
   match mode with
   | Superset -> Database.contains db target
   | Exact -> Database.equal db target
+  | Schema -> schema_reached ~target db
 
 let reached_interned mode ~target idb =
   match mode with
   | Superset -> Idb.contains idb target
   | Exact -> Idb.equal idb target
+  | Schema -> schema_reached_interned ~target idb
 
-let mode_to_string = function Superset -> "superset" | Exact -> "exact"
+(* Per-relation goal coverage: how much of each target relation the state
+   already holds. Row-bearing relations are measured in contained rows;
+   empty relations (and every relation under the Schema mode) count one
+   schema unit, present iff the state has the relation with the target's
+   attributes. Coverage is full on every relation exactly when
+   [reached_interned] holds for the mode, so a full-coverage incumbent is
+   a goal state. *)
+type coverage = { rel : string; covered : int; total : int }
+
+let coverage_interned mode ~target idb =
+  List.map
+    (fun name ->
+      let tr = Idb.find target name in
+      let rel = Intern.string_of_id name in
+      let schema_unit () =
+        match Idb.find_opt idb name with
+        | None -> 0
+        | Some r ->
+            if Array.for_all (fun a -> Irel.mem_att r a) (Irel.atts tr) then 1
+            else 0
+      in
+      match mode with
+      | Schema -> { rel; covered = schema_unit (); total = 1 }
+      | Superset | Exact ->
+          let total = Irel.cardinality tr in
+          if total = 0 then { rel; covered = schema_unit (); total = 1 }
+          else
+            let covered =
+              match Idb.find_opt idb name with
+              | None -> 0
+              | Some r -> Irel.count_contained r tr
+            in
+            { rel; covered; total })
+    (Idb.names target)
+
+let coverage_totals cov =
+  List.fold_left
+    (fun (c, t) { covered; total; _ } -> (c + covered, t + total))
+    (0, 0) cov
+
+let mode_to_string = function
+  | Superset -> "superset"
+  | Exact -> "exact"
+  | Schema -> "schema"
 
 let mode_of_string = function
   | "superset" -> Some Superset
   | "exact" -> Some Exact
+  | "schema" -> Some Schema
   | _ -> None

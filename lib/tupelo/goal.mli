@@ -5,13 +5,22 @@
     state contains t)." The superset mode is the paper's; relational
     selections are applied afterwards as external filters (§2.1). The exact
     mode additionally demands that nothing extra remains, which forces the
-    discovery of the drop/merge steps shown in the paper's Example 2. *)
+    discovery of the drop/merge steps shown in the paper's Example 2. The
+    schema mode is the relaxed partial-goal test of anytime discovery: only
+    the target's structure must be reached — every target relation present
+    with at least the target's attributes — with no demand on rows. *)
 
 open Relational
 
 type mode =
   | Superset  (** the state contains the target (the paper's test) *)
   | Exact     (** the state equals the target *)
+  | Schema
+      (** schema-only matching: every target relation exists in the state
+          with (at least) the target's attributes; instance rows are not
+          required. A multiresolution half-way point — a schema-mode
+          mapping restructures the data without yet proving instance
+          containment. *)
 
 val reached : mode -> target:Database.t -> Database.t -> bool
 
@@ -19,6 +28,26 @@ val reached_interned : mode -> target:Idb.t -> Idb.t -> bool
 (** {!reached} over the interned form — the per-expansion goal test of the
     search hot path ([Idb.contains] caches the big side's sorted
     projection, so repeated tests against one target amortize). *)
+
+(** {1 Goal coverage}
+
+    The anytime layer's per-relation progress measure. *)
+
+type coverage = { rel : string; covered : int; total : int }
+(** For a row-bearing target relation, [covered] of [total] target rows
+    are contained in the state's same-named relation (projected onto the
+    target's attributes). Empty target relations — and {e every} relation
+    under {!Schema} — are measured as one schema unit, covered iff the
+    relation exists with the target's attributes. *)
+
+val coverage_interned : mode -> target:Idb.t -> Idb.t -> coverage list
+(** One entry per target relation, in target name order. Full coverage on
+    every entry coincides with {!reached_interned} for {!Superset} and
+    {!Schema} (for {!Exact} it is necessary but not sufficient — extra
+    rows may remain). *)
+
+val coverage_totals : coverage list -> int * int
+(** Summed [(covered, total)] across relations. *)
 
 val mode_to_string : mode -> string
 val mode_of_string : string -> mode option

@@ -417,7 +417,7 @@ let candidates config registry target db =
               | None -> target.atts
             in
             propose_drops wanted
-        | Goal.Superset -> if has_nulls then propose_drops target.atts
+        | Goal.Superset | Goal.Schema -> if has_nulls then propose_drops target.atts
       end;
       (* µ merge: only useful with null cells and duplicated keys. *)
       if config.enable_merge && has_nulls then
@@ -704,7 +704,7 @@ let icandidates config registry target (idb : Idb.t) =
         in
         match config.goal with
         | Goal.Exact -> propose_drops wanted_mem
-        | Goal.Superset ->
+        | Goal.Superset | Goal.Schema ->
             if has_nulls then
               propose_drops (fun a -> mem_sorted target.tatts_set a)
       end;

@@ -1,0 +1,393 @@
+(* Anytime multiresolution discovery: the incumbent stream is monotone
+   and observation never perturbs the search (the anytime outcome is
+   bit-identical to plain [discover]); a budget split across a
+   checkpoint/resume pair examines the same states and finds the same
+   mapping as one uninterrupted run; frontiers round-trip their text
+   form; partial and schema goals relax the target; and a portfolio
+   that blows its budget still surfaces its best entrant's incumbent. *)
+
+open Relational
+module D = Tupelo.Discover
+module Goal = Tupelo.Goal
+module Scenario = Fuzz.Scenario
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let ops_equal a b = List.length a = List.length b && List.for_all2 ( = ) a b
+
+let outcome_ops = function
+  | D.Mapping m -> Some (Fira.Expr.ops m.Tupelo.Mapping.expr)
+  | D.No_mapping _ | D.Gave_up _ -> None
+
+let outcome_label = function
+  | D.Mapping _ -> "mapping"
+  | D.No_mapping _ -> "no_mapping"
+  | D.Gave_up _ -> "gave_up"
+
+(* Bit-identical up to wall-clock: same constructor, same states
+   examined, same operator path. [stats.elapsed_s] is the one field
+   honest timing keeps us from comparing. *)
+let same_outcome what a b =
+  if outcome_label a <> outcome_label b then
+    QCheck2.Test.fail_reportf "%s: %s vs %s" what (outcome_label a)
+      (outcome_label b);
+  if D.states_examined a <> D.states_examined b then
+    QCheck2.Test.fail_reportf "%s: states %d vs %d" what
+      (D.states_examined a) (D.states_examined b);
+  match (outcome_ops a, outcome_ops b) with
+  | Some oa, Some ob when not (ops_equal oa ob) ->
+      QCheck2.Test.fail_reportf "%s: mappings differ" what
+  | _ -> true
+
+let sequential_algorithms =
+  [ D.Greedy; D.Astar; D.Rbfs; D.Beam 4; D.Bfs; D.Ida_tt ]
+
+let scenario_gen =
+  let open QCheck2.Gen in
+  let* seed = int_range 1 0x3FFFFFFF in
+  let* depth = int_range 1 3 in
+  let* algorithm = oneofl sequential_algorithms in
+  return (seed, depth, algorithm)
+
+(* Satellite 1: over 300 random inverse problems, the anytime layer's
+   stream is monotone, every incumbent's claims are internally
+   consistent, the final incumbent carries exactly the discovered
+   mapping, and the outcome matches plain [discover] bit for bit. *)
+let anytime_matches_plain =
+  qcheck ~count:300 "anytime: monotone stream, final = plain discover"
+    scenario_gen (fun (seed, depth, algorithm) ->
+      let s = Scenario.generate ~depth seed in
+      let config = D.config ~algorithm ~budget:1_500 () in
+      let source = s.Scenario.source and target = s.Scenario.target in
+      let registry = s.Scenario.registry in
+      let plain = D.discover ~registry config ~source ~target in
+      let seen = ref [] in
+      let a =
+        D.discover_anytime ~registry
+          ~on_incumbent:(fun i -> seen := i :: !seen)
+          config ~source ~target
+      in
+      ignore (same_outcome "outcome" plain a.D.a_outcome);
+      let stream = List.rev !seen in
+      (* monotone: covered never decreases, h never increases, reports
+         arrive in states order *)
+      let rec monotone = function
+        | a :: (b :: _ as rest) ->
+            if b.D.inc_covered < a.D.inc_covered then
+              QCheck2.Test.fail_reportf "coverage regressed %d -> %d"
+                a.D.inc_covered b.D.inc_covered;
+            if b.D.inc_h > a.D.inc_h then
+              QCheck2.Test.fail_reportf "h regressed %d -> %d" a.D.inc_h
+                b.D.inc_h;
+            if b.D.inc_seq < a.D.inc_seq then
+              QCheck2.Test.fail_reportf "seq regressed %d -> %d" a.D.inc_seq
+                b.D.inc_seq;
+            monotone rest
+        | _ -> true
+      in
+      ignore (monotone stream);
+      List.iter
+        (fun i ->
+          if List.length i.D.inc_ops <> i.D.inc_cost then
+            QCheck2.Test.fail_reportf "inc_cost %d but %d ops" i.D.inc_cost
+              (List.length i.D.inc_ops);
+          let covered, total = Goal.coverage_totals i.D.inc_coverage in
+          if (covered, total) <> (i.D.inc_covered, i.D.inc_total) then
+            QCheck2.Test.fail_reportf
+              "coverage totals (%d,%d) disagree with claims (%d,%d)" covered
+              total i.D.inc_covered i.D.inc_total)
+        stream;
+      (* the last streamed incumbent is the one the result carries *)
+      (match (a.D.a_incumbent, List.rev stream) with
+      | Some last, got :: _ when not (ops_equal last.D.inc_ops got.D.inc_ops)
+        ->
+          QCheck2.Test.fail_reportf
+            "a_incumbent is not the last streamed report"
+      | None, _ :: _ -> QCheck2.Test.fail_reportf "stream but no a_incumbent"
+      | _ -> ());
+      (* on success the final incumbent is the mapping itself, fully
+         covered, with a zero heuristic *)
+      (match (a.D.a_outcome, a.D.a_incumbent) with
+      | D.Mapping m, Some inc ->
+          if not (ops_equal (Fira.Expr.ops m.Tupelo.Mapping.expr) inc.D.inc_ops)
+          then
+            QCheck2.Test.fail_reportf "final incumbent differs from mapping";
+          if inc.D.inc_h <> 0 then
+            QCheck2.Test.fail_reportf "final incumbent h = %d" inc.D.inc_h;
+          if inc.D.inc_covered <> inc.D.inc_total then
+            QCheck2.Test.fail_reportf "final incumbent covers %d/%d"
+              inc.D.inc_covered inc.D.inc_total
+      | D.Mapping _, None ->
+          QCheck2.Test.fail_reportf "mapping found but no incumbent"
+      | _ -> ());
+      true)
+
+(* Satellite 2: resume equivalence. Budget B finds a mapping iff budget
+   B/2 followed by a resume with the remaining budget does — and for
+   the sequential frontier engines the split examines exactly the same
+   states as the uninterrupted run. *)
+let resume_gen =
+  let open QCheck2.Gen in
+  let* seed = int_range 1 0x3FFFFFFF in
+  let* depth = int_range 2 4 in
+  let* algorithm = oneofl [ D.Greedy; D.Astar; D.Beam 4; D.Bfs ] in
+  return (seed, depth, algorithm)
+
+let resume_equivalence =
+  qcheck ~count:60 "anytime: budget B = budget B/2 + resume B/2" resume_gen
+    (fun (seed, depth, algorithm) ->
+      let s = Scenario.generate ~depth seed in
+      let source = s.Scenario.source and target = s.Scenario.target in
+      let registry = s.Scenario.registry in
+      let config budget = D.config ~algorithm ~budget () in
+      let full = D.discover_anytime ~registry (config 3_000) ~source ~target in
+      match full.D.a_outcome with
+      | D.Mapping m when D.states_examined full.D.a_outcome >= 4 ->
+          let total = D.states_examined full.D.a_outcome in
+          let first = total / 2 in
+          let leg1 =
+            D.discover_anytime ~registry (config first) ~source ~target
+          in
+          (match leg1.D.a_outcome with
+          | D.Mapping _ ->
+              QCheck2.Test.fail_reportf
+                "half budget %d already solved a %d-state instance" first
+                total
+          | D.No_mapping _ ->
+              QCheck2.Test.fail_reportf "half budget claims no mapping"
+          | D.Gave_up _ -> ());
+          let fr =
+            match leg1.D.a_frontier with
+            | Some fr -> fr
+            | None -> QCheck2.Test.fail_reportf "gave up without a frontier"
+          in
+          let leg2 =
+            D.discover_anytime ~registry ~resume:fr
+              (config (total - D.states_examined leg1.D.a_outcome))
+              ~source ~target
+          in
+          (match leg2.D.a_outcome with
+          | D.Mapping m' ->
+              if
+                not
+                  (ops_equal
+                     (Fira.Expr.ops m.Tupelo.Mapping.expr)
+                     (Fira.Expr.ops m'.Tupelo.Mapping.expr))
+              then
+                QCheck2.Test.fail_reportf
+                  "resumed run found a different mapping"
+          | o ->
+              QCheck2.Test.fail_reportf
+                "seed %d depth %d %s: resume with the remaining budget %s \
+                 (split %d + %d of %d)"
+                seed depth (D.algorithm_name algorithm) (outcome_label o)
+                first
+                (D.states_examined leg2.D.a_outcome)
+                total);
+          (* states additivity: the two legs together examine exactly
+             the states of the uninterrupted run *)
+          let sum =
+            D.states_examined leg1.D.a_outcome
+            + D.states_examined leg2.D.a_outcome
+          in
+          if sum <> total then
+            QCheck2.Test.fail_reportf "split examined %d states, full %d" sum
+              total;
+          true
+      | _ -> true (* too small to split, or unsolved: nothing to check *))
+
+(* A pairing the engine cannot map but cannot quickly refute either:
+   the headers double as plausible values and the target's association
+   of values is swapped relative to the source, so the search keeps
+   proposing operators until the budget runs out — a deterministic way
+   to starve any algorithm (same shape as the server tests' slow pair). *)
+let starving_pair () =
+  let r = Relation.of_strings [ "a"; "1" ] [ [ "b"; "2" ]; [ "c"; "3" ] ] in
+  let s = Relation.of_strings [ "a"; "2" ] [ [ "b"; "3" ]; [ "c"; "1" ] ] in
+  (Database.add Database.empty "R" r, Database.add Database.empty "S" s)
+
+(* Frontier checkpoints survive their text form field by field. *)
+let test_frontier_round_trip () =
+  let checked = ref 0 in
+  let source, target = starving_pair () in
+  List.iter
+    (fun algorithm ->
+      let config = D.config ~algorithm ~budget:6 () in
+      let a = D.discover_anytime config ~source ~target in
+      match a.D.a_frontier with
+      | None ->
+          Alcotest.failf "%s starved without a checkpoint"
+            (D.algorithm_name algorithm)
+      | Some fr -> (
+          incr checked;
+          let text = D.frontier_to_string fr in
+          match D.frontier_of_string text with
+          | Error m -> Alcotest.failf "frontier does not parse back: %s" m
+          | Ok fr' ->
+              Alcotest.(check bool)
+                "algorithm survives" true
+                (fr.D.fr_algorithm = fr'.D.fr_algorithm);
+              Alcotest.(check int)
+                "node count survives"
+                (List.length fr.D.fr_nodes)
+                (List.length fr'.D.fr_nodes);
+              List.iter2
+                (fun a b ->
+                  Alcotest.(check bool) "node path survives" true (ops_equal a b))
+                fr.D.fr_nodes fr'.D.fr_nodes;
+              Alcotest.(check bool)
+                "closed table survives" true
+                (fr.D.fr_closed = fr'.D.fr_closed);
+              Alcotest.(check int) "checked count survives" fr.D.fr_checked
+                fr'.D.fr_checked))
+    [ D.Greedy; D.Astar; D.Beam 4 ];
+  Alcotest.(check bool) "at least one frontier materialized" true (!checked > 0);
+  match D.frontier_of_string "not a frontier\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage parsed as a frontier"
+
+(* DFS engines have no materialized frontier to checkpoint. *)
+let test_dfs_has_no_frontier () =
+  let source, target = starving_pair () in
+  List.iter
+    (fun algorithm ->
+      let config = D.config ~algorithm ~budget:6 () in
+      let a = D.discover_anytime config ~source ~target in
+      match a.D.a_outcome with
+      | D.Gave_up _ ->
+          Alcotest.(check bool)
+            (D.algorithm_name algorithm ^ " checkpoints nothing")
+            true (a.D.a_frontier = None)
+      | o ->
+          Alcotest.failf "%s did not starve: %s"
+            (D.algorithm_name algorithm) (outcome_label o))
+    [ D.Ida; D.Ida_tt; D.Rbfs ]
+
+(* --- partial and schema goals --- *)
+
+(* Source R; target S reachable from R by a relation rename, plus T
+   whose values exist nowhere in the source — unreachable, so the full
+   target starves any budget while the partial goal [S] succeeds. *)
+let partial_pair () =
+  let r = Relation.of_strings [ "name"; "id" ] [ [ "alice"; "1" ]; [ "bob"; "2" ] ] in
+  let t = Relation.of_strings [ "planet"; "mass" ] [ [ "mars"; "6e23" ] ] in
+  let source = Database.add Database.empty "R" r in
+  let target = Database.add (Database.add Database.empty "S" r) "T" t in
+  (source, target)
+
+let test_partial_goal_restricts_target () =
+  let source, target = partial_pair () in
+  let full = D.config ~algorithm:D.Astar ~budget:2_000 () in
+  (match D.discover full ~source ~target with
+  | D.Mapping _ -> Alcotest.fail "full target must be unreachable"
+  | D.No_mapping _ | D.Gave_up _ -> ());
+  let partial = { full with D.partial = [ "S" ] } in
+  match D.discover partial ~source ~target with
+  | D.Mapping m ->
+      (* the mapping replays on the source and covers the sub-target *)
+      let db =
+        Tupelo.Mapping.apply Fira.Semfun.empty_registry m source
+      in
+      let sub = Database.add Database.empty "S" (Relation.of_strings
+        [ "name"; "id" ] [ [ "alice"; "1" ]; [ "bob"; "2" ] ]) in
+      Alcotest.(check bool)
+        "partial mapping reaches the sub-target" true
+        (Goal.reached Goal.Superset ~target:sub db)
+  | o -> Alcotest.failf "partial goal failed: %s" (outcome_label o)
+
+let test_partial_coverage_only_counts_named_relations () =
+  let source, target = partial_pair () in
+  let config =
+    { (D.config ~algorithm:D.Astar ~budget:2_000 ()) with D.partial = [ "S" ] }
+  in
+  let a = D.discover_anytime config ~source ~target in
+  match a.D.a_incumbent with
+  | None -> Alcotest.fail "no incumbent observed"
+  | Some inc ->
+      Alcotest.(check (list string))
+        "coverage names only the partial relations" [ "S" ]
+        (List.map (fun c -> c.Goal.rel) inc.D.inc_coverage);
+      Alcotest.(check bool) "and it is fully covered" true
+        (inc.D.inc_covered = inc.D.inc_total && inc.D.inc_total > 0)
+
+let test_schema_goal_ignores_rows () =
+  (* Target S carries the source's attributes under different rows (with
+     one shared value, so the Rosetta Stone prune still proposes the
+     relation rename): superset can never be reached — the value "99"
+     exists nowhere in the source — while schema-only needs just the
+     rename. *)
+  let r = Relation.of_strings [ "name"; "id" ] [ [ "alice"; "1" ] ] in
+  let s = Relation.of_strings [ "name"; "id" ] [ [ "alice"; "99" ] ] in
+  let source = Database.add Database.empty "R" r in
+  let target = Database.add Database.empty "S" s in
+  let superset = D.config ~algorithm:D.Astar ~budget:2_000 () in
+  (match D.discover superset ~source ~target with
+  | D.Mapping _ -> Alcotest.fail "superset goal must be unreachable"
+  | _ -> ());
+  let schema = D.config ~algorithm:D.Astar ~goal:Goal.Schema ~budget:2_000 () in
+  match D.discover schema ~source ~target with
+  | D.Mapping m ->
+      let db = Tupelo.Mapping.apply Fira.Semfun.empty_registry m source in
+      Alcotest.(check bool)
+        "schema-mode mapping reaches the target's structure" true
+        (Goal.reached Goal.Schema ~target db)
+  | o -> Alcotest.failf "schema goal failed: %s" (outcome_label o)
+
+(* --- portfolio partial results --- *)
+
+(* With a starvation budget the portfolio blows through every entrant,
+   and the anytime result must still carry the best incumbent any of
+   them saw. *)
+let test_portfolio_exhaustion_keeps_best_incumbent () =
+  let source, target = starving_pair () in
+  let config = D.config ~algorithm:D.Portfolio ~jobs:2 ~budget:60 () in
+  let streamed = ref 0 in
+  let a =
+    D.discover_anytime
+      ~on_incumbent:(fun _ -> incr streamed)
+      config ~source ~target
+  in
+  (match a.D.a_outcome with
+  | D.Gave_up _ -> ()
+  | o -> Alcotest.failf "expected budget exhaustion, got %s" (outcome_label o));
+  match a.D.a_incumbent with
+  | None -> Alcotest.fail "exhausted portfolio lost its partial result"
+  | Some inc ->
+      Alcotest.(check bool) "incumbents were streamed" true (!streamed > 0);
+      Alcotest.(check bool)
+        "entrant provenance recorded" true
+        (String.length inc.D.inc_entrant > 0);
+      (* the partial result's claims hold up under replay *)
+      (match
+         Scenario.replay Fira.Semfun.empty_registry
+           (Fira.Expr.of_ops inc.D.inc_ops) source
+       with
+      | None -> Alcotest.fail "best incumbent does not replay"
+      | Some db ->
+          let covered, total =
+            Goal.coverage_totals
+              (Goal.coverage_interned Goal.Superset
+                 ~target:(Idb.of_database target) (Idb.of_database db))
+          in
+          Alcotest.(check (pair int int))
+            "claimed coverage matches a recount" (covered, total)
+            (inc.D.inc_covered, inc.D.inc_total))
+
+let suite =
+  [
+    anytime_matches_plain;
+    resume_equivalence;
+    Alcotest.test_case "frontier: text form round-trips" `Quick
+      test_frontier_round_trip;
+    Alcotest.test_case "frontier: DFS engines do not checkpoint" `Quick
+      test_dfs_has_no_frontier;
+    Alcotest.test_case "partial goal: sub-target succeeds where full starves"
+      `Quick test_partial_goal_restricts_target;
+    Alcotest.test_case "partial goal: coverage counts named relations only"
+      `Quick test_partial_coverage_only_counts_named_relations;
+    Alcotest.test_case "schema goal: structure-only matching" `Quick
+      test_schema_goal_ignores_rows;
+    Alcotest.test_case "portfolio: exhaustion keeps the best incumbent" `Quick
+      test_portfolio_exhaustion_keeps_best_incumbent;
+  ]

@@ -390,8 +390,8 @@ let test_perturb_deterministic_and_consistent () =
     true (!perturbed >= 25)
 
 let test_oracle_modes_verify () =
-  (* All three algebra modes over a seed batch: any wrong_mapping or
-     oracle_error is an algebra/codec bug. *)
+  (* The non-replay modes over a seed batch: any wrong_mapping or
+     oracle_error is an algebra/codec/anytime bug. *)
   List.iter
     (fun mode ->
       for seed = 1 to 40 do
@@ -404,7 +404,7 @@ let test_oracle_modes_verify () =
               (Oracle.outcome_name r.Oracle.outcome)
         | _ -> ()
       done)
-    [ Oracle.Invert; Oracle.Compose; Oracle.Drift ]
+    [ Oracle.Invert; Oracle.Compose; Oracle.Drift; Oracle.Anytime ]
 
 let test_oracle_mode_names_roundtrip () =
   List.iter
@@ -412,7 +412,7 @@ let test_oracle_mode_names_roundtrip () =
       Alcotest.(check bool)
         (Oracle.mode_name m ^ " round-trips") true
         (Oracle.mode_of_string (Oracle.mode_name m) = Some m))
-    [ Oracle.Replay; Oracle.Invert; Oracle.Compose; Oracle.Drift ];
+    [ Oracle.Replay; Oracle.Invert; Oracle.Compose; Oracle.Drift; Oracle.Anytime ];
   Alcotest.(check bool)
     "unknown mode rejected" true
     (Oracle.mode_of_string "nope" = None)
@@ -431,7 +431,7 @@ let test_driver_runs_algebra_modes () =
       Alcotest.(check bool)
         (Oracle.mode_name mode ^ ": clean")
         true (Driver.clean summary))
-    [ Oracle.Invert; Oracle.Compose; Oracle.Drift ]
+    [ Oracle.Invert; Oracle.Compose; Oracle.Drift; Oracle.Anytime ]
 
 let suite =
   [

@@ -24,6 +24,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("server", Test_server.suite);
       ("fuzz", Test_fuzz.suite);
+      ("anytime", Test_anytime.suite);
       ("algebra.mapping", Test_mapping_algebra.suite);
       ("server.cache", Test_server_cache.suite);
       ("migrate", Test_migrate.suite);

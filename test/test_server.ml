@@ -171,7 +171,8 @@ let request_gen =
   let* target = relations in
   let* algorithm = oneofl [ "rbfs"; "astar"; "portfolio"; "beam:4" ] in
   let* heuristic = oneofl [ "cosine"; "h1"; "euclid" ] in
-  let* goal = oneofl [ "superset"; "exact" ] in
+  let* goal = oneofl [ "superset"; "exact"; "schema" ] in
+  let* partial = list_size (int_range 0 2) name in
   let* budget = int_range 1 1_000_000 in
   let* jobs = int_range 0 8 in
   let* timeout_ms = option (int_range 1 60_000) in
@@ -183,6 +184,7 @@ let request_gen =
       algorithm;
       heuristic;
       goal;
+      partial;
       budget;
       jobs;
       timeout_ms;
@@ -207,7 +209,9 @@ let response_gen =
   let* res_heuristic = text in
   let* states_examined = int_range 0 1_000_000 in
   let* elapsed_ms = map (fun i -> float_of_int i /. 16.) (int_range 0 1_000_000) in
-  let* cache = oneofl [ "hit"; "warm"; "miss" ] in
+  let* cache = oneofl [ "hit"; "warm"; "miss"; "resume" ] in
+  let* incumbents = int_range 0 32 in
+  let* resume_token = option (string_size ~gen:(char_range 'a' 'f') (pure 24)) in
   return
     {
       Protocol.outcome;
@@ -219,6 +223,8 @@ let response_gen =
       states_examined;
       elapsed_ms;
       cache;
+      incumbents;
+      resume_token;
     }
 
 let response_round_trip =
@@ -247,6 +253,116 @@ let test_decode_rejects_bad_requests () =
   check "negative jobs"
     {|{"source":{"R":"a\n"},"target":{"S":"x\n"},"jobs":-1}|}
 
+(* --- anytime stream frames --- *)
+
+let incumbent_gen =
+  let open QCheck2.Gen in
+  let text = string_size ~gen:(map Char.chr (int_range 32 126)) (int_range 0 24) in
+  let name = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  let* i_seq = int_range 0 1_000_000 in
+  let* i_cost = int_range 0 32 in
+  let* i_h = int_range 0 100_000 in
+  let* i_covered = int_range 0 64 in
+  let* i_total = int_range 0 64 in
+  let* i_entrant = text in
+  let* i_coverage =
+    list_size (int_range 0 3) (triple name (int_range 0 9) (int_range 0 9))
+  in
+  let* i_expr = text in
+  return
+    { Protocol.i_seq; i_cost; i_h; i_covered; i_total; i_entrant; i_coverage;
+      i_expr }
+
+let frame_gen =
+  let open QCheck2.Gen in
+  let text = string_size ~gen:(map Char.chr (int_range 32 126)) (int_range 0 32) in
+  oneof
+    [
+      map (fun i -> Protocol.F_incumbent i) incumbent_gen;
+      map (fun r -> Protocol.F_final r) response_gen;
+      map (fun m -> Protocol.F_error m) text;
+    ]
+
+let frame_round_trip =
+  qcheck ~count:300 "protocol: decode_frame (encode f) = f" frame_gen
+    (fun f ->
+      let json =
+        match f with
+        | Protocol.F_incumbent i -> Protocol.encode_incumbent i
+        | Protocol.F_final r -> Protocol.encode_final r
+        | Protocol.F_error m -> Protocol.encode_error_frame m
+      in
+      match Protocol.decode_frame json with
+      | Ok f' -> f' = f
+      | Error m -> QCheck2.Test.fail_reportf "decode error: %s" m)
+
+let test_frame_rejects_untagged () =
+  match Protocol.decode_frame (Protocol.encode_response (
+      { Protocol.outcome = "mapping"; mapping = None; expr = None;
+        operators = 0; res_algorithm = "x"; res_heuristic = "y";
+        states_examined = 0; elapsed_ms = 0.; cache = "miss";
+        incumbents = 0; resume_token = None }))
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "frame without a tag must not decode"
+
+let test_chunked_response_byte_split () =
+  (* A chunked incumbent stream delivered one byte per read: the chunk
+     framing must reassemble into exactly the concatenated payload,
+     whatever the chunk boundaries. *)
+  Alcotest.(check string) "empty chunk emits nothing" "" (Http.chunk "");
+  let frames =
+    [ "{\"frame\":\"incumbent\",\"seq\":1}\n"; "{\"fra"; "me\":\"final\"}\n" ]
+  in
+  let wire =
+    Http.chunked_head ~keep_alive:true 200
+    ^ String.concat "" (List.map Http.chunk frames)
+    ^ Http.last_chunk
+  in
+  let pos = ref 0 in
+  let one_byte buf off len =
+    if !pos >= String.length wire || len = 0 then 0
+    else begin
+      Bytes.set buf off wire.[!pos];
+      incr pos;
+      1
+    end
+  in
+  let reader = Http.Reader.of_fn one_byte in
+  let status, headers = Http.read_response_head reader in
+  Alcotest.(check int) "status" 200 status;
+  Alcotest.(check bool) "declares chunked" true
+    (Http.response_chunked headers);
+  let buf = Buffer.create 64 in
+  let rec drain () =
+    match Http.read_chunk reader with
+    | Some data ->
+        Buffer.add_string buf data;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check string) "payload reassembled" (String.concat "" frames)
+    (Buffer.contents buf);
+  (* ... and the whole-body reader agrees with the streaming one. *)
+  pos := 0;
+  let _, headers', body =
+    Http.read_response (Http.Reader.of_fn one_byte)
+  in
+  Alcotest.(check bool) "read_response sees chunked too" true
+    (Http.response_chunked headers');
+  Alcotest.(check string) "read_response reassembles" (String.concat "" frames)
+    body
+
+let test_chunked_truncated_raises () =
+  let wire =
+    Http.chunked_head ~keep_alive:true 200 ^ Http.chunk "data"
+    (* no terminating zero chunk *)
+  in
+  match Http.read_response (Http.Reader.of_string wire) with
+  | exception Http.Bad_request _ -> ()
+  | _ -> Alcotest.fail "truncated chunked body must raise Bad_request"
+
 (* --- live daemon --- *)
 
 (* The rename workload: source and target rows coincide, only the
@@ -266,12 +382,12 @@ let slow_pair i =
     [ ("S", Printf.sprintf "a,%d\nb,%d\nc,%d\n" (i + 1) (i + 2) i) ] )
 
 let with_daemon ?(workers = 2) ?(queue_capacity = 8) ?(timeout_ms = 30_000)
-    ?read_timeout_ms ?max_payload k =
+    ?read_timeout_ms ?max_payload ?frontier_capacity ?frontier_ttl_ms k =
   let agg = Telemetry.Agg.create () in
   let config =
     Daemon.config ~port:0 ~workers ~queue_capacity ~timeout_ms
-      ?read_timeout_ms ?max_payload ~search_telemetry:false
-      ~trace_sink:(Telemetry.Agg.sink agg) ()
+      ?read_timeout_ms ?max_payload ?frontier_capacity ?frontier_ttl_ms
+      ~search_telemetry:false ~trace_sink:(Telemetry.Agg.sink agg) ()
   in
   let t = Daemon.start config in
   Fun.protect ~finally:(fun () -> Daemon.stop t) (fun () -> k t agg)
@@ -719,6 +835,239 @@ let test_big_body_offloaded () =
   Alcotest.(check string)
     "repeat is a cache hit through the pool" "hit" second.Protocol.cache
 
+(* --- anytime streaming e2e --- *)
+
+(* A two-relation rename workload: each relation needs its own ρ-rel
+   step and the rows are disjoint, so the value-compatibility prune
+   leaves exactly one rename per relation. Greedy solves it in a
+   handful of states — a budget of 2 starves the first leg after the
+   root and one improvement, leaving a resumable frontier. *)
+let two_rename_pair () =
+  ( [ ("R1", "name,id\nalice,1\nbob,2\n"); ("R2", "word,n\ncarol,3\ndave,4\n") ],
+    [ ("S1", "name,id\nalice,1\nbob,2\n"); ("S2", "word,n\ncarol,3\ndave,4\n") ] )
+
+let starved_request () =
+  let source, target = two_rename_pair () in
+  Protocol.request ~algorithm:"greedy" ~budget:2 ~source ~target ()
+
+let anytime_once conn req =
+  let frames = ref [] in
+  let on_frame = function
+    | Protocol.F_incumbent i -> frames := i :: !frames
+    | _ -> ()
+  in
+  match Client.discover_anytime conn ~on_frame req with
+  | Ok (200, Ok resp) -> (resp, List.rev !frames)
+  | Ok (s, Error body) -> Alcotest.failf "anytime: HTTP %d: %s" s body
+  | Ok (_, Ok _) -> Alcotest.fail "anytime: 200 without a final frame"
+  | Error m -> Alcotest.failf "anytime: transport error: %s" m
+
+let resume_once conn token =
+  let frames = ref 0 in
+  let on_frame = function
+    | Protocol.F_incumbent _ -> incr frames
+    | _ -> ()
+  in
+  (Client.discover_resume conn ~on_frame token, !frames)
+
+let test_anytime_streams_and_resume_completes () =
+  with_daemon @@ fun t agg ->
+  let port = Daemon.port t in
+  let conn = Client.connect ~host:"127.0.0.1" ~port in
+  Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+  let resp, frames = anytime_once conn (starved_request ()) in
+  Alcotest.(check string) "budget-starved leg gives up" "gave_up"
+    resp.Protocol.outcome;
+  Alcotest.(check bool)
+    (Printf.sprintf "at least two incumbents streamed (%d)"
+       (List.length frames))
+    true
+    (List.length frames >= 2);
+  Alcotest.(check int) "final frame counts the stream"
+    (List.length frames) resp.Protocol.incumbents;
+  (* the stream improves: coverage never regresses and strictly grows *)
+  let coverages = List.map (fun i -> i.Protocol.i_covered) frames in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "coverage nondecreasing" true (nondecreasing coverages);
+  Alcotest.(check bool) "coverage strictly improves" true
+    (List.nth coverages (List.length coverages - 1) > List.hd coverages);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "frame carries a program" true
+        (String.length i.Protocol.i_expr > 0))
+    frames;
+  let token =
+    match resp.Protocol.resume_token with
+    | Some tok -> tok
+    | None -> Alcotest.fail "gave up without a resume token"
+  in
+  (* Redeem tokens until the continued search completes: each leg gets
+     the same 3-state budget, so a few hops are expected. *)
+  let rec redeem token legs =
+    if legs > 20 then Alcotest.fail "resume did not converge in 20 legs"
+    else
+      match resume_once conn token with
+      | Ok (200, Ok resp), _ -> (
+          Alcotest.(check string) "resumed leg is served from the frontier"
+            "resume" resp.Protocol.cache;
+          match (resp.Protocol.outcome, resp.Protocol.resume_token) with
+          | "mapping", _ -> (resp, legs)
+          | "gave_up", Some token' -> redeem token' (legs + 1)
+          | "gave_up", None -> Alcotest.fail "gave up without a fresh token"
+          | o, _ -> Alcotest.failf "resumed leg: %s" o)
+      | Ok (s, Error body), _ -> Alcotest.failf "resume: HTTP %d: %s" s body
+      | Ok (_, Ok _), _ -> Alcotest.fail "resume: unexpected"
+      | Error m, _ -> Alcotest.failf "resume: transport error: %s" m
+  in
+  let final, legs = redeem token 1 in
+  Alcotest.(check bool) "resumed search found the mapping" true
+    (final.Protocol.mapping <> None);
+  Alcotest.(check int) "every leg resumed a retained frontier" legs
+    (Telemetry.Agg.counter agg "frontier.resumed");
+  Alcotest.(check int) "resume requests counted" legs
+    (Telemetry.Agg.counter agg "server.request.resume");
+  Alcotest.(check bool) "incumbents counted in the trace" true
+    (Telemetry.Agg.counter agg "server.incumbents" >= List.length frames)
+
+let test_anytime_cache_hit_is_single_final () =
+  with_daemon @@ fun t _agg ->
+  let port = Daemon.port t in
+  let source, target = rename_pair () in
+  ignore
+    (check_outcome "warm-up" "mapping"
+       (discover_once ~port (Protocol.request ~source ~target ())));
+  let conn = Client.connect ~host:"127.0.0.1" ~port in
+  Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+  let resp, frames =
+    anytime_once conn (Protocol.request ~source ~target ())
+  in
+  Alcotest.(check string) "served from the cache" "hit" resp.Protocol.cache;
+  Alcotest.(check string) "outcome" "mapping" resp.Protocol.outcome;
+  Alcotest.(check int) "no incumbent frames on a hit" 0 (List.length frames)
+
+let test_resume_token_unknown_and_single_use () =
+  with_daemon @@ fun t agg ->
+  let port = Daemon.port t in
+  let conn = Client.connect ~host:"127.0.0.1" ~port in
+  Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+  (* a token the server never issued *)
+  (match resume_once conn "feedfacefeedfacefeedface" with
+  | Ok (404, Error _), _ -> ()
+  | Ok (s, _), _ -> Alcotest.failf "unknown token: expected 404, got %d" s
+  | Error m, _ -> Alcotest.failf "unknown token: %s" m);
+  let resp, _ = anytime_once conn (starved_request ()) in
+  let token = Option.get resp.Protocol.resume_token in
+  (* first redemption consumes the token ... *)
+  (match resume_once conn token with
+  | Ok (200, Ok _), _ -> ()
+  | Ok (s, _), _ -> Alcotest.failf "first redeem: HTTP %d" s
+  | Error m, _ -> Alcotest.failf "first redeem: %s" m);
+  (* ... so a replay of the same token must miss *)
+  (match resume_once conn token with
+  | Ok (404, Error _), _ -> ()
+  | Ok (s, _), _ -> Alcotest.failf "replayed token: expected 404, got %d" s
+  | Error m, _ -> Alcotest.failf "replayed token: %s" m);
+  Alcotest.(check int) "two misses counted" 2
+    (Telemetry.Agg.counter agg "frontier.miss")
+
+(* Fetch /stats over HTTP rather than calling [Daemon.stats_json]
+   directly: the frontier store lives on the reactor thread, and the
+   GET handler sweeps expired checkpoints before snapshotting. *)
+let anytime_stats ~port =
+  match Client.once ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/stats" () with
+  | Ok (200, body) -> (
+      match Json.parse body with
+      | Ok j -> j
+      | Error m -> Alcotest.failf "stats: %s" m)
+  | Ok (s, _) -> Alcotest.failf "stats: HTTP %d" s
+  | Error m -> Alcotest.failf "stats: %s" m
+
+let test_frontier_ttl_eviction () =
+  with_daemon ~frontier_ttl_ms:60 @@ fun t agg ->
+  let port = Daemon.port t in
+  let conn = Client.connect ~host:"127.0.0.1" ~port in
+  Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+  let resp, _ = anytime_once conn (starved_request ()) in
+  let token = Option.get resp.Protocol.resume_token in
+  Thread.delay 0.3;
+  (* the /stats sweep reaps the expired checkpoint *)
+  let stats = anytime_stats ~port in
+  Alcotest.(check int) "expired frontier swept" 0
+    (stats_counter stats [ "anytime"; "frontier"; "size" ]);
+  Alcotest.(check int) "ttl eviction counted" 1
+    (stats_counter stats [ "anytime"; "frontier"; "evictions_ttl" ]);
+  (match resume_once conn token with
+  | Ok (404, Error _), _ -> ()
+  | Ok (s, _), _ -> Alcotest.failf "expired token: expected 404, got %d" s
+  | Error m, _ -> Alcotest.failf "expired token: %s" m);
+  (* retention ledger reconciles: retained = live + resumed + evicted *)
+  let c = Telemetry.Agg.counter agg in
+  Alcotest.(check int) "retention reconciles"
+    (c "frontier.retained")
+    (c "frontier.resumed" + c "frontier.evict.ttl" + c "frontier.evict.lru")
+
+let test_frontier_capacity_lru () =
+  with_daemon ~frontier_capacity:1 @@ fun t _agg ->
+  let port = Daemon.port t in
+  let conn = Client.connect ~host:"127.0.0.1" ~port in
+  Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+  let first, _ = anytime_once conn (starved_request ()) in
+  let t1 = Option.get first.Protocol.resume_token in
+  (* a second starved pair displaces the first checkpoint *)
+  let source, target =
+    ( [ ("A1", "x,y\none,1\ntwo,2\n"); ("A2", "p,q\nsix,6\nten,9\n") ],
+      [ ("B1", "x,y\none,1\ntwo,2\n"); ("B2", "p,q\nsix,6\nten,9\n") ] )
+  in
+  let second, _ =
+    anytime_once conn
+      (Protocol.request ~algorithm:"greedy" ~budget:2 ~source ~target ())
+  in
+  let t2 = Option.get second.Protocol.resume_token in
+  let stats = anytime_stats ~port in
+  Alcotest.(check int) "capacity bounds retention" 1
+    (stats_counter stats [ "anytime"; "frontier"; "size" ]);
+  Alcotest.(check int) "lru eviction counted" 1
+    (stats_counter stats [ "anytime"; "frontier"; "evictions_lru" ]);
+  (match resume_once conn t1 with
+  | Ok (404, Error _), _ -> ()
+  | Ok (s, _), _ -> Alcotest.failf "evicted token: expected 404, got %d" s
+  | Error m, _ -> Alcotest.failf "evicted token: %s" m);
+  match resume_once conn t2 with
+  | Ok (200, Ok _), _ -> ()
+  | Ok (s, _), _ -> Alcotest.failf "retained token: HTTP %d" s
+  | Error m, _ -> Alcotest.failf "retained token: %s" m
+
+let test_anytime_rejects_bad_requests () =
+  with_daemon @@ fun t _agg ->
+  let port = Daemon.port t in
+  let conn = Client.connect ~host:"127.0.0.1" ~port in
+  Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+  (* malformed JSON on the anytime route still answers a plain 400 *)
+  (match
+     Client.request conn ~meth:"POST" ~path:"/discover?anytime=1"
+       ~body:"not json" ()
+   with
+  | Ok (400, _) -> ()
+  | Ok (s, _) -> Alcotest.failf "bad JSON: expected 400, got %d" s
+  | Error m -> Alcotest.failf "bad JSON: %s" m);
+  (* a partial goal naming a phantom relation is refused up front *)
+  let source, target = rename_pair () in
+  let req = Protocol.request ~partial:[ "nope" ] ~source ~target () in
+  match Client.discover_anytime conn req with
+  | Ok (400, Error body) ->
+      Alcotest.(check bool) "names the phantom relation" true
+        (let re = "nope" in
+         let len = String.length body and rlen = String.length re in
+         let rec find i =
+           i + rlen <= len && (String.sub body i rlen = re || find (i + 1))
+         in
+         find 0)
+  | Ok (s, _) -> Alcotest.failf "phantom partial: expected 400, got %d" s
+  | Error m -> Alcotest.failf "phantom partial: %s" m
+
 let suite =
   [
     Alcotest.test_case "http: parses a simple request" `Quick
@@ -744,6 +1093,13 @@ let suite =
     response_round_trip;
     Alcotest.test_case "protocol: rejects invalid requests" `Quick
       test_decode_rejects_bad_requests;
+    frame_round_trip;
+    Alcotest.test_case "protocol: untagged frame rejected" `Quick
+      test_frame_rejects_untagged;
+    Alcotest.test_case "http: chunked stream split at every byte" `Quick
+      test_chunked_response_byte_split;
+    Alcotest.test_case "http: truncated chunked body raises" `Quick
+      test_chunked_truncated_raises;
     Alcotest.test_case "e2e: routes on one keep-alive connection" `Quick
       test_routes_on_one_connection;
     Alcotest.test_case "e2e: discover, cache hit, perturbation miss" `Quick
@@ -770,4 +1126,16 @@ let suite =
       test_connection_reuse_after_4xx;
     Alcotest.test_case "e2e: oversized body served through the pool" `Quick
       test_big_body_offloaded;
+    Alcotest.test_case "e2e: anytime streams incumbents, resume completes"
+      `Quick test_anytime_streams_and_resume_completes;
+    Alcotest.test_case "e2e: anytime cache hit is a single final" `Quick
+      test_anytime_cache_hit_is_single_final;
+    Alcotest.test_case "e2e: resume tokens are unknown-safe and single-use"
+      `Quick test_resume_token_unknown_and_single_use;
+    Alcotest.test_case "e2e: frontier TTL eviction reconciles" `Quick
+      test_frontier_ttl_eviction;
+    Alcotest.test_case "e2e: frontier capacity evicts LRU" `Quick
+      test_frontier_capacity_lru;
+    Alcotest.test_case "e2e: anytime rejects bad requests up front" `Quick
+      test_anytime_rejects_bad_requests;
   ]
