@@ -194,11 +194,15 @@ module Make (S : Space.S) = struct
           else if Heap.is_empty frontier then finish Space.Exhausted
           else if stop () then
             (* Cancelled mid-race; an incumbent mapping is still a
-               mapping, so prefer reporting it. *)
+               mapping, so prefer reporting it — otherwise checkpoint
+               the heap so the give-up is resumable, like the
+               sequential loop's. *)
             finish
               (match incumbent with
               | Some inc -> found inc
-              | None -> Space.Cancelled)
+              | None ->
+                  capture [];
+                  Space.Cancelled)
           else begin
             let nodes = take batch_size [] in
             sample_frontier ();
@@ -209,7 +213,13 @@ module Make (S : Space.S) = struct
                     `Done
                       (match incumbent with
                       | Some inc -> found inc
-                      | None -> Space.Budget_exceeded)
+                      | None ->
+                          (* The batch remainder in pop order — already
+                             goal-tested batch-mates first (re-tested on
+                             resume), then the untested tail — ahead of
+                             the drained heap. *)
+                          capture (List.rev_append to_expand (node :: rest));
+                          Space.Budget_exceeded)
                   else begin
                     Space.tick_examined telemetry c;
                     if (observe node; S.is_goal node.state) then

@@ -18,7 +18,6 @@ type 'a t = {
   ttl_ms : int;
   tbl : (string, 'a entry) Hashtbl.t;
   mutable next_seq : int;  (** insertion order; smallest = oldest *)
-  rng : Random.State.t;
 }
 
 let create ?(telemetry = Telemetry.disabled) ~capacity ~ttl_ms () =
@@ -30,22 +29,32 @@ let create ?(telemetry = Telemetry.disabled) ~capacity ~ttl_ms () =
     ttl_ms;
     tbl = Hashtbl.create (2 * capacity);
     next_seq = 0;
-    rng = Random.State.make_self_init ();
   }
 
 let length t = Hashtbl.length t.tbl
 let capacity t = t.capacity
 
+(* Tokens are single-use capabilities — they redeem another request's
+   parked checkpoint and trigger server-side search work — so they must
+   be unguessable: 12 bytes (96 full bits) from the OS CSPRNG, not a
+   time/pid-seeded PRNG an observer could reconstruct. *)
+let urandom_hex nbytes =
+  let ic = open_in_bin "/dev/urandom" in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let raw = really_input_string ic nbytes in
+      let b = Buffer.create (2 * nbytes) in
+      String.iter
+        (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c)))
+        raw;
+      Buffer.contents b)
+
 let fresh_token t =
-  (* 96 random bits; collisions in a <= capacity-entry table are not a
-     realistic concern, but loop anyway so [put] never overwrites *)
+  (* collisions in a <= capacity-entry table are not a realistic
+     concern, but loop anyway so [put] never overwrites *)
   let rec go () =
-    let token =
-      Printf.sprintf "%08lx%08lx%08lx"
-        (Random.State.int32 t.rng Int32.max_int)
-        (Random.State.int32 t.rng Int32.max_int)
-        (Random.State.int32 t.rng Int32.max_int)
-    in
+    let token = urandom_hex 12 in
     if Hashtbl.mem t.tbl token then go () else token
   in
   go ()

@@ -22,10 +22,12 @@ val create : ?telemetry:Telemetry.t -> capacity:int -> ttl_ms:int -> unit -> 'a 
 (** @raise Invalid_argument if [capacity < 1] or [ttl_ms < 1]. *)
 
 val fresh_token : 'a t -> string
-(** A fresh 24-hex-character token, not currently in the table. The
-    daemon allocates it at dispatch time — the worker must be able to
-    quote the token in its final frame before the checkpoint itself
-    arrives back on the reactor to be {!put}. *)
+(** A fresh 24-hex-character token (96 bits from the OS CSPRNG,
+    [/dev/urandom] — tokens are capabilities and must be unguessable),
+    not currently in the table. The daemon allocates it at dispatch
+    time — the worker must be able to quote the token in its final
+    frame before the checkpoint itself arrives back on the reactor to
+    be {!put}. *)
 
 val put : 'a t -> now:float -> token:string -> 'a -> unit
 (** Retain a value under [token] (from {!fresh_token}) until

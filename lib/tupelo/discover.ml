@@ -112,6 +112,7 @@ type incumbent = {
 type frontier = {
   fr_algorithm : algorithm;
   fr_nodes : Fira.Op.t list list;
+  fr_prefix : Fira.Op.t list;
   fr_closed : (Relational.Fingerprint.t * int) list;
   fr_checked : int;
 }
@@ -126,7 +127,9 @@ type anytime = {
    part a resume cannot do without (capped generously — a beam is at
    most its width, a heap snapshot is best-first so the tail matters
    least); the closed set only prevents re-exploration, so overflow is
-   dropped rather than failing. *)
+   dropped rather than failing. A checkpoint whose open list overflows
+   the node cap is best-effort: the dropped nodes' parents are already
+   closed, so a resumed run may not re-derive them (see the .mli). *)
 let frontier_nodes_cap = 512
 let frontier_closed_cap = 200_000
 
@@ -134,6 +137,11 @@ let rec take_at_most n = function
   | [] -> []
   | _ when n <= 0 -> []
   | x :: rest -> x :: take_at_most (n - 1) rest
+
+let rec drop_at_most n = function
+  | rest when n <= 0 -> rest
+  | [] -> []
+  | _ :: rest -> drop_at_most (n - 1) rest
 
 (* The incumbent tracker: one per run, shared by every portfolio entrant
    (hence the mutex — entrants race on separate domains). An examined
@@ -278,12 +286,17 @@ let discover_run ?(registry = Fira.Semfun.empty_registry)
                         "Discover: partial goal relation %S not in target" n))
              rels)
   in
-  (* A resumed run continues the snapshot's algorithm; its node paths
-     replay from the original source, so any warm start is ignored. *)
+  (* A resumed run continues the snapshot's algorithm and re-applies the
+     snapshot's own warm prefix — node paths are stored prefix-free
+     (relative to the warm-started root), so the engines' recomputed g
+     values (path lengths) agree with the transplanted dedup tables. The
+     caller's warm start is ignored. *)
   let algorithm =
     match resume with Some fr -> fr.fr_algorithm | None -> config.algorithm
   in
-  let warm_start = match resume with Some _ -> [] | None -> warm_start in
+  let warm_start =
+    match resume with Some fr -> fr.fr_prefix | None -> warm_start
+  in
   Log.debug (fun m ->
       m "discover: %s/%s goal=%s budget=%d jobs=%d source=%d rels target=%d rels"
         (algorithm_name algorithm)
@@ -476,11 +489,32 @@ let discover_run ?(registry = Fira.Semfun.empty_registry)
     let nodes = take_at_most frontier_nodes_cap snap.Search.Space.snap_nodes in
     {
       fr_algorithm = alg;
-      (* Paths are absolute (warm prefix included), so a resumed run
-         replays them from the original source. *)
-      fr_nodes = List.map (fun (path, _) -> warm_prefix @ path) nodes;
+      (* Paths are prefix-free — the warm prefix travels separately and
+         is re-applied on resume before the paths replay, so the resumed
+         engine's g values (path lengths) match the closed set's, and
+         the prefix is prepended only when a mapping is reported. *)
+      fr_nodes = List.map (fun (path, _) -> path) nodes;
+      fr_prefix = warm_prefix;
       fr_closed =
-        take_at_most frontier_closed_cap snap.Search.Space.snap_closed;
+        take_at_most frontier_closed_cap
+          (* When the node cap bites, release the dropped nodes' dedup
+             entries so a resumed search may at least re-admit them if
+             another path re-derives them — their keys would otherwise
+             prune them forever. The engines re-register the retained
+             nodes' own keys on resume, so shared keys are safe. *)
+          (match
+             drop_at_most frontier_nodes_cap snap.Search.Space.snap_nodes
+           with
+          | [] -> snap.Search.Space.snap_closed
+          | dropped ->
+              let module FT = Hashtbl.Make (Relational.Fingerprint) in
+              let dk = FT.create (List.length dropped) in
+              List.iter
+                (fun (_, st) -> FT.replace dk (State.fingerprint st) ())
+                dropped;
+              List.filter
+                (fun (k, _) -> not (FT.mem dk k))
+                snap.Search.Space.snap_closed);
       fr_checked = min snap.Search.Space.snap_checked (List.length nodes);
     }
   in
@@ -488,11 +522,13 @@ let discover_run ?(registry = Fira.Semfun.empty_registry)
     match resume with
     | None -> None
     | Some fr ->
-        (* Rebuild live open nodes by replaying each path from the source
-           under the same syntactic semantics the move generator uses, so
-           the resumed states are bit-identical (fingerprint and all) to
-           the captured ones. A path that no longer applies is dropped —
-           the search just re-derives whatever it led to. *)
+        (* Rebuild live open nodes by replaying each prefix-free path
+           from the warm-started root (the snapshot's own prefix was
+           re-applied above) under the same syntactic semantics the move
+           generator uses, so the resumed states are bit-identical
+           (fingerprint and all) to the captured ones. A path that no
+           longer applies is dropped — the search just re-derives
+           whatever it led to. *)
         let replay path =
           let rec go st = function
             | [] -> Some st
@@ -508,21 +544,29 @@ let discover_run ?(registry = Fira.Semfun.empty_registry)
           in
           go root path
         in
+        let dropped_checked = ref 0 in
         let nodes =
           List.filter_map
-            (fun path ->
+            (fun (i, path) ->
               match replay path with
               | Some st -> Some (path, st)
               | None ->
+                  (* A dropped node inside the already-goal-tested prefix
+                     shrinks the skip count, so whichever node slides
+                     into its slot still gets goal-tested. *)
+                  if i < fr.fr_checked then incr dropped_checked;
                   Telemetry.count telemetry "discover.resume.dropped" 1;
                   None)
-            fr.fr_nodes
+            (List.mapi (fun i path -> (i, path)) fr.fr_nodes)
         in
         Some
           {
             Search.Space.snap_nodes = nodes;
             snap_closed = fr.fr_closed;
-            snap_checked = min fr.fr_checked (List.length nodes);
+            snap_checked =
+              min
+                (max 0 (fr.fr_checked - !dropped_checked))
+                (List.length nodes);
           }
   in
   let finish ~name result =
@@ -732,6 +776,15 @@ let frontier_to_string fr =
   Buffer.add_string b
     (Printf.sprintf "algorithm %s\n" (algorithm_name fr.fr_algorithm));
   Buffer.add_string b (Printf.sprintf "checked %d\n" fr.fr_checked);
+  (match fr.fr_prefix with
+  | [] -> ()
+  | ops ->
+      Buffer.add_string b (Printf.sprintf "prefix %d\n" (List.length ops));
+      List.iter
+        (fun op ->
+          Buffer.add_string b (Fira.Op.to_string op);
+          Buffer.add_char b '\n')
+        ops);
   List.iter
     (fun (k, g) ->
       Buffer.add_string b
@@ -778,7 +831,30 @@ let frontier_of_string s =
           Option.bind (strip_prefix "checked " checked_line) int_of_string_opt
         )
       with
-      | Some algorithm, Some checked ->
+      | Some algorithm, Some checked -> (
+          let rec take_ops k acc rest =
+            if k = 0 then Ok (List.rev acc, rest)
+            else
+              match rest with
+              | [] -> err "frontier: truncated operator block"
+              | op_line :: rest -> (
+                  match Fira.Parser.op_of_string op_line with
+                  | Ok op -> take_ops (k - 1) (op :: acc) rest
+                  | Error e ->
+                      err "frontier: bad operator %S (%s)" op_line e)
+          in
+          (* The optional warm-prefix block sits between the header and
+             the closed/node entries; its absence means a cold search. *)
+          let prefix_and_rest =
+            match rest with
+            | line :: rest' -> (
+                match
+                  Option.bind (strip_prefix "prefix " line) int_of_string_opt
+                with
+                | Some n when n >= 0 -> take_ops n [] rest'
+                | _ -> Ok ([], rest))
+            | [] -> Ok ([], [])
+          in
           let rec parse_entries closed nodes = function
             | [] -> Ok (List.rev closed, List.rev nodes)
             | line :: rest -> (
@@ -791,34 +867,26 @@ let frontier_of_string s =
                     match
                       Option.bind (strip_prefix "node " line) int_of_string_opt
                     with
-                    | Some n when n >= 0 ->
-                        let rec take_ops k acc rest =
-                          if k = 0 then Ok (List.rev acc, rest)
-                          else
-                            match rest with
-                            | [] -> err "frontier: truncated node block"
-                            | op_line :: rest -> (
-                                match Fira.Parser.op_of_string op_line with
-                                | Ok op -> take_ops (k - 1) (op :: acc) rest
-                                | Error e ->
-                                    err "frontier: bad operator %S (%s)"
-                                      op_line e)
-                        in
-                        (match take_ops n [] rest with
+                    | Some n when n >= 0 -> (
+                        match take_ops n [] rest with
                         | Ok (path, rest) ->
                             parse_entries closed (path :: nodes) rest
                         | Error e -> Error e)
                     | _ -> err "frontier: unexpected line %S" line))
           in
-          (match parse_entries [] [] rest with
-          | Ok (fr_closed, fr_nodes) ->
-              Ok
-                {
-                  fr_algorithm = algorithm;
-                  fr_nodes;
-                  fr_closed;
-                  fr_checked = checked;
-                }
-          | Error e -> Error e)
+          match prefix_and_rest with
+          | Error e -> Error e
+          | Ok (fr_prefix, rest) -> (
+              match parse_entries [] [] rest with
+              | Ok (fr_closed, fr_nodes) ->
+                  Ok
+                    {
+                      fr_algorithm = algorithm;
+                      fr_nodes;
+                      fr_prefix;
+                      fr_closed;
+                      fr_checked = checked;
+                    }
+              | Error e -> Error e))
       | _ -> err "frontier: missing algorithm/checked header")
   | _ -> err "frontier: missing header"

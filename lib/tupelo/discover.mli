@@ -155,17 +155,43 @@ type frontier = {
   fr_algorithm : algorithm;
       (** the algorithm that checkpointed (resume continues it) *)
   fr_nodes : Fira.Op.t list list;
-      (** open-node paths from the original source, in the order the
-          engine would have considered them; capped at 512 *)
+      (** open-node paths from the warm-started root (prefix-free), in
+          the order the engine would have considered them; capped at
+          {!frontier_nodes_cap}. Kept prefix-free so the engines'
+          recomputed g values (path lengths) agree with [fr_closed]'s. *)
+  fr_prefix : Fira.Op.t list;
+      (** the warm prefix in force when the checkpoint was taken ([[]]
+          for a cold search): re-applied to the source on resume before
+          the node paths replay, and prepended to any mapping the
+          resumed run reports *)
   fr_closed : (Relational.Fingerprint.t * int) list;
-      (** dedup-table transplant (key, best g); capped at 200k entries —
-          overflow only costs re-exploration, never correctness *)
+      (** dedup-table transplant (key, best g, relative to the
+          warm-started root); capped at 200k entries — overflow only
+          costs re-exploration, never correctness *)
   fr_checked : int;  (** beam: head nodes already goal-tested *)
 }
 (** A serializable checkpoint of an interrupted search (see
-    {!frontier_to_string}). States are not stored; a resume replays each
-    node path from the source under the move generator's syntactic
-    semantics, reconstructing bit-identical states. *)
+    {!frontier_to_string}). States are not stored; a resume re-applies
+    [fr_prefix] to the source and replays each node path from the
+    resulting root under the move generator's syntactic semantics,
+    reconstructing bit-identical states.
+
+    A checkpoint whose open list overflowed {!frontier_nodes_cap} is
+    {e best-effort}: the dropped nodes' parents are already closed, so
+    a resumed run may not re-derive them (their dedup entries are
+    released so re-derivation is at least admitted). Resume exactness —
+    and a resumed [No_mapping]'s definitiveness — are only guaranteed
+    for un-truncated checkpoints ([List.length fr_nodes <
+    frontier_nodes_cap]). *)
+
+val frontier_nodes_cap : int
+(** Retention bound on [fr_nodes] (512): a checkpoint keeps at most
+    this many open-node paths, best-first, and is best-effort beyond
+    it. *)
+
+val frontier_closed_cap : int
+(** Retention bound on [fr_closed] (200k entries): overflow only costs
+    re-exploration, never correctness. *)
 
 type anytime = {
   a_outcome : outcome;
@@ -198,13 +224,15 @@ val discover_anytime :
     runs concurrently with itself); under {!Portfolio} the stream merges
     every entrant's observations and stays monotone. [resume] continues a
     checkpointed search: the frontier's algorithm overrides
-    [config.algorithm], its open nodes are replayed from [source] and its
-    dedup table transplanted, so budget B then resume with budget B'
-    examines the same states as one run with budget B + B' (exact for
-    sequential greedy/A*/beam/BFS). [warm_start] is ignored when [resume]
-    is given. A live telemetry handle receives [discover.incumbents] per
-    report and [discover.resume.dropped] per no-longer-applicable resume
-    path. *)
+    [config.algorithm], its warm prefix is re-applied to [source], its
+    open nodes are replayed from the resulting root and its dedup table
+    transplanted, so budget B then resume with budget B' examines the
+    same states as one run with budget B + B' (exact for sequential
+    greedy/A*/beam/BFS, warm-started or not, whenever the checkpoint's
+    open list fit {!frontier_nodes_cap}). [warm_start] is ignored
+    when [resume] is given — the checkpoint's own [fr_prefix] governs. A
+    live telemetry handle receives [discover.incumbents] per report and
+    [discover.resume.dropped] per no-longer-applicable resume path. *)
 
 val frontier_to_string : frontier -> string
 (** Line-based text form: operators in the mapping parser's

@@ -162,40 +162,135 @@ let resume_equivalence =
             | Some fr -> fr
             | None -> QCheck2.Test.fail_reportf "gave up without a frontier"
           in
-          let leg2 =
-            D.discover_anytime ~registry ~resume:fr
-              (config (total - D.states_examined leg1.D.a_outcome))
-              ~source ~target
-          in
-          (match leg2.D.a_outcome with
-          | D.Mapping m' ->
-              if
-                not
-                  (ops_equal
-                     (Fira.Expr.ops m.Tupelo.Mapping.expr)
-                     (Fira.Expr.ops m'.Tupelo.Mapping.expr))
-              then
+          if List.length fr.D.fr_nodes >= D.frontier_nodes_cap then
+            (* truncated checkpoint: best-effort only, exactness is not
+               claimed (see the frontier_nodes_cap docs) *)
+            true
+          else begin
+            let leg2 =
+              D.discover_anytime ~registry ~resume:fr
+                (config (total - D.states_examined leg1.D.a_outcome))
+                ~source ~target
+            in
+            (match leg2.D.a_outcome with
+            | D.Mapping m' ->
+                if
+                  not
+                    (ops_equal
+                       (Fira.Expr.ops m.Tupelo.Mapping.expr)
+                       (Fira.Expr.ops m'.Tupelo.Mapping.expr))
+                then
+                  QCheck2.Test.fail_reportf
+                    "resumed run found a different mapping"
+            | o ->
                 QCheck2.Test.fail_reportf
-                  "resumed run found a different mapping"
-          | o ->
-              QCheck2.Test.fail_reportf
-                "seed %d depth %d %s: resume with the remaining budget %s \
-                 (split %d + %d of %d)"
-                seed depth (D.algorithm_name algorithm) (outcome_label o)
-                first
-                (D.states_examined leg2.D.a_outcome)
-                total);
-          (* states additivity: the two legs together examine exactly
-             the states of the uninterrupted run *)
-          let sum =
-            D.states_examined leg1.D.a_outcome
-            + D.states_examined leg2.D.a_outcome
-          in
-          if sum <> total then
-            QCheck2.Test.fail_reportf "split examined %d states, full %d" sum
-              total;
-          true
+                  "seed %d depth %d %s: resume with the remaining budget %s \
+                   (split %d + %d of %d)"
+                  seed depth (D.algorithm_name algorithm) (outcome_label o)
+                  first
+                  (D.states_examined leg2.D.a_outcome)
+                  total);
+            (* states additivity: the two legs together examine exactly
+               the states of the uninterrupted run *)
+            let sum =
+              D.states_examined leg1.D.a_outcome
+              + D.states_examined leg2.D.a_outcome
+            in
+            if sum <> total then
+              QCheck2.Test.fail_reportf "split examined %d states, full %d"
+                sum total;
+            true
+          end
       | _ -> true (* too small to split, or unsolved: nothing to check *))
+
+(* Warm-started resume equivalence (review regression): a checkpoint
+   taken under a warm prefix stores prefix-free paths plus the prefix
+   itself, and a resume re-applies the prefix before replaying them —
+   so budget B/2 then resume behaves exactly like the uninterrupted
+   warm run. Before the fix, A*'s transplanted g values clashed with
+   prefix-inflated path lengths: every resumed node was pruned as stale
+   and the resume reported a false No_mapping. *)
+let warm_resume_gen =
+  let open QCheck2.Gen in
+  let* seed = int_range 1 0x3FFFFFFF in
+  let* depth = int_range 3 5 in
+  let* algorithm = oneofl [ D.Greedy; D.Astar; D.Beam 4; D.Bfs ] in
+  return (seed, depth, algorithm)
+
+let warm_resume_equivalence =
+  qcheck ~count:60 "anytime: warm start survives checkpoint/resume"
+    warm_resume_gen (fun (seed, depth, algorithm) ->
+      let s = Scenario.generate ~depth seed in
+      let source = s.Scenario.source and target = s.Scenario.target in
+      let registry = s.Scenario.registry in
+      (* Seed the search with the planted program's first operator, the
+         way the daemon seeds a near-miss cache hit. *)
+      let warm_start =
+        match Fira.Expr.ops s.Scenario.program with
+        | op :: _ -> [ op ]
+        | [] -> []
+      in
+      let config budget = D.config ~algorithm ~budget () in
+      let full =
+        D.discover_anytime ~registry ~warm_start (config 3_000) ~source
+          ~target
+      in
+      match full.D.a_outcome with
+      | D.Mapping m when D.states_examined full.D.a_outcome >= 4 ->
+          let total = D.states_examined full.D.a_outcome in
+          let first = total / 2 in
+          let leg1 =
+            D.discover_anytime ~registry ~warm_start (config first) ~source
+              ~target
+          in
+          (match leg1.D.a_outcome with
+          | D.Gave_up _ -> ()
+          | o ->
+              QCheck2.Test.fail_reportf "warm half budget: %s"
+                (outcome_label o));
+          let fr =
+            match leg1.D.a_frontier with
+            | Some fr -> fr
+            | None -> QCheck2.Test.fail_reportf "gave up without a frontier"
+          in
+          if List.length fr.D.fr_nodes >= D.frontier_nodes_cap then
+            (* truncated checkpoint: best-effort only *)
+            true
+          else begin
+            let leg2 =
+              D.discover_anytime ~registry ~resume:fr
+                (config (total - D.states_examined leg1.D.a_outcome))
+                ~source ~target
+            in
+            (match leg2.D.a_outcome with
+            | D.Mapping m' ->
+                if
+                  not
+                    (ops_equal
+                       (Fira.Expr.ops m.Tupelo.Mapping.expr)
+                       (Fira.Expr.ops m'.Tupelo.Mapping.expr))
+                then
+                  QCheck2.Test.fail_reportf
+                    "warm resume found a different mapping"
+            | o ->
+                QCheck2.Test.fail_reportf
+                  "seed %d depth %d %s: warm resume %s (split %d + %d of \
+                   %d, prefix %d)"
+                  seed depth (D.algorithm_name algorithm) (outcome_label o)
+                  first
+                  (D.states_examined leg2.D.a_outcome)
+                  total
+                  (List.length fr.D.fr_prefix));
+            let sum =
+              D.states_examined leg1.D.a_outcome
+              + D.states_examined leg2.D.a_outcome
+            in
+            if sum <> total then
+              QCheck2.Test.fail_reportf
+                "warm split examined %d states, full %d" sum total;
+            true
+          end
+      | _ -> true)
 
 (* A pairing the engine cannot map but cannot quickly refute either:
    the headers double as plausible values and the target's association
@@ -240,12 +335,97 @@ let test_frontier_round_trip () =
                 "closed table survives" true
                 (fr.D.fr_closed = fr'.D.fr_closed);
               Alcotest.(check int) "checked count survives" fr.D.fr_checked
-                fr'.D.fr_checked))
+                fr'.D.fr_checked;
+              Alcotest.(check bool)
+                "warm prefix survives" true
+                (ops_equal fr.D.fr_prefix fr'.D.fr_prefix)))
     [ D.Greedy; D.Astar; D.Beam 4 ];
   Alcotest.(check bool) "at least one frontier materialized" true (!checked > 0);
   match D.frontier_of_string "not a frontier\n" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "garbage parsed as a frontier"
+
+(* A non-empty warm prefix survives the text form too (the starved
+   checkpoints above are all cold, so their prefix is empty). *)
+let test_frontier_prefix_round_trip () =
+  let source, target = starving_pair () in
+  let config = D.config ~algorithm:D.Greedy ~budget:6 () in
+  let a = D.discover_anytime config ~source ~target in
+  match a.D.a_frontier with
+  | None -> Alcotest.fail "starved without a checkpoint"
+  | Some fr -> (
+      let fr =
+        {
+          fr with
+          D.fr_prefix =
+            [
+              Fira.Op.RenameRel { old_name = "R"; new_name = "S" };
+              Fira.Op.Drop { rel = "S"; col = "a" };
+            ];
+        }
+      in
+      match D.frontier_of_string (D.frontier_to_string fr) with
+      | Error m -> Alcotest.failf "frontier does not parse back: %s" m
+      | Ok fr' ->
+          Alcotest.(check bool)
+            "non-empty prefix survives" true
+            (ops_equal fr.D.fr_prefix fr'.D.fr_prefix);
+          Alcotest.(check int)
+            "nodes survive alongside the prefix"
+            (List.length fr.D.fr_nodes)
+            (List.length fr'.D.fr_nodes))
+
+(* The pooled (jobs > 1) A* engine checkpoints its heap on a budget
+   give-up just like the sequential one (review regression: the batched
+   loop used to finish without capturing, so the daemon's anytime
+   response silently lost its resume token under jobs > 1). *)
+let test_pool_astar_checkpoints () =
+  let source, target = starving_pair () in
+  let config = D.config ~algorithm:D.Astar ~jobs:2 ~budget:6 () in
+  let a = D.discover_anytime config ~source ~target in
+  (match a.D.a_outcome with
+  | D.Gave_up _ -> ()
+  | o -> Alcotest.failf "expected budget exhaustion, got %s" (outcome_label o));
+  match a.D.a_frontier with
+  | None -> Alcotest.fail "pooled A* gave up without a checkpoint"
+  | Some fr ->
+      Alcotest.(check bool)
+        "checkpoint has open nodes" true (fr.D.fr_nodes <> [])
+
+(* Review regression: when a resumed path no longer applies and is
+   dropped, the checked count must shrink if the dropped node sat
+   inside the already-goal-tested prefix — otherwise the node sliding
+   into its slot is never goal-tested and a goal sitting in the beam
+   is skipped. Here the beam claims its first node was tested, but
+   that node no longer replays; the survivor is the goal itself. *)
+let test_resume_dropped_checked_node_still_goal_tests () =
+  let r = Relation.of_strings [ "name"; "id" ] [ [ "alice"; "1" ] ] in
+  let source = Database.add Database.empty "R" r in
+  let target = Database.add Database.empty "S" r in
+  let good = [ Fira.Op.RenameRel { old_name = "R"; new_name = "S" } ] in
+  let bad = [ Fira.Op.RenameRel { old_name = "Nope"; new_name = "X" } ] in
+  let fr =
+    {
+      D.fr_algorithm = D.Beam 4;
+      fr_nodes = [ bad; good ];
+      fr_prefix = [];
+      fr_closed = [];
+      fr_checked = 1;
+    }
+  in
+  let config = D.config ~budget:100 () in
+  let a = D.discover_anytime ~resume:fr config ~source ~target in
+  match a.D.a_outcome with
+  | D.Mapping m ->
+      Alcotest.(check bool)
+        "the surviving goal node is goal-tested, not skipped" true
+        (ops_equal (Fira.Expr.ops m.Tupelo.Mapping.expr) good);
+      Alcotest.(check int)
+        "and it is the first state examined" 1
+        (D.states_examined a.D.a_outcome)
+  | o ->
+      Alcotest.failf "resume skipped the goal in the beam: %s"
+        (outcome_label o)
 
 (* DFS engines have no materialized frontier to checkpoint. *)
 let test_dfs_has_no_frontier () =
@@ -378,8 +558,15 @@ let suite =
   [
     anytime_matches_plain;
     resume_equivalence;
+    warm_resume_equivalence;
     Alcotest.test_case "frontier: text form round-trips" `Quick
       test_frontier_round_trip;
+    Alcotest.test_case "frontier: non-empty warm prefix round-trips" `Quick
+      test_frontier_prefix_round_trip;
+    Alcotest.test_case "frontier: pooled A* checkpoints on give-up" `Quick
+      test_pool_astar_checkpoints;
+    Alcotest.test_case "resume: dropped checked node is not skipped" `Quick
+      test_resume_dropped_checked_node_still_goal_tests;
     Alcotest.test_case "frontier: DFS engines do not checkpoint" `Quick
       test_dfs_has_no_frontier;
     Alcotest.test_case "partial goal: sub-target succeeds where full starves"
